@@ -1,0 +1,60 @@
+// Ablation (not a paper artifact): how much of GB-MQO's benefit depends on
+// the storage engine being a row store. The paper ran on SQL Server, where
+// every scan of R pays the full row width; this engine can also run native
+// columnar scans, which read only the referenced columns and therefore
+// shrink the very redundancy GB-MQO eliminates. Expectation: large wall
+// speedup under kRowStore, much smaller under kColumnar — quantifying the
+// DESIGN.md substitution note.
+#include "bench/bench_util.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+using bench::Banner;
+using bench::OptimizeOrDie;
+using bench::Speedup;
+
+double RunWall(Catalog* catalog, const LogicalPlan& plan,
+               const std::vector<GroupByRequest>& requests, ScanMode mode) {
+  PlanExecutor exec(catalog, "lineitem", mode);
+  auto r = exec.Execute(plan, requests);
+  if (!r.ok()) std::exit(1);
+  return r->wall_seconds;
+}
+
+void Run() {
+  const size_t rows = bench::RowsFromEnv(300000);
+  Banner("Ablation — row-store vs columnar scan cost",
+         "DESIGN.md substitution note (engine substrate sensitivity)");
+  std::printf("rows=%zu; SC workload\n\n", rows);
+
+  TablePtr table = GenerateLineitem({.rows = rows});
+  Catalog catalog;
+  if (!catalog.RegisterBase(table).ok()) std::exit(1);
+  StatisticsManager stats(*table);
+  WhatIfProvider whatif(&stats);
+  OptimizerCostModel model(*table);
+  auto requests = SingleColumnRequests(LineitemAnalysisColumns());
+  OptimizerResult opt = OptimizeOrDie(&model, &whatif, requests);
+  LogicalPlan naive = NaivePlan(requests);
+
+  for (ScanMode mode : {ScanMode::kRowStore, ScanMode::kColumnar}) {
+    const char* name = mode == ScanMode::kRowStore ? "row-store" : "columnar";
+    const double tn = RunWall(&catalog, naive, requests, mode);
+    const double to = RunWall(&catalog, opt.plan, requests, mode);
+    std::printf("%-10s | naive %7.3fs | GB-MQO %7.3fs | wall speedup %.2fx\n",
+                name, tn, to, Speedup(tn, to));
+  }
+  std::printf("\nGB-MQO's win comes from avoiding repeated full-width scans;"
+              " a columnar\nengine already avoids them, so the gap narrows "
+              "(the paper's substrate\nwas a row store).\n");
+}
+
+}  // namespace
+}  // namespace gbmqo
+
+int main() {
+  gbmqo::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 12 (Section 6.7): statistics-creation overhead, defined as the
+// time to create statistics as a percentage of the run-time savings of the
+// GB-MQO plan over the naive plan. SC and TC on the 1g and (scaled) 10g
+// lineitem analogs, no pre-existing statistics, subsumption pruning on.
+// Paper: 1%-15%, shrinking as data grows.
+#include "bench/bench_util.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+using bench::Banner;
+using bench::OptimizeOrDie;
+using bench::RunOutcome;
+using bench::RunPlan;
+
+void RunCase(const char* label, const TablePtr& table,
+             const std::vector<GroupByRequest>& requests) {
+  Catalog catalog;
+  if (!catalog.RegisterBase(table).ok()) std::exit(1);
+  // Fresh StatisticsManager: no statistics exist at the start, exactly as in
+  // the experiment. Sampled statistics (fixed-size sample, as CREATE
+  // STATISTICS defaults to) are created lazily as the search first touches
+  // each column set, with creation time metered — so the statistics cost
+  // stays roughly flat while plan savings grow with the data.
+  StatisticsManager stats(*table, DistinctMode::kSampled, 20000);
+  WhatIfProvider whatif(&stats);
+
+  OptimizerCostModel model(*table);
+  OptimizerOptions opts;
+  opts.subsumption_pruning = true;
+  OptimizerResult opt = OptimizeOrDie(&model, &whatif, requests, opts);
+
+  const RunOutcome naive =
+      RunPlan(&catalog, table->name(), NaivePlan(requests), requests);
+  const RunOutcome ours =
+      RunPlan(&catalog, table->name(), opt.plan, requests);
+
+  // Savings are estimated from the deterministic work ratio applied to the
+  // naive wall time; raw wall differences at laptop scale are noise-prone.
+  const double work_ratio =
+      naive.work_units > 0 ? ours.work_units / naive.work_units : 1.0;
+  const double savings = naive.exec_seconds * (1.0 - work_ratio);
+  const double pct =
+      savings > 0 ? 100.0 * stats.creation_seconds() / savings : -1.0;
+  std::printf("%-12s | stats: %3llu objects, %7.3fs | naive %7.3fs, est. "
+              "savings %7.3fs | overhead %.1f%%\n",
+              label,
+              static_cast<unsigned long long>(stats.statistics_created()),
+              stats.creation_seconds(), naive.exec_seconds, savings, pct);
+}
+
+void Run() {
+  const size_t rows_1g = bench::RowsFromEnv(150000);
+  const size_t rows_10g = rows_1g * 5;
+  Banner("Figure 12 — statistics creation time vs running-time savings",
+         "Chen & Narasayya, SIGMOD'05, Section 6.7, Figure 12 "
+         "(paper: 'a small fraction', smaller for larger datasets)");
+  std::printf("rows: 1g-analog=%zu, 10g-analog=%zu\n\n", rows_1g, rows_10g);
+
+  TablePtr tpch1 = GenerateLineitem({.rows = rows_1g});
+  TablePtr tpch10 = GenerateLineitem({.rows = rows_10g, .seed = 43});
+  RunCase("tpch-1g SC", tpch1, SingleColumnRequests(LineitemAnalysisColumns()));
+  RunCase("tpch-1g TC", tpch1, TwoColumnRequests(LineitemAnalysisColumns()));
+  RunCase("tpch-10g SC", tpch10,
+          SingleColumnRequests(LineitemAnalysisColumns()));
+  RunCase("tpch-10g TC", tpch10, TwoColumnRequests(LineitemAnalysisColumns()));
+}
+
+}  // namespace
+}  // namespace gbmqo
+
+int main() {
+  gbmqo::Run();
+  return 0;
+}

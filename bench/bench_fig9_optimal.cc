@@ -1,0 +1,72 @@
+// Figure 9 (Section 6.3): quality of GB-MQO plans vs. the optimal plan.
+// Ten random queries Q0..Q9, each grouping 7 columns drawn from the 12
+// analysis columns of lineitem; for each, the run-time reduction ratio
+// against the naive plan is reported for the greedy GB-MQO plan and the
+// exhaustive-optimal plan. Paper: GB-MQO is close to optimal on most Qi.
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+using bench::Banner;
+using bench::OptimizeOrDie;
+using bench::RunOutcome;
+using bench::RunPlan;
+
+void Run() {
+  const size_t rows = bench::RowsFromEnv(150000);
+  Banner("Figure 9 — run-time reduction of GB-MQO vs optimal plans",
+         "Chen & Narasayya, SIGMOD'05, Section 6.3, Figure 9");
+  std::printf("rows=%zu; 10 random 7-column SC queries\n\n", rows);
+
+  TablePtr lineitem = GenerateLineitem({.rows = rows});
+  Catalog catalog;
+  if (!catalog.RegisterBase(lineitem).ok()) std::exit(1);
+  StatisticsManager stats(*lineitem);
+  WhatIfProvider whatif(&stats);
+
+  Rng rng(2005);
+  const std::vector<int> pool = LineitemAnalysisColumns();
+  std::printf("%-4s | %-22s | %-22s\n", "Qi",
+              "GB-MQO reduction (wall/work)", "optimal reduction (wall/work)");
+  for (int q = 0; q < 10; ++q) {
+    std::vector<int> cols = pool;
+    for (size_t i = cols.size(); i > 1; --i) {
+      std::swap(cols[i - 1], cols[rng.Uniform(i)]);
+    }
+    cols.resize(7);
+    auto requests = SingleColumnRequests(cols);
+
+    const RunOutcome naive =
+        RunPlan(&catalog, "lineitem", NaivePlan(requests), requests);
+
+    OptimizerCostModel greedy_model(*lineitem);
+    OptimizerResult greedy = OptimizeOrDie(&greedy_model, &whatif, requests);
+    const RunOutcome g = RunPlan(&catalog, "lineitem", greedy.plan, requests);
+
+    OptimizerCostModel ex_model(*lineitem);
+    ExhaustiveOptimizer exhaustive(&ex_model, &whatif);
+    auto er = exhaustive.Optimize(requests);
+    if (!er.ok()) std::exit(1);
+    const RunOutcome e = RunPlan(&catalog, "lineitem", er->plan, requests);
+
+    auto reduction = [](double base, double v) {
+      return base > 0 ? 100.0 * (base - v) / base : 0.0;
+    };
+    std::printf("Q%-3d | %6.1f%% / %6.1f%%       | %6.1f%% / %6.1f%%\n", q,
+                reduction(naive.exec_seconds, g.exec_seconds),
+                reduction(naive.work_units, g.work_units),
+                reduction(naive.exec_seconds, e.exec_seconds),
+                reduction(naive.work_units, e.work_units));
+  }
+}
+
+}  // namespace
+}  // namespace gbmqo
+
+int main() {
+  gbmqo::Run();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Engine microbenchmarks (google-benchmark): aggregation strategies, shared
+// scans, the group hash table, and optimizer scaling. Not a paper artifact —
+// these characterize the substrate the experiments run on.
+#include <benchmark/benchmark.h>
+
+#include "core/gbmqo.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+const Table& SharedLineitem() {
+  static TablePtr table = GenerateLineitem({.rows = 100000});
+  return *table;
+}
+
+void BM_HashAggregate(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  GroupByQuery q{ColumnSet::Single(static_cast<int>(state.range(0))),
+                 {AggregateSpec::CountStar()}};
+  for (auto _ : state) {
+    ExecContext ctx;
+    QueryExecutor exec(&ctx);
+    auto r = exec.ExecuteGroupBy(t, q, "out", AggStrategy::kHash);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.num_rows()));
+}
+BENCHMARK(BM_HashAggregate)
+    ->Arg(kReturnflag)   // 3 groups
+    ->Arg(kShipdate)     // ~2.5k groups
+    ->Arg(kComment);     // near-unique
+
+void BM_SortAggregate(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  GroupByQuery q{ColumnSet::Single(static_cast<int>(state.range(0))),
+                 {AggregateSpec::CountStar()}};
+  for (auto _ : state) {
+    ExecContext ctx;
+    QueryExecutor exec(&ctx);
+    auto r = exec.ExecuteGroupBy(t, q, "out", AggStrategy::kSort);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.num_rows()));
+}
+BENCHMARK(BM_SortAggregate)->Arg(kReturnflag)->Arg(kShipdate);
+
+void BM_IndexStreamAggregate(benchmark::State& state) {
+  static TablePtr indexed = [] {
+    TablePtr t = GenerateLineitem({.rows = 100000});
+    (void)t->CreateIndex(ColumnSet::Single(kShipdate));
+    return t;
+  }();
+  GroupByQuery q{ColumnSet::Single(kShipdate), {AggregateSpec::CountStar()}};
+  for (auto _ : state) {
+    ExecContext ctx;
+    QueryExecutor exec(&ctx);
+    auto r = exec.ExecuteGroupBy(*indexed, q, "out", AggStrategy::kIndexStream);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IndexStreamAggregate);
+
+void BM_SharedScanVsSeparate(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  const bool shared = state.range(0) == 1;
+  std::vector<GroupByQuery> queries;
+  std::vector<std::string> names;
+  for (int c : {kReturnflag, kLinestatus, kShipmode, kShipinstruct}) {
+    queries.push_back({ColumnSet::Single(c), {AggregateSpec::CountStar()}});
+    names.push_back("out" + std::to_string(c));
+  }
+  for (auto _ : state) {
+    ExecContext ctx;
+    QueryExecutor exec(&ctx);
+    if (shared) {
+      auto r = exec.ExecuteSharedScan(t, queries, names);
+      benchmark::DoNotOptimize(r);
+    } else {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto r = exec.ExecuteGroupBy(t, queries[i], names[i]);
+        benchmark::DoNotOptimize(r);
+      }
+    }
+  }
+}
+BENCHMARK(BM_SharedScanVsSeparate)->Arg(0)->Arg(1);
+
+void BM_OptimizeSingleColumn(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  // Shared-sample statistics: joint-cardinality requests during the search
+  // cost a cheap sample pass, so the benchmark isolates search time.
+  StatisticsManager stats(t, DistinctMode::kSampled, 20000);
+  WhatIfProvider whatif(&stats);
+  std::vector<int> cols = LineitemAnalysisColumns();
+  cols.resize(static_cast<size_t>(state.range(0)));
+  auto requests = SingleColumnRequests(cols);
+  for (const auto& r : requests) stats.Get(r.columns);
+  for (auto _ : state) {
+    OptimizerCostModel model(t);
+    GbMqoOptimizer opt(&model, &whatif);
+    auto r = opt.Optimize(requests);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizeSingleColumn)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_DistinctEstimation(benchmark::State& state) {
+  const Table& t = SharedLineitem();
+  const bool sampled = state.range(0) == 1;
+  for (auto _ : state) {
+    uint64_t d = sampled
+                     ? SampledDistinctCount(t, {kShipdate, kCommitdate}, 10000)
+                     : ExactDistinctCount(t, {kShipdate, kCommitdate});
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DistinctEstimation)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace gbmqo
+
+BENCHMARK_MAIN();

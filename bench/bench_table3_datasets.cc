@@ -1,0 +1,75 @@
+// Table 3 (Section 6.2): speedup of GB-MQO over the naive plan on four
+// datasets, for single-column (SC) and two-column (TC) workloads.
+// Paper speedups range from 1.09x to 4.46x; the structure (SC gains large
+// on correlated/categorical tables, TC gains moderate) should reproduce.
+#include "bench/bench_util.h"
+#include "data/nref_gen.h"
+#include "data/sales_gen.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+using bench::Banner;
+using bench::OptimizeOrDie;
+using bench::RunOutcome;
+using bench::RunPlan;
+using bench::Speedup;
+
+void RunCase(const char* dataset, const char* workload, const TablePtr& table,
+             const std::vector<GroupByRequest>& requests) {
+  Catalog catalog;
+  if (!catalog.RegisterBase(table).ok()) std::exit(1);
+  StatisticsManager stats(*table);
+  WhatIfProvider whatif(&stats);
+  OptimizerCostModel model(*table);
+
+  const RunOutcome naive =
+      RunPlan(&catalog, table->name(), NaivePlan(requests), requests);
+  OptimizerResult opt = OptimizeOrDie(&model, &whatif, requests);
+  const RunOutcome ours = RunPlan(&catalog, table->name(), opt.plan, requests);
+
+  std::printf("%-10s %-3s | #GrBys %3zu | naive %8.3fs | GB-MQO %8.3fs | "
+              "speedup %.2fx wall, %.2fx work, %.2fx scan-bound\n",
+              dataset, workload, requests.size(), naive.exec_seconds,
+              ours.exec_seconds, Speedup(naive.exec_seconds, ours.exec_seconds),
+              Speedup(naive.work_units, ours.work_units),
+              bench::ScanBoundSpeedup(naive, ours));
+}
+
+void Run() {
+  const size_t rows_1g = bench::RowsFromEnv(200000);
+  const size_t rows_10g = rows_1g * 5;  // paper's 10G is 10x 1G; 5x keeps
+                                        // laptop runtime sane while showing
+                                        // the same scale trend.
+  Banner("Table 3 — speedup over naive plan on four datasets",
+         "Chen & Narasayya, SIGMOD'05, Section 6.2, Table 3 "
+         "(paper: speedups 1.9x-4.5x across SC and TC)");
+  std::printf("rows: 1g-analog=%zu, 10g-analog=%zu, sales=%zu, nref=%zu\n\n",
+              rows_1g, rows_10g, rows_1g, rows_1g);
+
+  TablePtr tpch1 = GenerateLineitem({.rows = rows_1g});
+  TablePtr tpch10 = GenerateLineitem({.rows = rows_10g, .seed = 43});
+  TablePtr sales = GenerateSales({.rows = rows_1g});
+  TablePtr nref = GenerateNref({.rows = rows_1g});
+
+  const auto li_cols = LineitemAnalysisColumns();
+  // TC over all 12 lineitem columns is 66 queries; the paper runs exactly
+  // that. For Sales/NREF all columns are used.
+  RunCase("sales", "SC", sales, SingleColumnRequests(SalesAllColumns()));
+  RunCase("nref", "SC", nref, SingleColumnRequests(NrefAllColumns()));
+  RunCase("tpch-10g", "SC", tpch10, SingleColumnRequests(li_cols));
+  RunCase("tpch-1g", "SC", tpch1, SingleColumnRequests(li_cols));
+  RunCase("sales", "TC", sales, TwoColumnRequests(SalesAllColumns()));
+  RunCase("nref", "TC", nref, TwoColumnRequests(NrefAllColumns()));
+  RunCase("tpch-10g", "TC", tpch10, TwoColumnRequests(li_cols));
+  RunCase("tpch-1g", "TC", tpch1, TwoColumnRequests(li_cols));
+}
+
+}  // namespace
+}  // namespace gbmqo
+
+int main() {
+  gbmqo::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// GROUPING SETS over a join (Section 5.1.1 / Figure 8): analyze order-line
+// facts joined with their product dimension, pushing the Group By
+// computation below the join and sharing the pushed Group Bys with GB-MQO.
+//
+//   $ ./build/examples/join_grouping_sets
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/join_pushdown.h"
+
+using namespace gbmqo;
+
+int main() {
+  // Fact table: order lines with a product key and measures.
+  TableBuilder fact(Schema({{"product_id", DataType::kInt64, false},
+                            {"store_id", DataType::kInt64, false},
+                            {"quantity", DataType::kInt64, false},
+                            {"channel", DataType::kString, false}}));
+  Rng rng(2024);
+  const char* channels[] = {"web", "store", "phone"};
+  for (int i = 0; i < 300000; ++i) {
+    (void)fact.AppendRow({Value(static_cast<int64_t>(rng.Uniform(100))),
+                          Value(static_cast<int64_t>(rng.Uniform(60))),
+                          Value(static_cast<int64_t>(rng.Uniform(12)) + 1),
+                          Value(channels[rng.Uniform(3)])});
+  }
+  // Dimension: one row per product (only in-catalog products join).
+  TableBuilder dim(Schema({{"product_id", DataType::kInt64, false},
+                           {"active", DataType::kInt64, false}}));
+  for (int64_t p = 0; p < 90; ++p) {
+    (void)dim.AppendRow({Value(p), Value(p % 2)});
+  }
+
+  Catalog catalog;
+  (void)catalog.RegisterBase(*fact.Build("order_lines"));
+  (void)catalog.RegisterBase(*dim.Build("products"));
+
+  JoinGroupingSetsQuery q;
+  q.left_table = "order_lines";
+  q.right_table = "products";
+  q.left_join_col = 0;   // product_id
+  q.right_join_col = 0;  // product_id
+  // Only active products (a selection on the dimension, pushed below).
+  q.right_filter.And({1, CompareOp::kEq, Value(1)});
+  // Distribution of joined order lines by store, by channel, and by the
+  // pair — with total quantity.
+  const AggRequest count{};
+  const AggRequest qty{AggKind::kSum, 2};
+  q.requests = {{ColumnSet{1}, {count, qty}},
+                {ColumnSet{3}, {count, qty}},
+                {ColumnSet{1, 3}, {count, qty}}};
+
+  JoinGroupingSetsExecutor executor(&catalog);
+  auto join_first = executor.ExecuteJoinFirst(q);
+  auto pushed = executor.ExecutePushdown(q, PushdownMode::kGbMqo);
+  if (!join_first.ok() || !pushed.ok()) {
+    std::fprintf(stderr, "execution failed\n");
+    return 1;
+  }
+  std::printf("join-first : %.3fs (%.0f work units)\n",
+              join_first->wall_seconds, join_first->counters.WorkUnits());
+  std::printf("pushdown   : %.3fs (%.0f work units)  -> %.2fx\n\n",
+              pushed->wall_seconds, pushed->counters.WorkUnits(),
+              join_first->counters.WorkUnits() /
+                  pushed->counters.WorkUnits());
+
+  const TablePtr& by_channel = pushed->results.at(ColumnSet{3});
+  std::printf("active-product order lines by channel:\n");
+  for (size_t row = 0; row < by_channel->num_rows(); ++row) {
+    std::printf("  %-7s lines=%-8lld total_qty=%.0f\n",
+                by_channel->column(0).StringAt(row).c_str(),
+                static_cast<long long>(by_channel->column(1).Int64At(row)),
+                by_channel->column(2).NumericAt(row));
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "api/session.h"
+
+#include "sql/grouping_sets_parser.h"
+
+namespace gbmqo {
+
+Session::Session(TablePtr base, SessionOptions options)
+    : base_(std::move(base)), options_(options) {
+  // The base table name is reserved in the catalog; failure is impossible
+  // on a fresh catalog.
+  (void)catalog_.RegisterBase(base_);
+  stats_ = std::make_unique<StatisticsManager>(*base_, options_.stats_mode,
+                                               options_.sample_size);
+  whatif_ = std::make_unique<WhatIfProvider>(stats_.get());
+  model_ = std::make_unique<OptimizerCostModel>(*base_);
+}
+
+Result<std::vector<GroupByRequest>> Session::Parse(
+    const std::string& spec) const {
+  return ParseGroupingSets(spec, base_->schema());
+}
+
+Result<OptimizerResult> Session::Optimize(
+    const std::vector<GroupByRequest>& requests) {
+  GbMqoOptimizer optimizer(model_.get(), whatif_.get(), options_.optimizer);
+  return optimizer.Optimize(requests);
+}
+
+Result<OptimizerResult> Session::Optimize(const std::string& spec) {
+  Result<std::vector<GroupByRequest>> requests = Parse(spec);
+  if (!requests.ok()) return requests.status();
+  return Optimize(*requests);
+}
+
+Result<std::string> Session::Explain(const std::string& spec) {
+  Result<OptimizerResult> opt = Optimize(spec);
+  if (!opt.ok()) return opt.status();
+  return ExplainPlan(opt->plan, base_->schema(), model_.get(), whatif_.get());
+}
+
+Result<std::vector<SqlStatement>> Session::GenerateSql(
+    const std::string& spec) {
+  Result<OptimizerResult> opt = Optimize(spec);
+  if (!opt.ok()) return opt.status();
+  SqlGenerator gen(base_->name(), base_->schema());
+  return gen.Generate(opt->plan);
+}
+
+Result<ExecutionResult> Session::Execute(
+    const std::vector<GroupByRequest>& requests) {
+  Result<OptimizerResult> opt = Optimize(requests);
+  if (!opt.ok()) return opt.status();
+  return ExecutePlan(opt->plan, requests);
+}
+
+Result<ExecutionResult> Session::Execute(const std::string& spec) {
+  Result<std::vector<GroupByRequest>> requests = Parse(spec);
+  if (!requests.ok()) return requests.status();
+  return Execute(*requests);
+}
+
+Result<ExecutionResult> Session::ExecutePlan(
+    const LogicalPlan& plan, const std::vector<GroupByRequest>& requests) {
+  PlanExecutor executor(&catalog_, base_->name(), options_.scan_mode);
+  return executor.Execute(plan, requests);
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,85 @@
+// Session: the one-object entry point to the library — the client-side
+// realization of Section 5 as an application would embed it. Bundles the
+// catalog, statistics, cost model, optimizer, executor and the GROUPING
+// SETS parser behind a handful of calls:
+//
+//   Session session(GenerateLineitem({.rows = 100000}));
+//   auto result = session.Execute("SINGLE(l_returnflag, l_shipmode)");
+//   std::cout << session.Explain("SINGLE(l_returnflag, l_shipmode)");
+#ifndef GBMQO_API_SESSION_H_
+#define GBMQO_API_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gbmqo.h"
+#include "stats/statistics_manager.h"
+
+namespace gbmqo {
+
+struct SessionOptions {
+  /// Statistics: exact (fullscan) or sampled (shared sample + hybrid
+  /// GEE/Chao estimation).
+  DistinctMode stats_mode = DistinctMode::kExact;
+  uint64_t sample_size = 100000;
+  /// Search configuration (pruning, merge shapes, CUBE/ROLLUP, storage cap).
+  OptimizerOptions optimizer;
+  /// Row-store scan simulation vs native columnar execution.
+  ScanMode scan_mode = ScanMode::kRowStore;
+};
+
+/// Owns everything needed to optimize and execute multi-Group-By workloads
+/// over one base relation. Not thread-safe (one session per thread).
+class Session {
+ public:
+  /// Takes shared ownership of the base relation.
+  explicit Session(TablePtr base, SessionOptions options = {});
+
+  // ---- workload specification --------------------------------------------
+
+  /// Parses a GROUPING SETS spec ("(a), (b), (a, c)" or "SINGLE(...)" /
+  /// "PAIRS(...)") against the base schema.
+  Result<std::vector<GroupByRequest>> Parse(const std::string& spec) const;
+
+  // ---- planning / inspection ---------------------------------------------
+
+  /// Runs GB-MQO and returns the plan with costs and search stats.
+  Result<OptimizerResult> Optimize(const std::vector<GroupByRequest>& requests);
+  Result<OptimizerResult> Optimize(const std::string& spec);
+
+  /// EXPLAIN rendering of the GB-MQO plan for the workload.
+  Result<std::string> Explain(const std::string& spec);
+
+  /// The Section 5.2 SQL script for the GB-MQO plan.
+  Result<std::vector<SqlStatement>> GenerateSql(const std::string& spec);
+
+  // ---- execution -----------------------------------------------------------
+
+  /// Optimizes and executes; one result table per request.
+  Result<ExecutionResult> Execute(const std::vector<GroupByRequest>& requests);
+  Result<ExecutionResult> Execute(const std::string& spec);
+
+  /// Executes a specific plan (e.g. the naive plan, or a baseline).
+  Result<ExecutionResult> ExecutePlan(const LogicalPlan& plan,
+                                      const std::vector<GroupByRequest>& requests);
+
+  // ---- component access ----------------------------------------------------
+
+  const Table& base() const { return *base_; }
+  Catalog* catalog() { return &catalog_; }
+  StatisticsManager* stats() { return stats_.get(); }
+  PlanCostModel* cost_model() { return model_.get(); }
+
+ private:
+  TablePtr base_;
+  SessionOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<StatisticsManager> stats_;
+  std::unique_ptr<WhatIfProvider> whatif_;
+  std::unique_ptr<OptimizerCostModel> model_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_API_SESSION_H_

@@ -1,0 +1,116 @@
+// ColumnSet: a set of column ordinals of one relation, the universe of the
+// paper's Search DAG (Section 3.1). Nodes of logical plans, grouping lists,
+// statistics keys and pruning tables are all keyed by ColumnSet.
+#ifndef GBMQO_COMMON_COLUMN_SET_H_
+#define GBMQO_COMMON_COLUMN_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gbmqo {
+
+/// Immutable-style value type over a 64-bit mask. The 64-column cap is a
+/// deliberate engineering limit: the paper's widest experiment uses 48
+/// columns (Figure 10), and a single-word mask makes the set union at the
+/// heart of SubPlanMerge a single OR.
+class ColumnSet {
+ public:
+  static constexpr int kMaxColumns = 64;
+
+  constexpr ColumnSet() : mask_(0) {}
+  constexpr explicit ColumnSet(uint64_t mask) : mask_(mask) {}
+  ColumnSet(std::initializer_list<int> columns) : mask_(0) {
+    for (int c : columns) mask_ |= Bit(c);
+  }
+
+  /// Singleton set {column}.
+  static ColumnSet Single(int column) { return ColumnSet(Bit(column)); }
+
+  /// The set {0, 1, ..., n-1}.
+  static ColumnSet FirstN(int n) {
+    return ColumnSet(n >= kMaxColumns ? ~0ULL : (1ULL << n) - 1);
+  }
+
+  uint64_t mask() const { return mask_; }
+  bool empty() const { return mask_ == 0; }
+  int size() const { return std::popcount(mask_); }
+
+  bool Contains(int column) const { return (mask_ & Bit(column)) != 0; }
+  /// True iff every column of `other` is in this set (this ⊇ other).
+  bool ContainsAll(ColumnSet other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+  /// True iff this is a strict superset of `other`.
+  bool StrictSuperset(ColumnSet other) const {
+    return ContainsAll(other) && mask_ != other.mask_;
+  }
+  bool Intersects(ColumnSet other) const { return (mask_ & other.mask_) != 0; }
+
+  ColumnSet Union(ColumnSet other) const {
+    return ColumnSet(mask_ | other.mask_);
+  }
+  ColumnSet Intersect(ColumnSet other) const {
+    return ColumnSet(mask_ & other.mask_);
+  }
+  ColumnSet Minus(ColumnSet other) const {
+    return ColumnSet(mask_ & ~other.mask_);
+  }
+  ColumnSet With(int column) const { return ColumnSet(mask_ | Bit(column)); }
+  ColumnSet Without(int column) const {
+    return ColumnSet(mask_ & ~Bit(column));
+  }
+
+  /// Column ordinals in ascending order.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(size()));
+    uint64_t m = mask_;
+    while (m != 0) {
+      out.push_back(std::countr_zero(m));
+      m &= m - 1;
+    }
+    return out;
+  }
+
+  /// Debug rendering, e.g. "{0,3,7}".
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int c : ToVector()) {
+      if (!first) out += ",";
+      out += std::to_string(c);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+  friend bool operator==(ColumnSet a, ColumnSet b) {
+    return a.mask_ == b.mask_;
+  }
+  friend bool operator!=(ColumnSet a, ColumnSet b) {
+    return a.mask_ != b.mask_;
+  }
+  /// Arbitrary total order (by mask) so ColumnSet can key ordered containers.
+  friend bool operator<(ColumnSet a, ColumnSet b) { return a.mask_ < b.mask_; }
+
+ private:
+  static constexpr uint64_t Bit(int column) { return 1ULL << column; }
+
+  uint64_t mask_;
+};
+
+/// Hash functor for unordered containers keyed by ColumnSet.
+struct ColumnSetHash {
+  size_t operator()(ColumnSet s) const {
+    // Fibonacci hashing spreads dense low-bit masks.
+    return static_cast<size_t>(s.mask() * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_COMMON_COLUMN_SET_H_

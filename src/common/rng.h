@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for data generators and
+// sampling. All generators in this project are seeded so that every
+// experiment is exactly reproducible.
+#ifndef GBMQO_COMMON_RNG_H_
+#define GBMQO_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace gbmqo {
+
+/// xorshift128+ generator: fast, high-quality enough for workload synthesis
+/// and reservoir sampling. Not for cryptography.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding avoids the all-zero state and decorrelates nearby
+    // seeds.
+    state_[0] = SplitMix64(&seed);
+    state_[1] = SplitMix64(&seed);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state_[0];
+    const uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    // 53 random mantissa bits.
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_COMMON_RNG_H_

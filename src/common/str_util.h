@@ -1,0 +1,32 @@
+// Small string helpers shared by the SQL generator, parsers and harnesses.
+#ifndef GBMQO_COMMON_STR_UTIL_H_
+#define GBMQO_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gbmqo {
+
+/// Joins `parts` with `sep`, e.g. Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on `sep`, trimming ASCII whitespace from each piece; empty pieces
+/// are dropped.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lowercases ASCII in place and returns the result.
+std::string ToLower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_COMMON_STR_UTIL_H_

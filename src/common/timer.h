@@ -1,0 +1,28 @@
+// Wall-clock timing for experiment harnesses.
+#ifndef GBMQO_COMMON_TIMER_H_
+#define GBMQO_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gbmqo {
+
+/// Monotonic stopwatch. Started on construction; `Restart()` resets.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_COMMON_TIMER_H_

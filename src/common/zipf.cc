@@ -1,0 +1,29 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gbmqo {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : theta_(theta) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (double& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against accumulated FP error
+}
+
+uint64_t ZipfGenerator::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace gbmqo

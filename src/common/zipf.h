@@ -1,0 +1,36 @@
+// Zipfian sampling over [0, n) used by Experiment 6.8 (varying data skew).
+#ifndef GBMQO_COMMON_ZIPF_H_
+#define GBMQO_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gbmqo {
+
+/// Draws values in [0, n) with probability proportional to 1/(i+1)^theta.
+/// theta == 0 degenerates to the uniform distribution, matching the paper's
+/// "Zipf constant 0" data point in Figure 13.
+///
+/// Implementation: precomputed cumulative distribution + binary search.
+/// O(n) memory, O(log n) per draw — fine for the domain sizes in this repo
+/// (the largest skewed column domain is ~200k values).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Next sample in [0, n()).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i); cdf_.back() == 1.0
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_COMMON_ZIPF_H_

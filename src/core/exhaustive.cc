@@ -1,0 +1,265 @@
+#include "core/exhaustive.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/storage_scheduler.h"
+#include "core/subplan_merge.h"
+
+namespace gbmqo {
+
+namespace {
+
+/// DP state for one input. Request subsets are bitmasks over request
+/// indices ("qmask"); column sets are unioned per qmask.
+class Search {
+ public:
+  Search(const std::vector<GroupByRequest>& requests, PlanCostModel* model,
+         WhatIfProvider* whatif)
+      : requests_(requests), model_(model), whatif_(whatif) {
+    const int n = static_cast<int>(requests.size());
+    // Distinct aggregates across all requests (COUNT(*) always present for
+    // intermediates).
+    agg_universe_.push_back(AggRequest{});
+    for (const GroupByRequest& req : requests) {
+      for (const AggRequest& a : req.aggs) {
+        if (std::find(agg_universe_.begin(), agg_universe_.end(), a) ==
+            agg_universe_.end()) {
+          agg_universe_.push_back(a);
+        }
+      }
+    }
+    req_agg_bits_.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      uint32_t bits = 0;
+      for (const AggRequest& a : requests[static_cast<size_t>(i)].aggs) {
+        const size_t pos =
+            static_cast<size_t>(std::find(agg_universe_.begin(),
+                                          agg_universe_.end(), a) -
+                                agg_universe_.begin());
+        bits |= 1u << pos;
+      }
+      req_agg_bits_[static_cast<size_t>(i)] = bits;
+    }
+  }
+
+  /// Minimum total plan cost; call once.
+  double Solve() {
+    const uint32_t full = (1u << requests_.size()) - 1;
+    root_ = whatif_->Root();
+    return PartitionCost(/*node_qmask=*/0, full, /*parent_is_root=*/true);
+  }
+
+  /// Rebuilds the optimal plan from the DP tables.
+  LogicalPlan BuildPlan() {
+    LogicalPlan plan;
+    const uint32_t full = (1u << requests_.size()) - 1;
+    EmitPartition(/*node_qmask=*/0, full, /*parent_is_root=*/true,
+                  &plan.subplans);
+    return plan;
+  }
+
+ private:
+  // ---- derived per-qmask quantities ----
+
+  ColumnSet Union(uint32_t qmask) const {
+    ColumnSet u;
+    for (uint32_t m = qmask; m != 0; m &= m - 1) {
+      const int i = std::countr_zero(m);
+      u = u.Union(requests_[static_cast<size_t>(i)].columns);
+    }
+    return u;
+  }
+
+  /// Aggregates carried by the node serving `qmask` (COUNT(*) + union).
+  std::vector<AggRequest> NodeAggs(uint32_t qmask) const {
+    uint32_t bits = 1;  // COUNT(*) is agg_universe_[0]
+    for (uint32_t m = qmask; m != 0; m &= m - 1) {
+      bits |= req_agg_bits_[static_cast<size_t>(std::countr_zero(m))];
+    }
+    std::vector<AggRequest> aggs;
+    for (size_t i = 0; i < agg_universe_.size(); ++i) {
+      if (bits & (1u << i)) aggs.push_back(agg_universe_[i]);
+    }
+    return aggs;
+  }
+
+  NodeDesc NodeDescOf(uint32_t qmask) {
+    return whatif_->Describe(Union(qmask),
+                             static_cast<int>(NodeAggs(qmask).size()));
+  }
+  NodeDesc LeafDesc(int request) {
+    const GroupByRequest& req = requests_[static_cast<size_t>(request)];
+    return whatif_->Describe(req.columns, static_cast<int>(req.aggs.size()));
+  }
+
+  // ---- DP ----
+
+  /// Cost of the subtree rooted at the node serving `qmask` (>= 2 requests),
+  /// including its materialization, excluding the edge from its parent.
+  double SubtreeCost(uint32_t qmask) {
+    auto it = subtree_memo_.find(qmask);
+    if (it != subtree_memo_.end()) return it->second;
+    const NodeDesc self = NodeDescOf(qmask);
+    const double cost = model_->MaterializeCost(self) +
+                        PartitionCost(qmask, qmask, /*parent_is_root=*/false);
+    subtree_memo_.emplace(qmask, cost);
+    return cost;
+  }
+
+  /// Cost of one partition part under the given parent.
+  double PartCost(uint32_t node_qmask, uint32_t part, bool parent_is_root) {
+    const NodeDesc parent = parent_is_root ? root_ : NodeDescOf(node_qmask);
+    if ((part & (part - 1)) == 0) {
+      // Singleton: a leaf request.
+      const int q = std::countr_zero(part);
+      if (!parent_is_root &&
+          requests_[static_cast<size_t>(q)].columns == Union(node_qmask)) {
+        return 0;  // the node itself IS this request's result
+      }
+      return model_->QueryCost(parent, LeafDesc(q));
+    }
+    // Non-singleton: a materialized child node union(part).
+    if (!parent_is_root && Union(part) == Union(node_qmask)) {
+      // Identical column set as the parent: never useful, and recursing
+      // would not terminate.
+      return kInfeasible;
+    }
+    return model_->QueryCost(parent, NodeDescOf(part)) + SubtreeCost(part);
+  }
+
+  /// Min cost of partitioning `rest` into parts under the node serving
+  /// `node_qmask` (or under R when parent_is_root).
+  double PartitionCost(uint32_t node_qmask, uint32_t rest,
+                       bool parent_is_root) {
+    if (rest == 0) return 0;
+    const uint64_t memo_key =
+        (static_cast<uint64_t>(node_qmask) << 32) | rest |
+        (parent_is_root ? (1ULL << 63) : 0);
+    auto it = partition_memo_.find(memo_key);
+    if (it != partition_memo_.end()) return it->second;
+
+    const uint32_t lowest = rest & (~rest + 1);
+    double best = kInfeasible;
+    // Enumerate subsets of `rest` containing the lowest element.
+    const uint32_t others = rest ^ lowest;
+    uint32_t sub = others;
+    while (true) {
+      const uint32_t part = sub | lowest;
+      const double pc = PartCost(node_qmask, part, parent_is_root);
+      if (pc < kInfeasible) {
+        const double restc =
+            PartitionCost(node_qmask, rest ^ part, parent_is_root);
+        best = std::min(best, pc + restc);
+      }
+      if (sub == 0) break;
+      sub = (sub - 1) & others;
+    }
+    partition_memo_.emplace(memo_key, best);
+    return best;
+  }
+
+  // ---- plan reconstruction (re-derives argmins from the memo tables) ----
+
+  PlanNode EmitSubtree(uint32_t qmask) {
+    PlanNode node;
+    node.columns = Union(qmask);
+    node.aggs = NodeAggs(qmask);
+    EmitPartition(qmask, qmask, /*parent_is_root=*/false, &node.children);
+    // If one request equals this node's columns, the node serves it.
+    for (uint32_t m = qmask; m != 0; m &= m - 1) {
+      const int q = std::countr_zero(m);
+      if (requests_[static_cast<size_t>(q)].columns == node.columns) {
+        node.required = true;
+      }
+    }
+    return node;
+  }
+
+  void EmitPartition(uint32_t node_qmask, uint32_t rest, bool parent_is_root,
+                     std::vector<PlanNode>* out) {
+    if (rest == 0) return;
+    const double target = PartitionCost(node_qmask, rest, parent_is_root);
+    const uint32_t lowest = rest & (~rest + 1);
+    const uint32_t others = rest ^ lowest;
+    uint32_t sub = others;
+    while (true) {
+      const uint32_t part = sub | lowest;
+      const double pc = PartCost(node_qmask, part, parent_is_root);
+      if (pc < kInfeasible) {
+        const double restc =
+            PartitionCost(node_qmask, rest ^ part, parent_is_root);
+        if (pc + restc <= target + 1e-6) {
+          EmitPart(node_qmask, part, parent_is_root, out);
+          EmitPartition(node_qmask, rest ^ part, parent_is_root, out);
+          return;
+        }
+      }
+      if (sub == 0) break;
+      sub = (sub - 1) & others;
+    }
+  }
+
+  void EmitPart(uint32_t node_qmask, uint32_t part, bool parent_is_root,
+                std::vector<PlanNode>* out) {
+    if ((part & (part - 1)) == 0) {
+      const int q = std::countr_zero(part);
+      const GroupByRequest& req = requests_[static_cast<size_t>(q)];
+      if (!parent_is_root && req.columns == Union(node_qmask)) {
+        return;  // served by the node itself (marked in EmitSubtree)
+      }
+      PlanNode leaf;
+      leaf.columns = req.columns;
+      leaf.required = true;
+      leaf.aggs = req.aggs;
+      out->push_back(std::move(leaf));
+      return;
+    }
+    out->push_back(EmitSubtree(part));
+  }
+
+  static constexpr double kInfeasible = 1e300;
+
+  const std::vector<GroupByRequest>& requests_;
+  PlanCostModel* model_;
+  WhatIfProvider* whatif_;
+  NodeDesc root_;
+  std::vector<AggRequest> agg_universe_;
+  std::vector<uint32_t> req_agg_bits_;
+  std::unordered_map<uint32_t, double> subtree_memo_;
+  std::unordered_map<uint64_t, double> partition_memo_;
+};
+
+}  // namespace
+
+Result<OptimizerResult> ExhaustiveOptimizer::Optimize(
+    const std::vector<GroupByRequest>& requests) {
+  GBMQO_RETURN_NOT_OK(
+      ValidateRequests(requests, whatif_->stats()->table().schema()));
+  if (static_cast<int>(requests.size()) > kMaxRequests) {
+    return Status::InvalidArgument(
+        "exhaustive search supports at most " +
+        std::to_string(kMaxRequests) + " requests (got " +
+        std::to_string(requests.size()) + ")");
+  }
+  WallTimer timer;
+  const uint64_t calls_before = model_->optimizer_calls();
+
+  Search search(requests, model_, whatif_);
+  OptimizerResult result;
+  result.cost = search.Solve();
+  result.plan = search.BuildPlan();
+  {
+    LogicalPlan naive = NaivePlan(requests);
+    result.naive_cost = CostPlan(naive, model_, whatif_);
+  }
+  SchedulePlanStorage(&result.plan, whatif_);
+  GBMQO_RETURN_NOT_OK(result.plan.Validate(requests));
+  result.stats.optimizer_calls = model_->optimizer_calls() - calls_before;
+  result.stats.optimization_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace gbmqo

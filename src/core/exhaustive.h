@@ -1,0 +1,40 @@
+// ExhaustiveOptimizer: exact search for the minimum-cost logical plan, used
+// as the "optimal plan" comparator of Experiment 6.3 (Figure 9). Like the
+// paper's exhaustive implementation it is exponential and only practical
+// for small inputs (they restricted to 7 columns; we cap the request count).
+//
+// Search space: plans in which every materialized intermediate node is the
+// union of the required queries it (transitively) serves. Under any cost
+// model that is monotone in the parent's cardinality — both paper models —
+// shrinking an intermediate to the union of what it serves never increases
+// cost, so this space contains an optimal plan. Enumeration is a dynamic
+// program over recursive partitions of the request set: the top level
+// partitions S into parts computed from R; a non-singleton part T becomes a
+// materialized node union(T), recursively partitioned with that node as the
+// parent.
+#ifndef GBMQO_CORE_EXHAUSTIVE_H_
+#define GBMQO_CORE_EXHAUSTIVE_H_
+
+#include "core/optimizer.h"
+
+namespace gbmqo {
+
+class ExhaustiveOptimizer {
+ public:
+  /// At most this many requests are accepted (4^n subproblem work).
+  static constexpr int kMaxRequests = 14;
+
+  ExhaustiveOptimizer(PlanCostModel* model, WhatIfProvider* whatif)
+      : model_(model), whatif_(whatif) {}
+
+  /// Returns the optimal plan (within the space above) and its cost.
+  Result<OptimizerResult> Optimize(const std::vector<GroupByRequest>& requests);
+
+ private:
+  PlanCostModel* model_;
+  WhatIfProvider* whatif_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_CORE_EXHAUSTIVE_H_

@@ -1,0 +1,67 @@
+#include "core/explain.h"
+
+#include "common/str_util.h"
+#include "core/storage_scheduler.h"
+
+namespace gbmqo {
+
+namespace {
+
+const char* KindLabel(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kGroupBy: return "";
+    case NodeKind::kCube: return "CUBE ";
+    case NodeKind::kRollup: return "ROLLUP ";
+  }
+  return "";
+}
+
+std::string HumanBytes(double bytes) {
+  if (bytes >= 1e9) return StrFormat("%.1fGB", bytes / 1e9);
+  if (bytes >= 1e6) return StrFormat("%.1fMB", bytes / 1e6);
+  if (bytes >= 1e3) return StrFormat("%.1fKB", bytes / 1e3);
+  return StrFormat("%.0fB", bytes);
+}
+
+void RenderNode(const PlanNode& node, const NodeDesc& parent,
+                const Schema& schema, PlanCostModel* model,
+                WhatIfProvider* whatif, const std::string& prefix,
+                bool is_last, std::string* out) {
+  const NodeDesc self = DescribeNode(node, whatif);
+  const double cost = CostSubPlan(node, parent, model, whatif);
+
+  *out += prefix;
+  *out += is_last ? "└─ " : "├─ ";
+  *out += KindLabel(node.kind);
+  *out += "{" + Join(schema.ColumnNames(node.columns), ",") + "}";
+  if (node.required) *out += "*";
+  *out += StrFormat(" rows≈%.0f subtree-cost≈%.3g", self.rows, cost);
+  if (node.materialized()) {
+    *out += " spool≈" + HumanBytes(EstimateNodeBytes(node, whatif));
+    *out += node.mark == TraversalMark::kBreadthFirst ? " [BF]" : " [DF]";
+  }
+  *out += "\n";
+
+  const std::string child_prefix = prefix + (is_last ? "   " : "│  ");
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    RenderNode(node.children[i], self, schema, model, whatif, child_prefix,
+               i + 1 == node.children.size(), out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const LogicalPlan& plan, const Schema& schema,
+                        PlanCostModel* model, WhatIfProvider* whatif) {
+  const NodeDesc root = whatif->Root();
+  std::string out = StrFormat("R (%.0f rows, %.0f B/row) total-cost≈%.4g\n",
+                              root.rows, root.row_width,
+                              CostPlan(plan, model, whatif));
+  for (size_t i = 0; i < plan.subplans.size(); ++i) {
+    RenderNode(plan.subplans[i], root, schema, model, whatif, "",
+               i + 1 == plan.subplans.size(), &out);
+  }
+  return out;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,32 @@
+// Umbrella header: the public API of the gbmqo library.
+//
+// Typical usage (see examples/quickstart.cc):
+//
+//   Catalog catalog;
+//   catalog.RegisterBase(table);
+//   StatisticsManager stats(*table);
+//   WhatIfProvider whatif(&stats);
+//   OptimizerCostModel model(*table);
+//   GbMqoOptimizer optimizer(&model, &whatif);
+//   auto result = optimizer.Optimize(SingleColumnRequests({0,1,2}));
+//   PlanExecutor executor(&catalog, table->name());
+//   auto exec = executor.Execute(result->plan, requests);
+#ifndef GBMQO_CORE_GBMQO_H_
+#define GBMQO_CORE_GBMQO_H_
+
+#include "core/exhaustive.h"           // IWYU pragma: export
+#include "core/explain.h"               // IWYU pragma: export
+#include "core/grouping_sets_planner.h" // IWYU pragma: export
+#include "core/join_pushdown.h"         // IWYU pragma: export
+#include "core/logical_plan.h"          // IWYU pragma: export
+#include "core/optimizer.h"             // IWYU pragma: export
+#include "core/plan_executor.h"         // IWYU pragma: export
+#include "core/request.h"               // IWYU pragma: export
+#include "core/sql_generator.h"         // IWYU pragma: export
+#include "core/storage_scheduler.h"     // IWYU pragma: export
+#include "core/subplan_merge.h"         // IWYU pragma: export
+#include "cost/cost_model.h"            // IWYU pragma: export
+#include "cost/optimizer_cost_model.h"  // IWYU pragma: export
+#include "cost/whatif.h"                // IWYU pragma: export
+
+#endif  // GBMQO_CORE_GBMQO_H_

@@ -1,0 +1,109 @@
+#include "core/grouping_sets_planner.h"
+
+#include <algorithm>
+
+#include "core/subplan_merge.h"
+
+namespace gbmqo {
+
+namespace {
+
+PlanNode LeafOf(const GroupByRequest& req) {
+  PlanNode leaf;
+  leaf.columns = req.columns;
+  leaf.required = true;
+  leaf.aggs = req.aggs;
+  return leaf;
+}
+
+}  // namespace
+
+Result<LogicalPlan> GroupingSetsPlanner::Plan(
+    const std::vector<GroupByRequest>& requests, const Schema& schema) const {
+  GBMQO_RETURN_NOT_OK(ValidateRequests(requests, schema));
+
+  // Sort requests by descending set size so chain heads come first.
+  std::vector<const GroupByRequest*> order;
+  order.reserve(requests.size());
+  for (const GroupByRequest& req : requests) order.push_back(&req);
+  std::sort(order.begin(), order.end(),
+            [](const GroupByRequest* a, const GroupByRequest* b) {
+              if (a->columns.size() != b->columns.size()) {
+                return a->columns.size() > b->columns.size();
+              }
+              return a->columns < b->columns;
+            });
+
+  // Greedy chain cover: each request joins the first chain whose *current
+  // tail* contains it (so the chain stays totally ordered by ⊇ and one sort
+  // order serves every member); otherwise it starts a new chain.
+  struct Chain {
+    std::vector<const GroupByRequest*> members;  // descending by ⊇
+  };
+  std::vector<Chain> chains;
+  for (const GroupByRequest* req : order) {
+    Chain* home = nullptr;
+    for (Chain& chain : chains) {
+      if (chain.members.back()->columns.StrictSuperset(req->columns)) {
+        home = &chain;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      chains.push_back(Chain{});
+      home = &chains.back();
+    }
+    home->members.push_back(req);
+  }
+
+  LogicalPlan plan;
+  if (static_cast<int>(chains.size()) > options_.max_sort_chains) {
+    // Union-group-by plan: GROUP BY all referenced columns, spool, then
+    // compute every request from the spool (the SC behaviour of Section 6.1).
+    ColumnSet all;
+    std::vector<AggRequest> all_aggs = {AggRequest{}};
+    for (const GroupByRequest& req : requests) {
+      all = all.Union(req.columns);
+      all_aggs = UnionAggs(all_aggs, req.aggs);
+    }
+    PlanNode top;
+    top.columns = all;
+    top.aggs = all_aggs;
+    top.strategy_hint = AggStrategy::kHash;
+    bool top_required = false;
+    for (const GroupByRequest& req : requests) {
+      if (req.columns == all) {
+        top.required = true;
+        top_required = true;
+      } else {
+        top.children.push_back(LeafOf(req));
+      }
+    }
+    (void)top_required;
+    plan.subplans.push_back(std::move(top));
+    return plan;
+  }
+
+  // Shared-sort plan: one sorted pass over R per chain; the chain head is
+  // materialized and every subsumed member is computed from it (nearly free
+  // relative to re-scanning R).
+  for (const Chain& chain : chains) {
+    const GroupByRequest* head = chain.members.front();
+    if (chain.members.size() == 1) {
+      PlanNode leaf = LeafOf(*head);
+      leaf.strategy_hint = AggStrategy::kSort;  // one sorted pass
+      plan.subplans.push_back(std::move(leaf));
+      continue;
+    }
+    PlanNode root = LeafOf(*head);
+    root.strategy_hint = AggStrategy::kSort;
+    for (size_t i = 1; i < chain.members.size(); ++i) {
+      root.aggs = UnionAggs(root.aggs, chain.members[i]->aggs);
+      root.children.push_back(LeafOf(*chain.members[i]));
+    }
+    plan.subplans.push_back(std::move(root));
+  }
+  return plan;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,274 @@
+#include "core/join_pushdown.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/timer.h"
+#include "core/subplan_merge.h"
+#include "cost/optimizer_cost_model.h"
+#include "exec/query_executor.h"
+
+namespace gbmqo {
+
+namespace {
+
+constexpr const char* kGrpTag = "grp_tag";
+
+Status ValidateJoinQuery(const JoinGroupingSetsQuery& q, const Table& left,
+                         const Table& right) {
+  GBMQO_RETURN_NOT_OK(ValidateRequests(q.requests, left.schema()));
+  if (q.left_join_col < 0 || q.left_join_col >= left.schema().num_columns() ||
+      q.right_join_col < 0 ||
+      q.right_join_col >= right.schema().num_columns()) {
+    return Status::InvalidArgument("join column out of range");
+  }
+  GBMQO_RETURN_NOT_OK(q.left_filter.Validate(left.schema()));
+  GBMQO_RETURN_NOT_OK(q.right_filter.Validate(right.schema()));
+  return Status::OK();
+}
+
+/// Applies a (possibly TRUE) filter, avoiding a copy when trivial.
+Result<TablePtr> MaybeFilter(const TablePtr& table, const Predicate& pred,
+                             const std::string& name, ExecContext* ctx) {
+  if (pred.is_true()) return table;
+  return ApplyFilter(*table, pred, name, ctx);
+}
+
+/// Final re-aggregation spec: the joined/pushed input carries the aggregate
+/// columns by their stable output names.
+Result<AggregateSpec> ReaggSpec(const Table& input, const AggRequest& agg,
+                                const Schema& left_schema) {
+  const std::string name = AggOutputName(agg, left_schema);
+  const int ord = input.schema().FindColumn(name);
+  if (ord < 0) {
+    return Status::Internal("aggregate column '" + name + "' missing");
+  }
+  switch (agg.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kSum:
+      return AggregateSpec::Sum(ord, name);
+    case AggKind::kMin:
+      return AggregateSpec::Min(ord, name);
+    case AggKind::kMax:
+      return AggregateSpec::Max(ord, name);
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+}  // namespace
+
+Result<JoinExecutionResult> JoinGroupingSetsExecutor::ExecuteJoinFirst(
+    const JoinGroupingSetsQuery& q) {
+  Result<TablePtr> left = catalog_->Get(q.left_table);
+  if (!left.ok()) return left.status();
+  Result<TablePtr> right = catalog_->Get(q.right_table);
+  if (!right.ok()) return right.status();
+  GBMQO_RETURN_NOT_OK(ValidateJoinQuery(q, **left, **right));
+
+  WallTimer timer;
+  ExecContext ctx;
+  Result<TablePtr> lf = MaybeFilter(*left, q.left_filter, "jf_left", &ctx);
+  if (!lf.ok()) return lf.status();
+  Result<TablePtr> rf = MaybeFilter(*right, q.right_filter, "jf_right", &ctx);
+  if (!rf.ok()) return rf.status();
+
+  Result<TablePtr> joined = HashJoin(
+      **lf, **rf, JoinSpec{q.left_join_col, q.right_join_col}, "joined", &ctx);
+  if (!joined.ok()) return joined.status();
+
+  // Left columns keep their ordinals in the join output, so requests apply
+  // verbatim (COUNT(*)/SUM/... over raw columns).
+  QueryExecutor exec(&ctx);
+  JoinExecutionResult out;
+  for (const GroupByRequest& req : q.requests) {
+    GroupByQuery query;
+    query.grouping = req.columns;
+    for (const AggRequest& agg : req.aggs) {
+      switch (agg.kind) {
+        case AggKind::kCountStar:
+          query.aggregates.push_back(
+              AggregateSpec::CountStar(AggOutputName(agg, (*left)->schema())));
+          break;
+        case AggKind::kSum:
+          query.aggregates.push_back(AggregateSpec::Sum(
+              agg.column, AggOutputName(agg, (*left)->schema())));
+          break;
+        case AggKind::kMin:
+          query.aggregates.push_back(AggregateSpec::Min(
+              agg.column, AggOutputName(agg, (*left)->schema())));
+          break;
+        case AggKind::kMax:
+          query.aggregates.push_back(AggregateSpec::Max(
+              agg.column, AggOutputName(agg, (*left)->schema())));
+          break;
+      }
+    }
+    Result<TablePtr> r = exec.ExecuteGroupBy(
+        **joined, query, "result" + req.columns.ToString());
+    if (!r.ok()) return r.status();
+    out.results[req.columns] = *r;
+  }
+  out.counters = ctx.counters();
+  out.wall_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+Result<JoinExecutionResult> JoinGroupingSetsExecutor::ExecutePushdown(
+    const JoinGroupingSetsQuery& q, PushdownMode mode) {
+  Result<TablePtr> left = catalog_->Get(q.left_table);
+  if (!left.ok()) return left.status();
+  Result<TablePtr> right = catalog_->Get(q.right_table);
+  if (!right.ok()) return right.status();
+  GBMQO_RETURN_NOT_OK(ValidateJoinQuery(q, **left, **right));
+  const Schema& left_schema = (*left)->schema();
+
+  WallTimer timer;
+  ExecContext ctx;
+  Result<TablePtr> lf = MaybeFilter(*left, q.left_filter,
+                                    catalog_->NextTempName("pd_left"), &ctx);
+  if (!lf.ok()) return lf.status();
+  Result<TablePtr> rf = MaybeFilter(*right, q.right_filter, "pd_right", &ctx);
+  if (!rf.ok()) return rf.status();
+
+  // ---- Step 1-2: pushed Group Bys over the (filtered) left relation ------
+
+  // Global aggregate union: every pushed set carries all aggregates any
+  // request needs, plus COUNT(*), so the Union-All has one schema.
+  std::vector<AggRequest> union_aggs = {AggRequest{}};
+  for (const GroupByRequest& req : q.requests) {
+    union_aggs = UnionAggs(union_aggs, req.aggs);
+  }
+
+  // Deduplicated pushed sets with stable tags.
+  std::vector<ColumnSet> pushed_sets;
+  std::map<ColumnSet, int64_t> tag_of;  // pushed set -> Grp-Tag value
+  for (const GroupByRequest& req : q.requests) {
+    const ColumnSet pushed = req.columns.With(q.left_join_col);
+    if (tag_of.emplace(pushed, static_cast<int64_t>(pushed_sets.size())).second) {
+      pushed_sets.push_back(pushed);
+    }
+  }
+  std::vector<GroupByRequest> pushed_requests;
+  for (ColumnSet s : pushed_sets) {
+    pushed_requests.push_back(GroupByRequest{s, union_aggs});
+  }
+
+  // Register the filtered left side so PlanExecutor can run plans over it.
+  const bool left_is_temp = (*lf != *left);
+  if (left_is_temp) {
+    GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*lf));
+  }
+  LogicalPlan pushed_plan;
+  if (mode == PushdownMode::kGbMqo) {
+    StatisticsManager stats(**lf);
+    WhatIfProvider whatif(&stats);
+    OptimizerCostModel model(**lf);
+    GbMqoOptimizer optimizer(&model, &whatif);
+    Result<OptimizerResult> opt = optimizer.Optimize(pushed_requests);
+    if (!opt.ok()) return opt.status();
+    pushed_plan = std::move(opt->plan);
+  } else {
+    pushed_plan = NaivePlan(pushed_requests);
+  }
+  PlanExecutor plan_exec(catalog_, (*lf)->name());
+  Result<ExecutionResult> pushed =
+      plan_exec.Execute(pushed_plan, pushed_requests);
+  if (left_is_temp) GBMQO_RETURN_NOT_OK(catalog_->Drop((*lf)->name()));
+  if (!pushed.ok()) return pushed.status();
+  ctx.counters() += pushed->counters;
+
+  // ---- Step 3: Union-All with Grp-Tag ------------------------------------
+
+  ColumnSet all_group_cols;
+  for (ColumnSet s : pushed_sets) all_group_cols = all_group_cols.Union(s);
+
+  std::vector<ColumnDef> defs;
+  defs.push_back(ColumnDef{kGrpTag, DataType::kInt64, false});
+  for (int c : all_group_cols.ToVector()) {
+    ColumnDef def = left_schema.column(c);
+    def.nullable = true;  // NULL where a tag's grouping omits the column
+    defs.push_back(def);
+  }
+  for (const AggRequest& agg : union_aggs) {
+    const bool is_count = agg.kind == AggKind::kCountStar;
+    defs.push_back(ColumnDef{AggOutputName(agg, left_schema),
+                             is_count ? DataType::kInt64
+                                      : left_schema.column(agg.column).type,
+                             !is_count});
+  }
+  TableBuilder union_builder{Schema(defs)};
+
+  for (ColumnSet s : pushed_sets) {
+    const TablePtr& part = pushed->results.at(s);
+    const int64_t tag = tag_of.at(s);
+    for (size_t row = 0; row < part->num_rows(); ++row) {
+      int out_col = 0;
+      union_builder.column(out_col++)->AppendInt64(tag);
+      for (int c : all_group_cols.ToVector()) {
+        const int src = part->schema().FindColumn(left_schema.column(c).name);
+        if (src < 0) {
+          union_builder.column(out_col++)->AppendNull();
+        } else {
+          union_builder.column(out_col)->AppendFrom(part->column(src), row);
+          ++out_col;
+        }
+      }
+      for (const AggRequest& agg : union_aggs) {
+        const int src =
+            part->schema().FindColumn(AggOutputName(agg, left_schema));
+        if (src < 0) {
+          return Status::Internal("pushed result missing aggregate column");
+        }
+        union_builder.column(out_col)->AppendFrom(part->column(src), row);
+        ++out_col;
+      }
+    }
+  }
+  Result<TablePtr> unioned = union_builder.Build("pushed_union");
+  if (!unioned.ok()) return unioned.status();
+
+  // ---- Step 4: one join of the (small) union with the right side ---------
+
+  const int union_join_col = (*unioned)->schema().FindColumn(
+      left_schema.column(q.left_join_col).name);
+  Result<TablePtr> joined =
+      HashJoin(**unioned, **rf, JoinSpec{union_join_col, q.right_join_col},
+               "pushed_joined", &ctx);
+  if (!joined.ok()) return joined.status();
+
+  // ---- Step 5: per-request Grp-Tag selection + re-aggregation ------------
+
+  QueryExecutor exec(&ctx);
+  JoinExecutionResult out;
+  const int tag_col = (*joined)->schema().FindColumn(kGrpTag);
+  for (const GroupByRequest& req : q.requests) {
+    const int64_t tag = tag_of.at(req.columns.With(q.left_join_col));
+    Predicate tag_pred;
+    tag_pred.And(Comparison{tag_col, CompareOp::kEq, Value(tag)});
+    Result<TablePtr> mine =
+        ApplyFilter(**joined, tag_pred, "tagged", &ctx);
+    if (!mine.ok()) return mine.status();
+
+    GroupByQuery query;
+    for (int c : req.columns.ToVector()) {
+      const int ord =
+          (*mine)->schema().FindColumn(left_schema.column(c).name);
+      if (ord < 0) return Status::Internal("grouping column lost in join");
+      query.grouping = query.grouping.With(ord);
+    }
+    for (const AggRequest& agg : req.aggs) {
+      Result<AggregateSpec> spec = ReaggSpec(**mine, agg, left_schema);
+      if (!spec.ok()) return spec.status();
+      query.aggregates.push_back(std::move(spec).ValueOrDie());
+    }
+    Result<TablePtr> r = exec.ExecuteGroupBy(
+        **mine, query, "result" + req.columns.ToString());
+    if (!r.ok()) return r.status();
+    out.results[req.columns] = *r;
+  }
+  out.counters = ctx.counters();
+  out.wall_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,324 @@
+#include "core/logical_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gbmqo {
+
+namespace {
+
+std::string KindPrefix(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kGroupBy: return "";
+    case NodeKind::kCube: return "CUBE";
+    case NodeKind::kRollup: return "ROLLUP";
+  }
+  return "";
+}
+
+std::set<AggRequest> AggSet(const std::vector<AggRequest>& aggs) {
+  return std::set<AggRequest>(aggs.begin(), aggs.end());
+}
+
+/// What column sets a node can serve to a child "for free" or by
+/// computation. GroupBy serves strict subsets by computation; Cube serves
+/// any subset for free; Rollup serves prefixes for free.
+bool ChildAllowed(const PlanNode& parent, const PlanNode& child) {
+  switch (parent.kind) {
+    case NodeKind::kGroupBy:
+      return parent.columns.StrictSuperset(child.columns);
+    case NodeKind::kCube:
+      return parent.columns.ContainsAll(child.columns);
+    case NodeKind::kRollup: {
+      // child.columns must equal some prefix of rollup_order.
+      ColumnSet prefix;
+      if (child.columns.empty()) return true;
+      for (int c : parent.rollup_order) {
+        prefix = prefix.With(c);
+        if (prefix == child.columns) return true;
+        if (prefix.size() > child.columns.size()) return false;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+Status ValidateNode(const PlanNode& node, const PlanNode* parent,
+                    std::map<ColumnSet, const PlanNode*>* required_found) {
+  if (node.columns.empty() && node.kind == NodeKind::kGroupBy) {
+    return Status::InvalidArgument("plan node with empty column set");
+  }
+  if (node.aggs.empty()) {
+    return Status::InvalidArgument("plan node with no aggregates");
+  }
+  if (node.kind == NodeKind::kRollup) {
+    ColumnSet order_set;
+    for (int c : node.rollup_order) order_set = order_set.With(c);
+    if (order_set != node.columns ||
+        static_cast<int>(node.rollup_order.size()) != node.columns.size()) {
+      return Status::InvalidArgument("rollup_order inconsistent with columns");
+    }
+  }
+  if (!node.agg_copies.empty()) {
+    // Section 7.2 multi-copy constraints.
+    if (node.kind != NodeKind::kGroupBy || node.required) {
+      return Status::InvalidArgument(
+          "aggregate copies are only allowed on non-required GroupBy nodes");
+    }
+    if (node.children.empty()) {
+      return Status::InvalidArgument("multi-copy node has no children");
+    }
+    std::set<AggRequest> union_of_copies;
+    for (const auto& copy : node.agg_copies) {
+      if (copy.empty()) {
+        return Status::InvalidArgument("empty aggregate copy");
+      }
+      union_of_copies.insert(copy.begin(), copy.end());
+    }
+    if (union_of_copies != AggSet(node.aggs)) {
+      return Status::InvalidArgument(
+          "aggregate copies do not union to the node's aggregates");
+    }
+    for (const PlanNode& child : node.children) {
+      if (node.CopyFor(child.aggs) < 0) {
+        return Status::InvalidArgument(
+            "no aggregate copy covers a child of " + node.columns.ToString());
+      }
+    }
+  }
+  if (parent != nullptr) {
+    if (!ChildAllowed(*parent, node)) {
+      return Status::InvalidArgument("node " + node.columns.ToString() +
+                                     " is not derivable from parent " +
+                                     parent->columns.ToString());
+    }
+    // The parent must carry every aggregate this node needs (within a
+    // single copy, when the parent is multi-copy).
+    if (parent->agg_copies.empty()) {
+      const std::set<AggRequest> pa = AggSet(parent->aggs);
+      for (const AggRequest& a : node.aggs) {
+        if (pa.count(a) == 0) {
+          return Status::InvalidArgument(
+              "parent " + parent->columns.ToString() +
+              " does not carry an aggregate needed by " +
+              node.columns.ToString());
+        }
+      }
+    } else if (parent->CopyFor(node.aggs) < 0) {
+      return Status::InvalidArgument(
+          "no copy of parent " + parent->columns.ToString() +
+          " carries the aggregates needed by " + node.columns.ToString());
+    }
+  }
+  if (node.kind != NodeKind::kGroupBy) {
+    for (const PlanNode& child : node.children) {
+      if (!child.is_leaf() || child.kind != NodeKind::kGroupBy) {
+        return Status::NotSupported(
+            "CUBE/ROLLUP nodes may only have leaf GroupBy children");
+      }
+    }
+  }
+  if (node.required) {
+    if (!required_found->emplace(node.columns, &node).second) {
+      return Status::InvalidArgument("required set " + node.columns.ToString() +
+                                     " appears more than once");
+    }
+  }
+  for (const PlanNode& child : node.children) {
+    GBMQO_RETURN_NOT_OK(ValidateNode(child, &node, required_found));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int PlanNode::CopyFor(const std::vector<AggRequest>& child_aggs) const {
+  for (size_t i = 0; i < agg_copies.size(); ++i) {
+    const std::set<AggRequest> have(agg_copies[i].begin(),
+                                    agg_copies[i].end());
+    bool covers = true;
+    for (const AggRequest& a : child_aggs) {
+      if (have.count(a) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string PlanNode::ToString() const {
+  std::string out = KindPrefix(kind) + columns.ToString();
+  if (required) out += "*";
+  if (!children.empty()) {
+    out += "[";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += ",";
+      out += children[i].ToString();
+    }
+    out += "]";
+  }
+  return out;
+}
+
+std::string LogicalPlan::ToString() const {
+  std::string out = "R[";
+  for (size_t i = 0; i < subplans.size(); ++i) {
+    if (i > 0) out += ",";
+    out += subplans[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+int CountNodes(const PlanNode& node) {
+  int n = 1;
+  for (const PlanNode& child : node.children) n += CountNodes(child);
+  return n;
+}
+}  // namespace
+
+int LogicalPlan::NumNodes() const {
+  int n = 0;
+  for (const PlanNode& sub : subplans) n += CountNodes(sub);
+  return n;
+}
+
+Status LogicalPlan::Validate(
+    const std::vector<GroupByRequest>& requests) const {
+  std::map<ColumnSet, const PlanNode*> required_found;
+  for (const PlanNode& sub : subplans) {
+    GBMQO_RETURN_NOT_OK(ValidateNode(sub, nullptr, &required_found));
+  }
+  if (required_found.size() != requests.size()) {
+    return Status::InvalidArgument(
+        "plan serves " + std::to_string(required_found.size()) +
+        " required sets, expected " + std::to_string(requests.size()));
+  }
+  for (const GroupByRequest& req : requests) {
+    auto it = required_found.find(req.columns);
+    if (it == required_found.end()) {
+      return Status::InvalidArgument("request " + req.columns.ToString() +
+                                     " is not served by the plan");
+    }
+    // The serving node must carry at least the requested aggregates.
+    const std::set<AggRequest> have = AggSet(it->second->aggs);
+    for (const AggRequest& a : req.aggs) {
+      if (have.count(a) == 0) {
+        return Status::InvalidArgument("request " + req.columns.ToString() +
+                                       " is missing an aggregate in the plan");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+NodeDesc DescribeNode(const PlanNode& node, WhatIfProvider* whatif) {
+  return whatif->Describe(node.columns, static_cast<int>(node.aggs.size()));
+}
+
+namespace {
+
+/// Cost of CUBE(m) computed from `parent`: a bottom-up spanning tree over
+/// the 2^|m| lattice where each proper subset s is computed from
+/// s + {lowest column of m \ s}. Every level is materialized (the execution
+/// mirrors this exactly).
+double CostCube(const PlanNode& node, const NodeDesc& parent,
+                PlanCostModel* model, WhatIfProvider* whatif) {
+  const int num_aggs = static_cast<int>(node.aggs.size());
+  const std::vector<int> cols = node.columns.ToVector();
+  const uint64_t full = node.columns.mask();
+
+  double cost = 0;
+  // Enumerate all submasks of `full` (including full and 0).
+  uint64_t sub = full;
+  while (true) {
+    const ColumnSet s(sub);
+    const NodeDesc sd = whatif->Describe(s, num_aggs);
+    if (sub == full) {
+      cost += model->QueryCost(parent, sd) + model->MaterializeCost(sd);
+    } else {
+      // Spanning parent: add the lowest missing column of m.
+      ColumnSet missing = node.columns.Minus(s);
+      const ColumnSet sp = s.With(missing.ToVector().front());
+      const NodeDesc pd = whatif->Describe(sp, num_aggs);
+      cost += model->QueryCost(pd, sd) + model->MaterializeCost(sd);
+    }
+    if (sub == 0) break;
+    sub = (sub - 1) & full;
+  }
+  return cost;
+}
+
+/// Cost of ROLLUP(order) from `parent`: a chain where each level is the
+/// previous level minus its last order column, down to the empty grouping.
+double CostRollup(const PlanNode& node, const NodeDesc& parent,
+                  PlanCostModel* model, WhatIfProvider* whatif) {
+  const int num_aggs = static_cast<int>(node.aggs.size());
+  double cost = 0;
+  NodeDesc prev = whatif->Describe(node.columns, num_aggs);
+  cost += model->QueryCost(parent, prev) + model->MaterializeCost(prev);
+  ColumnSet level = node.columns;
+  for (int i = static_cast<int>(node.rollup_order.size()) - 1; i >= 0; --i) {
+    level = level.Without(node.rollup_order[static_cast<size_t>(i)]);
+    const NodeDesc ld = whatif->Describe(level, num_aggs);
+    cost += model->QueryCost(prev, ld) + model->MaterializeCost(ld);
+    prev = ld;
+  }
+  return cost;
+}
+
+}  // namespace
+
+double CostSubPlan(const PlanNode& node, const NodeDesc& parent,
+                   PlanCostModel* model, WhatIfProvider* whatif) {
+  if (node.kind == NodeKind::kCube) {
+    // Required leaf children are served from the materialized lattice at no
+    // extra cost.
+    return CostCube(node, parent, model, whatif);
+  }
+  if (node.kind == NodeKind::kRollup) {
+    return CostRollup(node, parent, model, whatif);
+  }
+  if (!node.agg_copies.empty()) {
+    // Section 7.2 multi-copy: one query + spool per copy; each child is
+    // priced against the (narrower) copy that serves it.
+    double cost = 0;
+    std::vector<NodeDesc> copy_descs;
+    for (const auto& copy : node.agg_copies) {
+      const NodeDesc d =
+          whatif->Describe(node.columns, static_cast<int>(copy.size()));
+      cost += model->QueryCost(parent, d) + model->MaterializeCost(d);
+      copy_descs.push_back(d);
+    }
+    for (const PlanNode& child : node.children) {
+      const int copy = node.CopyFor(child.aggs);
+      cost += CostSubPlan(child, copy_descs[static_cast<size_t>(copy < 0 ? 0 : copy)],
+                          model, whatif);
+    }
+    return cost;
+  }
+  const NodeDesc self = DescribeNode(node, whatif);
+  double cost = model->QueryCost(parent, self);
+  if (node.materialized()) cost += model->MaterializeCost(self);
+  for (const PlanNode& child : node.children) {
+    cost += CostSubPlan(child, self, model, whatif);
+  }
+  return cost;
+}
+
+double CostPlan(const LogicalPlan& plan, PlanCostModel* model,
+                WhatIfProvider* whatif) {
+  const NodeDesc root = whatif->Root();
+  double cost = 0;
+  for (const PlanNode& sub : plan.subplans) {
+    cost += CostSubPlan(sub, root, model, whatif);
+  }
+  return cost;
+}
+
+}  // namespace gbmqo

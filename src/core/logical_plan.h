@@ -1,0 +1,113 @@
+// LogicalPlan: the paper's plan algebra (Section 3.1). A plan is a forest of
+// sub-plans rooted at the base relation R; each node is a Group By query
+// (or, with the Section 7.1 extension, a CUBE/ROLLUP query) computed from
+// its parent. Non-leaf nodes are materialized into temporary tables.
+#ifndef GBMQO_CORE_LOGICAL_PLAN_H_
+#define GBMQO_CORE_LOGICAL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/column_set.h"
+#include "common/status.h"
+#include "core/request.h"
+#include "cost/cost_model.h"
+#include "cost/whatif.h"
+#include "exec/query_executor.h"
+
+namespace gbmqo {
+
+/// What a node computes from its parent.
+enum class NodeKind {
+  kGroupBy,  ///< plain GROUP BY node.columns
+  kCube,     ///< CUBE(node.columns): all subsets (Section 7.1)
+  kRollup,   ///< ROLLUP(rollup_order): all prefixes (Section 7.1)
+};
+
+/// How the node subtree is sequenced for minimum intermediate storage
+/// (Section 4.4.1). Set by StorageScheduler; kDepthFirst is the default.
+enum class TraversalMark {
+  kDepthFirst,
+  kBreadthFirst,
+};
+
+/// One node of a logical plan, owning its children by value. Sub-plans are
+/// small trees (tens of nodes), so value semantics keep the hill-climbing
+/// search simple and allocation-light.
+struct PlanNode {
+  ColumnSet columns;
+  NodeKind kind = NodeKind::kGroupBy;
+  bool required = false;  ///< one of the input queries
+  /// Aggregates produced at this node. For intermediates this is the union
+  /// of everything any descendant needs (Section 7.2) plus COUNT(*), which
+  /// is always carried so descendants can re-aggregate counts.
+  std::vector<AggRequest> aggs = {AggRequest{}};
+  /// Section 7.2's alternative to the single union-of-aggregates copy: when
+  /// non-empty, this node is materialized as one temp table per entry, each
+  /// carrying only that entry's aggregates (narrower rows), and every child
+  /// reads the first copy that carries all of its aggregates. Only
+  /// non-required GroupBy intermediates may use copies; `aggs` must equal
+  /// the union of the copies. Chosen cost-based by SubPlanMerge when
+  /// enabled.
+  std::vector<std::vector<AggRequest>> agg_copies;
+  /// Column order for kRollup (prefixes of this order are produced).
+  std::vector<int> rollup_order;
+  /// Physical hint for the edge parent -> this (planners may force kSort to
+  /// model shared-sort GROUPING SETS execution).
+  AggStrategy strategy_hint = AggStrategy::kAuto;
+  TraversalMark mark = TraversalMark::kDepthFirst;
+  std::vector<PlanNode> children;
+
+  bool is_leaf() const { return children.empty(); }
+
+  /// True iff executing this node spools a temp table: any non-leaf GroupBy,
+  /// and every CUBE/ROLLUP (their lattice levels are materialized).
+  bool materialized() const {
+    return !children.empty() || kind != NodeKind::kGroupBy;
+  }
+
+  /// Index into agg_copies of the copy serving `child_aggs`, or -1 when the
+  /// node is single-copy or no copy covers them.
+  int CopyFor(const std::vector<AggRequest>& child_aggs) const;
+
+  /// Compact rendering, e.g. "{0,2}[{0},{2}]"; cube/rollup prefixed.
+  std::string ToString() const;
+};
+
+/// A complete plan: sub-plans computed from R, executed left to right.
+struct LogicalPlan {
+  std::vector<PlanNode> subplans;
+
+  std::string ToString() const;
+
+  /// Total number of nodes (excluding R).
+  int NumNodes() const;
+
+  /// Structural + semantic validation against the request set:
+  ///  * every child's columns are a subset of its parent's "coverage"
+  ///    (node.columns for GroupBy/Cube; a prefix of rollup_order for Rollup),
+  ///  * children of GroupBy nodes are strict subsets,
+  ///  * every request appears exactly once as a required node with exactly
+  ///    its aggregates,
+  ///  * intermediate nodes carry every aggregate their descendants need,
+  ///  * CUBE/ROLLUP nodes have only leaf children.
+  Status Validate(const std::vector<GroupByRequest>& requests) const;
+};
+
+/// Cost of one sub-plan computed from `parent` (Section 3.2): the sum over
+/// edges of QueryCost plus MaterializeCost for spooled nodes. CUBE/ROLLUP
+/// nodes are priced by their bottom-up lattice/chain expansion.
+double CostSubPlan(const PlanNode& node, const NodeDesc& parent,
+                   PlanCostModel* model, WhatIfProvider* whatif);
+
+/// Cost of a full plan: sum of sub-plan costs from R.
+double CostPlan(const LogicalPlan& plan, PlanCostModel* model,
+                WhatIfProvider* whatif);
+
+/// Hypothetical descriptor of a plan node (row width includes its carried
+/// aggregate columns).
+NodeDesc DescribeNode(const PlanNode& node, WhatIfProvider* whatif);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_CORE_LOGICAL_PLAN_H_

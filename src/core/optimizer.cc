@@ -1,0 +1,226 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/timer.h"
+#include "core/storage_scheduler.h"
+
+namespace gbmqo {
+
+LogicalPlan NaivePlan(const std::vector<GroupByRequest>& requests) {
+  LogicalPlan plan;
+  for (const GroupByRequest& req : requests) {
+    PlanNode leaf;
+    leaf.columns = req.columns;
+    leaf.required = true;
+    leaf.aggs = req.aggs;
+    plan.subplans.push_back(std::move(leaf));
+  }
+  return plan;
+}
+
+namespace {
+
+/// An antichain of minimal column sets under ⊆. Supports "does any member
+/// U satisfy U ⊆ probe?" in O(|antichain|) word ops. Used both for the
+/// subsumption prune (minimal pair unions) and the monotonicity prune
+/// (minimal failed unions).
+class MinimalSetFamily {
+ public:
+  void Clear() { members_.clear(); }
+
+  /// True iff some member is a subset of `probe` (inclusive).
+  bool ContainsSubsetOf(ColumnSet probe) const {
+    for (ColumnSet m : members_) {
+      if (probe.ContainsAll(m)) return true;
+    }
+    return false;
+  }
+
+  /// True iff some member is a *strict* subset of `probe`.
+  bool ContainsStrictSubsetOf(ColumnSet probe) const {
+    for (ColumnSet m : members_) {
+      if (probe.StrictSuperset(m)) return true;
+    }
+    return false;
+  }
+
+  /// Inserts `set`, keeping only minimal members.
+  void Insert(ColumnSet set) {
+    if (ContainsSubsetOf(set)) return;  // redundant
+    members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                  [&](ColumnSet m) {
+                                    return m.StrictSuperset(set);
+                                  }),
+                   members_.end());
+    members_.push_back(set);
+  }
+
+  size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<ColumnSet> members_;
+};
+
+struct SubPlanEntry {
+  PlanNode node;
+  double cost = 0;
+  bool alive = true;
+};
+
+struct PairEval {
+  bool has_candidate = false;
+  double delta = 0;       // best candidate cost - (cost_i + cost_j)
+  PlanNode best;          // best candidate sub-plan
+  double best_cost = 0;
+};
+
+}  // namespace
+
+Result<OptimizerResult> GbMqoOptimizer::Optimize(
+    const std::vector<GroupByRequest>& requests) {
+  GBMQO_RETURN_NOT_OK(
+      ValidateRequests(requests, whatif_->stats()->table().schema()));
+
+  WallTimer timer;
+  const uint64_t calls_before = model_->optimizer_calls();
+  const NodeDesc root = whatif_->Root();
+
+  MergeOptions merge_options;
+  merge_options.only_type_b = options_.only_type_b;
+  merge_options.enable_cube = options_.enable_cube;
+  merge_options.enable_rollup = options_.enable_rollup;
+  merge_options.max_cube_width = options_.max_cube_width;
+  merge_options.enable_multi_copy = options_.enable_multi_copy;
+
+  OptimizerResult result;
+
+  // Step 1-2: the naive plan, one leaf sub-plan per request.
+  std::vector<SubPlanEntry> entries;
+  {
+    LogicalPlan naive = NaivePlan(requests);
+    for (PlanNode& leaf : naive.subplans) {
+      SubPlanEntry e;
+      e.cost = CostSubPlan(leaf, root, model_, whatif_);
+      e.node = std::move(leaf);
+      entries.push_back(std::move(e));
+    }
+  }
+  double current_cost = 0;
+  for (const SubPlanEntry& e : entries) current_cost += e.cost;
+  result.naive_cost = current_cost;
+
+  std::map<std::pair<size_t, size_t>, PairEval> eval_cache;
+  MinimalSetFamily failed_unions;  // monotonicity prune state
+
+  // Step 3-10: hill climbing.
+  while (true) {
+    ++result.stats.iterations;
+
+    std::vector<size_t> alive;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].alive) alive.push_back(i);
+    }
+    if (alive.size() < 2) break;
+
+    // Subsumption prune (Section 4.3.1): a pair is skipped when its union
+    // strictly contains some other alive pair's union. The minimal unions
+    // form an antichain; testing against it is equivalent.
+    MinimalSetFamily minimal_unions;
+    if (options_.subsumption_pruning) {
+      for (size_t a = 0; a < alive.size(); ++a) {
+        for (size_t b = a + 1; b < alive.size(); ++b) {
+          minimal_unions.Insert(entries[alive[a]].node.columns.Union(
+              entries[alive[b]].node.columns));
+        }
+      }
+    }
+
+    double best_delta = -1e-9;
+    const PairEval* best_eval = nullptr;
+    std::pair<size_t, size_t> best_pair{0, 0};
+
+    for (size_t a = 0; a < alive.size(); ++a) {
+      for (size_t b = a + 1; b < alive.size(); ++b) {
+        const size_t i = alive[a], j = alive[b];
+        const ColumnSet u =
+            entries[i].node.columns.Union(entries[j].node.columns);
+        if (options_.subsumption_pruning &&
+            minimal_unions.ContainsStrictSubsetOf(u)) {
+          ++result.stats.pairs_pruned_subsumption;
+          continue;
+        }
+        if (options_.monotonicity_pruning &&
+            failed_unions.ContainsSubsetOf(u)) {
+          ++result.stats.pairs_pruned_monotonicity;
+          continue;
+        }
+        auto key = std::make_pair(i, j);
+        auto it = eval_cache.find(key);
+        if (it == eval_cache.end()) {
+          ++result.stats.merges_evaluated;
+          PairEval eval;
+          std::vector<PlanNode> candidates =
+              SubPlanMerge(entries[i].node, entries[j].node, merge_options);
+          const double pair_cost = entries[i].cost + entries[j].cost;
+          for (PlanNode& cand : candidates) {
+            if (options_.max_intermediate_storage_bytes <
+                std::numeric_limits<double>::infinity()) {
+              // Section 4.4.2: reject candidates that cannot be executed
+              // within the storage budget.
+              PlanNode scheduled = cand;
+              const double storage = ScheduleSubPlan(&scheduled, whatif_);
+              if (storage > options_.max_intermediate_storage_bytes) continue;
+            }
+            ++result.stats.candidates_costed;
+            const double c = CostSubPlan(cand, root, model_, whatif_);
+            const double delta = c - pair_cost;
+            if (!eval.has_candidate || delta < eval.delta) {
+              eval.has_candidate = true;
+              eval.delta = delta;
+              eval.best_cost = c;
+              eval.best = std::move(cand);
+            }
+          }
+          if (options_.monotonicity_pruning &&
+              (!eval.has_candidate || eval.delta >= 0)) {
+            failed_unions.Insert(u);
+          }
+          it = eval_cache.emplace(key, std::move(eval)).first;
+        }
+        const PairEval& eval = it->second;
+        if (eval.has_candidate && eval.delta < best_delta) {
+          best_delta = eval.delta;
+          best_eval = &eval;
+          best_pair = key;
+        }
+      }
+    }
+
+    if (best_eval == nullptr) break;  // local minimum reached
+
+    // Apply the best merge: retire the pair, add the merged sub-plan.
+    SubPlanEntry merged;
+    merged.node = best_eval->best;
+    merged.cost = best_eval->best_cost;
+    current_cost += best_delta;
+    entries[best_pair.first].alive = false;
+    entries[best_pair.second].alive = false;
+    entries.push_back(std::move(merged));
+  }
+
+  for (SubPlanEntry& e : entries) {
+    if (e.alive) result.plan.subplans.push_back(std::move(e.node));
+  }
+  result.cost = current_cost;
+  SchedulePlanStorage(&result.plan, whatif_);
+
+  GBMQO_RETURN_NOT_OK(result.plan.Validate(requests));
+  result.stats.optimizer_calls = model_->optimizer_calls() - calls_before;
+  result.stats.optimization_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace gbmqo

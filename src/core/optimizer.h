@@ -1,0 +1,90 @@
+// GbMqoOptimizer: the bottom-up hill-climbing algorithm of Section 4.2
+// (Figure 5). Starts from the naive plan (every request computed directly
+// from R) and repeatedly applies the best SubPlanMerge until no merge lowers
+// the plan cost. Unlike prior work it never builds the exponential Search
+// DAG — only the sub-plans the search actually visits.
+//
+// Implements both pruning techniques of Section 4.3 (subsumption-based and
+// monotonicity-based), the binary-tree restriction of Section 4.2, the
+// intermediate-storage constraint of Section 4.4.2, and the CUBE/ROLLUP
+// alternatives of Section 7.1.
+//
+// Merges already evaluated are memoized across iterations, so the algorithm
+// performs O(n^2) SubPlanMerge evaluations total (the paper's analysis).
+#ifndef GBMQO_CORE_OPTIMIZER_H_
+#define GBMQO_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/logical_plan.h"
+#include "core/subplan_merge.h"
+#include "cost/cost_model.h"
+#include "cost/whatif.h"
+
+namespace gbmqo {
+
+/// Search-space and pruning switches (paper defaults: everything on, four
+/// merge shapes; experiments toggle these individually).
+struct OptimizerOptions {
+  /// Restrict SubPlanMerge to shape (b) — binary trees (Section 4.2 /
+  /// Experiment 6.5).
+  bool only_type_b = false;
+  /// Subsumption-based pruning (Section 4.3.1).
+  bool subsumption_pruning = true;
+  /// Monotonicity-based pruning (Section 4.3.2).
+  bool monotonicity_pruning = true;
+  /// Section 7.1 extensions.
+  bool enable_cube = false;
+  bool enable_rollup = false;
+  int max_cube_width = 6;
+  /// Section 7.2 extension: per-input aggregate copies at merged nodes.
+  bool enable_multi_copy = false;
+  /// Section 4.4.2: reject candidate sub-plans whose minimum intermediate
+  /// storage exceeds this many (estimated) bytes.
+  double max_intermediate_storage_bytes =
+      std::numeric_limits<double>::infinity();
+};
+
+/// Search instrumentation reported alongside the plan.
+struct OptimizerStats {
+  uint64_t iterations = 0;
+  uint64_t merges_evaluated = 0;       ///< SubPlanMerge invocations
+  uint64_t candidates_costed = 0;      ///< candidate sub-plans priced
+  uint64_t pairs_pruned_subsumption = 0;
+  uint64_t pairs_pruned_monotonicity = 0;
+  uint64_t optimizer_calls = 0;        ///< distinct cost-model requests
+  double optimization_seconds = 0;
+};
+
+struct OptimizerResult {
+  LogicalPlan plan;
+  double cost = 0;        ///< Cost(plan) under the configured model
+  double naive_cost = 0;  ///< Cost of the naive plan (baseline)
+  OptimizerStats stats;
+};
+
+class GbMqoOptimizer {
+ public:
+  GbMqoOptimizer(PlanCostModel* model, WhatIfProvider* whatif,
+                 OptimizerOptions options = {})
+      : model_(model), whatif_(whatif), options_(options) {}
+
+  /// Runs the Figure 5 loop over `requests`. The returned plan is validated
+  /// and storage-scheduled (BF/DF marks set).
+  Result<OptimizerResult> Optimize(const std::vector<GroupByRequest>& requests);
+
+ private:
+  PlanCostModel* model_;
+  WhatIfProvider* whatif_;
+  OptimizerOptions options_;
+};
+
+/// The naive plan: every request computed directly from R (the starting
+/// point of the search, and the baseline of Tables 2/3).
+LogicalPlan NaivePlan(const std::vector<GroupByRequest>& requests);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_CORE_OPTIMIZER_H_

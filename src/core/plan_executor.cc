@@ -1,0 +1,371 @@
+#include "core/plan_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+
+namespace gbmqo {
+
+namespace {
+
+/// Per-execution state: the base schema (for name mapping), the executor,
+/// and accumulated results.
+class Runner {
+ public:
+  Runner(Catalog* catalog, TablePtr base, ExecContext* ctx, ScanMode scan_mode)
+      : catalog_(catalog),
+        base_(std::move(base)),
+        exec_(ctx, scan_mode),
+        base_schema_(base_->schema()) {}
+
+  Status Run(const LogicalPlan& plan) {
+    for (const PlanNode& sub : plan.subplans) {
+      GBMQO_RETURN_NOT_OK(RunSubPlan(sub, base_));
+    }
+    return Status::OK();
+  }
+
+  /// Entry point for one sub-plan (parallel mode runs one Runner per
+  /// worker; sub-plans share only the immutable base relation).
+  Status RunOne(const PlanNode& sub) { return RunSubPlan(sub, base_); }
+
+  std::map<ColumnSet, TablePtr>& results() { return results_; }
+
+ private:
+  // ---- name mapping -------------------------------------------------------
+
+  /// Resolves base-relation grouping columns to ordinals of `input` (temp
+  /// tables keep R's column names).
+  Result<ColumnSet> ResolveGrouping(const Table& input, ColumnSet base_cols) {
+    ColumnSet out;
+    for (int c : base_cols.ToVector()) {
+      const int ord = input.schema().FindColumn(base_schema_.column(c).name);
+      if (ord < 0) {
+        return Status::Internal("column '" + base_schema_.column(c).name +
+                                "' missing from " + input.name());
+      }
+      out = out.With(ord);
+    }
+    return out;
+  }
+
+  /// Translates an AggRequest into an executor AggregateSpec against
+  /// `input`. From the base relation the aggregate applies to the raw
+  /// column; from an intermediate it re-aggregates the carried column
+  /// (COUNT(*) -> SUM(cnt), SUM -> SUM(sum_x), MIN -> MIN(min_x), ...).
+  Result<AggregateSpec> ResolveAgg(const Table& input, bool input_is_base,
+                                   const AggRequest& agg) {
+    const std::string out_name = AggOutputName(agg, base_schema_);
+    if (input_is_base) {
+      switch (agg.kind) {
+        case AggKind::kCountStar:
+          return AggregateSpec::CountStar(out_name);
+        case AggKind::kSum:
+          return AggregateSpec::Sum(agg.column, out_name);
+        case AggKind::kMin:
+          return AggregateSpec::Min(agg.column, out_name);
+        case AggKind::kMax:
+          return AggregateSpec::Max(agg.column, out_name);
+      }
+      return Status::Internal("unknown aggregate kind");
+    }
+    const int ord = input.schema().FindColumn(out_name);
+    if (ord < 0) {
+      return Status::Internal("intermediate " + input.name() +
+                              " does not carry aggregate column '" + out_name +
+                              "'");
+    }
+    switch (agg.kind) {
+      case AggKind::kCountStar:
+      case AggKind::kSum:
+        return AggregateSpec::Sum(ord, out_name);
+      case AggKind::kMin:
+        return AggregateSpec::Min(ord, out_name);
+      case AggKind::kMax:
+        return AggregateSpec::Max(ord, out_name);
+    }
+    return Status::Internal("unknown aggregate kind");
+  }
+
+  // ---- query execution ----------------------------------------------------
+
+  std::string TempNameFor(ColumnSet base_cols) {
+    std::string name = "tmp";
+    for (int c : base_cols.ToVector()) {
+      name += "_" + base_schema_.column(c).name;
+    }
+    return catalog_->NextTempName(name);
+  }
+
+  /// Runs `SELECT cols, aggs FROM input GROUP BY cols` and returns the
+  /// result table named `output`.
+  Result<TablePtr> RunQuery(const Table& input, ColumnSet base_cols,
+                            const std::vector<AggRequest>& aggs,
+                            const std::string& output, AggStrategy strategy) {
+    const bool input_is_base = (&input == base_.get());
+    Result<ColumnSet> grouping = ResolveGrouping(input, base_cols);
+    if (!grouping.ok()) return grouping.status();
+    GroupByQuery query;
+    query.grouping = *grouping;
+    for (const AggRequest& agg : aggs) {
+      Result<AggregateSpec> spec = ResolveAgg(input, input_is_base, agg);
+      if (!spec.ok()) return spec.status();
+      query.aggregates.push_back(std::move(spec).ValueOrDie());
+    }
+    return exec_.ExecuteGroupBy(input, query, output, strategy);
+  }
+
+  /// Computes one plan node from its parent table: registers it as a temp
+  /// table if it is materialized, and records it as a result if required.
+  Result<TablePtr> Materialize(const PlanNode& node, const Table& parent) {
+    if (node.kind != NodeKind::kGroupBy || !node.agg_copies.empty()) {
+      return Status::Internal(
+          "Materialize called on CUBE/ROLLUP/multi-copy node");
+    }
+    const std::string name = node.materialized()
+                                 ? TempNameFor(node.columns)
+                                 : "result" + node.columns.ToString();
+    Result<TablePtr> table =
+        RunQuery(parent, node.columns, node.aggs, name, node.strategy_hint);
+    if (!table.ok()) return table.status();
+    if (node.materialized()) {
+      GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*table));
+    }
+    if (node.required) results_[node.columns] = *table;
+    return table;
+  }
+
+  Status DropIfTemp(const PlanNode& node, const TablePtr& table) {
+    if (node.materialized()) return catalog_->Drop(table->name());
+    return Status::OK();
+  }
+
+  Status RunSubPlan(const PlanNode& node, const TablePtr& parent) {
+    if (node.kind == NodeKind::kCube) return RunCube(node, parent);
+    if (node.kind == NodeKind::kRollup) return RunRollup(node, parent);
+    if (!node.agg_copies.empty()) return RunMultiCopy(node, parent);
+    Result<TablePtr> table = Materialize(node, *parent);
+    if (!table.ok()) return table.status();
+    return Descend(node, *table);
+  }
+
+  /// Section 7.2: materializes one temp table per aggregate copy, serves
+  /// each child from the copy that carries its aggregates, then drops all
+  /// copies.
+  Status RunMultiCopy(const PlanNode& node, const TablePtr& parent) {
+    std::vector<TablePtr> copies;
+    for (const auto& copy_aggs : node.agg_copies) {
+      Result<TablePtr> t = RunQuery(*parent, node.columns, copy_aggs,
+                                    TempNameFor(node.columns),
+                                    node.strategy_hint);
+      if (!t.ok()) return t.status();
+      GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*t));
+      copies.push_back(*t);
+    }
+    for (const PlanNode& child : node.children) {
+      const int copy = node.CopyFor(child.aggs);
+      if (copy < 0) {
+        return Status::Internal("no copy serves child " +
+                                child.columns.ToString());
+      }
+      GBMQO_RETURN_NOT_OK(
+          RunSubPlan(child, copies[static_cast<size_t>(copy)]));
+    }
+    for (const TablePtr& t : copies) {
+      GBMQO_RETURN_NOT_OK(catalog_->Drop(t->name()));
+    }
+    return Status::OK();
+  }
+
+  /// Processes `node`'s children per its BF/DF mark, then drops `node`'s
+  /// temp table (Section 4.4.1 sequencing).
+  Status Descend(const PlanNode& node, const TablePtr& table) {
+    if (node.children.empty()) return Status::OK();
+    if (node.mark == TraversalMark::kDepthFirst) {
+      for (const PlanNode& child : node.children) {
+        GBMQO_RETURN_NOT_OK(RunSubPlan(child, table));
+      }
+      return DropIfTemp(node, table);
+    }
+    // Breadth-first: compute every child, drop this node, then descend.
+    std::vector<TablePtr> child_tables;
+    for (const PlanNode& child : node.children) {
+      if (child.kind != NodeKind::kGroupBy || !child.agg_copies.empty()) {
+        // Mixed BF over CUBE/ROLLUP/multi-copy children degenerates to DF
+        // for that child (it manages its own materializations).
+        child_tables.push_back(nullptr);
+        continue;
+      }
+      Result<TablePtr> t = Materialize(child, *table);
+      if (!t.ok()) return t.status();
+      child_tables.push_back(*t);
+    }
+    GBMQO_RETURN_NOT_OK(DropIfTemp(node, table));
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const PlanNode& child = node.children[i];
+      if (child_tables[i] == nullptr) {
+        GBMQO_RETURN_NOT_OK(RunSubPlan(child, table));
+      } else {
+        GBMQO_RETURN_NOT_OK(Descend(child, child_tables[i]));
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- CUBE / ROLLUP expansion (Section 7.1) ------------------------------
+
+  Status RunCube(const PlanNode& node, const TablePtr& parent) {
+    // Bottom-up over the lattice: subsets in decreasing size; each proper
+    // subset computed from (subset + lowest missing column), which was
+    // produced earlier. Matches CostCube's spanning tree exactly.
+    const uint64_t full = node.columns.mask();
+    std::vector<uint64_t> subsets;
+    uint64_t sub = full;
+    while (true) {
+      subsets.push_back(sub);
+      if (sub == 0) break;
+      sub = (sub - 1) & full;
+    }
+    std::sort(subsets.begin(), subsets.end(), [](uint64_t a, uint64_t b) {
+      const int pa = std::popcount(a), pb = std::popcount(b);
+      if (pa != pb) return pa > pb;
+      return a < b;
+    });
+
+    std::map<uint64_t, TablePtr> produced;
+    for (uint64_t mask : subsets) {
+      const ColumnSet s(mask);
+      TablePtr source;
+      if (mask == full) {
+        source = parent;
+      } else {
+        ColumnSet sp = s.With(node.columns.Minus(s).ToVector().front());
+        source = produced.at(sp.mask());
+      }
+      Result<TablePtr> t = RunQuery(*source, s, node.aggs, TempNameFor(s),
+                                    AggStrategy::kAuto);
+      if (!t.ok()) return t.status();
+      GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*t));
+      produced[mask] = *t;
+    }
+    for (const PlanNode& child : node.children) {
+      if (child.required) results_[child.columns] = produced.at(child.columns.mask());
+    }
+    if (node.required) results_[node.columns] = produced.at(full);
+    for (auto& [mask, table] : produced) {
+      GBMQO_RETURN_NOT_OK(catalog_->Drop(table->name()));
+    }
+    return Status::OK();
+  }
+
+  Status RunRollup(const PlanNode& node, const TablePtr& parent) {
+    // Prefix chain: full set from the parent, then each level from the
+    // previous one.
+    std::map<uint64_t, TablePtr> produced;
+    ColumnSet level = node.columns;
+    Result<TablePtr> top = RunQuery(*parent, level, node.aggs,
+                                    TempNameFor(level), AggStrategy::kSort);
+    if (!top.ok()) return top.status();
+    GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*top));
+    produced[level.mask()] = *top;
+    TablePtr prev = *top;
+    for (int i = static_cast<int>(node.rollup_order.size()) - 1; i >= 0; --i) {
+      level = level.Without(node.rollup_order[static_cast<size_t>(i)]);
+      Result<TablePtr> t = RunQuery(*prev, level, node.aggs, TempNameFor(level),
+                                    AggStrategy::kAuto);
+      if (!t.ok()) return t.status();
+      GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*t));
+      produced[level.mask()] = *t;
+      prev = *t;
+    }
+    if (node.required) results_[node.columns] = produced.at(node.columns.mask());
+    for (const PlanNode& child : node.children) {
+      auto it = produced.find(child.columns.mask());
+      if (it == produced.end()) {
+        return Status::Internal("rollup did not produce required prefix " +
+                                child.columns.ToString());
+      }
+      if (child.required) results_[child.columns] = it->second;
+    }
+    for (auto& [mask, table] : produced) {
+      GBMQO_RETURN_NOT_OK(catalog_->Drop(table->name()));
+    }
+    return Status::OK();
+  }
+
+  Catalog* catalog_;
+  TablePtr base_;
+  QueryExecutor exec_;
+  Schema base_schema_;
+  std::map<ColumnSet, TablePtr> results_;
+};
+
+}  // namespace
+
+Result<ExecutionResult> PlanExecutor::Execute(
+    const LogicalPlan& plan, const std::vector<GroupByRequest>& requests) {
+  Result<TablePtr> base = catalog_->Get(base_table_);
+  if (!base.ok()) return base.status();
+  GBMQO_RETURN_NOT_OK(ValidateRequests(requests, (*base)->schema()));
+  GBMQO_RETURN_NOT_OK(plan.Validate(requests));
+
+  catalog_->ResetPeakTempBytes();
+  WallTimer timer;
+
+  ExecutionResult out;
+  if (parallelism_ <= 1 || plan.subplans.size() <= 1) {
+    ExecContext ctx;
+    Runner runner(catalog_, *base, &ctx, scan_mode_);
+    GBMQO_RETURN_NOT_OK(runner.Run(plan));
+    out.results = std::move(runner.results());
+    out.counters = ctx.counters();
+  } else {
+    // One worker per thread pulls sub-plans off a shared index. Each worker
+    // has its own Runner/ExecContext; the catalog serializes registration.
+    const size_t n = plan.subplans.size();
+    const int workers =
+        static_cast<int>(std::min<size_t>(static_cast<size_t>(parallelism_), n));
+    std::atomic<size_t> next{0};
+    std::vector<ExecContext> contexts(static_cast<size_t>(workers));
+    std::vector<std::unique_ptr<Runner>> runners;
+    std::vector<Status> statuses(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      runners.push_back(std::make_unique<Runner>(
+          catalog_, *base, &contexts[static_cast<size_t>(w)], scan_mode_));
+    }
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w]() {
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= n) break;
+          Status s = runners[static_cast<size_t>(w)]->RunOne(plan.subplans[i]);
+          if (!s.ok()) {
+            statuses[static_cast<size_t>(w)] = std::move(s);
+            break;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const Status& s : statuses) {
+      GBMQO_RETURN_NOT_OK(s);
+    }
+    for (int w = 0; w < workers; ++w) {
+      for (auto& [cols, table] : runners[static_cast<size_t>(w)]->results()) {
+        out.results.emplace(cols, std::move(table));
+      }
+      out.counters += contexts[static_cast<size_t>(w)].counters();
+    }
+  }
+  out.wall_seconds = timer.ElapsedSeconds();
+  out.peak_temp_bytes = catalog_->peak_temp_bytes();
+  return out;
+}
+
+}  // namespace gbmqo

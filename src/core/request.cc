@@ -1,0 +1,81 @@
+#include "core/request.h"
+
+#include <set>
+
+namespace gbmqo {
+
+std::vector<GroupByRequest> SingleColumnRequests(
+    const std::vector<int>& columns) {
+  std::vector<GroupByRequest> out;
+  out.reserve(columns.size());
+  for (int c : columns) out.push_back(GroupByRequest::Count(ColumnSet::Single(c)));
+  return out;
+}
+
+std::vector<GroupByRequest> TwoColumnRequests(const std::vector<int>& columns) {
+  std::vector<GroupByRequest> out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      out.push_back(
+          GroupByRequest::Count(ColumnSet{columns[i], columns[j]}));
+    }
+  }
+  return out;
+}
+
+Status ValidateRequests(const std::vector<GroupByRequest>& requests,
+                        const Schema& schema) {
+  if (requests.empty()) {
+    return Status::InvalidArgument("request set is empty");
+  }
+  std::set<ColumnSet> seen;
+  for (const GroupByRequest& req : requests) {
+    if (req.columns.empty()) {
+      return Status::InvalidArgument("request has empty grouping set");
+    }
+    for (int c : req.columns.ToVector()) {
+      if (c >= schema.num_columns()) {
+        return Status::InvalidArgument("grouping column ordinal " +
+                                       std::to_string(c) + " out of range");
+      }
+    }
+    if (!seen.insert(req.columns).second) {
+      return Status::InvalidArgument("duplicate request for column set " +
+                                     req.columns.ToString());
+    }
+    if (req.aggs.empty()) {
+      return Status::InvalidArgument("request has no aggregates");
+    }
+    for (const AggRequest& agg : req.aggs) {
+      if (agg.kind == AggKind::kCountStar) {
+        if (agg.column != -1) {
+          return Status::InvalidArgument("COUNT(*) takes no argument");
+        }
+        continue;
+      }
+      if (agg.column < 0 || agg.column >= schema.num_columns()) {
+        return Status::InvalidArgument("aggregate argument out of range");
+      }
+      if (schema.column(agg.column).type == DataType::kString) {
+        return Status::NotSupported("SUM/MIN/MAX over STRING");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string AggOutputName(const AggRequest& agg, const Schema& schema) {
+  switch (agg.kind) {
+    case AggKind::kCountStar:
+      return "cnt";
+    case AggKind::kSum:
+      return "sum_" + schema.column(agg.column).name;
+    case AggKind::kMin:
+      return "min_" + schema.column(agg.column).name;
+    case AggKind::kMax:
+      return "max_" + schema.column(agg.column).name;
+  }
+  return "agg";
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,59 @@
+// GroupByRequest: one required Group By query of the GB-MQO input set S
+// (Section 3.1). Requests reference base-relation column ordinals; the
+// default aggregate is COUNT(*), and Section 7.2's extension to SUM/MIN/MAX
+// is supported via additional AggRequests.
+#ifndef GBMQO_CORE_REQUEST_H_
+#define GBMQO_CORE_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/column_set.h"
+#include "common/status.h"
+#include "exec/aggregate_spec.h"
+#include "storage/schema.h"
+
+namespace gbmqo {
+
+/// One aggregate wanted by a request, in base-relation terms.
+struct AggRequest {
+  AggKind kind = AggKind::kCountStar;
+  int column = -1;  ///< base-relation ordinal; -1 for COUNT(*)
+
+  friend bool operator==(const AggRequest& a, const AggRequest& b) {
+    return a.kind == b.kind && a.column == b.column;
+  }
+  friend bool operator<(const AggRequest& a, const AggRequest& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.column < b.column;
+  }
+};
+
+/// One required Group By query: SELECT columns, aggs FROM R GROUP BY columns.
+struct GroupByRequest {
+  ColumnSet columns;
+  std::vector<AggRequest> aggs = {AggRequest{}};  // COUNT(*) by default
+
+  static GroupByRequest Count(ColumnSet columns) {
+    return GroupByRequest{columns, {AggRequest{}}};
+  }
+};
+
+/// Builds the single-column COUNT(*) workload ("SC" in the experiments) over
+/// the given columns.
+std::vector<GroupByRequest> SingleColumnRequests(const std::vector<int>& columns);
+
+/// Builds all-pairs COUNT(*) requests ("TC") over the given columns.
+std::vector<GroupByRequest> TwoColumnRequests(const std::vector<int>& columns);
+
+/// Validates a request set against a schema: non-empty sets, in-range
+/// ordinals, in-range aggregate arguments, no duplicate column sets.
+Status ValidateRequests(const std::vector<GroupByRequest>& requests,
+                        const Schema& schema);
+
+/// Stable output-column name for an aggregate, e.g. "cnt", "sum_l_tax".
+std::string AggOutputName(const AggRequest& agg, const Schema& schema);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_CORE_REQUEST_H_

@@ -1,0 +1,211 @@
+#include "core/sql_generator.h"
+
+#include "common/str_util.h"
+
+namespace gbmqo {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(const std::string& base_table, const Schema& schema)
+      : base_table_(base_table), schema_(schema) {}
+
+  Status Run(const LogicalPlan& plan) {
+    for (const PlanNode& sub : plan.subplans) {
+      GBMQO_RETURN_NOT_OK(EmitSubPlan(sub, base_table_, /*parent_is_base=*/true));
+    }
+    return Status::OK();
+  }
+
+  std::vector<SqlStatement>& statements() { return statements_; }
+
+ private:
+  std::string ColumnList(ColumnSet cols) const {
+    return Join(schema_.ColumnNames(cols), ", ");
+  }
+
+  std::string TempName(ColumnSet cols) const {
+    std::string name = "tmp";
+    for (const std::string& c : schema_.ColumnNames(cols)) name += "_" + c;
+    return name;
+  }
+
+  /// Aggregate select-list item, re-aggregating when reading a temp table.
+  std::string AggExpr(const AggRequest& agg, bool parent_is_base) const {
+    const std::string out = AggOutputName(agg, schema_);
+    if (parent_is_base) {
+      switch (agg.kind) {
+        case AggKind::kCountStar: return "COUNT(*) AS " + out;
+        case AggKind::kSum:
+          return "SUM(" + schema_.column(agg.column).name + ") AS " + out;
+        case AggKind::kMin:
+          return "MIN(" + schema_.column(agg.column).name + ") AS " + out;
+        case AggKind::kMax:
+          return "MAX(" + schema_.column(agg.column).name + ") AS " + out;
+      }
+    }
+    switch (agg.kind) {
+      case AggKind::kCountStar: return "SUM(cnt) AS cnt";
+      case AggKind::kSum: return "SUM(" + out + ") AS " + out;
+      case AggKind::kMin: return "MIN(" + out + ") AS " + out;
+      case AggKind::kMax: return "MAX(" + out + ") AS " + out;
+    }
+    return out;
+  }
+
+  std::string SelectList(const PlanNode& node, bool parent_is_base) const {
+    std::vector<std::string> items;
+    const std::string cols = ColumnList(node.columns);
+    if (!cols.empty()) items.push_back(cols);
+    for (const AggRequest& agg : node.aggs) {
+      items.push_back(AggExpr(agg, parent_is_base));
+    }
+    return Join(items, ", ");
+  }
+
+  void EmitQuery(const PlanNode& node, const std::string& parent,
+                 bool parent_is_base) {
+    std::string group_clause;
+    switch (node.kind) {
+      case NodeKind::kGroupBy:
+        group_clause = ColumnList(node.columns);
+        break;
+      case NodeKind::kCube:
+        group_clause = "CUBE(" + ColumnList(node.columns) + ")";
+        break;
+      case NodeKind::kRollup: {
+        std::vector<std::string> names;
+        for (int c : node.rollup_order) names.push_back(schema_.column(c).name);
+        group_clause = "ROLLUP(" + Join(names, ", ") + ")";
+        break;
+      }
+    }
+    SqlStatement stmt;
+    if (node.materialized()) {
+      stmt.kind = SqlStatement::Kind::kSelectInto;
+      stmt.text = "SELECT " + SelectList(node, parent_is_base) + " INTO " +
+                  TempName(node.columns) + " FROM " + parent + " GROUP BY " +
+                  group_clause + ";";
+    } else {
+      stmt.kind = SqlStatement::Kind::kSelect;
+      stmt.text = "SELECT " + SelectList(node, parent_is_base) + " FROM " +
+                  parent + " GROUP BY " + group_clause + ";";
+    }
+    statements_.push_back(std::move(stmt));
+  }
+
+  void EmitDrop(const PlanNode& node) {
+    if (!node.materialized()) return;
+    statements_.push_back(SqlStatement{
+        SqlStatement::Kind::kDropTable,
+        "DROP TABLE " + TempName(node.columns) + ";"});
+  }
+
+  Status EmitSubPlan(const PlanNode& node, const std::string& parent,
+                     bool parent_is_base) {
+    if (!node.agg_copies.empty()) {
+      return EmitMultiCopy(node, parent, parent_is_base);
+    }
+    EmitQuery(node, parent, parent_is_base);
+    return EmitDescend(node);
+  }
+
+  /// Section 7.2 multi-copy node: one SELECT INTO per copy (suffixed temp
+  /// names), children read their serving copy, copies dropped at the end.
+  Status EmitMultiCopy(const PlanNode& node, const std::string& parent,
+                       bool parent_is_base) {
+    std::vector<std::string> copy_names;
+    for (size_t i = 0; i < node.agg_copies.size(); ++i) {
+      PlanNode copy_view = node;
+      copy_view.aggs = node.agg_copies[i];
+      copy_view.agg_copies.clear();
+      const std::string copy_name =
+          TempName(node.columns) + "_copy" + std::to_string(i);
+      std::vector<std::string> items;
+      const std::string cols = ColumnList(node.columns);
+      if (!cols.empty()) items.push_back(cols);
+      for (const AggRequest& agg : node.agg_copies[i]) {
+        items.push_back(AggExpr(agg, parent_is_base));
+      }
+      statements_.push_back(SqlStatement{
+          SqlStatement::Kind::kSelectInto,
+          "SELECT " + Join(items, ", ") + " INTO " + copy_name + " FROM " +
+              parent + " GROUP BY " + ColumnList(node.columns) + ";"});
+      copy_names.push_back(copy_name);
+    }
+    for (const PlanNode& child : node.children) {
+      const int copy = node.CopyFor(child.aggs);
+      if (copy < 0) return Status::Internal("no copy serves child");
+      GBMQO_RETURN_NOT_OK(EmitSubPlan(
+          child, copy_names[static_cast<size_t>(copy)], /*parent_is_base=*/false));
+    }
+    for (const std::string& copy_name : copy_names) {
+      statements_.push_back(SqlStatement{SqlStatement::Kind::kDropTable,
+                                         "DROP TABLE " + copy_name + ";"});
+    }
+    return Status::OK();
+  }
+
+  Status EmitDescend(const PlanNode& node) {
+    if (node.children.empty()) {
+      // CUBE/ROLLUP results are consumed by the client directly; drop after.
+      if (node.kind != NodeKind::kGroupBy) EmitDrop(node);
+      return Status::OK();
+    }
+    const std::string self = TempName(node.columns);
+    if (node.mark == TraversalMark::kDepthFirst) {
+      for (const PlanNode& child : node.children) {
+        if (node.kind != NodeKind::kGroupBy) continue;  // served by CUBE/ROLLUP
+        GBMQO_RETURN_NOT_OK(EmitSubPlan(child, self, /*parent_is_base=*/false));
+      }
+      EmitDrop(node);
+      return Status::OK();
+    }
+    // Breadth-first: all children queried, parent dropped, then descend.
+    for (const PlanNode& child : node.children) {
+      EmitQuery(child, self, /*parent_is_base=*/false);
+    }
+    EmitDrop(node);
+    for (const PlanNode& child : node.children) {
+      GBMQO_RETURN_NOT_OK(EmitDescend(child));
+    }
+    return Status::OK();
+  }
+
+  const std::string& base_table_;
+  const Schema& schema_;
+  std::vector<SqlStatement> statements_;
+};
+
+}  // namespace
+
+Result<std::vector<SqlStatement>> SqlGenerator::Generate(
+    const LogicalPlan& plan) const {
+  for (const PlanNode& sub : plan.subplans) {
+    for (int c : sub.columns.ToVector()) {
+      if (c >= schema_.num_columns()) {
+        return Status::InvalidArgument("plan references unknown column " +
+                                       std::to_string(c));
+      }
+    }
+  }
+  Generator gen(base_table_, schema_);
+  GBMQO_RETURN_NOT_OK(gen.Run(plan));
+  return std::move(gen.statements());
+}
+
+std::string SqlGenerator::GroupingSetsSql(
+    const std::vector<GroupByRequest>& requests) const {
+  std::vector<std::string> sets;
+  ColumnSet all;
+  for (const GroupByRequest& req : requests) {
+    sets.push_back("(" + Join(schema_.ColumnNames(req.columns), ", ") + ")");
+    all = all.Union(req.columns);
+  }
+  return "SELECT " + Join(schema_.ColumnNames(all), ", ") +
+         ", COUNT(*) AS cnt FROM " + base_table_ +
+         " GROUP BY GROUPING SETS (" + Join(sets, ", ") + ");";
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,49 @@
+// SqlGenerator: renders a LogicalPlan as the sequence of SQL statements a
+// client application would submit to a real DBMS (Section 5.2):
+//
+//   SELECT v, COUNT(*) AS cnt INTO tmp_v FROM R GROUP BY v
+//   SELECT v2, SUM(cnt) AS cnt FROM tmp_v GROUP BY v2
+//   DROP TABLE tmp_v
+//
+// Statements are emitted in the same BF/DF order PlanExecutor uses, so the
+// script realizes the minimum-intermediate-storage schedule of Section 4.4.
+// CUBE/ROLLUP nodes render as native GROUP BY CUBE(...) / ROLLUP(...)
+// statements.
+#ifndef GBMQO_CORE_SQL_GENERATOR_H_
+#define GBMQO_CORE_SQL_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/logical_plan.h"
+
+namespace gbmqo {
+
+/// One emitted statement.
+struct SqlStatement {
+  enum class Kind { kSelectInto, kSelect, kDropTable };
+  Kind kind = Kind::kSelect;
+  std::string text;
+};
+
+class SqlGenerator {
+ public:
+  /// `base_table` is R's SQL name; `schema` provides column names.
+  SqlGenerator(std::string base_table, Schema schema)
+      : base_table_(std::move(base_table)), schema_(std::move(schema)) {}
+
+  /// Renders the plan. Fails if the plan references unknown ordinals.
+  Result<std::vector<SqlStatement>> Generate(const LogicalPlan& plan) const;
+
+  /// Renders a GROUPING SETS statement for the raw request set — what the
+  /// client would have sent to a DBMS with native support (for docs/demos).
+  std::string GroupingSetsSql(const std::vector<GroupByRequest>& requests) const;
+
+ private:
+  std::string base_table_;
+  Schema schema_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_CORE_SQL_GENERATOR_H_

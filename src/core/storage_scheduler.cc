@@ -1,0 +1,150 @@
+#include "core/storage_scheduler.h"
+
+#include <algorithm>
+
+namespace gbmqo {
+
+namespace {
+
+/// Bytes of the full CUBE lattice / ROLLUP chain of `node` (everything is
+/// live at once in the worst case of its bottom-up computation).
+double ExpandedBytes(const PlanNode& node, WhatIfProvider* whatif) {
+  const int num_aggs = static_cast<int>(node.aggs.size());
+  auto bytes_of = [&](ColumnSet s) {
+    const NodeDesc d = whatif->Describe(s, num_aggs);
+    return d.rows * d.row_width;
+  };
+  if (node.kind == NodeKind::kCube) {
+    double total = 0;
+    const uint64_t full = node.columns.mask();
+    uint64_t sub = full;
+    while (true) {
+      total += bytes_of(ColumnSet(sub));
+      if (sub == 0) break;
+      sub = (sub - 1) & full;
+    }
+    return total;
+  }
+  // Rollup: consecutive levels; at most two levels live at once (each level
+  // computed from the previous, previous dropped after).
+  double peak = 0;
+  ColumnSet level = node.columns;
+  double prev = bytes_of(level);
+  peak = prev;
+  for (int i = static_cast<int>(node.rollup_order.size()) - 1; i >= 0; --i) {
+    level = level.Without(node.rollup_order[static_cast<size_t>(i)]);
+    const double cur = bytes_of(level);
+    peak = std::max(peak, prev + cur);
+    prev = cur;
+  }
+  return peak;
+}
+
+}  // namespace
+
+double EstimateNodeBytes(const PlanNode& node, WhatIfProvider* whatif) {
+  if (!node.materialized()) return 0.0;
+  if (node.kind != NodeKind::kGroupBy) return ExpandedBytes(node, whatif);
+  if (!node.agg_copies.empty()) {
+    // Section 7.2: all copies are live while the children execute.
+    double total = 0;
+    for (const auto& copy : node.agg_copies) {
+      const NodeDesc d =
+          whatif->Describe(node.columns, static_cast<int>(copy.size()));
+      total += d.rows * d.row_width;
+    }
+    return total;
+  }
+  const NodeDesc d = DescribeNode(node, whatif);
+  return d.rows * d.row_width;
+}
+
+double ScheduleSubPlan(PlanNode* node, WhatIfProvider* whatif) {
+  const double d_u = EstimateNodeBytes(*node, whatif);
+  if (node->children.empty()) {
+    node->mark = TraversalMark::kDepthFirst;
+    return d_u;
+  }
+  double sum_children = 0;
+  double max_child_storage = 0;
+  for (PlanNode& child : node->children) {
+    sum_children += EstimateNodeBytes(child, whatif);
+    max_child_storage =
+        std::max(max_child_storage, ScheduleSubPlan(&child, whatif));
+  }
+  const double bf = d_u + sum_children;
+  const double df = d_u + max_child_storage;
+  if (bf < df) {
+    node->mark = TraversalMark::kBreadthFirst;
+    return bf;
+  }
+  node->mark = TraversalMark::kDepthFirst;
+  return df;
+}
+
+double SchedulePlanStorage(LogicalPlan* plan, WhatIfProvider* whatif) {
+  double peak = 0;
+  for (PlanNode& sub : plan->subplans) {
+    peak = std::max(peak, ScheduleSubPlan(&sub, whatif));
+  }
+  return peak;
+}
+
+namespace {
+
+/// Simulation state: current live bytes and the observed peak.
+struct Sim {
+  double live = 0;
+  double peak = 0;
+  void Add(double bytes) {
+    live += bytes;
+    peak = std::max(peak, live);
+  }
+  void Remove(double bytes) { live -= bytes; }
+};
+
+// Mirrors PlanExecutor's traversal: Materialize(node) allocates, Descend
+// processes children per the node's mark and frees the node afterwards.
+void SimDescend(const PlanNode& node, double node_bytes, Sim* sim,
+                WhatIfProvider* whatif);
+
+double SimMaterialize(const PlanNode& node, Sim* sim, WhatIfProvider* whatif) {
+  const double bytes = EstimateNodeBytes(node, whatif);
+  sim->Add(bytes);
+  return bytes;
+}
+
+void SimDescend(const PlanNode& node, double node_bytes, Sim* sim,
+                WhatIfProvider* whatif) {
+  if (node.children.empty()) {
+    sim->Remove(node_bytes);
+    return;
+  }
+  if (node.mark == TraversalMark::kDepthFirst) {
+    for (const PlanNode& child : node.children) {
+      const double cb = SimMaterialize(child, sim, whatif);
+      SimDescend(child, cb, sim, whatif);
+    }
+    sim->Remove(node_bytes);
+  } else {
+    std::vector<double> child_bytes;
+    for (const PlanNode& child : node.children) {
+      child_bytes.push_back(SimMaterialize(child, sim, whatif));
+    }
+    sim->Remove(node_bytes);
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      SimDescend(node.children[i], child_bytes[i], sim, whatif);
+    }
+  }
+}
+
+}  // namespace
+
+double SimulatePeakStorage(const PlanNode& node, WhatIfProvider* whatif) {
+  Sim sim;
+  const double b = SimMaterialize(node, &sim, whatif);
+  SimDescend(node, b, &sim, whatif);
+  return sim.peak;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,43 @@
+// StorageScheduler: intermediate-storage sequencing (Section 4.4).
+//
+// Executing a logical plan materializes temp tables; the order in which the
+// tree is traversed changes the peak storage held at once. The paper's
+// recurrence
+//
+//   Storage(u) = min( d(u) + sum_i d(v_i),            // breadth-first at u
+//                     d(u) + max_i Storage(v_i) )     // depth-first at u
+//
+// picks, per node, whether to compute all children before descending (BF)
+// or to finish one child subtree at a time (DF). This module computes
+// Storage(u), marks every node BF/DF, and estimates d(u) from what-if
+// statistics (bytes = estimated rows × row width).
+#ifndef GBMQO_CORE_STORAGE_SCHEDULER_H_
+#define GBMQO_CORE_STORAGE_SCHEDULER_H_
+
+#include "core/logical_plan.h"
+#include "cost/whatif.h"
+
+namespace gbmqo {
+
+/// Estimated materialized size in bytes of one plan node (0 for leaves,
+/// which stream to the client and are never spooled).
+double EstimateNodeBytes(const PlanNode& node, WhatIfProvider* whatif);
+
+/// Computes the Section 4.4.1 recurrence over the sub-plan rooted at `node`,
+/// setting `node->mark` (and descendants') to the argmin traversal. Returns
+/// Storage(node) in estimated bytes. CUBE/ROLLUP nodes are treated as a
+/// single materialization of their whole lattice/chain.
+double ScheduleSubPlan(PlanNode* node, WhatIfProvider* whatif);
+
+/// Schedules every sub-plan of `plan` and returns the plan's peak estimate —
+/// the max over sub-plans, since sub-plans execute one after another.
+double SchedulePlanStorage(LogicalPlan* plan, WhatIfProvider* whatif);
+
+/// Simulates executing the (already scheduled) sub-plan and returns the peak
+/// bytes of live temp tables under the same estimates — used by tests to
+/// check that the emitted order realizes the recurrence's accounting.
+double SimulatePeakStorage(const PlanNode& node, WhatIfProvider* whatif);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_CORE_STORAGE_SCHEDULER_H_

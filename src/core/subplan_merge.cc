@@ -1,0 +1,164 @@
+#include "core/subplan_merge.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gbmqo {
+
+std::vector<AggRequest> UnionAggs(const std::vector<AggRequest>& a,
+                                  const std::vector<AggRequest>& b) {
+  std::set<AggRequest> u(a.begin(), a.end());
+  u.insert(b.begin(), b.end());
+  // Intermediates always carry COUNT(*) so descendants can re-aggregate
+  // counts and the executor can SUM(cnt).
+  u.insert(AggRequest{});
+  return std::vector<AggRequest>(u.begin(), u.end());
+}
+
+namespace {
+
+/// Appends copies of `src`'s children to `dst.children`.
+void AdoptChildren(const PlanNode& src, PlanNode* dst) {
+  for (const PlanNode& child : src.children) dst->children.push_back(child);
+}
+
+/// Merge candidates when sub == sup (equal root sets): unify the two roots.
+PlanNode MergeEqualRoots(const PlanNode& a, const PlanNode& b) {
+  PlanNode out = a;
+  AdoptChildren(b, &out);
+  out.required = a.required || b.required;
+  out.aggs = UnionAggs(a.aggs, b.aggs);
+  return out;
+}
+
+/// ROLLUP order covering `inner` as a prefix of `outer`: inner's columns
+/// (ascending) then the rest of outer (ascending).
+std::vector<int> RollupOrderFor(ColumnSet outer, ColumnSet inner) {
+  std::vector<int> order = inner.ToVector();
+  for (int c : outer.Minus(inner).ToVector()) order.push_back(c);
+  return order;
+}
+
+}  // namespace
+
+std::vector<PlanNode> SubPlanMerge(const PlanNode& p1, const PlanNode& p2,
+                                   const MergeOptions& options) {
+  std::vector<PlanNode> out;
+  const ColumnSet m = p1.columns.Union(p2.columns);
+  const std::vector<AggRequest> maggs = UnionAggs(p1.aggs, p2.aggs);
+
+  if (p1.columns == p2.columns) {
+    out.push_back(MergeEqualRoots(p1, p2));
+    return out;
+  }
+
+  // Subsumption: one root contains the other (common in practice; shapes
+  // (b)-(d) degenerate, Section 4.1).
+  if (m == p1.columns || m == p2.columns) {
+    const PlanNode& sup = (m == p1.columns) ? p1 : p2;
+    const PlanNode& sub = (m == p1.columns) ? p2 : p1;
+    {
+      // Attach the contained sub-plan whole under the container's root.
+      PlanNode root = sup;
+      root.aggs = maggs;
+      root.children.push_back(sub);
+      out.push_back(std::move(root));
+    }
+    if (!options.only_type_b && !sub.required && !sub.children.empty()) {
+      // Elide the contained root; its children compute from sup directly
+      // (the degenerate analogue of shape (a)).
+      PlanNode root = sup;
+      root.aggs = maggs;
+      AdoptChildren(sub, &root);
+      out.push_back(std::move(root));
+    }
+    if (options.enable_rollup && sup.is_leaf() && sub.is_leaf() &&
+        sup.kind == NodeKind::kGroupBy && sub.kind == NodeKind::kGroupBy) {
+      // ROLLUP over sup's columns ordered so sub's set is a prefix: one
+      // chain query produces both (Section 7.1).
+      PlanNode root;
+      root.columns = sup.columns;
+      root.kind = NodeKind::kRollup;
+      root.rollup_order = RollupOrderFor(sup.columns, sub.columns);
+      root.aggs = maggs;
+      if (sup.required) {
+        PlanNode leaf = sup;
+        root.children.push_back(std::move(leaf));
+      }
+      if (sub.required) {
+        PlanNode leaf = sub;
+        root.children.push_back(std::move(leaf));
+      }
+      out.push_back(std::move(root));
+    }
+    return out;
+  }
+
+  // General case: new root m = v1 ∪ v2.
+  auto make_root = [&]() {
+    PlanNode root;
+    root.columns = m;
+    root.kind = NodeKind::kGroupBy;
+    root.required = false;
+    root.aggs = maggs;
+    return root;
+  };
+
+  {
+    // Shape (b): keep both sub-plans whole.
+    PlanNode b = make_root();
+    b.children.push_back(p1);
+    b.children.push_back(p2);
+    out.push_back(std::move(b));
+  }
+  if (options.enable_multi_copy &&
+      std::set<AggRequest>(p1.aggs.begin(), p1.aggs.end()) !=
+          std::set<AggRequest>(p2.aggs.begin(), p2.aggs.end())) {
+    // Section 7.2: shape (b) with one narrow copy per input instead of a
+    // single union-of-aggregates table. Each copy always carries COUNT(*)
+    // so counts can re-aggregate.
+    PlanNode mc = make_root();
+    mc.agg_copies = {UnionAggs(p1.aggs, {}), UnionAggs(p2.aggs, {})};
+    mc.aggs = UnionAggs(mc.agg_copies[0], mc.agg_copies[1]);
+    mc.children.push_back(p1);
+    mc.children.push_back(p2);
+    out.push_back(std::move(mc));
+  }
+  if (!options.only_type_b) {
+    if (!p1.required && !p2.required &&
+        (!p1.children.empty() || !p2.children.empty())) {
+      // Shape (a): both roots vanish.
+      PlanNode a = make_root();
+      AdoptChildren(p1, &a);
+      AdoptChildren(p2, &a);
+      out.push_back(std::move(a));
+    }
+    if (!p1.required && !p1.children.empty()) {
+      // Shape (c): v1 vanishes, P2 kept whole.
+      PlanNode c = make_root();
+      AdoptChildren(p1, &c);
+      c.children.push_back(p2);
+      out.push_back(std::move(c));
+    }
+    if (!p2.required && !p2.children.empty()) {
+      // Shape (d): v2 vanishes, P1 kept whole.
+      PlanNode d = make_root();
+      d.children.push_back(p1);
+      AdoptChildren(p2, &d);
+      out.push_back(std::move(d));
+    }
+  }
+  if (options.enable_cube && p1.is_leaf() && p2.is_leaf() &&
+      p1.kind == NodeKind::kGroupBy && p2.kind == NodeKind::kGroupBy &&
+      m.size() <= options.max_cube_width) {
+    // CUBE(m) serves both leaves from its lattice (Section 7.1).
+    PlanNode cube = make_root();
+    cube.kind = NodeKind::kCube;
+    if (p1.required) cube.children.push_back(p1);
+    if (p2.required) cube.children.push_back(p2);
+    out.push_back(std::move(cube));
+  }
+  return out;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,55 @@
+// SubPlanMerge: the basic search operator of Section 4.1. Merging two
+// sub-plans P1 (rooted at v1) and P2 (rooted at v2) introduces the node
+// m = v1 ∪ v2 — the minimal-cardinality relation from which both can be
+// computed — and yields up to four shapes (Figure 4):
+//
+//   (a) m adopts both sub-plans' children; v1, v2 vanish   [neither required]
+//   (b) m adopts P1 and P2 whole (both stay materialized)  [always]
+//   (c) m adopts P1's children and P2 whole; v1 vanishes   [v1 not required]
+//   (d) m adopts P1 whole and P2's children; v2 vanishes   [v2 not required]
+//
+// When v2 ⊆ v1 the shapes degenerate (Section 4.1 end): P2 is attached
+// under P1's root, or — if v2 is not required — v2 is elided and its
+// children attach directly.
+//
+// With the Section 7.1 extension enabled, CUBE(m) and ROLLUP(m) roots are
+// offered as additional alternatives when both inputs are leaf sub-plans.
+#ifndef GBMQO_CORE_SUBPLAN_MERGE_H_
+#define GBMQO_CORE_SUBPLAN_MERGE_H_
+
+#include <vector>
+
+#include "core/logical_plan.h"
+
+namespace gbmqo {
+
+/// Candidate-generation options.
+struct MergeOptions {
+  /// Restrict to shape (b) only — the binary-tree search-space restriction
+  /// of Section 4.2 (evaluated in Experiment 6.5).
+  bool only_type_b = false;
+  /// Offer CUBE(m) roots (Section 7.1). Only generated when both inputs are
+  /// leaves and |m| <= max_cube_width.
+  bool enable_cube = false;
+  /// Offer ROLLUP roots when one input's set contains the other's.
+  bool enable_rollup = false;
+  int max_cube_width = 6;
+  /// Section 7.2: when the two inputs need different aggregate sets, also
+  /// offer a shape-(b) variant whose root materializes one narrow copy per
+  /// input instead of a single wide union-of-aggregates table.
+  bool enable_multi_copy = false;
+};
+
+/// Returns the candidate sub-plans from merging `p1` and `p2`. Candidates
+/// are self-contained trees to be computed directly from R. Never empty:
+/// shape (b) (or its subsumption degeneration) is always present.
+std::vector<PlanNode> SubPlanMerge(const PlanNode& p1, const PlanNode& p2,
+                                   const MergeOptions& options = {});
+
+/// Set-union of aggregate lists, preserving determinism (sorted).
+std::vector<AggRequest> UnionAggs(const std::vector<AggRequest>& a,
+                                  const std::vector<AggRequest>& b);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_CORE_SUBPLAN_MERGE_H_

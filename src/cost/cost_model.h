@@ -1,0 +1,68 @@
+// Cost-model interface (Section 3.2). A logical plan's cost is the sum over
+// its edges u -> v of QueryCost(u, v), plus MaterializeCost(v) for every
+// node v that must be spooled into a temp table (i.e. every non-root node
+// with children).
+//
+// Node descriptors are *hypothetical*: they carry estimated cardinality and
+// row width so the optimizer can price queries over tables that do not exist
+// yet — the what-if contract of Section 3.2.2.
+#ifndef GBMQO_COST_COST_MODEL_H_
+#define GBMQO_COST_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/column_set.h"
+#include "exec/aggregate_spec.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// Describes a (possibly hypothetical) node of a logical plan.
+struct NodeDesc {
+  ColumnSet columns;        ///< grouping columns (base-relation ordinals)
+  double rows = 0;          ///< (estimated) cardinality
+  double row_width = 0;     ///< (estimated) bytes per row incl. aggregates
+  bool is_root = false;     ///< true iff this node is the base relation R
+};
+
+/// Prices group-by edges and materializations. Implementations must be
+/// deterministic; both paper cost models are provided.
+class PlanCostModel {
+ public:
+  virtual ~PlanCostModel() = default;
+
+  /// Cost of executing `SELECT v.columns, aggs FROM u GROUP BY v.columns`.
+  virtual double QueryCost(const NodeDesc& u, const NodeDesc& v) const = 0;
+
+  /// Additional cost of spooling v's result into a temporary table
+  /// (SELECT ... INTO), beyond QueryCost.
+  virtual double MaterializeCost(const NodeDesc& v) const = 0;
+
+  /// Number of distinct costing requests answered so far — the paper's
+  /// "number of calls to the query optimizer" metric (Figures 10 and 11).
+  virtual uint64_t optimizer_calls() const = 0;
+};
+
+/// The Cardinality cost model (Section 3.2.1): the cost of an edge u -> v is
+/// |u|, the row count of the parent; materialization is free. This is the
+/// model under which the pruning soundness claims (Section 4.3) are proved.
+class CardinalityCostModel : public PlanCostModel {
+ public:
+  double QueryCost(const NodeDesc& u, const NodeDesc& v) const override {
+    (void)v;
+    ++calls_;
+    return u.rows;
+  }
+  double MaterializeCost(const NodeDesc& v) const override {
+    (void)v;
+    return 0.0;
+  }
+  uint64_t optimizer_calls() const override { return calls_; }
+
+ private:
+  mutable uint64_t calls_ = 0;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_COST_COST_MODEL_H_

@@ -1,0 +1,44 @@
+#include "cost/optimizer_cost_model.h"
+
+#include "exec/exec_context.h"
+
+namespace gbmqo {
+
+OptimizerCostModel::OptimizerCostModel(const Table& base, CostParams params)
+    : base_(base), params_(params) {}
+
+double OptimizerCostModel::QueryCost(const NodeDesc& u,
+                                     const NodeDesc& v) const {
+  const Key key{u.columns.mask(), v.columns.mask(), u.is_root};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  ++calls_;
+
+  double cost = 0;
+  // Access path: a covering index is only available on the base relation —
+  // temp tables are heaps (the client-side implementation of Section 5.2
+  // creates plain SELECT INTO tables).
+  const Index* index =
+      u.is_root ? base_.FindCoveringIndex(v.columns) : nullptr;
+  if (index != nullptr) {
+    // Index stream: read only the key columns' bytes, no hash table.
+    const double key_width = base_.AvgRowWidth(v.columns);
+    cost += u.rows * key_width * params_.index_byte;
+    cost += u.rows * params_.stream_cpu;
+  } else {
+    cost += u.rows * u.row_width * params_.scan_byte;
+    // Cardinality-aware hash-aggregation CPU: high-cardinality outputs pay
+    // cache misses on most probes. Mirrors the engine's work accounting
+    // (HashAggCpuPerRow in exec/exec_context.h).
+    cost += u.rows * HashAggCpuPerRow(v.rows);
+    cost += v.rows * params_.group_build;
+  }
+  cache_.emplace(key, cost);
+  return cost;
+}
+
+double OptimizerCostModel::MaterializeCost(const NodeDesc& v) const {
+  return v.rows * v.row_width * params_.materialize_byte;
+}
+
+}  // namespace gbmqo

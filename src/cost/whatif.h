@@ -1,0 +1,52 @@
+// WhatIfProvider: builds hypothetical NodeDescs from base-relation
+// statistics — the analogue of the commercial what-if APIs the paper uses
+// to let the optimizer pretend a table exists with a given cardinality and
+// statistics (Section 3.2.2).
+#ifndef GBMQO_COST_WHATIF_H_
+#define GBMQO_COST_WHATIF_H_
+
+#include "cost/cost_model.h"
+#include "stats/statistics_manager.h"
+
+namespace gbmqo {
+
+/// Derives NodeDescs for plan nodes. Statistics are created lazily by the
+/// underlying StatisticsManager (whose creation time is metered). Virtual so
+/// tests and simulations can inject synthetic cardinalities.
+class WhatIfProvider {
+ public:
+  explicit WhatIfProvider(StatisticsManager* stats) : stats_(stats) {}
+  virtual ~WhatIfProvider() = default;
+
+  /// Descriptor of the base relation R.
+  virtual NodeDesc Root() const {
+    NodeDesc d;
+    d.columns = ColumnSet::FirstN(stats_->table().schema().num_columns());
+    d.rows = static_cast<double>(stats_->table().num_rows());
+    d.row_width = stats_->table().AvgRowWidth({});
+    d.is_root = true;
+    return d;
+  }
+
+  /// Descriptor of the hypothetical materialized result of
+  /// `SELECT columns, <num_agg_columns aggregates> FROM R GROUP BY columns`.
+  /// Every aggregate output column is 8 bytes (INT64/DOUBLE).
+  virtual NodeDesc Describe(ColumnSet columns, int num_agg_columns = 1) {
+    const ColumnSetStats& s = stats_->Get(columns);
+    NodeDesc d;
+    d.columns = columns;
+    d.rows = s.distinct_count;
+    d.row_width = s.row_width + 8.0 * num_agg_columns;
+    d.is_root = false;
+    return d;
+  }
+
+  StatisticsManager* stats() { return stats_; }
+
+ private:
+  StatisticsManager* stats_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_COST_WHATIF_H_

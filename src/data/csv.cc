@@ -1,0 +1,226 @@
+#include "data/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace gbmqo {
+
+namespace {
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  try {
+    size_t consumed = 0;
+    *out = std::stod(text, &consumed);
+    return consumed == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Infers the narrowest type that fits every non-empty cell of a column.
+DataType InferType(const std::vector<std::vector<std::string>>& rows,
+                   size_t column) {
+  bool all_int = true, all_double = true, any_value = false;
+  for (const auto& row : rows) {
+    const std::string& cell = row[column];
+    if (cell.empty()) continue;
+    any_value = true;
+    int64_t i;
+    double d;
+    if (!ParseInt(cell, &i)) all_int = false;
+    if (!ParseDouble(cell, &d)) all_double = false;
+    if (!all_double) break;  // already forced to STRING
+  }
+  if (!any_value) return DataType::kString;
+  if (all_int) return DataType::kInt64;
+  if (all_double) return DataType::kDouble;
+  return DataType::kString;
+}
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<TablePtr> ReadCsv(std::istream& in, const std::string& name,
+                         const CsvReadOptions& options) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input (no header)");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (header.empty() || (header.size() == 1 && header[0].empty())) {
+    return Status::InvalidArgument("CSV header has no columns");
+  }
+
+  // Buffer the records (needed for type inference anyway).
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(rows.size() + 2) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(header.size()));
+    }
+    rows.push_back(std::move(fields));
+    if (options.max_rows > 0 && rows.size() >= options.max_rows) break;
+  }
+
+  std::vector<DataType> types = options.types;
+  if (types.empty()) {
+    for (size_t c = 0; c < header.size(); ++c) {
+      types.push_back(InferType(rows, c));
+    }
+  } else if (types.size() != header.size()) {
+    return Status::InvalidArgument("explicit types do not match column count");
+  }
+
+  std::vector<ColumnDef> defs;
+  for (size_t c = 0; c < header.size(); ++c) {
+    defs.push_back(ColumnDef{header[c], types[c], /*nullable=*/true});
+  }
+  TableBuilder builder{Schema(std::move(defs))};
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      Column* col = builder.column(static_cast<int>(c));
+      if (cell.empty() && types[c] != DataType::kString) {
+        col->AppendNull();
+        continue;
+      }
+      switch (types[c]) {
+        case DataType::kInt64: {
+          int64_t v;
+          if (!ParseInt(cell, &v)) {
+            return Status::InvalidArgument("cell '" + cell +
+                                           "' is not an integer");
+          }
+          col->AppendInt64(v);
+          break;
+        }
+        case DataType::kDouble: {
+          double v;
+          if (!ParseDouble(cell, &v)) {
+            return Status::InvalidArgument("cell '" + cell +
+                                           "' is not a number");
+          }
+          col->AppendDouble(v);
+          break;
+        }
+        case DataType::kString:
+          col->AppendString(cell);
+          break;
+      }
+    }
+  }
+  return builder.Build(name);
+}
+
+Result<TablePtr> ReadCsvFile(const std::string& path, const std::string& name,
+                             const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return ReadCsv(in, name, options);
+}
+
+Status WriteCsv(const Table& table, std::ostream& out) {
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    if (c > 0) out << ',';
+    const std::string& name = table.schema().column(c).name;
+    out << (NeedsQuoting(name) ? QuoteField(name) : name);
+  }
+  out << '\n';
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (int c = 0; c < table.schema().num_columns(); ++c) {
+      if (c > 0) out << ',';
+      const Column& col = table.column(c);
+      if (col.IsNull(row)) continue;  // NULL -> empty cell
+      switch (col.type()) {
+        case DataType::kInt64:
+          out << col.Int64At(row);
+          break;
+        case DataType::kDouble:
+          out << col.DoubleAt(row);
+          break;
+        case DataType::kString: {
+          const std::string& s = col.StringAt(row);
+          out << (NeedsQuoting(s) ? QuoteField(s) : s);
+          break;
+        }
+      }
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot create '" + path + "'");
+  }
+  return WriteCsv(table, out);
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,46 @@
+// CSV import/export: lets users profile their own data and persist result
+// tables. Deliberately small: comma-separated, double-quote escaping, one
+// header row, type inference (INT64 -> DOUBLE -> STRING) with explicit
+// override.
+#ifndef GBMQO_DATA_CSV_H_
+#define GBMQO_DATA_CSV_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+struct CsvReadOptions {
+  /// Column types; empty = infer per column from the data (INT64 if every
+  /// non-empty cell parses as an integer, else DOUBLE if numeric, else
+  /// STRING). Empty cells load as NULL.
+  std::vector<DataType> types;
+  /// Maximum rows to load (0 = all).
+  size_t max_rows = 0;
+};
+
+/// Parses CSV text (header row required) into a table named `name`.
+Result<TablePtr> ReadCsv(std::istream& in, const std::string& name,
+                         const CsvReadOptions& options = {});
+
+/// Convenience: reads a file from disk.
+Result<TablePtr> ReadCsvFile(const std::string& path, const std::string& name,
+                             const CsvReadOptions& options = {});
+
+/// Writes a table as CSV (header + rows; NULL as empty cell; strings quoted
+/// when they contain separators/quotes/newlines).
+Status WriteCsv(const Table& table, std::ostream& out);
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+/// Splits one CSV record into fields, honouring double-quote escaping.
+/// Exposed for testing.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_DATA_CSV_H_

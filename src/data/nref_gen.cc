@@ -1,0 +1,64 @@
+#include "data/nref_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace gbmqo {
+
+TablePtr GenerateNref(const NrefGenOptions& options) {
+  Schema schema({
+      {"seq_id", DataType::kInt64, false},
+      {"neighbor_id", DataType::kInt64, false},
+      {"organism", DataType::kInt64, false},
+      {"db_source", DataType::kString, false},
+      {"score", DataType::kInt64, false},
+      {"e_value_bucket", DataType::kInt64, false},
+      {"align_len", DataType::kInt64, false},
+      {"identity_pct", DataType::kInt64, false},
+      {"start_pos", DataType::kInt64, false},
+      {"end_pos", DataType::kInt64, false},
+  });
+  TableBuilder b(schema);
+  for (int c = 0; c < kNumNrefColumns; ++c) b.column(c)->Reserve(options.rows);
+
+  Rng rng(options.seed);
+  const size_t n = options.rows;
+  const uint64_t num_seqs = std::max<uint64_t>(1, n / 10);
+  const uint64_t num_organisms = std::min<uint64_t>(5000, num_seqs);
+  const char* kSources[] = {"PIR1", "PIR2", "PIR3", "PIR4", "SP", "TrEMBL",
+                            "GenPept"};
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t seq = rng.Uniform(num_seqs);
+    const uint64_t neighbor = rng.Uniform(num_seqs);
+    // Score and identity correlate: neighbors with high identity have high
+    // scores (both bucketed).
+    const int64_t identity = static_cast<int64_t>(rng.Uniform(101));
+    const int64_t score = identity * 10 + rng.UniformRange(0, 9);
+    const int64_t align_len = static_cast<int64_t>(rng.Uniform(2000)) + 1;
+    const int64_t start = static_cast<int64_t>(rng.Uniform(5000));
+
+    b.column(kSeqId)->AppendInt64(static_cast<int64_t>(seq));
+    b.column(kNeighborId)->AppendInt64(static_cast<int64_t>(neighbor));
+    // Organism derives from the sequence id.
+    b.column(kOrganism)->AppendInt64(static_cast<int64_t>(seq % num_organisms));
+    b.column(kDbSource)->AppendString(kSources[rng.Uniform(7)]);
+    b.column(kScore)->AppendInt64(score);
+    b.column(kEValueBucket)->AppendInt64(static_cast<int64_t>(rng.Uniform(20)));
+    b.column(kAlignLen)->AppendInt64(align_len);
+    b.column(kIdentityPct)->AppendInt64(identity);
+    b.column(kStartPos)->AppendInt64(start);
+    b.column(kEndPos)->AppendInt64(start + align_len);
+  }
+  return std::move(b.Build("neighboring_seq")).ValueOrDie();
+}
+
+std::vector<int> NrefAllColumns() {
+  std::vector<int> out;
+  for (int c = 0; c < kNumNrefColumns; ++c) out.push_back(c);
+  return out;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,47 @@
+// Synthetic PIR-NREF neighboring_seq generator.
+//
+// The paper's NREF dataset is the largest relation (neighboring_seq, 78M
+// rows, 10 columns) of the public PIR-NREF protein database. The relation
+// lists sequence-neighborhood hits; its profile — two high-cardinality
+// sequence identifiers, a mid-cardinality organism dimension, a few small
+// categorical columns and several bucketed alignment statistics — is what
+// this generator reproduces at configurable scale.
+#ifndef GBMQO_DATA_NREF_GEN_H_
+#define GBMQO_DATA_NREF_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// neighboring_seq column ordinals (10 columns).
+enum NrefColumn : int {
+  kSeqId = 0,
+  kNeighborId,
+  kOrganism,
+  kDbSource,
+  kScore,
+  kEValueBucket,
+  kAlignLen,
+  kIdentityPct,
+  kStartPos,
+  kEndPos,
+  kNumNrefColumns,
+};
+
+struct NrefGenOptions {
+  size_t rows = 100000;
+  uint64_t seed = 11;
+};
+
+/// Generates a neighboring_seq table named "neighboring_seq".
+TablePtr GenerateNref(const NrefGenOptions& options);
+
+/// All 10 column ordinals.
+std::vector<int> NrefAllColumns();
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_DATA_NREF_GEN_H_

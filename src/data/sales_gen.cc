@@ -1,0 +1,96 @@
+#include "data/sales_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace gbmqo {
+
+TablePtr GenerateSales(const SalesGenOptions& options) {
+  Schema schema({
+      {"store_id", DataType::kInt64, false},
+      {"region", DataType::kString, false},
+      {"state", DataType::kString, false},
+      {"product_id", DataType::kInt64, false},
+      {"category", DataType::kString, false},
+      {"subcategory", DataType::kString, false},
+      {"brand", DataType::kString, false},
+      {"customer_id", DataType::kInt64, false},
+      {"promo_id", DataType::kInt64, true},
+      {"channel", DataType::kString, false},
+      {"order_date", DataType::kInt64, false},
+      {"ship_date", DataType::kInt64, false},
+      {"sales_quantity", DataType::kInt64, false},
+      {"unit_price", DataType::kDouble, false},
+      {"payment_type", DataType::kString, false},
+  });
+  TableBuilder b(schema);
+  for (int c = 0; c < kNumSalesColumns; ++c) b.column(c)->Reserve(options.rows);
+
+  Rng rng(options.seed);
+  const size_t n = options.rows;
+  const uint64_t num_stores = 500;
+  const uint64_t num_products = std::max<uint64_t>(1, std::min<uint64_t>(20000, n / 10));
+  const uint64_t num_customers = std::max<uint64_t>(1, n / 5);
+  const uint64_t num_days = 1096;  // three years
+
+  const char* kRegions[] = {"North", "South", "East", "West", "Central",
+                            "NorthEast", "NorthWest", "SouthEast",
+                            "SouthWest", "International"};
+  const char* kChannels[] = {"store", "web", "phone", "partner"};
+  const char* kPayments[] = {"cash", "credit", "debit", "gift", "invoice"};
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t store = rng.Uniform(num_stores);
+    // Geography derives from the store: each store belongs to one state and
+    // each state to one region — correlated, compressible dimensions.
+    const uint64_t state = store % 50;
+    const uint64_t region = state % 10;
+
+    const uint64_t product = rng.Uniform(num_products);
+    // Product hierarchy derives from the product id.
+    const uint64_t subcategory = product % 120;
+    const uint64_t category = subcategory % 25;
+    const uint64_t brand = product % 300;
+
+    const int64_t order_date = static_cast<int64_t>(rng.Uniform(num_days));
+    const int64_t ship_date = order_date + rng.UniformRange(0, 7);
+
+    b.column(kStoreId)->AppendInt64(static_cast<int64_t>(store));
+    b.column(kRegion)->AppendString(kRegions[region]);
+    b.column(kState)->AppendString(StrFormat("ST%02llu",
+                                             static_cast<unsigned long long>(state)));
+    b.column(kProductId)->AppendInt64(static_cast<int64_t>(product));
+    b.column(kCategory)->AppendString(StrFormat("cat%02llu",
+                                                static_cast<unsigned long long>(category)));
+    b.column(kSubcategory)
+        ->AppendString(StrFormat("sub%03llu",
+                                 static_cast<unsigned long long>(subcategory)));
+    b.column(kBrand)->AppendString(StrFormat("brand%03llu",
+                                             static_cast<unsigned long long>(brand)));
+    b.column(kCustomerId)->AppendInt64(static_cast<int64_t>(rng.Uniform(num_customers)));
+    // ~20% of sales have no promotion.
+    if (rng.Bernoulli(0.2)) {
+      b.column(kPromoId)->AppendNull();
+    } else {
+      b.column(kPromoId)->AppendInt64(static_cast<int64_t>(rng.Uniform(200)));
+    }
+    b.column(kChannel)->AppendString(kChannels[rng.Uniform(4)]);
+    b.column(kOrderDate)->AppendInt64(order_date);
+    b.column(kShipDate)->AppendInt64(ship_date);
+    b.column(kSalesQuantity)->AppendInt64(static_cast<int64_t>(rng.Uniform(20)) + 1);
+    b.column(kUnitPrice)
+        ->AppendDouble(1.0 + static_cast<double>(rng.Uniform(50000)) / 100.0);
+    b.column(kPaymentType)->AppendString(kPayments[rng.Uniform(5)]);
+  }
+  return std::move(b.Build("sales")).ValueOrDie();
+}
+
+std::vector<int> SalesAllColumns() {
+  std::vector<int> out;
+  for (int c = 0; c < kNumSalesColumns; ++c) out.push_back(c);
+  return out;
+}
+
+}  // namespace gbmqo

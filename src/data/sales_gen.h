@@ -1,0 +1,54 @@
+// Synthetic SALES warehouse generator.
+//
+// The paper's SALES dataset is a proprietary 24M-row, 15-column sales fact
+// table. This generator produces a star-schema fact table with the column-
+// cardinality profile typical of retail sales data: a handful of geographic
+// and channel dimensions, correlated product hierarchy columns
+// (category -> subcategory -> brand), correlated date columns, and
+// high-cardinality customer/transaction keys. The relative compressibility
+// of column groups — which is all the experiments depend on — matches.
+#ifndef GBMQO_DATA_SALES_GEN_H_
+#define GBMQO_DATA_SALES_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// Sales column ordinals (15 columns, matching the paper's "15 columns
+/// used").
+enum SalesColumn : int {
+  kStoreId = 0,
+  kRegion,
+  kState,
+  kProductId,
+  kCategory,
+  kSubcategory,
+  kBrand,
+  kCustomerId,
+  kPromoId,
+  kChannel,
+  kOrderDate,
+  kShipDate,
+  kSalesQuantity,
+  kUnitPrice,
+  kPaymentType,
+  kNumSalesColumns,
+};
+
+struct SalesGenOptions {
+  size_t rows = 100000;
+  uint64_t seed = 7;
+};
+
+/// Generates a sales fact table named "sales".
+TablePtr GenerateSales(const SalesGenOptions& options);
+
+/// All 15 column ordinals (the paper groups by every column of this set).
+std::vector<int> SalesAllColumns();
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_DATA_SALES_GEN_H_

@@ -1,0 +1,33 @@
+#include "data/widen.h"
+
+namespace gbmqo {
+
+Result<TablePtr> WidenTable(const Table& table,
+                            const std::vector<int>& source_columns, int times,
+                            const std::string& name) {
+  if (times < 1) return Status::InvalidArgument("times must be >= 1");
+  const int total =
+      static_cast<int>(source_columns.size()) * times;
+  if (total > ColumnSet::kMaxColumns) {
+    return Status::InvalidArgument(
+        "widened table would exceed " +
+        std::to_string(ColumnSet::kMaxColumns) + " columns");
+  }
+  std::vector<ColumnDef> defs;
+  std::vector<ColumnPtr> cols;
+  for (int rep = 0; rep < times; ++rep) {
+    for (int src : source_columns) {
+      if (src < 0 || src >= table.schema().num_columns()) {
+        return Status::InvalidArgument("source column out of range");
+      }
+      ColumnDef def = table.schema().column(src);
+      if (rep > 0) def.name += "__r" + std::to_string(rep);
+      defs.push_back(std::move(def));
+      cols.push_back(table.column_ptr(src));
+    }
+  }
+  return std::make_shared<Table>(name, Schema(std::move(defs)),
+                                 std::move(cols), table.num_rows());
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,24 @@
+// Table widening for the column-scaling experiment (Section 6.4 /
+// Figure 10): the paper widens lineitem by repeating its 12 analysis
+// columns. Repeated columns share the original column storage (shared_ptr),
+// so widening is O(columns), not O(data).
+#ifndef GBMQO_DATA_WIDEN_H_
+#define GBMQO_DATA_WIDEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// Builds a new table repeating `source_columns` of `table` `times` times.
+/// Repetition k >= 1 appends columns named "<name>__r<k>". The result shares
+/// column storage with the input.
+Result<TablePtr> WidenTable(const Table& table,
+                            const std::vector<int>& source_columns, int times,
+                            const std::string& name);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_DATA_WIDEN_H_

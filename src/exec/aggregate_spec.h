@@ -1,0 +1,56 @@
+// Aggregate function specifications. All four paper aggregates (COUNT(*),
+// SUM, MIN, MAX — Sections 3.1 and 7.2) are *decomposable*: re-aggregating a
+// materialized intermediate uses SUM(cnt) for COUNT(*), SUM for SUM, MIN for
+// MIN, MAX for MAX. PlanExecutor relies on this to compute a node from a
+// materialized ancestor instead of the base relation.
+#ifndef GBMQO_EXEC_AGGREGATE_SPEC_H_
+#define GBMQO_EXEC_AGGREGATE_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace gbmqo {
+
+/// Aggregate function kind.
+enum class AggKind {
+  kCountStar,  ///< COUNT(*) — no argument
+  kSum,        ///< SUM(arg)
+  kMin,        ///< MIN(arg)
+  kMax,        ///< MAX(arg)
+};
+
+inline const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar: return "COUNT(*)";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+  }
+  return "?";
+}
+
+/// One aggregate in a group-by query's SELECT list.
+struct AggregateSpec {
+  AggKind kind = AggKind::kCountStar;
+  /// Argument column ordinal in the *input* table; -1 for COUNT(*).
+  int arg = -1;
+  /// Output column name, e.g. "cnt" or "sum_l_quantity".
+  std::string output_name = "cnt";
+
+  static AggregateSpec CountStar(std::string name = "cnt") {
+    return AggregateSpec{AggKind::kCountStar, -1, std::move(name)};
+  }
+  static AggregateSpec Sum(int arg, std::string name) {
+    return AggregateSpec{AggKind::kSum, arg, std::move(name)};
+  }
+  static AggregateSpec Min(int arg, std::string name) {
+    return AggregateSpec{AggKind::kMin, arg, std::move(name)};
+  }
+  static AggregateSpec Max(int arg, std::string name) {
+    return AggregateSpec{AggKind::kMax, arg, std::move(name)};
+  }
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_EXEC_AGGREGATE_SPEC_H_

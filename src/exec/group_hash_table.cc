@@ -1,0 +1,76 @@
+#include "exec/group_hash_table.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace gbmqo {
+
+namespace {
+// 64-bit finalizer (xxHash-style avalanche).
+inline uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+GroupHashTable::GroupHashTable(int key_width, size_t initial_capacity)
+    : key_width_(key_width) {
+  assert(key_width >= 1);
+  size_t cap = std::bit_ceil(initial_capacity < 16 ? size_t{16} : initial_capacity);
+  slots_.assign(cap, 0);
+  slot_mask_ = cap - 1;
+}
+
+uint64_t GroupHashTable::HashKey(const uint64_t* key, int width) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < width; ++i) {
+    h = Mix(h ^ key[i]);
+  }
+  return h;
+}
+
+void GroupHashTable::Grow() {
+  const size_t new_cap = slots_.size() * 2;
+  std::vector<uint32_t> new_slots(new_cap, 0);
+  const size_t new_mask = new_cap - 1;
+  for (uint32_t tag : slots_) {
+    if (tag == 0) continue;
+    const uint32_t id = tag - 1;
+    const uint64_t* key = KeyOf(id);
+    size_t pos = HashKey(key, key_width_) & new_mask;
+    while (new_slots[pos] != 0) pos = (pos + 1) & new_mask;
+    new_slots[pos] = tag;
+  }
+  slots_ = std::move(new_slots);
+  slot_mask_ = new_mask;
+}
+
+uint32_t GroupHashTable::FindOrInsert(const uint64_t* key, bool* inserted) {
+  if ((num_groups_ + 1) * 10 > slots_.size() * 7) Grow();
+  size_t pos = HashKey(key, key_width_) & slot_mask_;
+  while (true) {
+    ++probes_;
+    const uint32_t tag = slots_[pos];
+    if (tag == 0) {
+      const uint32_t id = static_cast<uint32_t>(num_groups_++);
+      arena_.insert(arena_.end(), key, key + key_width_);
+      slots_[pos] = id + 1;
+      if (inserted != nullptr) *inserted = true;
+      return id;
+    }
+    const uint32_t id = tag - 1;
+    if (std::memcmp(KeyOf(id), key,
+                    sizeof(uint64_t) * static_cast<size_t>(key_width_)) == 0) {
+      if (inserted != nullptr) *inserted = false;
+      return id;
+    }
+    pos = (pos + 1) & slot_mask_;
+  }
+}
+
+}  // namespace gbmqo

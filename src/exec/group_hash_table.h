@@ -1,0 +1,52 @@
+// GroupHashTable: open-addressing hash table mapping fixed-width group keys
+// (arrays of 64-bit codes) to dense group ids. This is the core of hash
+// aggregation; it avoids per-key allocations by storing all keys in a flat
+// arena.
+#ifndef GBMQO_EXEC_GROUP_HASH_TABLE_H_
+#define GBMQO_EXEC_GROUP_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gbmqo {
+
+/// Maps keys of `key_width` uint64 words to dense ids [0, size()). Uses
+/// linear probing over a power-of-two slot array; resizes at 70% load.
+class GroupHashTable {
+ public:
+  explicit GroupHashTable(int key_width, size_t initial_capacity = 64);
+
+  /// Looks up `key` (key_width words); inserts if absent. Returns the dense
+  /// group id. `*inserted` (optional) reports whether a new group was made.
+  uint32_t FindOrInsert(const uint64_t* key, bool* inserted = nullptr);
+
+  size_t size() const { return num_groups_; }
+  int key_width() const { return key_width_; }
+
+  /// Pointer to the stored key of group `id` (key_width words).
+  const uint64_t* KeyOf(uint32_t id) const {
+    return arena_.data() + static_cast<size_t>(id) * static_cast<size_t>(key_width_);
+  }
+
+  /// Total probe count since construction (for work accounting).
+  uint64_t probes() const { return probes_; }
+
+ private:
+  static uint64_t HashKey(const uint64_t* key, int width);
+  void Grow();
+
+  int key_width_;
+  size_t num_groups_ = 0;
+  uint64_t probes_ = 0;
+
+  // slot value: group id + 1; 0 = empty.
+  std::vector<uint32_t> slots_;
+  size_t slot_mask_ = 0;
+
+  std::vector<uint64_t> arena_;  // num_groups_ * key_width_ words
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_EXEC_GROUP_HASH_TABLE_H_

@@ -1,0 +1,102 @@
+#include "exec/hash_join.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace gbmqo {
+
+namespace {
+
+/// Joinable key: values are compared by *content* (not per-column dictionary
+/// codes, which are incomparable across columns). Strings intern through the
+/// probe map; numerics use the 64-bit bit pattern.
+struct KeyedRows {
+  std::unordered_map<uint64_t, std::vector<uint32_t>> numeric;
+  std::unordered_map<std::string, std::vector<uint32_t>> strings;
+};
+
+KeyedRows BuildSide(const Table& table, int col_idx) {
+  KeyedRows out;
+  const Column& col = table.column(col_idx);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (col.IsNull(row)) continue;
+    if (col.type() == DataType::kString) {
+      out.strings[col.StringAt(row)].push_back(static_cast<uint32_t>(row));
+    } else {
+      out.numeric[col.CodeAt(row)].push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> HashJoin(const Table& left, const Table& right,
+                          const JoinSpec& spec, const std::string& name,
+                          ExecContext* ctx) {
+  if (spec.left_col < 0 || spec.left_col >= left.schema().num_columns() ||
+      spec.right_col < 0 || spec.right_col >= right.schema().num_columns()) {
+    return Status::InvalidArgument("join column out of range");
+  }
+  const DataType lt = left.schema().column(spec.left_col).type;
+  const DataType rt = right.schema().column(spec.right_col).type;
+  if (lt != rt) {
+    return Status::InvalidArgument("join columns have different types");
+  }
+
+  // Output schema: left columns, then right columns (suffixing collisions).
+  std::vector<ColumnDef> defs;
+  for (int c = 0; c < left.schema().num_columns(); ++c) {
+    defs.push_back(left.schema().column(c));
+  }
+  for (int c = 0; c < right.schema().num_columns(); ++c) {
+    ColumnDef def = right.schema().column(c);
+    if (left.schema().FindColumn(def.name) >= 0) def.name += "_r";
+    defs.push_back(def);
+  }
+  TableBuilder builder{Schema(std::move(defs))};
+
+  const KeyedRows build = BuildSide(right, spec.right_col);
+  const Column& probe_col = left.column(spec.left_col);
+  const int nl = left.schema().num_columns();
+  const int nr = right.schema().num_columns();
+  uint64_t emitted = 0;
+
+  auto emit = [&](size_t lrow, const std::vector<uint32_t>& matches) {
+    for (uint32_t rrow : matches) {
+      for (int c = 0; c < nl; ++c) {
+        builder.column(c)->AppendFrom(left.column(c), lrow);
+      }
+      for (int c = 0; c < nr; ++c) {
+        builder.column(nl + c)->AppendFrom(right.column(c), rrow);
+      }
+      ++emitted;
+    }
+  };
+
+  for (size_t lrow = 0; lrow < left.num_rows(); ++lrow) {
+    if (probe_col.IsNull(lrow)) continue;
+    if (lt == DataType::kString) {
+      auto it = build.strings.find(probe_col.StringAt(lrow));
+      if (it != build.strings.end()) emit(lrow, it->second);
+    } else {
+      auto it = build.numeric.find(probe_col.CodeAt(lrow));
+      if (it != build.numeric.end()) emit(lrow, it->second);
+    }
+  }
+
+  Result<TablePtr> out = builder.Build(name);
+  if (ctx != nullptr && out.ok()) {
+    WorkCounters& wc = ctx->counters();
+    wc.rows_scanned += left.num_rows() + right.num_rows();
+    wc.bytes_scanned += static_cast<uint64_t>(
+        static_cast<double>(left.num_rows()) * left.AvgRowWidth({}) +
+        static_cast<double>(right.num_rows()) * right.AvgRowWidth({}));
+    wc.rows_emitted += emitted;
+    wc.hash_probes += left.num_rows();
+    wc.bytes_materialized += (*out)->ByteSize();  // join output is spooled
+  }
+  return out;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,30 @@
+// Inner equi-join: the join substrate for Section 5.1.1 (GROUPING SETS over
+// Join(R, S) with group-by pushdown below the join, Figure 8).
+#ifndef GBMQO_EXEC_HASH_JOIN_H_
+#define GBMQO_EXEC_HASH_JOIN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// Equi-join condition left.left_col = right.right_col. Columns must have
+/// the same data type; NULL keys never join (SQL semantics).
+struct JoinSpec {
+  int left_col = 0;
+  int right_col = 0;
+};
+
+/// Materializes `SELECT * FROM left JOIN right ON <spec>` as a table named
+/// `name`. Output schema: left's columns followed by right's; right-side
+/// names that collide get a "_r" suffix. Build side is `right`.
+Result<TablePtr> HashJoin(const Table& left, const Table& right,
+                          const JoinSpec& spec, const std::string& name,
+                          ExecContext* ctx);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_EXEC_HASH_JOIN_H_

@@ -1,0 +1,119 @@
+#include "exec/predicate.h"
+
+namespace gbmqo {
+
+namespace {
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+template <typename T>
+bool Compare(const T& a, CompareOp op, const T& b) {
+  switch (op) {
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return a != b;
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return a <= b;
+    case CompareOp::kGt: return a > b;
+    case CompareOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Predicate::Validate(const Schema& schema) const {
+  for (const Comparison& cmp : conjuncts_) {
+    if (cmp.column < 0 || cmp.column >= schema.num_columns()) {
+      return Status::InvalidArgument("predicate column out of range");
+    }
+    if (cmp.literal.is_null()) {
+      return Status::InvalidArgument(
+          "comparison against NULL is always false; use IS NULL semantics "
+          "explicitly if needed");
+    }
+    const DataType type = schema.column(cmp.column).type;
+    const bool numeric_literal = cmp.literal.is_int64() || cmp.literal.is_double();
+    if (type == DataType::kString && !cmp.literal.is_string()) {
+      return Status::InvalidArgument("string column compared to non-string");
+    }
+    if (type != DataType::kString && !numeric_literal) {
+      return Status::InvalidArgument("numeric column compared to non-number");
+    }
+  }
+  return Status::OK();
+}
+
+bool Predicate::Matches(const Table& table, size_t row) const {
+  for (const Comparison& cmp : conjuncts_) {
+    const Column& col = table.column(cmp.column);
+    if (col.IsNull(row)) return false;  // NULL never satisfies a comparison
+    bool ok = false;
+    switch (col.type()) {
+      case DataType::kInt64:
+      case DataType::kDouble:
+        ok = Compare(col.NumericAt(row), cmp.op, cmp.literal.AsDouble());
+        break;
+      case DataType::kString:
+        ok = cmp.literal.is_string() &&
+             Compare(col.StringAt(row), cmp.op, cmp.literal.str());
+        break;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  if (conjuncts_.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const Comparison& cmp = conjuncts_[i];
+    out += schema.column(cmp.column).name;
+    out += " ";
+    out += OpName(cmp.op);
+    out += " ";
+    if (cmp.literal.is_string()) {
+      out += "'" + cmp.literal.str() + "'";
+    } else {
+      out += cmp.literal.ToString();
+    }
+  }
+  return out;
+}
+
+Result<TablePtr> ApplyFilter(const Table& table, const Predicate& predicate,
+                             const std::string& name, ExecContext* ctx) {
+  GBMQO_RETURN_NOT_OK(predicate.Validate(table.schema()));
+  TableBuilder builder(table.schema());
+  size_t kept = 0;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (!predicate.Matches(table, row)) continue;
+    for (int c = 0; c < table.schema().num_columns(); ++c) {
+      builder.column(c)->AppendFrom(table.column(c), row);
+    }
+    ++kept;
+  }
+  Result<TablePtr> out = builder.Build(name);
+  if (ctx != nullptr && out.ok()) {
+    WorkCounters& wc = ctx->counters();
+    wc.rows_scanned += table.num_rows();
+    wc.bytes_scanned += static_cast<uint64_t>(
+        static_cast<double>(table.num_rows()) * table.AvgRowWidth({}));
+    wc.rows_emitted += kept;
+    wc.bytes_materialized += (*out)->ByteSize();  // filter output is spooled
+  }
+  return out;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,60 @@
+// Predicates and filtering: the selection substrate for Section 5.1.1
+// (GROUPING SETS queries with selections, which commute below the grouping).
+#ifndef GBMQO_EXEC_PREDICATE_H_
+#define GBMQO_EXEC_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One column-vs-literal comparison. SQL semantics: any comparison against
+/// NULL is false.
+struct Comparison {
+  int column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+/// A conjunction of comparisons. Default-constructed predicate is TRUE.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// Adds a conjunct; returns *this for chaining.
+  Predicate& And(Comparison cmp) {
+    conjuncts_.push_back(std::move(cmp));
+    return *this;
+  }
+  static Predicate True() { return Predicate(); }
+
+  bool is_true() const { return conjuncts_.empty(); }
+  const std::vector<Comparison>& conjuncts() const { return conjuncts_; }
+
+  /// Checks the conjuncts are type-compatible with `schema`.
+  Status Validate(const Schema& schema) const;
+
+  /// Row-level evaluation. Call Validate first; mismatches here are false.
+  bool Matches(const Table& table, size_t row) const;
+
+  /// Debug rendering, e.g. "c3 >= 10 AND c0 = 'x'".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Comparison> conjuncts_;
+};
+
+/// Materializes `SELECT * FROM table WHERE predicate` as a new table named
+/// `name`. Charges a full scan to `ctx`.
+Result<TablePtr> ApplyFilter(const Table& table, const Predicate& predicate,
+                             const std::string& name, ExecContext* ctx);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_EXEC_PREDICATE_H_

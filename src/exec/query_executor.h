@@ -1,0 +1,78 @@
+// QueryExecutor: runs single Group By queries (hash, sort or index-stream
+// aggregation) and shared-scan batches of Group By queries over one input —
+// the physical layer beneath both the GB-MQO plans and the GROUPING SETS
+// baseline.
+#ifndef GBMQO_EXEC_QUERY_EXECUTOR_H_
+#define GBMQO_EXEC_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/column_set.h"
+#include "common/status.h"
+#include "exec/aggregate_spec.h"
+#include "exec/exec_context.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// One group-by query over a specific input table. `grouping` holds the
+/// input table's column ordinals.
+struct GroupByQuery {
+  ColumnSet grouping;
+  std::vector<AggregateSpec> aggregates;
+};
+
+/// Physical strategy for a single group-by.
+enum class AggStrategy {
+  kAuto,         ///< index-stream if a covering index exists, else hash
+  kHash,         ///< hash aggregation (one pass, unordered)
+  kSort,         ///< sort rows by key, then stream-aggregate
+  kIndexStream,  ///< stream over a covering index; error if none exists
+};
+
+/// What a table scan physically costs.
+///
+/// The paper's substrate is a row store: scanning R pays for the *full row
+/// width* regardless of how many columns the query touches, which is
+/// exactly why computing from a narrower materialized intermediate wins.
+/// kRowStore (the default) simulates that by touching every column of each
+/// scanned row, so wall-clock times reproduce the paper's trade-off.
+/// kColumnar reads only the referenced columns (this engine's native
+/// behaviour) — faster, but it understates the benefit a row-store system
+/// gets from GB-MQO plans. Index streams always read narrow leaf pages.
+enum class ScanMode {
+  kRowStore,
+  kColumnar,
+};
+
+/// Executes group-by queries against in-memory tables, charging work to an
+/// ExecContext. Stateless apart from the context pointer; safe to reuse.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(ExecContext* ctx,
+                         ScanMode scan_mode = ScanMode::kRowStore)
+      : ctx_(ctx), scan_mode_(scan_mode) {}
+
+  /// Runs one group-by and returns the (unregistered) result table named
+  /// `output_name`. Grouping columns keep their input names; aggregates use
+  /// their `output_name`s.
+  Result<TablePtr> ExecuteGroupBy(const Table& input, const GroupByQuery& query,
+                                  const std::string& output_name,
+                                  AggStrategy strategy = AggStrategy::kAuto);
+
+  /// Runs several group-bys over `input` in a single shared scan (the
+  /// commercial-engine optimization leveraged by GROUPING SETS). Input rows
+  /// and bytes are charged once; each query maintains its own hash state.
+  Result<std::vector<TablePtr>> ExecuteSharedScan(
+      const Table& input, const std::vector<GroupByQuery>& queries,
+      const std::vector<std::string>& output_names);
+
+ private:
+  ExecContext* ctx_;
+  ScanMode scan_mode_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_EXEC_QUERY_EXECUTOR_H_

@@ -1,0 +1,109 @@
+#include "sql/grouping_sets_parser.h"
+
+#include "common/str_util.h"
+
+namespace gbmqo {
+
+namespace {
+
+Result<std::vector<GroupByRequest>> ParseShorthand(std::string_view keyword,
+                                                   std::string_view args,
+                                                   const Schema& schema) {
+  std::vector<int> ordinals;
+  for (const std::string& name : SplitAndTrim(args, ',')) {
+    const int ord = schema.FindColumn(name);
+    if (ord < 0) return Status::NotFound("no column named '" + name + "'");
+    ordinals.push_back(ord);
+  }
+  if (ordinals.empty()) {
+    return Status::InvalidArgument("empty column list in shorthand");
+  }
+  if (EqualsIgnoreCase(keyword, "SINGLE")) {
+    return SingleColumnRequests(ordinals);
+  }
+  if (EqualsIgnoreCase(keyword, "PAIRS")) {
+    return TwoColumnRequests(ordinals);
+  }
+  return Status::InvalidArgument("unknown shorthand '" + std::string(keyword) +
+                                 "'");
+}
+
+}  // namespace
+
+Result<std::vector<GroupByRequest>> ParseGroupingSets(const std::string& spec,
+                                                      const Schema& schema) {
+  std::string_view text = Trim(spec);
+  if (text.empty()) return Status::InvalidArgument("empty specification");
+
+  // Shorthand form: KEYWORD(list).
+  const size_t open = text.find('(');
+  if (open != std::string_view::npos && open > 0 &&
+      text.back() == ')') {
+    const std::string_view keyword = Trim(text.substr(0, open));
+    if (!keyword.empty() && keyword.find('(') == std::string_view::npos &&
+        keyword.find(',') == std::string_view::npos) {
+      return ParseShorthand(keyword,
+                            text.substr(open + 1, text.size() - open - 2),
+                            schema);
+    }
+  }
+
+  // Full form: (s1), (s2), ...  optionally wrapped in one outer paren pair.
+  if (text.front() == '(' && text.back() == ')') {
+    // Strip an outer wrapper only if it encloses the whole list.
+    int depth = 0;
+    bool wraps_all = true;
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '(') ++depth;
+      if (text[i] == ')') {
+        --depth;
+        if (depth == 0 && i + 1 < text.size()) {
+          wraps_all = false;
+          break;
+        }
+      }
+    }
+    if (wraps_all) text = Trim(text.substr(1, text.size() - 2));
+  }
+
+  std::vector<GroupByRequest> requests;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ',' || std::isspace(
+                                  static_cast<unsigned char>(text[i])))) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    if (text[i] != '(') {
+      return Status::InvalidArgument("expected '(' at position " +
+                                     std::to_string(i));
+    }
+    const size_t close = text.find(')', i);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("unbalanced parentheses");
+    }
+    const std::string_view inner = text.substr(i + 1, close - i - 1);
+    ColumnSet set;
+    for (const std::string& name : SplitAndTrim(inner, ',')) {
+      const int ord = schema.FindColumn(name);
+      if (ord < 0) return Status::NotFound("no column named '" + name + "'");
+      if (set.Contains(ord)) {
+        return Status::InvalidArgument("duplicate column '" + name +
+                                       "' in grouping set");
+      }
+      set = set.With(ord);
+    }
+    if (set.empty()) {
+      return Status::InvalidArgument("empty grouping set");
+    }
+    requests.push_back(GroupByRequest::Count(set));
+    i = close + 1;
+  }
+  if (requests.empty()) {
+    return Status::InvalidArgument("no grouping sets found");
+  }
+  GBMQO_RETURN_NOT_OK(ValidateRequests(requests, schema));
+  return requests;
+}
+
+}  // namespace gbmqo

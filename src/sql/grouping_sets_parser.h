@@ -1,0 +1,24 @@
+// Parser for GROUPING SETS specifications, the textual front door used by
+// the examples:  "((l_shipdate), (l_commitdate), (l_shipdate, l_commitdate))"
+// Also accepts the Section 2 "Combi"-style shorthand used in data analysis:
+//   "SINGLE(a, b, c)" — every single-column set over the listed columns;
+//   "PAIRS(a, b, c)"  — every two-column set over the listed columns.
+#ifndef GBMQO_SQL_GROUPING_SETS_PARSER_H_
+#define GBMQO_SQL_GROUPING_SETS_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/request.h"
+#include "storage/schema.h"
+
+namespace gbmqo {
+
+/// Parses `spec` against `schema` into a COUNT(*) request set.
+Result<std::vector<GroupByRequest>> ParseGroupingSets(const std::string& spec,
+                                                      const Schema& schema);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_SQL_GROUPING_SETS_PARSER_H_

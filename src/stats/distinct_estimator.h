@@ -1,0 +1,56 @@
+// Distinct-value estimation for column sets — the cardinality oracle behind
+// both cost models (Section 3.2 of the paper assumes "known techniques for
+// estimating number of distinct values such as [13] (Haas et al.)").
+//
+// Two modes:
+//  * exact      — hash all rows' group keys (what a DBMS does when asked to
+//                 CREATE STATISTICS ... WITH FULLSCAN);
+//  * sampled    — scan a row sample and scale up with the GEE estimator
+//                 (Charikar et al., in the Haas et al. family), the cheap
+//                 path a commercial optimizer uses by default.
+#ifndef GBMQO_STATS_DISTINCT_ESTIMATOR_H_
+#define GBMQO_STATS_DISTINCT_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/column_set.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// How distinct counts are obtained.
+enum class DistinctMode {
+  kExact,    ///< full scan, exact
+  kSampled,  ///< uniform row sample + GEE scale-up
+};
+
+/// Exact number of distinct rows of `table` projected to `columns`
+/// (NULL == NULL for grouping, matching the executor's semantics).
+uint64_t ExactDistinctCount(const Table& table, ColumnSet columns);
+
+/// GEE estimate of the distinct count from a uniform sample of
+/// `sample_size` rows (deterministic given `seed`).
+///
+///   d_hat = sqrt(N/n) * f1 + (d_sample - f1)
+///
+/// where f1 is the number of values seen exactly once in the sample. For
+/// sample_size >= num_rows this degenerates to the exact count.
+uint64_t SampledDistinctCount(const Table& table, ColumnSet columns,
+                              uint64_t sample_size, uint64_t seed = 0x5EED);
+
+/// Materializes a uniform row sample of `table` (with replacement,
+/// deterministic given `seed`) as a compact table. A commercial optimizer
+/// creates many statistics from ONE sample (the amortization Section 3.2.2
+/// relies on); StatisticsManager does the same via this function.
+Result<TablePtr> BuildRowSample(const Table& table, uint64_t sample_size,
+                                uint64_t seed = 0x5EED);
+
+/// GEE estimate over a pre-built sample (see BuildRowSample). `total_rows`
+/// is the sampled table's full row count.
+uint64_t GeeEstimateFromSample(const Table& sample, ColumnSet columns,
+                               uint64_t total_rows);
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_STATS_DISTINCT_ESTIMATOR_H_

@@ -1,0 +1,99 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace gbmqo {
+
+Result<Histogram> Histogram::Build(const Table& table, int ordinal,
+                                   int max_buckets) {
+  if (ordinal < 0 || ordinal >= table.schema().num_columns()) {
+    return Status::InvalidArgument("histogram column out of range");
+  }
+  if (max_buckets < 1) {
+    return Status::InvalidArgument("max_buckets must be >= 1");
+  }
+  const Column& col = table.column(ordinal);
+  Histogram h;
+  h.total_rows_ = table.num_rows();
+
+  // Collect the numeric view of non-null rows. STRING columns use their
+  // dictionary codes (a rank over insertion order).
+  std::vector<double> values;
+  values.reserve(table.num_rows());
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (col.IsNull(row)) {
+      ++h.null_count_;
+      continue;
+    }
+    if (col.type() == DataType::kString) {
+      values.push_back(static_cast<double>(col.CodeAt(row)));
+    } else {
+      values.push_back(col.NumericAt(row));
+    }
+  }
+  if (values.empty()) return h;
+  std::sort(values.begin(), values.end());
+
+  const size_t n = values.size();
+  const size_t depth =
+      (n + static_cast<size_t>(max_buckets) - 1) / static_cast<size_t>(max_buckets);
+  size_t i = 0;
+  while (i < n) {
+    HistogramBucket bucket;
+    bucket.lo = values[i];
+    size_t end = std::min(n, i + depth);
+    // Never split equal values across buckets: extend to the end of the run.
+    while (end < n && values[end] == values[end - 1]) ++end;
+    bucket.hi = values[end - 1];
+    bucket.row_count = end - i;
+    bucket.distinct = 1;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (values[j] != values[j - 1]) ++bucket.distinct;
+    }
+    h.buckets_.push_back(bucket);
+    i = end;
+  }
+  return h;
+}
+
+double Histogram::EstimateRangeSelectivity(double lo, double hi) const {
+  if (buckets_.empty() || hi < lo) return 0.0;
+  const double non_null =
+      static_cast<double>(total_rows_ - null_count_);
+  if (non_null <= 0) return 0.0;
+  double rows = 0.0;
+  for (const HistogramBucket& b : buckets_) {
+    if (b.hi < lo || b.lo > hi) continue;
+    if (b.lo >= lo && b.hi <= hi) {
+      rows += static_cast<double>(b.row_count);
+      continue;
+    }
+    // Partial overlap: uniform interpolation.
+    const double width = b.hi - b.lo;
+    if (width <= 0) {
+      rows += static_cast<double>(b.row_count);
+      continue;
+    }
+    const double olo = std::max(lo, b.lo);
+    const double ohi = std::min(hi, b.hi);
+    rows += static_cast<double>(b.row_count) * (ohi - olo) / width;
+  }
+  return rows / non_null;
+}
+
+std::string Histogram::ToString() const {
+  std::string out = StrFormat("histogram(%zu buckets, %llu nulls)\n",
+                              buckets_.size(),
+                              static_cast<unsigned long long>(null_count_));
+  for (const HistogramBucket& b : buckets_) {
+    out += StrFormat("  [%g, %g] rows=%llu distinct=%llu\n", b.lo, b.hi,
+                     static_cast<unsigned long long>(b.row_count),
+                     static_cast<unsigned long long>(b.distinct));
+  }
+  return out;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,51 @@
+// Equi-depth histograms over single columns. Part of the statistics a
+// commercial optimizer creates alongside distinct counts; used here by the
+// data-profiling example and exposed through StatisticsManager.
+#ifndef GBMQO_STATS_HISTOGRAM_H_
+#define GBMQO_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// One histogram bucket over the column's numeric domain (string columns
+/// histogram their dictionary codes — rank structure, not lexicographic).
+struct HistogramBucket {
+  double lo = 0;          ///< inclusive lower bound
+  double hi = 0;          ///< inclusive upper bound
+  uint64_t row_count = 0; ///< rows in [lo, hi]
+  uint64_t distinct = 0;  ///< distinct values in [lo, hi]
+};
+
+/// Equi-depth histogram: buckets hold (approximately) equal row counts.
+class Histogram {
+ public:
+  /// Builds a histogram with at most `max_buckets` buckets over column
+  /// `ordinal` of `table`. NULL rows are excluded and reported separately.
+  static Result<Histogram> Build(const Table& table, int ordinal,
+                                 int max_buckets = 32);
+
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+  uint64_t null_count() const { return null_count_; }
+  uint64_t total_rows() const { return total_rows_; }
+
+  /// Estimated selectivity of `lo <= x <= hi` (fraction of non-null rows),
+  /// using uniform interpolation within buckets.
+  double EstimateRangeSelectivity(double lo, double hi) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<HistogramBucket> buckets_;
+  uint64_t null_count_ = 0;
+  uint64_t total_rows_ = 0;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_STATS_HISTOGRAM_H_

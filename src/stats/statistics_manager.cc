@@ -1,0 +1,39 @@
+#include "stats/statistics_manager.h"
+
+namespace gbmqo {
+
+StatisticsManager::StatisticsManager(const Table& table, DistinctMode mode,
+                                     uint64_t sample_size)
+    : table_(table), mode_(mode), sample_size_(sample_size) {}
+
+const ColumnSetStats& StatisticsManager::Get(ColumnSet columns) {
+  auto it = cache_.find(columns);
+  if (it != cache_.end()) return it->second;
+
+  WallTimer timer;
+  ColumnSetStats stats;
+  if (columns.empty()) {
+    stats.distinct_count = table_.num_rows() > 0 ? 1 : 0;
+    stats.row_width = 0;
+  } else if (mode_ == DistinctMode::kExact ||
+             sample_size_ >= table_.num_rows()) {
+    stats.distinct_count =
+        static_cast<double>(ExactDistinctCount(table_, columns));
+    stats.row_width = table_.AvgRowWidth(columns);
+  } else {
+    if (sample_ == nullptr) {
+      Result<TablePtr> sample = BuildRowSample(table_, sample_size_);
+      if (sample.ok()) sample_ = *sample;
+    }
+    stats.distinct_count = static_cast<double>(
+        sample_ != nullptr
+            ? GeeEstimateFromSample(*sample_, columns, table_.num_rows())
+            : ExactDistinctCount(table_, columns));
+    stats.row_width = table_.AvgRowWidth(columns);
+  }
+  creation_seconds_ += timer.ElapsedSeconds();
+  ++statistics_created_;
+  return cache_.emplace(columns, stats).first->second;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,57 @@
+#include "storage/catalog.h"
+
+namespace gbmqo {
+
+Status Catalog::RegisterBase(TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.emplace(name, Entry{std::move(table), /*is_temp=*/false, 0});
+  return Status::OK();
+}
+
+Status Catalog::RegisterTemp(TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  const uint64_t bytes = table->ByteSize();
+  tables_.emplace(name, Entry{std::move(table), /*is_temp=*/true, bytes});
+  temp_bytes_ += bytes;
+  if (temp_bytes_ > peak_temp_bytes_) peak_temp_bytes_ = temp_bytes_;
+  return Status::OK();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  if (it->second.is_temp) temp_bytes_ -= it->second.bytes;
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second.table;
+}
+
+std::string Catalog::NextTempName(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name;
+  do {
+    name = prefix + "_" + std::to_string(temp_counter_++);
+  } while (tables_.count(name) > 0);
+  return name;
+}
+
+}  // namespace gbmqo

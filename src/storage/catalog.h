@@ -1,0 +1,79 @@
+// Catalog: named base and temporary tables, with storage accounting for the
+// intermediate-storage experiments (Section 4.4).
+#ifndef GBMQO_STORAGE_CATALOG_H_
+#define GBMQO_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// Thread-safe table registry (all operations take an internal mutex, so
+/// parallel sub-plan execution can register/drop temp tables concurrently).
+/// Temp tables created by plan execution are tracked so peak intermediate
+/// storage can be reported and compared against the Storage(u) recurrence
+/// of Section 4.4.
+class Catalog {
+ public:
+  /// Registers a base (non-temporary) table. Fails on duplicate name.
+  Status RegisterBase(TablePtr table);
+
+  /// Registers a temporary table (plan intermediate). Fails on duplicate
+  /// name. Its bytes count toward current/peak temp storage.
+  Status RegisterTemp(TablePtr table);
+
+  /// Drops a table by name (base or temp). Temp bytes are released.
+  Status Drop(const std::string& name);
+
+  /// Lookup; NotFound if missing.
+  Result<TablePtr> Get(const std::string& name) const;
+  bool Exists(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tables_.count(name) > 0;
+  }
+
+  /// Current bytes held by live temp tables.
+  uint64_t temp_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return temp_bytes_;
+  }
+  /// High-water mark of temp bytes since construction / last reset.
+  uint64_t peak_temp_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_temp_bytes_;
+  }
+  void ResetPeakTempBytes() {
+    std::lock_guard<std::mutex> lock(mu_);
+    peak_temp_bytes_ = temp_bytes_;
+  }
+
+  /// Generates a fresh temp-table name with the given prefix.
+  std::string NextTempName(const std::string& prefix);
+
+  size_t num_tables() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tables_.size();
+  }
+
+ private:
+  struct Entry {
+    TablePtr table;
+    bool is_temp = false;
+    uint64_t bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> tables_;
+  uint64_t temp_bytes_ = 0;
+  uint64_t peak_temp_bytes_ = 0;
+  uint64_t temp_counter_ = 0;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_STORAGE_CATALOG_H_

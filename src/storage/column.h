@@ -1,0 +1,123 @@
+// Column: typed, append-only columnar storage with a null bitmap.
+//
+// Group-by execution works on *group codes*: every column exposes a 64-bit
+// code per row such that two non-null rows have equal codes iff their values
+// are equal. For INT64/DOUBLE the code is the bit pattern; for STRING it is
+// a dictionary code (strings are interned on append). NULLs are tracked in a
+// separate bitmap and folded into group keys by the executor.
+#ifndef GBMQO_STORAGE_COLUMN_H_
+#define GBMQO_STORAGE_COLUMN_H_
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace gbmqo {
+
+/// One column of a table. Owned by Table via shared_ptr so projected /
+/// derived tables can share storage without copying.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return rows_; }
+
+  // ---- Append interface (used by data generators and materialization) ----
+
+  /// Appends a typed value. The overload must match the column type.
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+  void AppendNull();
+
+  /// Appends a Value, checking type compatibility.
+  Status AppendValue(const Value& v);
+
+  /// Appends row `row` of `other` (same type required). Used when
+  /// materializing group-by output from an input column.
+  void AppendFrom(const Column& other, size_t row);
+
+  /// Reserves space for n rows.
+  void Reserve(size_t n);
+
+  // ---- Read interface ----
+
+  bool IsNull(size_t row) const {
+    if (null_bitmap_.empty()) return false;
+    return (null_bitmap_[row >> 6] >> (row & 63)) & 1;
+  }
+  bool has_nulls() const { return null_count_ > 0; }
+  size_t null_count() const { return null_count_; }
+
+  /// 64-bit group code for the row; meaningless if IsNull(row).
+  uint64_t CodeAt(size_t row) const {
+    switch (type_) {
+      case DataType::kInt64:
+        return static_cast<uint64_t>(int64_data_[row]);
+      case DataType::kDouble:
+        return std::bit_cast<uint64_t>(double_data_[row]);
+      case DataType::kString:
+        return string_codes_[row];
+    }
+    return 0;
+  }
+
+  int64_t Int64At(size_t row) const { return int64_data_[row]; }
+  double DoubleAt(size_t row) const { return double_data_[row]; }
+  const std::string& StringAt(size_t row) const {
+    return dictionary_[string_codes_[row]];
+  }
+  /// Numeric view of the row (int64 widened to double); 0 for NULL/string.
+  double NumericAt(size_t row) const {
+    if (IsNull(row)) return 0.0;
+    if (type_ == DataType::kInt64) return static_cast<double>(int64_data_[row]);
+    if (type_ == DataType::kDouble) return double_data_[row];
+    return 0.0;
+  }
+
+  /// Dynamically-typed cell (boundary/test use only).
+  Value ValueAt(size_t row) const;
+
+  /// The interned string for a dictionary code (STRING columns only).
+  const std::string& DictEntry(uint64_t code) const { return dictionary_[code]; }
+  size_t dict_size() const { return dictionary_.size(); }
+
+  /// Approximate in-memory footprint of the column data in bytes, used for
+  /// temp-table storage accounting and the optimizer's row-width estimates.
+  size_t ByteSize() const;
+
+  /// Average bytes per row (>=1); strings use their average interned length.
+  double AvgWidthBytes() const;
+
+ private:
+  void AppendNotNull();
+
+  DataType type_;
+  size_t rows_ = 0;
+  size_t null_count_ = 0;
+
+  std::vector<int64_t> int64_data_;
+  std::vector<double> double_data_;
+
+  // STRING: dictionary-encoded. codes index into dictionary_.
+  std::vector<uint32_t> string_codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, uint32_t> intern_;
+  size_t string_bytes_ = 0;  // total interned bytes referenced by rows
+
+  // Lazily allocated: empty means "no nulls so far".
+  std::vector<uint64_t> null_bitmap_;
+};
+
+using ColumnPtr = std::shared_ptr<Column>;
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_STORAGE_COLUMN_H_

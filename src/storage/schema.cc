@@ -1,0 +1,59 @@
+#include "storage/schema.h"
+
+#include "common/str_util.h"
+
+namespace gbmqo {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (int i = 0; i < num_columns(); ++i) {
+    by_name_.emplace(columns_[static_cast<size_t>(i)].name, i);
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+Result<ColumnSet> Schema::ResolveColumns(
+    const std::vector<std::string>& names) const {
+  ColumnSet set;
+  for (const std::string& name : names) {
+    const int ordinal = FindColumn(name);
+    if (ordinal < 0) {
+      return Status::NotFound("no column named '" + name + "'");
+    }
+    if (set.Contains(ordinal)) {
+      return Status::InvalidArgument("duplicate column '" + name + "'");
+    }
+    set = set.With(ordinal);
+  }
+  return set;
+}
+
+std::vector<std::string> Schema::ColumnNames(ColumnSet set) const {
+  std::vector<std::string> names;
+  for (int ordinal : set.ToVector()) {
+    names.push_back(column(ordinal).name);
+  }
+  return names;
+}
+
+Schema Schema::Project(ColumnSet set) const {
+  std::vector<ColumnDef> defs;
+  for (int ordinal : set.ToVector()) {
+    defs.push_back(column(ordinal));
+  }
+  return Schema(std::move(defs));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  for (const ColumnDef& def : columns_) {
+    parts.push_back(def.name + " " + DataTypeName(def.type) +
+                    (def.nullable ? " NULL" : " NOT NULL"));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace gbmqo

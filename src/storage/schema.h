@@ -1,0 +1,57 @@
+// Schema: the ordered column layout of a table, plus name <-> ordinal lookup
+// and ColumnSet helpers used throughout the optimizer.
+#ifndef GBMQO_STORAGE_SCHEMA_H_
+#define GBMQO_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/column_set.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace gbmqo {
+
+/// One column declaration.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool nullable = false;
+};
+
+/// Ordered list of column definitions with name lookup. Schemas are small
+/// value types; copying is fine.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int ordinal) const { return columns_.at(static_cast<size_t>(ordinal)); }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Ordinal of `name`, or -1 if absent. Case-sensitive (SQL identifiers in
+  /// this engine are case-preserving, case-sensitive).
+  int FindColumn(const std::string& name) const;
+
+  /// Resolves a list of names to a ColumnSet; fails on unknown names or
+  /// duplicates.
+  Result<ColumnSet> ResolveColumns(const std::vector<std::string>& names) const;
+
+  /// Names of the columns in `set`, in ordinal order.
+  std::vector<std::string> ColumnNames(ColumnSet set) const;
+
+  /// Projected schema containing only the columns in `set` (ordinal order).
+  Schema Project(ColumnSet set) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_STORAGE_SCHEMA_H_

@@ -1,0 +1,88 @@
+// Value: a dynamically-typed cell used at API boundaries (row construction,
+// result inspection, tests). Hot execution paths never touch Value; they
+// operate on typed column storage and 64-bit group codes (see column.h).
+#ifndef GBMQO_STORAGE_VALUE_H_
+#define GBMQO_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace gbmqo {
+
+/// Column data types supported by the engine.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns a display name, e.g. "INT64".
+inline const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return "INT64";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+/// In-memory width in bytes of a fixed-width type; strings report their
+/// average encoded length via ColumnStats instead.
+inline int FixedWidthBytes(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return 8;
+    case DataType::kDouble: return 8;
+    case DataType::kString: return 0;  // variable
+  }
+  return 0;
+}
+
+/// SQL-style NULL marker.
+struct Null {
+  friend bool operator==(Null, Null) { return true; }
+};
+
+/// A single cell: NULL, INT64, DOUBLE or STRING.
+class Value {
+ public:
+  Value() : v_(Null{}) {}
+  Value(Null) : v_(Null{}) {}                      // NOLINT(runtime/explicit)
+  Value(int64_t v) : v_(v) {}                      // NOLINT(runtime/explicit)
+  Value(int v) : v_(static_cast<int64_t>(v)) {}    // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                       // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}       // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}     // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<Null>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t int64() const { return std::get<int64_t>(v_); }
+  double dbl() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: int64 and double both render as double (for SUM/MIN/MAX
+  /// over either type).
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(int64()) : dbl();
+  }
+
+  std::string ToString() const {
+    if (is_null()) return "NULL";
+    if (is_int64()) return std::to_string(int64());
+    if (is_double()) return std::to_string(dbl());
+    return str();
+  }
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  std::variant<Null, int64_t, double, std::string> v_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_STORAGE_VALUE_H_

@@ -1,0 +1,78 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+TablePtr MakeTable(const std::string& name, int rows) {
+  TableBuilder b(Schema({{"x", DataType::kInt64, false}}));
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(b.AppendRow({Value(i)}).ok());
+  }
+  return *b.Build(name);
+}
+
+TEST(CatalogTest, RegisterAndGet) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterBase(MakeTable("r", 10)).ok());
+  auto r = cat.Get("r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 10u);
+  EXPECT_TRUE(cat.Exists("r"));
+  EXPECT_FALSE(cat.Exists("missing"));
+  EXPECT_TRUE(cat.Get("missing").status().IsNotFound());
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterBase(MakeTable("r", 1)).ok());
+  EXPECT_TRUE(cat.RegisterBase(MakeTable("r", 1)).IsAlreadyExists());
+  EXPECT_TRUE(cat.RegisterTemp(MakeTable("r", 1)).IsAlreadyExists());
+}
+
+TEST(CatalogTest, DropReleasesName) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterBase(MakeTable("r", 1)).ok());
+  ASSERT_TRUE(cat.Drop("r").ok());
+  EXPECT_FALSE(cat.Exists("r"));
+  EXPECT_TRUE(cat.Drop("r").IsNotFound());
+  // Name can be reused after drop.
+  EXPECT_TRUE(cat.RegisterBase(MakeTable("r", 2)).ok());
+}
+
+TEST(CatalogTest, TempStorageAccounting) {
+  Catalog cat;
+  EXPECT_EQ(cat.temp_bytes(), 0u);
+  TablePtr t1 = MakeTable("t1", 1000);
+  TablePtr t2 = MakeTable("t2", 500);
+  const uint64_t b1 = t1->ByteSize();
+  const uint64_t b2 = t2->ByteSize();
+  ASSERT_TRUE(cat.RegisterTemp(t1).ok());
+  ASSERT_TRUE(cat.RegisterTemp(t2).ok());
+  EXPECT_EQ(cat.temp_bytes(), b1 + b2);
+  EXPECT_EQ(cat.peak_temp_bytes(), b1 + b2);
+  ASSERT_TRUE(cat.Drop("t1").ok());
+  EXPECT_EQ(cat.temp_bytes(), b2);
+  // Peak is sticky.
+  EXPECT_EQ(cat.peak_temp_bytes(), b1 + b2);
+  cat.ResetPeakTempBytes();
+  EXPECT_EQ(cat.peak_temp_bytes(), b2);
+}
+
+TEST(CatalogTest, BaseTablesDoNotCountAsTemp) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterBase(MakeTable("r", 1000)).ok());
+  EXPECT_EQ(cat.temp_bytes(), 0u);
+}
+
+TEST(CatalogTest, NextTempNameUnique) {
+  Catalog cat;
+  const std::string n1 = cat.NextTempName("tmp");
+  ASSERT_TRUE(cat.RegisterTemp(MakeTable(n1, 1)).ok());
+  const std::string n2 = cat.NextTempName("tmp");
+  EXPECT_NE(n1, n2);
+}
+
+}  // namespace
+}  // namespace gbmqo

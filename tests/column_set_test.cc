@@ -1,0 +1,109 @@
+#include "common/column_set.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace gbmqo {
+namespace {
+
+TEST(ColumnSetTest, EmptyByDefault) {
+  ColumnSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.ToString(), "{}");
+}
+
+TEST(ColumnSetTest, InitializerListAndContains) {
+  ColumnSet s{0, 3, 7};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(s.ToString(), "{0,3,7}");
+}
+
+TEST(ColumnSetTest, SingleAndFirstN) {
+  EXPECT_EQ(ColumnSet::Single(5), (ColumnSet{5}));
+  EXPECT_EQ(ColumnSet::FirstN(3), (ColumnSet{0, 1, 2}));
+  EXPECT_EQ(ColumnSet::FirstN(0), ColumnSet());
+  EXPECT_EQ(ColumnSet::FirstN(64).size(), 64);
+}
+
+TEST(ColumnSetTest, SetAlgebra) {
+  ColumnSet a{0, 1, 2};
+  ColumnSet b{2, 3};
+  EXPECT_EQ(a.Union(b), (ColumnSet{0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), (ColumnSet{2}));
+  EXPECT_EQ(a.Minus(b), (ColumnSet{0, 1}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(ColumnSet{4}));
+}
+
+TEST(ColumnSetTest, SubsetRelations) {
+  ColumnSet a{0, 1, 2};
+  ColumnSet b{0, 2};
+  EXPECT_TRUE(a.ContainsAll(b));
+  EXPECT_TRUE(a.StrictSuperset(b));
+  EXPECT_FALSE(b.ContainsAll(a));
+  EXPECT_TRUE(a.ContainsAll(a));
+  EXPECT_FALSE(a.StrictSuperset(a));
+  EXPECT_TRUE(a.ContainsAll(ColumnSet()));  // empty set is subset of all
+}
+
+TEST(ColumnSetTest, WithWithout) {
+  ColumnSet s{1};
+  EXPECT_EQ(s.With(4), (ColumnSet{1, 4}));
+  EXPECT_EQ(s.Without(1), ColumnSet());
+  EXPECT_EQ(s.Without(9), s);  // removing absent column is a no-op
+}
+
+TEST(ColumnSetTest, ToVectorAscending) {
+  ColumnSet s{9, 2, 40};
+  std::vector<int> v = s.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 2);
+  EXPECT_EQ(v[1], 9);
+  EXPECT_EQ(v[2], 40);
+}
+
+TEST(ColumnSetTest, HashableInUnorderedSet) {
+  std::unordered_set<uint64_t> seen;
+  ColumnSetHash h;
+  // Distinct masks hash distinctly often enough to be usable (not a strict
+  // requirement, but a sanity check against a degenerate hash).
+  int collisions = 0;
+  for (uint64_t m = 1; m < 512; ++m) {
+    if (!seen.insert(h(ColumnSet(m))).second) ++collisions;
+  }
+  EXPECT_LT(collisions, 8);
+}
+
+TEST(ColumnSetTest, OrderingByMask) {
+  EXPECT_TRUE(ColumnSet{0} < ColumnSet{1});
+  EXPECT_TRUE((ColumnSet{0, 1}) < (ColumnSet{2}));
+}
+
+class ColumnSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColumnSetPropertyTest, UnionIsSupersetOfBoth) {
+  const uint64_t m = GetParam();
+  ColumnSet a(m & 0x0F0F0F0F0F0F0F0FULL);
+  ColumnSet b(m & 0xFF00FF00FF00FF00ULL);
+  ColumnSet u = a.Union(b);
+  EXPECT_TRUE(u.ContainsAll(a));
+  EXPECT_TRUE(u.ContainsAll(b));
+  EXPECT_EQ(u.Minus(a).Minus(b), ColumnSet());
+  EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+  EXPECT_EQ(u.size(), a.size() + b.size() - a.Intersect(b).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, ColumnSetPropertyTest,
+                         ::testing::Values(0ULL, 1ULL, 0xDEADBEEFULL,
+                                           0xFFFFFFFFFFFFFFFFULL,
+                                           0x123456789ABCDEF0ULL,
+                                           0x8000000000000001ULL));
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,138 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+TEST(ColumnTest, Int64AppendAndRead) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(5);
+  col.AppendInt64(-3);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.Int64At(0), 5);
+  EXPECT_EQ(col.Int64At(1), -3);
+  EXPECT_FALSE(col.has_nulls());
+}
+
+TEST(ColumnTest, DoubleAppendAndRead) {
+  Column col(DataType::kDouble);
+  col.AppendDouble(1.5);
+  EXPECT_DOUBLE_EQ(col.DoubleAt(0), 1.5);
+}
+
+TEST(ColumnTest, StringInterning) {
+  Column col(DataType::kString);
+  col.AppendString("alpha");
+  col.AppendString("beta");
+  col.AppendString("alpha");
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.StringAt(0), "alpha");
+  EXPECT_EQ(col.StringAt(2), "alpha");
+  EXPECT_EQ(col.dict_size(), 2u);
+  // Equal strings share a group code; distinct strings differ.
+  EXPECT_EQ(col.CodeAt(0), col.CodeAt(2));
+  EXPECT_NE(col.CodeAt(0), col.CodeAt(1));
+}
+
+TEST(ColumnTest, NullTracking) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(1);
+  col.AppendNull();
+  col.AppendInt64(3);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_TRUE(col.ValueAt(1).is_null());
+}
+
+TEST(ColumnTest, NullAfterManyRows) {
+  // Exercises lazy bitmap materialization past one 64-bit word.
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 100; ++i) col.AppendInt64(i);
+  col.AppendNull();
+  for (int i = 0; i < 100; ++i) col.AppendInt64(i);
+  EXPECT_TRUE(col.IsNull(100));
+  EXPECT_FALSE(col.IsNull(99));
+  EXPECT_FALSE(col.IsNull(101));
+  EXPECT_FALSE(col.IsNull(200));
+  EXPECT_EQ(col.null_count(), 1u);
+}
+
+TEST(ColumnTest, NullStringVsEmptyString) {
+  Column col(DataType::kString);
+  col.AppendString("");
+  col.AppendNull();
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.StringAt(0), "");
+}
+
+TEST(ColumnTest, GroupCodesInjectivePerType) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(0);
+  col.AppendInt64(-1);
+  col.AppendInt64(1);
+  EXPECT_NE(col.CodeAt(0), col.CodeAt(1));
+  EXPECT_NE(col.CodeAt(0), col.CodeAt(2));
+  EXPECT_NE(col.CodeAt(1), col.CodeAt(2));
+}
+
+TEST(ColumnTest, DoubleCodesDistinguishValues) {
+  Column col(DataType::kDouble);
+  col.AppendDouble(0.1);
+  col.AppendDouble(0.2);
+  col.AppendDouble(0.1);
+  EXPECT_EQ(col.CodeAt(0), col.CodeAt(2));
+  EXPECT_NE(col.CodeAt(0), col.CodeAt(1));
+}
+
+TEST(ColumnTest, AppendValueTypeChecks) {
+  Column col(DataType::kInt64);
+  EXPECT_TRUE(col.AppendValue(Value(1)).ok());
+  EXPECT_TRUE(col.AppendValue(Value(Null{})).ok());
+  EXPECT_FALSE(col.AppendValue(Value("s")).ok());
+  Column dcol(DataType::kDouble);
+  EXPECT_TRUE(dcol.AppendValue(Value(2.0)).ok());
+  EXPECT_TRUE(dcol.AppendValue(Value(7)).ok());  // int widens to double
+  EXPECT_DOUBLE_EQ(dcol.DoubleAt(1), 7.0);
+}
+
+TEST(ColumnTest, AppendFromCopiesValuesAndNulls) {
+  Column src(DataType::kString);
+  src.AppendString("x");
+  src.AppendNull();
+  Column dst(DataType::kString);
+  dst.AppendFrom(src, 0);
+  dst.AppendFrom(src, 1);
+  EXPECT_EQ(dst.StringAt(0), "x");
+  EXPECT_TRUE(dst.IsNull(1));
+}
+
+TEST(ColumnTest, ByteSizeGrowsWithData) {
+  Column col(DataType::kInt64);
+  const size_t empty = col.ByteSize();
+  for (int i = 0; i < 1000; ++i) col.AppendInt64(i);
+  EXPECT_GE(col.ByteSize(), empty + 8000);
+}
+
+TEST(ColumnTest, AvgWidthStringsReflectLength) {
+  Column col(DataType::kString);
+  for (int i = 0; i < 100; ++i) col.AppendString("0123456789");  // 10 bytes
+  // width >= payload (10) and includes the 4-byte code.
+  EXPECT_GE(col.AvgWidthBytes(), 10.0);
+}
+
+TEST(ColumnTest, NumericAt) {
+  Column icol(DataType::kInt64);
+  icol.AppendInt64(4);
+  EXPECT_DOUBLE_EQ(icol.NumericAt(0), 4.0);
+  Column dcol(DataType::kDouble);
+  dcol.AppendDouble(2.5);
+  EXPECT_DOUBLE_EQ(dcol.NumericAt(0), 2.5);
+}
+
+}  // namespace
+}  // namespace gbmqo

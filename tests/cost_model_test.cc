@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "cost/optimizer_cost_model.h"
+#include "cost/whatif.h"
+
+namespace gbmqo {
+namespace {
+
+TablePtr MakeBase(int rows) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                         {"b", DataType::kInt64, false},
+                         {"c", DataType::kString, false}}));
+  Rng rng(5);
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(10))),
+                             Value(static_cast<int64_t>(rng.Uniform(100))),
+                             Value("v" + std::to_string(rng.Uniform(7)))})
+                    .ok());
+  }
+  return *b.Build("r");
+}
+
+NodeDesc Desc(ColumnSet cols, double rows, double width, bool root = false) {
+  return NodeDesc{cols, rows, width, root};
+}
+
+TEST(CardinalityCostModelTest, EdgeCostIsParentRows) {
+  CardinalityCostModel model;
+  NodeDesc u = Desc(ColumnSet{0, 1}, 1000, 16);
+  NodeDesc v = Desc(ColumnSet{0}, 10, 8);
+  EXPECT_DOUBLE_EQ(model.QueryCost(u, v), 1000.0);
+  EXPECT_DOUBLE_EQ(model.MaterializeCost(v), 0.0);
+  EXPECT_EQ(model.optimizer_calls(), 1u);
+}
+
+TEST(OptimizerCostModelTest, SmallerParentIsCheaper) {
+  TablePtr t = MakeBase(1000);
+  OptimizerCostModel model(*t);
+  NodeDesc root = Desc(ColumnSet{0, 1, 2}, 1000, 24, true);
+  NodeDesc mid = Desc(ColumnSet{0, 1}, 50, 24);
+  NodeDesc leaf = Desc(ColumnSet{0}, 10, 16);
+  EXPECT_LT(model.QueryCost(mid, leaf), model.QueryCost(root, leaf));
+}
+
+TEST(OptimizerCostModelTest, MaterializeScalesWithBytes) {
+  TablePtr t = MakeBase(100);
+  OptimizerCostModel model(*t);
+  NodeDesc small = Desc(ColumnSet{0}, 10, 16);
+  NodeDesc large = Desc(ColumnSet{0, 1}, 1000, 24);
+  EXPECT_LT(model.MaterializeCost(small), model.MaterializeCost(large));
+  EXPECT_DOUBLE_EQ(model.MaterializeCost(small),
+                   10 * 16 * model.params().materialize_byte);
+}
+
+TEST(OptimizerCostModelTest, CoveringIndexCheapensRootEdge) {
+  TablePtr t = MakeBase(10000);
+  OptimizerCostModel no_index(*t);
+  NodeDesc root = Desc(ColumnSet{0, 1, 2}, 10000, t->AvgRowWidth({}), true);
+  NodeDesc leaf = Desc(ColumnSet{0}, 10, 16);
+  const double before = no_index.QueryCost(root, leaf);
+
+  ASSERT_TRUE(t->CreateIndex(ColumnSet{0}).ok());
+  OptimizerCostModel with_index(*t);
+  const double after = with_index.QueryCost(root, leaf);
+  EXPECT_LT(after, before);
+}
+
+TEST(OptimizerCostModelTest, IndexOnlyHelpsRootEdges) {
+  TablePtr t = MakeBase(10000);
+  ASSERT_TRUE(t->CreateIndex(ColumnSet{0}).ok());
+  OptimizerCostModel model(*t);
+  // Same column set but NOT the root: temp tables are heaps.
+  NodeDesc temp = Desc(ColumnSet{0, 1, 2}, 10000, t->AvgRowWidth({}), false);
+  NodeDesc leaf = Desc(ColumnSet{0}, 10, 16);
+  const double via_temp = model.QueryCost(temp, leaf);
+  NodeDesc root = temp;
+  root.is_root = true;
+  const double via_root = model.QueryCost(root, leaf);
+  EXPECT_LT(via_root, via_temp);
+}
+
+TEST(OptimizerCostModelTest, CachingCountsDistinctCallsOnly) {
+  TablePtr t = MakeBase(100);
+  OptimizerCostModel model(*t);
+  NodeDesc u = Desc(ColumnSet{0, 1}, 50, 16);
+  NodeDesc v = Desc(ColumnSet{0}, 10, 16);
+  model.QueryCost(u, v);
+  model.QueryCost(u, v);
+  model.QueryCost(u, v);
+  EXPECT_EQ(model.optimizer_calls(), 1u);
+  NodeDesc w = Desc(ColumnSet{1}, 10, 16);
+  model.QueryCost(u, w);
+  EXPECT_EQ(model.optimizer_calls(), 2u);
+}
+
+TEST(OptimizerCostModelTest, MonotoneInParentRows) {
+  TablePtr t = MakeBase(100);
+  OptimizerCostModel model(*t);
+  NodeDesc v = Desc(ColumnSet{0}, 10, 16);
+  double prev = 0;
+  for (double rows : {100.0, 1000.0, 10000.0}) {
+    NodeDesc u = Desc(ColumnSet{0, 1}, rows, 16);
+    // Distinct cache keys: vary width marker via columns? Same columns →
+    // cached. Use mask trick: different parent column sets.
+    u.columns = ColumnSet(static_cast<uint64_t>(rows));
+    const double c = model.QueryCost(u, v);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(WhatIfProviderTest, RootAndHypothetical) {
+  TablePtr t = MakeBase(5000);
+  StatisticsManager stats(*t);
+  WhatIfProvider whatif(&stats);
+  NodeDesc root = whatif.Root();
+  EXPECT_TRUE(root.is_root);
+  EXPECT_DOUBLE_EQ(root.rows, 5000.0);
+  EXPECT_GT(root.row_width, 0.0);
+
+  NodeDesc a = whatif.Describe(ColumnSet{0});
+  EXPECT_FALSE(a.is_root);
+  EXPECT_DOUBLE_EQ(a.rows, 10.0);  // column a has 10 distinct values
+  EXPECT_GE(a.row_width, 8.0 + 8.0);  // key + one agg column
+
+  // More carried aggregates widen the hypothetical row.
+  NodeDesc a3 = whatif.Describe(ColumnSet{0}, 3);
+  EXPECT_GT(a3.row_width, a.row_width);
+}
+
+TEST(WhatIfProviderTest, SupersetHasAtLeastSubsetCardinality) {
+  TablePtr t = MakeBase(20000);
+  StatisticsManager stats(*t);
+  WhatIfProvider whatif(&stats);
+  const double da = whatif.Describe(ColumnSet{0}).rows;
+  const double dab = whatif.Describe(ColumnSet{0, 1}).rows;
+  const double dabc = whatif.Describe(ColumnSet{0, 1, 2}).rows;
+  EXPECT_GE(dab, da);
+  EXPECT_GE(dabc, dab);
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,116 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gbmqo {
+namespace {
+
+TEST(CsvSplitTest, PlainFields) {
+  auto f = SplitCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvSplitTest, QuotedFieldsAndEscapes) {
+  auto f = SplitCsvLine(R"("hello, world",plain,"say ""hi""")");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "hello, world");
+  EXPECT_EQ(f[1], "plain");
+  EXPECT_EQ(f[2], "say \"hi\"");
+}
+
+TEST(CsvSplitTest, EmptyFieldsPreserved) {
+  auto f = SplitCsvLine("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(CsvReadTest, TypeInference) {
+  std::istringstream in("id,score,label\n1,2.5,x\n2,3.5,y\n3,4,z\n");
+  auto t = ReadCsv(in, "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ((*t)->num_rows(), 3u);
+  EXPECT_EQ((*t)->schema().column(0).type, DataType::kInt64);
+  EXPECT_EQ((*t)->schema().column(1).type, DataType::kDouble);
+  EXPECT_EQ((*t)->schema().column(2).type, DataType::kString);
+  EXPECT_EQ((*t)->column(0).Int64At(2), 3);
+  EXPECT_DOUBLE_EQ((*t)->column(1).DoubleAt(0), 2.5);
+  EXPECT_EQ((*t)->column(2).StringAt(1), "y");
+}
+
+TEST(CsvReadTest, EmptyCellsBecomeNull) {
+  std::istringstream in("a,b\n1,2\n,4\n");
+  auto t = ReadCsv(in, "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->column(0).IsNull(1));
+  EXPECT_EQ((*t)->column(1).Int64At(1), 4);
+}
+
+TEST(CsvReadTest, ExplicitTypesOverrideInference) {
+  std::istringstream in("a\n1\n2\n");
+  CsvReadOptions options;
+  options.types = {DataType::kString};
+  auto t = ReadCsv(in, "t", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->column(0).StringAt(0), "1");
+}
+
+TEST(CsvReadTest, MaxRows) {
+  std::istringstream in("a\n1\n2\n3\n4\n");
+  CsvReadOptions options;
+  options.max_rows = 2;
+  auto t = ReadCsv(in, "t", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, Errors) {
+  std::istringstream empty("");
+  EXPECT_FALSE(ReadCsv(empty, "t").ok());
+  std::istringstream ragged("a,b\n1\n");
+  EXPECT_FALSE(ReadCsv(ragged, "t").ok());
+  std::istringstream bad_type("a\nx\n");
+  CsvReadOptions force_int;
+  force_int.types = {DataType::kInt64};
+  EXPECT_FALSE(ReadCsv(bad_type, "t", force_int).ok());
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/file.csv", "t").ok());
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesData) {
+  TableBuilder b(Schema({{"i", DataType::kInt64, true},
+                         {"d", DataType::kDouble, false},
+                         {"s", DataType::kString, false}}));
+  ASSERT_TRUE(b.AppendRow({Value(1), Value(1.5), Value("plain")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(Null{}), Value(2.5), Value("with,comma")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(3), Value(3.5), Value("has \"quote\"")}).ok());
+  TablePtr t = *b.Build("orig");
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*t, out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadCsv(in, "copy");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ((*back)->num_rows(), 3u);
+  EXPECT_TRUE((*back)->column(0).IsNull(1));
+  EXPECT_EQ((*back)->column(0).Int64At(2), 3);
+  EXPECT_EQ((*back)->column(2).StringAt(1), "with,comma");
+  EXPECT_EQ((*back)->column(2).StringAt(2), "has \"quote\"");
+}
+
+TEST(CsvRoundTripTest, HeaderQuoting) {
+  TableBuilder b(Schema({{"weird,name", DataType::kInt64, false}}));
+  ASSERT_TRUE(b.AppendRow({Value(1)}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(**b.Build("t"), out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadCsv(in, "copy");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->schema().column(0).name, "weird,name");
+}
+
+}  // namespace
+}  // namespace gbmqo

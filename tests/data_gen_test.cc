@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "data/nref_gen.h"
+#include "data/sales_gen.h"
+#include "data/tpch_gen.h"
+#include "data/widen.h"
+#include "stats/distinct_estimator.h"
+
+namespace gbmqo {
+namespace {
+
+TEST(TpchGenTest, SchemaAndRowCount) {
+  TablePtr t = GenerateLineitem({.rows = 5000});
+  EXPECT_EQ(t->name(), "lineitem");
+  EXPECT_EQ(t->schema().num_columns(), kNumLineitemColumns);
+  EXPECT_EQ(t->num_rows(), 5000u);
+  EXPECT_EQ(t->schema().FindColumn("l_shipdate"), kShipdate);
+}
+
+TEST(TpchGenTest, DomainCardinalities) {
+  TablePtr t = GenerateLineitem({.rows = 50000});
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet{kReturnflag}), 3u);
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet{kLinestatus}), 2u);
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet{kShipmode}), 7u);
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet{kShipinstruct}), 4u);
+  EXPECT_LE(ExactDistinctCount(*t, ColumnSet{kQuantity}), 50u);
+  EXPECT_LE(ExactDistinctCount(*t, ColumnSet{kDiscount}), 11u);
+  EXPECT_LE(ExactDistinctCount(*t, ColumnSet{kTax}), 9u);
+  EXPECT_LE(ExactDistinctCount(*t, ColumnSet{kShipdate}), 2526u);
+  // Comment is dense (near-unique).
+  EXPECT_GT(ExactDistinctCount(*t, ColumnSet{kComment}), 20000u);
+}
+
+TEST(TpchGenTest, DateCorrelationCompresses) {
+  // The joint (receiptdate, commitdate) cardinality must be far below the
+  // independence product — the structural fact the paper's plan exploits.
+  TablePtr t = GenerateLineitem({.rows = 100000, .date_domain = 2526});
+  const uint64_t receipt = ExactDistinctCount(*t, ColumnSet{kReceiptdate});
+  const uint64_t commit = ExactDistinctCount(*t, ColumnSet{kCommitdate});
+  const uint64_t joint =
+      ExactDistinctCount(*t, ColumnSet{kReceiptdate, kCommitdate});
+  EXPECT_LT(joint, receipt * commit / 10);
+  EXPECT_LT(joint, t->num_rows());
+}
+
+TEST(TpchGenTest, ReceiptAfterShip) {
+  TablePtr t = GenerateLineitem({.rows = 2000});
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    EXPECT_GT(t->column(kReceiptdate).Int64At(i),
+              t->column(kShipdate).Int64At(i));
+  }
+}
+
+TEST(TpchGenTest, DeterministicForSeed) {
+  TablePtr a = GenerateLineitem({.rows = 1000, .seed = 5});
+  TablePtr b = GenerateLineitem({.rows = 1000, .seed = 5});
+  for (size_t i = 0; i < 1000; i += 97) {
+    EXPECT_EQ(a->Row(i), b->Row(i));
+  }
+}
+
+TEST(TpchGenTest, SkewReducesEffectiveDistincts) {
+  TablePtr uniform =
+      GenerateLineitem({.rows = 30000, .zipf_theta = 0.0, .date_domain = 2526});
+  TablePtr skewed =
+      GenerateLineitem({.rows = 30000, .zipf_theta = 2.0, .date_domain = 2526});
+  // Under heavy skew far fewer shipdate values actually appear.
+  EXPECT_LT(ExactDistinctCount(*skewed, ColumnSet{kShipdate}),
+            ExactDistinctCount(*uniform, ColumnSet{kShipdate}) / 2);
+}
+
+TEST(TpchGenTest, AnalysisColumnsAreTwelve) {
+  const auto cols = LineitemAnalysisColumns();
+  EXPECT_EQ(cols.size(), 12u);
+  for (int c : cols) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, kNumLineitemColumns);
+  }
+}
+
+TEST(SalesGenTest, SchemaAndHierarchyCorrelation) {
+  TablePtr t = GenerateSales({.rows = 30000});
+  EXPECT_EQ(t->schema().num_columns(), kNumSalesColumns);
+  // Geography hierarchy: (region) is implied by (state).
+  const uint64_t state = ExactDistinctCount(*t, ColumnSet{kState});
+  const uint64_t state_region =
+      ExactDistinctCount(*t, ColumnSet{kState, kRegion});
+  EXPECT_EQ(state, state_region);
+  EXPECT_LE(state, 50u);
+  // Promo has nulls.
+  EXPECT_GT(t->column(kPromoId).null_count(), 0u);
+}
+
+TEST(NrefGenTest, SchemaAndProfiles) {
+  TablePtr t = GenerateNref({.rows = 30000});
+  EXPECT_EQ(t->schema().num_columns(), kNumNrefColumns);
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet{kDbSource}), 7u);
+  EXPECT_LE(ExactDistinctCount(*t, ColumnSet{kIdentityPct}), 101u);
+  // Score correlates with identity: joint cardinality ≈ score cardinality.
+  const uint64_t score = ExactDistinctCount(*t, ColumnSet{kScore});
+  const uint64_t joint =
+      ExactDistinctCount(*t, ColumnSet{kScore, kIdentityPct});
+  EXPECT_EQ(score, joint);
+}
+
+TEST(WidenTest, SharesStorageAndRenames) {
+  TablePtr t = GenerateLineitem({.rows = 1000});
+  auto wide = WidenTable(*t, LineitemAnalysisColumns(), 3, "wide");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ((*wide)->schema().num_columns(), 36);
+  EXPECT_EQ((*wide)->num_rows(), 1000u);
+  // Repetition 0 keeps names; later reps get suffixes.
+  EXPECT_GE((*wide)->schema().FindColumn("l_shipdate"), 0);
+  EXPECT_GE((*wide)->schema().FindColumn("l_shipdate__r2"), 0);
+  // Storage is shared: identical column objects.
+  const int orig = (*wide)->schema().FindColumn("l_shipdate");
+  const int rep = (*wide)->schema().FindColumn("l_shipdate__r1");
+  EXPECT_EQ((*wide)->column_ptr(orig).get(), (*wide)->column_ptr(rep).get());
+}
+
+TEST(WidenTest, RejectsOverflowAndBadArgs) {
+  TablePtr t = GenerateLineitem({.rows = 10});
+  EXPECT_FALSE(WidenTable(*t, LineitemAnalysisColumns(), 6, "w").ok());  // 72 > 64
+  EXPECT_FALSE(WidenTable(*t, {0}, 0, "w").ok());
+  EXPECT_FALSE(WidenTable(*t, {99}, 1, "w").ok());
+}
+
+}  // namespace
+}  // namespace gbmqo

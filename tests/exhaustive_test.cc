@@ -1,0 +1,151 @@
+#include "core/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/optimizer_cost_model.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+struct Fixture {
+  Fixture() : table(GenerateLineitem({.rows = 4000, .seed = 17})),
+              stats(*table),
+              whatif(&stats) {}
+  TablePtr table;
+  StatisticsManager stats;
+  WhatIfProvider whatif;
+};
+
+TEST(ExhaustiveTest, OptimalAtMostGreedyAtMostNaive) {
+  Fixture f;
+  auto requests = SingleColumnRequests(
+      {kQuantity, kReturnflag, kLinestatus, kShipdate, kCommitdate,
+       kReceiptdate, kShipmode});
+
+  OptimizerCostModel gm(*f.table);
+  GbMqoOptimizer greedy(&gm, &f.whatif);
+  auto gr = greedy.Optimize(requests);
+  ASSERT_TRUE(gr.ok());
+
+  OptimizerCostModel em(*f.table);
+  ExhaustiveOptimizer exhaustive(&em, &f.whatif);
+  auto er = exhaustive.Optimize(requests);
+  ASSERT_TRUE(er.ok()) << er.status().ToString();
+
+  EXPECT_LE(er->cost, gr->cost + 1e-6);
+  EXPECT_LE(gr->cost, gr->naive_cost + 1e-6);
+  EXPECT_DOUBLE_EQ(er->naive_cost, gr->naive_cost);
+}
+
+TEST(ExhaustiveTest, ReconstructedPlanPricesAtReportedCost) {
+  Fixture f;
+  auto requests = SingleColumnRequests(
+      {kQuantity, kReturnflag, kShipdate, kCommitdate, kShipmode});
+  OptimizerCostModel model(*f.table);
+  ExhaustiveOptimizer exhaustive(&model, &f.whatif);
+  auto r = exhaustive.Optimize(requests);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->plan.Validate(requests).ok());
+  EXPECT_NEAR(r->cost, CostPlan(r->plan, &model, &f.whatif),
+              1e-6 * (1 + r->cost));
+}
+
+TEST(ExhaustiveTest, TwoIdenticalDistributionsMerge) {
+  // Two perfectly correlated columns: optimal plan shares an intermediate.
+  TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                         {"b", DataType::kInt64, false},
+                         {"u", DataType::kInt64, false}}));
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.Uniform(16));
+    ASSERT_TRUE(
+        b.AppendRow({Value(a), Value(a + 1), Value(static_cast<int64_t>(i))})
+            .ok());
+  }
+  TablePtr t = *b.Build("r");
+  StatisticsManager stats(*t);
+  WhatIfProvider whatif(&stats);
+  OptimizerCostModel model(*t);
+  ExhaustiveOptimizer exhaustive(&model, &whatif);
+  auto requests = SingleColumnRequests({0, 1, 2});
+  auto r = exhaustive.Optimize(requests);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->cost, r->naive_cost);
+  // Expect (a,b) shared and (u) direct: two sub-plans.
+  ASSERT_EQ(r->plan.subplans.size(), 2u);
+}
+
+TEST(ExhaustiveTest, RequestEqualToUnionServedByNode) {
+  // Requests {(a),(b),(a,b)}: the optimal plan materializes (a,b) once,
+  // serves the pair request from it, and computes (a),(b) from it.
+  TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                         {"b", DataType::kInt64, false}}));
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(10))),
+                             Value(static_cast<int64_t>(rng.Uniform(10)))})
+                    .ok());
+  }
+  TablePtr t = *b.Build("r");
+  StatisticsManager stats(*t);
+  WhatIfProvider whatif(&stats);
+  OptimizerCostModel model(*t);
+  ExhaustiveOptimizer exhaustive(&model, &whatif);
+  std::vector<GroupByRequest> requests = {GroupByRequest::Count({0}),
+                                          GroupByRequest::Count({1}),
+                                          GroupByRequest::Count({0, 1})};
+  auto r = exhaustive.Optimize(requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->plan.subplans.size(), 1u);
+  const PlanNode& root = r->plan.subplans[0];
+  EXPECT_EQ(root.columns, (ColumnSet{0, 1}));
+  EXPECT_TRUE(root.required);
+  EXPECT_EQ(root.children.size(), 2u);
+}
+
+TEST(ExhaustiveTest, GreedyOftenMatchesOptimalOnSmallInputs) {
+  // Not a guarantee (hill climbing is heuristic), but on independent
+  // uniform columns the ratio should be close to 1 — this also guards
+  // against the exhaustive DP being accidentally *worse* than greedy.
+  Fixture f;
+  Rng rng(31);
+  const std::vector<int> pool = LineitemAnalysisColumns();
+  int matches = 0;
+  const int kTrials = 5;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<int> cols;
+    std::vector<int> shuffled = pool;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+    }
+    cols.assign(shuffled.begin(), shuffled.begin() + 5);
+    auto requests = SingleColumnRequests(cols);
+    OptimizerCostModel gm(*f.table), em(*f.table);
+    auto gr = GbMqoOptimizer(&gm, &f.whatif).Optimize(requests);
+    auto er = ExhaustiveOptimizer(&em, &f.whatif).Optimize(requests);
+    ASSERT_TRUE(gr.ok());
+    ASSERT_TRUE(er.ok());
+    EXPECT_LE(er->cost, gr->cost + 1e-6);
+    EXPECT_LE(gr->cost, er->cost * 1.5) << "greedy far from optimal";
+    if (gr->cost <= er->cost * 1.10) ++matches;
+  }
+  EXPECT_GE(matches, 3) << "greedy should be near-optimal most of the time";
+}
+
+TEST(ExhaustiveTest, RejectsTooManyRequests) {
+  Fixture f;
+  OptimizerCostModel model(*f.table);
+  ExhaustiveOptimizer exhaustive(&model, &f.whatif);
+  std::vector<GroupByRequest> requests;
+  for (int i = 0; i < ExhaustiveOptimizer::kMaxRequests + 1; ++i) {
+    requests.push_back(GroupByRequest::Count(ColumnSet{i % 16}));
+  }
+  // (duplicates aside, the size check fires first for a clearly long list)
+  auto r = exhaustive.Optimize(requests);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace gbmqo

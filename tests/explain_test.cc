@@ -1,0 +1,72 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "cost/optimizer_cost_model.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+struct Fixture {
+  Fixture() : table(GenerateLineitem({.rows = 3000})), stats(*table),
+              whatif(&stats), model(*table) {}
+  TablePtr table;
+  StatisticsManager stats;
+  WhatIfProvider whatif;
+  OptimizerCostModel model;
+};
+
+TEST(ExplainTest, RendersNaivePlan) {
+  Fixture f;
+  auto requests = SingleColumnRequests({kReturnflag, kShipmode});
+  const std::string out = ExplainPlan(NaivePlan(requests), f.table->schema(),
+                                      &f.model, &f.whatif);
+  EXPECT_NE(out.find("R (3000 rows"), std::string::npos);
+  EXPECT_NE(out.find("{l_returnflag}*"), std::string::npos);
+  EXPECT_NE(out.find("{l_shipmode}*"), std::string::npos);
+  EXPECT_NE(out.find("rows≈3"), std::string::npos);  // returnflag has 3
+  // Leaves are not spooled.
+  EXPECT_EQ(out.find("spool"), std::string::npos);
+}
+
+TEST(ExplainTest, RendersOptimizedPlanWithSpoolsAndMarks) {
+  Fixture f;
+  auto requests = SingleColumnRequests(LineitemAnalysisColumns());
+  GbMqoOptimizer opt(&f.model, &f.whatif);
+  auto r = opt.Optimize(requests);
+  ASSERT_TRUE(r.ok());
+  const std::string out =
+      ExplainPlan(r->plan, f.table->schema(), &f.model, &f.whatif);
+  // The optimized lineitem plan materializes at least one intermediate.
+  EXPECT_NE(out.find("spool≈"), std::string::npos);
+  EXPECT_TRUE(out.find("[DF]") != std::string::npos ||
+              out.find("[BF]") != std::string::npos);
+  EXPECT_NE(out.find("total-cost≈"), std::string::npos);
+  // Tree glyphs present.
+  EXPECT_NE(out.find("└─"), std::string::npos);
+}
+
+TEST(ExplainTest, RendersCubeAndRollup) {
+  Fixture f;
+  LogicalPlan plan;
+  PlanNode cube;
+  cube.columns = {kReturnflag, kLinestatus};
+  cube.kind = NodeKind::kCube;
+  cube.required = true;
+  plan.subplans.push_back(cube);
+  PlanNode rollup;
+  rollup.columns = {kShipdate, kShipmode};
+  rollup.kind = NodeKind::kRollup;
+  rollup.rollup_order = {kShipdate, kShipmode};
+  rollup.required = true;
+  plan.subplans.push_back(rollup);
+  const std::string out =
+      ExplainPlan(plan, f.table->schema(), &f.model, &f.whatif);
+  EXPECT_NE(out.find("CUBE {l_returnflag,l_linestatus}"), std::string::npos);
+  EXPECT_NE(out.find("ROLLUP {l_shipdate,l_shipmode}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,104 @@
+#include "exec/group_hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gbmqo {
+namespace {
+
+TEST(GroupHashTableTest, InsertAndFind) {
+  GroupHashTable t(1);
+  uint64_t k1 = 10, k2 = 20;
+  bool inserted = false;
+  EXPECT_EQ(t.FindOrInsert(&k1, &inserted), 0u);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(t.FindOrInsert(&k2, &inserted), 1u);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(t.FindOrInsert(&k1, &inserted), 0u);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(GroupHashTableTest, KeyOfReturnsStoredKey) {
+  GroupHashTable t(2);
+  uint64_t key[2] = {7, 9};
+  const uint32_t id = t.FindOrInsert(key);
+  EXPECT_EQ(t.KeyOf(id)[0], 7u);
+  EXPECT_EQ(t.KeyOf(id)[1], 9u);
+}
+
+TEST(GroupHashTableTest, WideKeysDistinguished) {
+  GroupHashTable t(3);
+  uint64_t a[3] = {1, 2, 3};
+  uint64_t b[3] = {1, 2, 4};
+  EXPECT_NE(t.FindOrInsert(a), t.FindOrInsert(b));
+}
+
+TEST(GroupHashTableTest, GrowPreservesMappings) {
+  GroupHashTable t(1, 16);
+  std::unordered_map<uint64_t, uint32_t> reference;
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t k = rng.Uniform(3000);
+    const uint32_t id = t.FindOrInsert(&k);
+    auto it = reference.find(k);
+    if (it == reference.end()) {
+      reference.emplace(k, id);
+    } else {
+      EXPECT_EQ(it->second, id) << "key " << k;
+    }
+  }
+  EXPECT_EQ(t.size(), reference.size());
+}
+
+TEST(GroupHashTableTest, DenseIdsInInsertionOrder) {
+  GroupHashTable t(1);
+  for (uint64_t k = 100; k < 200; ++k) {
+    EXPECT_EQ(t.FindOrInsert(&k), static_cast<uint32_t>(k - 100));
+  }
+}
+
+TEST(GroupHashTableTest, ZeroKeyIsValid) {
+  GroupHashTable t(2);
+  uint64_t zero[2] = {0, 0};
+  const uint32_t id = t.FindOrInsert(zero);
+  bool inserted = true;
+  EXPECT_EQ(t.FindOrInsert(zero, &inserted), id);
+  EXPECT_FALSE(inserted);
+}
+
+TEST(GroupHashTableTest, ProbeCounterAdvances) {
+  GroupHashTable t(1);
+  uint64_t k = 1;
+  t.FindOrInsert(&k);
+  EXPECT_GE(t.probes(), 1u);
+}
+
+class KeyWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyWidthTest, ManyRandomKeysRoundTrip) {
+  const int width = GetParam();
+  GroupHashTable t(width);
+  Rng rng(static_cast<uint64_t>(width));
+  std::vector<std::vector<uint64_t>> keys;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<uint64_t> k(static_cast<size_t>(width));
+    for (auto& w : k) w = rng.Uniform(50);
+    keys.push_back(k);
+  }
+  std::vector<uint32_t> ids;
+  for (auto& k : keys) ids.push_back(t.FindOrInsert(k.data()));
+  // Re-looking up yields identical ids.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(t.FindOrInsert(keys[i].data()), ids[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KeyWidthTest, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,101 @@
+#include "core/grouping_sets_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+Schema LineitemSchema() { return GenerateLineitem({.rows = 1})->schema(); }
+
+TEST(GroupingSetsPlannerTest, ManySingleColumnsUseUnionPlan) {
+  Schema schema = LineitemSchema();
+  auto requests = SingleColumnRequests(LineitemAnalysisColumns());
+  GroupingSetsPlanner planner;
+  auto plan = planner.Plan(requests, schema);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // One sub-plan: GROUP BY union-of-all-columns, every request beneath it.
+  ASSERT_EQ(plan->subplans.size(), 1u);
+  const PlanNode& top = plan->subplans[0];
+  EXPECT_EQ(top.columns.size(), 12);
+  EXPECT_EQ(top.children.size(), requests.size());
+  EXPECT_TRUE(plan->Validate(requests).ok());
+}
+
+TEST(GroupingSetsPlannerTest, ContainmentInputUsesSharedSortChains) {
+  // The paper's CONT workload: three dates, three pairs.
+  Schema schema = LineitemSchema();
+  std::vector<GroupByRequest> requests = {
+      GroupByRequest::Count({kShipdate}),
+      GroupByRequest::Count({kCommitdate}),
+      GroupByRequest::Count({kReceiptdate}),
+      GroupByRequest::Count({kShipdate, kCommitdate}),
+      GroupByRequest::Count({kShipdate, kReceiptdate}),
+      GroupByRequest::Count({kCommitdate, kReceiptdate}),
+  };
+  GroupingSetsPlanner planner;
+  auto plan = planner.Plan(requests, schema);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Validate(requests).ok());
+  // Three chains, one per two-column maximal set, each sort-hinted.
+  ASSERT_EQ(plan->subplans.size(), 3u);
+  for (const PlanNode& sub : plan->subplans) {
+    EXPECT_EQ(sub.columns.size(), 2);
+    EXPECT_TRUE(sub.required);
+    EXPECT_EQ(sub.strategy_hint, AggStrategy::kSort);
+    EXPECT_EQ(sub.children.size(), 1u);  // one subsumed single
+  }
+}
+
+TEST(GroupingSetsPlannerTest, SingleRequestIsOneLeaf) {
+  Schema schema = LineitemSchema();
+  auto requests = SingleColumnRequests({kShipmode});
+  GroupingSetsPlanner planner;
+  auto plan = planner.Plan(requests, schema);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->subplans.size(), 1u);
+  EXPECT_TRUE(plan->subplans[0].is_leaf());
+  EXPECT_TRUE(plan->Validate(requests).ok());
+}
+
+TEST(GroupingSetsPlannerTest, ChainThresholdConfigurable) {
+  Schema schema = LineitemSchema();
+  auto requests = SingleColumnRequests({kReturnflag, kLinestatus, kShipmode,
+                                        kShipinstruct});
+  GroupingSetsPlannerOptions generous;
+  generous.max_sort_chains = 10;
+  auto plan = GroupingSetsPlanner(generous).Plan(requests, schema);
+  ASSERT_TRUE(plan.ok());
+  // With a generous threshold, four disjoint singles stay four chains.
+  EXPECT_EQ(plan->subplans.size(), 4u);
+
+  GroupingSetsPlannerOptions strict;
+  strict.max_sort_chains = 3;
+  auto plan2 = GroupingSetsPlanner(strict).Plan(requests, schema);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(plan2->subplans.size(), 1u);  // union plan
+}
+
+TEST(GroupingSetsPlannerTest, UnionPlanCarriesAggregates) {
+  Schema schema = LineitemSchema();
+  std::vector<GroupByRequest> requests = {
+      {ColumnSet{kReturnflag}, {AggRequest{AggKind::kSum, kQuantity}}},
+      GroupByRequest::Count({kLinestatus}),
+      GroupByRequest::Count({kShipmode}),
+      GroupByRequest::Count({kShipinstruct}),
+  };
+  GroupingSetsPlanner planner;
+  auto plan = planner.Plan(requests, schema);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Validate(requests).ok());
+}
+
+TEST(GroupingSetsPlannerTest, RejectsInvalidRequests) {
+  Schema schema = LineitemSchema();
+  GroupingSetsPlanner planner;
+  EXPECT_FALSE(planner.Plan({}, schema).ok());
+}
+
+}  // namespace
+}  // namespace gbmqo

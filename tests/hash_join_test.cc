@@ -1,0 +1,102 @@
+#include "exec/hash_join.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+TablePtr MakeLeft() {
+  TableBuilder b(Schema({{"k", DataType::kInt64, true},
+                         {"v", DataType::kString, false}}));
+  EXPECT_TRUE(b.AppendRow({Value(1), Value("a")}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(2), Value("b")}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(2), Value("c")}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(Null{}), Value("n")}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(9), Value("x")}).ok());
+  return *b.Build("l");
+}
+
+TablePtr MakeRight() {
+  TableBuilder b(Schema({{"k", DataType::kInt64, false},
+                         {"w", DataType::kInt64, false}}));
+  EXPECT_TRUE(b.AppendRow({Value(1), Value(10)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(2), Value(20)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(2), Value(21)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(3), Value(30)}).ok());
+  return *b.Build("r");
+}
+
+TEST(HashJoinTest, InnerJoinCardinality) {
+  ExecContext ctx;
+  auto j = HashJoin(*MakeLeft(), *MakeRight(), {0, 0}, "j", &ctx);
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  // k=1: 1x1; k=2: 2x2=4; NULL and k=9 and k=3 contribute nothing.
+  EXPECT_EQ((*j)->num_rows(), 5u);
+  EXPECT_EQ(ctx.counters().rows_emitted, 5u);
+}
+
+TEST(HashJoinTest, SchemaConcatWithCollisionSuffix) {
+  auto j = HashJoin(*MakeLeft(), *MakeRight(), {0, 0}, "j", nullptr);
+  ASSERT_TRUE(j.ok());
+  const Schema& s = (*j)->schema();
+  ASSERT_EQ(s.num_columns(), 4);
+  EXPECT_EQ(s.column(0).name, "k");
+  EXPECT_EQ(s.column(1).name, "v");
+  EXPECT_EQ(s.column(2).name, "k_r");  // collision suffixed
+  EXPECT_EQ(s.column(3).name, "w");
+}
+
+TEST(HashJoinTest, RowContentsCorrect) {
+  auto j = HashJoin(*MakeLeft(), *MakeRight(), {0, 0}, "j", nullptr);
+  ASSERT_TRUE(j.ok());
+  // Every output row satisfies k == k_r.
+  for (size_t row = 0; row < (*j)->num_rows(); ++row) {
+    EXPECT_EQ((*j)->column(0).Int64At(row), (*j)->column(2).Int64At(row));
+  }
+}
+
+TEST(HashJoinTest, NullKeysNeverJoin) {
+  TableBuilder rb(Schema({{"k", DataType::kInt64, true}}));
+  ASSERT_TRUE(rb.AppendRow({Value(Null{})}).ok());
+  TablePtr right = *rb.Build("rn");
+  auto j = HashJoin(*MakeLeft(), *right, {0, 0}, "j", nullptr);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->num_rows(), 0u);
+}
+
+TEST(HashJoinTest, StringKeys) {
+  TableBuilder lb(Schema({{"name", DataType::kString, false}}));
+  ASSERT_TRUE(lb.AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(lb.AppendRow({Value("y")}).ok());
+  TableBuilder rb(Schema({{"name2", DataType::kString, false},
+                          {"val", DataType::kInt64, false}}));
+  ASSERT_TRUE(rb.AppendRow({Value("y"), Value(7)}).ok());
+  ASSERT_TRUE(rb.AppendRow({Value("z"), Value(8)}).ok());
+  auto j = HashJoin(**lb.Build("l"), **rb.Build("r"), {0, 0}, "j", nullptr);
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ((*j)->num_rows(), 1u);
+  EXPECT_EQ((*j)->column(0).StringAt(0), "y");
+  EXPECT_EQ((*j)->column(2).Int64At(0), 7);
+}
+
+TEST(HashJoinTest, TypeMismatchRejected) {
+  TableBuilder rb(Schema({{"k", DataType::kString, false}}));
+  TablePtr right = *rb.Build("rs");
+  EXPECT_FALSE(HashJoin(*MakeLeft(), *right, {0, 0}, "j", nullptr).ok());
+}
+
+TEST(HashJoinTest, ColumnOutOfRangeRejected) {
+  EXPECT_FALSE(HashJoin(*MakeLeft(), *MakeRight(), {7, 0}, "j", nullptr).ok());
+  EXPECT_FALSE(HashJoin(*MakeLeft(), *MakeRight(), {0, 7}, "j", nullptr).ok());
+}
+
+TEST(HashJoinTest, EmptyInputsProduceEmptyOutput) {
+  TableBuilder lb(Schema({{"k", DataType::kInt64, false}}));
+  TablePtr empty = *lb.Build("e");
+  auto j = HashJoin(*empty, *MakeRight(), {0, 0}, "j", nullptr);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,183 @@
+// End-to-end property sweeps: for random workloads over every dataset
+// generator, any plan the optimizers produce must (a) validate, (b) execute,
+// (c) return results identical to the naive plan, and (d) never exceed the
+// naive plan's estimated cost. This is the repo's broadest invariant net.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "core/gbmqo.h"
+#include "data/nref_gen.h"
+#include "data/sales_gen.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+std::map<std::string, std::vector<double>> Flatten(const Table& t, int ng) {
+  std::map<std::string, std::vector<double>> out;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    std::string key;
+    for (int c = 0; c < ng; ++c) key += t.column(c).ValueAt(row).ToString() + "|";
+    std::vector<double> aggs;
+    for (int c = ng; c < t.schema().num_columns(); ++c) {
+      aggs.push_back(t.column(c).IsNull(row) ? -1e308 : t.column(c).NumericAt(row));
+    }
+    out[key] = std::move(aggs);
+  }
+  return out;
+}
+
+void ExpectSameResults(const ExecutionResult& a, const ExecutionResult& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (const auto& [cols, ta] : a.results) {
+    const TablePtr& tb = b.results.at(cols);
+    auto fa = Flatten(*ta, cols.size());
+    auto fb = Flatten(*tb, cols.size());
+    ASSERT_EQ(fa.size(), fb.size()) << cols.ToString();
+    for (const auto& [key, aggs] : fa) {
+      ASSERT_TRUE(fb.count(key)) << cols.ToString() << " " << key;
+      ASSERT_EQ(aggs.size(), fb[key].size());
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        EXPECT_NEAR(aggs[i], fb[key][i], 1e-6 * (1 + std::abs(aggs[i])));
+      }
+    }
+  }
+}
+
+enum class Dataset { kTpch, kSales, kNref };
+
+struct Scenario {
+  Dataset dataset;
+  uint64_t seed;
+  bool sampled_stats;
+  bool binary_only;
+};
+
+class IntegrationTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(IntegrationTest, OptimizedPlanEquivalentToNaive) {
+  const Scenario scenario = GetParam();
+  TablePtr table;
+  std::vector<int> pool;
+  switch (scenario.dataset) {
+    case Dataset::kTpch:
+      table = GenerateLineitem({.rows = 6000, .seed = scenario.seed});
+      pool = LineitemAnalysisColumns();
+      break;
+    case Dataset::kSales:
+      table = GenerateSales({.rows = 6000, .seed = scenario.seed});
+      pool = SalesAllColumns();
+      break;
+    case Dataset::kNref:
+      table = GenerateNref({.rows = 6000, .seed = scenario.seed});
+      pool = NrefAllColumns();
+      break;
+  }
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase(table).ok());
+
+  // Random workload: 5-8 random sets of 1-3 columns each (deduplicated).
+  Rng rng(scenario.seed * 7 + 1);
+  std::vector<GroupByRequest> requests;
+  std::set<ColumnSet> seen;
+  const int want = 5 + static_cast<int>(rng.Uniform(4));
+  while (static_cast<int>(requests.size()) < want) {
+    ColumnSet set;
+    const int k = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < k; ++i) {
+      set = set.With(pool[rng.Uniform(pool.size())]);
+    }
+    if (!seen.insert(set).second) continue;
+    requests.push_back(GroupByRequest::Count(set));
+  }
+
+  StatisticsManager stats(*table,
+                          scenario.sampled_stats ? DistinctMode::kSampled
+                                                 : DistinctMode::kExact,
+                          2000);
+  WhatIfProvider whatif(&stats);
+  OptimizerCostModel model(*table);
+  OptimizerOptions opts;
+  opts.only_type_b = scenario.binary_only;
+  GbMqoOptimizer optimizer(&model, &whatif, opts);
+  auto opt = optimizer.Optimize(requests);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  ASSERT_TRUE(opt->plan.Validate(requests).ok());
+  EXPECT_LE(opt->cost, opt->naive_cost + 1e-6);
+
+  PlanExecutor exec(&catalog, table->name());
+  auto naive = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(naive.ok());
+  auto ours = exec.Execute(opt->plan, requests);
+  ASSERT_TRUE(ours.ok()) << ours.status().ToString();
+  ExpectSameResults(*naive, *ours);
+  EXPECT_EQ(catalog.temp_bytes(), 0u) << "temp tables leaked";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntegrationTest,
+    ::testing::Values(
+        Scenario{Dataset::kTpch, 1, false, false},
+        Scenario{Dataset::kTpch, 2, true, false},
+        Scenario{Dataset::kTpch, 3, false, true},
+        Scenario{Dataset::kSales, 4, false, false},
+        Scenario{Dataset::kSales, 5, true, true},
+        Scenario{Dataset::kNref, 6, false, false},
+        Scenario{Dataset::kNref, 7, true, false},
+        Scenario{Dataset::kTpch, 8, true, true},
+        Scenario{Dataset::kSales, 9, false, true},
+        Scenario{Dataset::kNref, 10, true, true}));
+
+TEST(IntegrationTest, CardinalityModelAlsoExecutesCorrectly) {
+  TablePtr table = GenerateLineitem({.rows = 5000, .seed = 77});
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase(table).ok());
+  auto requests = SingleColumnRequests(LineitemAnalysisColumns());
+  StatisticsManager stats(*table);
+  WhatIfProvider whatif(&stats);
+  CardinalityCostModel model;
+  GbMqoOptimizer optimizer(&model, &whatif);
+  auto opt = optimizer.Optimize(requests);
+  ASSERT_TRUE(opt.ok());
+  PlanExecutor exec(&catalog, table->name());
+  auto naive = exec.Execute(NaivePlan(requests), requests);
+  auto ours = exec.Execute(opt->plan, requests);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(ours.ok());
+  ExpectSameResults(*naive, *ours);
+}
+
+TEST(IntegrationTest, SqlScriptMirrorsExecutedPlan) {
+  // The SQL generator and the executor walk the same plan in the same
+  // order: every temp table that appears in an INTO also gets a DROP, and
+  // the number of SELECTs equals the number of plan edges.
+  TablePtr table = GenerateLineitem({.rows = 3000, .seed = 5});
+  auto requests = SingleColumnRequests(LineitemAnalysisColumns());
+  StatisticsManager stats(*table);
+  WhatIfProvider whatif(&stats);
+  OptimizerCostModel model(*table);
+  GbMqoOptimizer optimizer(&model, &whatif);
+  auto opt = optimizer.Optimize(requests);
+  ASSERT_TRUE(opt.ok());
+
+  SqlGenerator gen("lineitem", table->schema());
+  auto stmts = gen.Generate(opt->plan);
+  ASSERT_TRUE(stmts.ok());
+  int selects = 0, intos = 0, drops = 0;
+  for (const SqlStatement& s : *stmts) {
+    switch (s.kind) {
+      case SqlStatement::Kind::kSelect: ++selects; break;
+      case SqlStatement::Kind::kSelectInto: ++intos; ++selects; break;
+      case SqlStatement::Kind::kDropTable: ++drops; break;
+    }
+  }
+  EXPECT_EQ(intos, drops) << "unbalanced temp-table lifecycle";
+  EXPECT_EQ(selects, opt->plan.NumNodes());
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,192 @@
+#include "core/join_pushdown.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gbmqo {
+namespace {
+
+/// R(a, b, c, x) with a = join key; S(a, s) dimension.
+struct Fixture {
+  Fixture() {
+    TableBuilder rb(Schema({{"a", DataType::kInt64, false},
+                            {"b", DataType::kInt64, false},
+                            {"c", DataType::kString, false},
+                            {"x", DataType::kInt64, false}}));
+    Rng rng(13);
+    const char* colors[] = {"red", "green", "blue"};
+    for (int i = 0; i < 5000; ++i) {
+      const int64_t a = static_cast<int64_t>(rng.Uniform(40));
+      EXPECT_TRUE(rb.AppendRow({Value(a),
+                                Value(static_cast<int64_t>(rng.Uniform(6))),
+                                Value(colors[rng.Uniform(3)]),
+                                Value(static_cast<int64_t>(rng.Uniform(100)))})
+                      .ok());
+    }
+    left = *rb.Build("r");
+
+    TableBuilder sb(Schema({{"a", DataType::kInt64, false},
+                            {"s", DataType::kInt64, false}}));
+    for (int a = 0; a < 40; ++a) {
+      // 1-3 matching dimension rows per key; keys 35+ are absent (some R
+      // rows drop out of the join).
+      if (a >= 35) continue;
+      const int copies = 1 + a % 3;
+      for (int k = 0; k < copies; ++k) {
+        EXPECT_TRUE(sb.AppendRow({Value(a), Value(a * 100 + k)}).ok());
+      }
+    }
+    right = *sb.Build("s");
+
+    EXPECT_TRUE(catalog.RegisterBase(left).ok());
+    EXPECT_TRUE(catalog.RegisterBase(right).ok());
+  }
+
+  TablePtr left, right;
+  Catalog catalog;
+};
+
+JoinGroupingSetsQuery BasicQuery() {
+  JoinGroupingSetsQuery q;
+  q.left_table = "r";
+  q.right_table = "s";
+  q.left_join_col = 0;
+  q.right_join_col = 0;
+  q.requests = {GroupByRequest::Count({1}),          // (b)
+                GroupByRequest::Count({2}),          // (c)
+                GroupByRequest::Count({1, 2})};      // (b, c)
+  return q;
+}
+
+std::map<std::string, double> Keyed(const Table& t, int ngroup, int agg_col) {
+  std::map<std::string, double> out;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    std::string key;
+    for (int c = 0; c < ngroup; ++c) {
+      key += t.column(c).ValueAt(row).ToString() + "|";
+    }
+    out[key] = t.column(agg_col).NumericAt(row);
+  }
+  return out;
+}
+
+void ExpectSame(const JoinExecutionResult& a, const JoinExecutionResult& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (const auto& [cols, ta] : a.results) {
+    auto it = b.results.find(cols);
+    ASSERT_TRUE(it != b.results.end());
+    const int ng = cols.size();
+    auto ka = Keyed(*ta, ng, ng);
+    auto kb = Keyed(*it->second, ng, ng);
+    ASSERT_EQ(ka.size(), kb.size()) << cols.ToString();
+    for (const auto& [key, v] : ka) {
+      ASSERT_TRUE(kb.count(key)) << cols.ToString() << " " << key;
+      EXPECT_NEAR(v, kb[key], 1e-9) << cols.ToString() << " " << key;
+    }
+  }
+}
+
+TEST(JoinPushdownTest, PushdownMatchesJoinFirst) {
+  Fixture f;
+  JoinGroupingSetsExecutor exec(&f.catalog);
+  auto base = exec.ExecuteJoinFirst(BasicQuery());
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  auto naive_push = exec.ExecutePushdown(BasicQuery(), PushdownMode::kNaive);
+  ASSERT_TRUE(naive_push.ok()) << naive_push.status().ToString();
+  auto gbmqo_push = exec.ExecutePushdown(BasicQuery(), PushdownMode::kGbMqo);
+  ASSERT_TRUE(gbmqo_push.ok()) << gbmqo_push.status().ToString();
+  ExpectSame(*base, *naive_push);
+  ExpectSame(*base, *gbmqo_push);
+}
+
+TEST(JoinPushdownTest, PushdownJoinsFewerRows) {
+  Fixture f;
+  JoinGroupingSetsExecutor exec(&f.catalog);
+  auto base = exec.ExecuteJoinFirst(BasicQuery());
+  auto push = exec.ExecutePushdown(BasicQuery(), PushdownMode::kGbMqo);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(push.ok());
+  // The pushed plan aggregates before joining: far fewer rows flow through
+  // the join and the final group-bys.
+  EXPECT_LT(push->counters.rows_emitted, base->counters.rows_emitted);
+}
+
+TEST(JoinPushdownTest, SelectionsPushBelow) {
+  Fixture f;
+  JoinGroupingSetsQuery q = BasicQuery();
+  q.left_filter.And({3, CompareOp::kLt, Value(50)});        // x < 50
+  q.right_filter.And({1, CompareOp::kGe, Value(100)});      // s >= 100
+  JoinGroupingSetsExecutor exec(&f.catalog);
+  auto base = exec.ExecuteJoinFirst(q);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  auto push = exec.ExecutePushdown(q, PushdownMode::kGbMqo);
+  ASSERT_TRUE(push.ok()) << push.status().ToString();
+  ExpectSame(*base, *push);
+}
+
+TEST(JoinPushdownTest, MultiAggregates) {
+  Fixture f;
+  JoinGroupingSetsQuery q = BasicQuery();
+  q.requests = {
+      {ColumnSet{1}, {AggRequest{}, AggRequest{AggKind::kSum, 3},
+                      AggRequest{AggKind::kMin, 3},
+                      AggRequest{AggKind::kMax, 3}}},
+      {ColumnSet{2}, {AggRequest{AggKind::kSum, 3}}},
+  };
+  JoinGroupingSetsExecutor exec(&f.catalog);
+  auto base = exec.ExecuteJoinFirst(q);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  auto push = exec.ExecutePushdown(q, PushdownMode::kGbMqo);
+  ASSERT_TRUE(push.ok()) << push.status().ToString();
+  // Compare every aggregate column, not just the first.
+  for (const auto& [cols, ta] : base->results) {
+    const TablePtr& tb = push->results.at(cols);
+    const int ng = cols.size();
+    for (int agg = 0; agg < ta->schema().num_columns() - ng; ++agg) {
+      auto ka = Keyed(*ta, ng, ng + agg);
+      auto kb = Keyed(*tb, ng, ng + agg);
+      ASSERT_EQ(ka.size(), kb.size());
+      for (const auto& [key, v] : ka) {
+        EXPECT_NEAR(v, kb.at(key), 1e-9) << cols.ToString() << " " << key;
+      }
+    }
+  }
+}
+
+TEST(JoinPushdownTest, SharedPushedSetsDeduplicated) {
+  // (b) and (b,a) both push to (a,b): the pushed plan computes it once.
+  Fixture f;
+  JoinGroupingSetsQuery q = BasicQuery();
+  q.requests = {GroupByRequest::Count({1}), GroupByRequest::Count({0, 1})};
+  JoinGroupingSetsExecutor exec(&f.catalog);
+  auto base = exec.ExecuteJoinFirst(q);
+  auto push = exec.ExecutePushdown(q, PushdownMode::kNaive);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(push.ok()) << push.status().ToString();
+  ExpectSame(*base, *push);
+}
+
+TEST(JoinPushdownTest, NoTempLeaks) {
+  Fixture f;
+  JoinGroupingSetsExecutor exec(&f.catalog);
+  ASSERT_TRUE(exec.ExecutePushdown(BasicQuery(), PushdownMode::kGbMqo).ok());
+  EXPECT_EQ(f.catalog.temp_bytes(), 0u);
+}
+
+TEST(JoinPushdownTest, InvalidInputsRejected) {
+  Fixture f;
+  JoinGroupingSetsExecutor exec(&f.catalog);
+  JoinGroupingSetsQuery q = BasicQuery();
+  q.left_table = "missing";
+  EXPECT_FALSE(exec.ExecuteJoinFirst(q).ok());
+  q = BasicQuery();
+  q.right_join_col = 99;
+  EXPECT_FALSE(exec.ExecutePushdown(q, PushdownMode::kNaive).ok());
+  q = BasicQuery();
+  q.requests.clear();
+  EXPECT_FALSE(exec.ExecutePushdown(q, PushdownMode::kGbMqo).ok());
+}
+
+}  // namespace
+}  // namespace gbmqo

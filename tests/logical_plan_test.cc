@@ -1,0 +1,265 @@
+#include "core/logical_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/optimizer.h"
+#include "cost/optimizer_cost_model.h"
+
+namespace gbmqo {
+namespace {
+
+// Synthetic what-if: cardinality of a set = product of per-column distinct
+// counts, capped at the row count (an "independent columns" world).
+class FakeWhatIf : public WhatIfProvider {
+ public:
+  FakeWhatIf(double rows, std::vector<double> per_column_distinct,
+             StatisticsManager* stats)
+      : WhatIfProvider(stats), rows_(rows), distinct_(per_column_distinct) {}
+
+  NodeDesc Root() const override {
+    NodeDesc d;
+    d.columns = ColumnSet::FirstN(static_cast<int>(distinct_.size()));
+    d.rows = rows_;
+    d.row_width = 8.0 * static_cast<double>(distinct_.size());
+    d.is_root = true;
+    return d;
+  }
+
+  NodeDesc Describe(ColumnSet columns, int num_aggs = 1) override {
+    double card = 1;
+    for (int c : columns.ToVector()) card *= distinct_[static_cast<size_t>(c)];
+    NodeDesc d;
+    d.columns = columns;
+    d.rows = std::min(card, rows_);
+    d.row_width = 8.0 * columns.size() + 8.0 * num_aggs;
+    return d;
+  }
+
+ private:
+  double rows_;
+  std::vector<double> distinct_;
+};
+
+// Minimal real table so StatisticsManager has something to reference (the
+// FakeWhatIf never consults it).
+struct Fixture {
+  Fixture()
+      : table(MakeTable()),
+        stats(*table),
+        whatif(1e6, {10, 20, 30, 40}, &stats) {}
+
+  static TablePtr MakeTable() {
+    TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                           {"b", DataType::kInt64, false},
+                           {"c", DataType::kInt64, false},
+                           {"d", DataType::kInt64, false}}));
+    EXPECT_TRUE(b.AppendRow({Value(1), Value(2), Value(3), Value(4)}).ok());
+    return *b.Build("r");
+  }
+
+  TablePtr table;
+  StatisticsManager stats;
+  FakeWhatIf whatif;
+};
+
+PlanNode Leaf(ColumnSet cols) {
+  PlanNode n;
+  n.columns = cols;
+  n.required = true;
+  return n;
+}
+
+TEST(PlanNodeTest, ToStringRendersTree) {
+  PlanNode root;
+  root.columns = {0, 1};
+  root.children = {Leaf({0}), Leaf({1})};
+  EXPECT_EQ(root.ToString(), "{0,1}[{0}*,{1}*]");
+  LogicalPlan plan;
+  plan.subplans = {root};
+  EXPECT_EQ(plan.ToString(), "R[{0,1}[{0}*,{1}*]]");
+  EXPECT_EQ(plan.NumNodes(), 3);
+}
+
+TEST(PlanValidateTest, NaivePlanValidates) {
+  auto requests = SingleColumnRequests({0, 1, 2});
+  LogicalPlan plan = NaivePlan(requests);
+  EXPECT_TRUE(plan.Validate(requests).ok());
+}
+
+TEST(PlanValidateTest, MissingRequestRejected) {
+  auto requests = SingleColumnRequests({0, 1});
+  LogicalPlan plan = NaivePlan(SingleColumnRequests({0}));
+  EXPECT_FALSE(plan.Validate(requests).ok());
+}
+
+TEST(PlanValidateTest, ChildMustBeStrictSubset) {
+  auto requests = SingleColumnRequests({0});
+  LogicalPlan plan;
+  PlanNode root;
+  root.columns = {1};
+  root.children = {Leaf({0})};  // {0} ⊄ {1}
+  plan.subplans = {root};
+  EXPECT_FALSE(plan.Validate(requests).ok());
+}
+
+TEST(PlanValidateTest, DuplicateRequiredRejected) {
+  auto requests = SingleColumnRequests({0});
+  LogicalPlan plan;
+  plan.subplans = {Leaf({0}), Leaf({0})};
+  EXPECT_FALSE(plan.Validate(requests).ok());
+}
+
+TEST(PlanValidateTest, ParentMustCarryChildAggregates) {
+  std::vector<GroupByRequest> requests = {
+      {ColumnSet{0}, {AggRequest{AggKind::kSum, 3}}}};
+  LogicalPlan plan;
+  PlanNode root;
+  root.columns = {0, 1};
+  root.aggs = {AggRequest{}};  // carries only COUNT(*)
+  PlanNode leaf;
+  leaf.columns = {0};
+  leaf.required = true;
+  leaf.aggs = {AggRequest{AggKind::kSum, 3}};
+  root.children = {leaf};
+  plan.subplans = {root};
+  EXPECT_FALSE(plan.Validate(requests).ok());
+  // Fixing the parent's aggregates makes it valid.
+  plan.subplans[0].aggs = {AggRequest{}, AggRequest{AggKind::kSum, 3}};
+  EXPECT_TRUE(plan.Validate(requests).ok());
+}
+
+TEST(PlanValidateTest, RollupOrderMustMatchColumns) {
+  std::vector<GroupByRequest> requests = {GroupByRequest::Count({0, 1})};
+  LogicalPlan plan;
+  PlanNode rollup;
+  rollup.columns = {0, 1};
+  rollup.kind = NodeKind::kRollup;
+  rollup.rollup_order = {0};  // inconsistent
+  PlanNode leaf = Leaf({0, 1});
+  rollup.children = {leaf};
+  plan.subplans = {rollup};
+  EXPECT_FALSE(plan.Validate(requests).ok());
+  plan.subplans[0].rollup_order = {0, 1};
+  EXPECT_TRUE(plan.Validate(requests).ok());
+}
+
+TEST(PlanValidateTest, RollupChildMustBePrefix) {
+  std::vector<GroupByRequest> requests = {GroupByRequest::Count({1})};
+  LogicalPlan plan;
+  PlanNode rollup;
+  rollup.columns = {0, 1};
+  rollup.kind = NodeKind::kRollup;
+  rollup.rollup_order = {0, 1};
+  rollup.children = {Leaf({1})};  // {1} is not a prefix of (0,1)
+  plan.subplans = {rollup};
+  EXPECT_FALSE(plan.Validate(requests).ok());
+}
+
+TEST(PlanValidateTest, CubeChildrenMustBeLeaves) {
+  std::vector<GroupByRequest> requests = {GroupByRequest::Count({0})};
+  LogicalPlan plan;
+  PlanNode cube;
+  cube.columns = {0, 1};
+  cube.kind = NodeKind::kCube;
+  PlanNode child = Leaf({0});
+  child.children = {Leaf({0})};  // nested under a cube child
+  cube.children = {child};
+  plan.subplans = {cube};
+  EXPECT_FALSE(plan.Validate(requests).ok());
+}
+
+TEST(PlanCostTest, CardinalityModelMatchesHandComputation) {
+  // Paper Figure 2: P1 computes (A),(B),(C),(AC) each from R -> 4|R|.
+  // P2 computes (AB) and (AC) from R, then (A),(B) from (AB) and (C) from
+  // (AC) -> 2|R| + 2|AB| + |AC|.
+  Fixture f;
+  CardinalityCostModel model;
+  auto requests = std::vector<GroupByRequest>{
+      GroupByRequest::Count({0}), GroupByRequest::Count({1}),
+      GroupByRequest::Count({2}), GroupByRequest::Count({0, 2})};
+
+  LogicalPlan p1 = NaivePlan(requests);
+  EXPECT_DOUBLE_EQ(CostPlan(p1, &model, &f.whatif), 4e6);
+
+  LogicalPlan p2;
+  PlanNode ab;
+  ab.columns = {0, 1};
+  ab.children = {Leaf({0}), Leaf({1})};
+  PlanNode ac = Leaf({0, 2});
+  ac.children.push_back(Leaf({2}));
+  p2.subplans = {ab, ac};
+  ASSERT_TRUE(p2.Validate(requests).ok());
+  // |AB| = 10*20 = 200, |AC| = 10*30 = 300.
+  EXPECT_DOUBLE_EQ(CostPlan(p2, &model, &f.whatif), 2e6 + 2 * 200 + 300);
+}
+
+TEST(PlanCostTest, MaterializationChargedForInteriorNodes) {
+  Fixture f;
+  OptimizerCostModel model(*f.table);
+  auto requests = SingleColumnRequests({0, 1});
+  LogicalPlan naive = NaivePlan(requests);
+  LogicalPlan merged;
+  PlanNode root;
+  root.columns = {0, 1};
+  root.children = {Leaf({0}), Leaf({1})};
+  merged.subplans = {root};
+  // Merged plan must include the AB materialization cost; with tiny |AB|
+  // (200 rows vs 1M) it still wins.
+  const double naive_cost = CostPlan(naive, &model, &f.whatif);
+  const double merged_cost = CostPlan(merged, &model, &f.whatif);
+  EXPECT_LT(merged_cost, naive_cost);
+}
+
+TEST(PlanCostTest, CubeCostExceedsSingleGroupBy) {
+  Fixture f;
+  CardinalityCostModel model;
+  PlanNode plain;
+  plain.columns = {0, 1};
+  plain.required = true;
+
+  PlanNode cube;
+  cube.columns = {0, 1};
+  cube.kind = NodeKind::kCube;
+  cube.required = true;
+
+  const NodeDesc root = f.whatif.Root();
+  const double plain_cost = CostSubPlan(plain, root, &model, &f.whatif);
+  const double cube_cost = CostSubPlan(cube, root, &model, &f.whatif);
+  EXPECT_GT(cube_cost, plain_cost);
+}
+
+TEST(PlanCostTest, RollupCheaperThanCubeSameSet) {
+  Fixture f;
+  CardinalityCostModel model;
+  PlanNode cube;
+  cube.columns = {0, 1, 2};
+  cube.kind = NodeKind::kCube;
+  PlanNode rollup = cube;
+  rollup.kind = NodeKind::kRollup;
+  rollup.rollup_order = {0, 1, 2};
+  const NodeDesc root = f.whatif.Root();
+  EXPECT_LT(CostSubPlan(rollup, root, &model, &f.whatif),
+            CostSubPlan(cube, root, &model, &f.whatif));
+}
+
+TEST(PlanCostTest, DeeperSharingReducesCardinalityCost) {
+  // Under the cardinality model, computing (A) and (B) from (AB) costs
+  // 2|AB| instead of 2|R| after the shared |R| scan.
+  Fixture f;
+  CardinalityCostModel model;
+  auto requests = SingleColumnRequests({0, 1});
+  LogicalPlan naive = NaivePlan(requests);
+  LogicalPlan shared;
+  PlanNode ab;
+  ab.columns = {0, 1};
+  ab.children = {Leaf({0}), Leaf({1})};
+  shared.subplans = {ab};
+  EXPECT_DOUBLE_EQ(CostPlan(naive, &model, &f.whatif), 2e6);
+  EXPECT_DOUBLE_EQ(CostPlan(shared, &model, &f.whatif), 1e6 + 2 * 200);
+}
+
+}  // namespace
+}  // namespace gbmqo

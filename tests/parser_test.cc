@@ -1,0 +1,73 @@
+#include "sql/grouping_sets_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"a", DataType::kInt64, false},
+                 {"b", DataType::kInt64, false},
+                 {"c", DataType::kInt64, false},
+                 {"d", DataType::kInt64, false}});
+}
+
+TEST(ParserTest, BasicList) {
+  auto r = ParseGroupingSets("(a), (b), (a, c)", MakeSchema());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].columns, ColumnSet{0});
+  EXPECT_EQ((*r)[1].columns, ColumnSet{1});
+  EXPECT_EQ((*r)[2].columns, (ColumnSet{0, 2}));
+}
+
+TEST(ParserTest, OuterWrapperAccepted) {
+  auto r = ParseGroupingSets("((a), (b))", MakeSchema());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(ParserTest, WhitespaceTolerant) {
+  auto r = ParseGroupingSets("  ( a ,  b ) ,(c)  ", MakeSchema());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].columns, (ColumnSet{0, 1}));
+}
+
+TEST(ParserTest, SingleShorthand) {
+  auto r = ParseGroupingSets("SINGLE(a, b, d)", MakeSchema());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[2].columns, ColumnSet{3});
+}
+
+TEST(ParserTest, PairsShorthand) {
+  auto r = ParseGroupingSets("pairs(a, b, c)", MakeSchema());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);  // C(3,2)
+}
+
+TEST(ParserTest, UnknownColumn) {
+  auto r = ParseGroupingSets("(a), (zz)", MakeSchema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ParserTest, DuplicateColumnInSet) {
+  EXPECT_FALSE(ParseGroupingSets("(a, a)", MakeSchema()).ok());
+}
+
+TEST(ParserTest, DuplicateSets) {
+  EXPECT_FALSE(ParseGroupingSets("(a), (a)", MakeSchema()).ok());
+}
+
+TEST(ParserTest, EmptyAndMalformed) {
+  EXPECT_FALSE(ParseGroupingSets("", MakeSchema()).ok());
+  EXPECT_FALSE(ParseGroupingSets("()", MakeSchema()).ok());
+  EXPECT_FALSE(ParseGroupingSets("(a", MakeSchema()).ok());
+  EXPECT_FALSE(ParseGroupingSets("a, b", MakeSchema()).ok());
+  EXPECT_FALSE(ParseGroupingSets("WAT(a)", MakeSchema()).ok());
+}
+
+}  // namespace
+}  // namespace gbmqo

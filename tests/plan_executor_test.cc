@@ -1,0 +1,296 @@
+#include "core/plan_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/optimizer_cost_model.h"
+#include "core/exhaustive.h"
+#include "core/grouping_sets_planner.h"
+#include "core/optimizer.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+struct Fixture {
+  explicit Fixture(size_t rows = 8000)
+      : table(GenerateLineitem({.rows = rows, .seed = 21})), stats(*table),
+        whatif(&stats) {
+    EXPECT_TRUE(catalog.RegisterBase(table).ok());
+  }
+  TablePtr table;
+  Catalog catalog;
+  StatisticsManager stats;
+  WhatIfProvider whatif;
+};
+
+/// Flattens a result table into key -> aggregate values.
+std::map<std::string, std::vector<Value>> Keyed(const Table& result,
+                                                int num_group_cols) {
+  std::map<std::string, std::vector<Value>> out;
+  for (size_t row = 0; row < result.num_rows(); ++row) {
+    std::string key;
+    for (int c = 0; c < num_group_cols; ++c) {
+      key += result.column(c).ValueAt(row).ToString() + "|";
+    }
+    std::vector<Value> aggs;
+    for (int c = num_group_cols; c < result.schema().num_columns(); ++c) {
+      aggs.push_back(result.column(c).ValueAt(row));
+    }
+    out[key] = std::move(aggs);
+  }
+  return out;
+}
+
+void ExpectSameResults(const ExecutionResult& a, const ExecutionResult& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (const auto& [cols, table_a] : a.results) {
+    auto it = b.results.find(cols);
+    ASSERT_TRUE(it != b.results.end()) << cols.ToString();
+    const TablePtr& table_b = it->second;
+    ASSERT_EQ(table_a->num_rows(), table_b->num_rows()) << cols.ToString();
+    auto ka = Keyed(*table_a, cols.size());
+    auto kb = Keyed(*table_b, cols.size());
+    ASSERT_EQ(ka.size(), kb.size()) << cols.ToString();
+    for (const auto& [key, aggs] : ka) {
+      ASSERT_TRUE(kb.count(key)) << cols.ToString() << " " << key;
+      ASSERT_EQ(aggs.size(), kb[key].size());
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        EXPECT_NEAR(aggs[i].AsDouble(), kb[key][i].AsDouble(),
+                    1e-6 * (1.0 + std::abs(aggs[i].AsDouble())))
+            << cols.ToString() << " " << key;
+      }
+    }
+  }
+}
+
+TEST(PlanExecutorTest, NaivePlanProducesResults) {
+  Fixture f;
+  auto requests = SingleColumnRequests({kReturnflag, kShipmode});
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto r = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->results.size(), 2u);
+  EXPECT_EQ(r->results.at(ColumnSet{kReturnflag})->num_rows(), 3u);
+  EXPECT_EQ(r->results.at(ColumnSet{kShipmode})->num_rows(), 7u);
+  // No temp tables in the naive plan.
+  EXPECT_EQ(r->peak_temp_bytes, 0u);
+  EXPECT_GT(r->counters.rows_scanned, 0u);
+}
+
+TEST(PlanExecutorTest, OptimizedPlanMatchesNaiveResults) {
+  Fixture f;
+  auto requests = SingleColumnRequests(LineitemAnalysisColumns());
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto naive = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(naive.ok());
+
+  OptimizerCostModel model(*f.table);
+  GbMqoOptimizer opt(&model, &f.whatif);
+  auto plan = opt.Optimize(requests);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(plan->cost, plan->naive_cost);  // sharing must be found
+  auto optimized = exec.Execute(plan->plan, requests);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+
+  ExpectSameResults(*naive, *optimized);
+  // The optimized plan scans fewer bytes overall.
+  EXPECT_LT(optimized->counters.bytes_scanned, naive->counters.bytes_scanned);
+  // And it materialized at least one temp table.
+  EXPECT_GT(optimized->peak_temp_bytes, 0u);
+}
+
+TEST(PlanExecutorTest, TempTablesDroppedAfterExecution) {
+  Fixture f;
+  auto requests = SingleColumnRequests(LineitemAnalysisColumns());
+  OptimizerCostModel model(*f.table);
+  GbMqoOptimizer opt(&model, &f.whatif);
+  auto plan = opt.Optimize(requests);
+  ASSERT_TRUE(plan.ok());
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto r = exec.Execute(plan->plan, requests);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(f.catalog.temp_bytes(), 0u) << "temp tables leaked";
+}
+
+TEST(PlanExecutorTest, GroupingSetsPlanMatchesNaive) {
+  Fixture f;
+  auto requests = SingleColumnRequests(LineitemAnalysisColumns());
+  GroupingSetsPlanner planner;
+  auto plan = planner.Plan(requests, f.table->schema());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto gs = exec.Execute(*plan, requests);
+  ASSERT_TRUE(gs.ok()) << gs.status().ToString();
+  auto naive = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(naive.ok());
+  ExpectSameResults(*naive, *gs);
+}
+
+TEST(PlanExecutorTest, ExhaustivePlanMatchesNaive) {
+  Fixture f;
+  auto requests = SingleColumnRequests(
+      {kQuantity, kReturnflag, kShipdate, kCommitdate, kReceiptdate});
+  OptimizerCostModel model(*f.table);
+  ExhaustiveOptimizer opt(&model, &f.whatif);
+  auto plan = opt.Optimize(requests);
+  ASSERT_TRUE(plan.ok());
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto a = exec.Execute(plan->plan, requests);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(b.ok());
+  ExpectSameResults(*a, *b);
+}
+
+TEST(PlanExecutorTest, MultiAggregatePlanCorrectThroughIntermediates) {
+  Fixture f;
+  // SUM/MIN/MAX over quantity grouped by returnflag and by linestatus,
+  // forced through a shared (returnflag, linestatus) intermediate.
+  std::vector<GroupByRequest> requests = {
+      {ColumnSet{kReturnflag},
+       {AggRequest{}, AggRequest{AggKind::kSum, kQuantity},
+        AggRequest{AggKind::kMin, kQuantity},
+        AggRequest{AggKind::kMax, kQuantity}}},
+      {ColumnSet{kLinestatus},
+       {AggRequest{AggKind::kSum, kQuantity}}},
+  };
+  LogicalPlan shared;
+  PlanNode root;
+  root.columns = {kReturnflag, kLinestatus};
+  root.aggs = {AggRequest{}, AggRequest{AggKind::kSum, kQuantity},
+               AggRequest{AggKind::kMin, kQuantity},
+               AggRequest{AggKind::kMax, kQuantity}};
+  PlanNode leaf1;
+  leaf1.columns = {kReturnflag};
+  leaf1.required = true;
+  leaf1.aggs = requests[0].aggs;
+  PlanNode leaf2;
+  leaf2.columns = {kLinestatus};
+  leaf2.required = true;
+  leaf2.aggs = requests[1].aggs;
+  root.children = {leaf1, leaf2};
+  shared.subplans = {root};
+  ASSERT_TRUE(shared.Validate(requests).ok());
+
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto via_shared = exec.Execute(shared, requests);
+  ASSERT_TRUE(via_shared.ok()) << via_shared.status().ToString();
+  auto via_naive = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(via_naive.ok());
+  ExpectSameResults(*via_naive, *via_shared);
+}
+
+TEST(PlanExecutorTest, CubePlanServesAllSubsets) {
+  Fixture f;
+  std::vector<GroupByRequest> requests = {
+      GroupByRequest::Count({kReturnflag}),
+      GroupByRequest::Count({kLinestatus}),
+      GroupByRequest::Count({kReturnflag, kLinestatus})};
+  LogicalPlan plan;
+  PlanNode cube;
+  cube.columns = {kReturnflag, kLinestatus};
+  cube.kind = NodeKind::kCube;
+  cube.required = true;  // covers the pair itself
+  PlanNode l1;
+  l1.columns = {kReturnflag};
+  l1.required = true;
+  PlanNode l2;
+  l2.columns = {kLinestatus};
+  l2.required = true;
+  cube.children = {l1, l2};
+  plan.subplans = {cube};
+  ASSERT_TRUE(plan.Validate(requests).ok());
+
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto via_cube = exec.Execute(plan, requests);
+  ASSERT_TRUE(via_cube.ok()) << via_cube.status().ToString();
+  auto via_naive = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(via_naive.ok());
+  ExpectSameResults(*via_naive, *via_cube);
+  EXPECT_EQ(f.catalog.temp_bytes(), 0u);
+}
+
+TEST(PlanExecutorTest, RollupPlanServesPrefixes) {
+  Fixture f;
+  std::vector<GroupByRequest> requests = {
+      GroupByRequest::Count({kShipdate}),
+      GroupByRequest::Count({kShipdate, kShipmode})};
+  LogicalPlan plan;
+  PlanNode rollup;
+  rollup.columns = {kShipdate, kShipmode};
+  rollup.kind = NodeKind::kRollup;
+  rollup.rollup_order = {kShipdate, kShipmode};
+  PlanNode p1;
+  p1.columns = {kShipdate};
+  p1.required = true;
+  PlanNode p2;
+  p2.columns = {kShipdate, kShipmode};
+  p2.required = true;
+  rollup.children = {p1, p2};
+  plan.subplans = {rollup};
+  ASSERT_TRUE(plan.Validate(requests).ok());
+
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto via_rollup = exec.Execute(plan, requests);
+  ASSERT_TRUE(via_rollup.ok()) << via_rollup.status().ToString();
+  auto via_naive = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(via_naive.ok());
+  ExpectSameResults(*via_naive, *via_rollup);
+}
+
+TEST(PlanExecutorTest, InvalidPlanRejectedBeforeExecution) {
+  Fixture f;
+  auto requests = SingleColumnRequests({kReturnflag});
+  LogicalPlan wrong = NaivePlan(SingleColumnRequests({kShipmode}));
+  PlanExecutor exec(&f.catalog, "lineitem");
+  EXPECT_FALSE(exec.Execute(wrong, requests).ok());
+}
+
+TEST(PlanExecutorTest, MissingBaseTableRejected) {
+  Catalog empty;
+  PlanExecutor exec(&empty, "nope");
+  auto requests = SingleColumnRequests({0});
+  EXPECT_FALSE(exec.Execute(NaivePlan(requests), requests).ok());
+}
+
+TEST(PlanExecutorTest, BreadthFirstScheduleExecutes) {
+  // Force a BF mark and check execution still yields correct results.
+  Fixture f;
+  auto requests = SingleColumnRequests({kReturnflag, kLinestatus});
+  LogicalPlan plan;
+  PlanNode root;
+  root.columns = {kReturnflag, kLinestatus};
+  PlanNode a;
+  a.columns = {kReturnflag};
+  a.required = true;
+  PlanNode b;
+  b.columns = {kLinestatus};
+  b.required = true;
+  root.children = {a, b};
+  root.mark = TraversalMark::kBreadthFirst;
+  plan.subplans = {root};
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto r = exec.Execute(plan, requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto naive = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(naive.ok());
+  ExpectSameResults(*naive, *r);
+}
+
+TEST(PlanExecutorTest, SortHintedPlanMatchesHash) {
+  Fixture f;
+  auto requests = SingleColumnRequests({kShipmode});
+  LogicalPlan sorted = NaivePlan(requests);
+  sorted.subplans[0].strategy_hint = AggStrategy::kSort;
+  PlanExecutor exec(&f.catalog, "lineitem");
+  auto a = exec.Execute(sorted, requests);
+  ASSERT_TRUE(a.ok());
+  auto b = exec.Execute(NaivePlan(requests), requests);
+  ASSERT_TRUE(b.ok());
+  ExpectSameResults(*a, *b);
+  EXPECT_GT(a->counters.rows_sorted, 0u);
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,118 @@
+#include "exec/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+TablePtr MakeTable() {
+  TableBuilder b(Schema({{"i", DataType::kInt64, true},
+                         {"d", DataType::kDouble, false},
+                         {"s", DataType::kString, false}}));
+  EXPECT_TRUE(b.AppendRow({Value(1), Value(1.5), Value("apple")}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(2), Value(2.5), Value("banana")}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(Null{}), Value(3.5), Value("cherry")}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(4), Value(4.5), Value("apple")}).ok());
+  return *b.Build("t");
+}
+
+TEST(PredicateTest, TrueMatchesEverything) {
+  TablePtr t = MakeTable();
+  Predicate p;
+  EXPECT_TRUE(p.is_true());
+  for (size_t i = 0; i < t->num_rows(); ++i) EXPECT_TRUE(p.Matches(*t, i));
+}
+
+TEST(PredicateTest, NumericComparisons) {
+  TablePtr t = MakeTable();
+  Predicate ge;
+  ge.And({0, CompareOp::kGe, Value(2)});
+  EXPECT_FALSE(ge.Matches(*t, 0));
+  EXPECT_TRUE(ge.Matches(*t, 1));
+  EXPECT_TRUE(ge.Matches(*t, 3));
+
+  Predicate lt;
+  lt.And({1, CompareOp::kLt, Value(3.0)});
+  EXPECT_TRUE(lt.Matches(*t, 0));
+  EXPECT_FALSE(lt.Matches(*t, 2));
+}
+
+TEST(PredicateTest, NullNeverMatches) {
+  TablePtr t = MakeTable();
+  Predicate any;
+  any.And({0, CompareOp::kNe, Value(999)});
+  EXPECT_FALSE(any.Matches(*t, 2));  // row 2 has NULL i
+}
+
+TEST(PredicateTest, StringComparisons) {
+  TablePtr t = MakeTable();
+  Predicate eq;
+  eq.And({2, CompareOp::kEq, Value("apple")});
+  EXPECT_TRUE(eq.Matches(*t, 0));
+  EXPECT_FALSE(eq.Matches(*t, 1));
+  EXPECT_TRUE(eq.Matches(*t, 3));
+}
+
+TEST(PredicateTest, ConjunctionAndsAll) {
+  TablePtr t = MakeTable();
+  Predicate p;
+  p.And({2, CompareOp::kEq, Value("apple")})
+      .And({0, CompareOp::kGt, Value(2)});
+  EXPECT_FALSE(p.Matches(*t, 0));  // apple but i=1
+  EXPECT_TRUE(p.Matches(*t, 3));   // apple and i=4
+}
+
+TEST(PredicateTest, ValidateCatchesTypeErrors) {
+  TablePtr t = MakeTable();
+  Predicate bad_type;
+  bad_type.And({2, CompareOp::kEq, Value(1)});  // string col vs int
+  EXPECT_FALSE(bad_type.Validate(t->schema()).ok());
+  Predicate bad_col;
+  bad_col.And({9, CompareOp::kEq, Value(1)});
+  EXPECT_FALSE(bad_col.Validate(t->schema()).ok());
+  Predicate null_literal;
+  null_literal.And({0, CompareOp::kEq, Value(Null{})});
+  EXPECT_FALSE(null_literal.Validate(t->schema()).ok());
+}
+
+TEST(PredicateTest, ToString) {
+  TablePtr t = MakeTable();
+  Predicate p;
+  p.And({0, CompareOp::kGe, Value(10)}).And({2, CompareOp::kEq, Value("x")});
+  EXPECT_EQ(p.ToString(t->schema()), "i >= 10 AND s = 'x'");
+  EXPECT_EQ(Predicate().ToString(t->schema()), "TRUE");
+}
+
+TEST(ApplyFilterTest, KeepsMatchingRowsOnly) {
+  TablePtr t = MakeTable();
+  ExecContext ctx;
+  Predicate p;
+  p.And({2, CompareOp::kEq, Value("apple")});
+  auto r = ApplyFilter(*t, p, "filtered", &ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 2u);
+  EXPECT_EQ((*r)->column(0).Int64At(0), 1);
+  EXPECT_EQ((*r)->column(0).Int64At(1), 4);
+  EXPECT_EQ(ctx.counters().rows_scanned, 4u);
+  EXPECT_EQ(ctx.counters().rows_emitted, 2u);
+}
+
+TEST(ApplyFilterTest, PreservesNulls) {
+  TablePtr t = MakeTable();
+  Predicate p;
+  p.And({1, CompareOp::kGt, Value(3.0)});
+  auto r = ApplyFilter(*t, p, "filtered", nullptr);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->num_rows(), 2u);
+  EXPECT_TRUE((*r)->column(0).IsNull(0));  // the NULL-i row survives
+}
+
+TEST(ApplyFilterTest, RejectsInvalidPredicate) {
+  TablePtr t = MakeTable();
+  Predicate bad;
+  bad.And({2, CompareOp::kLt, Value(3)});
+  EXPECT_FALSE(ApplyFilter(*t, bad, "f", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace gbmqo

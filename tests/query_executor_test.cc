@@ -1,0 +1,339 @@
+#include "exec/query_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gbmqo {
+namespace {
+
+// Reference group-by: maps stringified key -> (count, sum, min, max) using
+// the slow-but-obviously-correct route through Value.
+struct RefAgg {
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  bool seen = false;
+};
+
+std::map<std::string, RefAgg> ReferenceGroupBy(const Table& t, ColumnSet group,
+                                               int agg_arg) {
+  std::map<std::string, RefAgg> out;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    std::string key;
+    for (int c : group.ToVector()) {
+      key += t.column(c).ValueAt(row).ToString();
+      key += "|";
+    }
+    RefAgg& agg = out[key];
+    agg.count++;
+    if (agg_arg >= 0 && !t.column(agg_arg).IsNull(row)) {
+      const double v = t.column(agg_arg).NumericAt(row);
+      if (!agg.seen) {
+        agg.sum = v;
+        agg.min = v;
+        agg.max = v;
+        agg.seen = true;
+      } else {
+        agg.sum += v;
+        if (v < agg.min) agg.min = v;
+        if (v > agg.max) agg.max = v;
+      }
+    }
+  }
+  return out;
+}
+
+// Re-keys an executed result table the same way for comparison.
+std::map<std::string, std::vector<Value>> KeyedResult(const Table& result,
+                                                      int num_group_cols) {
+  std::map<std::string, std::vector<Value>> out;
+  for (size_t row = 0; row < result.num_rows(); ++row) {
+    std::string key;
+    for (int c = 0; c < num_group_cols; ++c) {
+      key += result.column(c).ValueAt(row).ToString();
+      key += "|";
+    }
+    std::vector<Value> aggs;
+    for (int c = num_group_cols; c < result.schema().num_columns(); ++c) {
+      aggs.push_back(result.column(c).ValueAt(row));
+    }
+    EXPECT_EQ(out.count(key), 0u) << "duplicate group " << key;
+    out[key] = std::move(aggs);
+  }
+  return out;
+}
+
+TablePtr MakeMixedTable(int rows, uint64_t seed, bool with_nulls) {
+  Schema schema({{"g1", DataType::kInt64, with_nulls},
+                 {"g2", DataType::kString, with_nulls},
+                 {"v", DataType::kDouble, with_nulls},
+                 {"w", DataType::kInt64, false}});
+  TableBuilder b(schema);
+  Rng rng(seed);
+  const char* names[] = {"red", "green", "blue", ""};
+  for (int i = 0; i < rows; ++i) {
+    Value g1 = (with_nulls && rng.Bernoulli(0.1))
+                   ? Value(Null{})
+                   : Value(static_cast<int64_t>(rng.Uniform(5)));
+    Value g2 = (with_nulls && rng.Bernoulli(0.1))
+                   ? Value(Null{})
+                   : Value(names[rng.Uniform(4)]);
+    Value v = (with_nulls && rng.Bernoulli(0.2))
+                  ? Value(Null{})
+                  : Value(static_cast<double>(rng.Uniform(100)) / 4.0);
+    Value w = Value(static_cast<int64_t>(rng.Uniform(1000)));
+    EXPECT_TRUE(b.AppendRow({g1, g2, v, w}).ok());
+  }
+  return *b.Build("mixed");
+}
+
+class StrategyTest : public ::testing::TestWithParam<AggStrategy> {};
+
+TEST_P(StrategyTest, CountStarMatchesReference) {
+  TablePtr t = MakeMixedTable(2000, 17, /*with_nulls=*/true);
+  if (GetParam() == AggStrategy::kIndexStream) {
+    ASSERT_TRUE(t->CreateIndex(ColumnSet{0, 1}).ok());
+  }
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0, 1}, {AggregateSpec::CountStar()}};
+  auto r = exec.ExecuteGroupBy(*t, q, "out", GetParam());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto ref = ReferenceGroupBy(*t, q.grouping, -1);
+  auto got = KeyedResult(**r, 2);
+  ASSERT_EQ(got.size(), ref.size());
+  for (const auto& [key, aggs] : got) {
+    ASSERT_TRUE(ref.count(key)) << key;
+    EXPECT_EQ(aggs[0], Value(ref[key].count)) << key;
+  }
+}
+
+TEST_P(StrategyTest, SumMinMaxMatchesReference) {
+  TablePtr t = MakeMixedTable(1500, 23, /*with_nulls=*/true);
+  if (GetParam() == AggStrategy::kIndexStream) {
+    ASSERT_TRUE(t->CreateIndex(ColumnSet{0}).ok());
+  }
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0},
+                 {AggregateSpec::CountStar("cnt"), AggregateSpec::Sum(2, "s"),
+                  AggregateSpec::Min(2, "mn"), AggregateSpec::Max(2, "mx")}};
+  auto r = exec.ExecuteGroupBy(*t, q, "out", GetParam());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto ref = ReferenceGroupBy(*t, q.grouping, 2);
+  auto got = KeyedResult(**r, 1);
+  ASSERT_EQ(got.size(), ref.size());
+  for (const auto& [key, aggs] : got) {
+    ASSERT_TRUE(ref.count(key)) << key;
+    const RefAgg& ra = ref[key];
+    EXPECT_EQ(aggs[0], Value(ra.count)) << key;
+    if (!ra.seen) {
+      EXPECT_TRUE(aggs[1].is_null());
+      EXPECT_TRUE(aggs[2].is_null());
+      EXPECT_TRUE(aggs[3].is_null());
+    } else {
+      EXPECT_NEAR(aggs[1].AsDouble(), ra.sum, 1e-9) << key;
+      EXPECT_DOUBLE_EQ(aggs[2].AsDouble(), ra.min) << key;
+      EXPECT_DOUBLE_EQ(aggs[3].AsDouble(), ra.max) << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, StrategyTest,
+                         ::testing::Values(AggStrategy::kHash,
+                                           AggStrategy::kSort,
+                                           AggStrategy::kIndexStream));
+
+TEST(QueryExecutorTest, GroupCountsSumToInputRows) {
+  TablePtr t = MakeMixedTable(3000, 5, true);
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0, 1}, {AggregateSpec::CountStar()}};
+  auto r = exec.ExecuteGroupBy(*t, q, "out");
+  ASSERT_TRUE(r.ok());
+  int64_t total = 0;
+  for (size_t i = 0; i < (*r)->num_rows(); ++i) {
+    total += (*r)->column(2).Int64At(i);
+  }
+  EXPECT_EQ(total, 3000);
+}
+
+TEST(QueryExecutorTest, EmptyGroupingSetIsGrandTotal) {
+  TablePtr t = MakeMixedTable(100, 5, false);
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet(), {AggregateSpec::CountStar()}};
+  auto r = exec.ExecuteGroupBy(*t, q, "out");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->num_rows(), 1u);
+  EXPECT_EQ((*r)->column(0).Int64At(0), 100);
+}
+
+TEST(QueryExecutorTest, EmptyInputProducesNoGroups) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, false}}));
+  TablePtr t = *b.Build("empty");
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  auto r = exec.ExecuteGroupBy(*t, q, "out");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 0u);
+}
+
+TEST(QueryExecutorTest, NullIsItsOwnGroup) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, true}}));
+  ASSERT_TRUE(b.AppendRow({Value(1)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(Null{})}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(Null{})}).ok());
+  TablePtr t = *b.Build("t");
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  auto r = exec.ExecuteGroupBy(*t, q, "out");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->num_rows(), 2u);
+  int64_t null_count = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    if ((*r)->column(0).IsNull(i)) null_count = (*r)->column(1).Int64At(i);
+  }
+  EXPECT_EQ(null_count, 2);
+}
+
+TEST(QueryExecutorTest, NullDistinctFromZeroAndEmptyString) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, true},
+                         {"s", DataType::kString, true}}));
+  ASSERT_TRUE(b.AppendRow({Value(0), Value("")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(Null{}), Value(Null{})}).ok());
+  TablePtr t = *b.Build("t");
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0, 1}, {AggregateSpec::CountStar()}};
+  auto r = exec.ExecuteGroupBy(*t, q, "out");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_rows(), 2u);
+}
+
+TEST(QueryExecutorTest, ReaggregationEquivalence) {
+  // COUNT(*) over (g1) computed directly equals SUM(cnt) over the
+  // materialized (g1,g2) intermediate — the decomposability PlanExecutor
+  // relies on (Section 5.2 of the paper).
+  TablePtr t = MakeMixedTable(4000, 31, true);
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+
+  GroupByQuery direct{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  auto direct_r = exec.ExecuteGroupBy(*t, direct, "direct");
+  ASSERT_TRUE(direct_r.ok());
+
+  GroupByQuery pair{ColumnSet{0, 1}, {AggregateSpec::CountStar()}};
+  auto mid = exec.ExecuteGroupBy(*t, pair, "mid");
+  ASSERT_TRUE(mid.ok());
+  // In the intermediate, g1 is ordinal 0 and cnt is ordinal 2.
+  GroupByQuery rollup{ColumnSet{0}, {AggregateSpec::Sum(2, "cnt")}};
+  auto rolled = exec.ExecuteGroupBy(**mid, rollup, "rolled");
+  ASSERT_TRUE(rolled.ok());
+
+  auto a = KeyedResult(**direct_r, 1);
+  auto b = KeyedResult(**rolled, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, aggs] : a) {
+    ASSERT_TRUE(b.count(key)) << key;
+    EXPECT_EQ(aggs[0].AsDouble(), b[key][0].AsDouble()) << key;
+  }
+}
+
+TEST(QueryExecutorTest, SharedScanMatchesSeparateExecution) {
+  TablePtr t = MakeMixedTable(2500, 47, true);
+  ExecContext ctx1, ctx2;
+  QueryExecutor exec1(&ctx1), exec2(&ctx2);
+  std::vector<GroupByQuery> queries = {
+      {ColumnSet{0}, {AggregateSpec::CountStar()}},
+      {ColumnSet{1}, {AggregateSpec::CountStar()}},
+      {ColumnSet{0, 1}, {AggregateSpec::CountStar()}},
+  };
+  auto shared = exec1.ExecuteSharedScan(*t, queries, {"s0", "s1", "s2"});
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto sep = exec2.ExecuteGroupBy(*t, queries[i], "sep");
+    ASSERT_TRUE(sep.ok());
+    const int ng = queries[i].grouping.size();
+    auto a = KeyedResult(*(*shared)[i], ng);
+    auto b = KeyedResult(**sep, ng);
+    EXPECT_EQ(a.size(), b.size());
+    for (const auto& [key, aggs] : a) {
+      ASSERT_TRUE(b.count(key));
+      EXPECT_EQ(aggs[0].AsDouble(), b[key][0].AsDouble());
+    }
+  }
+  // Shared scan reads the input once; separate execution reads it 3 times.
+  EXPECT_EQ(ctx1.counters().rows_scanned, t->num_rows());
+  EXPECT_EQ(ctx2.counters().rows_scanned, 3 * t->num_rows());
+}
+
+TEST(QueryExecutorTest, WorkCountersPopulated) {
+  TablePtr t = MakeMixedTable(1000, 3, false);
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  ASSERT_TRUE(exec.ExecuteGroupBy(*t, q, "out").ok());
+  const WorkCounters& wc = ctx.counters();
+  EXPECT_EQ(wc.rows_scanned, 1000u);
+  EXPECT_GT(wc.bytes_scanned, 0u);
+  EXPECT_GT(wc.rows_emitted, 0u);
+  EXPECT_GT(wc.hash_probes, 0u);
+  EXPECT_EQ(wc.queries_executed, 1u);
+  EXPECT_GT(wc.WorkUnits(), 0.0);
+}
+
+TEST(QueryExecutorTest, IndexStreamScansFewerBytes) {
+  TablePtr t = MakeMixedTable(5000, 13, false);
+  ASSERT_TRUE(t->CreateIndex(ColumnSet{0}).ok());
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  ExecContext hctx, ictx;
+  ASSERT_TRUE(QueryExecutor(&hctx)
+                  .ExecuteGroupBy(*t, q, "h", AggStrategy::kHash)
+                  .ok());
+  ASSERT_TRUE(QueryExecutor(&ictx)
+                  .ExecuteGroupBy(*t, q, "i", AggStrategy::kIndexStream)
+                  .ok());
+  EXPECT_LT(ictx.counters().bytes_scanned, hctx.counters().bytes_scanned);
+}
+
+TEST(QueryExecutorTest, IndexStreamWithoutIndexFails) {
+  TablePtr t = MakeMixedTable(10, 1, false);
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{3}, {AggregateSpec::CountStar()}};
+  auto r = exec.ExecuteGroupBy(*t, q, "out", AggStrategy::kIndexStream);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(QueryExecutorTest, StringAggregateRejected) {
+  TablePtr t = MakeMixedTable(10, 1, false);
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::Min(1, "m")}};  // col 1 = string
+  auto r = exec.ExecuteGroupBy(*t, q, "out");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotSupported());
+}
+
+TEST(QueryExecutorTest, AutoPicksIndexWhenAvailable) {
+  TablePtr t = MakeMixedTable(1000, 29, false);
+  ASSERT_TRUE(t->CreateIndex(ColumnSet{0}).ok());
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  ASSERT_TRUE(exec.ExecuteGroupBy(*t, q, "out").ok());
+  // Index stream performs no hash probes.
+  EXPECT_EQ(ctx.counters().hash_probes, 0u);
+}
+
+}  // namespace
+}  // namespace gbmqo

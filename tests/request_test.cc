@@ -1,0 +1,99 @@
+#include "core/request.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"a", DataType::kInt64, false},
+                 {"b", DataType::kInt64, false},
+                 {"c", DataType::kDouble, false},
+                 {"s", DataType::kString, false}});
+}
+
+TEST(RequestTest, SingleColumnRequests) {
+  auto reqs = SingleColumnRequests({0, 2, 3});
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_EQ(reqs[0].columns, ColumnSet{0});
+  EXPECT_EQ(reqs[1].columns, ColumnSet{2});
+  EXPECT_EQ(reqs[2].columns, ColumnSet{3});
+  // Default aggregate is COUNT(*).
+  ASSERT_EQ(reqs[0].aggs.size(), 1u);
+  EXPECT_EQ(reqs[0].aggs[0].kind, AggKind::kCountStar);
+}
+
+TEST(RequestTest, TwoColumnRequestsAllPairs) {
+  auto reqs = TwoColumnRequests({0, 1, 2});
+  ASSERT_EQ(reqs.size(), 3u);  // C(3,2)
+  EXPECT_EQ(reqs[0].columns, (ColumnSet{0, 1}));
+  EXPECT_EQ(reqs[1].columns, (ColumnSet{0, 2}));
+  EXPECT_EQ(reqs[2].columns, (ColumnSet{1, 2}));
+}
+
+TEST(RequestTest, ValidateAccepts) {
+  Schema s = MakeSchema();
+  EXPECT_TRUE(ValidateRequests(SingleColumnRequests({0, 1}), s).ok());
+  std::vector<GroupByRequest> reqs = {
+      {ColumnSet{0}, {AggRequest{AggKind::kSum, 2}}}};
+  EXPECT_TRUE(ValidateRequests(reqs, s).ok());
+}
+
+TEST(RequestTest, ValidateRejectsEmptySet) {
+  Schema s = MakeSchema();
+  EXPECT_FALSE(ValidateRequests({}, s).ok());
+  std::vector<GroupByRequest> reqs = {{ColumnSet(), {AggRequest{}}}};
+  EXPECT_FALSE(ValidateRequests(reqs, s).ok());
+}
+
+TEST(RequestTest, ValidateRejectsOutOfRange) {
+  Schema s = MakeSchema();
+  std::vector<GroupByRequest> reqs = {GroupByRequest::Count(ColumnSet{9})};
+  EXPECT_FALSE(ValidateRequests(reqs, s).ok());
+}
+
+TEST(RequestTest, ValidateRejectsDuplicates) {
+  Schema s = MakeSchema();
+  std::vector<GroupByRequest> reqs = {GroupByRequest::Count(ColumnSet{0}),
+                                      GroupByRequest::Count(ColumnSet{0})};
+  EXPECT_FALSE(ValidateRequests(reqs, s).ok());
+}
+
+TEST(RequestTest, ValidateRejectsBadAggregates) {
+  Schema s = MakeSchema();
+  // COUNT(*) must not carry an argument.
+  std::vector<GroupByRequest> r1 = {
+      {ColumnSet{0}, {AggRequest{AggKind::kCountStar, 1}}}};
+  EXPECT_FALSE(ValidateRequests(r1, s).ok());
+  // SUM over string.
+  std::vector<GroupByRequest> r2 = {
+      {ColumnSet{0}, {AggRequest{AggKind::kSum, 3}}}};
+  EXPECT_TRUE(ValidateRequests(r2, s).IsNotSupported());
+  // Out-of-range argument.
+  std::vector<GroupByRequest> r3 = {
+      {ColumnSet{0}, {AggRequest{AggKind::kMin, 7}}}};
+  EXPECT_FALSE(ValidateRequests(r3, s).ok());
+  // No aggregates at all.
+  std::vector<GroupByRequest> r4 = {{ColumnSet{0}, {}}};
+  EXPECT_FALSE(ValidateRequests(r4, s).ok());
+}
+
+TEST(RequestTest, AggOutputNames) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(AggOutputName(AggRequest{}, s), "cnt");
+  EXPECT_EQ(AggOutputName(AggRequest{AggKind::kSum, 2}, s), "sum_c");
+  EXPECT_EQ(AggOutputName(AggRequest{AggKind::kMin, 0}, s), "min_a");
+  EXPECT_EQ(AggOutputName(AggRequest{AggKind::kMax, 1}, s), "max_b");
+}
+
+TEST(RequestTest, AggRequestOrdering) {
+  AggRequest count{};
+  AggRequest sum_a{AggKind::kSum, 0};
+  AggRequest sum_b{AggKind::kSum, 1};
+  EXPECT_TRUE(count < sum_a);
+  EXPECT_TRUE(sum_a < sum_b);
+  EXPECT_TRUE(count == AggRequest{});
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace gbmqo {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Sample(&rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfTest, HighThetaConcentratesOnHead) {
+  ZipfGenerator zipf(1000, 2.0);
+  Rng rng(3);
+  int head = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(&rng) < 10) ++head;
+  }
+  // With theta=2 over 1000 values, >90% of mass is on the first 10.
+  EXPECT_GT(static_cast<double>(head) / kDraws, 0.9);
+}
+
+class ZipfRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfRatioTest, FrequencyRatioMatchesTheta) {
+  // P(0)/P(1) should be 2^theta.
+  const double theta = GetParam();
+  ZipfGenerator zipf(100, theta);
+  Rng rng(11);
+  int c0 = 0, c1 = 0;
+  for (int i = 0; i < 400000; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    if (v == 0) ++c0;
+    if (v == 1) ++c1;
+  }
+  ASSERT_GT(c1, 0);
+  EXPECT_NEAR(static_cast<double>(c0) / c1, std::pow(2.0, theta),
+              0.15 * std::pow(2.0, theta));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfRatioTest,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0));
+
+TEST(ZipfTest, SamplesStayInDomain) {
+  ZipfGenerator zipf(7, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/exec_context.h"
+#include "cost/optimizer_cost_model.h"
+#include "exec/query_executor.h"
+
+namespace gbmqo {
+namespace {
+
+TablePtr MakeTable(int rows) {
+  TableBuilder b(Schema({{"g", DataType::kInt64, false},
+                         {"w", DataType::kString, false},
+                         {"x", DataType::kDouble, false}}));
+  Rng rng(9);
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(16))),
+                             Value("s" + std::to_string(rng.Uniform(8))),
+                             Value(rng.NextDouble())})
+                    .ok());
+  }
+  return *b.Build("t");
+}
+
+TEST(ScanModeTest, ResultsIdenticalAcrossModes) {
+  TablePtr t = MakeTable(5000);
+  GroupByQuery q{ColumnSet{0, 1}, {AggregateSpec::CountStar()}};
+  ExecContext c1, c2;
+  auto a = QueryExecutor(&c1, ScanMode::kRowStore).ExecuteGroupBy(*t, q, "a");
+  auto b = QueryExecutor(&c2, ScanMode::kColumnar).ExecuteGroupBy(*t, q, "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->num_rows(), (*b)->num_rows());
+}
+
+TEST(ScanModeTest, RowStoreTouchesChecksum) {
+  TablePtr t = MakeTable(1000);
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  ExecContext row_ctx, col_ctx;
+  ASSERT_TRUE(QueryExecutor(&row_ctx, ScanMode::kRowStore)
+                  .ExecuteGroupBy(*t, q, "a")
+                  .ok());
+  ASSERT_TRUE(QueryExecutor(&col_ctx, ScanMode::kColumnar)
+                  .ExecuteGroupBy(*t, q, "b")
+                  .ok());
+  EXPECT_NE(row_ctx.counters().scan_touch_checksum, 0u);
+  EXPECT_EQ(col_ctx.counters().scan_touch_checksum, 0u);
+}
+
+TEST(ScanModeTest, WorkBytesIndependentOfMode) {
+  // The deterministic byte accounting models a row store in both modes —
+  // only the physical touching differs.
+  TablePtr t = MakeTable(2000);
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  ExecContext c1, c2;
+  ASSERT_TRUE(
+      QueryExecutor(&c1, ScanMode::kRowStore).ExecuteGroupBy(*t, q, "a").ok());
+  ASSERT_TRUE(
+      QueryExecutor(&c2, ScanMode::kColumnar).ExecuteGroupBy(*t, q, "b").ok());
+  EXPECT_EQ(c1.counters().bytes_scanned, c2.counters().bytes_scanned);
+}
+
+TEST(AggCpuModelTest, PenaltyGrowsAndSaturates) {
+  EXPECT_LT(HashAggCpuPerRow(10), HashAggCpuPerRow(100000));
+  EXPECT_LT(HashAggCpuPerRow(100000), HashAggCpuPerRow(10000000));
+  // Saturation: doubling an already-huge group count barely changes it.
+  EXPECT_NEAR(HashAggCpuPerRow(5e7), HashAggCpuPerRow(1e8), 10.0);
+  // Floor: tiny group counts cost the base CPU.
+  EXPECT_NEAR(HashAggCpuPerRow(1), 4.0, 0.1);
+}
+
+TEST(AggCpuModelTest, HighCardinalityQueryCostsMoreWorkUnits) {
+  // Same input rows, different group counts -> different agg_cpu_units.
+  TableBuilder b(Schema({{"lo", DataType::kInt64, false},
+                         {"hi", DataType::kInt64, false}}));
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(4))),
+                             Value(static_cast<int64_t>(i))})
+                    .ok());
+  }
+  TablePtr t = *b.Build("t");
+  ExecContext lo_ctx, hi_ctx;
+  GroupByQuery lo{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  GroupByQuery hi{ColumnSet{1}, {AggregateSpec::CountStar()}};
+  ASSERT_TRUE(QueryExecutor(&lo_ctx).ExecuteGroupBy(*t, lo, "a").ok());
+  ASSERT_TRUE(QueryExecutor(&hi_ctx).ExecuteGroupBy(*t, hi, "b").ok());
+  EXPECT_GT(hi_ctx.counters().agg_cpu_units,
+            2 * lo_ctx.counters().agg_cpu_units);
+}
+
+TEST(AggCpuModelTest, OptimizerModelMirrorsEngineCharge) {
+  // QueryCost must grow with the child's estimated cardinality through the
+  // same HashAggCpuPerRow ramp the engine charges.
+  TablePtr t = MakeTable(100);
+  OptimizerCostModel model(*t);
+  NodeDesc u{ColumnSet{0, 1, 2}, 100000, 24, false};
+  NodeDesc small{ColumnSet{0}, 10, 16, false};
+  NodeDesc large{ColumnSet{1}, 400000, 16, false};
+  const double cheap = model.QueryCost(u, small);
+  const double dear = model.QueryCost(u, large);
+  EXPECT_GT(dear, cheap + 0.5 * 100000 *
+                              (HashAggCpuPerRow(400000) - HashAggCpuPerRow(10)));
+}
+
+}  // namespace
+}  // namespace gbmqo

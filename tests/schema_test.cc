@@ -1,0 +1,73 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"a", DataType::kInt64, false},
+                 {"b", DataType::kString, true},
+                 {"c", DataType::kDouble, false}});
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_EQ(s.FindColumn("c"), 2);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+  EXPECT_EQ(s.FindColumn("A"), -1);  // case sensitive
+}
+
+TEST(SchemaTest, ResolveColumns) {
+  Schema s = MakeSchema();
+  auto r = s.ResolveColumns({"c", "a"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (ColumnSet{0, 2}));
+}
+
+TEST(SchemaTest, ResolveUnknownColumnFails) {
+  Schema s = MakeSchema();
+  auto r = s.ResolveColumns({"a", "zzz"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(SchemaTest, ResolveDuplicateFails) {
+  Schema s = MakeSchema();
+  auto r = s.ResolveColumns({"a", "a"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ColumnNamesOrdinalOrder) {
+  Schema s = MakeSchema();
+  auto names = s.ColumnNames(ColumnSet{2, 0});
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "c");
+}
+
+TEST(SchemaTest, Project) {
+  Schema s = MakeSchema();
+  Schema p = s.Project(ColumnSet{1, 2});
+  ASSERT_EQ(p.num_columns(), 2);
+  EXPECT_EQ(p.column(0).name, "b");
+  EXPECT_EQ(p.column(0).type, DataType::kString);
+  EXPECT_TRUE(p.column(0).nullable);
+  EXPECT_EQ(p.column(1).name, "c");
+  // Projection re-numbers ordinals.
+  EXPECT_EQ(p.FindColumn("b"), 0);
+  EXPECT_EQ(p.FindColumn("c"), 1);
+  EXPECT_EQ(p.FindColumn("a"), -1);
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"x", DataType::kInt64, false}});
+  EXPECT_EQ(s.ToString(), "(x INT64 NOT NULL)");
+}
+
+}  // namespace
+}  // namespace gbmqo

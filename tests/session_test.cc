@@ -1,0 +1,83 @@
+#include "api/session.h"
+
+#include <gtest/gtest.h>
+
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+TEST(SessionTest, ParseOptimizeExecuteSpec) {
+  Session session(GenerateLineitem({.rows = 5000}));
+  auto exec = session.Execute("SINGLE(l_returnflag, l_linestatus, l_shipmode)");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_EQ(exec->results.size(), 3u);
+  EXPECT_EQ(exec->results.at(ColumnSet{kReturnflag})->num_rows(), 3u);
+  EXPECT_EQ(exec->results.at(ColumnSet{kLinestatus})->num_rows(), 2u);
+  EXPECT_EQ(exec->results.at(ColumnSet{kShipmode})->num_rows(), 7u);
+}
+
+TEST(SessionTest, OptimizeNeverWorseThanNaive) {
+  Session session(GenerateLineitem({.rows = 5000}));
+  auto opt = session.Optimize("PAIRS(l_returnflag, l_linestatus, l_shipmode)");
+  ASSERT_TRUE(opt.ok());
+  EXPECT_LE(opt->cost, opt->naive_cost);
+}
+
+TEST(SessionTest, ExplainMentionsColumns) {
+  Session session(GenerateLineitem({.rows = 3000}));
+  auto out = session.Explain("SINGLE(l_returnflag, l_shipmode)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("l_returnflag"), std::string::npos);
+  EXPECT_NE(out->find("total-cost"), std::string::npos);
+}
+
+TEST(SessionTest, GenerateSqlEmitsScript) {
+  Session session(GenerateLineitem({.rows = 3000}));
+  auto stmts = session.GenerateSql(
+      "(l_shipdate), (l_commitdate), (l_shipdate, l_commitdate)");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_GE(stmts->size(), 3u);
+  EXPECT_NE((*stmts)[0].text.find("FROM lineitem"), std::string::npos);
+}
+
+TEST(SessionTest, ExecutePlanRunsBaselines) {
+  Session session(GenerateLineitem({.rows = 4000}));
+  auto requests = session.Parse("SINGLE(l_returnflag, l_shipmode)");
+  ASSERT_TRUE(requests.ok());
+  auto naive = session.ExecutePlan(NaivePlan(*requests), *requests);
+  ASSERT_TRUE(naive.ok());
+  auto optimized = session.Execute(*requests);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(naive->results.size(), optimized->results.size());
+}
+
+TEST(SessionTest, SampledStatsMode) {
+  SessionOptions options;
+  options.stats_mode = DistinctMode::kSampled;
+  options.sample_size = 1000;
+  Session session(GenerateLineitem({.rows = 20000}), options);
+  auto exec = session.Execute("SINGLE(l_returnflag, l_shipdate, l_comment)");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_GT(session.stats()->statistics_created(), 0u);
+}
+
+TEST(SessionTest, BadSpecSurfacesParseError) {
+  Session session(GenerateLineitem({.rows = 100}));
+  EXPECT_FALSE(session.Execute("SINGLE(not_a_column)").ok());
+  EXPECT_FALSE(session.Execute("garbage").ok());
+  EXPECT_FALSE(session.Explain("").ok());
+}
+
+TEST(SessionTest, OptionsPropagateToOptimizer) {
+  SessionOptions options;
+  options.optimizer.only_type_b = true;
+  Session session(GenerateLineitem({.rows = 3000}), options);
+  auto opt = session.Optimize("SINGLE(l_returnflag, l_linestatus, l_shipmode)");
+  ASSERT_TRUE(opt.ok());
+  EXPECT_TRUE(opt->plan.Validate(*session.Parse(
+      "SINGLE(l_returnflag, l_linestatus, l_shipmode)")).ok());
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,136 @@
+#include "core/sql_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"a", DataType::kInt64, false},
+                 {"b", DataType::kInt64, false},
+                 {"c", DataType::kInt64, false}});
+}
+
+PlanNode Leaf(ColumnSet cols) {
+  PlanNode n;
+  n.columns = cols;
+  n.required = true;
+  return n;
+}
+
+TEST(SqlGeneratorTest, NaiveLeafIsPlainSelect) {
+  SqlGenerator gen("R", MakeSchema());
+  LogicalPlan plan;
+  plan.subplans = {Leaf({0})};
+  auto stmts = gen.Generate(plan);
+  ASSERT_TRUE(stmts.ok());
+  ASSERT_EQ(stmts->size(), 1u);
+  EXPECT_EQ((*stmts)[0].kind, SqlStatement::Kind::kSelect);
+  EXPECT_EQ((*stmts)[0].text, "SELECT a, COUNT(*) AS cnt FROM R GROUP BY a;");
+}
+
+TEST(SqlGeneratorTest, IntermediateUsesSelectIntoAndSumCnt) {
+  SqlGenerator gen("R", MakeSchema());
+  LogicalPlan plan;
+  PlanNode root;
+  root.columns = {0, 1};
+  root.children = {Leaf({0}), Leaf({1})};
+  plan.subplans = {root};
+  auto stmts = gen.Generate(plan);
+  ASSERT_TRUE(stmts.ok());
+  ASSERT_EQ(stmts->size(), 4u);
+  EXPECT_EQ((*stmts)[0].kind, SqlStatement::Kind::kSelectInto);
+  EXPECT_EQ((*stmts)[0].text,
+            "SELECT a, b, COUNT(*) AS cnt INTO tmp_a_b FROM R GROUP BY a, b;");
+  // Children re-aggregate with SUM(cnt) from the temp table.
+  EXPECT_EQ((*stmts)[1].text,
+            "SELECT a, SUM(cnt) AS cnt FROM tmp_a_b GROUP BY a;");
+  EXPECT_EQ((*stmts)[2].text,
+            "SELECT b, SUM(cnt) AS cnt FROM tmp_a_b GROUP BY b;");
+  EXPECT_EQ((*stmts)[3].kind, SqlStatement::Kind::kDropTable);
+  EXPECT_EQ((*stmts)[3].text, "DROP TABLE tmp_a_b;");
+}
+
+TEST(SqlGeneratorTest, BreadthFirstOrderEmitsDropBeforeDescent) {
+  SqlGenerator gen("R", MakeSchema());
+  LogicalPlan plan;
+  PlanNode mid;
+  mid.columns = {0, 1};
+  mid.children = {Leaf({0}), Leaf({1})};
+  PlanNode root;
+  root.columns = {0, 1, 2};
+  root.mark = TraversalMark::kBreadthFirst;
+  root.children = {mid, Leaf({2})};
+  plan.subplans = {root};
+  auto stmts = gen.Generate(plan);
+  ASSERT_TRUE(stmts.ok());
+  // Order: root INTO, mid INTO, (2) SELECT, DROP root, then mid's children,
+  // DROP mid.
+  std::vector<std::string> kinds;
+  for (const auto& s : *stmts) kinds.push_back(s.text.substr(0, 6));
+  ASSERT_EQ(stmts->size(), 7u);
+  EXPECT_EQ((*stmts)[3].text, "DROP TABLE tmp_a_b_c;");
+  EXPECT_EQ((*stmts)[6].text, "DROP TABLE tmp_a_b;");
+}
+
+TEST(SqlGeneratorTest, MultiAggregateReaggregation) {
+  SqlGenerator gen("R", MakeSchema());
+  LogicalPlan plan;
+  PlanNode root;
+  root.columns = {0, 1};
+  root.aggs = {AggRequest{}, AggRequest{AggKind::kSum, 2},
+               AggRequest{AggKind::kMin, 2}};
+  PlanNode leaf = Leaf({0});
+  leaf.aggs = {AggRequest{AggKind::kSum, 2}, AggRequest{AggKind::kMin, 2}};
+  root.children = {leaf};
+  plan.subplans = {root};
+  auto stmts = gen.Generate(plan);
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_NE((*stmts)[0].text.find("SUM(c) AS sum_c"), std::string::npos);
+  EXPECT_NE((*stmts)[0].text.find("MIN(c) AS min_c"), std::string::npos);
+  // From the intermediate, SUM(sum_c) / MIN(min_c).
+  EXPECT_NE((*stmts)[1].text.find("SUM(sum_c) AS sum_c"), std::string::npos);
+  EXPECT_NE((*stmts)[1].text.find("MIN(min_c) AS min_c"), std::string::npos);
+}
+
+TEST(SqlGeneratorTest, CubeAndRollupRenderNatively) {
+  SqlGenerator gen("R", MakeSchema());
+  LogicalPlan plan;
+  PlanNode cube;
+  cube.columns = {0, 1};
+  cube.kind = NodeKind::kCube;
+  cube.required = true;
+  plan.subplans = {cube};
+  auto stmts = gen.Generate(plan);
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_NE((*stmts)[0].text.find("GROUP BY CUBE(a, b)"), std::string::npos);
+
+  LogicalPlan plan2;
+  PlanNode rollup;
+  rollup.columns = {0, 1};
+  rollup.kind = NodeKind::kRollup;
+  rollup.rollup_order = {1, 0};
+  rollup.required = true;
+  plan2.subplans = {rollup};
+  auto stmts2 = gen.Generate(plan2);
+  ASSERT_TRUE(stmts2.ok());
+  EXPECT_NE((*stmts2)[0].text.find("GROUP BY ROLLUP(b, a)"), std::string::npos);
+}
+
+TEST(SqlGeneratorTest, GroupingSetsSql) {
+  SqlGenerator gen("R", MakeSchema());
+  auto requests = SingleColumnRequests({0, 2});
+  EXPECT_EQ(gen.GroupingSetsSql(requests),
+            "SELECT a, c, COUNT(*) AS cnt FROM R "
+            "GROUP BY GROUPING SETS ((a), (c));");
+}
+
+TEST(SqlGeneratorTest, UnknownColumnRejected) {
+  SqlGenerator gen("R", MakeSchema());
+  LogicalPlan plan;
+  plan.subplans = {Leaf({7})};
+  EXPECT_FALSE(gen.Generate(plan).ok());
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/distinct_estimator.h"
+#include "stats/histogram.h"
+#include "stats/statistics_manager.h"
+
+namespace gbmqo {
+namespace {
+
+TablePtr MakeTable(int rows, int d1, int d2, uint64_t seed = 7) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                         {"b", DataType::kInt64, false},
+                         {"s", DataType::kString, true}}));
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    Value s = rng.Bernoulli(0.05)
+                  ? Value(Null{})
+                  : Value("str" + std::to_string(rng.Uniform(20)));
+    EXPECT_TRUE(b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(d1))),
+                             Value(static_cast<int64_t>(rng.Uniform(d2))), s})
+                    .ok());
+  }
+  return *b.Build("t");
+}
+
+TEST(DistinctTest, ExactSingleColumn) {
+  TablePtr t = MakeTable(10000, 13, 200);
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet{0}), 13u);
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet{1}), 200u);
+}
+
+TEST(DistinctTest, ExactPairUpperBound) {
+  TablePtr t = MakeTable(50000, 13, 200);
+  const uint64_t pair = ExactDistinctCount(*t, ColumnSet{0, 1});
+  EXPECT_LE(pair, 13u * 200u);
+  EXPECT_GE(pair, 200u);  // at least max of the two
+  // With 50k rows and 2600 combinations, essentially all appear.
+  EXPECT_GT(pair, 2500u);
+}
+
+TEST(DistinctTest, EmptySetIsOne) {
+  TablePtr t = MakeTable(10, 2, 2);
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet()), 1u);
+}
+
+TEST(DistinctTest, EmptyTableIsZero) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, false}}));
+  TablePtr t = *b.Build("e");
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet{0}), 0u);
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet()), 0u);
+}
+
+TEST(DistinctTest, NullCountsAsOneValue) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, true}}));
+  ASSERT_TRUE(b.AppendRow({Value(1)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(Null{})}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(Null{})}).ok());
+  TablePtr t = *b.Build("n");
+  EXPECT_EQ(ExactDistinctCount(*t, ColumnSet{0}), 2u);
+}
+
+TEST(DistinctTest, SampledWithinTolerance) {
+  TablePtr t = MakeTable(100000, 50, 1000);
+  // Low-cardinality column: a modest sample nails it.
+  const uint64_t est = SampledDistinctCount(*t, ColumnSet{0}, 5000);
+  EXPECT_NEAR(static_cast<double>(est), 50.0, 5.0);
+}
+
+TEST(DistinctTest, SampledDegeneratesToExactOnFullSample) {
+  TablePtr t = MakeTable(1000, 30, 10);
+  EXPECT_EQ(SampledDistinctCount(*t, ColumnSet{0}, 100000),
+            ExactDistinctCount(*t, ColumnSet{0}));
+}
+
+TEST(DistinctTest, SampledClampedToFeasibleRange) {
+  TablePtr t = MakeTable(2000, 1999, 2);  // near-unique column
+  const uint64_t est = SampledDistinctCount(*t, ColumnSet{0}, 200);
+  EXPECT_LE(est, 2000u);
+  EXPECT_GE(est, 100u);  // must be at least the sampled distinct count
+}
+
+TEST(StatisticsManagerTest, CachesAndMeters) {
+  TablePtr t = MakeTable(5000, 10, 100);
+  StatisticsManager stats(*t);
+  EXPECT_FALSE(stats.Has(ColumnSet{0}));
+  const ColumnSetStats& s1 = stats.Get(ColumnSet{0});
+  EXPECT_DOUBLE_EQ(s1.distinct_count, 10.0);
+  EXPECT_GT(s1.row_width, 0.0);
+  EXPECT_EQ(stats.statistics_created(), 1u);
+  EXPECT_TRUE(stats.Has(ColumnSet{0}));
+  // Second request is served from cache.
+  stats.Get(ColumnSet{0});
+  EXPECT_EQ(stats.statistics_created(), 1u);
+  stats.Get(ColumnSet{0, 1});
+  EXPECT_EQ(stats.statistics_created(), 2u);
+  EXPECT_GE(stats.creation_seconds(), 0.0);
+}
+
+TEST(StatisticsManagerTest, SampledMode) {
+  TablePtr t = MakeTable(50000, 25, 100);
+  StatisticsManager stats(*t, DistinctMode::kSampled, 4000);
+  EXPECT_NEAR(stats.Get(ColumnSet{0}).distinct_count, 25.0, 4.0);
+}
+
+TEST(HistogramTest, EquiDepthBucketsCoverAllRows) {
+  TablePtr t = MakeTable(10000, 64, 5);
+  auto h = Histogram::Build(*t, 0, 8);
+  ASSERT_TRUE(h.ok());
+  uint64_t total = 0;
+  for (const auto& b : h->buckets()) total += b.row_count;
+  EXPECT_EQ(total + h->null_count(), 10000u);
+  EXPECT_LE(h->buckets().size(), 8u);
+}
+
+TEST(HistogramTest, BucketsAreOrderedAndDisjoint) {
+  TablePtr t = MakeTable(5000, 100, 5);
+  auto h = Histogram::Build(*t, 0, 10);
+  ASSERT_TRUE(h.ok());
+  const auto& bs = h->buckets();
+  for (size_t i = 1; i < bs.size(); ++i) {
+    EXPECT_GT(bs[i].lo, bs[i - 1].hi);
+  }
+}
+
+TEST(HistogramTest, RangeSelectivityFullDomainIsOne) {
+  TablePtr t = MakeTable(2000, 50, 5);
+  auto h = Histogram::Build(*t, 0, 16);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->EstimateRangeSelectivity(-1e9, 1e9), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h->EstimateRangeSelectivity(5, 4), 0.0);
+}
+
+TEST(HistogramTest, HalfDomainRoughlyHalf) {
+  TablePtr t = MakeTable(20000, 100, 5);
+  auto h = Histogram::Build(*t, 0, 32);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->EstimateRangeSelectivity(0, 49), 0.5, 0.05);
+}
+
+TEST(HistogramTest, NullsExcludedAndCounted) {
+  TablePtr t = MakeTable(5000, 10, 10);
+  auto h = Histogram::Build(*t, 2, 8);  // string column with ~5% nulls
+  ASSERT_TRUE(h.ok());
+  EXPECT_GT(h->null_count(), 0u);
+}
+
+TEST(HistogramTest, InvalidArgsRejected) {
+  TablePtr t = MakeTable(10, 2, 2);
+  EXPECT_FALSE(Histogram::Build(*t, 99, 8).ok());
+  EXPECT_FALSE(Histogram::Build(*t, 0, 0).ok());
+}
+
+}  // namespace
+}  // namespace gbmqo

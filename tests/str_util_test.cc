@@ -1,0 +1,60 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+  EXPECT_EQ(Trim("\t\na\r "), "a");
+}
+
+TEST(StrUtilTest, SplitAndTrim) {
+  auto parts = SplitAndTrim("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrUtilTest, SplitDropsEmptyPieces) {
+  auto parts = SplitAndTrim(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StrUtilTest, SplitEmptyString) {
+  EXPECT_TRUE(SplitAndTrim("", ',').empty());
+  EXPECT_TRUE(SplitAndTrim("  ", ',').empty());
+}
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP BY", "group by"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "ab"));
+}
+
+TEST(StrUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("GrOuPiNg SeTs"), "grouping sets");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace gbmqo

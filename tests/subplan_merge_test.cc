@@ -1,0 +1,179 @@
+#include "core/subplan_merge.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+PlanNode Leaf(ColumnSet cols, bool required = true) {
+  PlanNode n;
+  n.columns = cols;
+  n.required = required;
+  return n;
+}
+
+PlanNode Tree(ColumnSet root_cols, std::vector<PlanNode> children,
+              bool required = false) {
+  PlanNode n;
+  n.columns = root_cols;
+  n.required = required;
+  n.aggs = {AggRequest{}};
+  n.children = std::move(children);
+  return n;
+}
+
+// Does any candidate have root `cols` with exactly `num_children` children?
+bool HasShape(const std::vector<PlanNode>& cands, ColumnSet cols,
+              size_t num_children,
+              NodeKind kind = NodeKind::kGroupBy) {
+  for (const PlanNode& c : cands) {
+    if (c.columns == cols && c.children.size() == num_children &&
+        c.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(SubPlanMergeTest, TwoRequiredLeavesYieldTypeBOnly) {
+  // Both leaves required: shapes (a),(c),(d) are inapplicable.
+  auto cands = SubPlanMerge(Leaf({0}), Leaf({1}));
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].columns, (ColumnSet{0, 1}));
+  EXPECT_FALSE(cands[0].required);
+  ASSERT_EQ(cands[0].children.size(), 2u);
+  EXPECT_TRUE(cands[0].children[0].required);
+  EXPECT_TRUE(cands[0].children[1].required);
+}
+
+TEST(SubPlanMergeTest, NonRequiredRootsEnableShapesACD) {
+  // P1 = {0,1} over leaves {0},{1}; P2 = {2,3} over leaves {2},{3}.
+  PlanNode p1 = Tree({0, 1}, {Leaf({0}), Leaf({1})});
+  PlanNode p2 = Tree({2, 3}, {Leaf({2}), Leaf({3})});
+  auto cands = SubPlanMerge(p1, p2);
+  const ColumnSet m{0, 1, 2, 3};
+  // (b): children = [P1, P2].
+  EXPECT_TRUE(HasShape(cands, m, 2));
+  // (a): all four leaves directly under m.
+  EXPECT_TRUE(HasShape(cands, m, 4));
+  // (c)/(d): three children.
+  int three = 0;
+  for (const PlanNode& c : cands) {
+    if (c.children.size() == 3) ++three;
+  }
+  EXPECT_EQ(three, 2);
+  EXPECT_EQ(cands.size(), 4u);
+}
+
+TEST(SubPlanMergeTest, RequiredRootsBlockElision) {
+  PlanNode p1 = Tree({0, 1}, {Leaf({0})}, /*required=*/true);
+  PlanNode p2 = Tree({2, 3}, {Leaf({2})}, /*required=*/false);
+  auto cands = SubPlanMerge(p1, p2);
+  // (a) requires both non-required; (c) requires p1 non-required. Only (b)
+  // and (d) remain.
+  EXPECT_EQ(cands.size(), 2u);
+  for (const PlanNode& c : cands) {
+    // p1's root must survive in every candidate.
+    bool p1_present = false;
+    for (const PlanNode& child : c.children) {
+      if (child.columns == (ColumnSet{0, 1})) p1_present = true;
+    }
+    EXPECT_TRUE(p1_present);
+  }
+}
+
+TEST(SubPlanMergeTest, OnlyTypeBRestriction) {
+  PlanNode p1 = Tree({0, 1}, {Leaf({0}), Leaf({1})});
+  PlanNode p2 = Tree({2, 3}, {Leaf({2}), Leaf({3})});
+  MergeOptions opts;
+  opts.only_type_b = true;
+  auto cands = SubPlanMerge(p1, p2, opts);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].children.size(), 2u);
+}
+
+TEST(SubPlanMergeTest, SubsumptionAttachesUnderContainer) {
+  auto cands = SubPlanMerge(Leaf({0, 1}), Leaf({0}));
+  ASSERT_EQ(cands.size(), 1u);
+  const PlanNode& c = cands[0];
+  EXPECT_EQ(c.columns, (ColumnSet{0, 1}));
+  EXPECT_TRUE(c.required);  // the container leaf was required
+  ASSERT_EQ(c.children.size(), 1u);
+  EXPECT_EQ(c.children[0].columns, ColumnSet{0});
+}
+
+TEST(SubPlanMergeTest, SubsumptionElidesNonRequiredInner) {
+  // sub-root {0,1} is NOT required and has children; container {0,1,2}.
+  PlanNode inner = Tree({0, 1}, {Leaf({0}), Leaf({1})});
+  PlanNode outer = Leaf({0, 1, 2});
+  auto cands = SubPlanMerge(outer, inner);
+  // Option 1: attach inner whole. Option 2: elide inner root.
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_TRUE(HasShape(cands, {0, 1, 2}, 1));
+  EXPECT_TRUE(HasShape(cands, {0, 1, 2}, 2));
+}
+
+TEST(SubPlanMergeTest, EqualRootsUnify) {
+  PlanNode p1 = Tree({0, 1}, {Leaf({0})}, /*required=*/false);
+  PlanNode p2 = Tree({0, 1}, {Leaf({1})}, /*required=*/true);
+  auto cands = SubPlanMerge(p1, p2);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].columns, (ColumnSet{0, 1}));
+  EXPECT_TRUE(cands[0].required);
+  EXPECT_EQ(cands[0].children.size(), 2u);
+}
+
+TEST(SubPlanMergeTest, MergedRootCarriesUnionedAggregates) {
+  PlanNode p1 = Leaf({0});
+  p1.aggs = {AggRequest{AggKind::kSum, 5}};
+  PlanNode p2 = Leaf({1});
+  p2.aggs = {AggRequest{AggKind::kMin, 6}};
+  auto cands = SubPlanMerge(p1, p2);
+  ASSERT_EQ(cands.size(), 1u);
+  // Union + implicit COUNT(*): 3 aggregates.
+  EXPECT_EQ(cands[0].aggs.size(), 3u);
+}
+
+TEST(SubPlanMergeTest, CubeCandidateForLeafPair) {
+  MergeOptions opts;
+  opts.enable_cube = true;
+  auto cands = SubPlanMerge(Leaf({0}), Leaf({1}), opts);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_TRUE(HasShape(cands, {0, 1}, 2, NodeKind::kCube));
+}
+
+TEST(SubPlanMergeTest, CubeRespectsWidthCap) {
+  MergeOptions opts;
+  opts.enable_cube = true;
+  opts.max_cube_width = 2;
+  auto cands = SubPlanMerge(Leaf({0, 1}), Leaf({2}), opts);
+  for (const PlanNode& c : cands) EXPECT_NE(c.kind, NodeKind::kCube);
+}
+
+TEST(SubPlanMergeTest, RollupCandidateForNestedLeaves) {
+  MergeOptions opts;
+  opts.enable_rollup = true;
+  auto cands = SubPlanMerge(Leaf({0, 1, 2}), Leaf({1}), opts);
+  bool found_rollup = false;
+  for (const PlanNode& c : cands) {
+    if (c.kind == NodeKind::kRollup) {
+      found_rollup = true;
+      // Order must put the inner set first so it is a prefix.
+      ASSERT_EQ(c.rollup_order.size(), 3u);
+      EXPECT_EQ(c.rollup_order[0], 1);
+      EXPECT_EQ(c.children.size(), 2u);  // both required leaves covered
+    }
+  }
+  EXPECT_TRUE(found_rollup);
+}
+
+TEST(SubPlanMergeTest, UnionAggsDeduplicatesAndAddsCount) {
+  std::vector<AggRequest> a = {AggRequest{AggKind::kSum, 1}};
+  std::vector<AggRequest> b = {AggRequest{AggKind::kSum, 1},
+                               AggRequest{AggKind::kMax, 2}};
+  auto u = UnionAggs(a, b);
+  EXPECT_EQ(u.size(), 3u);  // count, sum_1, max_2
+}
+
+}  // namespace
+}  // namespace gbmqo

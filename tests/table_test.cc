@@ -1,0 +1,100 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace gbmqo {
+namespace {
+
+TablePtr MakeTable() {
+  Schema schema({{"id", DataType::kInt64, false},
+                 {"name", DataType::kString, false},
+                 {"score", DataType::kDouble, false}});
+  TableBuilder b(schema);
+  EXPECT_TRUE(b.AppendRow({Value(1), Value("ann"), Value(3.5)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(2), Value("bob"), Value(1.5)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(3), Value("ann"), Value(2.5)}).ok());
+  auto r = b.Build("t");
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+TEST(TableTest, BuildAndRead) {
+  TablePtr t = MakeTable();
+  EXPECT_EQ(t->name(), "t");
+  EXPECT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->column(0).Int64At(1), 2);
+  EXPECT_EQ(t->column(1).StringAt(2), "ann");
+  auto row = t->Row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], Value(1));
+  EXPECT_EQ(row[1], Value("ann"));
+}
+
+TEST(TableTest, AppendRowArityMismatch) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, false}}));
+  EXPECT_FALSE(b.AppendRow({Value(1), Value(2)}).ok());
+}
+
+TEST(TableTest, ByteSizePositive) {
+  TablePtr t = MakeTable();
+  EXPECT_GT(t->ByteSize(), 0u);
+}
+
+TEST(TableTest, AvgRowWidthSubset) {
+  TablePtr t = MakeTable();
+  const double full = t->AvgRowWidth({});
+  const double ints = t->AvgRowWidth(ColumnSet{0});
+  EXPECT_GT(full, ints);
+  EXPECT_GE(ints, 8.0);
+}
+
+TEST(TableIndexTest, CreateAndFind) {
+  TablePtr t = MakeTable();
+  ASSERT_TRUE(t->CreateIndex(ColumnSet{1}).ok());
+  const Index* idx = t->FindIndex(ColumnSet{1});
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->sorted_rows().size(), 3u);
+  // Equal names are adjacent in the permutation.
+  const auto& rows = idx->sorted_rows();
+  const Column& name = t->column(1);
+  bool ann_adjacent = false;
+  for (size_t i = 0; i + 1 < rows.size(); ++i) {
+    if (name.StringAt(rows[i]) == "ann" && name.StringAt(rows[i + 1]) == "ann") {
+      ann_adjacent = true;
+    }
+  }
+  EXPECT_TRUE(ann_adjacent);
+}
+
+TEST(TableIndexTest, FindCoveringIndexPrefix) {
+  TablePtr t = MakeTable();
+  ASSERT_TRUE(t->CreateIndex(ColumnSet{0, 1}).ok());
+  // {0} is the ordinal-prefix of index {0,1}.
+  EXPECT_NE(t->FindCoveringIndex(ColumnSet{0}), nullptr);
+  // {1} is not a prefix.
+  EXPECT_EQ(t->FindCoveringIndex(ColumnSet{1}), nullptr);
+  // Exact key matches itself.
+  EXPECT_NE(t->FindCoveringIndex(ColumnSet{0, 1}), nullptr);
+  // Empty set never matches.
+  EXPECT_EQ(t->FindCoveringIndex(ColumnSet()), nullptr);
+}
+
+TEST(TableIndexTest, IndexKeyOutOfRange) {
+  TablePtr t = MakeTable();
+  EXPECT_FALSE(t->CreateIndex(ColumnSet{9}).ok());
+  EXPECT_FALSE(t->CreateIndex(ColumnSet()).ok());
+}
+
+TEST(TableIndexTest, IndexOrdersNullsFirst) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, true}}));
+  ASSERT_TRUE(b.AppendRow({Value(5)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(Null{})}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(1)}).ok());
+  TablePtr t = *b.Build("n");
+  ASSERT_TRUE(t->CreateIndex(ColumnSet{0}).ok());
+  const auto& rows = t->FindIndex(ColumnSet{0})->sorted_rows();
+  EXPECT_TRUE(t->column(0).IsNull(rows[0]));
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,212 @@
+// gbmqo — command-line multi-Group-By analyzer (the "client data analysis
+// tool" of Section 5.2). Loads a CSV (or generates a synthetic dataset),
+// optimizes a GROUPING SETS workload with GB-MQO and either executes it,
+// explains the plan, or emits the SQL script for a real DBMS.
+//
+//   gbmqo_cli --csv data.csv --spec "SINGLE(state, zip, country)" explain
+//   gbmqo_cli --csv data.csv --spec "(a), (b), (a, b)" run
+//   gbmqo_cli --gen tpch --rows 100000 --spec "PAIRS(l_returnflag, l_linestatus, l_shipmode)" sql
+//   gbmqo_cli --csv data.csv --spec "SINGLE(a, b)" run --out results_dir
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "api/session.h"
+#include "data/csv.h"
+#include "data/nref_gen.h"
+#include "data/sales_gen.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--csv FILE | --gen tpch|sales|nref) [--rows N]\n"
+      "          --spec 'GROUPING SETS spec' (run|explain|sql|profile)\n"
+      "          [--out DIR]  write result tables as CSV into DIR\n"
+      "          [--naive]    also execute the naive plan and compare\n"
+      "\n"
+      "spec examples:  \"(a), (b), (a, c)\"   \"SINGLE(a, b, c)\"   "
+      "\"PAIRS(a, b, c)\"\n",
+      argv0);
+  return 2;
+}
+
+struct Args {
+  std::string csv;
+  std::string gen;
+  size_t rows = 100000;
+  std::string spec;
+  std::string command;
+  std::string out_dir;
+  bool compare_naive = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--csv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->csv = v;
+    } else if (arg == "--gen") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->gen = v;
+    } else if (arg == "--rows") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->rows = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->spec = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->out_dir = v;
+    } else if (arg == "--naive") {
+      args->compare_naive = true;
+    } else if (arg[0] != '-') {
+      args->command = arg;
+    } else {
+      return false;
+    }
+  }
+  return !args->command.empty() &&
+         (args->csv.empty() != args->gen.empty());
+}
+
+Result<TablePtr> LoadTable(const Args& args) {
+  if (!args.csv.empty()) return ReadCsvFile(args.csv, "data");
+  if (args.gen == "tpch") return GenerateLineitem({.rows = args.rows});
+  if (args.gen == "sales") return GenerateSales({.rows = args.rows});
+  if (args.gen == "nref") return GenerateNref({.rows = args.rows});
+  return Status::InvalidArgument("unknown generator '" + args.gen + "'");
+}
+
+/// Default profile spec: every column of the table.
+std::string ProfileSpec(const Schema& schema) {
+  std::string spec = "SINGLE(";
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) spec += ", ";
+    spec += schema.column(c).name;
+  }
+  spec += ")";
+  return spec;
+}
+
+int RunCli(const Args& args) {
+  Result<TablePtr> table = LoadTable(args);
+  if (!table.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- loaded '%s': %zu rows, %d columns\n",
+              (*table)->name().c_str(), (*table)->num_rows(),
+              (*table)->schema().num_columns());
+  Session session(*table);
+
+  std::string spec = args.spec;
+  if (args.command == "profile" && spec.empty()) {
+    spec = ProfileSpec((*table)->schema());
+  }
+  if (spec.empty()) {
+    std::fprintf(stderr, "--spec is required for '%s'\n", args.command.c_str());
+    return 2;
+  }
+
+  if (args.command == "explain") {
+    auto out = session.Explain(spec);
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(out->c_str(), stdout);
+    return 0;
+  }
+  if (args.command == "sql") {
+    auto stmts = session.GenerateSql(spec);
+    if (!stmts.ok()) {
+      std::fprintf(stderr, "%s\n", stmts.status().ToString().c_str());
+      return 1;
+    }
+    for (const SqlStatement& s : *stmts) std::printf("%s\n", s.text.c_str());
+    return 0;
+  }
+  if (args.command != "run" && args.command != "profile") {
+    std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+    return 2;
+  }
+
+  auto requests = session.Parse(spec);
+  if (!requests.ok()) {
+    std::fprintf(stderr, "%s\n", requests.status().ToString().c_str());
+    return 1;
+  }
+  auto opt = session.Optimize(*requests);
+  if (!opt.ok()) {
+    std::fprintf(stderr, "%s\n", opt.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- plan: %s\n", opt->plan.ToString().c_str());
+  std::printf("-- estimated cost %.4g vs naive %.4g (%.2fx), optimized in "
+              "%.3fs (%llu optimizer calls)\n",
+              opt->cost, opt->naive_cost, opt->naive_cost / opt->cost,
+              opt->stats.optimization_seconds,
+              static_cast<unsigned long long>(opt->stats.optimizer_calls));
+
+  auto exec = session.ExecutePlan(opt->plan, *requests);
+  if (!exec.ok()) {
+    std::fprintf(stderr, "%s\n", exec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- executed in %.3fs (%.0f work units, peak temp %.2f MB)\n",
+              exec->wall_seconds, exec->counters.WorkUnits(),
+              static_cast<double>(exec->peak_temp_bytes) / 1e6);
+  if (args.compare_naive) {
+    auto naive = session.ExecutePlan(NaivePlan(*requests), *requests);
+    if (naive.ok()) {
+      std::printf("-- naive plan: %.3fs (%.0f work units) -> speedup %.2fx "
+                  "wall, %.2fx work\n",
+                  naive->wall_seconds, naive->counters.WorkUnits(),
+                  naive->wall_seconds / exec->wall_seconds,
+                  naive->counters.WorkUnits() / exec->counters.WorkUnits());
+    }
+  }
+
+  for (const auto& [cols, result] : exec->results) {
+    const auto names = (*table)->schema().ColumnNames(cols);
+    std::string label;
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) label += "_";
+      label += names[i];
+    }
+    std::printf("-- (%s): %zu groups\n", label.c_str(), result->num_rows());
+    if (!args.out_dir.empty()) {
+      const std::string path = args.out_dir + "/" + label + ".csv";
+      Status s = WriteCsvFile(*result, path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "write %s: %s\n", path.c_str(),
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("   wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gbmqo
+
+int main(int argc, char** argv) {
+  gbmqo::Args args;
+  if (!gbmqo::ParseArgs(argc, argv, &args)) return gbmqo::Usage(argv[0]);
+  return gbmqo::RunCli(args);
+}
