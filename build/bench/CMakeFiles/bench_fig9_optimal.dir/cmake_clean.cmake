@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_optimal.dir/bench_fig9_optimal.cc.o"
+  "CMakeFiles/bench_fig9_optimal.dir/bench_fig9_optimal.cc.o.d"
+  "bench_fig9_optimal"
+  "bench_fig9_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

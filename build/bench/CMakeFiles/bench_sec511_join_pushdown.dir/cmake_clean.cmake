@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec511_join_pushdown.dir/bench_sec511_join_pushdown.cc.o"
+  "CMakeFiles/bench_sec511_join_pushdown.dir/bench_sec511_join_pushdown.cc.o.d"
+  "bench_sec511_join_pushdown"
+  "bench_sec511_join_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec511_join_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/join_grouping_sets.cpp" "examples/CMakeFiles/join_grouping_sets.dir/join_grouping_sets.cpp.o" "gcc" "examples/CMakeFiles/join_grouping_sets.dir/join_grouping_sets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gbmqo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gbmqo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/gbmqo_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/gbmqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gbmqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gbmqo_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gbmqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gbmqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

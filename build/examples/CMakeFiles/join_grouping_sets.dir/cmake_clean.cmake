@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_grouping_sets.dir/join_grouping_sets.cpp.o"
+  "CMakeFiles/join_grouping_sets.dir/join_grouping_sets.cpp.o.d"
+  "join_grouping_sets"
+  "join_grouping_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_grouping_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_codegen.dir/sql_codegen.cpp.o"
+  "CMakeFiles/sql_codegen.dir/sql_codegen.cpp.o.d"
+  "sql_codegen"
+  "sql_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_api.dir/session.cc.o"
+  "CMakeFiles/gbmqo_api.dir/session.cc.o.d"
+  "libgbmqo_api.a"
+  "libgbmqo_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

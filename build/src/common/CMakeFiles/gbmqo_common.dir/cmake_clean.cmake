@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_common.dir/str_util.cc.o"
+  "CMakeFiles/gbmqo_common.dir/str_util.cc.o.d"
+  "CMakeFiles/gbmqo_common.dir/zipf.cc.o"
+  "CMakeFiles/gbmqo_common.dir/zipf.cc.o.d"
+  "libgbmqo_common.a"
+  "libgbmqo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exhaustive.cc" "src/core/CMakeFiles/gbmqo_core.dir/exhaustive.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/exhaustive.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/gbmqo_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/grouping_sets_planner.cc" "src/core/CMakeFiles/gbmqo_core.dir/grouping_sets_planner.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/grouping_sets_planner.cc.o.d"
+  "/root/repo/src/core/join_pushdown.cc" "src/core/CMakeFiles/gbmqo_core.dir/join_pushdown.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/join_pushdown.cc.o.d"
+  "/root/repo/src/core/logical_plan.cc" "src/core/CMakeFiles/gbmqo_core.dir/logical_plan.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/logical_plan.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/gbmqo_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/plan_executor.cc" "src/core/CMakeFiles/gbmqo_core.dir/plan_executor.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/plan_executor.cc.o.d"
+  "/root/repo/src/core/request.cc" "src/core/CMakeFiles/gbmqo_core.dir/request.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/request.cc.o.d"
+  "/root/repo/src/core/sql_generator.cc" "src/core/CMakeFiles/gbmqo_core.dir/sql_generator.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/sql_generator.cc.o.d"
+  "/root/repo/src/core/storage_scheduler.cc" "src/core/CMakeFiles/gbmqo_core.dir/storage_scheduler.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/storage_scheduler.cc.o.d"
+  "/root/repo/src/core/subplan_merge.cc" "src/core/CMakeFiles/gbmqo_core.dir/subplan_merge.cc.o" "gcc" "src/core/CMakeFiles/gbmqo_core.dir/subplan_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/gbmqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gbmqo_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gbmqo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gbmqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gbmqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

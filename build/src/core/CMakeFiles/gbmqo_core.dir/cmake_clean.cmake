@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_core.dir/exhaustive.cc.o"
+  "CMakeFiles/gbmqo_core.dir/exhaustive.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/explain.cc.o"
+  "CMakeFiles/gbmqo_core.dir/explain.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/grouping_sets_planner.cc.o"
+  "CMakeFiles/gbmqo_core.dir/grouping_sets_planner.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/join_pushdown.cc.o"
+  "CMakeFiles/gbmqo_core.dir/join_pushdown.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/logical_plan.cc.o"
+  "CMakeFiles/gbmqo_core.dir/logical_plan.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/optimizer.cc.o"
+  "CMakeFiles/gbmqo_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/plan_executor.cc.o"
+  "CMakeFiles/gbmqo_core.dir/plan_executor.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/request.cc.o"
+  "CMakeFiles/gbmqo_core.dir/request.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/sql_generator.cc.o"
+  "CMakeFiles/gbmqo_core.dir/sql_generator.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/storage_scheduler.cc.o"
+  "CMakeFiles/gbmqo_core.dir/storage_scheduler.cc.o.d"
+  "CMakeFiles/gbmqo_core.dir/subplan_merge.cc.o"
+  "CMakeFiles/gbmqo_core.dir/subplan_merge.cc.o.d"
+  "libgbmqo_core.a"
+  "libgbmqo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_cost.dir/optimizer_cost_model.cc.o"
+  "CMakeFiles/gbmqo_cost.dir/optimizer_cost_model.cc.o.d"
+  "libgbmqo_cost.a"
+  "libgbmqo_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

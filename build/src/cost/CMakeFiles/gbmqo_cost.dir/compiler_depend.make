@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gbmqo_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/gbmqo_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/gbmqo_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/nref_gen.cc" "src/data/CMakeFiles/gbmqo_data.dir/nref_gen.cc.o" "gcc" "src/data/CMakeFiles/gbmqo_data.dir/nref_gen.cc.o.d"
+  "/root/repo/src/data/sales_gen.cc" "src/data/CMakeFiles/gbmqo_data.dir/sales_gen.cc.o" "gcc" "src/data/CMakeFiles/gbmqo_data.dir/sales_gen.cc.o.d"
+  "/root/repo/src/data/tpch_gen.cc" "src/data/CMakeFiles/gbmqo_data.dir/tpch_gen.cc.o" "gcc" "src/data/CMakeFiles/gbmqo_data.dir/tpch_gen.cc.o.d"
+  "/root/repo/src/data/widen.cc" "src/data/CMakeFiles/gbmqo_data.dir/widen.cc.o" "gcc" "src/data/CMakeFiles/gbmqo_data.dir/widen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/gbmqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gbmqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_data.dir/csv.cc.o"
+  "CMakeFiles/gbmqo_data.dir/csv.cc.o.d"
+  "CMakeFiles/gbmqo_data.dir/nref_gen.cc.o"
+  "CMakeFiles/gbmqo_data.dir/nref_gen.cc.o.d"
+  "CMakeFiles/gbmqo_data.dir/sales_gen.cc.o"
+  "CMakeFiles/gbmqo_data.dir/sales_gen.cc.o.d"
+  "CMakeFiles/gbmqo_data.dir/tpch_gen.cc.o"
+  "CMakeFiles/gbmqo_data.dir/tpch_gen.cc.o.d"
+  "CMakeFiles/gbmqo_data.dir/widen.cc.o"
+  "CMakeFiles/gbmqo_data.dir/widen.cc.o.d"
+  "libgbmqo_data.a"
+  "libgbmqo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

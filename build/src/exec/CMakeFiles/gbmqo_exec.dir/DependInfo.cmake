@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/group_hash_table.cc" "src/exec/CMakeFiles/gbmqo_exec.dir/group_hash_table.cc.o" "gcc" "src/exec/CMakeFiles/gbmqo_exec.dir/group_hash_table.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/exec/CMakeFiles/gbmqo_exec.dir/hash_join.cc.o" "gcc" "src/exec/CMakeFiles/gbmqo_exec.dir/hash_join.cc.o.d"
+  "/root/repo/src/exec/predicate.cc" "src/exec/CMakeFiles/gbmqo_exec.dir/predicate.cc.o" "gcc" "src/exec/CMakeFiles/gbmqo_exec.dir/predicate.cc.o.d"
+  "/root/repo/src/exec/query_executor.cc" "src/exec/CMakeFiles/gbmqo_exec.dir/query_executor.cc.o" "gcc" "src/exec/CMakeFiles/gbmqo_exec.dir/query_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/gbmqo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gbmqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_exec.dir/group_hash_table.cc.o"
+  "CMakeFiles/gbmqo_exec.dir/group_hash_table.cc.o.d"
+  "CMakeFiles/gbmqo_exec.dir/hash_join.cc.o"
+  "CMakeFiles/gbmqo_exec.dir/hash_join.cc.o.d"
+  "CMakeFiles/gbmqo_exec.dir/predicate.cc.o"
+  "CMakeFiles/gbmqo_exec.dir/predicate.cc.o.d"
+  "CMakeFiles/gbmqo_exec.dir/query_executor.cc.o"
+  "CMakeFiles/gbmqo_exec.dir/query_executor.cc.o.d"
+  "libgbmqo_exec.a"
+  "libgbmqo_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_sql.dir/grouping_sets_parser.cc.o"
+  "CMakeFiles/gbmqo_sql.dir/grouping_sets_parser.cc.o.d"
+  "libgbmqo_sql.a"
+  "libgbmqo_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_stats.dir/distinct_estimator.cc.o"
+  "CMakeFiles/gbmqo_stats.dir/distinct_estimator.cc.o.d"
+  "CMakeFiles/gbmqo_stats.dir/histogram.cc.o"
+  "CMakeFiles/gbmqo_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/gbmqo_stats.dir/statistics_manager.cc.o"
+  "CMakeFiles/gbmqo_stats.dir/statistics_manager.cc.o.d"
+  "libgbmqo_stats.a"
+  "libgbmqo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

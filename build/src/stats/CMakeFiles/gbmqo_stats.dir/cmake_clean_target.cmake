@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgbmqo_stats.a"
+)

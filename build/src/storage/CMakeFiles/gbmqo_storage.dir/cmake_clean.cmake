@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_storage.dir/catalog.cc.o"
+  "CMakeFiles/gbmqo_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/gbmqo_storage.dir/column.cc.o"
+  "CMakeFiles/gbmqo_storage.dir/column.cc.o.d"
+  "CMakeFiles/gbmqo_storage.dir/schema.cc.o"
+  "CMakeFiles/gbmqo_storage.dir/schema.cc.o.d"
+  "CMakeFiles/gbmqo_storage.dir/table.cc.o"
+  "CMakeFiles/gbmqo_storage.dir/table.cc.o.d"
+  "libgbmqo_storage.a"
+  "libgbmqo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_storage_test.dir/executor_storage_test.cc.o"
+  "CMakeFiles/executor_storage_test.dir/executor_storage_test.cc.o.d"
+  "executor_storage_test"
+  "executor_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_hash_table_test.dir/group_hash_table_test.cc.o"
+  "CMakeFiles/group_hash_table_test.dir/group_hash_table_test.cc.o.d"
+  "group_hash_table_test"
+  "group_hash_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_hash_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouping_sets_planner_test.dir/grouping_sets_planner_test.cc.o"
+  "CMakeFiles/grouping_sets_planner_test.dir/grouping_sets_planner_test.cc.o.d"
+  "grouping_sets_planner_test"
+  "grouping_sets_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouping_sets_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardness_reduction_test.dir/hardness_reduction_test.cc.o"
+  "CMakeFiles/hardness_reduction_test.dir/hardness_reduction_test.cc.o.d"
+  "hardness_reduction_test"
+  "hardness_reduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardness_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_pushdown_test.dir/join_pushdown_test.cc.o"
+  "CMakeFiles/join_pushdown_test.dir/join_pushdown_test.cc.o.d"
+  "join_pushdown_test"
+  "join_pushdown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_pushdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

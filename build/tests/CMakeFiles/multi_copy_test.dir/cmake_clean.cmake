@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_copy_test.dir/multi_copy_test.cc.o"
+  "CMakeFiles/multi_copy_test.dir/multi_copy_test.cc.o.d"
+  "multi_copy_test"
+  "multi_copy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

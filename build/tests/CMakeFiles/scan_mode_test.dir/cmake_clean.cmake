@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_mode_test.dir/scan_mode_test.cc.o"
+  "CMakeFiles/scan_mode_test.dir/scan_mode_test.cc.o.d"
+  "scan_mode_test"
+  "scan_mode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

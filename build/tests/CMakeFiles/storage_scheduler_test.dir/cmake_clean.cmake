@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_scheduler_test.dir/storage_scheduler_test.cc.o"
+  "CMakeFiles/storage_scheduler_test.dir/storage_scheduler_test.cc.o.d"
+  "storage_scheduler_test"
+  "storage_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

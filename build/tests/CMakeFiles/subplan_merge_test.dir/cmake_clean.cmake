@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subplan_merge_test.dir/subplan_merge_test.cc.o"
+  "CMakeFiles/subplan_merge_test.dir/subplan_merge_test.cc.o.d"
+  "subplan_merge_test"
+  "subplan_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subplan_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmqo_cli.dir/gbmqo_cli.cc.o"
+  "CMakeFiles/gbmqo_cli.dir/gbmqo_cli.cc.o.d"
+  "gbmqo_cli"
+  "gbmqo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmqo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_explain "/root/repo/build/tools/gbmqo_cli" "--gen" "tpch" "--rows" "5000" "--spec" "SINGLE(l_returnflag, l_shipmode)" "explain")
+set_tests_properties(cli_explain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/tools/gbmqo_cli" "--gen" "sales" "--rows" "5000" "--spec" "PAIRS(region, channel, payment_type)" "run" "--naive")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sql "/root/repo/build/tools/gbmqo_cli" "--gen" "nref" "--rows" "5000" "--spec" "SINGLE(db_source, score)" "sql")
+set_tests_properties(cli_sql PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile "/root/repo/build/tools/gbmqo_cli" "--gen" "tpch" "--rows" "5000" "profile")
+set_tests_properties(cli_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_args "/root/repo/build/tools/gbmqo_cli" "--nonsense")
+set_tests_properties(cli_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
