@@ -32,11 +32,14 @@ struct RunOutcome {
   uint64_t peak_temp_bytes = 0;
 };
 
-/// Executes `plan` against `base_table` in `catalog`.
+/// Executes `plan` against `base_table` in `catalog`. `parallelism` is the
+/// executor's total thread budget (sub-plan + intra-query); work counters
+/// are identical for any value.
 inline RunOutcome RunPlan(Catalog* catalog, const std::string& base_table,
                           const LogicalPlan& plan,
-                          const std::vector<GroupByRequest>& requests) {
-  PlanExecutor exec(catalog, base_table);
+                          const std::vector<GroupByRequest>& requests,
+                          int parallelism = 1) {
+  PlanExecutor exec(catalog, base_table, ScanMode::kRowStore, parallelism);
   auto r = exec.Execute(plan, requests);
   if (!r.ok()) {
     std::fprintf(stderr, "plan execution failed: %s\n",

@@ -61,7 +61,8 @@ Result<ExecutionResult> Session::Execute(const std::string& spec) {
 
 Result<ExecutionResult> Session::ExecutePlan(
     const LogicalPlan& plan, const std::vector<GroupByRequest>& requests) {
-  PlanExecutor executor(&catalog_, base_->name(), options_.scan_mode);
+  PlanExecutor executor(&catalog_, base_->name(), options_.scan_mode,
+                        options_.parallelism);
   return executor.Execute(plan, requests);
 }
 

@@ -27,6 +27,10 @@ struct SessionOptions {
   OptimizerOptions optimizer;
   /// Row-store scan simulation vs native columnar execution.
   ScanMode scan_mode = ScanMode::kRowStore;
+  /// Total execution thread budget, split between independent sub-plans and
+  /// intra-query morsel parallelism (see PlanExecutor). Results and work
+  /// counters are bit-identical for any value.
+  int parallelism = 1;
 };
 
 /// Owns everything needed to optimize and execute multi-Group-By workloads

@@ -17,21 +17,15 @@ namespace {
 /// and accumulated results.
 class Runner {
  public:
-  Runner(Catalog* catalog, TablePtr base, ExecContext* ctx, ScanMode scan_mode)
+  Runner(Catalog* catalog, TablePtr base, ExecContext* ctx, ScanMode scan_mode,
+         int exec_parallelism)
       : catalog_(catalog),
         base_(std::move(base)),
-        exec_(ctx, scan_mode),
+        exec_(ctx, scan_mode, exec_parallelism),
         base_schema_(base_->schema()) {}
 
-  Status Run(const LogicalPlan& plan) {
-    for (const PlanNode& sub : plan.subplans) {
-      GBMQO_RETURN_NOT_OK(RunSubPlan(sub, base_));
-    }
-    return Status::OK();
-  }
-
-  /// Entry point for one sub-plan (parallel mode runs one Runner per
-  /// worker; sub-plans share only the immutable base relation).
+  /// Entry point for one sub-plan (PlanExecutor runs one Runner per
+  /// sub-plan; sub-plans share only the immutable base relation).
   Status RunOne(const PlanNode& sub) { return RunSubPlan(sub, base_); }
 
   std::map<ColumnSet, TablePtr>& results() { return results_; }
@@ -318,37 +312,44 @@ Result<ExecutionResult> PlanExecutor::Execute(
   WallTimer timer;
 
   ExecutionResult out;
-  if (parallelism_ <= 1 || plan.subplans.size() <= 1) {
-    ExecContext ctx;
-    Runner runner(catalog_, *base, &ctx, scan_mode_);
-    GBMQO_RETURN_NOT_OK(runner.Run(plan));
-    out.results = std::move(runner.results());
-    out.counters = ctx.counters();
-  } else {
-    // One worker per thread pulls sub-plans off a shared index. Each worker
-    // has its own Runner/ExecContext; the catalog serializes registration.
-    const size_t n = plan.subplans.size();
-    const int workers =
-        static_cast<int>(std::min<size_t>(static_cast<size_t>(parallelism_), n));
-    std::atomic<size_t> next{0};
-    std::vector<ExecContext> contexts(static_cast<size_t>(workers));
-    std::vector<std::unique_ptr<Runner>> runners;
-    std::vector<Status> statuses(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      runners.push_back(std::make_unique<Runner>(
-          catalog_, *base, &contexts[static_cast<size_t>(w)], scan_mode_));
+  // Workers pull sub-plans off a shared index (sub-plans share nothing but
+  // the base relation; the catalog serializes registration). The thread
+  // budget is split between the two levels: W sub-plan workers each run
+  // their queries at parallelism_/W intra-query morsel parallelism, so
+  // W * intra never exceeds parallelism_; a single-sub-plan plan gives the
+  // whole budget to the morsel engine.
+  //
+  // State is per *sub-plan*, not per worker: each sub-plan's counters are
+  // deterministic, and folding them in sub-plan order keeps the totals
+  // (including double-valued agg_cpu_units, where addition order matters)
+  // bit-identical no matter how many workers run or which worker happened
+  // to claim which sub-plan.
+  const size_t n = plan.subplans.size();
+  const int workers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(parallelism_ < 1 ? 1 : parallelism_),
+      n < 1 ? 1 : n));
+  const int intra = std::max(1, parallelism_ / workers);
+  std::vector<ExecContext> contexts(n);
+  std::vector<std::unique_ptr<Runner>> runners(n);
+  std::vector<Status> statuses(n);
+  for (size_t i = 0; i < n; ++i) {
+    runners[i] = std::make_unique<Runner>(catalog_, *base, &contexts[i],
+                                          scan_mode_, intra);
+  }
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      GBMQO_RETURN_NOT_OK(runners[i]->RunOne(plan.subplans[i]));
     }
+  } else {
+    std::atomic<size_t> next{0};
     std::vector<std::thread> threads;
     for (int w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w]() {
+      threads.emplace_back([&]() {
         while (true) {
           const size_t i = next.fetch_add(1);
           if (i >= n) break;
-          Status s = runners[static_cast<size_t>(w)]->RunOne(plan.subplans[i]);
-          if (!s.ok()) {
-            statuses[static_cast<size_t>(w)] = std::move(s);
-            break;
-          }
+          statuses[i] = runners[i]->RunOne(plan.subplans[i]);
+          if (!statuses[i].ok()) break;
         }
       });
     }
@@ -356,12 +357,12 @@ Result<ExecutionResult> PlanExecutor::Execute(
     for (const Status& s : statuses) {
       GBMQO_RETURN_NOT_OK(s);
     }
-    for (int w = 0; w < workers; ++w) {
-      for (auto& [cols, table] : runners[static_cast<size_t>(w)]->results()) {
-        out.results.emplace(cols, std::move(table));
-      }
-      out.counters += contexts[static_cast<size_t>(w)].counters();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& [cols, table] : runners[i]->results()) {
+      out.results.emplace(cols, std::move(table));
     }
+    out.counters += contexts[i].counters();
   }
   out.wall_seconds = timer.ElapsedSeconds();
   out.peak_temp_bytes = catalog_->peak_temp_bytes();

@@ -39,12 +39,15 @@ class PlanExecutor {
   /// `base_table` is R's name in `catalog`. The catalog outlives the
   /// executor; temp tables are created and dropped inside Execute.
   /// `scan_mode` selects the row-store scan simulation (default, matching
-  /// the paper's substrate) or native columnar scans. `parallelism` > 1
-  /// executes independent sub-plans on that many threads (sub-plans of a
-  /// logical plan share nothing but the base relation, so this is safe by
-  /// construction; the catalog is internally synchronized). Wall-clock
-  /// gains require multiple cores; the deterministic work counters are
-  /// independent of the thread count either way.
+  /// the paper's substrate) or native columnar scans. `parallelism` is the
+  /// total thread budget: it is split between independent sub-plans (which
+  /// share nothing but the base relation; the catalog is internally
+  /// synchronized) and intra-query morsel parallelism inside each worker's
+  /// QueryExecutor — W = min(parallelism, #sub-plans) sub-plan workers each
+  /// running at parallelism/W, so the two levels never oversubscribe. A
+  /// plan with a single sub-plan gives the whole budget to the morsel
+  /// engine. Wall-clock gains require multiple cores; the deterministic
+  /// work counters are independent of the thread count either way.
   PlanExecutor(Catalog* catalog, std::string base_table,
                ScanMode scan_mode = ScanMode::kRowStore, int parallelism = 1)
       : catalog_(catalog),

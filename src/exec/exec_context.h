@@ -62,11 +62,26 @@ struct WorkCounters {
 };
 
 /// Mutable execution-scope state threaded through the engine.
+///
+/// Thread-safety contract: an ExecContext is single-writer. Parallel code
+/// never shares one context between workers; each worker charges work to its
+/// own private ExecContext (or to worker-local accumulators, as the morsel
+/// engine in QueryExecutor does) and the owner folds the workers' counters
+/// in with AbsorbWorker() after joining them. Because every counter is a sum
+/// (or an XOR, for the checksum), the fold order does not change the totals.
 class ExecContext {
  public:
   WorkCounters& counters() { return counters_; }
   const WorkCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = WorkCounters(); }
+
+  /// Folds a joined worker's counters into this context and resets the
+  /// worker, so a retained worker context cannot be double-counted. Call
+  /// only after the worker's thread has been joined.
+  void AbsorbWorker(ExecContext* worker) {
+    counters_ += worker->counters_;
+    worker->ResetCounters();
+  }
 
  private:
   WorkCounters counters_;

@@ -34,6 +34,27 @@ uint64_t GroupHashTable::HashKey(const uint64_t* key, int width) {
   return h;
 }
 
+uint64_t GroupHashTable::Hash(const uint64_t* key, int width) {
+  return HashKey(key, width);
+}
+
+size_t GroupHashTable::MergeFrom(
+    const GroupHashTable& src, int num_partitions, int partition,
+    std::vector<std::pair<uint32_t, uint32_t>>* mapping) {
+  assert(src.key_width_ == key_width_);
+  size_t taken = 0;
+  for (uint32_t id = 0; id < static_cast<uint32_t>(src.num_groups_); ++id) {
+    const uint64_t* key = src.KeyOf(id);
+    if (PartitionOfHash(HashKey(key, key_width_), num_partitions) != partition) {
+      continue;
+    }
+    const uint32_t dst = FindOrInsert(key);
+    if (mapping != nullptr) mapping->emplace_back(id, dst);
+    ++taken;
+  }
+  return taken;
+}
+
 void GroupHashTable::Grow() {
   const size_t new_cap = slots_.size() * 2;
   std::vector<uint32_t> new_slots(new_cap, 0);

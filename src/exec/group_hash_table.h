@@ -1,18 +1,23 @@
 // GroupHashTable: open-addressing hash table mapping fixed-width group keys
 // (arrays of 64-bit codes) to dense group ids. This is the core of hash
 // aggregation; it avoids per-key allocations by storing all keys in a flat
-// arena.
+// arena. The partition/merge API supports morsel-driven parallel
+// aggregation: thread-local tables are merged by hash partition so each
+// merge worker owns a disjoint key range (see QueryExecutor).
 #ifndef GBMQO_EXEC_GROUP_HASH_TABLE_H_
 #define GBMQO_EXEC_GROUP_HASH_TABLE_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace gbmqo {
 
 /// Maps keys of `key_width` uint64 words to dense ids [0, size()). Uses
 /// linear probing over a power-of-two slot array; resizes at 70% load.
+/// Not internally synchronized: one table per thread, merged afterwards.
 class GroupHashTable {
  public:
   explicit GroupHashTable(int key_width, size_t initial_capacity = 64);
@@ -24,13 +29,55 @@ class GroupHashTable {
   size_t size() const { return num_groups_; }
   int key_width() const { return key_width_; }
 
+  /// Current slot-array capacity (power of two). The table grows before an
+  /// insert would push the load factor past 70%, so
+  /// size() * 10 <= slot_capacity() * 7 holds after every FindOrInsert.
+  size_t slot_capacity() const { return slots_.size(); }
+
   /// Pointer to the stored key of group `id` (key_width words).
   const uint64_t* KeyOf(uint32_t id) const {
     return arena_.data() + static_cast<size_t>(id) * static_cast<size_t>(key_width_);
   }
 
-  /// Total probe count since construction (for work accounting).
+  /// Total probe count since construction (for work accounting). Strictly
+  /// increases by at least one per FindOrInsert.
   uint64_t probes() const { return probes_; }
+
+  // ---- Partitioned merge (parallel aggregation) ----------------------------
+
+  /// The hash used for slot placement, exposed so callers can partition keys
+  /// consistently with the table (and so tests can engineer collisions).
+  /// A pure function of (key, width).
+  static uint64_t Hash(const uint64_t* key, int width);
+
+  /// Hash of the stored key of group `id`.
+  uint64_t HashOfGroup(uint32_t id) const {
+    return Hash(KeyOf(id), key_width_);
+  }
+
+  /// Merge partition of a hash value. `num_partitions` must be a power of
+  /// two; uses the hash's *top* bits, which are independent of the low bits
+  /// used for slot placement, so one partition does not collapse onto a few
+  /// slots of the destination table.
+  static int PartitionOfHash(uint64_t hash, int num_partitions) {
+    if (num_partitions <= 1) return 0;
+    const int bits = std::countr_zero(static_cast<uint64_t>(num_partitions));
+    return static_cast<int>(hash >> (64 - bits));
+  }
+
+  /// Merge partition of group `id` under `num_partitions`.
+  int PartitionOf(uint32_t id, int num_partitions) const {
+    return PartitionOfHash(HashOfGroup(id), num_partitions);
+  }
+
+  /// Inserts every group of `src` whose merge partition equals `partition`
+  /// into this table, in ascending src-id order, and appends one
+  /// (src_id, dst_id) pair per taken group to `mapping` (which is not
+  /// cleared). Key widths must match. Returns the number of groups taken.
+  /// Calling this once per partition over the same `src` visits every src
+  /// group exactly once (partitions are disjoint and complete).
+  size_t MergeFrom(const GroupHashTable& src, int num_partitions, int partition,
+                   std::vector<std::pair<uint32_t, uint32_t>>* mapping);
 
  private:
   static uint64_t HashKey(const uint64_t* key, int width);

@@ -1,9 +1,14 @@
 #include "exec/query_executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "exec/group_hash_table.h"
 
@@ -78,53 +83,100 @@ class AggState {
     }
   }
 
+  /// Folds group `src_id` of `src` (same input/query) into group `id`. Used
+  /// by the partitioned merge of thread-local pre-aggregation states; the
+  /// caller fixes the merge order, so floating-point accumulation stays
+  /// deterministic.
+  void MergeGroup(uint32_t id, const AggState& src, uint32_t src_id) {
+    counts_[id] += src.counts_[src_id];
+    for (size_t a = 0; a < query_.aggregates.size(); ++a) {
+      const AggregateSpec& agg = query_.aggregates[a];
+      if (agg.kind == AggKind::kCountStar) continue;
+      const Accum& in = src.acc_[a][src_id];
+      if (!in.seen) continue;
+      Accum& acc = acc_[a][id];
+      switch (agg.kind) {
+        case AggKind::kSum:
+          acc.value += in.value;
+          acc.seen = true;
+          break;
+        case AggKind::kMin:
+          if (!acc.seen || in.value < acc.value) acc.value = in.value;
+          acc.seen = true;
+          break;
+        case AggKind::kMax:
+          if (!acc.seen || in.value > acc.value) acc.value = in.value;
+          acc.seen = true;
+          break;
+        case AggKind::kCountStar:
+          break;
+      }
+    }
+  }
+
   size_t num_groups() const { return rep_rows_.size(); }
 
-  /// Builds the output table.
-  Result<TablePtr> BuildOutput(const std::string& output_name) const {
+  /// Representative input row of group `id` (carries the grouping values).
+  uint32_t rep_row(uint32_t id) const { return rep_rows_[id]; }
+
+  /// Builds the output table from `parts` concatenated in order (each part
+  /// holds disjoint groups of the same logical query over `input`).
+  static Result<TablePtr> BuildOutput(const Table& input,
+                                      const GroupByQuery& query,
+                                      const std::vector<const AggState*>& parts,
+                                      const std::string& output_name) {
     // Output schema: grouping columns (input names/types) then aggregates.
     std::vector<ColumnDef> defs;
-    const std::vector<int> group_cols = query_.grouping.ToVector();
+    const std::vector<int> group_cols = query.grouping.ToVector();
     for (int ordinal : group_cols) {
-      defs.push_back(input_.schema().column(ordinal));
+      defs.push_back(input.schema().column(ordinal));
     }
-    for (const AggregateSpec& agg : query_.aggregates) {
+    for (const AggregateSpec& agg : query.aggregates) {
       DataType out_type = DataType::kInt64;
       bool nullable = false;
       if (agg.kind != AggKind::kCountStar) {
-        out_type = input_.schema().column(agg.arg).type;
+        out_type = input.schema().column(agg.arg).type;
         nullable = true;  // a group may have only NULL arguments
       }
       defs.push_back(ColumnDef{agg.output_name, out_type, nullable});
     }
     TableBuilder builder{Schema(std::move(defs))};
 
-    const size_t n = num_groups();
+    size_t n = 0;
+    for (const AggState* part : parts) n += part->num_groups();
     for (size_t c = 0; c < group_cols.size(); ++c) {
       Column* out = builder.column(static_cast<int>(c));
-      const Column& in = input_.column(group_cols[c]);
+      const Column& in = input.column(group_cols[c]);
       out->Reserve(n);
-      for (size_t g = 0; g < n; ++g) out->AppendFrom(in, rep_rows_[g]);
+      for (const AggState* part : parts) {
+        for (size_t g = 0; g < part->num_groups(); ++g) {
+          out->AppendFrom(in, part->rep_rows_[g]);
+        }
+      }
     }
-    for (size_t a = 0; a < query_.aggregates.size(); ++a) {
-      const AggregateSpec& agg = query_.aggregates[a];
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const AggregateSpec& agg = query.aggregates[a];
       Column* out = builder.column(static_cast<int>(group_cols.size() + a));
       out->Reserve(n);
       if (agg.kind == AggKind::kCountStar) {
-        for (size_t g = 0; g < n; ++g) {
-          out->AppendInt64(static_cast<int64_t>(counts_[g]));
+        for (const AggState* part : parts) {
+          for (size_t g = 0; g < part->num_groups(); ++g) {
+            out->AppendInt64(static_cast<int64_t>(part->counts_[g]));
+          }
         }
         continue;
       }
-      const DataType out_type = input_.schema().column(agg.arg).type;
-      for (size_t g = 0; g < n; ++g) {
-        const Accum& acc = acc_[a][g];
-        if (!acc.seen) {
-          out->AppendNull();
-        } else if (out_type == DataType::kInt64) {
-          out->AppendInt64(static_cast<int64_t>(acc.value));
-        } else {
-          out->AppendDouble(acc.value);
+      const DataType out_type = input.schema().column(agg.arg).type;
+      for (const AggState* part : parts) {
+        for (size_t g = 0; g < part->num_groups(); ++g) {
+          const Accum& acc = part->acc_[a][g];
+          if (!acc.seen) {
+            out->AppendNull();
+          } else if (out_type == DataType::kInt64) {
+            out->AppendInt64(static_cast<int64_t>(acc.value));
+          } else {
+            out->AppendDouble(acc.value);
+          }
         }
       }
     }
@@ -218,6 +270,126 @@ class RowToucher {
   uint64_t checksum_ = 0;
 };
 
+// ---- Morsel-driven parallel hash aggregation --------------------------------
+//
+// The input is cut into QueryExecutor::kMorselRows-row morsels; morsel i
+// belongs to pre-aggregation shard (i mod #shards). A worker claims a whole
+// shard and scans its morsels in ascending order into a shard-local
+// GroupHashTable + AggState, so each shard's content is a pure function of
+// the data, never of the thread count or scheduling. Groups are then
+// hash-partitioned (top bits, QueryExecutor::kMergePartitions ranges); a
+// worker claims a partition and merges every shard's groups of that
+// partition — visiting shards in ascending order and groups in id order —
+// into a partition-local table, so no two workers ever write the same state
+// and floating-point accumulation order is fixed. All derived accounting
+// (probe counts, scan-touch checksums, group counts) is therefore
+// bit-identical for any worker count, including 1.
+
+/// Runs `task(i)` for i in [0, num_tasks) on up to `workers` threads (the
+/// calling thread participates). Tasks must not touch shared mutable state.
+void RunTasks(int num_tasks, int workers, const std::function<void(int)>& task) {
+  workers = std::min(workers, num_tasks);
+  if (workers <= 1) {
+    for (int i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  auto loop = [&]() {
+    while (true) {
+      const int i = next.fetch_add(1);
+      if (i >= num_tasks) break;
+      task(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) threads.emplace_back(loop);
+  loop();
+  for (std::thread& t : threads) t.join();
+}
+
+/// Shard layout for one input: morsel i -> shard (i mod shards). `shards` is
+/// min(kBuildShards, #morsels) so every shard is non-empty; using fewer
+/// shard objects for small inputs is equivalent to leaving the rest empty.
+struct MorselLayout {
+  size_t num_rows = 0;
+  size_t num_morsels = 0;
+  int shards = 0;
+
+  explicit MorselLayout(size_t n) : num_rows(n) {
+    num_morsels = (n + QueryExecutor::kMorselRows - 1) / QueryExecutor::kMorselRows;
+    shards = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(QueryExecutor::kBuildShards), num_morsels));
+  }
+
+  size_t ShardRows(int shard) const {
+    size_t rows = 0;
+    for (size_t m = static_cast<size_t>(shard); m < num_morsels;
+         m += static_cast<size_t>(shards)) {
+      rows += MorselSize(m);
+    }
+    return rows;
+  }
+
+  size_t MorselBegin(size_t m) const { return m * QueryExecutor::kMorselRows; }
+  size_t MorselSize(size_t m) const {
+    return std::min(num_rows - MorselBegin(m), QueryExecutor::kMorselRows);
+  }
+
+  /// Calls `fn(row)` for every row of `shard`, morsels in ascending order.
+  template <typename Fn>
+  void ForEachShardRow(int shard, Fn&& fn) const {
+    for (size_t m = static_cast<size_t>(shard); m < num_morsels;
+         m += static_cast<size_t>(shards)) {
+      const size_t begin = MorselBegin(m);
+      const size_t end = begin + MorselSize(m);
+      for (size_t row = begin; row < end; ++row) fn(row);
+    }
+  }
+};
+
+/// One shard's build-phase output for one query.
+struct ShardAgg {
+  std::unique_ptr<GroupHashTable> table;
+  std::unique_ptr<AggState> state;
+};
+
+/// Result of a parallel hash aggregation of one query: the output parts (in
+/// deterministic partition order), total probes, groups, and the XOR of the
+/// shard touchers' checksums.
+struct HashAggResult {
+  std::vector<std::unique_ptr<AggState>> parts;
+  uint64_t probes = 0;
+  size_t groups = 0;
+  uint64_t checksum = 0;
+};
+
+/// Merges `shards[*].{table,state}` for one query into partition-ordered
+/// parts. `result->parts` must be pre-sized to kMergePartitions; the caller
+/// parallelizes over partitions via MergePartition, then finalizes with
+/// FinishMerge.
+void MergePartition(const Table& input, const GroupByQuery& query,
+                    std::vector<ShardAgg>& shards, size_t total_groups,
+                    int partition, std::unique_ptr<AggState>* out_state,
+                    std::unique_ptr<GroupHashTable>* out_table) {
+  const int kw = shards.front().table->key_width();
+  auto merged = std::make_unique<GroupHashTable>(
+      kw, total_groups / QueryExecutor::kMergePartitions + 16);
+  auto state = std::make_unique<AggState>(input, query);
+  std::vector<std::pair<uint32_t, uint32_t>> mapping;
+  for (ShardAgg& shard : shards) {
+    mapping.clear();
+    merged->MergeFrom(*shard.table, QueryExecutor::kMergePartitions, partition,
+                      &mapping);
+    for (const auto& [src, dst] : mapping) {
+      state->Touch(dst, shard.state->rep_row(src));
+      state->MergeGroup(dst, *shard.state, src);
+    }
+  }
+  *out_state = std::move(state);
+  *out_table = std::move(merged);
+}
+
 }  // namespace
 
 Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
@@ -262,22 +434,70 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
   }
 
   RowToucher toucher(input, scan_mode_ == ScanMode::kRowStore &&
-                                strategy != AggStrategy::kIndexStream);
+                                strategy == AggStrategy::kSort);
+
+  // Output parts: the hash path produces one part per merge partition (or
+  // one for the single-shard fast path); sort/index paths fill `state`.
+  std::vector<std::unique_ptr<AggState>> owned_parts;
+  std::vector<const AggState*> parts;
 
   switch (strategy) {
     case AggStrategy::kHash: {
-      GroupHashTable table(kw, n / 8 + 16);
-      for (size_t row = 0; row < n; ++row) {
-        toucher.Touch(row);
-        keys.FillKey(row, key.data());
-        const uint32_t id = table.FindOrInsert(key.data());
-        state.Touch(id, row);
-        state.Update(id, row);
+      const MorselLayout layout(n);
+      const bool touch = scan_mode_ == ScanMode::kRowStore;
+      std::vector<ShardAgg> shards(static_cast<size_t>(layout.shards));
+      std::vector<uint64_t> shard_checksums(static_cast<size_t>(layout.shards), 0);
+      RunTasks(layout.shards, parallelism_, [&](int s) {
+        ShardAgg& shard = shards[static_cast<size_t>(s)];
+        shard.table = std::make_unique<GroupHashTable>(
+            kw, layout.ShardRows(s) / 8 + 16);
+        shard.state = std::make_unique<AggState>(input, query);
+        RowToucher shard_toucher(input, touch);
+        std::vector<uint64_t> shard_key(static_cast<size_t>(kw));
+        layout.ForEachShardRow(s, [&](size_t row) {
+          shard_toucher.Touch(row);
+          keys.FillKey(row, shard_key.data());
+          const uint32_t id = shard.table->FindOrInsert(shard_key.data());
+          shard.state->Touch(id, row);
+          shard.state->Update(id, row);
+        });
+        shard_checksums[static_cast<size_t>(s)] = shard_toucher.checksum();
+      });
+
+      uint64_t probes = 0;
+      size_t groups = 0;
+      for (const ShardAgg& shard : shards) probes += shard.table->probes();
+      for (uint64_t c : shard_checksums) wc.scan_touch_checksum ^= c;
+
+      if (layout.shards <= 1) {
+        // Single-shard fast path: the shard already holds the final groups
+        // in first-occurrence order — identical to serial aggregation.
+        if (!shards.empty()) {
+          groups = shards[0].table->size();
+          owned_parts.push_back(std::move(shards[0].state));
+        }
+      } else {
+        size_t total_groups = 0;
+        for (const ShardAgg& shard : shards) total_groups += shard.table->size();
+        std::vector<std::unique_ptr<AggState>> merged(kMergePartitions);
+        std::vector<std::unique_ptr<GroupHashTable>> merged_tables(
+            kMergePartitions);
+        RunTasks(kMergePartitions, parallelism_, [&](int p) {
+          MergePartition(input, query, shards, total_groups, p,
+                         &merged[static_cast<size_t>(p)],
+                         &merged_tables[static_cast<size_t>(p)]);
+        });
+        for (const auto& t : merged_tables) {
+          probes += t->probes();
+          groups += t->size();
+        }
+        owned_parts = std::move(merged);
       }
-      wc.hash_probes += table.probes();
-      wc.agg_cpu_units +=
-          static_cast<double>(n) *
-          HashAggCpuPerRow(static_cast<double>(table.size()));
+      for (const auto& part : owned_parts) parts.push_back(part.get());
+
+      wc.hash_probes += probes;
+      wc.agg_cpu_units += static_cast<double>(n) *
+                          HashAggCpuPerRow(static_cast<double>(groups));
       break;
     }
     case AggStrategy::kSort: {
@@ -307,6 +527,7 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
         state.Update(id, row);
       }
       wc.agg_cpu_units += static_cast<double>(n);  // stream after sort
+      parts.push_back(&state);
       break;
     }
     case AggStrategy::kIndexStream: {
@@ -324,15 +545,18 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
         state.Update(id, row);
       }
       wc.agg_cpu_units += static_cast<double>(n);  // stream over index
+      parts.push_back(&state);
       break;
     }
     case AggStrategy::kAuto:
       return Status::Internal("strategy not resolved");
   }
 
-  wc.rows_emitted += state.num_groups();
+  size_t num_groups = 0;
+  for (const AggState* part : parts) num_groups += part->num_groups();
+  wc.rows_emitted += num_groups;
   wc.scan_touch_checksum ^= toucher.checksum();
-  return state.BuildOutput(output_name);
+  return AggState::BuildOutput(input, query, parts, output_name);
 }
 
 Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
@@ -341,50 +565,115 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
   if (queries.size() != output_names.size()) {
     return Status::InvalidArgument("queries/output_names size mismatch");
   }
-  std::vector<AggState> states;
-  states.reserve(queries.size());
+  const size_t nq = queries.size();
   std::vector<KeyBuilder> keybuilders;
-  std::vector<GroupHashTable> tables;
   int max_width = 1;
   for (const GroupByQuery& q : queries) {
-    states.emplace_back(input, q);
-    GBMQO_RETURN_NOT_OK(states.back().Validate());
+    GBMQO_RETURN_NOT_OK(AggState(input, q).Validate());
     keybuilders.emplace_back(input, q.grouping);
     max_width = std::max(max_width, keybuilders.back().width());
   }
   const size_t n = input.num_rows();
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    tables.emplace_back(keybuilders[qi].width(), n / 8 + 16);
-  }
+  const MorselLayout layout(n);
 
   WorkCounters& wc = ctx_->counters();
-  wc.queries_executed += queries.size();
+  wc.queries_executed += nq;
   wc.rows_scanned += n;  // one shared pass
   wc.bytes_scanned +=
       static_cast<uint64_t>(static_cast<double>(n) * input.AvgRowWidth({}));
 
-  RowToucher toucher(input, scan_mode_ == ScanMode::kRowStore);
-  std::vector<uint64_t> key(static_cast<size_t>(max_width));
-  for (size_t row = 0; row < n; ++row) {
-    toucher.Touch(row);  // one full-width touch per row — the shared scan
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      keybuilders[qi].FillKey(row, key.data());
-      const uint32_t id = tables[qi].FindOrInsert(key.data());
-      states[qi].Touch(id, row);
-      states[qi].Update(id, row);
+  // Build phase: one worker per shard; each shard scans its morsels once
+  // (one full-width touch per row — the shared scan) and pre-aggregates
+  // every query into shard-local state.
+  const bool touch = scan_mode_ == ScanMode::kRowStore;
+  // shard_aggs[shard][query]
+  std::vector<std::vector<ShardAgg>> shard_aggs(
+      static_cast<size_t>(layout.shards));
+  std::vector<uint64_t> shard_checksums(static_cast<size_t>(layout.shards), 0);
+  RunTasks(layout.shards, parallelism_, [&](int s) {
+    std::vector<ShardAgg>& aggs = shard_aggs[static_cast<size_t>(s)];
+    aggs.resize(nq);
+    const size_t shard_rows = layout.ShardRows(s);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      aggs[qi].table = std::make_unique<GroupHashTable>(
+          keybuilders[qi].width(), shard_rows / 8 + 16);
+      aggs[qi].state = std::make_unique<AggState>(input, queries[qi]);
+    }
+    RowToucher shard_toucher(input, touch);
+    std::vector<uint64_t> shard_key(static_cast<size_t>(max_width));
+    layout.ForEachShardRow(s, [&](size_t row) {
+      shard_toucher.Touch(row);
+      for (size_t qi = 0; qi < nq; ++qi) {
+        keybuilders[qi].FillKey(row, shard_key.data());
+        const uint32_t id = aggs[qi].table->FindOrInsert(shard_key.data());
+        aggs[qi].state->Touch(id, row);
+        aggs[qi].state->Update(id, row);
+      }
+    });
+    shard_checksums[static_cast<size_t>(s)] = shard_toucher.checksum();
+  });
+  for (uint64_t c : shard_checksums) wc.scan_touch_checksum ^= c;
+
+  // Merge phase: each (query, partition) pair is an independent task.
+  // per_query[qi] holds the output parts in partition order.
+  std::vector<std::vector<std::unique_ptr<AggState>>> per_query(nq);
+  std::vector<uint64_t> query_probes(nq, 0);
+  std::vector<size_t> query_groups(nq, 0);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    for (const auto& shard : shard_aggs) {
+      query_probes[qi] += shard[qi].table->probes();
+    }
+  }
+  if (layout.shards <= 1) {
+    // Single-shard fast path: shard 0 already holds each query's final
+    // groups in first-occurrence order.
+    for (size_t qi = 0; qi < nq; ++qi) {
+      if (!shard_aggs.empty()) {
+        query_groups[qi] = shard_aggs[0][qi].table->size();
+        per_query[qi].push_back(std::move(shard_aggs[0][qi].state));
+      }
+    }
+  } else {
+    // Re-shape to shards-per-query for MergePartition.
+    std::vector<std::vector<ShardAgg>> by_query(nq);
+    std::vector<size_t> totals(nq, 0);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      for (auto& shard : shard_aggs) {
+        totals[qi] += shard[qi].table->size();
+        by_query[qi].push_back(std::move(shard[qi]));
+      }
+      per_query[qi].resize(kMergePartitions);
+    }
+    std::vector<std::vector<std::unique_ptr<GroupHashTable>>> merged_tables(nq);
+    for (auto& v : merged_tables) v.resize(kMergePartitions);
+    const int tasks = static_cast<int>(nq) * kMergePartitions;
+    RunTasks(tasks, parallelism_, [&](int t) {
+      const size_t qi = static_cast<size_t>(t) / kMergePartitions;
+      const int p = t % kMergePartitions;
+      MergePartition(input, queries[qi], by_query[qi], totals[qi], p,
+                     &per_query[qi][static_cast<size_t>(p)],
+                     &merged_tables[qi][static_cast<size_t>(p)]);
+    });
+    for (size_t qi = 0; qi < nq; ++qi) {
+      for (const auto& t : merged_tables[qi]) {
+        query_probes[qi] += t->probes();
+        query_groups[qi] += t->size();
+      }
     }
   }
 
-  wc.scan_touch_checksum ^= toucher.checksum();
   std::vector<TablePtr> out;
-  out.reserve(queries.size());
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    wc.hash_probes += tables[qi].probes();
+  out.reserve(nq);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    wc.hash_probes += query_probes[qi];
     wc.agg_cpu_units +=
         static_cast<double>(n) *
-        HashAggCpuPerRow(static_cast<double>(tables[qi].size()));
-    wc.rows_emitted += states[qi].num_groups();
-    Result<TablePtr> t = states[qi].BuildOutput(output_names[qi]);
+        HashAggCpuPerRow(static_cast<double>(query_groups[qi]));
+    wc.rows_emitted += query_groups[qi];
+    std::vector<const AggState*> parts;
+    for (const auto& part : per_query[qi]) parts.push_back(part.get());
+    Result<TablePtr> t =
+        AggState::BuildOutput(input, queries[qi], parts, output_names[qi]);
     if (!t.ok()) return t.status();
     out.push_back(std::move(t).ValueOrDie());
   }

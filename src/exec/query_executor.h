@@ -48,11 +48,38 @@ enum class ScanMode {
 
 /// Executes group-by queries against in-memory tables, charging work to an
 /// ExecContext. Stateless apart from the context pointer; safe to reuse.
+///
+/// Hash aggregation (single-query and shared-scan) is morsel-driven: the
+/// input is split into kMorselRows-row morsels, morsel i belongs to
+/// pre-aggregation shard i mod kBuildShards, and each shard is built into a
+/// thread-local GroupHashTable before a hash-partitioned merge in which each
+/// worker owns a disjoint key range. `parallelism` sets how many worker
+/// threads execute that pipeline. The shard and partition counts are fixed
+/// (independent of `parallelism`), so every WorkCounters field — including
+/// measured hash probes and the scan-touch checksum — is bit-identical for
+/// any thread count. Inputs that fit in a single morsel take a one-shard
+/// fast path that behaves exactly like serial aggregation.
 class QueryExecutor {
  public:
+  /// Rows per scan morsel (the unit of the parallel hash-aggregation scan).
+  static constexpr size_t kMorselRows = 1 << 16;
+  /// Pre-aggregation shards built during the scan phase. Fixed, so counters
+  /// do not depend on the worker count; also the maximum build parallelism.
+  static constexpr int kBuildShards = 16;
+  /// Hash partitions merged exclusively by one worker each (power of two).
+  static constexpr int kMergePartitions = 16;
+
   explicit QueryExecutor(ExecContext* ctx,
-                         ScanMode scan_mode = ScanMode::kRowStore)
-      : ctx_(ctx), scan_mode_(scan_mode) {}
+                         ScanMode scan_mode = ScanMode::kRowStore,
+                         int parallelism = 1)
+      : ctx_(ctx),
+        scan_mode_(scan_mode),
+        parallelism_(parallelism < 1 ? 1 : parallelism) {}
+
+  int parallelism() const { return parallelism_; }
+  void set_parallelism(int parallelism) {
+    parallelism_ = parallelism < 1 ? 1 : parallelism;
+  }
 
   /// Runs one group-by and returns the (unregistered) result table named
   /// `output_name`. Grouping columns keep their input names; aggregates use
@@ -71,6 +98,7 @@ class QueryExecutor {
  private:
   ExecContext* ctx_;
   ScanMode scan_mode_;
+  int parallelism_;
 };
 
 }  // namespace gbmqo

@@ -1,0 +1,248 @@
+// Randomized differential testing of the whole planning + execution stack:
+// for seeded random request sets, the optimizer plan, the exhaustive-DP
+// plan, and the GROUPING SETS baseline plan must all produce row-for-row
+// identical result tables — and each plan must produce bit-identical
+// results *and WorkCounters* at parallelism 1 and 4 (the morsel engine's
+// fixed shard/partition layout makes counters thread-count independent).
+//
+// Aggregates are chosen so exact cross-plan comparison is sound: COUNT(*)
+// and SUM over small-integer columns are exact in double at these row
+// counts regardless of accumulation order, and MIN/MAX are order-free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/exhaustive.h"
+#include "core/grouping_sets_planner.h"
+#include "core/optimizer.h"
+#include "core/plan_executor.h"
+#include "cost/optimizer_cost_model.h"
+#include "data/sales_gen.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+/// One dataset shared by all trials (exact statistics are cached across
+/// trials in the StatisticsManager, so repeated optimizer runs stay cheap).
+struct Dataset {
+  Dataset(TablePtr t, std::vector<int> pool, int sum_col, int minmax_col)
+      : table(std::move(t)),
+        stats(*table),
+        whatif(&stats),
+        group_pool(std::move(pool)),
+        sum_col(sum_col),
+        minmax_col(minmax_col) {
+    EXPECT_TRUE(catalog.RegisterBase(table).ok());
+  }
+
+  TablePtr table;
+  Catalog catalog;
+  StatisticsManager stats;
+  WhatIfProvider whatif;
+  std::vector<int> group_pool;  ///< grouping-column candidates
+  int sum_col;                  ///< small-integer column (exact SUM)
+  int minmax_col;               ///< any numeric column (order-free MIN/MAX)
+};
+
+/// ~66k rows: just over one 64Ki-row morsel, so hash aggregation takes the
+/// real multi-shard build + partitioned-merge path.
+Dataset& SalesData() {
+  static Dataset* d = new Dataset(
+      GenerateSales({.rows = 66000, .seed = 101}),
+      {kStoreId, kRegion, kState, kCategory, kSubcategory, kBrand, kPromoId,
+       kChannel, kOrderDate, kPaymentType},
+      kSalesQuantity, kUnitPrice);
+  return *d;
+}
+
+/// Small skewed lineitem (single-morsel fast path; Zipf draws as in the
+/// paper's Figure 13 variants).
+Dataset& ZipfData() {
+  static Dataset* d = new Dataset(
+      GenerateLineitem({.rows = 4000, .zipf_theta = 0.8, .seed = 33}),
+      LineitemAnalysisColumns(), kQuantity, kExtendedprice);
+  return *d;
+}
+
+/// 2–5 distinct random requests of 1–3 grouping columns; aggregates beyond
+/// COUNT(*) are added with per-request coin flips.
+std::vector<GroupByRequest> RandomRequests(Rng* rng, const Dataset& d) {
+  const size_t nreq = 2 + rng->Uniform(4);
+  std::set<uint64_t> seen;
+  std::vector<GroupByRequest> out;
+  for (int attempts = 0; out.size() < nreq && attempts < 100; ++attempts) {
+    const size_t ncols = 1 + rng->Uniform(3);
+    ColumnSet cols;
+    for (size_t c = 0; c < ncols; ++c) {
+      cols = cols.With(d.group_pool[rng->Uniform(d.group_pool.size())]);
+    }
+    if (!seen.insert(cols.mask()).second) continue;
+    GroupByRequest req;
+    req.columns = cols;
+    req.aggs = {AggRequest{}};  // COUNT(*)
+    if (rng->Uniform(2) == 0) {
+      req.aggs.push_back(AggRequest{AggKind::kSum, d.sum_col});
+    }
+    if (rng->Uniform(3) == 0) {
+      req.aggs.push_back(AggRequest{AggKind::kMax, d.minmax_col});
+    }
+    if (rng->Uniform(4) == 0) {
+      req.aggs.push_back(AggRequest{AggKind::kMin, d.minmax_col});
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+/// Order-independent canonical form of a result table, projected onto what
+/// the request asked for: grouping columns plus the request's aggregate
+/// output columns. (A plan may legally materialize *extra* aggregate
+/// columns on a result node that also feeds children — UnionAggs — so raw
+/// schemas are not comparable across plans, but the requested projection
+/// must be.) Rows are rendered as name=value runs and sorted.
+std::vector<std::string> CanonicalRows(const Table& t,
+                                       const GroupByRequest& req,
+                                       const Schema& base_schema) {
+  std::vector<std::string> names;
+  for (int c : req.columns.ToVector()) {
+    names.push_back(base_schema.column(c).name);
+  }
+  for (const AggRequest& agg : req.aggs) {
+    names.push_back(AggOutputName(agg, base_schema));
+  }
+  std::vector<const Column*> cols;
+  for (const std::string& name : names) {
+    const int ord = t.schema().FindColumn(name);
+    EXPECT_GE(ord, 0) << "result " << t.name() << " lacks column " << name;
+    if (ord < 0) return {};
+    cols.push_back(&t.column(ord));
+  }
+  std::vector<std::string> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::string s;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      s += names[c] + "=" + cols[c]->ValueAt(r).ToString() + "|";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+using CanonicalResults = std::map<ColumnSet, std::vector<std::string>>;
+
+struct RunOutcome {
+  CanonicalResults results;
+  WorkCounters counters;
+};
+
+RunOutcome Execute(Dataset* d, const LogicalPlan& plan,
+                   const std::vector<GroupByRequest>& requests, ScanMode mode,
+                   int parallelism) {
+  PlanExecutor exec(&d->catalog, d->table->name(), mode, parallelism);
+  auto r = exec.Execute(plan, requests);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  RunOutcome out;
+  if (!r.ok()) return out;
+  out.counters = r->counters;
+  for (const GroupByRequest& req : requests) {
+    auto it = r->results.find(req.columns);
+    EXPECT_TRUE(it != r->results.end())
+        << "no result for " << req.columns.ToString();
+    if (it == r->results.end()) continue;
+    out.results[req.columns] =
+        CanonicalRows(*it->second, req, d->table->schema());
+  }
+  return out;
+}
+
+/// Bit-identical comparison — no tolerances, including the double field.
+void ExpectCountersIdentical(const WorkCounters& a, const WorkCounters& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.rows_scanned, b.rows_scanned) << what;
+  EXPECT_EQ(a.bytes_scanned, b.bytes_scanned) << what;
+  EXPECT_EQ(a.rows_emitted, b.rows_emitted) << what;
+  EXPECT_EQ(a.bytes_materialized, b.bytes_materialized) << what;
+  EXPECT_EQ(a.hash_probes, b.hash_probes) << what;
+  EXPECT_EQ(a.rows_sorted, b.rows_sorted) << what;
+  EXPECT_EQ(a.queries_executed, b.queries_executed) << what;
+  EXPECT_EQ(a.agg_cpu_units, b.agg_cpu_units) << what;
+  EXPECT_EQ(a.scan_touch_checksum, b.scan_touch_checksum) << what;
+}
+
+void RunTrial(Dataset* d, uint64_t seed, ScanMode mode) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  Rng rng(seed);
+  const std::vector<GroupByRequest> requests = RandomRequests(&rng, *d);
+  ASSERT_GE(requests.size(), 2u);
+  ASSERT_TRUE(ValidateRequests(requests, d->table->schema()).ok());
+
+  OptimizerCostModel greedy_model(*d->table);
+  GbMqoOptimizer optimizer(&greedy_model, &d->whatif);
+  auto greedy = optimizer.Optimize(requests);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+
+  OptimizerCostModel exact_model(*d->table);
+  ExhaustiveOptimizer exhaustive(&exact_model, &d->whatif);
+  auto exact = exhaustive.Optimize(requests);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+
+  auto baseline = GroupingSetsPlanner().Plan(requests, d->table->schema());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const std::vector<std::pair<std::string, const LogicalPlan*>> plans = {
+      {"optimizer", &greedy->plan},
+      {"exhaustive", &exact->plan},
+      {"grouping-sets", &*baseline},
+  };
+
+  CanonicalResults reference;
+  for (const auto& [name, plan] : plans) {
+    const RunOutcome serial = Execute(d, *plan, requests, mode, 1);
+    const RunOutcome parallel = Execute(d, *plan, requests, mode, 4);
+    // Same plan, different thread count: results AND counters identical.
+    EXPECT_EQ(serial.results, parallel.results) << name;
+    ExpectCountersIdentical(serial.counters, parallel.counters, name);
+    // Across plans: identical result tables (counters legitimately differ —
+    // that difference is the whole point of GB-MQO).
+    if (reference.empty()) {
+      reference = serial.results;
+      ASSERT_EQ(reference.size(), requests.size()) << name;
+    } else {
+      EXPECT_EQ(reference, serial.results) << name << " vs optimizer plan";
+    }
+  }
+}
+
+TEST(DifferentialTest, ZipfLineitemTrials) {
+  // 40 fast trials on the single-morsel path (columnar scans keep the
+  // 3-plans x 2-parallelism matrix cheap).
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    RunTrial(&ZipfData(), seed, ScanMode::kColumnar);
+  }
+}
+
+TEST(DifferentialTest, ZipfLineitemRowStoreTrials) {
+  // Row-store scans add the scan-touch checksum to the counters under test.
+  for (uint64_t seed = 100; seed < 108; ++seed) {
+    RunTrial(&ZipfData(), seed, ScanMode::kRowStore);
+  }
+}
+
+TEST(DifferentialTest, SalesMultiMorselTrials) {
+  // 66k rows: two morsels, so parallel runs take the real multi-shard
+  // build + partitioned-merge path and the checksum crosses shards.
+  for (uint64_t seed = 200; seed < 208; ++seed) {
+    RunTrial(&SalesData(), seed, ScanMode::kRowStore);
+  }
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,204 @@
+// Adversarial GroupHashTable tests locking in the invariants the parallel
+// merge path relies on: linear-probing behaviour under engineered
+// collisions, growth exactly at the 70% load boundary, multi-word key
+// equality, probe-count monotonicity, and MergeFrom partition
+// disjointness/completeness.
+#include "exec/group_hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gbmqo {
+namespace {
+
+/// Finds `count` distinct single-word keys whose hash lands on slot
+/// `target` of a `capacity`-slot table (capacity is a power of two).
+std::vector<uint64_t> CollidingKeys(size_t capacity, size_t target,
+                                    size_t count) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; keys.size() < count; ++k) {
+    if ((GroupHashTable::Hash(&k, 1) & (capacity - 1)) == target) {
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+TEST(GroupHashTableStressTest, EngineeredCollisionsProbeLinearly) {
+  // All keys hash to the same slot of a 4096-slot table (no growth at 64
+  // entries), so the i-th insert walks an i-long cluster: probes are
+  // exactly 1 + 2 + ... + m = m(m+1)/2.
+  constexpr size_t kCapacity = 4096;
+  constexpr size_t kKeys = 64;
+  GroupHashTable table(1, kCapacity);
+  ASSERT_EQ(table.slot_capacity(), kCapacity);
+  const std::vector<uint64_t> keys = CollidingKeys(kCapacity, 7, kKeys);
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    bool inserted = false;
+    EXPECT_EQ(table.FindOrInsert(&keys[i], &inserted), i);
+    EXPECT_TRUE(inserted);
+  }
+  EXPECT_EQ(table.size(), kKeys);
+  EXPECT_EQ(table.slot_capacity(), kCapacity);  // no growth happened
+  EXPECT_EQ(table.probes(), kKeys * (kKeys + 1) / 2);
+
+  // Re-looking up key i walks the same i+1 slots and inserts nothing.
+  const uint64_t before = table.probes();
+  bool inserted = true;
+  EXPECT_EQ(table.FindOrInsert(&keys[10], &inserted), 10u);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(table.probes(), before + 11);
+}
+
+TEST(GroupHashTableStressTest, GrowsExactlyAtSeventyPercentLoad) {
+  // 16 slots hold at most 11 groups (11/16 = 68.75% <= 70% < 12/16); the
+  // 12th insert must double the capacity first.
+  GroupHashTable table(1, 16);
+  ASSERT_EQ(table.slot_capacity(), 16u);
+  for (uint64_t k = 0; k < 11; ++k) {
+    table.FindOrInsert(&k);
+  }
+  EXPECT_EQ(table.size(), 11u);
+  EXPECT_EQ(table.slot_capacity(), 16u);
+  uint64_t k = 11;
+  table.FindOrInsert(&k);
+  EXPECT_EQ(table.size(), 12u);
+  EXPECT_EQ(table.slot_capacity(), 32u);
+}
+
+TEST(GroupHashTableStressTest, LoadFactorInvariantHoldsThroughGrowth) {
+  // After every insert: size() * 10 <= slot_capacity() * 7, ids stay dense,
+  // and stored keys remain retrievable across rehashes.
+  GroupHashTable table(1, 16);
+  size_t capacity = table.slot_capacity();
+  int growths = 0;
+  for (uint64_t k = 0; k < 3000; ++k) {
+    const uint32_t id = table.FindOrInsert(&k);
+    ASSERT_EQ(id, k);
+    ASSERT_LE(table.size() * 10, table.slot_capacity() * 7);
+    if (table.slot_capacity() != capacity) {
+      ASSERT_EQ(table.slot_capacity(), capacity * 2) << "non-doubling growth";
+      capacity = table.slot_capacity();
+      ++growths;
+    }
+  }
+  EXPECT_GT(growths, 5);
+  for (uint64_t k = 0; k < 3000; ++k) {
+    bool inserted = true;
+    ASSERT_EQ(table.FindOrInsert(&k, &inserted), k);
+    ASSERT_FALSE(inserted);
+    ASSERT_EQ(*table.KeyOf(static_cast<uint32_t>(k)), k);
+  }
+  EXPECT_EQ(table.size(), 3000u);
+}
+
+TEST(GroupHashTableStressTest, MultiWordKeysCompareAllWords) {
+  // Keys differing only in the first or only in the last word must stay
+  // distinct groups; full-width re-lookups must return the original ids.
+  constexpr int kWidth = 3;
+  GroupHashTable table(kWidth);
+  std::vector<std::vector<uint64_t>> keys;
+  for (uint64_t v = 0; v < 50; ++v) {
+    keys.push_back({v, 1, 2});    // vary first word
+    keys.push_back({0, 1, v + 3});  // vary last word
+  }
+  std::vector<uint32_t> ids;
+  for (const auto& key : keys) {
+    ids.push_back(table.FindOrInsert(key.data()));
+  }
+  EXPECT_EQ(table.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    bool inserted = true;
+    EXPECT_EQ(table.FindOrInsert(keys[i].data(), &inserted), ids[i]);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(0, std::memcmp(table.KeyOf(ids[i]), keys[i].data(),
+                             sizeof(uint64_t) * kWidth));
+  }
+}
+
+TEST(GroupHashTableStressTest, ProbesStrictlyMonotonic) {
+  GroupHashTable table(2);
+  uint64_t last = table.probes();
+  EXPECT_EQ(last, 0u);
+  for (uint64_t k = 0; k < 2000; ++k) {
+    const uint64_t key[2] = {k % 37, k};  // mix of hits and misses
+    table.FindOrInsert(key);
+    const uint64_t now = table.probes();
+    ASSERT_GE(now, last + 1) << "FindOrInsert must cost at least one probe";
+    last = now;
+  }
+}
+
+TEST(GroupHashTableStressTest, PartitionOfHashIsInRangeAndStable) {
+  for (uint64_t k = 0; k < 1000; ++k) {
+    const uint64_t h = GroupHashTable::Hash(&k, 1);
+    EXPECT_EQ(GroupHashTable::PartitionOfHash(h, 1), 0);
+    for (int p : {2, 4, 16}) {
+      const int part = GroupHashTable::PartitionOfHash(h, p);
+      ASSERT_GE(part, 0);
+      ASSERT_LT(part, p);
+    }
+  }
+}
+
+TEST(GroupHashTableStressTest, MergeFromPartitionsAreDisjointAndComplete) {
+  // Build a source table with keys engineered to include collisions, then
+  // merge it partition by partition: every src id must be taken exactly
+  // once, and the destination must end up with exactly the src's key set.
+  constexpr int kPartitions = 16;
+  GroupHashTable src(1, 4096);
+  const std::vector<uint64_t> colliding = CollidingKeys(4096, 11, 32);
+  for (uint64_t k : colliding) src.FindOrInsert(&k);
+  for (uint64_t k = 1000000; k < 1002000; ++k) src.FindOrInsert(&k);
+  const size_t n = src.size();
+
+  GroupHashTable dst(1, 64);
+  std::map<uint32_t, int> times_taken;
+  size_t total = 0;
+  for (int p = 0; p < kPartitions; ++p) {
+    std::vector<std::pair<uint32_t, uint32_t>> mapping;
+    const size_t taken = dst.MergeFrom(src, kPartitions, p, &mapping);
+    EXPECT_EQ(taken, mapping.size());
+    total += taken;
+    for (const auto& [src_id, dst_id] : mapping) {
+      times_taken[src_id] += 1;
+      // The merged group's key must be byte-identical to the source's, and
+      // its partition must be the one we asked for.
+      EXPECT_EQ(*dst.KeyOf(dst_id), *src.KeyOf(src_id));
+      EXPECT_EQ(src.PartitionOf(src_id, kPartitions), p);
+    }
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(dst.size(), n);  // all keys distinct, none lost or duplicated
+  EXPECT_EQ(times_taken.size(), n);
+  for (const auto& [id, count] : times_taken) {
+    ASSERT_EQ(count, 1) << "src id " << id << " merged more than once";
+  }
+}
+
+TEST(GroupHashTableStressTest, MergeFromDeduplicatesAcrossSources) {
+  // Two sources sharing half their keys: the merged table must contain the
+  // set union, with shared keys mapped to one id.
+  GroupHashTable a(1), b(1);
+  for (uint64_t k = 0; k < 400; ++k) a.FindOrInsert(&k);
+  for (uint64_t k = 200; k < 600; ++k) b.FindOrInsert(&k);
+
+  GroupHashTable dst(1);
+  std::set<uint32_t> dst_ids;
+  for (int p = 0; p < 8; ++p) {
+    std::vector<std::pair<uint32_t, uint32_t>> mapping;
+    dst.MergeFrom(a, 8, p, &mapping);
+    dst.MergeFrom(b, 8, p, &mapping);
+    for (const auto& [src_id, dst_id] : mapping) dst_ids.insert(dst_id);
+  }
+  EXPECT_EQ(dst.size(), 600u);
+  EXPECT_EQ(dst_ids.size(), 600u);
+}
+
+}  // namespace
+}  // namespace gbmqo
