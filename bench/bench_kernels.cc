@@ -1,0 +1,166 @@
+// Aggregation-kernel comparison: rows/sec for the dense-array, packed
+// single-word and multi-word kernels (each forced through
+// QueryExecutor::set_forced_kernel) on
+//  (a) a small materialized intermediate — 1M rows, two 64-value int64
+//      columns, 4096 groups: the shape GB-MQO plans aggregate most often
+//      and the case the dense kernel exists for, and
+//  (b) the 1M-row base sales table grouped by category x brand.
+// Columnar scans so kernel work, not the row-store touch simulation,
+// dominates. Emits one JSON object after the tables; the acceptance gate is
+// dense >= 2x multi-word rows/sec on (a) at parallelism 1 and 4.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/sales_gen.h"
+#include "exec/query_executor.h"
+
+namespace gbmqo {
+namespace {
+
+using bench::Banner;
+
+constexpr AggKernel kKernels[] = {AggKernel::kDenseArray,
+                                  AggKernel::kPackedKey,
+                                  AggKernel::kMultiWord};
+constexpr int kThreads[] = {1, 4};
+constexpr int kReps = 3;
+
+struct Sample {
+  AggKernel kernel = AggKernel::kMultiWord;
+  int threads = 1;
+  double seconds = 0;
+  double rows_per_sec = 0;
+  uint64_t groups = 0;
+  WorkCounters counters;
+};
+
+/// 1M-row stand-in for a materialized intermediate: two int64 grouping
+/// columns of 64 values each -> 4096 groups, well inside the dense budget.
+TablePtr MakeIntermediate(size_t rows) {
+  TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                         {"b", DataType::kInt64, false}}));
+  Rng rng(42);
+  for (size_t i = 0; i < rows; ++i) {
+    if (!b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(64))),
+                      Value(static_cast<int64_t>(rng.Uniform(64)))})
+             .ok()) {
+      std::exit(1);
+    }
+  }
+  return *b.Build("intermediate");
+}
+
+Sample Measure(const Table& t, const GroupByQuery& q, AggKernel kernel,
+               int threads) {
+  Sample s;
+  s.kernel = kernel;
+  s.threads = threads;
+  s.seconds = 1e100;
+  for (int r = 0; r < kReps; ++r) {
+    ExecContext ctx;
+    QueryExecutor exec(&ctx, ScanMode::kColumnar, threads);
+    exec.set_forced_kernel(kernel);
+    WallTimer timer;
+    auto res = exec.ExecuteGroupBy(t, q, "out", AggStrategy::kHash);
+    const double secs = timer.ElapsedSeconds();
+    if (!res.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   res.status().ToString().c_str());
+      std::exit(1);
+    }
+    s.seconds = std::min(s.seconds, secs);
+    s.groups = (*res)->num_rows();
+    s.counters = ctx.counters();
+  }
+  s.rows_per_sec = static_cast<double>(t.num_rows()) / s.seconds;
+  return s;
+}
+
+std::vector<Sample> RunScenario(const char* title, const Table& t,
+                                const GroupByQuery& q) {
+  std::vector<Sample> samples;
+  std::printf("\n%s (%zu rows)\n", title, t.num_rows());
+  std::printf("%-10s | %-8s | %-10s | %-14s | %s\n", "kernel", "threads",
+              "seconds", "rows/sec", "groups");
+  for (AggKernel kernel : kKernels) {
+    for (int threads : kThreads) {
+      const Sample s = Measure(t, q, kernel, threads);
+      std::printf("%-10s | %-8d | %-10.4f | %-14.0f | %llu\n",
+                  AggKernelName(kernel), threads, s.seconds, s.rows_per_sec,
+                  static_cast<unsigned long long>(s.groups));
+      samples.push_back(s);
+    }
+  }
+  return samples;
+}
+
+void PrintJsonScenario(const char* key, const std::vector<Sample>& samples,
+                       bool last) {
+  std::printf("  \"%s\": [", key);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::printf(
+        "%s\n    {\"kernel\": \"%s\", \"threads\": %d, \"seconds\": %.6f, "
+        "\"rows_per_sec\": %.0f, \"groups\": %llu, "
+        "\"dense_rows\": %llu, \"packed_rows\": %llu, "
+        "\"multiword_rows\": %llu}",
+        i == 0 ? "" : ",", AggKernelName(s.kernel), s.threads, s.seconds,
+        s.rows_per_sec, static_cast<unsigned long long>(s.groups),
+        static_cast<unsigned long long>(s.counters.dense_kernel_rows),
+        static_cast<unsigned long long>(s.counters.packed_kernel_rows),
+        static_cast<unsigned long long>(s.counters.multiword_kernel_rows));
+  }
+  std::printf("\n  ]%s\n", last ? "" : ",");
+}
+
+double RowsPerSec(const std::vector<Sample>& samples, AggKernel kernel,
+                  int threads) {
+  for (const Sample& s : samples) {
+    if (s.kernel == kernel && s.threads == threads) return s.rows_per_sec;
+  }
+  return 0;
+}
+
+void Run() {
+  const size_t rows = bench::RowsFromEnv(1000000);
+  Banner("Aggregation kernels — rows/sec per kernel",
+         "engine study (adaptive kernel selection; not a paper figure)");
+
+  TablePtr inter = MakeIntermediate(rows);
+  GroupByQuery inter_q{ColumnSet{0, 1}, {AggregateSpec::CountStar("cnt")}};
+  const std::vector<Sample> inter_samples =
+      RunScenario("(a) small intermediate: 64 x 64 int64 domains", *inter,
+                  inter_q);
+
+  TablePtr sales = GenerateSales({.rows = rows});
+  GroupByQuery sales_q{ColumnSet::Single(kCategory).With(kBrand),
+                       {AggregateSpec::CountStar("cnt")}};
+  const std::vector<Sample> sales_samples =
+      RunScenario("(b) base sales table: category x brand", *sales, sales_q);
+
+  std::printf("\n{\n");
+  std::printf("  \"bench\": \"kernels\",\n");
+  std::printf("  \"rows\": %zu,\n", rows);
+  PrintJsonScenario("intermediate", inter_samples, /*last=*/false);
+  PrintJsonScenario("base_table", sales_samples, /*last=*/false);
+  std::printf("  \"dense_over_multiword\": {");
+  for (size_t i = 0; i < std::size(kThreads); ++i) {
+    const double ratio =
+        RowsPerSec(inter_samples, AggKernel::kDenseArray, kThreads[i]) /
+        RowsPerSec(inter_samples, AggKernel::kMultiWord, kThreads[i]);
+    std::printf("%s\"t%d\": %.2f", i == 0 ? "" : ", ", kThreads[i], ratio);
+  }
+  std::printf("}\n}\n");
+}
+
+}  // namespace
+}  // namespace gbmqo
+
+int main() {
+  gbmqo::Run();
+  return 0;
+}

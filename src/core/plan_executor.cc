@@ -18,11 +18,13 @@ namespace {
 class Runner {
  public:
   Runner(Catalog* catalog, TablePtr base, ExecContext* ctx, ScanMode scan_mode,
-         int exec_parallelism)
+         int exec_parallelism, std::optional<AggKernel> forced_kernel)
       : catalog_(catalog),
         base_(std::move(base)),
         exec_(ctx, scan_mode, exec_parallelism),
-        base_schema_(base_->schema()) {}
+        base_schema_(base_->schema()) {
+    exec_.set_forced_kernel(forced_kernel);
+  }
 
   /// Entry point for one sub-plan (PlanExecutor runs one Runner per
   /// sub-plan; sub-plans share only the immutable base relation).
@@ -334,7 +336,7 @@ Result<ExecutionResult> PlanExecutor::Execute(
   std::vector<Status> statuses(n);
   for (size_t i = 0; i < n; ++i) {
     runners[i] = std::make_unique<Runner>(catalog_, *base, &contexts[i],
-                                          scan_mode_, intra);
+                                          scan_mode_, intra, forced_kernel_);
   }
   if (workers <= 1) {
     for (size_t i = 0; i < n; ++i) {
@@ -348,7 +350,14 @@ Result<ExecutionResult> PlanExecutor::Execute(
         while (true) {
           const size_t i = next.fetch_add(1);
           if (i >= n) break;
-          statuses[i] = runners[i]->RunOne(plan.subplans[i]);
+          // A throwing sub-plan (e.g. bad_alloc) must not terminate the
+          // process from a worker thread; surface it as a Status instead.
+          try {
+            statuses[i] = runners[i]->RunOne(plan.subplans[i]);
+          } catch (const std::exception& e) {
+            statuses[i] = Status::Internal(std::string("sub-plan threw: ") +
+                                           e.what());
+          }
           if (!statuses[i].ok()) break;
         }
       });

@@ -60,11 +60,19 @@ class PlanExecutor {
   Result<ExecutionResult> Execute(const LogicalPlan& plan,
                                   const std::vector<GroupByRequest>& requests);
 
+  /// Test/bench knob forwarded to every QueryExecutor this executor
+  /// creates: starts the hash-aggregation kernel ladder at `kernel` (see
+  /// QueryExecutor::set_forced_kernel). nullopt = automatic selection.
+  void set_forced_kernel(std::optional<AggKernel> kernel) {
+    forced_kernel_ = kernel;
+  }
+
  private:
   Catalog* catalog_;
   std::string base_table_;
   ScanMode scan_mode_;
   int parallelism_;
+  std::optional<AggKernel> forced_kernel_;
 };
 
 }  // namespace gbmqo

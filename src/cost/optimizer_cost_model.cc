@@ -1,8 +1,29 @@
 #include "cost/optimizer_cost_model.h"
 
+#include "exec/agg_kernel.h"
 #include "exec/exec_context.h"
 
 namespace gbmqo {
+
+namespace {
+
+/// Predicts which aggregation kernel the executor will pick for a query
+/// grouping by `cols`, from the *base* relation's column metadata. Valid
+/// for temp-table inputs too: an intermediate's column code domains are
+/// subsets of the base column domains it was derived from, so a kernel
+/// eligible on the base stays eligible on every intermediate — and it is
+/// the small-domain groupings (dense/packed) whose cheaper per-row CPU the
+/// optimizer must anticipate when ranking materialization candidates.
+/// Column sets with out-of-schema ordinals (hypothetical nodes) get the
+/// conservative multi-word prediction.
+AggKernel PredictKernel(const Table& base, ColumnSet cols) {
+  for (int c : cols.ToVector()) {
+    if (c >= base.schema().num_columns()) return AggKernel::kMultiWord;
+  }
+  return PlanAggKernel(base, cols).kernel;
+}
+
+}  // namespace
 
 OptimizerCostModel::OptimizerCostModel(const Table& base, CostParams params)
     : base_(base), params_(params) {}
@@ -27,10 +48,11 @@ double OptimizerCostModel::QueryCost(const NodeDesc& u,
     cost += u.rows * params_.stream_cpu;
   } else {
     cost += u.rows * u.row_width * params_.scan_byte;
-    // Cardinality-aware hash-aggregation CPU: high-cardinality outputs pay
-    // cache misses on most probes. Mirrors the engine's work accounting
-    // (HashAggCpuPerRow in exec/exec_context.h).
-    cost += u.rows * HashAggCpuPerRow(v.rows);
+    // Kernel- and cardinality-aware aggregation CPU: high-cardinality
+    // outputs pay cache misses on most probes, while small-domain groupings
+    // run the executor's cheaper packed/dense kernels. Mirrors the engine's
+    // work accounting (AggCpuPerRow in exec/exec_context.h).
+    cost += u.rows * AggCpuPerRow(PredictKernel(base_, v.columns), v.rows);
     cost += v.rows * params_.group_build;
   }
   cache_.emplace(key, cost);

@@ -1,0 +1,164 @@
+#include "exec/agg_kernel.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace gbmqo {
+
+AggKernelPlan PlanAggKernel(const Table& input, ColumnSet grouping,
+                            AggKernel preferred) {
+  AggKernelPlan plan;
+  for (int ordinal : grouping.ToVector()) {
+    const Column& col = input.column(ordinal);
+    KernelColumn kc;
+    kc.col = &col;
+    kc.code_min = col.CodeRangeMin();
+    kc.bits = col.CodeBits();
+    kc.nullable = col.has_nulls();
+    if (kc.nullable) plan.track_nulls = true;
+    plan.cols.push_back(kc);
+  }
+  plan.key_width =
+      static_cast<int>(plan.cols.size()) + (plan.track_nulls ? 1 : 0);
+  if (plan.key_width == 0) plan.key_width = 1;  // empty grouping: constant key
+
+  if (preferred == AggKernel::kDenseArray) {
+    // Dense eligibility: the mixed-radix product of per-column domains must
+    // fit the slot budget. Bail on any factor >= budget before forming
+    // radix = range + 1 (+ NULL slot), so nothing here can overflow: every
+    // partial product and factor stays <= kDenseSlotBudget + 1 < 2^32.
+    uint64_t slots = 1;
+    bool ok = true;
+    for (const KernelColumn& kc : plan.cols) {
+      const uint64_t range = kc.col->CodeRange();
+      if (range >= kDenseSlotBudget) {
+        ok = false;
+        break;
+      }
+      slots *= range + 1 + (kc.nullable ? 1 : 0);
+      if (slots > kDenseSlotBudget) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      plan.kernel = AggKernel::kDenseArray;
+      uint32_t stride = 1;
+      for (KernelColumn& kc : plan.cols) {
+        kc.radix = static_cast<uint32_t>(kc.col->CodeRange() + 1 +
+                                         (kc.nullable ? 1 : 0));
+        kc.stride = stride;
+        stride *= kc.radix;
+      }
+      // Pad to a power of two >= 64 so the merge can partition the slot
+      // space into equal contiguous ranges (DenseGroupTable::
+      // PartitionOfSlot) for any partition count up to 64.
+      plan.dense_capacity = std::bit_ceil(std::max<uint64_t>(slots, 64));
+      return plan;
+    }
+  }
+
+  if (preferred != AggKernel::kMultiWord) {
+    // Packed eligibility: value bits + one NULL bit per nullable column
+    // must fit one word. Layout: value fields low-to-high in column order,
+    // then the NULL bits.
+    int bits = 0;
+    for (const KernelColumn& kc : plan.cols) {
+      bits += kc.bits + (kc.nullable ? 1 : 0);
+    }
+    if (bits <= 64) {
+      plan.kernel = AggKernel::kPackedKey;
+      int shift = 0;
+      for (KernelColumn& kc : plan.cols) {
+        kc.shift = shift;
+        shift += kc.bits;
+      }
+      for (KernelColumn& kc : plan.cols) {
+        if (kc.nullable) kc.null_bit = shift++;
+      }
+      plan.total_bits = shift;
+      plan.key_width = 1;
+      return plan;
+    }
+  }
+
+  plan.kernel = AggKernel::kMultiWord;
+  return plan;
+}
+
+void BlockKeyFiller::FillPacked(size_t begin, size_t count, uint64_t* out) {
+  std::fill(out, out + count, 0);
+  for (const KernelColumn& kc : plan_->cols) {
+    if (kc.bits == 0 && !kc.nullable) continue;  // single-valued: no bits
+    kc.col->CodeBlock(begin, count, codes_.data());
+    const uint64_t min = kc.code_min;
+    const int shift = kc.shift;
+    if (!kc.nullable) {
+      for (size_t i = 0; i < count; ++i) {
+        out[i] |= (codes_[i] - min) << shift;
+      }
+    } else {
+      const uint64_t null_mask = 1ull << kc.null_bit;
+      for (size_t i = 0; i < count; ++i) {
+        // NULL rows must not shift their placeholder code into the key:
+        // they contribute only the NULL bit (value field stays zero).
+        if (kc.col->IsNull(begin + i)) {
+          out[i] |= null_mask;
+        } else {
+          out[i] |= (codes_[i] - min) << shift;
+        }
+      }
+    }
+  }
+}
+
+void BlockKeyFiller::FillDense(size_t begin, size_t count, uint32_t* out) {
+  std::fill(out, out + count, 0);
+  for (const KernelColumn& kc : plan_->cols) {
+    kc.col->CodeBlock(begin, count, codes_.data());
+    const uint64_t min = kc.code_min;
+    const uint32_t stride = kc.stride;
+    if (!kc.nullable) {
+      for (size_t i = 0; i < count; ++i) {
+        out[i] += static_cast<uint32_t>(codes_[i] - min) * stride;
+      }
+    } else {
+      // NULL takes digit 0; values shift up by one.
+      for (size_t i = 0; i < count; ++i) {
+        const uint32_t digit =
+            kc.col->IsNull(begin + i)
+                ? 0u
+                : static_cast<uint32_t>(codes_[i] - min) + 1u;
+        out[i] += digit * stride;
+      }
+    }
+  }
+}
+
+void BlockKeyFiller::FillMultiWord(size_t begin, size_t count, uint64_t* out) {
+  const size_t kw = static_cast<size_t>(plan_->key_width);
+  std::fill(out, out + count * kw, 0);
+  const size_t ncols = plan_->cols.size();
+  for (size_t c = 0; c < ncols; ++c) {
+    const KernelColumn& kc = plan_->cols[c];
+    kc.col->CodeBlock(begin, count, codes_.data());
+    if (!kc.nullable) {
+      for (size_t i = 0; i < count; ++i) {
+        out[i * kw + c] = codes_[i];
+      }
+    } else {
+      const uint64_t null_flag = 1ull << c;
+      for (size_t i = 0; i < count; ++i) {
+        // Same layout as KeyBuilder::FillKey: zero code word + a bit in the
+        // trailing null-mask word (index ncols, exists since track_nulls).
+        if (kc.col->IsNull(begin + i)) {
+          out[i * kw + ncols] |= null_flag;
+        } else {
+          out[i * kw + c] = codes_[i];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,102 @@
+// Adaptive aggregation-kernel selection.
+//
+// GB-MQO's required group-bys mostly run over *small materialized
+// intermediates*, where the grouping columns' combined code domain is tiny.
+// PlanAggKernel inspects the input columns' code-domain metadata
+// (Column::CodeBits / CodeRange) and walks a fallback ladder:
+//
+//   1. kDenseArray — if the product of per-column radixes (code range + 1,
+//      plus a NULL slot for nullable columns) fits kDenseSlotBudget, group
+//      lookup is a direct index into a dense slot array: no hashing, no key
+//      compares.
+//   2. kPackedKey  — if the per-column bit-widths (plus one NULL bit per
+//      nullable column) sum to <= 64, all grouping columns are bit-packed
+//      into a single uint64 GroupHashTable key: one-word hash + compares.
+//   3. kMultiWord  — the general case: one key word per grouping column
+//      plus a null-mask word, exactly the layout KeyBuilder produces.
+//
+// The plan is a pure function of (input table, grouping set) — never of the
+// thread count — so all WorkCounters stay bit-identical across parallelism.
+// BlockKeyFiller then builds keys/slots in 1024-row column-major blocks with
+// one type dispatch per column per block instead of one per row.
+#ifndef GBMQO_EXEC_AGG_KERNEL_H_
+#define GBMQO_EXEC_AGG_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/column_set.h"
+#include "exec/exec_context.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// Dense-array slot budget: caps the per-shard slot array at 1 MiB of
+/// 4-byte tags, the scale at which direct indexing stays cache-resident and
+/// beats hashing. Domain products above this fall back to a hash kernel.
+inline constexpr uint64_t kDenseSlotBudget = 1ull << 18;
+
+/// Per-grouping-column packing/indexing parameters.
+struct KernelColumn {
+  const Column* col = nullptr;
+  uint64_t code_min = 0;  ///< offset subtracted from every code
+  int bits = 0;           ///< exact value bit-width (Column::CodeBits)
+  int shift = 0;          ///< packed: bit position of the value field
+  int null_bit = -1;      ///< packed: bit position of the NULL flag (-1: none)
+  uint32_t radix = 1;     ///< dense: per-column domain size (incl. NULL slot)
+  uint32_t stride = 1;    ///< dense: mixed-radix multiplier
+  bool nullable = false;  ///< column has NULLs
+};
+
+/// The kernel chosen for one (input, grouping) pair plus everything the
+/// block key builder needs.
+struct AggKernelPlan {
+  AggKernel kernel = AggKernel::kMultiWord;
+  std::vector<KernelColumn> cols;
+  bool track_nulls = false;     ///< multi-word: a null-mask word is appended
+  int key_width = 1;            ///< key words per row (1 for packed)
+  int total_bits = 0;           ///< packed: value + NULL bits used (<= 64)
+  uint64_t dense_capacity = 0;  ///< dense: power-of-two padded slot count
+};
+
+/// Plans the kernel for `grouping` over `input`. `preferred` is where the
+/// fallback ladder starts (the test/bench forcing knob): kDenseArray tries
+/// all three, kPackedKey skips dense, kMultiWord forces the general kernel.
+/// An ineligible preference falls through to the next rung, so forcing is
+/// always safe.
+AggKernelPlan PlanAggKernel(const Table& input, ColumnSet grouping,
+                            AggKernel preferred = AggKernel::kDenseArray);
+
+/// Builds group keys (or dense slots) for row blocks, column-major: per
+/// block, each grouping column is read through one Column::CodeBlock call
+/// (a single type switch), then packed/indexed in a tight per-column loop.
+/// One filler per worker; not thread-safe (holds a scratch code buffer).
+class BlockKeyFiller {
+ public:
+  /// Rows per block: small enough that codes + keys stay L1-resident.
+  static constexpr size_t kBlockRows = 1024;
+
+  explicit BlockKeyFiller(const AggKernelPlan& plan)
+      : plan_(&plan), codes_(kBlockRows) {}
+
+  /// Packed kernel: out[i] = single-word key of row begin+i. NULL rows
+  /// contribute a set NULL bit and zero value bits (count <= kBlockRows).
+  void FillPacked(size_t begin, size_t count, uint64_t* out);
+
+  /// Dense kernel: out[i] = mixed-radix slot of row begin+i, in
+  /// [0, dense_capacity). NULLs take slot 0 of their column's radix.
+  void FillDense(size_t begin, size_t count, uint32_t* out);
+
+  /// Multi-word kernel: out[i * key_width ..] = key of row begin+i, in
+  /// exactly the layout KeyBuilder::FillKey produces (codes, then a
+  /// null-mask word when track_nulls).
+  void FillMultiWord(size_t begin, size_t count, uint64_t* out);
+
+ private:
+  const AggKernelPlan* plan_;
+  std::vector<uint64_t> codes_;  // scratch: one column's codes for a block
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_EXEC_AGG_KERNEL_H_

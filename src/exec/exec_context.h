@@ -10,14 +10,62 @@
 
 namespace gbmqo {
 
-/// Per-input-row CPU units of hash aggregation as a function of the output
-/// group count. Small group counts stay cache-resident (cheap probes); large
-/// ones pay main-memory latency on most probes. The same function is used by
-/// the engine's work accounting and by OptimizerCostModel, so estimated and
-/// measured costs agree on *why* a high-cardinality intermediate is a bad
-/// materialization candidate (see the Section 6 benches).
+/// The hash-aggregation kernel executing a group-by. QueryExecutor selects
+/// one per (input table, grouping set) pair — a pure function of the input's
+/// column code-domain metadata, never of the thread count — walking the
+/// ladder dense -> packed -> multi-word until one is eligible (see
+/// exec/agg_kernel.h).
+enum class AggKernel {
+  kDenseArray,  ///< direct-indexed accumulator array, no hashing
+  kPackedKey,   ///< all grouping columns bit-packed into one uint64 hash key
+  kMultiWord,   ///< one key word per grouping column (+ null word); fallback
+};
+
+inline const char* AggKernelName(AggKernel k) {
+  switch (k) {
+    case AggKernel::kDenseArray:
+      return "dense";
+    case AggKernel::kPackedKey:
+      return "packed";
+    case AggKernel::kMultiWord:
+      return "multiword";
+  }
+  return "?";
+}
+
+/// Per-input-row CPU units of multi-word hash aggregation as a function of
+/// the output group count. Small group counts stay cache-resident (cheap
+/// probes); large ones pay main-memory latency on most probes. The same
+/// function is used by the engine's work accounting and by
+/// OptimizerCostModel, so estimated and measured costs agree on *why* a
+/// high-cardinality intermediate is a bad materialization candidate (see
+/// the Section 6 benches).
 inline double HashAggCpuPerRow(double groups) {
   return 4.0 + 1200.0 * (groups / (groups + 200000.0));
+}
+
+/// Packed-key kernel: same cache-miss ramp, but a one-word hash and one-word
+/// key compares cut both the base cost and the miss penalty.
+inline double PackedAggCpuPerRow(double groups) {
+  return 2.0 + 600.0 * (groups / (groups + 200000.0));
+}
+
+/// Dense-array kernel: one bounded array index per row. The slot budget
+/// (kDenseSlotBudget in exec/agg_kernel.h) keeps the accumulators
+/// cache-resident, so there is no cardinality ramp.
+inline constexpr double kDenseArrayAggCpuPerRow = 1.5;
+
+/// Per-input-row aggregation CPU for `kernel` producing `groups` groups.
+inline double AggCpuPerRow(AggKernel kernel, double groups) {
+  switch (kernel) {
+    case AggKernel::kDenseArray:
+      return kDenseArrayAggCpuPerRow;
+    case AggKernel::kPackedKey:
+      return PackedAggCpuPerRow(groups);
+    case AggKernel::kMultiWord:
+      return HashAggCpuPerRow(groups);
+  }
+  return HashAggCpuPerRow(groups);
 }
 
 /// Work performed by one or more executed queries.
@@ -29,9 +77,15 @@ struct WorkCounters {
   uint64_t hash_probes = 0;        ///< group hash-table lookups
   uint64_t rows_sorted = 0;        ///< rows passed through sort operators
   uint64_t queries_executed = 0;   ///< group-by queries run
-  /// Aggregation CPU in work units: rows x HashAggCpuPerRow(groups) for
+  /// Aggregation CPU in work units: rows x AggCpuPerRow(kernel, groups) for
   /// hash paths, 1 unit/row for stream paths.
   double agg_cpu_units = 0;
+  /// Input rows aggregated by each hash kernel. Kernel choice is a pure
+  /// function of the input table, so these are thread-count deterministic
+  /// like every other counter (and show which kernel a query actually ran).
+  uint64_t dense_kernel_rows = 0;
+  uint64_t packed_kernel_rows = 0;
+  uint64_t multiword_kernel_rows = 0;
   /// Accumulator of the row-store scan simulation (ScanMode::kRowStore):
   /// folding every column of every scanned row in here keeps the full-width
   /// touch from being optimized away. Value is meaningless; ignore it.
@@ -46,6 +100,9 @@ struct WorkCounters {
     rows_sorted += o.rows_sorted;
     queries_executed += o.queries_executed;
     agg_cpu_units += o.agg_cpu_units;
+    dense_kernel_rows += o.dense_kernel_rows;
+    packed_kernel_rows += o.packed_kernel_rows;
+    multiword_kernel_rows += o.multiword_kernel_rows;
     scan_touch_checksum ^= o.scan_touch_checksum;
     return *this;
   }

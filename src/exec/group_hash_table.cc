@@ -94,4 +94,29 @@ uint32_t GroupHashTable::FindOrInsert(const uint64_t* key, bool* inserted) {
   }
 }
 
+int DenseGroupTable::PartitionOfSlot(uint64_t slot, int num_partitions,
+                                     uint64_t capacity) {
+  if (num_partitions <= 1) return 0;
+  assert(std::has_single_bit(capacity) &&
+         std::has_single_bit(static_cast<uint64_t>(num_partitions)) &&
+         capacity >= static_cast<uint64_t>(num_partitions));
+  const int shift = std::countr_zero(capacity) -
+                    std::countr_zero(static_cast<uint64_t>(num_partitions));
+  return static_cast<int>(slot >> shift);
+}
+
+size_t DenseGroupTable::MergeFrom(
+    const DenseGroupTable& src, int num_partitions, int partition,
+    uint64_t capacity, std::vector<std::pair<uint32_t, uint32_t>>* mapping) {
+  size_t taken = 0;
+  for (uint32_t id = 0; id < static_cast<uint32_t>(src.size()); ++id) {
+    const uint32_t slot = src.SlotOfGroup(id);
+    if (PartitionOfSlot(slot, num_partitions, capacity) != partition) continue;
+    const uint32_t dst = FindOrInsert(slot);
+    if (mapping != nullptr) mapping->emplace_back(id, dst);
+    ++taken;
+  }
+  return taken;
+}
+
 }  // namespace gbmqo

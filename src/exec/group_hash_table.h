@@ -94,6 +94,58 @@ class GroupHashTable {
   std::vector<uint64_t> arena_;  // num_groups_ * key_width_ words
 };
 
+/// Maps dense slot indices (mixed-radix packed group codes, bounded by the
+/// dense-array kernel's slot budget — see exec/agg_kernel.h) to dense group
+/// ids by direct array indexing: no hashing, no key compares. Group ids are
+/// handed out in first-touch order, mirroring GroupHashTable, so output
+/// ordering matches the hash kernels on the single-shard path.
+/// Not internally synchronized: one table per thread, merged afterwards.
+class DenseGroupTable {
+ public:
+  /// Covers slots [slot_begin, slot_end). Build-side tables cover the whole
+  /// [0, capacity); merge-side tables cover one partition's contiguous
+  /// range, so per-partition memory is capacity / num_partitions tags.
+  DenseGroupTable(uint64_t slot_begin, uint64_t slot_end)
+      : begin_(slot_begin), tags_(slot_end - slot_begin, 0) {}
+
+  /// Returns the dense group id of `slot` (must be in this table's range),
+  /// inserting if absent.
+  uint32_t FindOrInsert(uint32_t slot) {
+    uint32_t& tag = tags_[slot - begin_];
+    if (tag == 0) {
+      group_slots_.push_back(slot);
+      tag = static_cast<uint32_t>(group_slots_.size());
+    }
+    return tag - 1;
+  }
+
+  size_t size() const { return group_slots_.size(); }
+
+  /// The slot of group `id` (the inverse of FindOrInsert).
+  uint32_t SlotOfGroup(uint32_t id) const { return group_slots_[id]; }
+
+  /// Merge partition of a slot: `capacity` (the kernel plan's padded
+  /// dense_capacity) is a power of two >= `num_partitions` (also a power of
+  /// two), so the slot space splits into num_partitions equal contiguous
+  /// ranges — partition p owns [p, p+1) * capacity / num_partitions.
+  static int PartitionOfSlot(uint64_t slot, int num_partitions,
+                             uint64_t capacity);
+
+  /// Inserts every group of `src` whose slot partition equals `partition`
+  /// into this table, in ascending src-id order, appending one
+  /// (src_id, dst_id) pair per taken group to `mapping` (not cleared).
+  /// Returns the number of groups taken. One call per partition over the
+  /// same `src` visits every src group exactly once.
+  size_t MergeFrom(const DenseGroupTable& src, int num_partitions,
+                   int partition, uint64_t capacity,
+                   std::vector<std::pair<uint32_t, uint32_t>>* mapping);
+
+ private:
+  uint64_t begin_;
+  std::vector<uint32_t> tags_;         // slot - begin_ -> group id + 1
+  std::vector<uint32_t> group_slots_;  // group id -> slot
+};
+
 }  // namespace gbmqo
 
 #endif  // GBMQO_EXEC_GROUP_HASH_TABLE_H_

@@ -1,16 +1,16 @@
 #include "exec/query_executor.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <numeric>
-#include <thread>
 #include <vector>
 
+#include "exec/agg_kernel.h"
 #include "exec/group_hash_table.h"
+#include "exec/task_runner.h"
 
 namespace gbmqo {
 
@@ -41,6 +41,15 @@ class AggState {
       }
     }
     return Status::OK();
+  }
+
+  /// Reserves accumulator capacity for `n` expected groups (e.g. the shard
+  /// row count's share of the expected group count), avoiding reallocation
+  /// churn in the per-row Touch path.
+  void ReserveGroups(size_t n) {
+    rep_rows_.reserve(n);
+    counts_.reserve(n);
+    for (std::vector<Accum>& a : acc_) a.reserve(n);
   }
 
   /// Ensures state exists for group `id` (ids arrive densely from 0).
@@ -274,39 +283,17 @@ class RowToucher {
 //
 // The input is cut into QueryExecutor::kMorselRows-row morsels; morsel i
 // belongs to pre-aggregation shard (i mod #shards). A worker claims a whole
-// shard and scans its morsels in ascending order into a shard-local
-// GroupHashTable + AggState, so each shard's content is a pure function of
-// the data, never of the thread count or scheduling. Groups are then
-// hash-partitioned (top bits, QueryExecutor::kMergePartitions ranges); a
-// worker claims a partition and merges every shard's groups of that
-// partition — visiting shards in ascending order and groups in id order —
-// into a partition-local table, so no two workers ever write the same state
-// and floating-point accumulation order is fixed. All derived accounting
-// (probe counts, scan-touch checksums, group counts) is therefore
-// bit-identical for any worker count, including 1.
-
-/// Runs `task(i)` for i in [0, num_tasks) on up to `workers` threads (the
-/// calling thread participates). Tasks must not touch shared mutable state.
-void RunTasks(int num_tasks, int workers, const std::function<void(int)>& task) {
-  workers = std::min(workers, num_tasks);
-  if (workers <= 1) {
-    for (int i = 0; i < num_tasks; ++i) task(i);
-    return;
-  }
-  std::atomic<int> next{0};
-  auto loop = [&]() {
-    while (true) {
-      const int i = next.fetch_add(1);
-      if (i >= num_tasks) break;
-      task(i);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(workers) - 1);
-  for (int w = 1; w < workers; ++w) threads.emplace_back(loop);
-  loop();
-  for (std::thread& t : threads) t.join();
-}
+// shard and scans its morsels in ascending order into a shard-local group
+// table + AggState, so each shard's content is a pure function of the data,
+// never of the thread count or scheduling. Groups are then partitioned —
+// hash top bits for the hash kernels, contiguous slot ranges for the dense
+// kernel (QueryExecutor::kMergePartitions ranges either way); a worker
+// claims a partition and merges every shard's groups of that partition —
+// visiting shards in ascending order and groups in id order — into a
+// partition-local table, so no two workers ever write the same state and
+// floating-point accumulation order is fixed. All derived accounting (probe
+// counts, scan-touch checksums, group counts) is therefore bit-identical
+// for any worker count, including 1. (RunTasks lives in exec/task_runner.h.)
 
 /// Shard layout for one input: morsel i -> shard (i mod shards). `shards` is
 /// min(kBuildShards, #morsels) so every shard is non-empty; using fewer
@@ -346,48 +333,162 @@ struct MorselLayout {
       for (size_t row = begin; row < end; ++row) fn(row);
     }
   }
+
+  /// Calls `fn(begin, count)` for consecutive row blocks of at most
+  /// `block_rows` rows covering every row of `shard`, morsels in ascending
+  /// order (blocks never straddle a morsel boundary).
+  template <typename Fn>
+  void ForEachShardBlock(int shard, size_t block_rows, Fn&& fn) const {
+    for (size_t m = static_cast<size_t>(shard); m < num_morsels;
+         m += static_cast<size_t>(shards)) {
+      const size_t begin = MorselBegin(m);
+      const size_t end = begin + MorselSize(m);
+      for (size_t b = begin; b < end; b += block_rows) {
+        fn(b, std::min(block_rows, end - b));
+      }
+    }
+  }
 };
 
-/// One shard's build-phase output for one query.
+/// One shard's build-phase (or one partition's merge-phase) state for one
+/// query: exactly one of `table` / `dense` is set, matching the query's
+/// kernel, plus the AggState accumulators.
 struct ShardAgg {
-  std::unique_ptr<GroupHashTable> table;
+  std::unique_ptr<GroupHashTable> table;  // packed / multi-word kernels
+  std::unique_ptr<DenseGroupTable> dense;  // dense-array kernel
   std::unique_ptr<AggState> state;
+
+  size_t groups() const {
+    return table != nullptr ? table->size()
+                            : (dense != nullptr ? dense->size() : 0);
+  }
+  uint64_t probes() const { return table != nullptr ? table->probes() : 0; }
 };
 
-/// Result of a parallel hash aggregation of one query: the output parts (in
-/// deterministic partition order), total probes, groups, and the XOR of the
-/// shard touchers' checksums.
-struct HashAggResult {
-  std::vector<std::unique_ptr<AggState>> parts;
-  uint64_t probes = 0;
-  size_t groups = 0;
-  uint64_t checksum = 0;
+/// Builds one shard of one query block-at-a-time: BlockKeyFiller produces
+/// the block's keys (one type dispatch per column per block), then a tight
+/// per-row loop inserts into the kernel's group table.
+class ShardBuilder {
+ public:
+  ShardBuilder(const Table& input, const GroupByQuery& query,
+               const AggKernelPlan& plan, size_t shard_rows)
+      : plan_(&plan), filler_(plan) {
+    agg_.state = std::make_unique<AggState>(input, query);
+    agg_.state->ReserveGroups(shard_rows / 8 + 16);
+    if (plan.kernel == AggKernel::kDenseArray) {
+      agg_.dense = std::make_unique<DenseGroupTable>(0, plan.dense_capacity);
+      slots_.resize(BlockKeyFiller::kBlockRows);
+    } else {
+      agg_.table =
+          std::make_unique<GroupHashTable>(plan.key_width, shard_rows / 8 + 16);
+      keys_.resize(BlockKeyFiller::kBlockRows *
+                   static_cast<size_t>(plan.key_width));
+    }
+  }
+
+  /// Folds rows [begin, begin+count) in; count <= BlockKeyFiller::kBlockRows.
+  void Consume(size_t begin, size_t count) {
+    AggState& state = *agg_.state;
+    switch (plan_->kernel) {
+      case AggKernel::kDenseArray: {
+        filler_.FillDense(begin, count, slots_.data());
+        DenseGroupTable& dense = *agg_.dense;
+        for (size_t i = 0; i < count; ++i) {
+          const uint32_t id = dense.FindOrInsert(slots_[i]);
+          state.Touch(id, begin + i);
+          state.Update(id, begin + i);
+        }
+        break;
+      }
+      case AggKernel::kPackedKey: {
+        filler_.FillPacked(begin, count, keys_.data());
+        GroupHashTable& table = *agg_.table;
+        for (size_t i = 0; i < count; ++i) {
+          const uint32_t id = table.FindOrInsert(&keys_[i]);
+          state.Touch(id, begin + i);
+          state.Update(id, begin + i);
+        }
+        break;
+      }
+      case AggKernel::kMultiWord: {
+        filler_.FillMultiWord(begin, count, keys_.data());
+        GroupHashTable& table = *agg_.table;
+        const size_t kw = static_cast<size_t>(plan_->key_width);
+        for (size_t i = 0; i < count; ++i) {
+          const uint32_t id = table.FindOrInsert(keys_.data() + i * kw);
+          state.Touch(id, begin + i);
+          state.Update(id, begin + i);
+        }
+        break;
+      }
+    }
+  }
+
+  ShardAgg Take() { return std::move(agg_); }
+
+ private:
+  const AggKernelPlan* plan_;
+  BlockKeyFiller filler_;
+  ShardAgg agg_;
+  std::vector<uint64_t> keys_;   // hash kernels: count * key_width words
+  std::vector<uint32_t> slots_;  // dense kernel: count slots
 };
 
-/// Merges `shards[*].{table,state}` for one query into partition-ordered
-/// parts. `result->parts` must be pre-sized to kMergePartitions; the caller
-/// parallelizes over partitions via MergePartition, then finalizes with
-/// FinishMerge.
+/// Merges `shards[*]` for one query into `out` (the `partition`-th of
+/// kMergePartitions partition-ordered parts): hash kernels partition by key
+/// hash top bits, the dense kernel by contiguous slot ranges; both visit
+/// shards in ascending order and groups in id order, so accumulation order
+/// is fixed.
 void MergePartition(const Table& input, const GroupByQuery& query,
-                    std::vector<ShardAgg>& shards, size_t total_groups,
-                    int partition, std::unique_ptr<AggState>* out_state,
-                    std::unique_ptr<GroupHashTable>* out_table) {
-  const int kw = shards.front().table->key_width();
-  auto merged = std::make_unique<GroupHashTable>(
-      kw, total_groups / QueryExecutor::kMergePartitions + 16);
-  auto state = std::make_unique<AggState>(input, query);
+                    const AggKernelPlan& plan, std::vector<ShardAgg>& shards,
+                    size_t total_groups, int partition, ShardAgg* out) {
+  constexpr int kParts = QueryExecutor::kMergePartitions;
+  ShardAgg merged;
+  merged.state = std::make_unique<AggState>(input, query);
+  merged.state->ReserveGroups(total_groups / kParts + 16);
+  if (plan.kernel == AggKernel::kDenseArray) {
+    const uint64_t range = plan.dense_capacity / kParts;
+    merged.dense = std::make_unique<DenseGroupTable>(
+        range * static_cast<uint64_t>(partition),
+        range * static_cast<uint64_t>(partition + 1));
+  } else {
+    merged.table = std::make_unique<GroupHashTable>(
+        plan.key_width, total_groups / kParts + 16);
+  }
   std::vector<std::pair<uint32_t, uint32_t>> mapping;
   for (ShardAgg& shard : shards) {
     mapping.clear();
-    merged->MergeFrom(*shard.table, QueryExecutor::kMergePartitions, partition,
-                      &mapping);
+    if (merged.dense != nullptr) {
+      merged.dense->MergeFrom(*shard.dense, kParts, partition,
+                              plan.dense_capacity, &mapping);
+    } else {
+      merged.table->MergeFrom(*shard.table, kParts, partition, &mapping);
+    }
     for (const auto& [src, dst] : mapping) {
-      state->Touch(dst, shard.state->rep_row(src));
-      state->MergeGroup(dst, *shard.state, src);
+      merged.state->Touch(dst, shard.state->rep_row(src));
+      merged.state->MergeGroup(dst, *shard.state, src);
     }
   }
-  *out_state = std::move(state);
-  *out_table = std::move(merged);
+  *out = std::move(merged);
+}
+
+/// Charges one hash aggregation's kernel-dependent work: per-kernel row
+/// counters and AggCpuPerRow.
+void ChargeKernel(WorkCounters* wc, AggKernel kernel, size_t rows,
+                  size_t groups) {
+  switch (kernel) {
+    case AggKernel::kDenseArray:
+      wc->dense_kernel_rows += rows;
+      break;
+    case AggKernel::kPackedKey:
+      wc->packed_kernel_rows += rows;
+      break;
+    case AggKernel::kMultiWord:
+      wc->multiword_kernel_rows += rows;
+      break;
+  }
+  wc->agg_cpu_units +=
+      static_cast<double>(rows) * AggCpuPerRow(kernel, static_cast<double>(groups));
 }
 
 }  // namespace
@@ -443,61 +544,57 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
 
   switch (strategy) {
     case AggStrategy::kHash: {
+      const AggKernelPlan kplan = PlanAggKernel(
+          input, query.grouping,
+          forced_kernel_.value_or(AggKernel::kDenseArray));
       const MorselLayout layout(n);
       const bool touch = scan_mode_ == ScanMode::kRowStore;
       std::vector<ShardAgg> shards(static_cast<size_t>(layout.shards));
       std::vector<uint64_t> shard_checksums(static_cast<size_t>(layout.shards), 0);
       RunTasks(layout.shards, parallelism_, [&](int s) {
-        ShardAgg& shard = shards[static_cast<size_t>(s)];
-        shard.table = std::make_unique<GroupHashTable>(
-            kw, layout.ShardRows(s) / 8 + 16);
-        shard.state = std::make_unique<AggState>(input, query);
+        ShardBuilder builder(input, query, kplan, layout.ShardRows(s));
         RowToucher shard_toucher(input, touch);
-        std::vector<uint64_t> shard_key(static_cast<size_t>(kw));
-        layout.ForEachShardRow(s, [&](size_t row) {
-          shard_toucher.Touch(row);
-          keys.FillKey(row, shard_key.data());
-          const uint32_t id = shard.table->FindOrInsert(shard_key.data());
-          shard.state->Touch(id, row);
-          shard.state->Update(id, row);
-        });
+        layout.ForEachShardBlock(
+            s, BlockKeyFiller::kBlockRows, [&](size_t begin, size_t count) {
+              for (size_t r = begin; r < begin + count; ++r) {
+                shard_toucher.Touch(r);
+              }
+              builder.Consume(begin, count);
+            });
+        shards[static_cast<size_t>(s)] = builder.Take();
         shard_checksums[static_cast<size_t>(s)] = shard_toucher.checksum();
       });
 
       uint64_t probes = 0;
       size_t groups = 0;
-      for (const ShardAgg& shard : shards) probes += shard.table->probes();
+      for (const ShardAgg& shard : shards) probes += shard.probes();
       for (uint64_t c : shard_checksums) wc.scan_touch_checksum ^= c;
 
       if (layout.shards <= 1) {
         // Single-shard fast path: the shard already holds the final groups
         // in first-occurrence order — identical to serial aggregation.
         if (!shards.empty()) {
-          groups = shards[0].table->size();
+          groups = shards[0].groups();
           owned_parts.push_back(std::move(shards[0].state));
         }
       } else {
         size_t total_groups = 0;
-        for (const ShardAgg& shard : shards) total_groups += shard.table->size();
-        std::vector<std::unique_ptr<AggState>> merged(kMergePartitions);
-        std::vector<std::unique_ptr<GroupHashTable>> merged_tables(
-            kMergePartitions);
+        for (const ShardAgg& shard : shards) total_groups += shard.groups();
+        std::vector<ShardAgg> merged(kMergePartitions);
         RunTasks(kMergePartitions, parallelism_, [&](int p) {
-          MergePartition(input, query, shards, total_groups, p,
-                         &merged[static_cast<size_t>(p)],
-                         &merged_tables[static_cast<size_t>(p)]);
+          MergePartition(input, query, kplan, shards, total_groups, p,
+                         &merged[static_cast<size_t>(p)]);
         });
-        for (const auto& t : merged_tables) {
-          probes += t->probes();
-          groups += t->size();
+        for (ShardAgg& part : merged) {
+          probes += part.probes();
+          groups += part.groups();
+          owned_parts.push_back(std::move(part.state));
         }
-        owned_parts = std::move(merged);
       }
       for (const auto& part : owned_parts) parts.push_back(part.get());
 
       wc.hash_probes += probes;
-      wc.agg_cpu_units += static_cast<double>(n) *
-                          HashAggCpuPerRow(static_cast<double>(groups));
+      ChargeKernel(&wc, kplan.kernel, n, groups);
       break;
     }
     case AggStrategy::kSort: {
@@ -566,12 +663,12 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
     return Status::InvalidArgument("queries/output_names size mismatch");
   }
   const size_t nq = queries.size();
-  std::vector<KeyBuilder> keybuilders;
-  int max_width = 1;
+  std::vector<AggKernelPlan> kplans;
+  kplans.reserve(nq);
   for (const GroupByQuery& q : queries) {
     GBMQO_RETURN_NOT_OK(AggState(input, q).Validate());
-    keybuilders.emplace_back(input, q.grouping);
-    max_width = std::max(max_width, keybuilders.back().width());
+    kplans.push_back(PlanAggKernel(
+        input, q.grouping, forced_kernel_.value_or(AggKernel::kDenseArray)));
   }
   const size_t n = input.num_rows();
   const MorselLayout layout(n);
@@ -591,25 +688,27 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
       static_cast<size_t>(layout.shards));
   std::vector<uint64_t> shard_checksums(static_cast<size_t>(layout.shards), 0);
   RunTasks(layout.shards, parallelism_, [&](int s) {
-    std::vector<ShardAgg>& aggs = shard_aggs[static_cast<size_t>(s)];
-    aggs.resize(nq);
     const size_t shard_rows = layout.ShardRows(s);
+    std::vector<ShardBuilder> builders;
+    builders.reserve(nq);
     for (size_t qi = 0; qi < nq; ++qi) {
-      aggs[qi].table = std::make_unique<GroupHashTable>(
-          keybuilders[qi].width(), shard_rows / 8 + 16);
-      aggs[qi].state = std::make_unique<AggState>(input, queries[qi]);
+      builders.emplace_back(input, queries[qi], kplans[qi], shard_rows);
     }
     RowToucher shard_toucher(input, touch);
-    std::vector<uint64_t> shard_key(static_cast<size_t>(max_width));
-    layout.ForEachShardRow(s, [&](size_t row) {
-      shard_toucher.Touch(row);
-      for (size_t qi = 0; qi < nq; ++qi) {
-        keybuilders[qi].FillKey(row, shard_key.data());
-        const uint32_t id = aggs[qi].table->FindOrInsert(shard_key.data());
-        aggs[qi].state->Touch(id, row);
-        aggs[qi].state->Update(id, row);
-      }
-    });
+    layout.ForEachShardBlock(
+        s, BlockKeyFiller::kBlockRows, [&](size_t begin, size_t count) {
+          // One full-width touch per row (the shared scan), then every
+          // query consumes the same block.
+          for (size_t r = begin; r < begin + count; ++r) {
+            shard_toucher.Touch(r);
+          }
+          for (size_t qi = 0; qi < nq; ++qi) {
+            builders[qi].Consume(begin, count);
+          }
+        });
+    std::vector<ShardAgg>& aggs = shard_aggs[static_cast<size_t>(s)];
+    aggs.reserve(nq);
+    for (ShardBuilder& b : builders) aggs.push_back(b.Take());
     shard_checksums[static_cast<size_t>(s)] = shard_toucher.checksum();
   });
   for (uint64_t c : shard_checksums) wc.scan_touch_checksum ^= c;
@@ -621,7 +720,7 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
   std::vector<size_t> query_groups(nq, 0);
   for (size_t qi = 0; qi < nq; ++qi) {
     for (const auto& shard : shard_aggs) {
-      query_probes[qi] += shard[qi].table->probes();
+      query_probes[qi] += shard[qi].probes();
     }
   }
   if (layout.shards <= 1) {
@@ -629,7 +728,7 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
     // groups in first-occurrence order.
     for (size_t qi = 0; qi < nq; ++qi) {
       if (!shard_aggs.empty()) {
-        query_groups[qi] = shard_aggs[0][qi].table->size();
+        query_groups[qi] = shard_aggs[0][qi].groups();
         per_query[qi].push_back(std::move(shard_aggs[0][qi].state));
       }
     }
@@ -639,25 +738,24 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
     std::vector<size_t> totals(nq, 0);
     for (size_t qi = 0; qi < nq; ++qi) {
       for (auto& shard : shard_aggs) {
-        totals[qi] += shard[qi].table->size();
+        totals[qi] += shard[qi].groups();
         by_query[qi].push_back(std::move(shard[qi]));
       }
-      per_query[qi].resize(kMergePartitions);
     }
-    std::vector<std::vector<std::unique_ptr<GroupHashTable>>> merged_tables(nq);
-    for (auto& v : merged_tables) v.resize(kMergePartitions);
+    std::vector<std::vector<ShardAgg>> merged(nq);
+    for (auto& v : merged) v.resize(kMergePartitions);
     const int tasks = static_cast<int>(nq) * kMergePartitions;
     RunTasks(tasks, parallelism_, [&](int t) {
       const size_t qi = static_cast<size_t>(t) / kMergePartitions;
       const int p = t % kMergePartitions;
-      MergePartition(input, queries[qi], by_query[qi], totals[qi], p,
-                     &per_query[qi][static_cast<size_t>(p)],
-                     &merged_tables[qi][static_cast<size_t>(p)]);
+      MergePartition(input, queries[qi], kplans[qi], by_query[qi], totals[qi],
+                     p, &merged[qi][static_cast<size_t>(p)]);
     });
     for (size_t qi = 0; qi < nq; ++qi) {
-      for (const auto& t : merged_tables[qi]) {
-        query_probes[qi] += t->probes();
-        query_groups[qi] += t->size();
+      for (ShardAgg& part : merged[qi]) {
+        query_probes[qi] += part.probes();
+        query_groups[qi] += part.groups();
+        per_query[qi].push_back(std::move(part.state));
       }
     }
   }
@@ -666,9 +764,7 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
   out.reserve(nq);
   for (size_t qi = 0; qi < nq; ++qi) {
     wc.hash_probes += query_probes[qi];
-    wc.agg_cpu_units +=
-        static_cast<double>(n) *
-        HashAggCpuPerRow(static_cast<double>(query_groups[qi]));
+    ChargeKernel(&wc, kplans[qi].kernel, n, query_groups[qi]);
     wc.rows_emitted += query_groups[qi];
     std::vector<const AggState*> parts;
     for (const auto& part : per_query[qi]) parts.push_back(part.get());

@@ -5,6 +5,7 @@
 #ifndef GBMQO_EXEC_QUERY_EXECUTOR_H_
 #define GBMQO_EXEC_QUERY_EXECUTOR_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,13 +53,18 @@ enum class ScanMode {
 /// Hash aggregation (single-query and shared-scan) is morsel-driven: the
 /// input is split into kMorselRows-row morsels, morsel i belongs to
 /// pre-aggregation shard i mod kBuildShards, and each shard is built into a
-/// thread-local GroupHashTable before a hash-partitioned merge in which each
-/// worker owns a disjoint key range. `parallelism` sets how many worker
-/// threads execute that pipeline. The shard and partition counts are fixed
+/// thread-local group table before a partitioned merge in which each worker
+/// owns a disjoint key range. `parallelism` sets how many worker threads
+/// execute that pipeline. The shard and partition counts are fixed
 /// (independent of `parallelism`), so every WorkCounters field — including
 /// measured hash probes and the scan-touch checksum — is bit-identical for
 /// any thread count. Inputs that fit in a single morsel take a one-shard
 /// fast path that behaves exactly like serial aggregation.
+///
+/// Each hash aggregation runs one of three kernels — dense-array, packed
+/// single-word key, or multi-word key — selected per (input, grouping) from
+/// the input columns' code-domain metadata (see exec/agg_kernel.h). The
+/// choice is a pure function of the input table, never of the thread count.
 class QueryExecutor {
  public:
   /// Rows per scan morsel (the unit of the parallel hash-aggregation scan).
@@ -81,6 +87,15 @@ class QueryExecutor {
     parallelism_ = parallelism < 1 ? 1 : parallelism;
   }
 
+  /// Test/bench knob: starts the kernel fallback ladder at `kernel` instead
+  /// of trying the most specialized kernel first. A forced kernel that is
+  /// ineligible for some input (e.g. dense over a huge domain) falls down
+  /// the ladder as usual, so forcing is always safe. nullopt = automatic.
+  void set_forced_kernel(std::optional<AggKernel> kernel) {
+    forced_kernel_ = kernel;
+  }
+  std::optional<AggKernel> forced_kernel() const { return forced_kernel_; }
+
   /// Runs one group-by and returns the (unregistered) result table named
   /// `output_name`. Grouping columns keep their input names; aggregates use
   /// their `output_name`s.
@@ -99,6 +114,7 @@ class QueryExecutor {
   ExecContext* ctx_;
   ScanMode scan_mode_;
   int parallelism_;
+  std::optional<AggKernel> forced_kernel_;
 };
 
 }  // namespace gbmqo

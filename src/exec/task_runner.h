@@ -1,0 +1,61 @@
+// RunTasks: the engine's minimal fork-join helper, used by the morsel-driven
+// aggregation pipeline (shard builds, partition merges). Tasks are claimed
+// off a shared atomic counter; the calling thread participates.
+//
+// Exception safety: a task that throws (e.g. std::bad_alloc while growing a
+// hash table) must not std::terminate the process from a worker thread. The
+// first exception is captured, remaining tasks are abandoned, workers drain,
+// and the exception is rethrown on the calling thread — so callers see the
+// same behaviour as a serial loop that threw partway through.
+#ifndef GBMQO_EXEC_TASK_RUNNER_H_
+#define GBMQO_EXEC_TASK_RUNNER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gbmqo {
+
+/// Runs `task(i)` for i in [0, num_tasks) on up to `workers` threads (the
+/// calling thread participates). Tasks must not touch shared mutable state.
+/// If any task throws, the first captured exception is rethrown here after
+/// all workers have been joined; tasks not yet claimed are skipped.
+inline void RunTasks(int num_tasks, int workers,
+                     const std::function<void(int)>& task) {
+  workers = std::min(workers, num_tasks);
+  if (workers <= 1) {
+    for (int i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto loop = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const int i = next.fetch_add(1);
+      if (i >= num_tasks) break;
+      try {
+        task(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) threads.emplace_back(loop);
+  loop();
+  for (std::thread& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_EXEC_TASK_RUNNER_H_

@@ -13,31 +13,52 @@ void Column::AppendNotNull() {
   ++rows_;
 }
 
+void Column::NoteCode(uint64_t code) {
+  if (!has_code_range_) {
+    code_min_ = code_max_ = code;
+    has_code_range_ = true;
+    return;
+  }
+  if (type_ == DataType::kInt64) {
+    // Signed order: INT64_MIN's bit pattern must compare below INT64_MAX's.
+    const int64_t s = static_cast<int64_t>(code);
+    if (s < static_cast<int64_t>(code_min_)) code_min_ = code;
+    if (s > static_cast<int64_t>(code_max_)) code_max_ = code;
+  } else {
+    if (code < code_min_) code_min_ = code;
+    if (code > code_max_) code_max_ = code;
+  }
+}
+
+uint32_t Column::InternString(std::string_view v) {
+  auto it = intern_.find(std::string(v));
+  if (it != intern_.end()) return it->second;
+  const uint32_t code = static_cast<uint32_t>(dictionary_.size());
+  dictionary_.emplace_back(v);
+  intern_.emplace(dictionary_.back(), code);
+  return code;
+}
+
 void Column::AppendInt64(int64_t v) {
   assert(type_ == DataType::kInt64);
   int64_data_.push_back(v);
+  NoteCode(static_cast<uint64_t>(v));
   AppendNotNull();
 }
 
 void Column::AppendDouble(double v) {
   assert(type_ == DataType::kDouble);
   double_data_.push_back(v);
+  NoteCode(std::bit_cast<uint64_t>(v));
   AppendNotNull();
 }
 
 void Column::AppendString(std::string_view v) {
   assert(type_ == DataType::kString);
-  auto it = intern_.find(std::string(v));
-  uint32_t code;
-  if (it == intern_.end()) {
-    code = static_cast<uint32_t>(dictionary_.size());
-    dictionary_.emplace_back(v);
-    intern_.emplace(dictionary_.back(), code);
-  } else {
-    code = it->second;
-  }
+  const uint32_t code = InternString(v);
   string_codes_.push_back(code);
   string_bytes_ += v.size();
+  NoteCode(code);
   AppendNotNull();
 }
 
@@ -59,21 +80,13 @@ void Column::AppendNull() {
     case DataType::kDouble:
       double_data_.push_back(0.0);
       break;
-    case DataType::kString: {
+    case DataType::kString:
       // Intern the empty string as the NULL placeholder; the null bitmap is
       // what distinguishes NULL from an actual empty string at read time.
-      auto it = intern_.find("");
-      uint32_t code;
-      if (it == intern_.end()) {
-        code = static_cast<uint32_t>(dictionary_.size());
-        dictionary_.emplace_back("");
-        intern_.emplace("", code);
-      } else {
-        code = it->second;
-      }
-      string_codes_.push_back(code);
+      // The placeholder is excluded from the code range (NoteCode is not
+      // called) so an all-NULL column keeps CodeBits() == 0.
+      string_codes_.push_back(InternString(""));
       break;
-    }
   }
   ++rows_;
 }
@@ -140,6 +153,27 @@ void Column::Reserve(size_t n) {
       string_codes_.reserve(n);
       break;
   }
+  if (!null_bitmap_.empty()) null_bitmap_.reserve(((rows_ + n) >> 6) + 1);
+}
+
+void Column::CodeBlock(size_t begin, size_t count, uint64_t* out) const {
+  switch (type_) {
+    case DataType::kInt64:
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = static_cast<uint64_t>(int64_data_[begin + i]);
+      }
+      break;
+    case DataType::kDouble:
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = std::bit_cast<uint64_t>(double_data_[begin + i]);
+      }
+      break;
+    case DataType::kString:
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = string_codes_[begin + i];
+      }
+      break;
+  }
 }
 
 Value Column::ValueAt(size_t row) const {
@@ -176,9 +210,16 @@ size_t Column::ByteSize() const {
 
 double Column::AvgWidthBytes() const {
   if (rows_ == 0) {
+    // Nothing stored to average over (ByteSize()/rows_ would divide by
+    // zero): report the type's nominal width. 16 bytes for strings matches
+    // the generators' typical interned length.
     return type_ == DataType::kString ? 16.0
                                       : static_cast<double>(FixedWidthBytes(type_));
   }
+  // Includes the per-row storage of NULL rows (placeholder slots + bitmap),
+  // so an all-NULL string column is ~4.x bytes/row (codes + bitmap, no
+  // payload) rather than 0 — the dictionary payload is never double-counted
+  // because ByteSize() charges it per occurrence, not per dictionary entry.
   const double w = static_cast<double>(ByteSize()) / static_cast<double>(rows_);
   return w < 1.0 ? 1.0 : w;
 }

@@ -89,19 +89,69 @@ class Column {
   const std::string& DictEntry(uint64_t code) const { return dictionary_[code]; }
   size_t dict_size() const { return dictionary_.size(); }
 
+  // ---- Code-domain metadata (aggregation kernel selection) ----
+  //
+  // Appends maintain the min/max group code over non-NULL rows, so the
+  // executor can compute an exact per-column code bit-width and pick a
+  // packed or dense aggregation kernel (see exec/agg_kernel.h). The
+  // min/max are raw 64-bit codes compared in type order: signed for INT64
+  // (bit patterns of INT64_MIN and INT64_MAX bracket correctly), unsigned
+  // for DOUBLE bit patterns and dictionary codes.
+
+  /// True once at least one non-NULL value has been appended. While false,
+  /// CodeRangeMin()/CodeRange() are 0 and CodeBits() is 0 (an empty or
+  /// all-NULL column contributes no value bits to a packed key).
+  bool HasCodeRange() const { return has_code_range_; }
+
+  /// Smallest group code among non-NULL rows — the offset the packed and
+  /// dense kernels subtract before packing. For INT64 this is the bit
+  /// pattern of the signed minimum, so CodeAt(row) - CodeRangeMin() in
+  /// wrapping uint64 arithmetic always lands in [0, CodeRange()].
+  uint64_t CodeRangeMin() const { return code_min_; }
+
+  /// Largest offset code: max code - min code in wrapping uint64
+  /// arithmetic. 0 when the column is empty, all-NULL, or single-valued.
+  uint64_t CodeRange() const { return code_max_ - code_min_; }
+
+  /// Exact bits needed to represent CodeAt(row) - CodeRangeMin() for every
+  /// non-NULL row: 0 (no bits needed) through 64 (full-range INT64).
+  int CodeBits() const {
+    const uint64_t range = CodeRange();
+    return range == 0 ? 0 : std::bit_width(range);
+  }
+
+  /// Writes CodeAt(row) for rows [begin, begin+count) into out[0..count),
+  /// with one type dispatch for the whole block instead of one per row.
+  /// NULL rows yield their placeholder code; callers mask them via IsNull.
+  void CodeBlock(size_t begin, size_t count, uint64_t* out) const;
+
   /// Approximate in-memory footprint of the column data in bytes, used for
   /// temp-table storage accounting and the optimizer's row-width estimates.
+  /// Counts the null bitmap, the typed value array (placeholders included,
+  /// so all-NULL columns still have a width), and for STRING columns the
+  /// 4-byte dictionary codes plus the referenced payload bytes counted once
+  /// per row *occurrence* — modelling the row-store width a DBMS temp table
+  /// would have, not this engine's dictionary-compressed footprint.
   size_t ByteSize() const;
 
-  /// Average bytes per row (>=1); strings use their average interned length.
+  /// Average bytes per row: ByteSize() / size(), clamped to >= 1. Empty
+  /// columns (size() == 0 — nothing to divide by) report the type's nominal
+  /// width instead: FixedWidthBytes for numerics, 16 bytes for strings.
   double AvgWidthBytes() const;
 
  private:
   void AppendNotNull();
+  void NoteCode(uint64_t code);
+  uint32_t InternString(std::string_view v);
 
   DataType type_;
   size_t rows_ = 0;
   size_t null_count_ = 0;
+
+  // Min/max group code over non-NULL rows (see HasCodeRange()).
+  bool has_code_range_ = false;
+  uint64_t code_min_ = 0;
+  uint64_t code_max_ = 0;
 
   std::vector<int64_t> int64_data_;
   std::vector<double> double_data_;

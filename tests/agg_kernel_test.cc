@@ -1,0 +1,314 @@
+// Aggregation-kernel selection and cross-kernel equivalence tests.
+//
+// PlanAggKernel's ladder (dense -> packed -> multi-word) is exercised
+// directly on hand-built code domains, including the boundaries: domains
+// exactly filling 64 packed bits, domains one NULL bit past 64, and
+// dictionary codes straddling a bit-width step. The executor-level tests
+// force each kernel through QueryExecutor::set_forced_kernel and require
+// row-identical results and thread-count-identical counters.
+#include "exec/agg_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/query_executor.h"
+
+namespace gbmqo {
+namespace {
+
+constexpr AggKernel kAllKernels[] = {AggKernel::kDenseArray,
+                                     AggKernel::kPackedKey,
+                                     AggKernel::kMultiWord};
+
+/// One-int64-column table holding exactly `vals` (nullable so tests can mix
+/// in NULL rows via Value(Null{})).
+TablePtr IntTable(const std::vector<Value>& vals) {
+  TableBuilder b(Schema({{"g", DataType::kInt64, true}}));
+  for (const Value& v : vals) EXPECT_TRUE(b.AppendRow({v}).ok());
+  return *b.Build("t");
+}
+
+/// Order-independent canonical form of a result table: every row rendered
+/// through Value::ToString, sorted.
+std::vector<std::string> Canon(const Table& t) {
+  std::vector<std::string> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::string s;
+    for (int c = 0; c < t.schema().num_columns(); ++c) {
+      s += t.column(c).ValueAt(r).ToString();
+      s += "|";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Runs `query` with the given forced kernel and returns (canonical rows,
+/// counters). `parallelism` defaults to 1.
+struct ForcedRun {
+  std::vector<std::string> rows;
+  WorkCounters counters;
+};
+ForcedRun RunForced(const Table& t, const GroupByQuery& q, AggKernel kernel,
+                    int parallelism = 1) {
+  ExecContext ctx;
+  QueryExecutor exec(&ctx, ScanMode::kColumnar, parallelism);
+  exec.set_forced_kernel(kernel);
+  auto r = exec.ExecuteGroupBy(t, q, "out", AggStrategy::kHash);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  ForcedRun out;
+  if (r.ok()) out.rows = Canon(**r);
+  out.counters = ctx.counters();
+  return out;
+}
+
+TEST(PlanAggKernelTest, SmallDomainPicksDense) {
+  TableBuilder b(Schema({{"g", DataType::kInt64, false}}));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(b.AppendRow({Value(static_cast<int64_t>(i % 100))}).ok());
+  }
+  TablePtr t = *b.Build("t");
+  const AggKernelPlan plan = PlanAggKernel(*t, ColumnSet{0});
+  EXPECT_EQ(plan.kernel, AggKernel::kDenseArray);
+  ASSERT_EQ(plan.cols.size(), 1u);
+  EXPECT_EQ(plan.cols[0].radix, 100u);  // range 99 + 1, no NULL slot
+  // Capacity is the power-of-two padding of the slot product, floored at 64
+  // so the 16-way merge partitioning always has whole slots per partition.
+  EXPECT_EQ(plan.dense_capacity, 128u);
+}
+
+TEST(PlanAggKernelTest, WideDomainFallsToPacked) {
+  TablePtr t = IntTable({Value(int64_t{0}), Value(int64_t{1} << 30)});
+  const AggKernelPlan plan = PlanAggKernel(*t, ColumnSet{0});
+  EXPECT_EQ(plan.kernel, AggKernel::kPackedKey);
+  // NULL bits are allocated for columns that *contain* NULLs, not for every
+  // schema-nullable column — this one has none.
+  EXPECT_EQ(plan.total_bits, 31);
+  EXPECT_EQ(plan.key_width, 1);
+
+  TablePtr tn = IntTable(
+      {Value(int64_t{0}), Value(int64_t{1} << 30), Value(Null{})});
+  const AggKernelPlan plan_n = PlanAggKernel(*tn, ColumnSet{0});
+  EXPECT_EQ(plan_n.kernel, AggKernel::kPackedKey);
+  EXPECT_EQ(plan_n.total_bits, 31 + 1);  // 31 value bits + 1 NULL bit
+}
+
+TEST(PlanAggKernelTest, SixtyFourValueBitsStillPack) {
+  // Two non-nullable columns of exactly 32 code bits each: 64 bits total,
+  // the last packable width.
+  TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                         {"b", DataType::kInt64, false}}));
+  const int64_t top = (int64_t{1} << 32) - 1;  // range 2^32-1 -> 32 bits
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{0}), Value(int64_t{0})}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(top), Value(top)}).ok());
+  TablePtr t = *b.Build("t");
+  const AggKernelPlan plan = PlanAggKernel(*t, ColumnSet{0, 1});
+  EXPECT_EQ(plan.kernel, AggKernel::kPackedKey);
+  EXPECT_EQ(plan.total_bits, 64);
+}
+
+TEST(PlanAggKernelTest, OneNullBitPastSixtyFourFallsToMultiWord) {
+  // Same 32+32 value bits, but one column is nullable: its NULL flag is the
+  // 65th bit, so the domain just overflows a single word.
+  TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                         {"b", DataType::kInt64, true}}));
+  const int64_t top = (int64_t{1} << 32) - 1;
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{0}), Value(int64_t{0})}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(top), Value(top)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(top), Value(Null{})}).ok());
+  TablePtr t = *b.Build("t");
+  const AggKernelPlan plan = PlanAggKernel(*t, ColumnSet{0, 1});
+  EXPECT_EQ(plan.kernel, AggKernel::kMultiWord);
+  EXPECT_TRUE(plan.track_nulls);
+  EXPECT_EQ(plan.key_width, 3);  // 2 code words + null-mask word
+
+  // The executor really runs it multi-word even when dense is preferred.
+  GroupByQuery q{ColumnSet{0, 1}, {AggregateSpec::CountStar()}};
+  const ForcedRun run = RunForced(*t, q, AggKernel::kDenseArray);
+  EXPECT_EQ(run.counters.multiword_kernel_rows, 3u);
+  EXPECT_EQ(run.counters.dense_kernel_rows, 0u);
+  EXPECT_EQ(run.rows.size(), 3u);
+}
+
+TEST(PlanAggKernelTest, ForcedKernelStartsLadderLower) {
+  TablePtr t = IntTable({Value(int64_t{1}), Value(int64_t{2})});
+  EXPECT_EQ(PlanAggKernel(*t, ColumnSet{0}).kernel, AggKernel::kDenseArray);
+  EXPECT_EQ(PlanAggKernel(*t, ColumnSet{0}, AggKernel::kPackedKey).kernel,
+            AggKernel::kPackedKey);
+  EXPECT_EQ(PlanAggKernel(*t, ColumnSet{0}, AggKernel::kMultiWord).kernel,
+            AggKernel::kMultiWord);
+}
+
+TEST(PlanAggKernelTest, FourSixteenBitColumnsPackNotDense) {
+  // Each column's radix (2^16) is under the dense budget but the product
+  // is far over it; the 64 summed bits still fit one packed word.
+  TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                         {"b", DataType::kInt64, false},
+                         {"c", DataType::kInt64, false},
+                         {"d", DataType::kInt64, false}}));
+  const int64_t top = 0xFFFF;
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{0}), Value(int64_t{0}),
+                           Value(int64_t{0}), Value(int64_t{0})})
+                  .ok());
+  ASSERT_TRUE(b.AppendRow({Value(top), Value(top), Value(top), Value(top)}).ok());
+  TablePtr t = *b.Build("t");
+  const AggKernelPlan plan = PlanAggKernel(*t, ColumnSet{0, 1, 2, 3});
+  EXPECT_EQ(plan.kernel, AggKernel::kPackedKey);
+  EXPECT_EQ(plan.total_bits, 64);
+}
+
+TEST(AggKernelNullTest, NullIsNotZeroAndNotMin) {
+  // NULL must fold into its own group under every kernel: distinct from the
+  // placeholder value 0 and from the domain minimum (offset code 0).
+  TablePtr t = IntTable({Value(int64_t{5}), Value(int64_t{5}), Value(Null{}),
+                         Value(int64_t{0}), Value(Null{})});
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar("cnt")}};
+  for (AggKernel k : kAllKernels) {
+    SCOPED_TRACE(AggKernelName(k));
+    const ForcedRun run = RunForced(*t, q, k);
+    EXPECT_EQ(run.rows.size(), 3u);  // groups: 5, 0, NULL
+  }
+}
+
+TEST(AggKernelNullTest, NullStringDistinctFromEmptyString) {
+  // The NULL placeholder interns "" — the kernels must still keep a real
+  // empty string and NULL in separate groups via the NULL bit/slot.
+  TableBuilder b(Schema({{"s", DataType::kString, true}}));
+  ASSERT_TRUE(b.AppendRow({Value("")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(Null{})}).ok());
+  ASSERT_TRUE(b.AppendRow({Value("a")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value("")}).ok());
+  TablePtr t = *b.Build("t");
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar("cnt")}};
+  std::vector<std::string> reference;
+  for (AggKernel k : kAllKernels) {
+    SCOPED_TRACE(AggKernelName(k));
+    const ForcedRun run = RunForced(*t, q, k);
+    EXPECT_EQ(run.rows.size(), 3u);  // groups: "", NULL, "a"
+    if (reference.empty()) {
+      reference = run.rows;
+    } else {
+      EXPECT_EQ(run.rows, reference);
+    }
+  }
+}
+
+TEST(AggKernelDictTest, DictCodesAtBitWidthBoundary) {
+  // 257 distinct strings: codes 0..256, one past the 8-bit boundary, so the
+  // packed field must be 9 bits wide and the two extreme codes must not
+  // alias. Every kernel has to report exactly 257 groups.
+  TableBuilder b(Schema({{"s", DataType::kString, false}}));
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 257; ++i) {
+      ASSERT_TRUE(b.AppendRow({Value("k" + std::to_string(i))}).ok());
+    }
+  }
+  TablePtr t = *b.Build("t");
+  const AggKernelPlan plan = PlanAggKernel(*t, ColumnSet{0},
+                                           AggKernel::kPackedKey);
+  EXPECT_EQ(plan.kernel, AggKernel::kPackedKey);
+  EXPECT_EQ(plan.total_bits, 9);
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar("cnt")}};
+  for (AggKernel k : kAllKernels) {
+    SCOPED_TRACE(AggKernelName(k));
+    EXPECT_EQ(RunForced(*t, q, k).rows.size(), 257u);
+  }
+}
+
+TablePtr MixedTable(int rows, uint64_t seed) {
+  TableBuilder b(Schema({{"g1", DataType::kInt64, true},
+                         {"g2", DataType::kString, true},
+                         {"v", DataType::kDouble, false},
+                         {"w", DataType::kInt64, false}}));
+  Rng rng(seed);
+  const char* names[] = {"red", "green", "blue", ""};
+  for (int i = 0; i < rows; ++i) {
+    Value g1 = rng.Bernoulli(0.1)
+                   ? Value(Null{})
+                   : Value(static_cast<int64_t>(rng.Uniform(40)));
+    Value g2 = rng.Bernoulli(0.1) ? Value(Null{}) : Value(names[rng.Uniform(4)]);
+    EXPECT_TRUE(b.AppendRow({g1, g2,
+                             Value(static_cast<double>(rng.Uniform(64)) / 4.0),
+                             Value(static_cast<int64_t>(rng.Uniform(1000)))})
+                    .ok());
+  }
+  return *b.Build("mixed");
+}
+
+TEST(AggKernelEquivalenceTest, AllKernelsProduceIdenticalResults) {
+  TablePtr t = MixedTable(5000, 77);
+  const std::vector<GroupByQuery> queries = {
+      {ColumnSet{0}, {AggregateSpec::CountStar("cnt")}},
+      {ColumnSet{0, 1},
+       {AggregateSpec::CountStar("cnt"), AggregateSpec::Sum(3, "s"),
+        AggregateSpec::Min(2, "mn"), AggregateSpec::Max(2, "mx")}},
+      {ColumnSet{1, 2}, {AggregateSpec::CountStar("cnt")}},
+  };
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    SCOPED_TRACE("query " + std::to_string(qi));
+    std::vector<std::string> reference;
+    for (AggKernel k : kAllKernels) {
+      SCOPED_TRACE(AggKernelName(k));
+      const ForcedRun run = RunForced(*t, queries[qi], k);
+      if (reference.empty()) {
+        reference = run.rows;
+        ASSERT_FALSE(reference.empty());
+      } else {
+        EXPECT_EQ(run.rows, reference);
+      }
+    }
+  }
+}
+
+TEST(AggKernelEquivalenceTest, ForcedKernelChargesItsOwnCounter) {
+  TablePtr t = MixedTable(2000, 5);
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::CountStar()}};
+  const ForcedRun dense = RunForced(*t, q, AggKernel::kDenseArray);
+  EXPECT_EQ(dense.counters.dense_kernel_rows, 2000u);
+  EXPECT_EQ(dense.counters.hash_probes, 0u);  // dense: no hashing at all
+  const ForcedRun packed = RunForced(*t, q, AggKernel::kPackedKey);
+  EXPECT_EQ(packed.counters.packed_kernel_rows, 2000u);
+  EXPECT_GT(packed.counters.hash_probes, 0u);
+  const ForcedRun multi = RunForced(*t, q, AggKernel::kMultiWord);
+  EXPECT_EQ(multi.counters.multiword_kernel_rows, 2000u);
+  EXPECT_GT(multi.counters.hash_probes, 0u);
+  // Same results regardless of kernel.
+  EXPECT_EQ(dense.rows, packed.rows);
+  EXPECT_EQ(dense.rows, multi.rows);
+}
+
+void ExpectIdenticalAcrossThreads(const Table& t, const GroupByQuery& q,
+                                  AggKernel kernel) {
+  SCOPED_TRACE(AggKernelName(kernel));
+  const ForcedRun serial = RunForced(t, q, kernel, /*parallelism=*/1);
+  const ForcedRun parallel = RunForced(t, q, kernel, /*parallelism=*/4);
+  EXPECT_EQ(serial.rows, parallel.rows);
+  EXPECT_EQ(serial.counters.hash_probes, parallel.counters.hash_probes);
+  EXPECT_EQ(serial.counters.agg_cpu_units, parallel.counters.agg_cpu_units);
+  EXPECT_EQ(serial.counters.rows_emitted, parallel.counters.rows_emitted);
+  EXPECT_EQ(serial.counters.dense_kernel_rows,
+            parallel.counters.dense_kernel_rows);
+  EXPECT_EQ(serial.counters.packed_kernel_rows,
+            parallel.counters.packed_kernel_rows);
+  EXPECT_EQ(serial.counters.multiword_kernel_rows,
+            parallel.counters.multiword_kernel_rows);
+}
+
+TEST(AggKernelParallelTest, MultiMorselCountersThreadCountInvariant) {
+  // 100k rows: two morsels, so parallel runs take the real multi-shard
+  // build + partitioned-merge path in every kernel.
+  TablePtr t = MixedTable(100000, 9);
+  GroupByQuery q{ColumnSet{0, 1},
+                 {AggregateSpec::CountStar("cnt"), AggregateSpec::Sum(3, "s")}};
+  for (AggKernel k : kAllKernels) ExpectIdenticalAcrossThreads(*t, q, k);
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+#include <vector>
+
 namespace gbmqo {
 namespace {
 
@@ -132,6 +136,123 @@ TEST(ColumnTest, NumericAt) {
   Column dcol(DataType::kDouble);
   dcol.AppendDouble(2.5);
   EXPECT_DOUBLE_EQ(dcol.NumericAt(0), 2.5);
+}
+
+// ---- Byte accounting edge cases (pinned: the optimizer's row-width
+// estimates and temp-table accounting depend on these exact numbers) ----
+
+TEST(ColumnWidthTest, EmptyColumnsReportNominalWidth) {
+  // size() == 0: nothing to average, so AvgWidthBytes falls back to the
+  // type's nominal width instead of dividing by zero.
+  Column icol(DataType::kInt64);
+  EXPECT_EQ(icol.ByteSize(), 0u);
+  EXPECT_DOUBLE_EQ(icol.AvgWidthBytes(), 8.0);
+  Column dcol(DataType::kDouble);
+  EXPECT_DOUBLE_EQ(dcol.AvgWidthBytes(), 8.0);
+  Column scol(DataType::kString);
+  EXPECT_EQ(scol.ByteSize(), 0u);
+  EXPECT_DOUBLE_EQ(scol.AvgWidthBytes(), 16.0);
+}
+
+TEST(ColumnWidthTest, AllNullStringColumnChargesCodesAndBitmap) {
+  // 100 NULLs: per-row storage is the 4-byte placeholder code plus the null
+  // bitmap (two 64-bit words), and no string payload — so the width is a
+  // small positive number, not 0 and not the 16-byte nominal width.
+  Column col(DataType::kString);
+  for (int i = 0; i < 100; ++i) col.AppendNull();
+  EXPECT_EQ(col.ByteSize(), 100 * 4 + 2 * 8u);
+  EXPECT_DOUBLE_EQ(col.AvgWidthBytes(), 4.16);
+  EXPECT_EQ(col.null_count(), 100u);
+}
+
+TEST(ColumnWidthTest, StringPayloadChargedPerOccurrenceNotPerDictEntry) {
+  // The same 8-byte string appended 100 times interns once but must be
+  // charged per row occurrence (row-store width model) — and never double-
+  // counted through the dictionary.
+  Column col(DataType::kString);
+  for (int i = 0; i < 100; ++i) col.AppendString("abcdefgh");
+  EXPECT_EQ(col.dict_size(), 1u);
+  EXPECT_EQ(col.ByteSize(), 100 * 4 + 100 * 8u);
+  EXPECT_DOUBLE_EQ(col.AvgWidthBytes(), 12.0);
+}
+
+// ---- Code-domain metadata (aggregation kernel selection) ----
+
+TEST(ColumnCodeRangeTest, EmptyAndAllNullColumnsHaveNoRange) {
+  Column empty(DataType::kInt64);
+  EXPECT_FALSE(empty.HasCodeRange());
+  EXPECT_EQ(empty.CodeRange(), 0u);
+  EXPECT_EQ(empty.CodeBits(), 0);
+  Column nulls(DataType::kInt64);
+  nulls.AppendNull();
+  nulls.AppendNull();
+  EXPECT_FALSE(nulls.HasCodeRange());
+  EXPECT_EQ(nulls.CodeBits(), 0);
+}
+
+TEST(ColumnCodeRangeTest, SingleValueColumnNeedsZeroBits) {
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 10; ++i) col.AppendInt64(42);
+  EXPECT_TRUE(col.HasCodeRange());
+  EXPECT_EQ(col.CodeRange(), 0u);
+  EXPECT_EQ(col.CodeBits(), 0);
+}
+
+TEST(ColumnCodeRangeTest, SignedInt64RangeBracketsNegatives) {
+  // min/max compare as signed for INT64, so -3 (huge unsigned bit pattern)
+  // is the minimum and every offset code lands in [0, range].
+  Column col(DataType::kInt64);
+  col.AppendInt64(5);
+  col.AppendInt64(-3);
+  col.AppendInt64(10);
+  EXPECT_EQ(col.CodeRangeMin(), static_cast<uint64_t>(int64_t{-3}));
+  EXPECT_EQ(col.CodeRange(), 13u);
+  EXPECT_EQ(col.CodeBits(), 4);
+  for (size_t r = 0; r < col.size(); ++r) {
+    EXPECT_LE(col.CodeAt(r) - col.CodeRangeMin(), col.CodeRange()) << r;
+  }
+}
+
+TEST(ColumnCodeRangeTest, FullInt64DomainNeedsSixtyFourBits) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(std::numeric_limits<int64_t>::min());
+  col.AppendInt64(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(col.CodeRange(), ~uint64_t{0});
+  EXPECT_EQ(col.CodeBits(), 64);
+}
+
+TEST(ColumnCodeRangeTest, NullPlaceholderExcludedFromStringRange) {
+  // AppendNull interns "" as dictionary code 0, but the placeholder must
+  // not widen the code range: only real values count.
+  Column col(DataType::kString);
+  col.AppendNull();
+  col.AppendString("a");
+  col.AppendString("b");
+  EXPECT_EQ(col.dict_size(), 3u);  // "", "a", "b"
+  EXPECT_EQ(col.CodeRangeMin(), 1u);
+  EXPECT_EQ(col.CodeRange(), 1u);
+  EXPECT_EQ(col.CodeBits(), 1);
+}
+
+TEST(ColumnCodeRangeTest, CodeBlockMatchesCodeAt) {
+  Column icol(DataType::kInt64);
+  Column dcol(DataType::kDouble);
+  Column scol(DataType::kString);
+  for (int i = 0; i < 200; ++i) {
+    icol.AppendInt64(i * 37 - 1000);
+    dcol.AppendDouble(static_cast<double>(i) / 8.0);
+    scol.AppendString("s" + std::to_string(i % 13));
+  }
+  icol.AppendNull();
+  for (const Column* col : {&icol, &dcol, &scol}) {
+    const size_t begin = 50;
+    const size_t count = col->size() - begin;
+    std::vector<uint64_t> codes(count);
+    col->CodeBlock(begin, count, codes.data());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(codes[i], col->CodeAt(begin + i)) << i;
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 // identical result tables — and each plan must produce bit-identical
 // results *and WorkCounters* at parallelism 1 and 4 (the morsel engine's
 // fixed shard/partition layout makes counters thread-count independent).
+// Each trial additionally re-runs the optimizer plan with every aggregation
+// kernel forced (dense-array, packed, multi-word — see exec/agg_kernel.h)
+// and requires the same results and per-kernel counter invariance.
 //
 // Aggregates are chosen so exact cross-plan comparison is sound: COUNT(*)
 // and SUM over small-integer columns are exact in double at these row
@@ -12,6 +15,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -145,8 +149,10 @@ struct RunOutcome {
 
 RunOutcome Execute(Dataset* d, const LogicalPlan& plan,
                    const std::vector<GroupByRequest>& requests, ScanMode mode,
-                   int parallelism) {
+                   int parallelism,
+                   std::optional<AggKernel> forced_kernel = std::nullopt) {
   PlanExecutor exec(&d->catalog, d->table->name(), mode, parallelism);
+  exec.set_forced_kernel(forced_kernel);
   auto r = exec.Execute(plan, requests);
   EXPECT_TRUE(r.ok()) << r.status().ToString();
   RunOutcome out;
@@ -174,6 +180,9 @@ void ExpectCountersIdentical(const WorkCounters& a, const WorkCounters& b,
   EXPECT_EQ(a.rows_sorted, b.rows_sorted) << what;
   EXPECT_EQ(a.queries_executed, b.queries_executed) << what;
   EXPECT_EQ(a.agg_cpu_units, b.agg_cpu_units) << what;
+  EXPECT_EQ(a.dense_kernel_rows, b.dense_kernel_rows) << what;
+  EXPECT_EQ(a.packed_kernel_rows, b.packed_kernel_rows) << what;
+  EXPECT_EQ(a.multiword_kernel_rows, b.multiword_kernel_rows) << what;
   EXPECT_EQ(a.scan_touch_checksum, b.scan_touch_checksum) << what;
 }
 
@@ -218,6 +227,24 @@ void RunTrial(Dataset* d, uint64_t seed, ScanMode mode) {
     } else {
       EXPECT_EQ(reference, serial.results) << name << " vs optimizer plan";
     }
+  }
+
+  // Every aggregation kernel, forced end to end through the optimizer plan,
+  // must reproduce the reference results — and each kernel's counters must
+  // themselves be thread-count invariant. (A forced kernel that is
+  // ineligible for some query falls down the ladder, so this also covers
+  // mixed-kernel plans.)
+  for (AggKernel kernel : {AggKernel::kDenseArray, AggKernel::kPackedKey,
+                           AggKernel::kMultiWord}) {
+    const std::string what = std::string("forced ") + AggKernelName(kernel);
+    SCOPED_TRACE(what);
+    const RunOutcome serial =
+        Execute(d, greedy->plan, requests, mode, 1, kernel);
+    const RunOutcome parallel =
+        Execute(d, greedy->plan, requests, mode, 4, kernel);
+    EXPECT_EQ(serial.results, reference);
+    EXPECT_EQ(parallel.results, reference);
+    ExpectCountersIdentical(serial.counters, parallel.counters, what);
   }
 }
 

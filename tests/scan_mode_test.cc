@@ -71,12 +71,14 @@ TEST(AggCpuModelTest, PenaltyGrowsAndSaturates) {
 
 TEST(AggCpuModelTest, HighCardinalityQueryCostsMoreWorkUnits) {
   // Same input rows, different group counts -> different agg_cpu_units.
+  // `hi` draws sparse 64-bit codes so its domain is too wide for the dense
+  // kernel and the cardinality ramp applies; `lo` (4 values) runs dense.
   TableBuilder b(Schema({{"lo", DataType::kInt64, false},
                          {"hi", DataType::kInt64, false}}));
   Rng rng(4);
   for (int i = 0; i < 50000; ++i) {
     ASSERT_TRUE(b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(4))),
-                             Value(static_cast<int64_t>(i))})
+                             Value(static_cast<int64_t>(rng.Next()))})
                     .ok());
   }
   TablePtr t = *b.Build("t");
@@ -91,16 +93,20 @@ TEST(AggCpuModelTest, HighCardinalityQueryCostsMoreWorkUnits) {
 
 TEST(AggCpuModelTest, OptimizerModelMirrorsEngineCharge) {
   // QueryCost must grow with the child's estimated cardinality through the
-  // same HashAggCpuPerRow ramp the engine charges.
+  // same kernel-aware AggCpuPerRow ramp the engine charges. Column 0 (16
+  // ints) predicts the flat dense kernel; column 2's doubles span a code
+  // domain far past the dense budget, so its prediction keeps the
+  // cache-miss ramp (packed kernel: the bit pattern still fits one word).
   TablePtr t = MakeTable(100);
   OptimizerCostModel model(*t);
   NodeDesc u{ColumnSet{0, 1, 2}, 100000, 24, false};
   NodeDesc small{ColumnSet{0}, 10, 16, false};
-  NodeDesc large{ColumnSet{1}, 400000, 16, false};
+  NodeDesc large{ColumnSet{2}, 400000, 16, false};
   const double cheap = model.QueryCost(u, small);
   const double dear = model.QueryCost(u, large);
-  EXPECT_GT(dear, cheap + 0.5 * 100000 *
-                              (HashAggCpuPerRow(400000) - HashAggCpuPerRow(10)));
+  EXPECT_GT(dear,
+            cheap + 0.5 * 100000 *
+                        (PackedAggCpuPerRow(400000) - kDenseArrayAggCpuPerRow));
 }
 
 }  // namespace
