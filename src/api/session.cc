@@ -63,6 +63,11 @@ Result<ExecutionResult> Session::ExecutePlan(
     const LogicalPlan& plan, const std::vector<GroupByRequest>& requests) {
   PlanExecutor executor(&catalog_, base_->name(), options_.scan_mode,
                         options_.parallelism);
+  executor.set_fusion_enabled(options_.shared_scan_fusion);
+  executor.set_node_parallel(options_.node_parallelism);
+  if (options_.max_exec_storage_bytes > 0) {
+    executor.set_storage_budget(options_.max_exec_storage_bytes, whatif_.get());
+  }
   return executor.Execute(plan, requests);
 }
 

@@ -31,6 +31,18 @@ struct SessionOptions {
   /// intra-query morsel parallelism (see PlanExecutor). Results and work
   /// counters are bit-identical for any value.
   int parallelism = 1;
+  /// Fuse eligible sibling Group By nodes into one shared-scan pass (see
+  /// PlanExecutor::set_fusion_enabled). Off by default so scan counters
+  /// reflect one scan per plan edge; results are identical either way.
+  bool shared_scan_fusion = false;
+  /// Run independent plan-DAG tasks concurrently (see
+  /// PlanExecutor::set_node_parallel). On by default; only changes wall
+  /// clock, never results or counters.
+  bool node_parallelism = true;
+  /// Storage-aware admission gate: when > 0, a plan node is not scheduled
+  /// while the estimated live temp-table bytes would exceed this budget
+  /// (see PlanExecutor::set_storage_budget). 0 disables the gate.
+  double max_exec_storage_bytes = 0;
 };
 
 /// Owns everything needed to optimize and execute multi-Group-By workloads

@@ -2,47 +2,43 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <memory>
-#include <thread>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "common/str_util.h"
 #include "common/timer.h"
+#include "core/storage_scheduler.h"
+#include "exec/task_runner.h"
 
 namespace gbmqo {
 
 namespace {
 
-/// Per-execution state: the base schema (for name mapping), the executor,
-/// and accumulated results.
-class Runner {
- public:
-  Runner(Catalog* catalog, TablePtr base, ExecContext* ctx, ScanMode scan_mode,
-         int exec_parallelism, std::optional<AggKernel> forced_kernel)
-      : catalog_(catalog),
-        base_(std::move(base)),
-        exec_(ctx, scan_mode, exec_parallelism),
-        base_schema_(base_->schema()) {
-    exec_.set_forced_kernel(forced_kernel);
-  }
+// ---- shared per-Execute environment ---------------------------------------
 
-  /// Entry point for one sub-plan (PlanExecutor runs one Runner per
-  /// sub-plan; sub-plans share only the immutable base relation).
-  Status RunOne(const PlanNode& sub) { return RunSubPlan(sub, base_); }
+/// Immutable state shared by every task of one Execute call: the base
+/// relation (for name mapping — temp tables keep R's column names) and the
+/// execution knobs forwarded to each task's QueryExecutor.
+struct ExecEnv {
+  Catalog* catalog;
+  TablePtr base;
+  Schema base_schema;
+  ScanMode scan_mode;
+  std::optional<AggKernel> forced_kernel;
 
-  std::map<ColumnSet, TablePtr>& results() { return results_; }
-
- private:
-  // ---- name mapping -------------------------------------------------------
-
-  /// Resolves base-relation grouping columns to ordinals of `input` (temp
-  /// tables keep R's column names).
-  Result<ColumnSet> ResolveGrouping(const Table& input, ColumnSet base_cols) {
+  /// Resolves base-relation grouping columns to ordinals of `input`.
+  Result<ColumnSet> ResolveGrouping(const Table& input,
+                                    ColumnSet base_cols) const {
     ColumnSet out;
     for (int c : base_cols.ToVector()) {
-      const int ord = input.schema().FindColumn(base_schema_.column(c).name);
+      const int ord = input.schema().FindColumn(base_schema.column(c).name);
       if (ord < 0) {
-        return Status::Internal("column '" + base_schema_.column(c).name +
+        return Status::Internal("column '" + base_schema.column(c).name +
                                 "' missing from " + input.name());
       }
       out = out.With(ord);
@@ -55,8 +51,8 @@ class Runner {
   /// column; from an intermediate it re-aggregates the carried column
   /// (COUNT(*) -> SUM(cnt), SUM -> SUM(sum_x), MIN -> MIN(min_x), ...).
   Result<AggregateSpec> ResolveAgg(const Table& input, bool input_is_base,
-                                   const AggRequest& agg) {
-    const std::string out_name = AggOutputName(agg, base_schema_);
+                                   const AggRequest& agg) const {
+    const std::string out_name = AggOutputName(agg, base_schema);
     if (input_is_base) {
       switch (agg.kind) {
         case AggKind::kCountStar:
@@ -88,22 +84,11 @@ class Runner {
     return Status::Internal("unknown aggregate kind");
   }
 
-  // ---- query execution ----------------------------------------------------
-
-  std::string TempNameFor(ColumnSet base_cols) {
-    std::string name = "tmp";
-    for (int c : base_cols.ToVector()) {
-      name += "_" + base_schema_.column(c).name;
-    }
-    return catalog_->NextTempName(name);
-  }
-
-  /// Runs `SELECT cols, aggs FROM input GROUP BY cols` and returns the
-  /// result table named `output`.
-  Result<TablePtr> RunQuery(const Table& input, ColumnSet base_cols,
-                            const std::vector<AggRequest>& aggs,
-                            const std::string& output, AggStrategy strategy) {
-    const bool input_is_base = (&input == base_.get());
+  /// Builds the executor-level query `SELECT cols, aggs GROUP BY cols`
+  /// against `input` (base or intermediate).
+  Result<GroupByQuery> BuildQuery(const Table& input, ColumnSet base_cols,
+                                  const std::vector<AggRequest>& aggs) const {
+    const bool input_is_base = (&input == base.get());
     Result<ColumnSet> grouping = ResolveGrouping(input, base_cols);
     if (!grouping.ok()) return grouping.status();
     GroupByQuery query;
@@ -113,32 +98,34 @@ class Runner {
       if (!spec.ok()) return spec.status();
       query.aggregates.push_back(std::move(spec).ValueOrDie());
     }
-    return exec_.ExecuteGroupBy(input, query, output, strategy);
+    return query;
   }
 
-  /// Computes one plan node from its parent table: registers it as a temp
-  /// table if it is materialized, and records it as a result if required.
-  Result<TablePtr> Materialize(const PlanNode& node, const Table& parent) {
-    if (node.kind != NodeKind::kGroupBy || !node.agg_copies.empty()) {
-      return Status::Internal(
-          "Materialize called on CUBE/ROLLUP/multi-copy node");
+  std::string TempNameFor(ColumnSet base_cols) const {
+    std::string name = "tmp";
+    for (int c : base_cols.ToVector()) {
+      name += "_" + base_schema.column(c).name;
     }
-    const std::string name = node.materialized()
-                                 ? TempNameFor(node.columns)
-                                 : "result" + node.columns.ToString();
-    Result<TablePtr> table =
-        RunQuery(parent, node.columns, node.aggs, name, node.strategy_hint);
-    if (!table.ok()) return table.status();
-    if (node.materialized()) {
-      GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*table));
-    }
-    if (node.required) results_[node.columns] = *table;
-    return table;
+    return catalog->NextTempName(name);
   }
 
-  Status DropIfTemp(const PlanNode& node, const TablePtr& table) {
-    if (node.materialized()) return catalog_->Drop(table->name());
-    return Status::OK();
+  static std::string LeafNameFor(ColumnSet cols) {
+    return "result" + cols.ToString();
+  }
+};
+
+// ---- composite subtrees (CUBE / ROLLUP / multi-copy) ----------------------
+
+/// Sequential fallback executor for one composite subtree: CUBE/ROLLUP
+/// expansion and multi-copy nodes manage their own materializations, so the
+/// DAG runs the whole subtree as one task. Intermediates are
+/// reference-counted and dropped as soon as their last consumer has read
+/// them (plain nested Group By nodes keep the recursive BF/DF sequencing).
+class SubtreeRunner {
+ public:
+  SubtreeRunner(const ExecEnv& env, ExecContext* ctx, int parallelism)
+      : env_(env), ctx_(ctx), exec_(ctx, env.scan_mode, parallelism) {
+    exec_.set_forced_kernel(env.forced_kernel);
   }
 
   Status RunSubPlan(const PlanNode& node, const TablePtr& parent) {
@@ -150,30 +137,89 @@ class Runner {
     return Descend(node, *table);
   }
 
-  /// Section 7.2: materializes one temp table per aggregate copy, serves
-  /// each child from the copy that carries its aggregates, then drops all
-  /// copies.
-  Status RunMultiCopy(const PlanNode& node, const TablePtr& parent) {
-    std::vector<TablePtr> copies;
-    for (const auto& copy_aggs : node.agg_copies) {
-      Result<TablePtr> t = RunQuery(*parent, node.columns, copy_aggs,
-                                    TempNameFor(node.columns),
-                                    node.strategy_hint);
-      if (!t.ok()) return t.status();
-      GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*t));
-      copies.push_back(*t);
+  std::map<ColumnSet, TablePtr>& results() { return results_; }
+
+ private:
+  Result<TablePtr> RunQuery(const Table& input, ColumnSet base_cols,
+                            const std::vector<AggRequest>& aggs,
+                            const std::string& output, AggStrategy strategy) {
+    Result<GroupByQuery> query = env_.BuildQuery(input, base_cols, aggs);
+    if (!query.ok()) return query.status();
+    return exec_.ExecuteGroupBy(input, *query, output, strategy);
+  }
+
+  /// Registers an intermediate with `refs` pending consumers (Release drops
+  /// it after the last one). An intermediate nobody consumes is registered
+  /// and dropped right away — it still counts toward the measured peak
+  /// while momentarily live, since it really was materialized.
+  Status RegisterCounted(const TablePtr& table, int refs) {
+    ctx_->counters().bytes_materialized += table->ByteSize();
+    if (refs > 0) return env_.catalog->RegisterTempWithRefs(table, refs);
+    GBMQO_RETURN_NOT_OK(env_.catalog->RegisterTemp(table));
+    return env_.catalog->Drop(table->name());
+  }
+
+  Status Release(const TablePtr& table) {
+    Result<bool> dropped = env_.catalog->ReleaseTempRef(table->name());
+    if (!dropped.ok()) return dropped.status();
+    return Status::OK();
+  }
+
+  /// Computes one plain plan node from its parent table: registers it as a
+  /// temp table if it is materialized, and records it as a result if
+  /// required.
+  Result<TablePtr> Materialize(const PlanNode& node, const Table& parent) {
+    if (node.kind != NodeKind::kGroupBy || !node.agg_copies.empty()) {
+      return Status::Internal(
+          "Materialize called on CUBE/ROLLUP/multi-copy node");
     }
-    for (const PlanNode& child : node.children) {
-      const int copy = node.CopyFor(child.aggs);
+    const std::string name = node.materialized()
+                                 ? env_.TempNameFor(node.columns)
+                                 : ExecEnv::LeafNameFor(node.columns);
+    Result<TablePtr> table =
+        RunQuery(parent, node.columns, node.aggs, name, node.strategy_hint);
+    if (!table.ok()) return table.status();
+    if (node.materialized()) {
+      ctx_->counters().bytes_materialized += (*table)->ByteSize();
+      GBMQO_RETURN_NOT_OK(env_.catalog->RegisterTemp(*table));
+    }
+    if (node.required) results_[node.columns] = *table;
+    return table;
+  }
+
+  Status DropIfTemp(const PlanNode& node, const TablePtr& table) {
+    if (node.materialized()) return env_.catalog->Drop(table->name());
+    return Status::OK();
+  }
+
+  /// Section 7.2: one temp table per aggregate copy; each copy serves the
+  /// children that read it and is dropped the moment the last of them has
+  /// been computed (not at node end).
+  Status RunMultiCopy(const PlanNode& node, const TablePtr& parent) {
+    std::vector<int> copy_of(node.children.size(), -1);
+    std::vector<int> serves(node.agg_copies.size(), 0);
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const int copy = node.CopyFor(node.children[i].aggs);
       if (copy < 0) {
         return Status::Internal("no copy serves child " +
-                                child.columns.ToString());
+                                node.children[i].columns.ToString());
       }
-      GBMQO_RETURN_NOT_OK(
-          RunSubPlan(child, copies[static_cast<size_t>(copy)]));
+      copy_of[i] = copy;
+      ++serves[static_cast<size_t>(copy)];
     }
-    for (const TablePtr& t : copies) {
-      GBMQO_RETURN_NOT_OK(catalog_->Drop(t->name()));
+    std::vector<TablePtr> copies;
+    for (size_t c = 0; c < node.agg_copies.size(); ++c) {
+      Result<TablePtr> t =
+          RunQuery(*parent, node.columns, node.agg_copies[c],
+                   env_.TempNameFor(node.columns), node.strategy_hint);
+      if (!t.ok()) return t.status();
+      GBMQO_RETURN_NOT_OK(RegisterCounted(*t, serves[c]));
+      copies.push_back(*t);
+    }
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const size_t copy = static_cast<size_t>(copy_of[i]);
+      GBMQO_RETURN_NOT_OK(RunSubPlan(node.children[i], copies[copy]));
+      GBMQO_RETURN_NOT_OK(Release(copies[copy]));
     }
     return Status::OK();
   }
@@ -218,7 +264,10 @@ class Runner {
   Status RunCube(const PlanNode& node, const TablePtr& parent) {
     // Bottom-up over the lattice: subsets in decreasing size; each proper
     // subset computed from (subset + lowest missing column), which was
-    // produced earlier. Matches CostCube's spanning tree exactly.
+    // produced earlier. Matches CostCube's spanning tree exactly. Every
+    // lattice table is dropped once its last consumer subset has been
+    // computed, so the live set tracks the spanning-tree frontier instead
+    // of holding the whole lattice to the end.
     const uint64_t full = node.columns.mask();
     std::vector<uint64_t> subsets;
     uint64_t sub = full;
@@ -233,6 +282,14 @@ class Runner {
       return a < b;
     });
 
+    std::map<uint64_t, int> consumers;
+    for (uint64_t mask : subsets) {
+      if (mask == full) continue;
+      const ColumnSet s(mask);
+      const ColumnSet sp = s.With(node.columns.Minus(s).ToVector().front());
+      ++consumers[sp.mask()];
+    }
+
     std::map<uint64_t, TablePtr> produced;
     for (uint64_t mask : subsets) {
       const ColumnSet s(mask);
@@ -240,46 +297,54 @@ class Runner {
       if (mask == full) {
         source = parent;
       } else {
-        ColumnSet sp = s.With(node.columns.Minus(s).ToVector().front());
+        const ColumnSet sp = s.With(node.columns.Minus(s).ToVector().front());
         source = produced.at(sp.mask());
       }
-      Result<TablePtr> t = RunQuery(*source, s, node.aggs, TempNameFor(s),
+      Result<TablePtr> t = RunQuery(*source, s, node.aggs, env_.TempNameFor(s),
                                     AggStrategy::kAuto);
       if (!t.ok()) return t.status();
-      GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*t));
+      const auto it = consumers.find(mask);
+      GBMQO_RETURN_NOT_OK(
+          RegisterCounted(*t, it == consumers.end() ? 0 : it->second));
       produced[mask] = *t;
+      if (mask != full) GBMQO_RETURN_NOT_OK(Release(source));
     }
     for (const PlanNode& child : node.children) {
-      if (child.required) results_[child.columns] = produced.at(child.columns.mask());
+      if (child.required) {
+        results_[child.columns] = produced.at(child.columns.mask());
+      }
     }
     if (node.required) results_[node.columns] = produced.at(full);
-    for (auto& [mask, table] : produced) {
-      GBMQO_RETURN_NOT_OK(catalog_->Drop(table->name()));
-    }
     return Status::OK();
   }
 
   Status RunRollup(const PlanNode& node, const TablePtr& parent) {
     // Prefix chain: full set from the parent, then each level from the
-    // previous one.
+    // previous one; the previous level is dropped as soon as the next has
+    // been computed, so at most two adjacent levels are ever live — the
+    // peak the scheduler's ExpandedBytes estimate accounts for.
     std::map<uint64_t, TablePtr> produced;
+    const int levels = static_cast<int>(node.rollup_order.size());
     ColumnSet level = node.columns;
     Result<TablePtr> top = RunQuery(*parent, level, node.aggs,
-                                    TempNameFor(level), AggStrategy::kSort);
+                                    env_.TempNameFor(level), AggStrategy::kSort);
     if (!top.ok()) return top.status();
-    GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*top));
+    GBMQO_RETURN_NOT_OK(RegisterCounted(*top, levels > 0 ? 1 : 0));
     produced[level.mask()] = *top;
     TablePtr prev = *top;
-    for (int i = static_cast<int>(node.rollup_order.size()) - 1; i >= 0; --i) {
+    for (int i = levels - 1; i >= 0; --i) {
       level = level.Without(node.rollup_order[static_cast<size_t>(i)]);
-      Result<TablePtr> t = RunQuery(*prev, level, node.aggs, TempNameFor(level),
-                                    AggStrategy::kAuto);
+      Result<TablePtr> t = RunQuery(*prev, level, node.aggs,
+                                    env_.TempNameFor(level), AggStrategy::kAuto);
       if (!t.ok()) return t.status();
-      GBMQO_RETURN_NOT_OK(catalog_->RegisterTemp(*t));
+      GBMQO_RETURN_NOT_OK(RegisterCounted(*t, i > 0 ? 1 : 0));
       produced[level.mask()] = *t;
+      GBMQO_RETURN_NOT_OK(Release(prev));
       prev = *t;
     }
-    if (node.required) results_[node.columns] = produced.at(node.columns.mask());
+    if (node.required) {
+      results_[node.columns] = produced.at(node.columns.mask());
+    }
     for (const PlanNode& child : node.children) {
       auto it = produced.find(child.columns.mask());
       if (it == produced.end()) {
@@ -288,17 +353,429 @@ class Runner {
       }
       if (child.required) results_[child.columns] = it->second;
     }
-    for (auto& [mask, table] : produced) {
-      GBMQO_RETURN_NOT_OK(catalog_->Drop(table->name()));
+    return Status::OK();
+  }
+
+  const ExecEnv& env_;
+  ExecContext* ctx_;
+  QueryExecutor exec_;
+  std::map<ColumnSet, TablePtr> results_;
+};
+
+// ---- DAG construction -----------------------------------------------------
+
+/// One schedulable unit of the plan DAG.
+struct TaskSpec {
+  enum class Kind {
+    kQuery,      ///< one plain node computed from its parent table
+    kFused,      ///< >= 2 sibling nodes via one shared scan of the parent
+    kComposite,  ///< a CUBE/ROLLUP/multi-copy subtree (runs sequentially)
+  };
+  Kind kind = Kind::kQuery;
+  const PlanNode* node = nullptr;       // kQuery / kComposite
+  std::vector<const PlanNode*> fused;   // kFused members, in sibling order
+  const PlanNode* input = nullptr;      // producing node; nullptr = base R
+  /// Whether this task holds a consumer reference on its input table (BF
+  /// composite children read the parent after its drop, as the recursion
+  /// did, so they hold none).
+  bool holds_input_ref = false;
+  /// Estimated bytes this task's live output adds (admission reservation).
+  double est_bytes = 0;
+};
+
+struct TaskGraph {
+  std::vector<TaskSpec> tasks;
+  std::vector<std::vector<int>> deps;  ///< predecessor ids per task
+  /// Consumer-task count per materialized node — the temp-table refcount.
+  std::unordered_map<const PlanNode*, int> consumers;
+};
+
+/// Flattens a LogicalPlan into a TaskGraph. The emission order is the
+/// canonical schedule: it replicates the recursive executor's BF/DF
+/// traversal (sub-plans in order, then children per their parent's mark),
+/// every dependency points at a lower index, and RunTaskGraph dispatches
+/// lowest-index-first — so one worker reproduces the recursive order
+/// exactly and the BF/DF marks act as scheduling priorities under
+/// parallelism.
+class GraphBuilder {
+ public:
+  GraphBuilder(bool fusion, const Table* base,
+               const std::unordered_map<const PlanNode*, double>* node_bytes)
+      : fusion_(fusion), base_(base), node_bytes_(node_bytes) {}
+
+  TaskGraph Build(const LogicalPlan& plan) {
+    EmitLevel(nullptr, -1, TraversalMark::kDepthFirst, plan.subplans);
+    return std::move(graph_);
+  }
+
+ private:
+  static bool Composite(const PlanNode& n) {
+    return n.kind != NodeKind::kGroupBy || !n.agg_copies.empty();
+  }
+
+  double EstOf(const PlanNode& n) const {
+    if (node_bytes_ == nullptr) return 0;
+    const auto it = node_bytes_->find(&n);
+    return it == node_bytes_->end() ? 0 : it->second;
+  }
+
+  /// A child may join its siblings' shared scan iff it is a plain
+  /// single-copy Group By that would hash-aggregate over the parent anyway:
+  /// kSort hints (the GROUPING SETS baseline's shared-sort chains) and
+  /// kAuto edges served by a covering base index keep their own pass, so
+  /// fusion never changes what a query computes or which kernel runs it.
+  bool Eligible(const PlanNode& child, bool parent_is_base) const {
+    if (Composite(child)) return false;
+    if (child.strategy_hint != AggStrategy::kAuto &&
+        child.strategy_hint != AggStrategy::kHash) {
+      return false;
+    }
+    if (parent_is_base && child.strategy_hint == AggStrategy::kAuto &&
+        base_->FindCoveringIndex(child.columns) != nullptr) {
+      return false;
+    }
+    return true;
+  }
+
+  int Emit(TaskSpec spec, int dep) {
+    const int id = static_cast<int>(graph_.tasks.size());
+    graph_.tasks.push_back(std::move(spec));
+    graph_.deps.emplace_back();
+    if (dep >= 0) graph_.deps.back().push_back(dep);
+    return id;
+  }
+
+  /// Emits the tasks computing `children` from their common parent
+  /// (`parent == nullptr` means the base relation, whose "children" are the
+  /// sub-plan roots; `parent_task` is the task producing the parent table).
+  void EmitLevel(const PlanNode* parent, int parent_task, TraversalMark mark,
+                 const std::vector<PlanNode>& children) {
+    if (children.empty()) return;
+    std::vector<const PlanNode*> group;
+    if (fusion_) {
+      for (const PlanNode& c : children) {
+        if (Eligible(c, parent == nullptr)) group.push_back(&c);
+      }
+      if (group.size() < 2) group.clear();  // one member shares nothing
+    }
+    int fused_task = -1;
+    auto materialization = [&](const PlanNode& c, bool holds_ref) -> int {
+      if (std::find(group.begin(), group.end(), &c) != group.end()) {
+        if (fused_task < 0) {
+          TaskSpec spec;
+          spec.kind = TaskSpec::Kind::kFused;
+          spec.fused = group;
+          spec.input = parent;
+          spec.holds_input_ref = holds_ref && parent != nullptr;
+          for (const PlanNode* m : group) spec.est_bytes += EstOf(*m);
+          fused_task = Emit(std::move(spec), parent_task);
+        }
+        return fused_task;
+      }
+      TaskSpec spec;
+      spec.kind =
+          Composite(c) ? TaskSpec::Kind::kComposite : TaskSpec::Kind::kQuery;
+      spec.node = &c;
+      spec.input = parent;
+      spec.holds_input_ref = holds_ref && parent != nullptr;
+      spec.est_bytes = EstOf(c);
+      return Emit(std::move(spec), parent_task);
+    };
+
+    std::vector<int> mat(children.size(), -1);
+    std::set<int> holders;
+    if (mark == TraversalMark::kBreadthFirst) {
+      // BF: every plain child materializes before anything descends; those
+      // tasks are the parent's only consumers, so the parent drops exactly
+      // where the recursion dropped it (composite children then read the
+      // parent's data through the produced-table map, past the drop).
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (!Composite(children[i])) {
+          mat[i] = materialization(children[i], /*holds_ref=*/true);
+          holders.insert(mat[i]);
+        }
+      }
+      for (size_t i = 0; i < children.size(); ++i) {
+        const PlanNode& c = children[i];
+        if (Composite(c)) {
+          mat[i] = materialization(c, /*holds_ref=*/false);
+        } else {
+          EmitLevel(&c, mat[i], c.mark, c.children);
+        }
+      }
+    } else {
+      // DF: one child chain at a time; every child task (composite ones
+      // included) holds the parent until it finishes, as the recursion did.
+      for (size_t i = 0; i < children.size(); ++i) {
+        const PlanNode& c = children[i];
+        mat[i] = materialization(c, /*holds_ref=*/true);
+        holders.insert(mat[i]);
+        if (!Composite(c)) EmitLevel(&c, mat[i], c.mark, c.children);
+      }
+    }
+    if (parent != nullptr) {
+      graph_.consumers[parent] = static_cast<int>(holders.size());
+    }
+  }
+
+  bool fusion_;
+  const Table* base_;
+  const std::unordered_map<const PlanNode*, double>* node_bytes_;
+  TaskGraph graph_;
+};
+
+// ---- DAG execution --------------------------------------------------------
+
+/// Per-task mutable state. Counters live per task and are folded in task
+/// order afterwards, so totals are bit-identical across worker counts.
+struct TaskState {
+  ExecContext ctx;
+  Status status;
+  std::map<ColumnSet, TablePtr> results;
+};
+
+class DagRunner {
+ public:
+  DagRunner(const ExecEnv& env, const TaskGraph& graph,
+            const std::unordered_map<const PlanNode*, double>* node_bytes,
+            int total_parallelism, double budget, bool gated)
+      : env_(env),
+        graph_(graph),
+        node_bytes_(node_bytes),
+        total_parallelism_(total_parallelism),
+        budget_(budget),
+        gated_(gated),
+        states_(graph.tasks.size()) {}
+
+  Status Run(int workers) {
+    std::function<bool(int, bool)> admit;
+    if (gated_) {
+      admit = [this](int id, bool forced) { return Admit(id, forced); };
+    }
+    RunTaskGraph(static_cast<int>(graph_.tasks.size()), graph_.deps, workers,
+                 admit, [this](int id, int active) { RunTask(id, active); });
+    for (const TaskState& st : states_) {
+      if (!st.status.ok()) {
+        Cleanup();
+        return st.status;
+      }
     }
     return Status::OK();
   }
 
-  Catalog* catalog_;
-  TablePtr base_;
-  QueryExecutor exec_;
-  Schema base_schema_;
-  std::map<ColumnSet, TablePtr> results_;
+  /// Canonical fold: results and counters merged in task-index order — the
+  /// same order for any worker count — keeping totals (including the
+  /// double-valued agg_cpu_units, where addition order matters)
+  /// bit-identical no matter which worker ran which task.
+  void FoldInto(ExecutionResult* out) {
+    for (TaskState& st : states_) {
+      for (auto& [cols, table] : st.results) {
+        out->results.emplace(cols, std::move(table));
+      }
+      out->counters += st.ctx.counters();
+    }
+  }
+
+ private:
+  double EstOf(const PlanNode& n) const {
+    if (node_bytes_ == nullptr) return 0;
+    const auto it = node_bytes_->find(&n);
+    return it == node_bytes_->end() ? 0 : it->second;
+  }
+
+  /// Admission gate, called under the scheduler lock: refuse a task while
+  /// its reservation on top of the estimated live bytes would exceed the
+  /// budget; admitting commits the reservation. Forced admissions (nothing
+  /// running, everything refused) reserve too, so the books stay balanced.
+  bool Admit(int id, bool forced) {
+    const double est = graph_.tasks[static_cast<size_t>(id)].est_bytes;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!forced && est > 0 && est_live_ + est > budget_) return false;
+    est_live_ += est;
+    return true;
+  }
+
+  void RunTask(int id, int active) {
+    const TaskSpec& t = graph_.tasks[static_cast<size_t>(id)];
+    TaskState& st = states_[static_cast<size_t>(id)];
+    // Reservation bytes handed over to live temp tables (released when the
+    // tables drop); the rest returns to the gate when the task ends.
+    double retained = 0;
+    if (!aborted_.load(std::memory_order_relaxed)) {
+      // Intra-query parallelism takes the share of the budget not used by
+      // concurrently running tasks; a lone task gets the whole budget.
+      const int intra =
+          std::max(1, total_parallelism_ / std::max(1, active));
+      Status s;
+      try {
+        switch (t.kind) {
+          case TaskSpec::Kind::kQuery:
+            s = RunQueryTask(t, &st, intra, &retained);
+            break;
+          case TaskSpec::Kind::kFused:
+            s = RunFusedTask(t, &st, intra, &retained);
+            break;
+          case TaskSpec::Kind::kComposite:
+            s = RunCompositeTask(t, &st, intra);
+            break;
+        }
+      } catch (const std::exception& e) {
+        s = Status::Internal(std::string("plan task threw: ") + e.what());
+      }
+      if (!s.ok()) {
+        st.status = s;
+        aborted_.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (gated_ && t.est_bytes > retained) {
+      std::lock_guard<std::mutex> lock(mu_);
+      est_live_ -= t.est_bytes - retained;
+    }
+  }
+
+  TablePtr InputTable(const TaskSpec& t) {
+    if (t.input == nullptr) return env_.base;
+    // The producer completed (dependency edge) before this task started,
+    // and produced_ entries survive the catalog drop, so BF composite
+    // children still see the data.
+    std::lock_guard<std::mutex> lock(mu_);
+    return produced_.at(t.input).table;
+  }
+
+  Status ReleaseInput(const TaskSpec& t) {
+    if (!t.holds_input_ref || t.input == nullptr) return Status::OK();
+    std::string name;
+    double est = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const ProducedTable& p = produced_.at(t.input);
+      name = p.table->name();
+      est = p.est_bytes;
+    }
+    Result<bool> dropped = env_.catalog->ReleaseTempRef(name);
+    if (!dropped.ok()) return dropped.status();
+    if (*dropped && gated_ && est > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      est_live_ -= est;
+    }
+    return Status::OK();
+  }
+
+  /// Registers a materialized node's output, hands the admission
+  /// reservation over to the live table, and records it for consumer
+  /// tasks. A node with no consumer tasks (every child a BF composite) is
+  /// registered and dropped immediately, as the recursion did. Returns the
+  /// reservation bytes now owned by the live table.
+  Result<double> RegisterOutput(const PlanNode* node, const TablePtr& table,
+                                ExecContext* ctx) {
+    ctx->counters().bytes_materialized += table->ByteSize();
+    const double est = gated_ ? EstOf(*node) : 0;
+    const auto it = graph_.consumers.find(node);
+    const int refs = it == graph_.consumers.end() ? 0 : it->second;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      produced_[node] = ProducedTable{table, est};
+    }
+    if (refs > 0) {
+      GBMQO_RETURN_NOT_OK(env_.catalog->RegisterTempWithRefs(table, refs));
+      return est;
+    }
+    GBMQO_RETURN_NOT_OK(env_.catalog->RegisterTemp(table));
+    GBMQO_RETURN_NOT_OK(env_.catalog->Drop(table->name()));
+    return 0.0;
+  }
+
+  Status RunQueryTask(const TaskSpec& t, TaskState* st, int intra,
+                      double* retained) {
+    const PlanNode& node = *t.node;
+    const TablePtr input = InputTable(t);
+    QueryExecutor exec(&st->ctx, env_.scan_mode, intra);
+    exec.set_forced_kernel(env_.forced_kernel);
+    const std::string name = node.materialized()
+                                 ? env_.TempNameFor(node.columns)
+                                 : ExecEnv::LeafNameFor(node.columns);
+    Result<GroupByQuery> query =
+        env_.BuildQuery(*input, node.columns, node.aggs);
+    if (!query.ok()) return query.status();
+    Result<TablePtr> table =
+        exec.ExecuteGroupBy(*input, *query, name, node.strategy_hint);
+    if (!table.ok()) return table.status();
+    if (node.materialized()) {
+      Result<double> kept = RegisterOutput(&node, *table, &st->ctx);
+      if (!kept.ok()) return kept.status();
+      *retained = *kept;
+    }
+    if (node.required) st->results[node.columns] = *table;
+    return ReleaseInput(t);
+  }
+
+  Status RunFusedTask(const TaskSpec& t, TaskState* st, int intra,
+                      double* retained) {
+    const TablePtr input = InputTable(t);
+    QueryExecutor exec(&st->ctx, env_.scan_mode, intra);
+    exec.set_forced_kernel(env_.forced_kernel);
+    std::vector<GroupByQuery> queries;
+    std::vector<std::string> names;
+    queries.reserve(t.fused.size());
+    names.reserve(t.fused.size());
+    for (const PlanNode* m : t.fused) {
+      Result<GroupByQuery> q = env_.BuildQuery(*input, m->columns, m->aggs);
+      if (!q.ok()) return q.status();
+      queries.push_back(std::move(q).ValueOrDie());
+      names.push_back(m->materialized() ? env_.TempNameFor(m->columns)
+                                        : ExecEnv::LeafNameFor(m->columns));
+    }
+    Result<std::vector<TablePtr>> tables =
+        exec.ExecuteSharedScan(*input, queries, names);
+    if (!tables.ok()) return tables.status();
+    for (size_t i = 0; i < t.fused.size(); ++i) {
+      const PlanNode& m = *t.fused[i];
+      const TablePtr& table = (*tables)[i];
+      if (m.materialized()) {
+        Result<double> kept = RegisterOutput(&m, table, &st->ctx);
+        if (!kept.ok()) return kept.status();
+        *retained += *kept;
+      }
+      if (m.required) st->results[m.columns] = table;
+    }
+    return ReleaseInput(t);
+  }
+
+  Status RunCompositeTask(const TaskSpec& t, TaskState* st, int intra) {
+    const TablePtr input = InputTable(t);
+    SubtreeRunner runner(env_, &st->ctx, intra);
+    GBMQO_RETURN_NOT_OK(runner.RunSubPlan(*t.node, input));
+    st->results = std::move(runner.results());
+    return ReleaseInput(t);
+  }
+
+  /// Failure path: drop produced temps whose consumers never ran.
+  void Cleanup() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [node, p] : produced_) {
+      if (p.table != nullptr && env_.catalog->Exists(p.table->name())) {
+        const Status dropped = env_.catalog->Drop(p.table->name());
+        (void)dropped;
+      }
+    }
+  }
+
+  struct ProducedTable {
+    TablePtr table;
+    double est_bytes = 0;
+  };
+
+  const ExecEnv& env_;
+  const TaskGraph& graph_;
+  const std::unordered_map<const PlanNode*, double>* node_bytes_;
+  const int total_parallelism_;
+  const double budget_;
+  const bool gated_;
+  std::vector<TaskState> states_;
+  std::atomic<bool> aborted_{false};
+  std::mutex mu_;  // guards produced_ and est_live_
+  std::unordered_map<const PlanNode*, ProducedTable> produced_;
+  double est_live_ = 0;
 };
 
 }  // namespace
@@ -313,66 +790,27 @@ Result<ExecutionResult> PlanExecutor::Execute(
   catalog_->ResetPeakTempBytes();
   WallTimer timer;
 
+  const bool gated = whatif_ != nullptr &&
+                     storage_budget_ < std::numeric_limits<double>::infinity();
+  std::unordered_map<const PlanNode*, double> node_bytes;
+  if (gated) node_bytes = PlanNodeStorage(plan, whatif_);
+
+  ExecEnv env{catalog_, *base, (*base)->schema(), scan_mode_, forced_kernel_};
+  GraphBuilder builder(fusion_enabled_, base->get(),
+                       gated ? &node_bytes : nullptr);
+  const TaskGraph graph = builder.Build(plan);
+
+  DagRunner runner(env, graph, gated ? &node_bytes : nullptr, parallelism_,
+                   storage_budget_, gated);
+  const int workers =
+      node_parallel_
+          ? std::max(1, std::min(parallelism_,
+                                 static_cast<int>(graph.tasks.size())))
+          : 1;
+  GBMQO_RETURN_NOT_OK(runner.Run(workers));
+
   ExecutionResult out;
-  // Workers pull sub-plans off a shared index (sub-plans share nothing but
-  // the base relation; the catalog serializes registration). The thread
-  // budget is split between the two levels: W sub-plan workers each run
-  // their queries at parallelism_/W intra-query morsel parallelism, so
-  // W * intra never exceeds parallelism_; a single-sub-plan plan gives the
-  // whole budget to the morsel engine.
-  //
-  // State is per *sub-plan*, not per worker: each sub-plan's counters are
-  // deterministic, and folding them in sub-plan order keeps the totals
-  // (including double-valued agg_cpu_units, where addition order matters)
-  // bit-identical no matter how many workers run or which worker happened
-  // to claim which sub-plan.
-  const size_t n = plan.subplans.size();
-  const int workers = static_cast<int>(std::min<size_t>(
-      static_cast<size_t>(parallelism_ < 1 ? 1 : parallelism_),
-      n < 1 ? 1 : n));
-  const int intra = std::max(1, parallelism_ / workers);
-  std::vector<ExecContext> contexts(n);
-  std::vector<std::unique_ptr<Runner>> runners(n);
-  std::vector<Status> statuses(n);
-  for (size_t i = 0; i < n; ++i) {
-    runners[i] = std::make_unique<Runner>(catalog_, *base, &contexts[i],
-                                          scan_mode_, intra, forced_kernel_);
-  }
-  if (workers <= 1) {
-    for (size_t i = 0; i < n; ++i) {
-      GBMQO_RETURN_NOT_OK(runners[i]->RunOne(plan.subplans[i]));
-    }
-  } else {
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> threads;
-    for (int w = 0; w < workers; ++w) {
-      threads.emplace_back([&]() {
-        while (true) {
-          const size_t i = next.fetch_add(1);
-          if (i >= n) break;
-          // A throwing sub-plan (e.g. bad_alloc) must not terminate the
-          // process from a worker thread; surface it as a Status instead.
-          try {
-            statuses[i] = runners[i]->RunOne(plan.subplans[i]);
-          } catch (const std::exception& e) {
-            statuses[i] = Status::Internal(std::string("sub-plan threw: ") +
-                                           e.what());
-          }
-          if (!statuses[i].ok()) break;
-        }
-      });
-    }
-    for (std::thread& t : threads) t.join();
-    for (const Status& s : statuses) {
-      GBMQO_RETURN_NOT_OK(s);
-    }
-  }
-  for (size_t i = 0; i < n; ++i) {
-    for (auto& [cols, table] : runners[i]->results()) {
-      out.results.emplace(cols, std::move(table));
-    }
-    out.counters += contexts[i].counters();
-  }
+  runner.FoldInto(&out);
   out.wall_seconds = timer.ElapsedSeconds();
   out.peak_temp_bytes = catalog_->peak_temp_bytes();
   return out;

@@ -1,22 +1,30 @@
-// PlanExecutor: the client-side realization of Section 5.2. Walks a
-// LogicalPlan and issues one group-by query per edge against the engine:
+// PlanExecutor: the client-side realization of Section 5.2. Flattens a
+// LogicalPlan into a dependency DAG of node-level tasks and issues one
+// group-by query per edge against the engine:
 //
 //   SELECT v, COUNT(*) AS cnt INTO T_v FROM T_u GROUP BY v      -- interior
 //   SELECT v, COUNT(*) AS cnt FROM T_u GROUP BY v               -- leaf
 //
 // with COUNT(*) replaced by SUM(cnt) (and SUM/MIN/MAX re-aggregated) when
-// T_u is itself an intermediate. Temp tables are registered in the Catalog,
-// executed in the BF/DF order chosen by StorageScheduler, and dropped as
-// soon as their last child has been computed, so the Catalog's peak temp
-// bytes realize the Section 4.4 accounting. CUBE nodes are expanded bottom-
-// up over a spanning tree of the lattice; ROLLUP nodes as a prefix chain.
+// T_u is itself an intermediate. Temp-table lifetime is reference-counted:
+// T_u is dropped the moment its last consumer task has read it, and the
+// task order encodes the BF/DF marks chosen by StorageScheduler, so the
+// Catalog's peak temp bytes realize the Section 4.4 accounting. Eligible
+// sibling Group By children of one parent can be fused into a single
+// shared-scan pass (set_fusion_enabled), and the Section 4.4 d(u) estimates
+// can gate task admission against a storage budget (set_storage_budget).
+// CUBE nodes are expanded bottom-up over a spanning tree of the lattice;
+// ROLLUP nodes as a prefix chain; both drop each level as soon as its last
+// consumer has read it.
 #ifndef GBMQO_CORE_PLAN_EXECUTOR_H_
 #define GBMQO_CORE_PLAN_EXECUTOR_H_
 
+#include <limits>
 #include <map>
 #include <string>
 
 #include "core/logical_plan.h"
+#include "cost/whatif.h"
 #include "exec/query_executor.h"
 #include "storage/catalog.h"
 
@@ -40,14 +48,12 @@ class PlanExecutor {
   /// executor; temp tables are created and dropped inside Execute.
   /// `scan_mode` selects the row-store scan simulation (default, matching
   /// the paper's substrate) or native columnar scans. `parallelism` is the
-  /// total thread budget: it is split between independent sub-plans (which
-  /// share nothing but the base relation; the catalog is internally
-  /// synchronized) and intra-query morsel parallelism inside each worker's
-  /// QueryExecutor — W = min(parallelism, #sub-plans) sub-plan workers each
-  /// running at parallelism/W, so the two levels never oversubscribe. A
-  /// plan with a single sub-plan gives the whole budget to the morsel
-  /// engine. Wall-clock gains require multiple cores; the deterministic
-  /// work counters are independent of the thread count either way.
+  /// total thread budget, shared between concurrent DAG tasks and
+  /// intra-query morsel parallelism: each dispatched task runs its queries
+  /// at parallelism / (running tasks), so the two levels never
+  /// oversubscribe, and a lone task gets the whole budget. Wall-clock gains
+  /// require multiple cores; the deterministic work counters are
+  /// independent of the thread count either way.
   PlanExecutor(Catalog* catalog, std::string base_table,
                ScanMode scan_mode = ScanMode::kRowStore, int parallelism = 1)
       : catalog_(catalog),
@@ -67,12 +73,41 @@ class PlanExecutor {
     forced_kernel_ = kernel;
   }
 
+  /// Sibling shared-scan fusion: plain Group By children of one parent that
+  /// would each hash-aggregate over it (single-copy, kAuto/kHash hint, no
+  /// covering base index claiming the edge) are computed by one
+  /// ExecuteSharedScan pass instead of one scan per child. Off by default
+  /// so per-edge scan counters — and A/B comparisons against the unfused
+  /// path — stay available; results are bit-identical either way.
+  void set_fusion_enabled(bool on) { fusion_enabled_ = on; }
+
+  /// Node-level parallelism: when on (default), independent DAG tasks run
+  /// concurrently on the worker pool, subject to data dependencies and the
+  /// storage gate. Off = strict priority order on one worker, with the
+  /// whole thread budget given to intra-query morsel parallelism.
+  void set_node_parallel(bool on) { node_parallel_ = on; }
+
+  /// Storage-aware admission gate (Section 4.4 at runtime): a task is not
+  /// dispatched while the d(u) estimates (from `whatif`) of live temp
+  /// tables plus its own reservation would exceed `max_bytes` — unless
+  /// nothing is running, which forces progress so an over-budget node
+  /// cannot deadlock the plan. Pass infinity / nullptr to disable (the
+  /// default).
+  void set_storage_budget(double max_bytes, WhatIfProvider* whatif) {
+    storage_budget_ = max_bytes;
+    whatif_ = whatif;
+  }
+
  private:
   Catalog* catalog_;
   std::string base_table_;
   ScanMode scan_mode_;
   int parallelism_;
   std::optional<AggKernel> forced_kernel_;
+  bool fusion_enabled_ = false;
+  bool node_parallel_ = true;
+  double storage_budget_ = std::numeric_limits<double>::infinity();
+  WhatIfProvider* whatif_ = nullptr;
 };
 
 }  // namespace gbmqo

@@ -59,6 +59,27 @@ double EstimateNodeBytes(const PlanNode& node, WhatIfProvider* whatif) {
   return d.rows * d.row_width;
 }
 
+namespace {
+
+void CollectNodeStorage(const PlanNode& node, WhatIfProvider* whatif,
+                        std::unordered_map<const PlanNode*, double>* out) {
+  (*out)[&node] = EstimateNodeBytes(node, whatif);
+  for (const PlanNode& child : node.children) {
+    CollectNodeStorage(child, whatif, out);
+  }
+}
+
+}  // namespace
+
+std::unordered_map<const PlanNode*, double> PlanNodeStorage(
+    const LogicalPlan& plan, WhatIfProvider* whatif) {
+  std::unordered_map<const PlanNode*, double> out;
+  for (const PlanNode& sub : plan.subplans) {
+    CollectNodeStorage(sub, whatif, &out);
+  }
+  return out;
+}
+
 double ScheduleSubPlan(PlanNode* node, WhatIfProvider* whatif) {
   const double d_u = EstimateNodeBytes(*node, whatif);
   if (node->children.empty()) {

@@ -14,6 +14,8 @@
 #ifndef GBMQO_CORE_STORAGE_SCHEDULER_H_
 #define GBMQO_CORE_STORAGE_SCHEDULER_H_
 
+#include <unordered_map>
+
 #include "core/logical_plan.h"
 #include "cost/whatif.h"
 
@@ -22,6 +24,13 @@ namespace gbmqo {
 /// Estimated materialized size in bytes of one plan node (0 for leaves,
 /// which stream to the client and are never spooled).
 double EstimateNodeBytes(const PlanNode& node, WhatIfProvider* whatif);
+
+/// Per-node d(u) estimates for every node of `plan`, keyed by node pointer
+/// (valid only while `plan` is alive). Leaves map to 0; CUBE/ROLLUP/
+/// multi-copy nodes to their whole expansion. PlanExecutor's storage-aware
+/// admission gate reserves these bytes before scheduling a node.
+std::unordered_map<const PlanNode*, double> PlanNodeStorage(
+    const LogicalPlan& plan, WhatIfProvider* whatif);
 
 /// Computes the Section 4.4.1 recurrence over the sub-plan rooted at `node`,
 /// setting `node->mark` (and descendants') to the argmin traversal. Returns

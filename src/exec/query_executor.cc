@@ -663,6 +663,9 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
     return Status::InvalidArgument("queries/output_names size mismatch");
   }
   const size_t nq = queries.size();
+  // An empty batch performs no scan, so it must charge none: the scan-side
+  // counters below are per shared pass, not per query.
+  if (nq == 0) return std::vector<TablePtr>{};
   std::vector<AggKernelPlan> kplans;
   kplans.reserve(nq);
   for (const GroupByQuery& q : queries) {

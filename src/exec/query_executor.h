@@ -104,8 +104,15 @@ class QueryExecutor {
                                   AggStrategy strategy = AggStrategy::kAuto);
 
   /// Runs several group-bys over `input` in a single shared scan (the
-  /// commercial-engine optimization leveraged by GROUPING SETS). Input rows
-  /// and bytes are charged once; each query maintains its own hash state.
+  /// commercial-engine optimization leveraged by GROUPING SETS, and by
+  /// PlanExecutor's sibling fusion — `input` may be the base relation or a
+  /// materialized intermediate). Counter attribution: scan-side work
+  /// (rows_scanned, bytes_scanned, the touch checksum) is charged once for
+  /// the shared pass, while per-query work — kernel rows, hash probes,
+  /// aggregation CPU, rows_emitted, queries_executed — is charged per
+  /// query, so a fused run is distinguishable from N separate scans by its
+  /// scan counters alone. Each query keeps its own hash state and kernel
+  /// plan; outputs are bit-identical to per-query ExecuteGroupBy hash runs.
   Result<std::vector<TablePtr>> ExecuteSharedScan(
       const Table& input, const std::vector<GroupByQuery>& queries,
       const std::vector<std::string>& output_names);

@@ -1,20 +1,32 @@
-// RunTasks: the engine's minimal fork-join helper, used by the morsel-driven
-// aggregation pipeline (shard builds, partition merges). Tasks are claimed
-// off a shared atomic counter; the calling thread participates.
+// RunTasks / RunTaskGraph: the engine's fork-join helpers.
 //
-// Exception safety: a task that throws (e.g. std::bad_alloc while growing a
-// hash table) must not std::terminate the process from a worker thread. The
-// first exception is captured, remaining tasks are abandoned, workers drain,
-// and the exception is rethrown on the calling thread — so callers see the
-// same behaviour as a serial loop that threw partway through.
+// RunTasks is the minimal flat pool used by the morsel-driven aggregation
+// pipeline (shard builds, partition merges): tasks are claimed off a shared
+// atomic counter and the calling thread participates.
+//
+// RunTaskGraph runs a dependency DAG of tasks (the node-level plan
+// scheduler): a task becomes ready when all its predecessors completed,
+// ready tasks are dispatched lowest-index-first (the index order is the
+// caller's priority order), and an optional admission callback can hold a
+// ready task back — used by PlanExecutor's storage-aware gate.
+//
+// Exception safety (both helpers): a task that throws (e.g. std::bad_alloc
+// while growing a hash table) must not std::terminate the process from a
+// worker thread. The first exception is captured, remaining tasks are
+// abandoned, workers drain, and the exception is rethrown on the calling
+// thread — so callers see the same behaviour as a serial loop that threw
+// partway through.
 #ifndef GBMQO_EXEC_TASK_RUNNER_H_
 #define GBMQO_EXEC_TASK_RUNNER_H_
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -54,6 +66,122 @@ inline void RunTasks(int num_tasks, int workers,
   loop();
   for (std::thread& t : threads) t.join();
   if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+/// Runs `task(id, active)` for every task of a dependency DAG on up to
+/// `workers` threads (the calling thread participates). `deps[i]` lists the
+/// predecessor task ids of task i (entries < 0 are ignored); the graph must
+/// be acyclic — PlanExecutor guarantees this by only depending on
+/// lower-indexed tasks. `active` is the number of tasks running at the
+/// moment task `id` was dispatched (including itself), so tasks can size
+/// their internal parallelism to the free share of the thread budget.
+///
+/// Dispatch order: among ready tasks the lowest id wins, so with one worker
+/// the graph executes in exact index order — the caller encodes scheduling
+/// priorities (e.g. the BF/DF traversal of a plan) as task indices.
+///
+/// Admission: when `admit` is non-null it is consulted under the scheduler
+/// lock before a ready task is dispatched. `admit(id, false)` returning true
+/// commits the task (the callback must reserve whatever resource it gates
+/// on); returning false skips it this round — it is re-examined whenever
+/// another task completes. If nothing is running and every ready task was
+/// refused, the lowest-indexed ready task is forced: `admit(id, true)` is
+/// called (and must reserve) and the task runs regardless, so an
+/// over-budget task cannot deadlock the graph.
+inline void RunTaskGraph(int num_tasks,
+                         const std::vector<std::vector<int>>& deps, int workers,
+                         const std::function<bool(int, bool)>& admit,
+                         const std::function<void(int, int)>& task) {
+  if (num_tasks <= 0) return;
+  std::vector<int> pending(static_cast<size_t>(num_tasks), 0);
+  std::vector<std::vector<int>> successors(static_cast<size_t>(num_tasks));
+  for (int i = 0; i < num_tasks; ++i) {
+    if (static_cast<size_t>(i) >= deps.size()) break;
+    for (int d : deps[static_cast<size_t>(i)]) {
+      if (d < 0 || d >= num_tasks || d == i) continue;
+      ++pending[static_cast<size_t>(i)];
+      successors[static_cast<size_t>(d)].push_back(i);
+    }
+  }
+  std::set<int> ready;
+  for (int i = 0; i < num_tasks; ++i) {
+    if (pending[static_cast<size_t>(i)] == 0) ready.insert(i);
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int running = 0;
+  int completed = 0;
+  bool failed = false;
+  std::exception_ptr first_error;
+
+  auto worker = [&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      int pick = -1;
+      if (!failed) {
+        for (int id : ready) {
+          if (admit == nullptr || admit(id, /*forced=*/false)) {
+            pick = id;
+            break;
+          }
+        }
+        if (pick < 0 && running == 0 && !ready.empty()) {
+          // Every ready task was refused and nothing can free resources:
+          // force the highest-priority one through.
+          pick = *ready.begin();
+          if (admit != nullptr) admit(pick, /*forced=*/true);
+        }
+      }
+      if (pick >= 0) {
+        ready.erase(pick);
+        ++running;
+        const int active = running;
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+          task(pick, active);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        lock.lock();
+        --running;
+        ++completed;
+        if (error != nullptr) {
+          if (first_error == nullptr) first_error = error;
+          failed = true;
+        } else {
+          for (int s : successors[static_cast<size_t>(pick)]) {
+            if (--pending[static_cast<size_t>(s)] == 0) ready.insert(s);
+          }
+        }
+        cv.notify_all();
+        continue;
+      }
+      const bool drained = failed ? running == 0
+                                  : (completed == num_tasks ||
+                                     (ready.empty() && running == 0));
+      if (drained) break;
+      cv.wait(lock);
+    }
+    // Wake peers blocked in cv.wait so they can observe termination too.
+    cv.notify_all();
+  };
+
+  workers = std::min(workers, num_tasks);
+  std::vector<std::thread> threads;
+  if (workers > 1) {
+    threads.reserve(static_cast<size_t>(workers) - 1);
+    for (int w = 1; w < workers; ++w) threads.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (completed != num_tasks) {
+    throw std::logic_error("RunTaskGraph: dependency cycle left " +
+                           std::to_string(num_tasks - completed) +
+                           " tasks unreachable");
+  }
 }
 
 }  // namespace gbmqo

@@ -25,6 +25,39 @@ Status Catalog::RegisterTemp(TablePtr table) {
   return Status::OK();
 }
 
+Status Catalog::RegisterTempWithRefs(TablePtr table, int refs) {
+  if (refs < 1) {
+    return Status::InvalidArgument("temp table '" + table->name() +
+                                   "' needs at least one consumer reference");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  const uint64_t bytes = table->ByteSize();
+  tables_.emplace(name, Entry{std::move(table), /*is_temp=*/true, bytes, refs});
+  temp_bytes_ += bytes;
+  if (temp_bytes_ > peak_temp_bytes_) peak_temp_bytes_ = temp_bytes_;
+  return Status::OK();
+}
+
+Result<bool> Catalog::ReleaseTempRef(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  if (!it->second.is_temp || it->second.refs < 1) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' is not reference-counted");
+  }
+  if (--it->second.refs > 0) return false;
+  temp_bytes_ -= it->second.bytes;
+  tables_.erase(it);
+  return true;
+}
+
 Status Catalog::Drop(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);

@@ -27,6 +27,17 @@ class Catalog {
   /// name. Its bytes count toward current/peak temp storage.
   Status RegisterTemp(TablePtr table);
 
+  /// Registers a temporary table whose lifetime is reference-counted by its
+  /// consumers: after `refs` (>= 1) ReleaseTempRef calls the table is
+  /// dropped and its bytes released. Used by the DAG plan executor, where a
+  /// parent's temp table must outlive exactly the tasks that read it.
+  Status RegisterTempWithRefs(TablePtr table, int refs);
+
+  /// Releases one consumer reference taken by RegisterTempWithRefs; drops
+  /// the table when the count reaches zero. Returns whether this call
+  /// dropped it. Fails on tables registered without references.
+  Result<bool> ReleaseTempRef(const std::string& name);
+
   /// Drops a table by name (base or temp). Temp bytes are released.
   Status Drop(const std::string& name);
 
@@ -65,6 +76,9 @@ class Catalog {
     TablePtr table;
     bool is_temp = false;
     uint64_t bytes = 0;
+    /// Outstanding consumer references (RegisterTempWithRefs); 0 for tables
+    /// whose lifetime is managed by explicit Drop calls.
+    int refs = 0;
   };
 
   mutable std::mutex mu_;

@@ -140,6 +140,83 @@ TEST(ExecutorStorageTest, ThreeColumnCubeExecutes) {
   EXPECT_EQ(catalog.temp_bytes(), 0u);
 }
 
+TEST(ExecutorStorageTest, CubeDropsLatticeTablesEagerly) {
+  // Regression: RunCube used to keep every lattice table registered until
+  // the node finished, so the measured peak equaled the total bytes
+  // materialized. Each subset now drops once its last consumer subset has
+  // been computed, so the peak must sit strictly below the total.
+  TablePtr t = GenerateLineitem({.rows = 15000, .seed = 4});
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase(t).ok());
+
+  std::vector<GroupByRequest> requests;
+  const std::vector<int> cols = {kReturnflag, kLinestatus, kShipmode};
+  for (uint64_t mask = 1; mask < 8; ++mask) {
+    ColumnSet s;
+    for (int b = 0; b < 3; ++b) {
+      if (mask & (1u << b)) s = s.With(cols[static_cast<size_t>(b)]);
+    }
+    requests.push_back(GroupByRequest::Count(s));
+  }
+  LogicalPlan plan;
+  PlanNode cube;
+  cube.columns = {kReturnflag, kLinestatus, kShipmode};
+  cube.kind = NodeKind::kCube;
+  cube.required = true;
+  for (const GroupByRequest& req : requests) {
+    if (req.columns == cube.columns) continue;
+    PlanNode leaf;
+    leaf.columns = req.columns;
+    leaf.required = true;
+    cube.children.push_back(leaf);
+  }
+  plan.subplans = {cube};
+  ASSERT_TRUE(plan.Validate(requests).ok());
+
+  PlanExecutor exec(&catalog, "lineitem");
+  auto r = exec.Execute(plan, requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->counters.bytes_materialized, 0u);
+  EXPECT_LT(r->peak_temp_bytes, r->counters.bytes_materialized);
+  EXPECT_EQ(catalog.temp_bytes(), 0u);  // everything released by node end
+}
+
+TEST(ExecutorStorageTest, RollupKeepsAtMostTwoLevelsLive) {
+  // The prefix chain drops level k+1 as soon as level k is computed, so the
+  // peak is bounded by the two largest adjacent levels — strictly below the
+  // chain's total materialized bytes.
+  TablePtr t = GenerateLineitem({.rows = 15000, .seed = 4});
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase(t).ok());
+
+  std::vector<GroupByRequest> requests = {
+      GroupByRequest::Count({kReturnflag, kLinestatus, kShipmode}),
+      GroupByRequest::Count({kReturnflag, kLinestatus}),
+      GroupByRequest::Count({kReturnflag}),
+  };
+  LogicalPlan plan;
+  PlanNode rollup;
+  rollup.columns = {kReturnflag, kLinestatus, kShipmode};
+  rollup.kind = NodeKind::kRollup;
+  rollup.required = true;
+  rollup.rollup_order = {kReturnflag, kLinestatus, kShipmode};
+  for (size_t i = 1; i < requests.size(); ++i) {
+    PlanNode leaf;
+    leaf.columns = requests[i].columns;
+    leaf.required = true;
+    rollup.children.push_back(leaf);
+  }
+  plan.subplans = {rollup};
+  ASSERT_TRUE(plan.Validate(requests).ok());
+
+  PlanExecutor exec(&catalog, "lineitem");
+  auto r = exec.Execute(plan, requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->counters.bytes_materialized, 0u);
+  EXPECT_LT(r->peak_temp_bytes, r->counters.bytes_materialized);
+  EXPECT_EQ(catalog.temp_bytes(), 0u);
+}
+
 TEST(ExecutorStorageTest, PeakReportedEvenWhenPlanIsFlat) {
   TablePtr t = GenerateLineitem({.rows = 5000, .seed = 2});
   Catalog catalog;

@@ -276,6 +276,66 @@ TEST(QueryExecutorTest, SharedScanMatchesSeparateExecution) {
   EXPECT_EQ(ctx2.counters().rows_scanned, 3 * t->num_rows());
 }
 
+TEST(QueryExecutorTest, SharedScanAttributesKernelWorkPerQuery) {
+  // Satellite pin: a shared pass charges scan-side work once but per-query
+  // kernel work per query. Each query's kernel choice is the same as its
+  // solo run, so the kernel-row counters of the fused pass must equal the
+  // SUM of the solo runs' — while rows_scanned stays one scan.
+  TablePtr t = MakeMixedTable(3000, 61, /*with_nulls=*/false);
+  std::vector<GroupByQuery> queries = {
+      {ColumnSet{0}, {AggregateSpec::CountStar()}},     // tiny domain: dense
+      {ColumnSet{0, 2}, {AggregateSpec::CountStar()}},  // int+double: >64 key
+      {ColumnSet{3}, {AggregateSpec::CountStar()}},     // 1000-domain: dense
+  };
+
+  ExecContext fused_ctx;
+  QueryExecutor fused(&fused_ctx);
+  auto shared = fused.ExecuteSharedScan(*t, queries, {"s0", "s1", "s2"});
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+
+  WorkCounters solo_sum;
+  std::vector<WorkCounters> solo(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExecContext ctx;
+    QueryExecutor exec(&ctx);
+    ASSERT_TRUE(
+        exec.ExecuteGroupBy(*t, queries[i], "solo", AggStrategy::kHash).ok());
+    solo[i] = ctx.counters();
+    solo_sum += ctx.counters();
+  }
+
+  const WorkCounters& f = fused_ctx.counters();
+  // Per-query work: identical to the solo total, query by query.
+  EXPECT_EQ(f.dense_kernel_rows, solo_sum.dense_kernel_rows);
+  EXPECT_EQ(f.packed_kernel_rows, solo_sum.packed_kernel_rows);
+  EXPECT_EQ(f.multiword_kernel_rows, solo_sum.multiword_kernel_rows);
+  EXPECT_EQ(f.hash_probes, solo_sum.hash_probes);
+  EXPECT_EQ(f.rows_emitted, solo_sum.rows_emitted);
+  EXPECT_EQ(f.queries_executed, 3u);
+  // The mixed batch really exercised distinct kernels per query.
+  EXPECT_EQ(solo[0].dense_kernel_rows, t->num_rows());
+  EXPECT_EQ(solo[1].multiword_kernel_rows, t->num_rows());
+  // Scan-side work: one pass, not three — this is what makes a fused run
+  // distinguishable from N separate scans in WorkCounters.
+  EXPECT_EQ(f.rows_scanned, t->num_rows());
+  EXPECT_EQ(solo_sum.rows_scanned, 3 * t->num_rows());
+  EXPECT_LT(f.bytes_scanned, solo_sum.bytes_scanned);
+}
+
+TEST(QueryExecutorTest, SharedScanEmptyBatchChargesNothing) {
+  // Regression: an empty batch used to charge a full scan's rows and bytes
+  // despite doing no work at all.
+  TablePtr t = MakeMixedTable(500, 7, false);
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  auto r = exec.ExecuteSharedScan(*t, {}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(ctx.counters().rows_scanned, 0u);
+  EXPECT_EQ(ctx.counters().bytes_scanned, 0u);
+  EXPECT_EQ(ctx.counters().queries_executed, 0u);
+}
+
 TEST(QueryExecutorTest, WorkCountersPopulated) {
   TablePtr t = MakeMixedTable(1000, 3, false);
   ExecContext ctx;
