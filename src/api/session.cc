@@ -1,11 +1,15 @@
 #include "api/session.h"
 
+#include "common/fault_injector.h"
 #include "sql/grouping_sets_parser.h"
 
 namespace gbmqo {
 
 Session::Session(TablePtr base, SessionOptions options)
     : base_(std::move(base)), options_(options) {
+  // Honors the GBMQO_FAULTS environment toggle (no-op when unset or when
+  // fault injection is compiled out); idempotent across sessions.
+  FaultInjector::InstallFromEnv();
   // The base table name is reserved in the catalog; failure is impossible
   // on a fresh catalog.
   (void)catalog_.RegisterBase(base_);
@@ -68,6 +72,15 @@ Result<ExecutionResult> Session::ExecutePlan(
   if (options_.max_exec_storage_bytes > 0) {
     executor.set_storage_budget(options_.max_exec_storage_bytes, whatif_.get());
   }
+  executor.set_max_task_retries(options_.max_task_retries);
+  executor.set_retry_backoff_ms(options_.retry_backoff_ms);
+  if (options_.exec_deadline_ms > 0) {
+    // Per-call deadline: a previous call's expiry must not poison this one,
+    // but an explicit Cancel() persists until the caller resets the token.
+    if (!cancel_.Check().IsCancelled()) cancel_.Reset();
+    cancel_.SetDeadlineAfterMs(options_.exec_deadline_ms);
+  }
+  executor.set_cancellation(&cancel_);
   return executor.Execute(plan, requests);
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "core/gbmqo.h"
 #include "stats/statistics_manager.h"
 
@@ -43,6 +44,18 @@ struct SessionOptions {
   /// while the estimated live temp-table bytes would exceed this budget
   /// (see PlanExecutor::set_storage_budget). 0 disables the gate.
   double max_exec_storage_bytes = 0;
+  /// Resilience: extra attempts allowed per failed DAG task (default 0 =
+  /// fail fast). Re-attempts walk the degradation ladder — fused tasks
+  /// split into per-query passes, temp-table readers recompute from the
+  /// base relation, memory-pressure failures retry serialized on the
+  /// low-footprint kernel (see PlanExecutor::set_max_task_retries).
+  int max_task_retries = 0;
+  /// Sleep before the k-th re-attempt of a task: k * retry_backoff_ms.
+  double retry_backoff_ms = 0;
+  /// Wall-clock deadline for each ExecutePlan call, in milliseconds; when
+  /// > 0 the session arms its cancellation token at call entry and the
+  /// executor returns Status::DeadlineExceeded once it fires. 0 disables.
+  uint64_t exec_deadline_ms = 0;
 };
 
 /// Owns everything needed to optimize and execute multi-Group-By workloads
@@ -87,6 +100,13 @@ class Session {
   StatisticsManager* stats() { return stats_.get(); }
   PlanCostModel* cost_model() { return model_.get(); }
 
+  /// The session's cancellation token, shared by every ExecutePlan call.
+  /// Cancel() (from any thread) makes the running — and any subsequent —
+  /// execution return Status::Cancelled; ExecutePlan re-arms the deadline
+  /// (and clears a previous deadline expiry, but not an explicit Cancel)
+  /// at each call when exec_deadline_ms > 0.
+  CancellationToken* cancellation() { return &cancel_; }
+
  private:
   TablePtr base_;
   SessionOptions options_;
@@ -94,6 +114,7 @@ class Session {
   std::unique_ptr<StatisticsManager> stats_;
   std::unique_ptr<WhatIfProvider> whatif_;
   std::unique_ptr<OptimizerCostModel> model_;
+  CancellationToken cancel_;
 };
 
 }  // namespace gbmqo

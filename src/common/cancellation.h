@@ -1,0 +1,88 @@
+// CancellationToken: cooperative cancellation and deadlines for plan
+// execution. The executor checks the token at task starts and morsel/block
+// boundaries; a fired token surfaces as Status::Cancelled or
+// Status::DeadlineExceeded through PlanExecutor::Execute — no exceptions,
+// no partially-registered temp tables (the executor's cleanup paths run as
+// for any other task failure).
+//
+// Thread-safety: Cancel() and Check() may race freely (all state is
+// atomic); arming a deadline is done by the execution owner before workers
+// start. Once fired, a token stays fired (the reason latches) until
+// Reset().
+#ifndef GBMQO_COMMON_CANCELLATION_H_
+#define GBMQO_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace gbmqo {
+
+class CancellationToken {
+ public:
+  /// Requests cancellation; execution unwinds with Status::Cancelled at the
+  /// next cooperative check. Safe from any thread.
+  void Cancel() { LatchReason(kCancelled); }
+
+  /// Arms a deadline `ms` milliseconds from now (monotonic clock); 0 fires
+  /// at the next check. Overwrites any previous deadline.
+  void SetDeadlineAfterMs(uint64_t ms) {
+    const auto when =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    deadline_ns_.store(when.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// Disarms the deadline and clears a latched reason. Call only while no
+  /// execution is using the token.
+  void Reset() {
+    armed_.store(false, std::memory_order_relaxed);
+    reason_.store(kNone, std::memory_order_release);
+  }
+
+  /// Cheap probe: has the token fired? Reads the clock only while a
+  /// deadline is armed and not yet latched.
+  bool Fired() const {
+    if (reason_.load(std::memory_order_acquire) != kNone) return true;
+    if (armed_.load(std::memory_order_acquire) && DeadlinePassed()) {
+      LatchReason(kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// OK while live; Status::Cancelled / DeadlineExceeded once fired.
+  Status Check() const {
+    if (!Fired()) return Status::OK();
+    return reason_.load(std::memory_order_acquire) == kDeadline
+               ? Status::DeadlineExceeded("execution deadline exceeded")
+               : Status::Cancelled("execution cancelled");
+  }
+
+ private:
+  enum Reason : int { kNone = 0, kCancelled, kDeadline };
+
+  bool DeadlinePassed() const {
+    const int64_t now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    return now >= deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// First latch wins, so the reported reason is stable under races.
+  void LatchReason(int reason) const {
+    int expected = kNone;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_acq_rel);
+  }
+
+  mutable std::atomic<int> reason_{kNone};
+  std::atomic<bool> armed_{false};
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_COMMON_CANCELLATION_H_

@@ -1,0 +1,122 @@
+#include "common/fault_injector.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gbmqo {
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kTaskStart:
+      return "task_start";
+    case FaultSite::kAllocPressure:
+      return "alloc";
+    case FaultSite::kTempRegister:
+      return "temp_register";
+    case FaultSite::kSharedScanBatch:
+      return "shared_scan";
+  }
+  return "?";
+}
+
+bool FaultInjector::ShouldFail(FaultSite site, uint64_t key) {
+  Site& s = sites_[Idx(site)];
+  const uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed);
+  bool fire = false;
+  if (s.one_shot_hit >= 0 && hit == static_cast<uint64_t>(s.one_shot_hit)) {
+    fire = true;
+  }
+  if (!fire && s.probability > 0) {
+    // Pure function of (seed, site, key): 53 uniform mantissa bits of the
+    // mixed key against the threshold, independent of arrival order.
+    const uint64_t mixed =
+        FaultKey(seed_ ^ (static_cast<uint64_t>(Idx(site)) << 56), key);
+    const double u =
+        static_cast<double>(mixed >> 11) * (1.0 / 9007199254740992.0);
+    fire = u < s.probability;
+  }
+  if (fire) s.fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+namespace {
+
+/// Leaked on purpose: the env-installed injector lives for the process.
+FaultInjector* ParseEnvSpec(const char* spec) {
+  uint64_t seed = 0;
+  struct Arm {
+    FaultSite site;
+    double probability = -1;
+    int64_t one_shot = -1;
+  };
+  std::vector<Arm> arms;
+  std::string text(spec);
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    const size_t at = item.find('@');
+    std::string name;
+    if (eq != std::string::npos) {
+      name = item.substr(0, eq);
+    } else if (at != std::string::npos) {
+      name = item.substr(0, at);
+    } else {
+      continue;  // malformed item: ignore rather than fail the process
+    }
+    if (name == "seed" && eq != std::string::npos) {
+      seed = std::strtoull(item.c_str() + eq + 1, nullptr, 10);
+      continue;
+    }
+    bool known = false;
+    FaultSite site = FaultSite::kTaskStart;
+    for (int i = 0; i < kNumFaultSites; ++i) {
+      if (name == FaultSiteName(static_cast<FaultSite>(i))) {
+        site = static_cast<FaultSite>(i);
+        known = true;
+        break;
+      }
+    }
+    if (!known) continue;
+    Arm arm{site};
+    if (at != std::string::npos) {
+      arm.one_shot =
+          static_cast<int64_t>(std::strtoull(item.c_str() + at + 1, nullptr, 10));
+    } else {
+      arm.probability = std::strtod(item.c_str() + eq + 1, nullptr);
+    }
+    arms.push_back(arm);
+  }
+  if (arms.empty()) return nullptr;
+  auto* injector = new FaultInjector(seed);
+  for (const Arm& arm : arms) {
+    if (arm.one_shot >= 0) {
+      injector->ArmOneShot(arm.site, static_cast<uint64_t>(arm.one_shot));
+    } else if (arm.probability > 0) {
+      injector->ArmProbability(arm.site, arm.probability);
+    }
+  }
+  return injector;
+}
+
+}  // namespace
+
+void FaultInjector::InstallFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, []() {
+    const char* spec = std::getenv("GBMQO_FAULTS");
+    if (spec == nullptr || Active() != nullptr) return;
+    FaultInjector* injector = ParseEnvSpec(spec);
+    if (injector != nullptr) Install(injector);
+  });
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,145 @@
+// FaultInjector: deterministic fault-injection harness for the execution
+// resilience layer. Production code marks *fault sites* — places where a
+// real deployment could fail (allocation pressure while growing a group
+// table, temp-table registration, a shared-scan batch read, task start) —
+// with GBMQO_INJECT_FAULT(site, key). When no injector is installed the
+// marker is a single relaxed atomic load and a predictable branch; when one
+// is installed, whether the site fires is a *pure function* of
+// (seed, site, key), so a trial is exactly reproducible for any thread
+// count or scheduling: the caller derives `key` from stable identifiers
+// (task id, attempt number, shard index), never from arrival order.
+//
+// Sites can additionally be armed by hit count (`one_shot_hit`): the N-th
+// arrival at the site fires, which is deterministic whenever the caller
+// runs that site single-threaded (the targeted regression tests do).
+//
+// The GBMQO_FAULTS environment variable installs a process-wide injector
+// (see InstallFromEnv), e.g.:
+//
+//   GBMQO_FAULTS="seed=42;task_start=0.01;alloc=0.005;shared_scan@3"
+//
+// `site=p` arms a seeded probability, `site@N` a one-shot at the N-th hit.
+// Site names: task_start, alloc, temp_register, shared_scan.
+//
+// Compiling with -DGBMQO_DISABLE_FAULT_INJECTION turns every site marker
+// into a constant-false branch with no atomic load at all.
+#ifndef GBMQO_COMMON_FAULT_INJECTOR_H_
+#define GBMQO_COMMON_FAULT_INJECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gbmqo {
+
+/// Named classes of injectable failure. Keep FaultSiteName in sync.
+enum class FaultSite : int {
+  kTaskStart = 0,     ///< DAG executor: start of one task attempt
+  kAllocPressure,     ///< group-table allocation in hash-agg build/merge
+  kTempRegister,      ///< temp-table registration in the Catalog
+  kSharedScanBatch,   ///< per-shard batch read of a shared scan
+};
+inline constexpr int kNumFaultSites = 4;
+
+const char* FaultSiteName(FaultSite site);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  /// Arms `site` with a per-hit firing probability in [0, 1]. The decision
+  /// for a given `key` is a pure function of (seed, site, key).
+  void ArmProbability(FaultSite site, double probability) {
+    sites_[Idx(site)].probability = probability;
+  }
+
+  /// Arms `site` to fire exactly once, on its `hit`-th arrival (0-based,
+  /// counted across all threads). Deterministic when the site is reached
+  /// single-threaded; use ArmProbability for multi-threaded determinism.
+  void ArmOneShot(FaultSite site, uint64_t hit) {
+    sites_[Idx(site)].one_shot_hit = static_cast<int64_t>(hit);
+  }
+
+  /// Returns whether this arrival at `site` should fail, and records the
+  /// hit (and the fire, if any) in the site's counters.
+  bool ShouldFail(FaultSite site, uint64_t key);
+
+  uint64_t hits(FaultSite site) const {
+    return sites_[Idx(site)].hits.load(std::memory_order_relaxed);
+  }
+  uint64_t fires(FaultSite site) const {
+    return sites_[Idx(site)].fires.load(std::memory_order_relaxed);
+  }
+  uint64_t seed() const { return seed_; }
+
+  // ---- process-wide installation -------------------------------------------
+
+  /// The active injector, or nullptr when fault injection is dormant.
+  static FaultInjector* Active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Installs `injector` (not owned) as the process-wide active injector;
+  /// nullptr uninstalls. Callers serialize installation themselves (tests
+  /// use ScopedFaultInjection).
+  static void Install(FaultInjector* injector) {
+    active_.store(injector, std::memory_order_release);
+  }
+
+  /// Parses GBMQO_FAULTS (see file comment) and installs a process-wide
+  /// injector on first call; no-op when the variable is unset or an
+  /// injector is already active. Safe to call repeatedly.
+  static void InstallFromEnv();
+
+ private:
+  struct Site {
+    double probability = 0;
+    int64_t one_shot_hit = -1;  // -1 = not armed
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fires{0};
+  };
+
+  static size_t Idx(FaultSite site) { return static_cast<size_t>(site); }
+
+  static std::atomic<FaultInjector*> active_;
+
+  uint64_t seed_;
+  std::array<Site, kNumFaultSites> sites_;
+};
+
+/// RAII installation of an injector for one scope (one test trial).
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector) {
+    FaultInjector::Install(injector);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Install(nullptr); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+/// Mixes stable identifiers into a fault-site key. Chain for composite
+/// keys: FaultKey(task_id, FaultKey(attempt)).
+inline uint64_t FaultKey(uint64_t a, uint64_t b = 0) {
+  uint64_t z = a * 0x9E3779B97F4A7C15ULL + b + 0xD1B54A32D192ED03ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace gbmqo
+
+// Fault-site marker. Evaluates to true when the active injector decides
+// this arrival fails. Dormant cost is one relaxed load + branch; compiled
+// to constant false under GBMQO_DISABLE_FAULT_INJECTION.
+#if defined(GBMQO_DISABLE_FAULT_INJECTION)
+#define GBMQO_INJECT_FAULT(site, key) false
+#else
+#define GBMQO_INJECT_FAULT(site, key)                       \
+  (::gbmqo::FaultInjector::Active() != nullptr &&           \
+   ::gbmqo::FaultInjector::Active()->ShouldFail((site), (key)))
+#endif
+
+#endif  // GBMQO_COMMON_FAULT_INJECTOR_H_

@@ -22,6 +22,8 @@ class Status {
     kResourceExhausted,
     kInternal,
     kNotSupported,
+    kCancelled,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -48,6 +50,12 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -68,6 +76,8 @@ class Status {
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
 
  private:
   static const char* CodeName(Code code) {
@@ -80,6 +90,8 @@ class Status {
       case Code::kResourceExhausted: return "ResourceExhausted";
       case Code::kInternal: return "Internal";
       case Code::kNotSupported: return "NotSupported";
+      case Code::kCancelled: return "Cancelled";
+      case Code::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/timer.h"
 #include "core/storage_scheduler.h"
 #include "exec/task_runner.h"
@@ -123,12 +126,14 @@ struct ExecEnv {
 /// them (plain nested Group By nodes keep the recursive BF/DF sequencing).
 class SubtreeRunner {
  public:
-  SubtreeRunner(const ExecEnv& env, ExecContext* ctx, int parallelism)
+  SubtreeRunner(const ExecEnv& env, ExecContext* ctx, int parallelism,
+                std::optional<AggKernel> forced_kernel)
       : env_(env), ctx_(ctx), exec_(ctx, env.scan_mode, parallelism) {
-    exec_.set_forced_kernel(env.forced_kernel);
+    exec_.set_forced_kernel(forced_kernel);
   }
 
   Status RunSubPlan(const PlanNode& node, const TablePtr& parent) {
+    GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
     if (node.kind == NodeKind::kCube) return RunCube(node, parent);
     if (node.kind == NodeKind::kRollup) return RunRollup(node, parent);
     if (!node.agg_copies.empty()) return RunMultiCopy(node, parent);
@@ -139,7 +144,50 @@ class SubtreeRunner {
 
   std::map<ColumnSet, TablePtr>& results() { return results_; }
 
+  /// Failure path: drops every temp this subtree registered and has not
+  /// yet released, so an error (or exception) mid-subtree cannot strand
+  /// intermediates in the Catalog. A completed subtree has already dropped
+  /// all of them, making this a no-op on success.
+  void DropRemainingTemps() {
+    for (const std::string& name : registered_) {
+      if (env_.catalog->Exists(name)) {
+        const Status dropped = env_.catalog->Drop(name);
+        (void)dropped;
+      }
+    }
+  }
+
+  /// RAII cleanup for one subtree run: calls DropRemainingTemps unless
+  /// dismissed, covering both Status returns and exceptions thrown from
+  /// inside a task (e.g. std::bad_alloc while growing a group table).
+  class TempGuard {
+   public:
+    explicit TempGuard(SubtreeRunner* runner) : runner_(runner) {}
+    ~TempGuard() {
+      if (runner_ != nullptr) runner_->DropRemainingTemps();
+    }
+    void Dismiss() { runner_ = nullptr; }
+
+    TempGuard(const TempGuard&) = delete;
+    TempGuard& operator=(const TempGuard&) = delete;
+
+   private:
+    SubtreeRunner* runner_;
+  };
+
  private:
+  /// Fault site: temp-table registration. Keyed by the task's stable fault
+  /// salt and the (sequential) registration ordinal, so injected decisions
+  /// do not depend on scheduling.
+  Status InjectRegisterFault() {
+    if (GBMQO_INJECT_FAULT(
+            FaultSite::kTempRegister,
+            FaultKey(ctx_->fault_salt(), registered_.size()))) {
+      return Status::ResourceExhausted(
+          "injected temp-table registration failure");
+    }
+    return Status::OK();
+  }
   Result<TablePtr> RunQuery(const Table& input, ColumnSet base_cols,
                             const std::vector<AggRequest>& aggs,
                             const std::string& output, AggStrategy strategy) {
@@ -153,8 +201,12 @@ class SubtreeRunner {
   /// and dropped right away — it still counts toward the measured peak
   /// while momentarily live, since it really was materialized.
   Status RegisterCounted(const TablePtr& table, int refs) {
+    GBMQO_RETURN_NOT_OK(InjectRegisterFault());
     ctx_->counters().bytes_materialized += table->ByteSize();
-    if (refs > 0) return env_.catalog->RegisterTempWithRefs(table, refs);
+    if (refs > 0) {
+      registered_.push_back(table->name());
+      return env_.catalog->RegisterTempWithRefs(table, refs);
+    }
     GBMQO_RETURN_NOT_OK(env_.catalog->RegisterTemp(table));
     return env_.catalog->Drop(table->name());
   }
@@ -180,7 +232,9 @@ class SubtreeRunner {
         RunQuery(parent, node.columns, node.aggs, name, node.strategy_hint);
     if (!table.ok()) return table.status();
     if (node.materialized()) {
+      GBMQO_RETURN_NOT_OK(InjectRegisterFault());
       ctx_->counters().bytes_materialized += (*table)->ByteSize();
+      registered_.push_back((*table)->name());
       GBMQO_RETURN_NOT_OK(env_.catalog->RegisterTemp(*table));
     }
     if (node.required) results_[node.columns] = *table;
@@ -360,6 +414,10 @@ class SubtreeRunner {
   ExecContext* ctx_;
   QueryExecutor exec_;
   std::map<ColumnSet, TablePtr> results_;
+  /// Names of every temp registered by this subtree, in registration order
+  /// (the cleanup set for DropRemainingTemps; most are long dropped by the
+  /// refcounted release path before the subtree completes).
+  std::vector<std::string> registered_;
 };
 
 // ---- DAG construction -----------------------------------------------------
@@ -526,8 +584,11 @@ class GraphBuilder {
 
 // ---- DAG execution --------------------------------------------------------
 
-/// Per-task mutable state. Counters live per task and are folded in task
-/// order afterwards, so totals are bit-identical across worker counts.
+/// Per-task committed state. Counters live per task and are folded in task
+/// order afterwards, so totals are bit-identical across worker counts. Only
+/// the *successful* attempt's context is committed here; failed attempts are
+/// rolled back and discarded wholesale, so recovered runs keep clean
+/// counters (plus the explicit tasks_retried / tasks_degraded attribution).
 struct TaskState {
   ExecContext ctx;
   Status status;
@@ -538,13 +599,17 @@ class DagRunner {
  public:
   DagRunner(const ExecEnv& env, const TaskGraph& graph,
             const std::unordered_map<const PlanNode*, double>* node_bytes,
-            int total_parallelism, double budget, bool gated)
+            int total_parallelism, double budget, bool gated, int max_retries,
+            double backoff_ms, const CancellationToken* cancel)
       : env_(env),
         graph_(graph),
         node_bytes_(node_bytes),
         total_parallelism_(total_parallelism),
         budget_(budget),
         gated_(gated),
+        max_retries_(max_retries),
+        backoff_ms_(backoff_ms),
+        cancel_(cancel),
         states_(graph.tasks.size()) {}
 
   Status Run(int workers) {
@@ -552,8 +617,15 @@ class DagRunner {
     if (gated_) {
       admit = [this](int id, bool forced) { return Admit(id, forced); };
     }
-    RunTaskGraph(static_cast<int>(graph_.tasks.size()), graph_.deps, workers,
-                 admit, [this](int id, int active) { RunTask(id, active); });
+    try {
+      RunTaskGraph(static_cast<int>(graph_.tasks.size()), graph_.deps, workers,
+                   admit, [this](int id, int active) { RunTask(id, active); });
+    } catch (const std::exception& e) {
+      // Defensive: task bodies convert their own exceptions to Statuses, so
+      // only scheduler-level failures (e.g. thread creation) land here.
+      Cleanup();
+      return Status::Internal(std::string("plan execution threw: ") + e.what());
+    }
     for (const TaskState& st : states_) {
       if (!st.status.ok()) {
         Cleanup();
@@ -595,6 +667,19 @@ class DagRunner {
     return true;
   }
 
+  /// One in-flight attempt at a task: a fresh ExecContext (salted for
+  /// deterministic fault keys), the attempt's results, the nodes whose
+  /// outputs it registered (the rollback set), and the reservation bytes
+  /// handed to live temp tables. A failed attempt is rolled back and the
+  /// whole object discarded; only a successful attempt is committed into
+  /// the task's TaskState.
+  struct Attempt {
+    ExecContext ctx;
+    std::map<ColumnSet, TablePtr> results;
+    std::vector<const PlanNode*> registered;
+    double retained = 0;
+  };
+
   void RunTask(int id, int active) {
     const TaskSpec& t = graph_.tasks[static_cast<size_t>(id)];
     TaskState& st = states_[static_cast<size_t>(id)];
@@ -606,22 +691,7 @@ class DagRunner {
       // concurrently running tasks; a lone task gets the whole budget.
       const int intra =
           std::max(1, total_parallelism_ / std::max(1, active));
-      Status s;
-      try {
-        switch (t.kind) {
-          case TaskSpec::Kind::kQuery:
-            s = RunQueryTask(t, &st, intra, &retained);
-            break;
-          case TaskSpec::Kind::kFused:
-            s = RunFusedTask(t, &st, intra, &retained);
-            break;
-          case TaskSpec::Kind::kComposite:
-            s = RunCompositeTask(t, &st, intra);
-            break;
-        }
-      } catch (const std::exception& e) {
-        s = Status::Internal(std::string("plan task threw: ") + e.what());
-      }
+      const Status s = RunWithRetries(id, t, &st, intra, &retained);
       if (!s.ok()) {
         st.status = s;
         aborted_.store(true, std::memory_order_relaxed);
@@ -631,6 +701,118 @@ class DagRunner {
       std::lock_guard<std::mutex> lock(mu_);
       est_live_ -= t.est_bytes - retained;
     }
+  }
+
+  /// The retry loop with the degradation ladder. Attempt 0 runs the planned
+  /// shape; each re-attempt (up to max_retries_) first degrades the plan
+  /// along GB-MQO equivalences before replaying:
+  ///   - a failed fused task re-runs its members as independent per-query
+  ///     passes over the same input (no shared scan);
+  ///   - a failed task whose input is a temp table recomputes directly from
+  ///     the base relation R (every node is derivable from R);
+  ///   - a ResourceExhausted failure additionally serializes the task's
+  ///     intra-parallelism and forces the low-footprint multi-word kernel.
+  /// Cancellation / deadline failures are terminal: no retry, immediate
+  /// unwind. Fault salts are FaultKey(task id, attempt), so injected
+  /// decisions — and therefore tasks_retried / tasks_degraded — are pure
+  /// functions of (plan, seed) independent of the worker count.
+  Status RunWithRetries(int id, const TaskSpec& t, TaskState* st, int intra,
+                        double* retained) {
+    bool split_fused = false;
+    bool from_base = false;
+    bool memory_pressure = false;
+    Status last;
+    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+      if (attempt > 0 && backoff_ms_ > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(attempt * backoff_ms_));
+      }
+      Attempt a;
+      a.ctx.set_cancellation(cancel_);
+      a.ctx.set_fault_salt(FaultKey(static_cast<uint64_t>(id),
+                                    static_cast<uint64_t>(attempt)));
+      const int eff_intra = memory_pressure ? 1 : intra;
+      const std::optional<AggKernel> kernel =
+          memory_pressure ? std::optional<AggKernel>(AggKernel::kMultiWord)
+                          : env_.forced_kernel;
+      const Status s =
+          RunAttempt(t, &a, eff_intra, split_fused, from_base, kernel);
+      if (s.ok()) {
+        const bool degraded = split_fused || from_base || memory_pressure;
+        a.ctx.counters().tasks_retried += static_cast<uint64_t>(attempt);
+        if (degraded) a.ctx.counters().tasks_degraded += 1;
+        st->ctx = std::move(a.ctx);
+        st->results = std::move(a.results);
+        *retained = a.retained;
+        return ReleaseInput(t);
+      }
+      RollbackAttempt(&a);
+      last = s;
+      if (s.IsCancelled() || s.IsDeadlineExceeded()) return s;
+      if (aborted_.load(std::memory_order_relaxed)) return s;
+      // Walk one rung down the ladder for the next attempt.
+      if (t.kind == TaskSpec::Kind::kFused && !split_fused) {
+        split_fused = true;
+      } else if (t.input != nullptr && !from_base) {
+        from_base = true;
+      }
+      if (s.IsResourceExhausted()) memory_pressure = true;
+    }
+    return last;
+  }
+
+  /// Runs one attempt body, converting every exception to a Status
+  /// (std::bad_alloc — real or injected — maps to ResourceExhausted so the
+  /// ladder engages its memory-pressure rung).
+  Status RunAttempt(const TaskSpec& t, Attempt* a, int intra, bool split_fused,
+                    bool from_base, std::optional<AggKernel> kernel) {
+    GBMQO_RETURN_NOT_OK(a->ctx.CheckCancelled());
+    if (GBMQO_INJECT_FAULT(FaultSite::kTaskStart, a->ctx.fault_salt())) {
+      return Status::Internal("injected task-start failure");
+    }
+    try {
+      switch (t.kind) {
+        case TaskSpec::Kind::kQuery:
+          return RunQueryTask(t, a, intra, from_base, kernel);
+        case TaskSpec::Kind::kFused:
+          if (split_fused) {
+            return RunFusedAsQueries(t, a, intra, from_base, kernel);
+          }
+          return RunFusedTask(t, a, intra, from_base, kernel);
+        case TaskSpec::Kind::kComposite:
+          return RunCompositeTask(t, a, intra, from_base, kernel);
+      }
+    } catch (const std::bad_alloc&) {
+      return Status::ResourceExhausted("allocation failure in plan task");
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("plan task threw: ") + e.what());
+    }
+    return Status::Internal("unknown task kind");
+  }
+
+  /// Undoes a failed attempt: drops every temp table the attempt registered
+  /// and forgets its produced_ entries, so the next attempt (or the DAG
+  /// Cleanup) sees a clean slate. The admission-gate reservation stays with
+  /// the task — RunTask returns it when the task finally ends.
+  void RollbackAttempt(Attempt* a) {
+    for (const PlanNode* node : a->registered) {
+      TablePtr table;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = produced_.find(node);
+        if (it != produced_.end()) {
+          table = it->second.table;
+          produced_.erase(it);
+        }
+      }
+      if (table != nullptr && env_.catalog->Exists(table->name())) {
+        const Status dropped = env_.catalog->Drop(table->name());
+        (void)dropped;
+      }
+    }
+    a->registered.clear();
+    a->results.clear();
+    a->retained = 0;
   }
 
   TablePtr InputTable(const TaskSpec& t) {
@@ -663,12 +845,19 @@ class DagRunner {
 
   /// Registers a materialized node's output, hands the admission
   /// reservation over to the live table, and records it for consumer
-  /// tasks. A node with no consumer tasks (every child a BF composite) is
-  /// registered and dropped immediately, as the recursion did. Returns the
-  /// reservation bytes now owned by the live table.
-  Result<double> RegisterOutput(const PlanNode* node, const TablePtr& table,
-                                ExecContext* ctx) {
-    ctx->counters().bytes_materialized += table->ByteSize();
+  /// tasks and for attempt rollback. A node with no consumer tasks (every
+  /// child a BF composite) is registered and dropped immediately, as the
+  /// recursion did. Fault site: temp-table registration, keyed by the
+  /// attempt's salt and the registration ordinal within the attempt.
+  Status RegisterOutput(const PlanNode* node, const TablePtr& table,
+                        Attempt* a) {
+    if (GBMQO_INJECT_FAULT(
+            FaultSite::kTempRegister,
+            FaultKey(a->ctx.fault_salt(), a->registered.size()))) {
+      return Status::ResourceExhausted(
+          "injected temp-table registration failure");
+    }
+    a->ctx.counters().bytes_materialized += table->ByteSize();
     const double est = gated_ ? EstOf(*node) : 0;
     const auto it = graph_.consumers.find(node);
     const int refs = it == graph_.consumers.end() ? 0 : it->second;
@@ -676,21 +865,23 @@ class DagRunner {
       std::lock_guard<std::mutex> lock(mu_);
       produced_[node] = ProducedTable{table, est};
     }
+    a->registered.push_back(node);
     if (refs > 0) {
       GBMQO_RETURN_NOT_OK(env_.catalog->RegisterTempWithRefs(table, refs));
-      return est;
+      a->retained += est;
+      return Status::OK();
     }
     GBMQO_RETURN_NOT_OK(env_.catalog->RegisterTemp(table));
-    GBMQO_RETURN_NOT_OK(env_.catalog->Drop(table->name()));
-    return 0.0;
+    return env_.catalog->Drop(table->name());
   }
 
-  Status RunQueryTask(const TaskSpec& t, TaskState* st, int intra,
-                      double* retained) {
-    const PlanNode& node = *t.node;
-    const TablePtr input = InputTable(t);
-    QueryExecutor exec(&st->ctx, env_.scan_mode, intra);
-    exec.set_forced_kernel(env_.forced_kernel);
+  /// Computes one plain node from `input` (the planned parent table, or the
+  /// base relation on the from-base rung — BuildQuery re-resolves the
+  /// aggregates to their raw forms automatically in that case).
+  Status RunNodeQuery(const PlanNode& node, const TablePtr& input, Attempt* a,
+                      int intra, std::optional<AggKernel> kernel) {
+    QueryExecutor exec(&a->ctx, env_.scan_mode, intra);
+    exec.set_forced_kernel(kernel);
     const std::string name = node.materialized()
                                  ? env_.TempNameFor(node.columns)
                                  : ExecEnv::LeafNameFor(node.columns);
@@ -701,19 +892,23 @@ class DagRunner {
         exec.ExecuteGroupBy(*input, *query, name, node.strategy_hint);
     if (!table.ok()) return table.status();
     if (node.materialized()) {
-      Result<double> kept = RegisterOutput(&node, *table, &st->ctx);
-      if (!kept.ok()) return kept.status();
-      *retained = *kept;
+      GBMQO_RETURN_NOT_OK(RegisterOutput(&node, *table, a));
     }
-    if (node.required) st->results[node.columns] = *table;
-    return ReleaseInput(t);
+    if (node.required) a->results[node.columns] = *table;
+    return Status::OK();
   }
 
-  Status RunFusedTask(const TaskSpec& t, TaskState* st, int intra,
-                      double* retained) {
-    const TablePtr input = InputTable(t);
-    QueryExecutor exec(&st->ctx, env_.scan_mode, intra);
-    exec.set_forced_kernel(env_.forced_kernel);
+  Status RunQueryTask(const TaskSpec& t, Attempt* a, int intra, bool from_base,
+                      std::optional<AggKernel> kernel) {
+    const TablePtr input = from_base ? env_.base : InputTable(t);
+    return RunNodeQuery(*t.node, input, a, intra, kernel);
+  }
+
+  Status RunFusedTask(const TaskSpec& t, Attempt* a, int intra, bool from_base,
+                      std::optional<AggKernel> kernel) {
+    const TablePtr input = from_base ? env_.base : InputTable(t);
+    QueryExecutor exec(&a->ctx, env_.scan_mode, intra);
+    exec.set_forced_kernel(kernel);
     std::vector<GroupByQuery> queries;
     std::vector<std::string> names;
     queries.reserve(t.fused.size());
@@ -732,21 +927,37 @@ class DagRunner {
       const PlanNode& m = *t.fused[i];
       const TablePtr& table = (*tables)[i];
       if (m.materialized()) {
-        Result<double> kept = RegisterOutput(&m, table, &st->ctx);
-        if (!kept.ok()) return kept.status();
-        *retained += *kept;
+        GBMQO_RETURN_NOT_OK(RegisterOutput(&m, table, a));
       }
-      if (m.required) st->results[m.columns] = table;
+      if (m.required) a->results[m.columns] = table;
     }
-    return ReleaseInput(t);
+    return Status::OK();
   }
 
-  Status RunCompositeTask(const TaskSpec& t, TaskState* st, int intra) {
-    const TablePtr input = InputTable(t);
-    SubtreeRunner runner(env_, &st->ctx, intra);
+  /// Degraded replay of a fused task: each member runs as an independent
+  /// per-query pass over the input (one scan per member instead of the
+  /// shared scan). Results are identical — fusion never changes what a
+  /// query computes — only the scan counters differ.
+  Status RunFusedAsQueries(const TaskSpec& t, Attempt* a, int intra,
+                           bool from_base, std::optional<AggKernel> kernel) {
+    const TablePtr input = from_base ? env_.base : InputTable(t);
+    for (const PlanNode* m : t.fused) {
+      GBMQO_RETURN_NOT_OK(a->ctx.CheckCancelled());
+      GBMQO_RETURN_NOT_OK(RunNodeQuery(*m, input, a, intra, kernel));
+    }
+    return Status::OK();
+  }
+
+  Status RunCompositeTask(const TaskSpec& t, Attempt* a, int intra,
+                          bool from_base, std::optional<AggKernel> kernel) {
+    const TablePtr input = from_base ? env_.base : InputTable(t);
+    SubtreeRunner runner(env_, &a->ctx, intra, kernel);
+    // Drops any temps the subtree leaves behind on error or exception
+    // unwind; a completed subtree has released all of them (no-op).
+    SubtreeRunner::TempGuard guard(&runner);
     GBMQO_RETURN_NOT_OK(runner.RunSubPlan(*t.node, input));
-    st->results = std::move(runner.results());
-    return ReleaseInput(t);
+    a->results = std::move(runner.results());
+    return Status::OK();
   }
 
   /// Failure path: drop produced temps whose consumers never ran.
@@ -771,6 +982,9 @@ class DagRunner {
   const int total_parallelism_;
   const double budget_;
   const bool gated_;
+  const int max_retries_;
+  const double backoff_ms_;
+  const CancellationToken* cancel_;
   std::vector<TaskState> states_;
   std::atomic<bool> aborted_{false};
   std::mutex mu_;  // guards produced_ and est_live_
@@ -782,6 +996,7 @@ class DagRunner {
 
 Result<ExecutionResult> PlanExecutor::Execute(
     const LogicalPlan& plan, const std::vector<GroupByRequest>& requests) {
+  if (cancel_ != nullptr) GBMQO_RETURN_NOT_OK(cancel_->Check());
   Result<TablePtr> base = catalog_->Get(base_table_);
   if (!base.ok()) return base.status();
   GBMQO_RETURN_NOT_OK(ValidateRequests(requests, (*base)->schema()));
@@ -801,7 +1016,8 @@ Result<ExecutionResult> PlanExecutor::Execute(
   const TaskGraph graph = builder.Build(plan);
 
   DagRunner runner(env, graph, gated ? &node_bytes : nullptr, parallelism_,
-                   storage_budget_, gated);
+                   storage_budget_, gated, max_task_retries_, retry_backoff_ms_,
+                   cancel_);
   const int workers =
       node_parallel_
           ? std::max(1, std::min(parallelism_,

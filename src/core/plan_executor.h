@@ -23,6 +23,7 @@
 #include <map>
 #include <string>
 
+#include "common/cancellation.h"
 #include "core/logical_plan.h"
 #include "cost/whatif.h"
 #include "exec/query_executor.h"
@@ -98,6 +99,30 @@ class PlanExecutor {
     whatif_ = whatif;
   }
 
+  /// Resilience: extra attempts allowed per failed task (default 0 = fail
+  /// fast, the seed behaviour). Each re-attempt walks the degradation
+  /// ladder — a failed fused task re-runs its members as independent
+  /// per-query passes, a failed task that read a temp table recomputes
+  /// directly from the base relation, and a ResourceExhausted failure
+  /// serializes the task's internal parallelism and forces the multi-word
+  /// kernel. Recovered runs produce the same result content as the
+  /// fault-free run and are surfaced via WorkCounters::tasks_retried /
+  /// tasks_degraded.
+  void set_max_task_retries(int retries) {
+    max_task_retries_ = retries < 0 ? 0 : retries;
+  }
+
+  /// Sleep before the k-th re-attempt of a task: k * backoff_ms.
+  void set_retry_backoff_ms(double backoff_ms) {
+    retry_backoff_ms_ = backoff_ms < 0 ? 0 : backoff_ms;
+  }
+
+  /// Cooperative cancellation / deadline: the token is checked at every
+  /// task start and at morsel/block boundaries inside the engine; once it
+  /// fires, Execute unwinds (no retries), releases all temp tables, and
+  /// returns Status::Cancelled or DeadlineExceeded. nullptr disables.
+  void set_cancellation(const CancellationToken* token) { cancel_ = token; }
+
  private:
   Catalog* catalog_;
   std::string base_table_;
@@ -108,6 +133,9 @@ class PlanExecutor {
   bool node_parallel_ = true;
   double storage_budget_ = std::numeric_limits<double>::infinity();
   WhatIfProvider* whatif_ = nullptr;
+  int max_task_retries_ = 0;
+  double retry_backoff_ms_ = 0;
+  const CancellationToken* cancel_ = nullptr;
 };
 
 }  // namespace gbmqo

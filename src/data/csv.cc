@@ -1,7 +1,9 @@
 #include "data/csv.h"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -21,13 +23,18 @@ bool ParseInt(const std::string& text, int64_t* out) {
 
 bool ParseDouble(const std::string& text, double* out) {
   if (text.empty()) return false;
-  try {
-    size_t consumed = 0;
-    *out = std::stod(text, &consumed);
-    return consumed == text.size();
-  } catch (...) {
-    return false;
-  }
+  // std::strtod instead of std::stod: no exceptions on malformed or
+  // out-of-range cells, just a parse-failure return. `text` is
+  // NUL-terminated (std::string), so end-pointer comparison detects
+  // trailing garbage exactly as the stod `consumed` check did.
+  const char* begin = text.c_str();
+  char* parse_end = nullptr;
+  errno = 0;
+  const double v = std::strtod(begin, &parse_end);
+  if (parse_end != begin + text.size()) return false;
+  if (errno == ERANGE) return false;
+  *out = v;
+  return true;
 }
 
 /// Infers the narrowest type that fits every non-empty cell of a column.

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/cancellation.h"
+
 namespace gbmqo {
 
 /// The hash-aggregation kernel executing a group-by. QueryExecutor selects
@@ -90,6 +92,12 @@ struct WorkCounters {
   /// folding every column of every scanned row in here keeps the full-width
   /// touch from being optimized away. Value is meaningless; ignore it.
   uint64_t scan_touch_checksum = 0;
+  /// Resilience: extra task attempts performed after a failure, and tasks
+  /// that succeeded via a degraded plan (fused -> per-query, temp -> base
+  /// recompute, forced multi-word under memory pressure). Both are pure
+  /// functions of (plan, fault seed) — see PlanExecutor's retry ladder.
+  uint64_t tasks_retried = 0;
+  uint64_t tasks_degraded = 0;
 
   WorkCounters& operator+=(const WorkCounters& o) {
     rows_scanned += o.rows_scanned;
@@ -104,6 +112,8 @@ struct WorkCounters {
     packed_kernel_rows += o.packed_kernel_rows;
     multiword_kernel_rows += o.multiword_kernel_rows;
     scan_touch_checksum ^= o.scan_touch_checksum;
+    tasks_retried += o.tasks_retried;
+    tasks_degraded += o.tasks_degraded;
     return *this;
   }
 
@@ -140,8 +150,30 @@ class ExecContext {
     worker->ResetCounters();
   }
 
+  // ---- resilience plumbing -------------------------------------------------
+
+  /// Cooperative-cancellation token checked by the engine at task starts
+  /// and morsel/block boundaries; nullptr (default) disables the checks.
+  void set_cancellation(const CancellationToken* token) { cancel_ = token; }
+  const CancellationToken* cancellation() const { return cancel_; }
+
+  /// OK, or the token's Cancelled/DeadlineExceeded status once fired.
+  Status CheckCancelled() const {
+    if (cancel_ == nullptr) return Status::OK();
+    return cancel_->Check();
+  }
+
+  /// Stable salt mixed into fault-injection keys by the engine's fault
+  /// sites (see common/fault_injector.h). The DAG executor derives it from
+  /// (task id, attempt), so injected decisions are reproducible for any
+  /// thread count.
+  void set_fault_salt(uint64_t salt) { fault_salt_ = salt; }
+  uint64_t fault_salt() const { return fault_salt_; }
+
  private:
   WorkCounters counters_;
+  const CancellationToken* cancel_ = nullptr;
+  uint64_t fault_salt_ = 0;
 };
 
 }  // namespace gbmqo

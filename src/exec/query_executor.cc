@@ -5,9 +5,11 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <new>
 #include <numeric>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "exec/agg_kernel.h"
 #include "exec/group_hash_table.h"
 #include "exec/task_runner.h"
@@ -491,12 +493,25 @@ void ChargeKernel(WorkCounters* wc, AggKernel kernel, size_t rows,
       static_cast<double>(rows) * AggCpuPerRow(kernel, static_cast<double>(groups));
 }
 
+/// Fault site: allocation pressure while building a shard's group table
+/// (GroupHashTable / DenseGroupTable / accumulator growth). Throws the same
+/// std::bad_alloc a real allocation failure would; RunTasks rethrows it on
+/// the caller and the DAG executor maps it to Status::ResourceExhausted.
+/// Keyed by the task's stable fault salt and the shard/partition ordinal,
+/// so decisions are independent of worker scheduling.
+void InjectAllocPressure(uint64_t salt, uint64_t ordinal) {
+  if (GBMQO_INJECT_FAULT(FaultSite::kAllocPressure, FaultKey(salt, ordinal))) {
+    throw std::bad_alloc();
+  }
+}
+
 }  // namespace
 
 Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
                                                const GroupByQuery& query,
                                                const std::string& output_name,
                                                AggStrategy strategy) {
+  GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
   AggState state(input, query);
   GBMQO_RETURN_NOT_OK(state.Validate());
 
@@ -551,11 +566,18 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
       const bool touch = scan_mode_ == ScanMode::kRowStore;
       std::vector<ShardAgg> shards(static_cast<size_t>(layout.shards));
       std::vector<uint64_t> shard_checksums(static_cast<size_t>(layout.shards), 0);
+      const CancellationToken* tok = ctx_->cancellation();
+      const uint64_t salt = ctx_->fault_salt();
       RunTasks(layout.shards, parallelism_, [&](int s) {
+        InjectAllocPressure(salt, static_cast<uint64_t>(s));
         ShardBuilder builder(input, query, kplan, layout.ShardRows(s));
         RowToucher shard_toucher(input, touch);
         layout.ForEachShardBlock(
             s, BlockKeyFiller::kBlockRows, [&](size_t begin, size_t count) {
+              // Morsel-boundary cancellation point: a fired token stops the
+              // scan early; the caller surfaces Cancelled before any output
+              // is built from the partial state.
+              if (tok != nullptr && tok->Fired()) return;
               for (size_t r = begin; r < begin + count; ++r) {
                 shard_toucher.Touch(r);
               }
@@ -564,6 +586,7 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
         shards[static_cast<size_t>(s)] = builder.Take();
         shard_checksums[static_cast<size_t>(s)] = shard_toucher.checksum();
       });
+      GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
 
       uint64_t probes = 0;
       size_t groups = 0;
@@ -582,9 +605,11 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
         for (const ShardAgg& shard : shards) total_groups += shard.groups();
         std::vector<ShardAgg> merged(kMergePartitions);
         RunTasks(kMergePartitions, parallelism_, [&](int p) {
+          InjectAllocPressure(salt, 4096 + static_cast<uint64_t>(p));
           MergePartition(input, query, kplan, shards, total_groups, p,
                          &merged[static_cast<size_t>(p)]);
         });
+        GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
         for (ShardAgg& part : merged) {
           probes += part.probes();
           groups += part.groups();
@@ -601,6 +626,7 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
       // Materialize keys, sort row ids lexicographically, stream runs.
       std::vector<uint64_t> all(n * static_cast<size_t>(kw));
       for (size_t row = 0; row < n; ++row) {
+        if ((row & 0xFFFF) == 0) GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
         toucher.Touch(row);
         keys.FillKey(row, all.data() + row * static_cast<size_t>(kw));
       }
@@ -633,6 +659,7 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
       uint32_t id = 0;
       bool first = true;
       for (size_t i = 0; i < n; ++i) {
+        if ((i & 0xFFFF) == 0) GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
         const size_t row = order[i];
         keys.FillKey(row, key.data());
         if (!first && !std::equal(key.begin(), key.end(), prev.begin())) ++id;
@@ -659,6 +686,7 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
 Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
     const Table& input, const std::vector<GroupByQuery>& queries,
     const std::vector<std::string>& output_names) {
+  GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
   if (queries.size() != output_names.size()) {
     return Status::InvalidArgument("queries/output_names size mismatch");
   }
@@ -690,7 +718,20 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
   std::vector<std::vector<ShardAgg>> shard_aggs(
       static_cast<size_t>(layout.shards));
   std::vector<uint64_t> shard_checksums(static_cast<size_t>(layout.shards), 0);
+  // Per-shard failure slots for the batch-read fault site: a failed shard
+  // records a Status instead of throwing, and the first non-OK one fails
+  // the whole shared pass after the build phase joins.
+  std::vector<Status> shard_status(static_cast<size_t>(layout.shards));
+  const CancellationToken* tok = ctx_->cancellation();
+  const uint64_t salt = ctx_->fault_salt();
   RunTasks(layout.shards, parallelism_, [&](int s) {
+    if (GBMQO_INJECT_FAULT(FaultSite::kSharedScanBatch,
+                           FaultKey(salt, static_cast<uint64_t>(s)))) {
+      shard_status[static_cast<size_t>(s)] =
+          Status::Internal("injected shared-scan batch read failure");
+      return;
+    }
+    InjectAllocPressure(salt, static_cast<uint64_t>(s));
     const size_t shard_rows = layout.ShardRows(s);
     std::vector<ShardBuilder> builders;
     builders.reserve(nq);
@@ -700,6 +741,8 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
     RowToucher shard_toucher(input, touch);
     layout.ForEachShardBlock(
         s, BlockKeyFiller::kBlockRows, [&](size_t begin, size_t count) {
+          // Morsel-boundary cancellation point (see ExecuteGroupBy).
+          if (tok != nullptr && tok->Fired()) return;
           // One full-width touch per row (the shared scan), then every
           // query consumes the same block.
           for (size_t r = begin; r < begin + count; ++r) {
@@ -714,6 +757,8 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
     for (ShardBuilder& b : builders) aggs.push_back(b.Take());
     shard_checksums[static_cast<size_t>(s)] = shard_toucher.checksum();
   });
+  for (const Status& s : shard_status) GBMQO_RETURN_NOT_OK(s);
+  GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
   for (uint64_t c : shard_checksums) wc.scan_touch_checksum ^= c;
 
   // Merge phase: each (query, partition) pair is an independent task.
@@ -749,11 +794,13 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
     for (auto& v : merged) v.resize(kMergePartitions);
     const int tasks = static_cast<int>(nq) * kMergePartitions;
     RunTasks(tasks, parallelism_, [&](int t) {
+      InjectAllocPressure(salt, 4096 + static_cast<uint64_t>(t));
       const size_t qi = static_cast<size_t>(t) / kMergePartitions;
       const int p = t % kMergePartitions;
       MergePartition(input, queries[qi], kplans[qi], by_query[qi], totals[qi],
                      p, &merged[qi][static_cast<size_t>(p)]);
     });
+    GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
     for (size_t qi = 0; qi < nq; ++qi) {
       for (ShardAgg& part : merged[qi]) {
         query_probes[qi] += part.probes();

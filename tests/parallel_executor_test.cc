@@ -129,6 +129,8 @@ void ExpectSameCounters(const WorkCounters& a, const WorkCounters& b) {
   EXPECT_EQ(a.multiword_kernel_rows, b.multiword_kernel_rows);
   EXPECT_EQ(a.scan_touch_checksum, b.scan_touch_checksum);
   EXPECT_EQ(a.agg_cpu_units, b.agg_cpu_units);
+  EXPECT_EQ(a.tasks_retried, b.tasks_retried);
+  EXPECT_EQ(a.tasks_degraded, b.tasks_degraded);
 }
 
 /// Cell-by-cell result equality: same tables, same row order, same values.

@@ -26,6 +26,17 @@ TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
   EXPECT_TRUE(Status::ResourceExhausted("m").IsResourceExhausted());
   EXPECT_TRUE(Status::Internal("m").IsInternal());
   EXPECT_TRUE(Status::NotSupported("m").IsNotSupported());
+  EXPECT_TRUE(Status::Cancelled("m").IsCancelled());
+  EXPECT_TRUE(Status::DeadlineExceeded("m").IsDeadlineExceeded());
+}
+
+TEST(StatusTest, CancellationCodesRenderByName) {
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  // The cancellation codes are errors, not silent successes.
+  EXPECT_FALSE(Status::Cancelled("stop").ok());
+  EXPECT_FALSE(Status::DeadlineExceeded("late").ok());
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -27,6 +27,8 @@ int Usage(const char* argv0) {
       "          --spec 'GROUPING SETS spec' (run|explain|sql|profile)\n"
       "          [--out DIR]  write result tables as CSV into DIR\n"
       "          [--naive]    also execute the naive plan and compare\n"
+      "          [--retries N]  re-attempts per failed execution task\n"
+      "                         (degradation ladder; pairs with GBMQO_FAULTS)\n"
       "\n"
       "spec examples:  \"(a), (b), (a, c)\"   \"SINGLE(a, b, c)\"   "
       "\"PAIRS(a, b, c)\"\n",
@@ -42,6 +44,7 @@ struct Args {
   std::string command;
   std::string out_dir;
   bool compare_naive = false;
+  int retries = 0;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -72,6 +75,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->out_dir = v;
     } else if (arg == "--naive") {
       args->compare_naive = true;
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->retries = std::atoi(v);
     } else if (arg[0] != '-') {
       args->command = arg;
     } else {
@@ -110,7 +117,9 @@ int RunCli(const Args& args) {
   std::printf("-- loaded '%s': %zu rows, %d columns\n",
               (*table)->name().c_str(), (*table)->num_rows(),
               (*table)->schema().num_columns());
-  Session session(*table);
+  SessionOptions options;
+  options.max_task_retries = args.retries;
+  Session session(*table, options);
 
   std::string spec = args.spec;
   if (args.command == "profile" && spec.empty()) {
