@@ -1,0 +1,229 @@
+// Concurrent serving bench: the cross-request aggregate cache and the
+// worker-pool serving layer (api/server.h).
+//
+//  (a) Hit-vs-miss latency — one client repeats an identical request set
+//      against a warm cache: the first (cold) execution computes and pins
+//      every aggregate, every repeat is served from the pinned views. The
+//      content checksum proves warm results are bit-identical to cold
+//      execution, and catalog temp bytes are checked against the
+//      pinned-cache baseline after every request.
+//  (b) Throughput vs concurrent clients — {1, 2, 4, 8} clients each push a
+//      stream of rotating request sets through one server, cache on vs
+//      cache off, with the hit rate reported for the cached runs.
+//
+// Emits BENCH_serving.json at the repo root after the tables.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/server.h"
+#include "bench/bench_util.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+using bench::Banner;
+
+/// FNV-1a over every cell of every result table in canonical order.
+uint64_t ContentChecksum(const ExecutionResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [cols, table] : r.results) {
+    mix(cols.ToString());
+    for (size_t row = 0; row < table->num_rows(); ++row) {
+      for (int c = 0; c < table->schema().num_columns(); ++c) {
+        mix(table->column(c).ValueAt(row).ToString());
+      }
+    }
+  }
+  return h;
+}
+
+const std::vector<std::string>& ClientSpecs() {
+  static const std::vector<std::string> specs = {
+      "SINGLE(l_returnflag, l_linestatus, l_shipmode, l_shipinstruct)",
+      "PAIRS(l_returnflag, l_linestatus, l_shipmode)",
+      "SINGLE(l_quantity, l_tax, l_discount)",
+      "(l_returnflag, l_shipmode), (l_linestatus, l_shipinstruct)",
+  };
+  return specs;
+}
+
+struct ThroughputPoint {
+  int clients = 0;
+  double cached_rps = 0;
+  double uncached_rps = 0;
+  double hit_rate = 0;  // of the cached run
+};
+
+/// `clients` threads each execute `per_client` rotating request sets.
+/// Returns requests/second and, for cached servers, the final hit rate.
+ThroughputPoint MeasureThroughput(const TablePtr& base, int clients,
+                                  int per_client, bool cache_on) {
+  ServerOptions options;
+  options.pool_size = clients;
+  options.enable_aggregate_cache = cache_on;
+  options.coalesce_identical_requests = false;  // measure real executions
+  options.session.parallelism = 2;
+  Server server(base, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const std::string& spec =
+            ClientSpecs()[(c + i) % ClientSpecs().size()];
+        auto r = server.Execute(spec);
+        if (!r.ok()) {
+          std::fprintf(stderr, "serving failed: %s\n",
+                       r.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ThroughputPoint p;
+  p.clients = clients;
+  const double rps = clients * per_client / seconds;
+  if (cache_on) {
+    p.cached_rps = rps;
+    const AggregateCacheStats cs = server.stats().cache;
+    const uint64_t lookups = cs.hits + cs.misses;
+    p.hit_rate = lookups == 0 ? 0 : static_cast<double>(cs.hits) / lookups;
+  } else {
+    p.uncached_rps = rps;
+  }
+  return p;
+}
+
+}  // namespace
+}  // namespace gbmqo
+
+int main() {
+  using namespace gbmqo;
+
+  const size_t rows = bench::RowsFromEnv(500000);
+  Banner("bench_serving: concurrent serving + cross-request aggregate cache",
+         "this repo's serving layer (api/server.h)");
+  std::printf("rows=%zu (set GBMQO_ROWS to change)\n\n", rows);
+
+  TablePtr lineitem = GenerateLineitem({.rows = rows, .seed = 11});
+
+  // ---- (a) hit-vs-miss latency on an identical repeated request set -------
+  const char* kRepeatSpec =
+      "SINGLE(l_returnflag, l_linestatus, l_shipmode, l_shipinstruct)";
+  double cold_ms = 0, warm_ms = 1e100;
+  uint64_t cold_checksum = 0;
+  bool identical = true, baseline_ok = true;
+  uint64_t warm_hits = 0, warm_misses = 0;
+  {
+    Server server(lineitem);
+    auto cold = server.Execute(kRepeatSpec);
+    if (!cold.ok()) {
+      std::fprintf(stderr, "cold run failed: %s\n",
+                   cold.status().ToString().c_str());
+      return 1;
+    }
+    cold_ms = cold->wall_seconds * 1e3;
+    cold_checksum = ContentChecksum(*cold);
+    baseline_ok &=
+        server.catalog()->temp_bytes() == server.cache()->pinned_bytes();
+    for (int rep = 0; rep < 5; ++rep) {
+      auto warm = server.Execute(kRepeatSpec);
+      if (!warm.ok()) {
+        std::fprintf(stderr, "warm run failed: %s\n",
+                     warm.status().ToString().c_str());
+        return 1;
+      }
+      warm_ms = std::min(warm_ms, warm->wall_seconds * 1e3);
+      identical &= ContentChecksum(*warm) == cold_checksum;
+      baseline_ok &=
+          server.catalog()->temp_bytes() == server.cache()->pinned_bytes();
+      warm_hits = warm->counters.cache_hits;
+      warm_misses = warm->counters.cache_misses;
+    }
+  }
+  const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0;
+  std::printf("(a) identical request set, cache enabled\n");
+  std::printf("    %-28s %10.3f ms\n", "cold (computes + pins)", cold_ms);
+  std::printf("    %-28s %10.3f ms   (min of 5)\n", "warm (served from cache)",
+              warm_ms);
+  std::printf("    %-28s %9.1fx\n", "hit speedup", speedup);
+  std::printf("    %-28s %10llu hits, %llu misses per warm request\n",
+              "cache counters",
+              static_cast<unsigned long long>(warm_hits),
+              static_cast<unsigned long long>(warm_misses));
+  std::printf("    %-28s %10s\n", "warm == cold content",
+              identical ? "yes" : "NO");
+  std::printf("    %-28s %10s\n", "temp bytes == pinned bytes",
+              baseline_ok ? "yes" : "NO");
+
+  // ---- (b) throughput vs concurrent clients, cache on/off ------------------
+  const int per_client = 6;
+  std::vector<ThroughputPoint> points;
+  std::printf("\n(b) throughput vs concurrent clients (%d requests each)\n",
+              per_client);
+  std::printf("    %8s %14s %14s %10s\n", "clients", "cache on (r/s)",
+              "cache off (r/s)", "hit rate");
+  for (const int clients : {1, 2, 4, 8}) {
+    ThroughputPoint on = MeasureThroughput(lineitem, clients, per_client, true);
+    ThroughputPoint off =
+        MeasureThroughput(lineitem, clients, per_client, false);
+    on.uncached_rps = off.uncached_rps;
+    points.push_back(on);
+    std::printf("    %8d %14.2f %14.2f %9.1f%%\n", clients, on.cached_rps,
+                on.uncached_rps, 100.0 * on.hit_rate);
+  }
+
+#ifdef GBMQO_REPO_ROOT
+  const std::string json_path =
+      std::string(GBMQO_REPO_ROOT) + "/BENCH_serving.json";
+#else
+  const std::string json_path = "BENCH_serving.json";
+#endif
+  std::string json = "{\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"rows\": %zu,\n"
+                "  \"cold_ms\": %.3f,\n"
+                "  \"warm_ms\": %.3f,\n"
+                "  \"hit_speedup\": %.2f,\n"
+                "  \"warm_bit_identical\": %s,\n"
+                "  \"temp_bytes_baseline_ok\": %s,\n"
+                "  \"throughput\": [\n",
+                rows, cold_ms, warm_ms, speedup, identical ? "true" : "false",
+                baseline_ok ? "true" : "false");
+  json += buf;
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"clients\": %d, \"cache_on_rps\": %.2f, "
+                  "\"cache_off_rps\": %.2f, \"hit_rate\": %.4f}%s\n",
+                  points[i].clients, points[i].cached_rps,
+                  points[i].uncached_rps, points[i].hit_rate,
+                  i + 1 < points.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return identical && baseline_ok && speedup >= 2.0 ? 0 : 1;
+}

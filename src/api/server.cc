@@ -1,0 +1,282 @@
+#include "api/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fault_injector.h"
+#include "common/timer.h"
+#include "sql/grouping_sets_parser.h"
+
+namespace gbmqo {
+
+namespace {
+
+std::vector<AggRequest> CanonicalAggs(const std::vector<AggRequest>& aggs) {
+  std::vector<AggRequest> out = aggs;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Matches PlanExecutor's leaf naming so cache-served and plan-computed
+/// result tables are indistinguishable to the client.
+std::string ResultNameFor(ColumnSet cols) {
+  return "result" + cols.ToString();
+}
+
+}  // namespace
+
+Server::Server(TablePtr base, ServerOptions options)
+    : base_(std::move(base)), options_(options) {
+  FaultInjector::InstallFromEnv();
+  (void)catalog_.RegisterBase(base_);
+  stats_ = std::make_unique<StatisticsManager>(
+      *base_, options_.session.stats_mode, options_.session.sample_size);
+  whatif_ = std::make_unique<WhatIfProvider>(stats_.get());
+  model_ = std::make_unique<OptimizerCostModel>(*base_);
+  if (options_.global_storage_budget_bytes > 0) {
+    governor_ =
+        std::make_unique<StorageGovernor>(options_.global_storage_budget_bytes);
+  }
+  if (options_.enable_aggregate_cache && options_.cache_budget_bytes > 0) {
+    cache_ = std::make_unique<AggregateCache>(
+        &catalog_, options_.cache_budget_bytes, governor_.get());
+  }
+  const int pool = options_.pool_size < 1 ? 1 : options_.pool_size;
+  workers_.reserve(static_cast<size_t>(pool));
+  for (int i = 0; i < pool; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // The cache must release its catalog pins before the catalog dies.
+  cache_.reset();
+}
+
+Result<std::vector<GroupByRequest>> Server::Parse(
+    const std::string& spec) const {
+  return ParseGroupingSets(spec, base_->schema());
+}
+
+std::string Server::Signature(const std::vector<GroupByRequest>& requests) {
+  std::vector<std::string> parts;
+  parts.reserve(requests.size());
+  for (const GroupByRequest& req : requests) {
+    std::string p = req.columns.ToString();
+    for (const AggRequest& a : CanonicalAggs(req.aggs)) {
+      p += "|" + std::to_string(static_cast<int>(a.kind)) + ":" +
+           std::to_string(a.column);
+    }
+    parts.push_back(std::move(p));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string sig;
+  for (const std::string& p : parts) {
+    sig += p;
+    sig += ";";
+  }
+  return sig;
+}
+
+Server::Ticket Server::Submit(std::vector<GroupByRequest> requests) {
+  auto promise =
+      std::make_shared<std::promise<Result<ExecutionResult>>>();
+  Ticket ticket;
+  ticket.future_ = promise->get_future().share();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      promise->set_value(Status::Cancelled("server is shutting down"));
+      return ticket;
+    }
+    std::string sig;
+    if (options_.coalesce_identical_requests) {
+      sig = Signature(requests);
+      auto it = in_flight_.find(sig);
+      if (it != in_flight_.end()) {
+        ++requests_coalesced_;
+        ticket.future_ = it->second;
+        return ticket;
+      }
+      in_flight_.emplace(sig, ticket.future_);
+    }
+    queue_.push_back(Job{std::move(requests), std::move(promise),
+                         std::move(sig)});
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+Result<Server::Ticket> Server::Submit(const std::string& spec) {
+  Result<std::vector<GroupByRequest>> requests = Parse(spec);
+  if (!requests.ok()) return requests.status();
+  return Submit(*std::move(requests));
+}
+
+Result<ExecutionResult> Server::Execute(
+    const std::vector<GroupByRequest>& requests) {
+  return Submit(requests).Get();
+}
+
+Result<ExecutionResult> Server::Execute(const std::string& spec) {
+  Result<Ticket> ticket = Submit(spec);
+  if (!ticket.ok()) return ticket.status();
+  return ticket->Get();
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Result<ExecutionResult> result = HandleRequest(job.requests);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Retire the coalescing slot before publishing: a submission racing
+      // with set_value either joins this job's future (and sees the value)
+      // or starts a fresh one — never observes a half-fulfilled slot.
+      if (!job.signature.empty()) in_flight_.erase(job.signature);
+      if (result.ok()) {
+        ++requests_served_;
+      } else {
+        ++requests_failed_;
+      }
+    }
+    job.promise->set_value(std::move(result));
+  }
+}
+
+Result<ExecutionResult> Server::HandleRequest(
+    const std::vector<GroupByRequest>& requests) {
+  WallTimer timer;
+
+  // Optimize against a snapshot of the pinned views: requests fully covered
+  // by a view leave the plan as serve edges (OptimizerResult::cache_edges).
+  OptimizerOptions opt_options = options_.session.optimizer;
+  if (cache_ != nullptr) opt_options.cached_views = cache_->SnapshotViews();
+  GbMqoOptimizer optimizer(model_.get(), whatif_.get(), opt_options);
+  Result<OptimizerResult> opt = optimizer.Optimize(requests);
+  if (!opt.ok()) return opt.status();
+
+  std::vector<GroupByRequest> open;
+  open.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (opt->cache_edges.count(i) == 0) open.push_back(requests[i]);
+  }
+
+  ExecutionResult out;
+  CancellationToken token;
+  if (!open.empty()) {
+    PlanExecutor executor(&catalog_, base_->name(), options_.session.scan_mode,
+                          options_.session.parallelism);
+    executor.set_fusion_enabled(options_.session.shared_scan_fusion);
+    executor.set_node_parallel(options_.session.node_parallelism);
+    const bool per_plan_gate = options_.session.max_exec_storage_bytes > 0;
+    if (per_plan_gate || governor_ != nullptr) {
+      executor.set_storage_budget(
+          per_plan_gate ? options_.session.max_exec_storage_bytes
+                        : std::numeric_limits<double>::infinity(),
+          whatif_.get());
+    }
+    executor.set_max_task_retries(options_.session.max_task_retries);
+    executor.set_retry_backoff_ms(options_.session.retry_backoff_ms);
+    if (options_.session.exec_deadline_ms > 0) {
+      token.SetDeadlineAfterMs(options_.session.exec_deadline_ms);
+      executor.set_cancellation(&token);
+    }
+    executor.set_aggregate_cache(cache_.get());
+    executor.set_storage_governor(governor_.get());
+    Result<ExecutionResult> run = executor.Execute(opt->plan, open);
+    if (!run.ok()) return run.status();
+    out = *std::move(run);
+  }
+
+  for (const auto& edge : opt->cache_edges) {
+    GBMQO_RETURN_NOT_OK(ServeCacheEdge(
+        requests[edge.first], opt_options.cached_views[edge.second], &out));
+  }
+
+  out.wall_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+Status Server::ServeCacheEdge(const GroupByRequest& req,
+                              const CachedViewDesc& view,
+                              ExecutionResult* out) {
+  // No extra catalog reference: the returned TablePtr keeps the data alive
+  // for this request even if the entry is evicted underneath.
+  TablePtr pinned =
+      cache_ != nullptr ? cache_->Lookup(view.columns, view.aggs, 0) : nullptr;
+  if (pinned == nullptr) {
+    // Evicted between costing and serving: recompute from the base
+    // relation (correct, just no longer free).
+    out->counters.cache_misses += 1;
+    ExecContext ctx;
+    QueryExecutor exec(&ctx, options_.session.scan_mode,
+                       options_.session.parallelism);
+    Result<GroupByQuery> query = BuildGroupByOver(
+        *base_, /*input_is_base=*/true, base_->schema(), req.columns, req.aggs);
+    if (!query.ok()) return query.status();
+    Result<TablePtr> table = exec.ExecuteGroupBy(
+        *base_, *query, ResultNameFor(req.columns), AggStrategy::kAuto);
+    if (!table.ok()) return table.status();
+    if (cache_ != nullptr) {
+      cache_->AcceptPinned(req.columns, req.aggs, *table, /*registered=*/false);
+    }
+    out->counters += ctx.counters();
+    out->results[req.columns] = *table;
+    return Status::OK();
+  }
+
+  out->counters.cache_hits += 1;
+  if (view.columns == req.columns &&
+      CanonicalAggs(view.aggs) == CanonicalAggs(req.aggs)) {
+    // Exact match: the pinned table IS the answer.
+    out->results[req.columns] = pinned;
+    return Status::OK();
+  }
+
+  // Superset view: one pass over the (small) pinned aggregate with the
+  // executor's canonical re-aggregation rewrite (COUNT(*) -> SUM(cnt),
+  // SUM -> SUM(sum_x), MIN/MAX re-applied).
+  ExecContext ctx;
+  QueryExecutor exec(&ctx, options_.session.scan_mode,
+                     options_.session.parallelism);
+  Result<GroupByQuery> query = BuildGroupByOver(
+      *pinned, /*input_is_base=*/false, base_->schema(), req.columns, req.aggs);
+  if (!query.ok()) return query.status();
+  Result<TablePtr> table = exec.ExecuteGroupBy(
+      *pinned, *query, ResultNameFor(req.columns), AggStrategy::kAuto);
+  if (!table.ok()) return table.status();
+  cache_->AcceptPinned(req.columns, req.aggs, *table, /*registered=*/false);
+  out->counters += ctx.counters();
+  out->results[req.columns] = *table;
+  return Status::OK();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.requests_served = requests_served_;
+    s.requests_failed = requests_failed_;
+    s.requests_coalesced = requests_coalesced_;
+  }
+  if (cache_ != nullptr) s.cache = cache_->stats();
+  if (governor_ != nullptr) s.governor_reserved_bytes = governor_->reserved();
+  return s;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,167 @@
+// Server: the concurrent serving layer over one base relation — N clients
+// submit GB-MQO request sets against a shared immutable catalog and a pool
+// of worker sessions executes them, arbitrated by a global storage governor
+// and accelerated by a cross-request aggregate cache:
+//
+//   Server server(GenerateLineitem({.rows = 100000}));
+//   auto t1 = server.Submit("SINGLE(l_returnflag, l_shipmode)");
+//   auto t2 = server.Submit("PAIRS(l_returnflag, l_linestatus)");
+//   auto r1 = t1->Get();   // blocks until the worker pool finishes it
+//
+// Every request runs the full pipeline (optimize, execute) but shares the
+// heavy immutable state — base table, statistics, cost-model memo — and the
+// mutable cross-request state: the AggregateCache pins materialized
+// aggregates past the plan that built them, the optimizer costs each new
+// request against the pinned views (OptimizerOptions::cached_views) and
+// routes covered requests to them as zero-base-scan serve edges, and the
+// StorageGovernor charges concurrent plans' intermediates and the cache's
+// pinned bytes against one global budget. Results are bit-identical to
+// serial cold execution: a cache hit returns the same rows the plan would
+// have computed, and a superset hit re-aggregates with the executor's own
+// canonical fold.
+#ifndef GBMQO_API_SERVER_H_
+#define GBMQO_API_SERVER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/session.h"
+#include "core/aggregate_cache.h"
+#include "storage/storage_governor.h"
+
+namespace gbmqo {
+
+struct ServerOptions {
+  /// Per-worker execution configuration (scan mode, parallelism, retries,
+  /// deadline, optimizer switches). `session.optimizer.cached_views` is
+  /// overwritten per request with the cache snapshot.
+  SessionOptions session;
+  /// Worker threads serving the request queue (>= 1). Each in-flight
+  /// request gets one worker; the worker's PlanExecutor fans out further
+  /// per `session.parallelism`.
+  int pool_size = 4;
+  /// Global byte budget shared by every concurrent plan's intermediates
+  /// and the aggregate cache's pinned entries (the Section 4.4 storage
+  /// gates, arbitrated across requests). 0 disables the governor.
+  double global_storage_budget_bytes = 0;
+  /// Cross-request aggregate cache (core/aggregate_cache.h).
+  bool enable_aggregate_cache = true;
+  /// Byte budget for pinned cache entries (LRU-evicted beyond it). Also
+  /// charged against the global governor when one is configured.
+  double cache_budget_bytes = 256.0 * 1024 * 1024;
+  /// Submissions identical to an in-flight request set share its future
+  /// instead of queueing a duplicate execution.
+  bool coalesce_identical_requests = true;
+};
+
+/// Monotonic serving counters (plus a live cache snapshot).
+struct ServerStats {
+  uint64_t requests_served = 0;     ///< jobs completed successfully
+  uint64_t requests_failed = 0;     ///< jobs completed with an error
+  uint64_t requests_coalesced = 0;  ///< submissions joined to an in-flight job
+  AggregateCacheStats cache;        ///< zeros when the cache is disabled
+  double governor_reserved_bytes = 0;  ///< 0 when the governor is disabled
+};
+
+/// Thread-safe multi-client entry point. Submissions may come from any
+/// thread; results are delivered through shared futures.
+class Server {
+ public:
+  /// A handle to one submitted request set. Copyable; every copy observes
+  /// the same result (coalesced submissions share one underlying job).
+  class Ticket {
+   public:
+    Ticket() = default;
+    /// Blocks until the request completes and returns its result.
+    Result<ExecutionResult> Get() const { return future_.get(); }
+    bool valid() const { return future_.valid(); }
+
+   private:
+    friend class Server;
+    std::shared_future<Result<ExecutionResult>> future_;
+  };
+
+  /// Takes shared ownership of the base relation and starts the worker
+  /// pool.
+  explicit Server(TablePtr base, ServerOptions options = {});
+  /// Stops accepting work, drains the queue (queued jobs still execute),
+  /// and joins the workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Parses a GROUPING SETS spec against the base schema.
+  Result<std::vector<GroupByRequest>> Parse(const std::string& spec) const;
+
+  /// Enqueues a request set and returns immediately.
+  Ticket Submit(std::vector<GroupByRequest> requests);
+  Result<Ticket> Submit(const std::string& spec);
+
+  /// Submit + Get: blocks the calling thread until the result is ready.
+  Result<ExecutionResult> Execute(const std::vector<GroupByRequest>& requests);
+  Result<ExecutionResult> Execute(const std::string& spec);
+
+  // ---- component access ----------------------------------------------------
+
+  const Table& base() const { return *base_; }
+  Catalog* catalog() { return &catalog_; }
+  StatisticsManager* statistics() { return stats_.get(); }
+  /// nullptr when disabled by options.
+  AggregateCache* cache() { return cache_.get(); }
+  StorageGovernor* governor() { return governor_.get(); }
+
+  ServerStats stats() const;
+
+ private:
+  struct Job {
+    std::vector<GroupByRequest> requests;
+    std::shared_ptr<std::promise<Result<ExecutionResult>>> promise;
+    std::string signature;  // empty when coalescing is off
+  };
+
+  void WorkerLoop();
+  /// The full optimize-and-execute pipeline for one request set; runs on a
+  /// worker thread. Safe to run concurrently with itself.
+  Result<ExecutionResult> HandleRequest(
+      const std::vector<GroupByRequest>& requests);
+  /// Answers one optimizer serve edge from the pinned view (directly on an
+  /// exact match, by re-aggregation on a superset; falls back to the base
+  /// relation if the entry was evicted between costing and serving).
+  Status ServeCacheEdge(const GroupByRequest& req, const CachedViewDesc& view,
+                        ExecutionResult* out);
+  /// Order-insensitive canonical signature of a request set (coalescing
+  /// key).
+  static std::string Signature(const std::vector<GroupByRequest>& requests);
+
+  TablePtr base_;
+  ServerOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<StatisticsManager> stats_;
+  std::unique_ptr<WhatIfProvider> whatif_;
+  std::unique_ptr<OptimizerCostModel> model_;
+  std::unique_ptr<StorageGovernor> governor_;
+  std::unique_ptr<AggregateCache> cache_;
+
+  mutable std::mutex mu_;  // guards queue_, in_flight_, counters, stopping_
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::unordered_map<std::string, std::shared_future<Result<ExecutionResult>>>
+      in_flight_;
+  bool stopping_ = false;
+  uint64_t requests_served_ = 0;
+  uint64_t requests_failed_ = 0;
+  uint64_t requests_coalesced_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_API_SERVER_H_

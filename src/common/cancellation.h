@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 
 #include "common/status.h"
 
@@ -52,6 +53,20 @@ class CancellationToken {
       return true;
     }
     return false;
+  }
+
+  /// Milliseconds until the armed deadline fires (0 once passed), or
+  /// nullopt when no deadline is armed. Lets waiters (e.g. retry backoff)
+  /// bound a sleep by the time actually remaining instead of oversleeping
+  /// a deadline.
+  std::optional<double> RemainingMs() const {
+    if (!armed_.load(std::memory_order_acquire)) return std::nullopt;
+    const int64_t now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    const int64_t left = deadline_ns_.load(std::memory_order_relaxed) - now;
+    if (left <= 0) return 0.0;
+    using Tick = std::chrono::steady_clock::duration;
+    return std::chrono::duration<double, std::milli>(Tick(left)).count();
   }
 
   /// OK while live; Status::Cancelled / DeadlineExceeded once fired.

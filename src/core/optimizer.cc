@@ -77,6 +77,28 @@ struct PairEval {
   double best_cost = 0;
 };
 
+/// Canonical (sorted, deduplicated) aggregate list for set comparison.
+std::vector<AggRequest> CanonicalAggs(const std::vector<AggRequest>& aggs) {
+  std::vector<AggRequest> out = aggs;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Whether `view` can answer `req`: its grouping columns contain the
+/// request's and it carries every aggregate the request needs (COUNT(*) and
+/// SUM re-aggregate as SUM, MIN/MAX re-apply — any carried aggregate can be
+/// rolled up to a coarser grouping).
+bool ViewCovers(const CachedViewDesc& view, const GroupByRequest& req) {
+  if (!view.columns.ContainsAll(req.columns)) return false;
+  for (const AggRequest& a : req.aggs) {
+    if (std::find(view.aggs.begin(), view.aggs.end(), a) == view.aggs.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<OptimizerResult> GbMqoOptimizer::Optimize(
@@ -97,20 +119,61 @@ Result<OptimizerResult> GbMqoOptimizer::Optimize(
 
   OptimizerResult result;
 
-  // Step 1-2: the naive plan, one leaf sub-plan per request.
+  // Step 0: route requests answerable from cached views. A view serves a
+  // request at the cost of one pass over the (small) pinned aggregate —
+  // zero on an exact match, where the pinned table *is* the answer — and
+  // the served request leaves the hill climb. naive_cost keeps its meaning:
+  // every request computed from R.
+  constexpr size_t kNoView = std::numeric_limits<size_t>::max();
+  std::vector<GroupByRequest> open;
+  double served_cost = 0;
+  // Step 1-2: the naive plan over the open requests, one leaf per request.
   std::vector<SubPlanEntry> entries;
   {
     LogicalPlan naive = NaivePlan(requests);
-    for (PlanNode& leaf : naive.subplans) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      PlanNode& leaf = naive.subplans[i];
+      const double from_r = CostSubPlan(leaf, root, model_, whatif_);
+      result.naive_cost += from_r;
+      double best_cost = from_r;
+      size_t best_view = kNoView;
+      const std::vector<AggRequest> want = CanonicalAggs(requests[i].aggs);
+      for (size_t v = 0; v < options_.cached_views.size(); ++v) {
+        const CachedViewDesc& view = options_.cached_views[v];
+        if (!ViewCovers(view, requests[i])) continue;
+        double serve;
+        if (view.columns == requests[i].columns &&
+            CanonicalAggs(view.aggs) == want) {
+          serve = 0.0;  // exact: the pinned table is returned as-is
+        } else {
+          NodeDesc u;
+          u.columns = view.columns;
+          u.rows = view.rows;
+          u.row_width = view.row_width;
+          u.is_root = false;
+          serve = model_->QueryCost(
+              u, whatif_->Describe(requests[i].columns,
+                                   static_cast<int>(requests[i].aggs.size())));
+        }
+        if (best_view == kNoView || serve < best_cost) {
+          best_cost = serve;
+          best_view = v;
+        }
+      }
+      if (best_view != kNoView && best_cost < from_r) {
+        result.cache_edges[i] = best_view;
+        served_cost += best_cost;
+        continue;
+      }
+      open.push_back(requests[i]);
       SubPlanEntry e;
-      e.cost = CostSubPlan(leaf, root, model_, whatif_);
+      e.cost = from_r;
       e.node = std::move(leaf);
       entries.push_back(std::move(e));
     }
   }
   double current_cost = 0;
   for (const SubPlanEntry& e : entries) current_cost += e.cost;
-  result.naive_cost = current_cost;
 
   std::map<std::pair<size_t, size_t>, PairEval> eval_cache;
   MinimalSetFamily failed_unions;  // monotonicity prune state
@@ -214,10 +277,10 @@ Result<OptimizerResult> GbMqoOptimizer::Optimize(
   for (SubPlanEntry& e : entries) {
     if (e.alive) result.plan.subplans.push_back(std::move(e.node));
   }
-  result.cost = current_cost;
+  result.cost = current_cost + served_cost;
   SchedulePlanStorage(&result.plan, whatif_);
 
-  GBMQO_RETURN_NOT_OK(result.plan.Validate(requests));
+  GBMQO_RETURN_NOT_OK(result.plan.Validate(open));
   result.stats.optimizer_calls = model_->optimizer_calls() - calls_before;
   result.stats.optimization_seconds = timer.ElapsedSeconds();
   return result;

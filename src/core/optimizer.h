@@ -14,10 +14,13 @@
 #ifndef GBMQO_CORE_OPTIMIZER_H_
 #define GBMQO_CORE_OPTIMIZER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <vector>
 
+#include "core/aggregate_cache.h"
 #include "core/logical_plan.h"
 #include "core/subplan_merge.h"
 #include "cost/cost_model.h"
@@ -45,6 +48,14 @@ struct OptimizerOptions {
   /// storage exceeds this many (estimated) bytes.
   double max_intermediate_storage_bytes =
       std::numeric_limits<double>::infinity();
+  /// Aggregates already materialized and pinned by the cross-request cache
+  /// (AggregateCache::SnapshotViews). Before the hill climb, each request
+  /// answerable from a view — equal or superset grouping columns carrying
+  /// every needed aggregate — is costed as a zero-base-scan edge from that
+  /// view via the what-if API; when that beats computing from R the request
+  /// leaves the search entirely (see OptimizerResult::cache_edges) and the
+  /// remaining requests are optimized as usual.
+  std::vector<CachedViewDesc> cached_views;
 };
 
 /// Search instrumentation reported alongside the plan.
@@ -59,9 +70,15 @@ struct OptimizerStats {
 };
 
 struct OptimizerResult {
+  /// Plan covering the requests NOT served from cached views.
   LogicalPlan plan;
-  double cost = 0;        ///< Cost(plan) under the configured model
-  double naive_cost = 0;  ///< Cost of the naive plan (baseline)
+  double cost = 0;        ///< Cost(plan) plus the cache-serve edges
+  double naive_cost = 0;  ///< Cost of the naive plan (baseline, all from R)
+  /// Requests routed to cached views: request index (into the Optimize
+  /// argument) -> index into OptimizerOptions::cached_views. Served
+  /// requests have no leaf in `plan`; the serving layer answers them from
+  /// the pinned view (directly on an exact match, else by re-aggregation).
+  std::map<size_t, size_t> cache_edges;
   OptimizerStats stats;
 };
 

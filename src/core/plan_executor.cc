@@ -15,10 +15,90 @@
 
 #include "common/fault_injector.h"
 #include "common/timer.h"
+#include "core/aggregate_cache.h"
 #include "core/storage_scheduler.h"
 #include "exec/task_runner.h"
+#include "storage/storage_governor.h"
 
 namespace gbmqo {
+
+namespace {
+
+/// Resolves base-relation grouping columns to ordinals of `input` (temp
+/// tables keep R's column names, so resolution is by name).
+Result<ColumnSet> ResolveGroupingOver(const Table& input,
+                                      const Schema& base_schema,
+                                      ColumnSet base_cols) {
+  ColumnSet out;
+  for (int c : base_cols.ToVector()) {
+    const int ord = input.schema().FindColumn(base_schema.column(c).name);
+    if (ord < 0) {
+      return Status::Internal("column '" + base_schema.column(c).name +
+                              "' missing from " + input.name());
+    }
+    out = out.With(ord);
+  }
+  return out;
+}
+
+/// Translates an AggRequest into an executor AggregateSpec against
+/// `input`. From the base relation the aggregate applies to the raw
+/// column; from an intermediate it re-aggregates the carried column
+/// (COUNT(*) -> SUM(cnt), SUM -> SUM(sum_x), MIN -> MIN(min_x), ...).
+Result<AggregateSpec> ResolveAggOver(const Table& input, bool input_is_base,
+                                     const Schema& base_schema,
+                                     const AggRequest& agg) {
+  const std::string out_name = AggOutputName(agg, base_schema);
+  if (input_is_base) {
+    switch (agg.kind) {
+      case AggKind::kCountStar:
+        return AggregateSpec::CountStar(out_name);
+      case AggKind::kSum:
+        return AggregateSpec::Sum(agg.column, out_name);
+      case AggKind::kMin:
+        return AggregateSpec::Min(agg.column, out_name);
+      case AggKind::kMax:
+        return AggregateSpec::Max(agg.column, out_name);
+    }
+    return Status::Internal("unknown aggregate kind");
+  }
+  const int ord = input.schema().FindColumn(out_name);
+  if (ord < 0) {
+    return Status::Internal("intermediate " + input.name() +
+                            " does not carry aggregate column '" + out_name +
+                            "'");
+  }
+  switch (agg.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kSum:
+      return AggregateSpec::Sum(ord, out_name);
+    case AggKind::kMin:
+      return AggregateSpec::Min(ord, out_name);
+    case AggKind::kMax:
+      return AggregateSpec::Max(ord, out_name);
+  }
+  return Status::Internal("unknown aggregate kind");
+}
+
+}  // namespace
+
+Result<GroupByQuery> BuildGroupByOver(const Table& input, bool input_is_base,
+                                      const Schema& base_schema,
+                                      ColumnSet base_cols,
+                                      const std::vector<AggRequest>& aggs) {
+  Result<ColumnSet> grouping =
+      ResolveGroupingOver(input, base_schema, base_cols);
+  if (!grouping.ok()) return grouping.status();
+  GroupByQuery query;
+  query.grouping = *grouping;
+  for (const AggRequest& agg : aggs) {
+    Result<AggregateSpec> spec =
+        ResolveAggOver(input, input_is_base, base_schema, agg);
+    if (!spec.ok()) return spec.status();
+    query.aggregates.push_back(std::move(spec).ValueOrDie());
+  }
+  return query;
+}
 
 namespace {
 
@@ -34,74 +114,12 @@ struct ExecEnv {
   ScanMode scan_mode;
   std::optional<AggKernel> forced_kernel;
 
-  /// Resolves base-relation grouping columns to ordinals of `input`.
-  Result<ColumnSet> ResolveGrouping(const Table& input,
-                                    ColumnSet base_cols) const {
-    ColumnSet out;
-    for (int c : base_cols.ToVector()) {
-      const int ord = input.schema().FindColumn(base_schema.column(c).name);
-      if (ord < 0) {
-        return Status::Internal("column '" + base_schema.column(c).name +
-                                "' missing from " + input.name());
-      }
-      out = out.With(ord);
-    }
-    return out;
-  }
-
-  /// Translates an AggRequest into an executor AggregateSpec against
-  /// `input`. From the base relation the aggregate applies to the raw
-  /// column; from an intermediate it re-aggregates the carried column
-  /// (COUNT(*) -> SUM(cnt), SUM -> SUM(sum_x), MIN -> MIN(min_x), ...).
-  Result<AggregateSpec> ResolveAgg(const Table& input, bool input_is_base,
-                                   const AggRequest& agg) const {
-    const std::string out_name = AggOutputName(agg, base_schema);
-    if (input_is_base) {
-      switch (agg.kind) {
-        case AggKind::kCountStar:
-          return AggregateSpec::CountStar(out_name);
-        case AggKind::kSum:
-          return AggregateSpec::Sum(agg.column, out_name);
-        case AggKind::kMin:
-          return AggregateSpec::Min(agg.column, out_name);
-        case AggKind::kMax:
-          return AggregateSpec::Max(agg.column, out_name);
-      }
-      return Status::Internal("unknown aggregate kind");
-    }
-    const int ord = input.schema().FindColumn(out_name);
-    if (ord < 0) {
-      return Status::Internal("intermediate " + input.name() +
-                              " does not carry aggregate column '" + out_name +
-                              "'");
-    }
-    switch (agg.kind) {
-      case AggKind::kCountStar:
-      case AggKind::kSum:
-        return AggregateSpec::Sum(ord, out_name);
-      case AggKind::kMin:
-        return AggregateSpec::Min(ord, out_name);
-      case AggKind::kMax:
-        return AggregateSpec::Max(ord, out_name);
-    }
-    return Status::Internal("unknown aggregate kind");
-  }
-
   /// Builds the executor-level query `SELECT cols, aggs GROUP BY cols`
-  /// against `input` (base or intermediate).
+  /// against `input` (base or intermediate) — see BuildGroupByOver.
   Result<GroupByQuery> BuildQuery(const Table& input, ColumnSet base_cols,
                                   const std::vector<AggRequest>& aggs) const {
-    const bool input_is_base = (&input == base.get());
-    Result<ColumnSet> grouping = ResolveGrouping(input, base_cols);
-    if (!grouping.ok()) return grouping.status();
-    GroupByQuery query;
-    query.grouping = *grouping;
-    for (const AggRequest& agg : aggs) {
-      Result<AggregateSpec> spec = ResolveAgg(input, input_is_base, agg);
-      if (!spec.ok()) return spec.status();
-      query.aggregates.push_back(std::move(spec).ValueOrDie());
-    }
-    return query;
+    return BuildGroupByOver(input, /*input_is_base=*/&input == base.get(),
+                            base_schema, base_cols, aggs);
   }
 
   std::string TempNameFor(ColumnSet base_cols) const {
@@ -600,7 +618,8 @@ class DagRunner {
   DagRunner(const ExecEnv& env, const TaskGraph& graph,
             const std::unordered_map<const PlanNode*, double>* node_bytes,
             int total_parallelism, double budget, bool gated, int max_retries,
-            double backoff_ms, const CancellationToken* cancel)
+            double backoff_ms, const CancellationToken* cancel,
+            AggregateCache* cache, StorageGovernor* governor)
       : env_(env),
         graph_(graph),
         node_bytes_(node_bytes),
@@ -610,6 +629,8 @@ class DagRunner {
         max_retries_(max_retries),
         backoff_ms_(backoff_ms),
         cancel_(cancel),
+        cache_(cache),
+        governor_(governor),
         states_(graph.tasks.size()) {}
 
   Status Run(int workers) {
@@ -624,14 +645,17 @@ class DagRunner {
       // Defensive: task bodies convert their own exceptions to Statuses, so
       // only scheduler-level failures (e.g. thread creation) land here.
       Cleanup();
+      FlushGovernor();
       return Status::Internal(std::string("plan execution threw: ") + e.what());
     }
     for (const TaskState& st : states_) {
       if (!st.status.ok()) {
         Cleanup();
+        FlushGovernor();
         return st.status;
       }
     }
+    FlushGovernor();
     return Status::OK();
   }
 
@@ -657,14 +681,45 @@ class DagRunner {
 
   /// Admission gate, called under the scheduler lock: refuse a task while
   /// its reservation on top of the estimated live bytes would exceed the
-  /// budget; admitting commits the reservation. Forced admissions (nothing
-  /// running, everything refused) reserve too, so the books stay balanced.
+  /// per-plan budget — or while the global governor (shared with concurrent
+  /// plans and the aggregate cache) refuses the same reservation. Admitting
+  /// commits the reservation to both books. Forced admissions (nothing
+  /// running, everything refused) reserve too — unconditionally on the
+  /// governor, so one starved plan cannot deadlock while the books stay
+  /// balanced.
   bool Admit(int id, bool forced) {
     const double est = graph_.tasks[static_cast<size_t>(id)].est_bytes;
     std::lock_guard<std::mutex> lock(mu_);
-    if (!forced && est > 0 && est_live_ + est > budget_) return false;
+    if (!forced && est > 0) {
+      if (est_live_ + est > budget_) return false;
+      if (governor_ != nullptr && !governor_->TryReserve(est)) return false;
+    } else if (governor_ != nullptr && est > 0) {
+      governor_->ForceReserve(est);
+    }
     est_live_ += est;
+    gov_outstanding_ += est;
     return true;
+  }
+
+  /// Mirrors an est_live_ decrement to the governor. Caller holds mu_.
+  void GovReleaseLocked(double bytes) {
+    if (governor_ == nullptr || bytes <= 0) return;
+    const double r = std::min(bytes, gov_outstanding_);
+    if (r > 0) {
+      gov_outstanding_ -= r;
+      governor_->Release(r);
+    }
+  }
+
+  /// Returns whatever this Execute still holds on the governor — called on
+  /// every Run exit so reservations are strictly per-plan-scoped (cache
+  /// pins are charged by the cache itself and survive).
+  void FlushGovernor() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (governor_ != nullptr && gov_outstanding_ > 0) {
+      governor_->Release(gov_outstanding_);
+    }
+    gov_outstanding_ = 0;
   }
 
   /// One in-flight attempt at a task: a fresh ExecContext (salted for
@@ -673,10 +728,23 @@ class DagRunner {
   /// handed to live temp tables. A failed attempt is rolled back and the
   /// whole object discarded; only a successful attempt is committed into
   /// the task's TaskState.
+  /// A node answered from the aggregate cache during this attempt, with the
+  /// consumer references the lookup took on the pinned table (rolled back
+  /// if the attempt fails).
+  struct ServedNode {
+    const PlanNode* node = nullptr;
+    TablePtr table;
+    int refs = 0;
+  };
+
   struct Attempt {
     ExecContext ctx;
     std::map<ColumnSet, TablePtr> results;
     std::vector<const PlanNode*> registered;
+    std::vector<ServedNode> served;
+    /// Tables not registered in the Catalog (required leaves, consumer-less
+    /// materializations) offered to the cache at commit.
+    std::vector<std::pair<const PlanNode*, TablePtr>> offers;
     double retained = 0;
   };
 
@@ -700,6 +768,7 @@ class DagRunner {
     if (gated_ && t.est_bytes > retained) {
       std::lock_guard<std::mutex> lock(mu_);
       est_live_ -= t.est_bytes - retained;
+      GovReleaseLocked(t.est_bytes - retained);
     }
   }
 
@@ -724,8 +793,7 @@ class DagRunner {
     Status last;
     for (int attempt = 0; attempt <= max_retries_; ++attempt) {
       if (attempt > 0 && backoff_ms_ > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(attempt * backoff_ms_));
+        GBMQO_RETURN_NOT_OK(BackoffSleep(attempt));
       }
       Attempt a;
       a.ctx.set_cancellation(cancel_);
@@ -741,6 +809,7 @@ class DagRunner {
         const bool degraded = split_fused || from_base || memory_pressure;
         a.ctx.counters().tasks_retried += static_cast<uint64_t>(attempt);
         if (degraded) a.ctx.counters().tasks_degraded += 1;
+        CommitAttempt(&a);
         st->ctx = std::move(a.ctx);
         st->results = std::move(a.results);
         *retained = a.retained;
@@ -759,6 +828,31 @@ class DagRunner {
       if (s.IsResourceExhausted()) memory_pressure = true;
     }
     return last;
+  }
+
+  /// Sleeps attempt * backoff_ms_ before a re-attempt, staying responsive
+  /// to cancellation: a full linear-backoff sleep used to run to completion
+  /// even after the token fired, making Cancel() latency grow with the
+  /// backoff knob. The wait is bounded by the remaining deadline (no point
+  /// sleeping past it) and sliced so Cancel() from another thread unwinds
+  /// within one slice.
+  Status BackoffSleep(int attempt) const {
+    GBMQO_RETURN_NOT_OK(cancel_ != nullptr ? cancel_->Check() : Status::OK());
+    double wait_ms = attempt * backoff_ms_;
+    if (cancel_ != nullptr) {
+      if (const auto left = cancel_->RemainingMs(); left.has_value()) {
+        wait_ms = std::min(wait_ms, *left);
+      }
+    }
+    constexpr double kSliceMs = 5.0;
+    while (wait_ms > 0) {
+      const double slice = std::min(wait_ms, kSliceMs);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice));
+      wait_ms -= slice;
+      if (cancel_ != nullptr) GBMQO_RETURN_NOT_OK(cancel_->Check());
+    }
+    return Status::OK();
   }
 
   /// Runs one attempt body, converting every exception to a Status
@@ -790,10 +884,45 @@ class DagRunner {
     return Status::Internal("unknown task kind");
   }
 
-  /// Undoes a failed attempt: drops every temp table the attempt registered
-  /// and forgets its produced_ entries, so the next attempt (or the DAG
-  /// Cleanup) sees a clean slate. The admission-gate reservation stays with
-  /// the task — RunTask returns it when the task finally ends.
+  /// Commits a successful attempt's cache interactions, before the task is
+  /// marked complete (so consumer tasks cannot start earlier): publishes
+  /// cache-served materialized nodes into produced_ for their consumers,
+  /// then offers everything this attempt materialized for admission.
+  /// Admission failure is never a task failure — the offer is simply
+  /// declined and life continues.
+  void CommitAttempt(Attempt* a) {
+    for (const ServedNode& s : a->served) {
+      if (s.node->materialized()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        produced_[s.node] = ProducedTable{s.table, 0, s.refs};
+      }
+    }
+    if (cache_ == nullptr) return;
+    for (const PlanNode* node : a->registered) {
+      TablePtr table;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = produced_.find(node);
+        if (it == produced_.end()) continue;
+        table = it->second.table;
+      }
+      // Consumer-less materializations skipped Catalog registration and sit
+      // in a->offers instead; only Catalog-registered tables go here.
+      if (table == nullptr || !env_.catalog->Exists(table->name())) continue;
+      cache_->AcceptPinned(node->columns, node->aggs, table,
+                           /*registered=*/true);
+    }
+    for (const auto& [node, table] : a->offers) {
+      cache_->AcceptPinned(node->columns, node->aggs, table,
+                           /*registered=*/false);
+    }
+  }
+
+  /// Undoes a failed attempt: drops every temp table the attempt registered,
+  /// returns the consumer references its cache hits took, and forgets its
+  /// produced_ entries, so the next attempt (or the DAG Cleanup) sees a
+  /// clean slate. The admission-gate reservation stays with the task —
+  /// RunTask returns it when the task finally ends.
   void RollbackAttempt(Attempt* a) {
     for (const PlanNode* node : a->registered) {
       TablePtr table;
@@ -810,7 +939,16 @@ class DagRunner {
         (void)dropped;
       }
     }
+    for (const ServedNode& s : a->served) {
+      for (int i = 0; i < s.refs; ++i) {
+        const Result<bool> released =
+            env_.catalog->ReleaseTempRef(s.table->name());
+        if (!released.ok()) break;
+      }
+    }
     a->registered.clear();
+    a->served.clear();
+    a->offers.clear();
     a->results.clear();
     a->retained = 0;
   }
@@ -830,15 +968,17 @@ class DagRunner {
     double est = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      const ProducedTable& p = produced_.at(t.input);
+      ProducedTable& p = produced_.at(t.input);
       name = p.table->name();
       est = p.est_bytes;
+      if (p.outstanding > 0) --p.outstanding;
     }
     Result<bool> dropped = env_.catalog->ReleaseTempRef(name);
     if (!dropped.ok()) return dropped.status();
     if (*dropped && gated_ && est > 0) {
       std::lock_guard<std::mutex> lock(mu_);
       est_live_ -= est;
+      GovReleaseLocked(est);
     }
     return Status::OK();
   }
@@ -863,7 +1003,7 @@ class DagRunner {
     const int refs = it == graph_.consumers.end() ? 0 : it->second;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      produced_[node] = ProducedTable{table, est};
+      produced_[node] = ProducedTable{table, est, refs};
     }
     a->registered.push_back(node);
     if (refs > 0) {
@@ -871,8 +1011,44 @@ class DagRunner {
       a->retained += est;
       return Status::OK();
     }
-    GBMQO_RETURN_NOT_OK(env_.catalog->RegisterTemp(table));
+    if (cache_ != nullptr) {
+      // Consumer-less output (every child a BF composite): instead of the
+      // register-and-drop flicker, defer to commit and let the cache decide
+      // whether to register-and-pin it.
+      a->offers.emplace_back(node, table);
+      return Status::OK();
+    }
+    // Register-and-drop so the momentarily-live bytes count toward the
+    // measured peak. Under concurrent serving another plan may hold the
+    // same deterministic leaf name; the accounting flicker is then skipped
+    // rather than failing the task.
+    const Status registered = env_.catalog->RegisterTemp(table);
+    if (registered.IsAlreadyExists()) return Status::OK();
+    GBMQO_RETURN_NOT_OK(registered);
     return env_.catalog->Drop(table->name());
+  }
+
+  /// Attempts to answer a plain node from the aggregate cache. On a hit the
+  /// pinned table stands in for the node's output — consumer references are
+  /// taken atomically with the lookup and the node is published to
+  /// produced_ at commit — and the node's queries never run. Counts a miss
+  /// only when a cache is attached.
+  bool TryServeFromCache(const PlanNode& node, Attempt* a) {
+    if (cache_ == nullptr) return false;
+    int refs = 0;
+    if (node.materialized()) {
+      const auto it = graph_.consumers.find(&node);
+      refs = it == graph_.consumers.end() ? 0 : it->second;
+    }
+    TablePtr table = cache_->Lookup(node.columns, node.aggs, refs);
+    if (table == nullptr) {
+      a->ctx.counters().cache_misses += 1;
+      return false;
+    }
+    a->ctx.counters().cache_hits += 1;
+    a->served.push_back(ServedNode{&node, table, refs});
+    if (node.required) a->results[node.columns] = table;
+    return true;
   }
 
   /// Computes one plain node from `input` (the planned parent table, or the
@@ -893,6 +1069,8 @@ class DagRunner {
     if (!table.ok()) return table.status();
     if (node.materialized()) {
       GBMQO_RETURN_NOT_OK(RegisterOutput(&node, *table, a));
+    } else if (node.required && cache_ != nullptr) {
+      a->offers.emplace_back(&node, *table);
     }
     if (node.required) a->results[node.columns] = *table;
     return Status::OK();
@@ -900,20 +1078,29 @@ class DagRunner {
 
   Status RunQueryTask(const TaskSpec& t, Attempt* a, int intra, bool from_base,
                       std::optional<AggKernel> kernel) {
+    if (TryServeFromCache(*t.node, a)) return Status::OK();
     const TablePtr input = from_base ? env_.base : InputTable(t);
     return RunNodeQuery(*t.node, input, a, intra, kernel);
   }
 
   Status RunFusedTask(const TaskSpec& t, Attempt* a, int intra, bool from_base,
                       std::optional<AggKernel> kernel) {
+    // Cache-served members leave the shared scan; only the rest pay for a
+    // pass over the input (none hit -> the planned scan, all hit -> none).
+    std::vector<const PlanNode*> pending;
+    pending.reserve(t.fused.size());
+    for (const PlanNode* m : t.fused) {
+      if (!TryServeFromCache(*m, a)) pending.push_back(m);
+    }
+    if (pending.empty()) return Status::OK();
     const TablePtr input = from_base ? env_.base : InputTable(t);
     QueryExecutor exec(&a->ctx, env_.scan_mode, intra);
     exec.set_forced_kernel(kernel);
     std::vector<GroupByQuery> queries;
     std::vector<std::string> names;
-    queries.reserve(t.fused.size());
-    names.reserve(t.fused.size());
-    for (const PlanNode* m : t.fused) {
+    queries.reserve(pending.size());
+    names.reserve(pending.size());
+    for (const PlanNode* m : pending) {
       Result<GroupByQuery> q = env_.BuildQuery(*input, m->columns, m->aggs);
       if (!q.ok()) return q.status();
       queries.push_back(std::move(q).ValueOrDie());
@@ -923,11 +1110,13 @@ class DagRunner {
     Result<std::vector<TablePtr>> tables =
         exec.ExecuteSharedScan(*input, queries, names);
     if (!tables.ok()) return tables.status();
-    for (size_t i = 0; i < t.fused.size(); ++i) {
-      const PlanNode& m = *t.fused[i];
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const PlanNode& m = *pending[i];
       const TablePtr& table = (*tables)[i];
       if (m.materialized()) {
         GBMQO_RETURN_NOT_OK(RegisterOutput(&m, table, a));
+      } else if (m.required && cache_ != nullptr) {
+        a->offers.emplace_back(&m, table);
       }
       if (m.required) a->results[m.columns] = table;
     }
@@ -943,6 +1132,7 @@ class DagRunner {
     const TablePtr input = from_base ? env_.base : InputTable(t);
     for (const PlanNode* m : t.fused) {
       GBMQO_RETURN_NOT_OK(a->ctx.CheckCancelled());
+      if (TryServeFromCache(*m, a)) continue;
       GBMQO_RETURN_NOT_OK(RunNodeQuery(*m, input, a, intra, kernel));
     }
     return Status::OK();
@@ -960,11 +1150,25 @@ class DagRunner {
     return Status::OK();
   }
 
-  /// Failure path: drop produced temps whose consumers never ran.
+  /// Failure path: clean up produced temps whose consumers never ran.
+  /// Without a cache this drops them outright (the seed behaviour). With a
+  /// cache attached it releases exactly this plan's outstanding consumer
+  /// references instead — a table the cache admitted keeps its pin and
+  /// survives the failed plan; everything else drops on its last release.
   void Cleanup() {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [node, p] : produced_) {
-      if (p.table != nullptr && env_.catalog->Exists(p.table->name())) {
+      if (p.table == nullptr) continue;
+      if (cache_ != nullptr) {
+        while (p.outstanding > 0) {
+          const Result<bool> released =
+              env_.catalog->ReleaseTempRef(p.table->name());
+          --p.outstanding;
+          if (!released.ok() || *released) break;
+        }
+        continue;
+      }
+      if (env_.catalog->Exists(p.table->name())) {
         const Status dropped = env_.catalog->Drop(p.table->name());
         (void)dropped;
       }
@@ -974,6 +1178,9 @@ class DagRunner {
   struct ProducedTable {
     TablePtr table;
     double est_bytes = 0;
+    /// Consumer references this plan still holds on the table (handed out
+    /// at registration or taken by a cache hit; returned by ReleaseInput).
+    int outstanding = 0;
   };
 
   const ExecEnv& env_;
@@ -985,11 +1192,15 @@ class DagRunner {
   const int max_retries_;
   const double backoff_ms_;
   const CancellationToken* cancel_;
+  AggregateCache* const cache_;
+  StorageGovernor* const governor_;
   std::vector<TaskState> states_;
   std::atomic<bool> aborted_{false};
-  std::mutex mu_;  // guards produced_ and est_live_
+  std::mutex mu_;  // guards produced_, est_live_ and gov_outstanding_
   std::unordered_map<const PlanNode*, ProducedTable> produced_;
   double est_live_ = 0;
+  /// Bytes this Execute currently holds reserved on the governor.
+  double gov_outstanding_ = 0;
 };
 
 }  // namespace
@@ -1005,8 +1216,10 @@ Result<ExecutionResult> PlanExecutor::Execute(
   catalog_->ResetPeakTempBytes();
   WallTimer timer;
 
-  const bool gated = whatif_ != nullptr &&
-                     storage_budget_ < std::numeric_limits<double>::infinity();
+  const bool gated =
+      whatif_ != nullptr &&
+      (storage_budget_ < std::numeric_limits<double>::infinity() ||
+       governor_ != nullptr);
   std::unordered_map<const PlanNode*, double> node_bytes;
   if (gated) node_bytes = PlanNodeStorage(plan, whatif_);
 
@@ -1017,7 +1230,7 @@ Result<ExecutionResult> PlanExecutor::Execute(
 
   DagRunner runner(env, graph, gated ? &node_bytes : nullptr, parallelism_,
                    storage_budget_, gated, max_task_retries_, retry_backoff_ms_,
-                   cancel_);
+                   cancel_, cache_, governor_);
   const int workers =
       node_parallel_
           ? std::max(1, std::min(parallelism_,

@@ -31,6 +31,9 @@
 
 namespace gbmqo {
 
+class AggregateCache;
+class StorageGovernor;
+
 /// Outcome of executing a plan.
 struct ExecutionResult {
   /// Result table per required column set (grouping columns + aggregates).
@@ -42,6 +45,19 @@ struct ExecutionResult {
   /// High-water mark of live temp-table bytes during execution.
   uint64_t peak_temp_bytes = 0;
 };
+
+/// Builds the executor-level query `SELECT base_cols, aggs GROUP BY
+/// base_cols` against `input`, which is either the base relation R
+/// (`input_is_base`) or a materialized intermediate carrying R's column
+/// names plus aggregate columns. Grouping columns are base-schema ordinals;
+/// against an intermediate the aggregates re-aggregate the carried columns
+/// (COUNT(*) -> SUM(cnt), SUM -> SUM(sum_x), MIN/MAX re-applied). Exported
+/// because the serving layer answers subset requests from cached aggregates
+/// with exactly this rewrite (see api/server.h).
+Result<GroupByQuery> BuildGroupByOver(const Table& input, bool input_is_base,
+                                      const Schema& base_schema,
+                                      ColumnSet base_cols,
+                                      const std::vector<AggRequest>& aggs);
 
 class PlanExecutor {
  public:
@@ -123,6 +139,29 @@ class PlanExecutor {
   /// returns Status::Cancelled or DeadlineExceeded. nullptr disables.
   void set_cancellation(const CancellationToken* token) { cancel_ = token; }
 
+  /// Cross-request aggregate cache (core/aggregate_cache.h). When attached:
+  /// before computing a plain or fused node the executor looks its
+  /// (grouping set, aggregates) key up and, on a hit, serves the pinned
+  /// table instead of scanning — taking the node's consumer references
+  /// atomically with the lookup, so downstream tasks release it exactly
+  /// like a computed temp while the cache's own pin keeps it alive across
+  /// plans. On success, every materialized intermediate and required leaf
+  /// this plan computed is offered to the cache for admission. Hits and
+  /// misses are surfaced via WorkCounters::cache_hits / cache_misses.
+  /// Composite (CUBE/ROLLUP/multi-copy) subtrees manage their own
+  /// materializations and bypass the cache. nullptr (default) disables.
+  void set_aggregate_cache(AggregateCache* cache) { cache_ = cache; }
+
+  /// Global storage governor shared across concurrent executors (and the
+  /// aggregate cache). Each task's Section 4.4 d(u) reservation is also
+  /// charged against the governor at admission; forced admissions (the
+  /// no-deadlock path) reserve unconditionally. Requires a what-if provider
+  /// (set_storage_budget supplies it; a per-plan budget of infinity is fine)
+  /// for the d(u) estimates. nullptr (default) disables.
+  void set_storage_governor(StorageGovernor* governor) {
+    governor_ = governor;
+  }
+
  private:
   Catalog* catalog_;
   std::string base_table_;
@@ -136,6 +175,8 @@ class PlanExecutor {
   int max_task_retries_ = 0;
   double retry_backoff_ms_ = 0;
   const CancellationToken* cancel_ = nullptr;
+  AggregateCache* cache_ = nullptr;
+  StorageGovernor* governor_ = nullptr;
 };
 
 }  // namespace gbmqo

@@ -9,6 +9,7 @@
 #ifndef GBMQO_COST_COST_MODEL_H_
 #define GBMQO_COST_COST_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/column_set.h"
@@ -50,17 +51,20 @@ class CardinalityCostModel : public PlanCostModel {
  public:
   double QueryCost(const NodeDesc& u, const NodeDesc& v) const override {
     (void)v;
-    ++calls_;
+    calls_.fetch_add(1, std::memory_order_relaxed);
     return u.rows;
   }
   double MaterializeCost(const NodeDesc& v) const override {
     (void)v;
     return 0.0;
   }
-  uint64_t optimizer_calls() const override { return calls_; }
+  uint64_t optimizer_calls() const override {
+    return calls_.load(std::memory_order_relaxed);
+  }
 
  private:
-  mutable uint64_t calls_ = 0;
+  /// Atomic so one model instance can be shared by concurrent sessions.
+  mutable std::atomic<uint64_t> calls_{0};
 };
 
 }  // namespace gbmqo

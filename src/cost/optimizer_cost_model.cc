@@ -31,6 +31,7 @@ OptimizerCostModel::OptimizerCostModel(const Table& base, CostParams params)
 double OptimizerCostModel::QueryCost(const NodeDesc& u,
                                      const NodeDesc& v) const {
   const Key key{u.columns.mask(), v.columns.mask(), u.is_root};
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   ++calls_;

@@ -16,6 +16,7 @@
 #ifndef GBMQO_COST_OPTIMIZER_COST_MODEL_H_
 #define GBMQO_COST_OPTIMIZER_COST_MODEL_H_
 
+#include <mutex>
 #include <unordered_map>
 
 #include "cost/cost_model.h"
@@ -43,7 +44,10 @@ class OptimizerCostModel : public PlanCostModel {
 
   double QueryCost(const NodeDesc& u, const NodeDesc& v) const override;
   double MaterializeCost(const NodeDesc& v) const override;
-  uint64_t optimizer_calls() const override { return calls_; }
+  uint64_t optimizer_calls() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
 
   const CostParams& params() const { return params_; }
 
@@ -66,6 +70,10 @@ class OptimizerCostModel : public PlanCostModel {
 
   const Table& base_;
   CostParams params_;
+  /// Costing is shared by concurrent serving sessions; the memo cache and
+  /// call counter are guarded so QueryCost stays const-callable from any
+  /// thread.
+  mutable std::mutex mu_;
   mutable std::unordered_map<Key, double, KeyHash> cache_;
   mutable uint64_t calls_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <istream>
@@ -32,7 +33,11 @@ bool ParseDouble(const std::string& text, double* out) {
   errno = 0;
   const double v = std::strtod(begin, &parse_end);
   if (parse_end != begin + text.size()) return false;
-  if (errno == ERANGE) return false;
+  // strtod sets ERANGE for overflow *and* underflow, but on underflow it
+  // still returns the correctly rounded subnormal (or zero) — a valid cell
+  // value (e.g. "1e-320"). Only overflow, which clamps to ±HUGE_VAL, is a
+  // parse failure.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return false;
   *out = v;
   return true;
 }

@@ -98,6 +98,11 @@ struct WorkCounters {
   /// functions of (plan, fault seed) — see PlanExecutor's retry ladder.
   uint64_t tasks_retried = 0;
   uint64_t tasks_degraded = 0;
+  /// Cross-request aggregate cache (core/aggregate_cache.h): plan nodes
+  /// served from a pinned prior materialization vs. computed because no
+  /// usable entry existed. Both stay zero when no cache is attached.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   WorkCounters& operator+=(const WorkCounters& o) {
     rows_scanned += o.rows_scanned;
@@ -114,6 +119,8 @@ struct WorkCounters {
     scan_touch_checksum ^= o.scan_touch_checksum;
     tasks_retried += o.tasks_retried;
     tasks_degraded += o.tasks_degraded;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
     return *this;
   }
 

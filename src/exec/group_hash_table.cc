@@ -1,10 +1,26 @@
 #include "exec/group_hash_table.h"
 
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstring>
 
 namespace gbmqo {
+
+namespace {
+// 0 = no override (use kMaxGroups). Relaxed: only read on the (rare)
+// new-group branch, and tests set it before running aggregations.
+std::atomic<size_t> g_max_groups_override{0};
+}  // namespace
+
+void GroupHashTable::OverrideMaxGroupsForTest(size_t limit) {
+  g_max_groups_override.store(limit, std::memory_order_relaxed);
+}
+
+size_t GroupHashTable::max_groups() {
+  const size_t limit = g_max_groups_override.load(std::memory_order_relaxed);
+  return limit == 0 ? kMaxGroups : limit;
+}
 
 namespace {
 // 64-bit finalizer (xxHash-style avalanche).
@@ -78,6 +94,7 @@ uint32_t GroupHashTable::FindOrInsert(const uint64_t* key, bool* inserted) {
     ++probes_;
     const uint32_t tag = slots_[pos];
     if (tag == 0) {
+      if (num_groups_ >= max_groups()) throw GroupIdSpaceExhausted();
       const uint32_t id = static_cast<uint32_t>(num_groups_++);
       arena_.insert(arena_.end(), key, key + key_width_);
       slots_[pos] = id + 1;

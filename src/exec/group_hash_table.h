@@ -10,10 +10,24 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 namespace gbmqo {
+
+/// Thrown by the group tables when handing out one more dense id would
+/// overflow the uint32 id space (slot tags store id + 1, so at most
+/// 2^32 - 1 groups are representable; beyond that ids would silently wrap).
+/// QueryExecutor converts it to Status::ResourceExhausted at the query
+/// boundary, like any other resource exhaustion.
+class GroupIdSpaceExhausted : public std::runtime_error {
+ public:
+  GroupIdSpaceExhausted()
+      : std::runtime_error(
+            "group id space exhausted: group count reached the uint32 "
+            "id limit") {}
+};
 
 /// Maps keys of `key_width` uint64 words to dense ids [0, size()). Uses
 /// linear probing over a power-of-two slot array; resizes at 70% load.
@@ -42,6 +56,17 @@ class GroupHashTable {
   /// Total probe count since construction (for work accounting). Strictly
   /// increases by at least one per FindOrInsert.
   uint64_t probes() const { return probes_; }
+
+  /// Largest representable group count: ids are uint32 and slot tags store
+  /// id + 1 (0 = empty), so at most 2^32 - 1 groups exist per table.
+  static constexpr size_t kMaxGroups = 0xFFFFFFFFu;
+
+  /// Test hook: lowers the id-space limit process-wide so the exhaustion
+  /// guard branch is exercisable without 2^32 real groups. 0 restores
+  /// kMaxGroups. Applies to GroupHashTable and DenseGroupTable alike.
+  static void OverrideMaxGroupsForTest(size_t limit);
+  /// The effective id-space limit (kMaxGroups unless overridden for tests).
+  static size_t max_groups();
 
   // ---- Partitioned merge (parallel aggregation) ----------------------------
 
@@ -113,6 +138,9 @@ class DenseGroupTable {
   uint32_t FindOrInsert(uint32_t slot) {
     uint32_t& tag = tags_[slot - begin_];
     if (tag == 0) {
+      if (group_slots_.size() >= GroupHashTable::max_groups()) {
+        throw GroupIdSpaceExhausted();
+      }
       group_slots_.push_back(slot);
       tag = static_cast<uint32_t>(group_slots_.size());
     }

@@ -511,6 +511,16 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
                                                const GroupByQuery& query,
                                                const std::string& output_name,
                                                AggStrategy strategy) {
+  try {
+    return ExecuteGroupByImpl(input, query, output_name, strategy);
+  } catch (const GroupIdSpaceExhausted& e) {
+    return Status::ResourceExhausted(e.what());
+  }
+}
+
+Result<TablePtr> QueryExecutor::ExecuteGroupByImpl(
+    const Table& input, const GroupByQuery& query,
+    const std::string& output_name, AggStrategy strategy) {
   GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
   AggState state(input, query);
   GBMQO_RETURN_NOT_OK(state.Validate());
@@ -684,6 +694,16 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
 }
 
 Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
+    const Table& input, const std::vector<GroupByQuery>& queries,
+    const std::vector<std::string>& output_names) {
+  try {
+    return ExecuteSharedScanImpl(input, queries, output_names);
+  } catch (const GroupIdSpaceExhausted& e) {
+    return Status::ResourceExhausted(e.what());
+  }
+}
+
+Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScanImpl(
     const Table& input, const std::vector<GroupByQuery>& queries,
     const std::vector<std::string>& output_names) {
   GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());

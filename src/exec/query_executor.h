@@ -118,6 +118,19 @@ class QueryExecutor {
       const std::vector<std::string>& output_names);
 
  private:
+  /// Bodies of the two entry points. The public wrappers convert a
+  /// GroupIdSpaceExhausted thrown from any group table (including from a
+  /// joined morsel worker, rethrown by RunTasks) into
+  /// Status::ResourceExhausted, so uint32 group-id exhaustion surfaces as a
+  /// Status instead of wrapping ids silently.
+  Result<TablePtr> ExecuteGroupByImpl(const Table& input,
+                                      const GroupByQuery& query,
+                                      const std::string& output_name,
+                                      AggStrategy strategy);
+  Result<std::vector<TablePtr>> ExecuteSharedScanImpl(
+      const Table& input, const std::vector<GroupByQuery>& queries,
+      const std::vector<std::string>& output_names);
+
   ExecContext* ctx_;
   ScanMode scan_mode_;
   int parallelism_;

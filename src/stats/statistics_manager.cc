@@ -7,6 +7,7 @@ StatisticsManager::StatisticsManager(const Table& table, DistinctMode mode,
     : table_(table), mode_(mode), sample_size_(sample_size) {}
 
 const ColumnSetStats& StatisticsManager::Get(ColumnSet columns) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(columns);
   if (it != cache_.end()) return it->second;
 

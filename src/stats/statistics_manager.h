@@ -17,6 +17,7 @@
 #define GBMQO_STATS_STATISTICS_MANAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/column_set.h"
@@ -41,20 +42,33 @@ class StatisticsManager {
                              DistinctMode mode = DistinctMode::kExact,
                              uint64_t sample_size = 100000);
 
-  /// Statistics for `columns`, creating them on first request.
+  /// Statistics for `columns`, creating them on first request. Thread-safe:
+  /// concurrent serving sessions share one manager. The returned reference
+  /// stays valid for the manager's lifetime (unordered_map element
+  /// references survive rehashing).
   const ColumnSetStats& Get(ColumnSet columns);
 
   /// True if statistics on `columns` already exist (no side effects).
-  bool Has(ColumnSet columns) const { return cache_.count(columns) > 0; }
+  bool Has(ColumnSet columns) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.count(columns) > 0;
+  }
 
   /// Number of statistics objects created so far.
-  uint64_t statistics_created() const { return statistics_created_; }
+  uint64_t statistics_created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return statistics_created_;
+  }
   /// Total wall-clock seconds spent creating statistics (Experiment 6.7).
-  double creation_seconds() const { return creation_seconds_; }
+  double creation_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return creation_seconds_;
+  }
 
   const Table& table() const { return table_; }
 
  private:
+  mutable std::mutex mu_;  ///< guards cache_, sample_ and the counters
   const Table& table_;
   DistinctMode mode_;
   uint64_t sample_size_;

@@ -58,6 +58,23 @@ Result<bool> Catalog::ReleaseTempRef(const std::string& name) {
   return true;
 }
 
+Status Catalog::AddTempRef(const std::string& name, int n) {
+  if (n < 1) {
+    return Status::InvalidArgument("must add at least one reference");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  if (!it->second.is_temp) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' is a base table, not a temp");
+  }
+  it->second.refs += n;
+  return Status::OK();
+}
+
 Status Catalog::Drop(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);

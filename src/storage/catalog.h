@@ -38,6 +38,13 @@ class Catalog {
   /// dropped it. Fails on tables registered without references.
   Result<bool> ReleaseTempRef(const std::string& name);
 
+  /// Adds `n` (>= 1) consumer references to an existing temp table. Used by
+  /// the aggregate cache to pin a materialized intermediate beyond its plan
+  /// and to hand extra references to concurrent readers. A temp registered
+  /// without references (plain RegisterTemp) becomes reference-counted; its
+  /// owner must then release instead of Drop.
+  Status AddTempRef(const std::string& name, int n = 1);
+
   /// Drops a table by name (base or temp). Temp bytes are released.
   Status Drop(const std::string& name);
 

@@ -1,0 +1,65 @@
+// StorageGovernor: a process-wide byte budget arbitrating intermediate
+// storage across concurrent plan executions and the cross-request aggregate
+// cache. Each PlanExecutor keeps enforcing its own per-plan Section 4.4
+// storage gate; the governor sits above those gates so the *sum* of
+// concurrently live intermediates (plus cache pins) also stays under one
+// global budget. Reservations are advisory byte counts (the executor's
+// what-if estimates), not allocations.
+#ifndef GBMQO_STORAGE_STORAGE_GOVERNOR_H_
+#define GBMQO_STORAGE_STORAGE_GOVERNOR_H_
+
+#include <algorithm>
+#include <mutex>
+
+namespace gbmqo {
+
+/// Thread-safe global storage budget. budget_bytes <= 0 means unlimited
+/// (TryReserve always succeeds) while still tracking the reserved total.
+class StorageGovernor {
+ public:
+  explicit StorageGovernor(double budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Attempts to reserve `bytes`; fails (without reserving) if the grant
+  /// would push the reserved total past the budget. Non-positive requests
+  /// always succeed.
+  bool TryReserve(double bytes) {
+    if (bytes <= 0) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (budget_bytes_ > 0 && reserved_ + bytes > budget_bytes_) return false;
+    reserved_ += bytes;
+    return true;
+  }
+
+  /// Reserves unconditionally — used where an executor must make progress
+  /// (its forced-admission path) even if that overshoots the budget; the
+  /// overshoot is visible in reserved() and repaid on release.
+  void ForceReserve(double bytes) {
+    if (bytes <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    reserved_ += bytes;
+  }
+
+  /// Returns `bytes` to the budget (clamped so racy over-release cannot
+  /// drive the total negative).
+  void Release(double bytes) {
+    if (bytes <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    reserved_ = std::max(0.0, reserved_ - bytes);
+  }
+
+  double reserved() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reserved_;
+  }
+  double budget_bytes() const { return budget_bytes_; }
+
+ private:
+  const double budget_bytes_;
+  mutable std::mutex mu_;
+  double reserved_ = 0;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_STORAGE_STORAGE_GOVERNOR_H_

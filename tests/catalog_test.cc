@@ -66,6 +66,43 @@ TEST(CatalogTest, BaseTablesDoNotCountAsTemp) {
   EXPECT_EQ(cat.temp_bytes(), 0u);
 }
 
+TEST(CatalogTest, AddTempRefExtendsLifetime) {
+  Catalog cat;
+  TablePtr t = MakeTable("t", 100);
+  ASSERT_TRUE(cat.RegisterTempWithRefs(t, 1).ok());
+  // A second pin means the first release must not drop the table.
+  ASSERT_TRUE(cat.AddTempRef("t").ok());
+  auto r1 = cat.ReleaseTempRef("t");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(*r1);
+  EXPECT_TRUE(cat.Exists("t"));
+  auto r2 = cat.ReleaseTempRef("t");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);
+  EXPECT_FALSE(cat.Exists("t"));
+}
+
+TEST(CatalogTest, AddTempRefMultipleAndErrors) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterBase(MakeTable("r", 10)).ok());
+  // Base tables are not refcounted temps.
+  EXPECT_TRUE(cat.AddTempRef("r").IsInvalidArgument());
+  EXPECT_TRUE(cat.AddTempRef("missing").IsNotFound());
+  TablePtr t = MakeTable("t", 10);
+  ASSERT_TRUE(cat.RegisterTempWithRefs(t, 1).ok());
+  EXPECT_TRUE(cat.AddTempRef("t", 0).IsInvalidArgument());
+  ASSERT_TRUE(cat.AddTempRef("t", 2).ok());
+  for (int i = 0; i < 2; ++i) {
+    auto r = cat.ReleaseTempRef("t");
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(*r);
+  }
+  EXPECT_TRUE(cat.Exists("t"));
+  auto last = cat.ReleaseTempRef("t");
+  ASSERT_TRUE(last.ok());
+  EXPECT_TRUE(*last);
+}
+
 TEST(CatalogTest, NextTempNameUnique) {
   Catalog cat;
   const std::string n1 = cat.NextTempName("tmp");

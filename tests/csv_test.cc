@@ -80,6 +80,31 @@ TEST(CsvReadTest, Errors) {
   EXPECT_FALSE(ReadCsvFile("/nonexistent/file.csv", "t").ok());
 }
 
+TEST(CsvReadTest, SubnormalDoublesParse) {
+  // Regression: strtod sets errno = ERANGE on underflow while still
+  // returning the correct denormal, and the reader used to fail the whole
+  // parse on any ERANGE. Subnormal cells must load; only true overflow may
+  // reject the double interpretation.
+  std::istringstream in("tiny\n1e-320\n-4.9e-324\n0.5\n");
+  auto t = ReadCsv(in, "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ((*t)->schema().column(0).type, DataType::kDouble);
+  EXPECT_DOUBLE_EQ((*t)->column(0).DoubleAt(0), 1e-320);
+  EXPECT_DOUBLE_EQ((*t)->column(0).DoubleAt(1), -4.9e-324);
+  EXPECT_DOUBLE_EQ((*t)->column(0).DoubleAt(2), 0.5);
+
+  // Overflow still rejects the double interpretation: the column falls back
+  // to STRING under inference, and fails under a forced double type.
+  std::istringstream huge("big\n1e999\n");
+  auto s = ReadCsv(huge, "s");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->schema().column(0).type, DataType::kString);
+  std::istringstream huge2("big\n1e999\n");
+  CsvReadOptions force_double;
+  force_double.types = {DataType::kDouble};
+  EXPECT_FALSE(ReadCsv(huge2, "s2", force_double).ok());
+}
+
 TEST(CsvRoundTripTest, WriteThenReadPreservesData) {
   TableBuilder b(Schema({{"i", DataType::kInt64, true},
                          {"d", DataType::kDouble, false},

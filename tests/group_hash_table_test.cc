@@ -78,6 +78,43 @@ TEST(GroupHashTableTest, ProbeCounterAdvances) {
   EXPECT_GE(t.probes(), 1u);
 }
 
+// RAII guard restoring the default group-id limit even if the test fails.
+struct ScopedMaxGroups {
+  explicit ScopedMaxGroups(size_t limit) {
+    GroupHashTable::OverrideMaxGroupsForTest(limit);
+  }
+  ~ScopedMaxGroups() { GroupHashTable::OverrideMaxGroupsForTest(0); }
+};
+
+TEST(GroupHashTableTest, GroupIdSpaceGuardThrows) {
+  ScopedMaxGroups cap(2);
+  GroupHashTable t(1);
+  uint64_t k1 = 1, k2 = 2, k3 = 3;
+  EXPECT_EQ(t.FindOrInsert(&k1), 0u);
+  EXPECT_EQ(t.FindOrInsert(&k2), 1u);
+  // Existing groups stay findable at the limit; only a *new* group throws.
+  bool inserted = true;
+  EXPECT_EQ(t.FindOrInsert(&k1, &inserted), 0u);
+  EXPECT_FALSE(inserted);
+  EXPECT_THROW(t.FindOrInsert(&k3), GroupIdSpaceExhausted);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(GroupHashTableTest, DenseGroupIdSpaceGuardThrows) {
+  ScopedMaxGroups cap(2);
+  DenseGroupTable t(0, 16);
+  EXPECT_EQ(t.FindOrInsert(3), 0u);
+  EXPECT_EQ(t.FindOrInsert(7), 1u);
+  EXPECT_EQ(t.FindOrInsert(3), 0u);  // repeat lookup is fine at the limit
+  EXPECT_THROW(t.FindOrInsert(9), GroupIdSpaceExhausted);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(GroupHashTableTest, OverrideZeroRestoresDefaultLimit) {
+  GroupHashTable::OverrideMaxGroupsForTest(0);
+  EXPECT_EQ(GroupHashTable::max_groups(), GroupHashTable::kMaxGroups);
+}
+
 class KeyWidthTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(KeyWidthTest, ManyRandomKeysRoundTrip) {

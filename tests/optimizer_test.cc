@@ -258,5 +258,86 @@ TEST(OptimizerTest, QuadraticMergeBound) {
   EXPECT_LE(r->stats.merges_evaluated, (2 * n) * (2 * n));
 }
 
+TEST(OptimizerTest, ExactCachedViewServesRequestForFree) {
+  Fixture f;
+  OptimizerCostModel model(*f.table);
+  auto requests = SingleColumnRequests({0, 1, 2, 3});
+
+  OptimizerOptions opts;
+  CachedViewDesc view;
+  view.columns = requests[2].columns;  // {2}, the expensive near-unique one
+  view.aggs = requests[2].aggs;
+  const NodeDesc d = f.whatif.Describe(view.columns, 1);
+  view.rows = d.rows;
+  view.row_width = d.row_width;
+  opts.cached_views.push_back(view);
+
+  GbMqoOptimizer opt(&model, &f.whatif, opts);
+  auto r = opt.Optimize(requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->cache_edges.size(), 1u);
+  EXPECT_EQ(r->cache_edges.begin()->first, 2u);
+  EXPECT_EQ(r->cache_edges.begin()->second, 0u);
+  // The served request has no leaf in the plan.
+  for (const PlanNode& sub : r->plan.subplans) {
+    EXPECT_FALSE(sub.required && sub.columns == requests[2].columns);
+  }
+  // naive_cost still prices every request from R, so serving {2} for free
+  // must beat both the naive plan and the cache-less optimum.
+  GbMqoOptimizer no_cache(&model, &f.whatif);
+  auto base = no_cache.Optimize(requests);
+  ASSERT_TRUE(base.ok());
+  EXPECT_LT(r->cost, base->cost);
+  EXPECT_EQ(r->naive_cost, base->naive_cost);
+}
+
+TEST(OptimizerTest, SupersetCachedViewCostedAsReaggregation) {
+  Fixture f;
+  OptimizerCostModel model(*f.table);
+  auto requests = SingleColumnRequests({0, 1});
+
+  // A pinned (a,b) COUNT(*) aggregate covers both single-column requests by
+  // re-aggregation; its tiny cardinality makes the serve edge beat a base
+  // scan for each.
+  OptimizerOptions opts;
+  CachedViewDesc view;
+  view.columns = ColumnSet{0, 1};
+  view.aggs = {AggRequest{}};
+  const NodeDesc d = f.whatif.Describe(view.columns, 1);
+  view.rows = d.rows;
+  view.row_width = d.row_width;
+  opts.cached_views.push_back(view);
+
+  GbMqoOptimizer opt(&model, &f.whatif, opts);
+  auto r = opt.Optimize(requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->cache_edges.size(), 2u);
+  EXPECT_TRUE(r->plan.subplans.empty());
+  EXPECT_GT(r->cost, 0.0);  // re-aggregation is cheap but not free
+  EXPECT_LT(r->cost, r->naive_cost);
+}
+
+TEST(OptimizerTest, CachedViewMissingAggregateIsIgnored) {
+  Fixture f;
+  OptimizerCostModel model(*f.table);
+  std::vector<GroupByRequest> requests = {
+      GroupByRequest{ColumnSet{0}, {AggRequest{AggKind::kSum, 2}}}};
+
+  OptimizerOptions opts;
+  CachedViewDesc view;
+  view.columns = ColumnSet{0};
+  view.aggs = {AggRequest{}};  // COUNT(*) only — cannot answer SUM(c)
+  const NodeDesc d = f.whatif.Describe(view.columns, 1);
+  view.rows = d.rows;
+  view.row_width = d.row_width;
+  opts.cached_views.push_back(view);
+
+  GbMqoOptimizer opt(&model, &f.whatif, opts);
+  auto r = opt.Optimize(requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->cache_edges.empty());
+  ASSERT_EQ(r->plan.subplans.size(), 1u);
+}
+
 }  // namespace
 }  // namespace gbmqo

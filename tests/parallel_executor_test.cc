@@ -131,6 +131,8 @@ void ExpectSameCounters(const WorkCounters& a, const WorkCounters& b) {
   EXPECT_EQ(a.agg_cpu_units, b.agg_cpu_units);
   EXPECT_EQ(a.tasks_retried, b.tasks_retried);
   EXPECT_EQ(a.tasks_degraded, b.tasks_degraded);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
 }
 
 /// Cell-by-cell result equality: same tables, same row order, same values.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/group_hash_table.h"
 
 namespace gbmqo {
 namespace {
@@ -385,6 +386,28 @@ TEST(QueryExecutorTest, StringAggregateRejected) {
   auto r = exec.ExecuteGroupBy(*t, q, "out");
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotSupported());
+}
+
+TEST(QueryExecutorTest, GroupIdExhaustionBecomesResourceExhausted) {
+  // Regression: overflowing the uint32 group-id space used to wrap ids
+  // silently. With the limit lowered for the test, a query producing more
+  // groups than the id space must fail with ResourceExhausted — at any
+  // parallelism, since worker-thread throws are rethrown on the caller.
+  GroupHashTable::OverrideMaxGroupsForTest(4);
+  TablePtr t = MakeMixedTable(2000, 31, /*with_nulls=*/false);
+  for (int parallelism : {1, 4}) {
+    ExecContext ctx;
+    QueryExecutor exec(&ctx, ScanMode::kRowStore, parallelism);
+    GroupByQuery q{ColumnSet{0, 1}, {AggregateSpec::CountStar()}};
+    auto r = exec.ExecuteGroupBy(*t, q, "out", AggStrategy::kHash);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+  }
+  GroupHashTable::OverrideMaxGroupsForTest(0);
+  ExecContext ctx;
+  QueryExecutor exec(&ctx);
+  GroupByQuery q{ColumnSet{0, 1}, {AggregateSpec::CountStar()}};
+  EXPECT_TRUE(exec.ExecuteGroupBy(*t, q, "out", AggStrategy::kHash).ok());
 }
 
 TEST(QueryExecutorTest, AutoPicksIndexWhenAvailable) {

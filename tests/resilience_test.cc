@@ -14,9 +14,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/session.h"
@@ -78,6 +80,8 @@ void ExpectSameCounters(const WorkCounters& a, const WorkCounters& b) {
   EXPECT_EQ(a.dense_kernel_rows, b.dense_kernel_rows);
   EXPECT_EQ(a.packed_kernel_rows, b.packed_kernel_rows);
   EXPECT_EQ(a.multiword_kernel_rows, b.multiword_kernel_rows);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
   EXPECT_EQ(a.scan_touch_checksum, b.scan_touch_checksum);
   EXPECT_EQ(a.agg_cpu_units, b.agg_cpu_units);
   EXPECT_EQ(a.tasks_retried, b.tasks_retried);
@@ -400,6 +404,66 @@ TEST(TempCleanupTest, CompositeSubtreeDropsTempsOnInjectedThrow) {
 }
 
 // ---- cancellation and deadlines ---------------------------------------------
+
+TEST(CancellationTest, CancelDuringRetryBackoffReturnsPromptly) {
+  // Regression: the retry loop used to sleep attempt * backoff_ms
+  // unconditionally, so with a large backoff a Cancel() issued while the
+  // executor sat in backoff was not observed until the full sleep elapsed.
+  // The backoff wait must poll the token and unwind within a slice.
+  Fixture f(1000);
+  const auto requests = FanOutRequests();
+  const LogicalPlan plan = FanOutPlan();
+  FaultInjector inj(7);
+  inj.ArmProbability(FaultSite::kTaskStart, 1.0);  // every attempt fails
+  ScopedFaultInjection scoped(&inj);
+  CancellationToken token;
+  PlanExecutor exec(&f.catalog, "lineitem");
+  exec.set_cancellation(&token);
+  exec.set_max_task_retries(3);
+  exec.set_retry_backoff_ms(60000);  // would stall ~minutes if unconditional
+
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.Cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  auto r = exec.Execute(plan, requests);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+  EXPECT_LT(elapsed_s, 5.0) << "backoff ignored the cancellation token";
+  EXPECT_EQ(f.catalog.temp_bytes(), 0u);
+}
+
+TEST(CancellationTest, RetryBackoffBoundedByDeadline) {
+  // The backoff wait is capped by the remaining deadline: a 100ms deadline
+  // must not sit out a 60s backoff before reporting DeadlineExceeded.
+  Fixture f(1000);
+  const auto requests = FanOutRequests();
+  const LogicalPlan plan = FanOutPlan();
+  FaultInjector inj(7);
+  inj.ArmProbability(FaultSite::kTaskStart, 1.0);
+  ScopedFaultInjection scoped(&inj);
+  CancellationToken token;
+  token.SetDeadlineAfterMs(100);
+  PlanExecutor exec(&f.catalog, "lineitem");
+  exec.set_cancellation(&token);
+  exec.set_max_task_retries(3);
+  exec.set_retry_backoff_ms(60000);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto r = exec.Execute(plan, requests);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+  EXPECT_LT(elapsed_s, 5.0) << "backoff overslept the deadline";
+  EXPECT_EQ(f.catalog.temp_bytes(), 0u);
+}
 
 TEST(CancellationTest, PreCancelledTokenStopsExecution) {
   Fixture f;

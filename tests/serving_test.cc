@@ -1,0 +1,273 @@
+// Concurrent serving determinism: N clients against one Server must see
+// exactly the content serial sessions produce, the cross-request aggregate
+// cache must hit deterministically on repeated workloads, and catalog temp
+// bytes must return to the pinned-cache baseline after every request.
+#include "api/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "data/tpch_gen.h"
+
+namespace gbmqo {
+namespace {
+
+std::map<std::string, std::vector<double>> Flatten(const Table& t, int ng) {
+  std::map<std::string, std::vector<double>> out;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    std::string key;
+    for (int c = 0; c < ng; ++c) {
+      key += t.column(c).ValueAt(row).ToString() + "|";
+    }
+    std::vector<double> aggs;
+    for (int c = ng; c < t.schema().num_columns(); ++c) {
+      aggs.push_back(t.column(c).IsNull(row) ? -1e308
+                                             : t.column(c).NumericAt(row));
+    }
+    out[key] = std::move(aggs);
+  }
+  return out;
+}
+
+/// Bit-identity up to row order: same keys, same aggregate values.
+void ExpectSameResults(const ExecutionResult& a, const ExecutionResult& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (const auto& [cols, ta] : a.results) {
+    ASSERT_TRUE(b.results.count(cols)) << cols.ToString();
+    const TablePtr& tb = b.results.at(cols);
+    auto fa = Flatten(*ta, cols.size());
+    auto fb = Flatten(*tb, cols.size());
+    ASSERT_EQ(fa.size(), fb.size()) << cols.ToString();
+    for (const auto& [key, aggs] : fa) {
+      ASSERT_TRUE(fb.count(key)) << cols.ToString() << " " << key;
+      ASSERT_EQ(aggs.size(), fb[key].size());
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        EXPECT_EQ(aggs[i], fb[key][i]) << cols.ToString() << " " << key;
+      }
+    }
+  }
+}
+
+TablePtr SmallLineitem() {
+  static TablePtr table = GenerateLineitem({.rows = 20000, .seed = 7});
+  return table;
+}
+
+const char* kSpec = "SINGLE(l_returnflag, l_linestatus, l_shipmode)";
+
+TEST(ServingTest, MatchesSession) {
+  Server server(SmallLineitem());
+  auto served = server.Execute(kSpec);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  Session session(SmallLineitem());
+  auto direct = session.Execute(kSpec);
+  ASSERT_TRUE(direct.ok());
+  ExpectSameResults(*direct, *served);
+}
+
+TEST(ServingTest, ConcurrentClientsMatchSerialContent) {
+  // Overlapping grouping sets from concurrent clients; coalescing off so
+  // every submission really executes.
+  const std::vector<std::string> specs = {
+      "SINGLE(l_returnflag, l_linestatus, l_shipmode)",
+      "PAIRS(l_returnflag, l_linestatus, l_shipmode)",
+      "SINGLE(l_returnflag, l_shipinstruct)",
+      "(l_returnflag, l_linestatus), (l_shipmode)",
+      "SINGLE(l_linestatus, l_shipmode)",
+      "PAIRS(l_returnflag, l_shipinstruct)",
+  };
+  ServerOptions options;
+  options.pool_size = 4;
+  options.coalesce_identical_requests = false;
+  Server server(SmallLineitem(), options);
+
+  std::vector<Server::Ticket> tickets(specs.size());
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    clients.emplace_back([&, i] {
+      auto t = server.Submit(specs[i]);
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      tickets[i] = *t;
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  Session session(SmallLineitem());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto served = tickets[i].Get();
+    ASSERT_TRUE(served.ok()) << specs[i] << ": " << served.status().ToString();
+    auto direct = session.Execute(specs[i]);
+    ASSERT_TRUE(direct.ok());
+    ExpectSameResults(*direct, *served);
+  }
+  EXPECT_EQ(server.stats().requests_served, specs.size());
+  EXPECT_EQ(server.stats().requests_failed, 0u);
+}
+
+TEST(ServingTest, WarmCacheHitsDeterministically) {
+  Server server(SmallLineitem());
+  auto requests = server.Parse(kSpec);
+  ASSERT_TRUE(requests.ok());
+
+  auto cold = server.Execute(*requests);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->counters.cache_hits, 0u);
+
+  // Every request is now covered by an exactly-matching pinned view, so the
+  // repeat is served entirely from the cache: one hit per request, zero
+  // misses, zero scans — and byte-identical content.
+  auto warm = server.Execute(*requests);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->counters.cache_hits, requests->size());
+  EXPECT_EQ(warm->counters.cache_misses, 0u);
+  EXPECT_EQ(warm->counters.bytes_scanned, 0u);
+  ExpectSameResults(*cold, *warm);
+
+  // And again: hit counts are a deterministic function of the workload.
+  auto warm2 = server.Execute(*requests);
+  ASSERT_TRUE(warm2.ok());
+  EXPECT_EQ(warm2->counters.cache_hits, requests->size());
+  EXPECT_EQ(warm2->counters.cache_misses, 0u);
+}
+
+TEST(ServingTest, TempBytesReturnToPinnedBaseline) {
+  Server server(SmallLineitem());
+  const std::vector<std::string> specs = {
+      kSpec,
+      "PAIRS(l_returnflag, l_linestatus, l_shipmode)",
+      kSpec,
+  };
+  for (const std::string& spec : specs) {
+    auto r = server.Execute(spec);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Everything still registered in the catalog is pinned by the cache.
+    ASSERT_NE(server.cache(), nullptr);
+    EXPECT_EQ(server.catalog()->temp_bytes(), server.cache()->pinned_bytes());
+  }
+}
+
+TEST(ServingTest, SupersetViewServedByReaggregation) {
+  Server server(SmallLineitem());
+  // Warm the cache with the pair aggregate only.
+  auto pair = server.Execute("((l_returnflag, l_linestatus))");
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+
+  // The single-column requests are strict subsets of the pinned pair view:
+  // both must be routed to it (re-aggregation over a 6-row table beats any
+  // base scan) and the answers must match direct execution.
+  auto singles = server.Execute("SINGLE(l_returnflag, l_linestatus)");
+  ASSERT_TRUE(singles.ok()) << singles.status().ToString();
+  EXPECT_EQ(singles->counters.cache_hits, 2u);
+  // Each re-aggregation reads only the 6-row pinned view, never the base
+  // relation.
+  EXPECT_EQ(singles->counters.rows_scanned, 12u);
+
+  Session session(SmallLineitem());
+  auto direct = session.Execute("SINGLE(l_returnflag, l_linestatus)");
+  ASSERT_TRUE(direct.ok());
+  ExpectSameResults(*direct, *singles);
+}
+
+TEST(ServingTest, CoalescingSharesOneExecution) {
+  ServerOptions options;
+  options.pool_size = 1;  // deterministic: the worker is busy with `head`
+  Server server(SmallLineitem(), options);
+
+  auto head = server.Submit("SINGLE(l_shipdate, l_comment)");
+  ASSERT_TRUE(head.ok());
+  auto a = server.Submit(kSpec);
+  auto b = server.Submit(kSpec);  // identical while `a` is still queued
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  auto ra = a->Get();
+  auto rb = b->Get();
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ExpectSameResults(*ra, *rb);
+  EXPECT_TRUE(head->Get().ok());
+  EXPECT_EQ(server.stats().requests_coalesced, 1u);
+  // The coalesced submission never became its own job.
+  EXPECT_EQ(server.stats().requests_served, 2u);
+}
+
+TEST(ServingTest, CacheDisabledStillCorrectUnderConcurrency) {
+  ServerOptions options;
+  options.enable_aggregate_cache = false;
+  options.coalesce_identical_requests = false;
+  options.pool_size = 4;
+  Server server(SmallLineitem(), options);
+  EXPECT_EQ(server.cache(), nullptr);
+
+  std::vector<Server::Ticket> tickets;
+  for (int i = 0; i < 6; ++i) tickets.push_back(*server.Submit(kSpec));
+  Session session(SmallLineitem());
+  auto direct = session.Execute(kSpec);
+  ASSERT_TRUE(direct.ok());
+  for (auto& t : tickets) {
+    auto r = t.Get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->counters.cache_hits, 0u);
+    ExpectSameResults(*direct, *r);
+  }
+}
+
+TEST(ServingTest, TinyCacheBudgetEvictsButServesCorrectly) {
+  ServerOptions options;
+  options.cache_budget_bytes = 512;  // admits at most a tiny aggregate
+  Server server(SmallLineitem(), options);
+  for (int round = 0; round < 2; ++round) {
+    auto r = server.Execute(kSpec);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_LE(server.cache()->pinned_bytes(), 512u);
+  }
+  const AggregateCacheStats cache = server.stats().cache;
+  // Offers beyond the budget were declined or evicted, never over-pinned.
+  EXPECT_GT(cache.declined + cache.evictions, 0u);
+  EXPECT_EQ(server.catalog()->temp_bytes(), server.cache()->pinned_bytes());
+}
+
+TEST(ServingTest, GovernorArbitratesAcrossRequestsAndCache) {
+  ServerOptions options;
+  options.global_storage_budget_bytes = 4.0 * 1024 * 1024;
+  options.coalesce_identical_requests = false;
+  options.pool_size = 4;
+  Server server(SmallLineitem(), options);
+  ASSERT_NE(server.governor(), nullptr);
+
+  std::vector<Server::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(*server.Submit(
+        "PAIRS(l_returnflag, l_linestatus, l_shipmode, l_shipinstruct)"));
+  }
+  for (auto& t : tickets) {
+    auto r = t.Get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  // Once all plans finish, the only outstanding reservations are the
+  // cache's pinned bytes — per-plan reservations are flushed on exit (up
+  // to float residue from out-of-order reserve/release arithmetic).
+  EXPECT_NEAR(server.governor()->reserved(),
+              static_cast<double>(server.cache()->pinned_bytes()), 1.0);
+  EXPECT_EQ(server.catalog()->temp_bytes(), server.cache()->pinned_bytes());
+}
+
+TEST(ServingTest, SubmitAfterShutdownIsCancelled) {
+  Server* server = new Server(SmallLineitem());
+  auto ok = server->Execute(kSpec);
+  ASSERT_TRUE(ok.ok());
+  delete server;  // drains and joins
+
+  Server alive(SmallLineitem());
+  auto t = alive.Submit(kSpec);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->Get().ok());
+}
+
+}  // namespace
+}  // namespace gbmqo
