@@ -30,10 +30,6 @@ Server::Server(TablePtr base, ServerOptions options)
     : base_(std::move(base)), options_(options) {
   FaultInjector::InstallFromEnv();
   (void)catalog_.RegisterBase(base_);
-  stats_ = std::make_unique<StatisticsManager>(
-      *base_, options_.session.stats_mode, options_.session.sample_size);
-  whatif_ = std::make_unique<WhatIfProvider>(stats_.get());
-  model_ = std::make_unique<OptimizerCostModel>(*base_);
   if (options_.global_storage_budget_bytes > 0) {
     governor_ =
         std::make_unique<StorageGovernor>(options_.global_storage_budget_bytes);
@@ -42,6 +38,8 @@ Server::Server(TablePtr base, ServerOptions options)
     cache_ = std::make_unique<AggregateCache>(
         &catalog_, options_.cache_budget_bytes, governor_.get());
   }
+  ingestor_ = std::make_unique<Ingestor>(&catalog_);
+  snapshot_ = MakeSnapshot(0, base_, nullptr);
   const int pool = options_.pool_size < 1 ? 1 : options_.pool_size;
   workers_.reserve(static_cast<size_t>(pool));
   for (int i = 0; i < pool; ++i) {
@@ -58,6 +56,28 @@ Server::~Server() {
   for (std::thread& t : workers_) t.join();
   // The cache must release its catalog pins before the catalog dies.
   cache_.reset();
+}
+
+std::shared_ptr<const Server::BaseSnapshot> Server::MakeSnapshot(
+    uint64_t version, TablePtr base, const BaseSnapshot* prev) const {
+  auto snap = std::make_shared<BaseSnapshot>();
+  snap->version = version;
+  snap->base = std::move(base);
+  if (prev == nullptr || options_.refresh_stats_on_ingest) {
+    snap->stats = std::make_shared<StatisticsManager>(
+        *snap->base, options_.session.stats_mode, options_.session.sample_size);
+    snap->whatif = std::make_shared<WhatIfProvider>(snap->stats.get());
+  } else {
+    // Carry the previous generation's statistics: estimates drift as the
+    // relation grows, but every request still sees one consistent pair —
+    // the snapshot holds both pointers together.
+    snap->stats = prev->stats;
+    snap->whatif = prev->whatif;
+  }
+  // The cost model reads only the table's size/width metadata — cheap
+  // enough to rebuild every generation.
+  snap->model = std::make_shared<OptimizerCostModel>(*snap->base);
+  return snap;
 }
 
 Result<std::vector<GroupByRequest>> Server::Parse(
@@ -131,6 +151,84 @@ Result<ExecutionResult> Server::Execute(const std::string& spec) {
   return ticket->Get();
 }
 
+Result<Server::IngestResult> Server::AppendBatch(
+    const std::vector<std::vector<Value>>& rows) {
+  WallTimer timer;
+  // Exclusive against every in-flight HandleRequest: readers drain before
+  // the append applies, and none admit until the new snapshot (base +
+  // statistics + refreshed cache generation) is fully in place.
+  std::unique_lock<std::shared_mutex> lock(ingest_mu_);
+  std::shared_ptr<const BaseSnapshot> old = snapshot_;
+
+  Result<IngestBatch> batch = ingestor_->AppendBatch(base_->name(), rows);
+  if (!batch.ok()) return batch.status();
+
+  IngestResult out;
+  out.version = batch->version;
+  out.rows_appended = rows.size();
+
+  if (cache_ != nullptr) {
+    if (options_.incremental_maintenance) {
+      DeltaMaintenanceOptions mopts;
+      mopts.parallelism = options_.session.parallelism;
+      DeltaMaintainer maintainer(&catalog_, cache_.get(), mopts);
+      Result<DeltaMaintenanceReport> report = maintainer.ApplyDelta(
+          batch->delta, batch->base, base_->schema(), batch->version);
+      if (report.ok()) {
+        out.entries_refreshed = report->entries_refreshed;
+        out.entries_recomputed = report->entries_recomputed;
+        out.entries_dropped = report->entries_dropped;
+        out.rollup_reuses = report->rollup_reuses;
+      } else {
+        // Fail safe: a maintenance error must never leave stale entries
+        // serving at the new version.
+        cache_->Invalidate();
+        cache_->SetSourceVersion(batch->version);
+      }
+    } else {
+      cache_->Invalidate();
+      cache_->SetSourceVersion(batch->version);
+    }
+  }
+
+  retired_.push_back(old);
+  snapshot_ = MakeSnapshot(batch->version, batch->base, old.get());
+  SweepRetiredLocked();
+  ++batches_ingested_;
+  rows_ingested_ += rows.size();
+
+  out.wall_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+void Server::SweepRetiredLocked() {
+  // A retired snapshot whose only owner is this vector has no in-flight
+  // reader left; its base generation can leave the catalog. The generation-0
+  // table stays registered: base_ and external callers may still resolve it
+  // by its original name.
+  auto it = retired_.begin();
+  while (it != retired_.end()) {
+    if (it->use_count() == 1 && (*it)->version > 0) {
+      (void)catalog_.Drop((*it)->base->name());
+      it = retired_.erase(it);
+    } else if (it->use_count() == 1) {
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t Server::base_version() const {
+  std::shared_lock<std::shared_mutex> lock(ingest_mu_);
+  return snapshot_->version;
+}
+
+TablePtr Server::current_base() const {
+  std::shared_lock<std::shared_mutex> lock(ingest_mu_);
+  return snapshot_->base;
+}
+
 void Server::WorkerLoop() {
   for (;;) {
     Job job;
@@ -162,11 +260,17 @@ Result<ExecutionResult> Server::HandleRequest(
     const std::vector<GroupByRequest>& requests) {
   WallTimer timer;
 
+  // Admit against one generation: the shared lock spans the whole pipeline,
+  // so AppendBatch (exclusive) can never swap the base or refresh cache
+  // entries while this request is optimizing or reading them.
+  std::shared_lock<std::shared_mutex> ingest_lock(ingest_mu_);
+  const std::shared_ptr<const BaseSnapshot> snap = snapshot_;
+
   // Optimize against a snapshot of the pinned views: requests fully covered
   // by a view leave the plan as serve edges (OptimizerResult::cache_edges).
   OptimizerOptions opt_options = options_.session.optimizer;
   if (cache_ != nullptr) opt_options.cached_views = cache_->SnapshotViews();
-  GbMqoOptimizer optimizer(model_.get(), whatif_.get(), opt_options);
+  GbMqoOptimizer optimizer(snap->model.get(), snap->whatif.get(), opt_options);
   Result<OptimizerResult> opt = optimizer.Optimize(requests);
   if (!opt.ok()) return opt.status();
 
@@ -179,7 +283,8 @@ Result<ExecutionResult> Server::HandleRequest(
   ExecutionResult out;
   CancellationToken token;
   if (!open.empty()) {
-    PlanExecutor executor(&catalog_, base_->name(), options_.session.scan_mode,
+    PlanExecutor executor(&catalog_, snap->base->name(),
+                          options_.session.scan_mode,
                           options_.session.parallelism);
     executor.set_fusion_enabled(options_.session.shared_scan_fusion);
     executor.set_node_parallel(options_.session.node_parallelism);
@@ -188,7 +293,7 @@ Result<ExecutionResult> Server::HandleRequest(
       executor.set_storage_budget(
           per_plan_gate ? options_.session.max_exec_storage_bytes
                         : std::numeric_limits<double>::infinity(),
-          whatif_.get());
+          snap->whatif.get());
     }
     executor.set_max_task_retries(options_.session.max_task_retries);
     executor.set_retry_backoff_ms(options_.session.retry_backoff_ms);
@@ -204,15 +309,18 @@ Result<ExecutionResult> Server::HandleRequest(
   }
 
   for (const auto& edge : opt->cache_edges) {
-    GBMQO_RETURN_NOT_OK(ServeCacheEdge(
-        requests[edge.first], opt_options.cached_views[edge.second], &out));
+    GBMQO_RETURN_NOT_OK(ServeCacheEdge(*snap, requests[edge.first],
+                                       opt_options.cached_views[edge.second],
+                                       &out));
   }
 
+  out.base_version = snap->version;
   out.wall_seconds = timer.ElapsedSeconds();
   return out;
 }
 
-Status Server::ServeCacheEdge(const GroupByRequest& req,
+Status Server::ServeCacheEdge(const BaseSnapshot& snap,
+                              const GroupByRequest& req,
                               const CachedViewDesc& view,
                               ExecutionResult* out) {
   // No extra catalog reference: the returned TablePtr keeps the data alive
@@ -226,11 +334,12 @@ Status Server::ServeCacheEdge(const GroupByRequest& req,
     ExecContext ctx;
     QueryExecutor exec(&ctx, options_.session.scan_mode,
                        options_.session.parallelism);
-    Result<GroupByQuery> query = BuildGroupByOver(
-        *base_, /*input_is_base=*/true, base_->schema(), req.columns, req.aggs);
+    Result<GroupByQuery> query =
+        BuildGroupByOver(*snap.base, /*input_is_base=*/true, base_->schema(),
+                         req.columns, req.aggs);
     if (!query.ok()) return query.status();
     Result<TablePtr> table = exec.ExecuteGroupBy(
-        *base_, *query, ResultNameFor(req.columns), AggStrategy::kAuto);
+        *snap.base, *query, ResultNameFor(req.columns), AggStrategy::kAuto);
     if (!table.ok()) return table.status();
     if (cache_ != nullptr) {
       cache_->AcceptPinned(req.columns, req.aggs, *table, /*registered=*/false);
@@ -273,6 +382,12 @@ ServerStats Server::stats() const {
     s.requests_served = requests_served_;
     s.requests_failed = requests_failed_;
     s.requests_coalesced = requests_coalesced_;
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(ingest_mu_);
+    s.batches_ingested = batches_ingested_;
+    s.rows_ingested = rows_ingested_;
+    s.base_version = snapshot_->version;
   }
   if (cache_ != nullptr) s.cache = cache_->stats();
   if (governor_ != nullptr) s.governor_reserved_bytes = governor_->reserved();

@@ -27,6 +27,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -34,6 +35,8 @@
 
 #include "api/session.h"
 #include "core/aggregate_cache.h"
+#include "core/delta_maintenance.h"
+#include "storage/ingest.h"
 #include "storage/storage_governor.h"
 
 namespace gbmqo {
@@ -59,6 +62,17 @@ struct ServerOptions {
   /// Submissions identical to an in-flight request set share its future
   /// instead of queueing a duplicate execution.
   bool coalesce_identical_requests = true;
+  /// AppendBatch behaviour for pinned cache entries: true = propagate the
+  /// delta through every entry (core/delta_maintenance.h) so warm hits
+  /// survive ingestion; false = invalidate the whole cache on every batch
+  /// (the pre-ingestion behaviour, kept for A/B comparison).
+  bool incremental_maintenance = true;
+  /// Rebuild the statistics snapshot (and what-if provider) from the new
+  /// base after each AppendBatch. True keeps optimizer estimates exact;
+  /// false reuses the previous statistics — much cheaper per batch, at the
+  /// cost of estimate drift until the next full build. Either way requests
+  /// see a consistent (base, stats) snapshot, never a mix.
+  bool refresh_stats_on_ingest = true;
 };
 
 /// Monotonic serving counters (plus a live cache snapshot).
@@ -66,6 +80,9 @@ struct ServerStats {
   uint64_t requests_served = 0;     ///< jobs completed successfully
   uint64_t requests_failed = 0;     ///< jobs completed with an error
   uint64_t requests_coalesced = 0;  ///< submissions joined to an in-flight job
+  uint64_t batches_ingested = 0;    ///< AppendBatch calls applied
+  uint64_t rows_ingested = 0;       ///< rows appended across all batches
+  uint64_t base_version = 0;        ///< current base generation (0 as loaded)
   AggregateCacheStats cache;        ///< zeros when the cache is disabled
   double governor_reserved_bytes = 0;  ///< 0 when the governor is disabled
 };
@@ -109,11 +126,40 @@ class Server {
   Result<ExecutionResult> Execute(const std::vector<GroupByRequest>& requests);
   Result<ExecutionResult> Execute(const std::string& spec);
 
+  // ---- streaming ingestion -------------------------------------------------
+
+  /// What one applied append batch did.
+  struct IngestResult {
+    uint64_t version = 0;            ///< base generation after this batch
+    uint64_t rows_appended = 0;
+    uint64_t entries_refreshed = 0;  ///< cache entries delta-merged in place
+    uint64_t entries_recomputed = 0; ///< rebuilt from base (escape hatch)
+    uint64_t entries_dropped = 0;    ///< evicted during maintenance
+    uint64_t rollup_reuses = 0;      ///< delta aggs rolled up from finer ones
+    double wall_seconds = 0;
+  };
+
+  /// Appends `rows` to the base relation and advances the serving snapshot
+  /// to the next generation. Runs exclusively against in-flight requests:
+  /// every request is admitted against exactly one (base, statistics,
+  /// cache-generation) snapshot — fully-old or fully-new, never torn. With
+  /// `incremental_maintenance` every pinned cache entry is refreshed from
+  /// (old table + delta) under the governor budget; otherwise the cache is
+  /// invalidated. Blocks until maintenance completes; callers from multiple
+  /// threads serialize.
+  Result<IngestResult> AppendBatch(const std::vector<std::vector<Value>>& rows);
+
+  /// Current base generation: 0 as loaded, +1 per applied batch.
+  uint64_t base_version() const;
+  /// The current generation's base table (grows across AppendBatch calls).
+  TablePtr current_base() const;
+
   // ---- component access ----------------------------------------------------
 
+  /// The as-loaded (generation-0) base relation. Unchanged by ingestion —
+  /// use current_base() for the live generation.
   const Table& base() const { return *base_; }
   Catalog* catalog() { return &catalog_; }
-  StatisticsManager* statistics() { return stats_.get(); }
   /// nullptr when disabled by options.
   AggregateCache* cache() { return cache_.get(); }
   StorageGovernor* governor() { return governor_.get(); }
@@ -127,6 +173,20 @@ class Server {
     std::string signature;  // empty when coalescing is off
   };
 
+  /// One consistent generation of the immutable per-request state. Requests
+  /// capture the snapshot pointer once (under the shared ingest lock) and
+  /// use only it for the whole pipeline; AppendBatch swaps in a new
+  /// snapshot under the exclusive lock, so a request can never mix the old
+  /// base with the new statistics or vice versa. Retired snapshots stay
+  /// alive until their last in-flight reader drops them.
+  struct BaseSnapshot {
+    uint64_t version = 0;
+    TablePtr base;
+    std::shared_ptr<StatisticsManager> stats;
+    std::shared_ptr<WhatIfProvider> whatif;
+    std::shared_ptr<OptimizerCostModel> model;
+  };
+
   void WorkerLoop();
   /// The full optimize-and-execute pipeline for one request set; runs on a
   /// worker thread. Safe to run concurrently with itself.
@@ -135,8 +195,15 @@ class Server {
   /// Answers one optimizer serve edge from the pinned view (directly on an
   /// exact match, by re-aggregation on a superset; falls back to the base
   /// relation if the entry was evicted between costing and serving).
-  Status ServeCacheEdge(const GroupByRequest& req, const CachedViewDesc& view,
-                        ExecutionResult* out);
+  Status ServeCacheEdge(const BaseSnapshot& snap, const GroupByRequest& req,
+                        const CachedViewDesc& view, ExecutionResult* out);
+  /// Builds a snapshot for `version`/`base` — statistics rebuilt from the
+  /// new base or carried over from `prev` per refresh_stats_on_ingest.
+  std::shared_ptr<const BaseSnapshot> MakeSnapshot(
+      uint64_t version, TablePtr base, const BaseSnapshot* prev) const;
+  /// Drops catalog entries of retired base generations nobody reads
+  /// anymore. Caller holds ingest_mu_ exclusively.
+  void SweepRetiredLocked();
   /// Order-insensitive canonical signature of a request set (coalescing
   /// key).
   static std::string Signature(const std::vector<GroupByRequest>& requests);
@@ -144,11 +211,20 @@ class Server {
   TablePtr base_;
   ServerOptions options_;
   Catalog catalog_;
-  std::unique_ptr<StatisticsManager> stats_;
-  std::unique_ptr<WhatIfProvider> whatif_;
-  std::unique_ptr<OptimizerCostModel> model_;
   std::unique_ptr<StorageGovernor> governor_;
   std::unique_ptr<AggregateCache> cache_;
+  std::unique_ptr<Ingestor> ingestor_;
+
+  /// Readers (HandleRequest) hold this shared for their whole pipeline;
+  /// AppendBatch holds it exclusive across append + maintenance + snapshot
+  /// swap. This is what makes a response's content match the generation it
+  /// was admitted against: cache refreshes can never interleave with an
+  /// in-flight request's lookups.
+  mutable std::shared_mutex ingest_mu_;
+  std::shared_ptr<const BaseSnapshot> snapshot_;  // guarded by ingest_mu_
+  std::vector<std::shared_ptr<const BaseSnapshot>> retired_;
+  uint64_t batches_ingested_ = 0;  // guarded by ingest_mu_
+  uint64_t rows_ingested_ = 0;     // guarded by ingest_mu_
 
   mutable std::mutex mu_;  // guards queue_, in_flight_, counters, stopping_
   std::condition_variable cv_;

@@ -1,0 +1,300 @@
+#include "core/aggregate_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gbmqo {
+
+std::string AggregateCache::KeyFor(
+    ColumnSet columns, const std::vector<AggRequest>& aggs) const {
+  // Canonical key: grouping set, sorted aggregate list, selection signature
+  // (empty until the engine grows predicates), source version. Aggregates
+  // are sorted so request-side ordering differences cannot split entries.
+  std::vector<AggRequest> sorted = aggs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string key = columns.ToString();
+  for (const AggRequest& a : sorted) {
+    key += "|";
+    key += std::to_string(static_cast<int>(a.kind));
+    key += ":";
+    key += std::to_string(a.column);
+  }
+  key += "|sel:";  // selection signature slot (always empty today)
+  key += "|v";
+  key += std::to_string(version_);
+  return key;
+}
+
+TablePtr AggregateCache::Lookup(ColumnSet columns,
+                                const std::vector<AggRequest>& aggs,
+                                int add_refs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(KeyFor(columns, aggs));
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  Entry& e = it->second;
+  if (add_refs > 0) {
+    // Hand the caller its references while still under mu_: eviction also
+    // runs under mu_, so the entry's own pin is live here and the table
+    // cannot be dropped before the caller's references are in place.
+    const Status s = catalog_->AddTempRef(e.table_name, add_refs);
+    if (!s.ok()) {
+      // The pinned name vanished from the Catalog (a bug elsewhere, or a
+      // test dropped it); treat as a miss and forget the entry.
+      lru_.erase(e.lru_pos);
+      pinned_bytes_ -= e.bytes;
+      if (governor_ != nullptr) governor_->Release(static_cast<double>(e.bytes));
+      entries_.erase(it);
+      ++misses_;
+      return nullptr;
+    }
+  }
+  lru_.erase(e.lru_pos);
+  lru_.push_front(it->first);
+  e.lru_pos = lru_.begin();
+  ++hits_;
+  return e.table;
+}
+
+void AggregateCache::EvictLocked(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  Entry& e = it->second;
+  // Drop the cache's own pin. Readers that took references via Lookup keep
+  // the table alive until they release; the Catalog frees it on the last.
+  const Result<bool> dropped = catalog_->ReleaseTempRef(e.table_name);
+  (void)dropped;
+  pinned_bytes_ -= e.bytes;
+  if (governor_ != nullptr) governor_->Release(static_cast<double>(e.bytes));
+  lru_.erase(e.lru_pos);
+  entries_.erase(it);
+  ++evictions_;
+}
+
+bool AggregateCache::MakeRoomLocked(uint64_t bytes) {
+  if (budget_bytes_ <= 0 || static_cast<double>(bytes) > budget_bytes_) {
+    return false;
+  }
+  while (static_cast<double>(pinned_bytes_ + bytes) > budget_bytes_) {
+    auto victim = entries_.find(lru_.back());
+    EvictLocked(victim);
+  }
+  if (governor_ == nullptr) return true;
+  while (!governor_->TryReserve(static_cast<double>(bytes))) {
+    if (lru_.empty()) return false;
+    // Shed our own retention before declining: cached bytes are the one
+    // storage class the governor can always claw back.
+    EvictLocked(entries_.find(lru_.back()));
+  }
+  return true;
+}
+
+bool AggregateCache::AcceptPinned(ColumnSet columns,
+                                  const std::vector<AggRequest>& aggs,
+                                  const TablePtr& table, bool registered) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = KeyFor(columns, aggs);
+  if (entries_.count(key) > 0) {
+    ++declined_;  // first materialization wins; duplicates are redundant
+    return false;
+  }
+  const uint64_t bytes = table->ByteSize();
+  if (!MakeRoomLocked(bytes)) {
+    ++declined_;
+    return false;
+  }
+  const Status pin = registered
+                         ? catalog_->AddTempRef(table->name(), 1)
+                         : catalog_->RegisterTempWithRefs(table, 1);
+  if (!pin.ok()) {
+    if (governor_ != nullptr) governor_->Release(static_cast<double>(bytes));
+    ++declined_;
+    return false;
+  }
+  Entry e;
+  e.table_name = table->name();
+  e.table = table;
+  e.columns = columns;
+  e.aggs = aggs;
+  e.bytes = bytes;
+  e.source_version = source_version_;
+  lru_.push_front(key);
+  e.lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  pinned_bytes_ += bytes;
+  ++admissions_;
+  return true;
+}
+
+std::vector<RefreshableEntry> AggregateCache::SnapshotEntriesForRefresh()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, RefreshableEntry>> keyed;
+  keyed.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    RefreshableEntry r;
+    r.columns = e.columns;
+    r.aggs = e.aggs;
+    r.table = e.table;
+    r.source_version = e.source_version;
+    r.needs_recompute = e.needs_recompute;
+    keyed.emplace_back(key, std::move(r));
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<RefreshableEntry> out;
+  out.reserve(keyed.size());
+  for (auto& [key, r] : keyed) out.push_back(std::move(r));
+  return out;
+}
+
+bool AggregateCache::ReplaceEntry(ColumnSet columns,
+                                  const std::vector<AggRequest>& aggs,
+                                  const TablePtr& new_table, bool registered,
+                                  uint64_t new_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(KeyFor(columns, aggs));
+  if (it == entries_.end()) return false;  // raced away; nothing to refresh
+  Entry& e = it->second;
+  const uint64_t new_bytes = new_table->ByteSize();
+  const uint64_t old_bytes = e.bytes;
+
+  // Make the refreshed entry most-recently-used *before* making room, so
+  // the eviction loops below can never pick it as their own victim.
+  lru_.erase(e.lru_pos);
+  lru_.push_front(it->first);
+  e.lru_pos = lru_.begin();
+
+  if (new_bytes > old_bytes) {
+    const uint64_t delta = new_bytes - old_bytes;
+    // Budget: the refreshed cache holds pinned_bytes_ - old + new.
+    while (static_cast<double>(pinned_bytes_ - old_bytes + new_bytes) >
+           budget_bytes_) {
+      if (lru_.size() <= 1) {
+        // Even alone it no longer fits. The stale table must not keep
+        // serving, so the entry goes too.
+        EvictLocked(it);
+        return false;
+      }
+      EvictLocked(entries_.find(lru_.back()));
+    }
+    if (governor_ != nullptr) {
+      while (!governor_->TryReserve(static_cast<double>(delta))) {
+        if (lru_.size() <= 1) {
+          EvictLocked(it);
+          return false;
+        }
+        EvictLocked(entries_.find(lru_.back()));
+      }
+    }
+  } else if (governor_ != nullptr && old_bytes > new_bytes) {
+    governor_->Release(static_cast<double>(old_bytes - new_bytes));
+  }
+  // Byte accounting for the swap is settled from here on: the governor
+  // holds exactly new_bytes for this entry. Record that before any pin
+  // operation so a failure path's EvictLocked releases the right amount.
+  pinned_bytes_ = pinned_bytes_ - old_bytes + new_bytes;
+  e.bytes = new_bytes;
+
+  const Status pin = registered
+                         ? catalog_->AddTempRef(new_table->name(), 1)
+                         : catalog_->RegisterTempWithRefs(new_table, 1);
+  if (!pin.ok()) {
+    // Could not pin the replacement; e still points at the old table and
+    // e.bytes at the new size, so rewind the size before evicting.
+    if (governor_ != nullptr && new_bytes > old_bytes) {
+      governor_->Release(static_cast<double>(new_bytes - old_bytes));
+    } else if (governor_ != nullptr && old_bytes > new_bytes) {
+      // Re-reserve what we released above so EvictLocked's release of
+      // old_bytes stays balanced.
+      governor_->ForceReserve(static_cast<double>(old_bytes - new_bytes));
+    }
+    pinned_bytes_ = pinned_bytes_ - new_bytes + old_bytes;
+    e.bytes = old_bytes;
+    EvictLocked(it);
+    return false;
+  }
+  // Swap: drop the cache's pin on the old table (concurrent readers that
+  // took refs via Lookup keep it alive), install the new one.
+  const Result<bool> dropped = catalog_->ReleaseTempRef(e.table_name);
+  (void)dropped;
+  e.table_name = new_table->name();
+  e.table = new_table;
+  e.source_version = new_version;
+  e.needs_recompute = false;
+  ++refreshes_;
+  return true;
+}
+
+bool AggregateCache::Evict(ColumnSet columns,
+                           const std::vector<AggRequest>& aggs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(KeyFor(columns, aggs));
+  if (it == entries_.end()) return false;
+  EvictLocked(it);
+  return true;
+}
+
+void AggregateCache::MarkNeedsRecompute(ColumnSet columns,
+                                        const std::vector<AggRequest>& aggs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(KeyFor(columns, aggs));
+  if (it != entries_.end()) it->second.needs_recompute = true;
+}
+
+void AggregateCache::SetSourceVersion(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  source_version_ = version;
+}
+
+void AggregateCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!lru_.empty()) EvictLocked(entries_.find(lru_.back()));
+  ++version_;
+}
+
+void AggregateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!lru_.empty()) EvictLocked(entries_.find(lru_.back()));
+}
+
+std::vector<CachedViewDesc> AggregateCache::SnapshotViews() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, CachedViewDesc>> keyed;
+  keyed.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    CachedViewDesc d;
+    d.columns = e.columns;
+    d.aggs = e.aggs;
+    d.rows = static_cast<double>(e.table->num_rows());
+    d.row_width = e.table->num_rows() == 0
+                      ? 0.0
+                      : static_cast<double>(e.bytes) /
+                            static_cast<double>(e.table->num_rows());
+    keyed.emplace_back(key, std::move(d));
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<CachedViewDesc> out;
+  out.reserve(keyed.size());
+  for (auto& [key, d] : keyed) out.push_back(std::move(d));
+  return out;
+}
+
+AggregateCacheStats AggregateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AggregateCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.admissions = admissions_;
+  s.declined = declined_;
+  s.evictions = evictions_;
+  s.refreshes = refreshes_;
+  s.entries = entries_.size();
+  s.pinned_bytes = pinned_bytes_;
+  return s;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,228 @@
+// AggregateCache: a cross-request cache of materialized group-by results,
+// the serving layer's answer to the paper's observation that GB-MQO
+// intermediates are valuable beyond the plan that created them. When a plan
+// materializes a required or intermediate aggregate, the executor offers it
+// here; later requests (from any concurrent client) whose grouping set and
+// aggregates match — exactly, or by subset re-aggregation at the serving
+// layer — are answered from the pinned table with zero base-relation scans.
+//
+// Keying: (grouping column set, canonical aggregate list, selection
+// signature, source-table version). The engine currently has no selection
+// predicates, so the selection signature is the empty string — the key slot
+// exists so predicated scans can join the scheme without reshaping the
+// cache. The version counter invalidates every entry when the base relation
+// changes destructively (Invalidate bumps it; old entries are evicted).
+// Append-only changes take the cheaper path: core/delta_maintenance.h
+// rebuilds each entry's table from (old table + delta) and swaps it in via
+// ReplaceEntry, so the key — and every warm hit — survives ingestion.
+//
+// Pinning: entries hold one cache reference on the Catalog temp table
+// (Catalog::AddTempRef / RegisterTempWithRefs), so a cached table survives
+// the plan that built it and concurrent readers take additional references
+// through Lookup — eviction can never free a table out from under a reader,
+// it only drops the cache's own pin. Budgeting: admission is deterministic
+// (fits-after-LRU-eviction, never random), the byte budget counts the
+// pinned tables' real sizes, and an attached StorageGovernor is charged for
+// pinned bytes so cache retention and concurrent plan intermediates share
+// one global storage pool.
+#ifndef GBMQO_CORE_AGGREGATE_CACHE_H_
+#define GBMQO_CORE_AGGREGATE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/column_set.h"
+#include "common/status.h"
+#include "core/request.h"
+#include "storage/catalog.h"
+#include "storage/storage_governor.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// Observability counters (monotonic since construction).
+struct AggregateCacheStats {
+  uint64_t hits = 0;        ///< Lookup found a usable entry
+  uint64_t misses = 0;      ///< Lookup found nothing
+  uint64_t admissions = 0;  ///< AcceptPinned pinned a new entry
+  uint64_t declined = 0;    ///< AcceptPinned rejected an offer
+  uint64_t evictions = 0;   ///< entries unpinned to make room / invalidate
+  uint64_t refreshes = 0;   ///< entries replaced in place by ReplaceEntry
+  size_t entries = 0;       ///< live entries now
+  uint64_t pinned_bytes = 0;  ///< bytes held by live entries now
+};
+
+/// A cached aggregate advertised to the optimizer's what-if API: enough to
+/// cost "answer request r from this view" as a scan of rows x row_width
+/// instead of a base-relation pass (see OptimizerOptions::cached_views).
+struct CachedViewDesc {
+  ColumnSet columns;
+  std::vector<AggRequest> aggs;
+  double rows = 0;
+  double row_width = 0;
+};
+
+/// One live entry as seen by the incremental maintainer
+/// (core/delta_maintenance.h): enough to rebuild the entry's table from
+/// (old table + delta batch) and swap it back in via ReplaceEntry.
+struct RefreshableEntry {
+  ColumnSet columns;
+  std::vector<AggRequest> aggs;
+  TablePtr table;              ///< the currently pinned aggregate table
+  uint64_t source_version = 0; ///< base-table version it was built against
+  bool needs_recompute = false;  ///< MIN/MAX escape hatch tripped
+};
+
+/// Thread-safe LRU cache of pinned aggregate tables. All operations take an
+/// internal mutex; reference handover to readers happens under that mutex,
+/// so a Lookup-returned table is guaranteed pinned for the caller even if
+/// an eviction races with it.
+class AggregateCache {
+ public:
+  /// `budget_bytes` <= 0 disables admission (every offer is declined, every
+  /// lookup misses). `governor`, when given, is charged TryReserve/Release
+  /// for pinned bytes.
+  AggregateCache(Catalog* catalog, double budget_bytes,
+                 StorageGovernor* governor = nullptr)
+      : catalog_(catalog), budget_bytes_(budget_bytes), governor_(governor) {}
+  ~AggregateCache() { Clear(); }
+
+  AggregateCache(const AggregateCache&) = delete;
+  AggregateCache& operator=(const AggregateCache&) = delete;
+
+  /// Exact-key lookup. On a hit, bumps the entry's LRU position, takes
+  /// `add_refs` additional Catalog references on the table for the caller
+  /// (atomically with the lookup, so eviction cannot slip between), and
+  /// returns the pinned table. nullptr on miss.
+  TablePtr Lookup(ColumnSet columns, const std::vector<AggRequest>& aggs,
+                  int add_refs);
+
+  /// Offers a materialized aggregate for admission. `registered` says the
+  /// table is already in the Catalog (the cache adds its own reference);
+  /// otherwise the cache registers it as a reference-counted temp. Declines
+  /// (returning false, taking no reference) offers that duplicate a live
+  /// key, exceed the whole budget, or cannot obtain governor headroom even
+  /// after evicting the cache's own LRU entries. Admission is a
+  /// deterministic function of (cache state, offer) — no sampling.
+  bool AcceptPinned(ColumnSet columns, const std::vector<AggRequest>& aggs,
+                    const TablePtr& table, bool registered);
+
+  /// Drops every entry (releasing the cache's pins) and bumps the source
+  /// version so keys from earlier versions can never hit again. The
+  /// non-maintainable path: call when the base relation changes and the
+  /// entries cannot be refreshed in place (incremental maintenance off, or
+  /// a change that is not an append).
+  void Invalidate();
+
+  /// Invalidate, minus the version bump — used by the destructor and tests.
+  /// Like every eviction path, this returns all pinned bytes to the
+  /// attached StorageGovernor and releases the cache's Catalog pins, so a
+  /// dropped cache leaves the governor balance at exactly what it was
+  /// before the cache's admissions (see aggregate_cache_test.cc).
+  void Clear();
+
+  // ---- Incremental maintenance interface (core/delta_maintenance.h) ----
+  //
+  // On an append batch the maintainer snapshots the live entries, rebuilds
+  // each aggregate table from (old pinned table + delta), and swaps the new
+  // table in under the *same* key — the entry is refreshed, not dropped, so
+  // warm hits survive ingestion. Callers must serialize these three calls
+  // against concurrent Lookup/AcceptPinned at a higher level (the Server's
+  // ingest lock) if readers must not observe a half-refreshed generation.
+
+  /// Snapshot of live entries, sorted by cache key so refresh order (and
+  /// therefore counters) is deterministic across runs.
+  std::vector<RefreshableEntry> SnapshotEntriesForRefresh() const;
+
+  /// Replaces the table pinned under (columns, aggs) with `new_table`,
+  /// keeping the entry's key and LRU identity. `registered` as in
+  /// AcceptPinned. Byte accounting moves by the size delta: growth must fit
+  /// the budget and governor (other LRU entries may be evicted to make
+  /// room — never this one); shrinkage returns bytes. On any failure the
+  /// stale entry is evicted (stale results must not serve) and false is
+  /// returned. Bumps the entry's source_version to `new_version` and clears
+  /// its needs_recompute flag on success.
+  bool ReplaceEntry(ColumnSet columns, const std::vector<AggRequest>& aggs,
+                    const TablePtr& new_table, bool registered,
+                    uint64_t new_version);
+
+  /// Drops the single entry under (columns, aggs) — releasing its Catalog
+  /// pin and governor bytes — e.g. when maintenance could not produce a
+  /// fresh table and the stale one must not keep serving. Returns whether
+  /// an entry was dropped.
+  bool Evict(ColumnSet columns, const std::vector<AggRequest>& aggs);
+
+  /// Trips the per-entry escape hatch: the next maintenance round must
+  /// rebuild this entry from the base relation instead of merging a delta
+  /// (MIN/MAX after a retraction, or any condition that breaks
+  /// delta-mergeability). No-op if the entry is not live.
+  void MarkNeedsRecompute(ColumnSet columns,
+                          const std::vector<AggRequest>& aggs);
+
+  /// Source-table version stamped onto entries admitted from now on.
+  /// The serving layer advances this after each applied ingest batch.
+  void SetSourceVersion(uint64_t version);
+  uint64_t source_version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return source_version_;
+  }
+
+  /// Snapshot of live entries for the optimizer's what-if costing, sorted
+  /// by key so concurrent callers see a deterministic order.
+  std::vector<CachedViewDesc> SnapshotViews() const;
+
+  AggregateCacheStats stats() const;
+  uint64_t pinned_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pinned_bytes_;
+  }
+  double budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    std::string table_name;
+    TablePtr table;
+    ColumnSet columns;
+    std::vector<AggRequest> aggs;
+    uint64_t bytes = 0;
+    uint64_t source_version = 0;   ///< base version the table reflects
+    bool needs_recompute = false;  ///< see MarkNeedsRecompute
+    std::list<std::string>::iterator lru_pos;  // into lru_, MRU at front
+  };
+
+  std::string KeyFor(ColumnSet columns,
+                     const std::vector<AggRequest>& aggs) const;
+  /// Unpins the entry under `it` (release catalog ref + governor bytes) and
+  /// erases it. Caller holds mu_.
+  void EvictLocked(std::unordered_map<std::string, Entry>::iterator it);
+  /// Evicts LRU entries until `bytes` more fit under the byte budget and,
+  /// when a governor is attached, until the governor grants the
+  /// reservation. Returns false (nothing reserved) if even an empty cache
+  /// cannot fit the offer. Caller holds mu_.
+  bool MakeRoomLocked(uint64_t bytes);
+
+  Catalog* catalog_;
+  const double budget_bytes_;
+  StorageGovernor* governor_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // keys, most recently used first
+  uint64_t pinned_bytes_ = 0;
+  uint64_t version_ = 0;
+  uint64_t source_version_ = 0;  // stamped onto newly admitted entries
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t admissions_ = 0;
+  uint64_t declined_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t refreshes_ = 0;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_CORE_AGGREGATE_CACHE_H_

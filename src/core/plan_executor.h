@@ -44,6 +44,11 @@ struct ExecutionResult {
   double wall_seconds = 0;
   /// High-water mark of live temp-table bytes during execution.
   uint64_t peak_temp_bytes = 0;
+  /// Generation of the base relation the result was computed against.
+  /// Filled by the serving layer (api/server.h): 0 = the as-loaded table,
+  /// k = after the k-th applied append batch. Always 0 from a bare
+  /// PlanExecutor, which has no ingestion.
+  uint64_t base_version = 0;
 };
 
 /// Builds the executor-level query `SELECT base_cols, aggs GROUP BY

@@ -95,6 +95,18 @@ Result<TablePtr> Catalog::Get(const std::string& name) const {
   return it->second.table;
 }
 
+uint64_t Catalog::table_version(const std::string& family) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = family_versions_.find(family);
+  return it == family_versions_.end() ? 0 : it->second;
+}
+
+void Catalog::SetTableVersion(const std::string& family, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t& current = family_versions_[family];
+  if (version > current) current = version;
+}
+
 std::string Catalog::NextTempName(const std::string& prefix) {
   std::lock_guard<std::mutex> lock(mu_);
   std::string name;

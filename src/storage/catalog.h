@@ -70,6 +70,23 @@ class Catalog {
     peak_temp_bytes_ = temp_bytes_;
   }
 
+  // ---- Table-family versions (streaming ingestion) ----
+  //
+  // Ingestion never mutates a registered table: storage/ingest.h registers
+  // each appended batch as a *new* base table ("<family>@v<k>") and records
+  // the family's monotone version here. Readers that captured a snapshot of
+  // an older version keep serving it untouched; the version map is how the
+  // serving layer and the aggregate cache agree on "which generation of the
+  // data is current".
+
+  /// Current version of a table family (0 until the first SetTableVersion —
+  /// i.e. the as-loaded generation).
+  uint64_t table_version(const std::string& family) const;
+
+  /// Records that `family` advanced to `version`. Monotone: calls with a
+  /// version <= the recorded one are ignored.
+  void SetTableVersion(const std::string& family, uint64_t version);
+
   /// Generates a fresh temp-table name with the given prefix.
   std::string NextTempName(const std::string& prefix);
 
@@ -90,6 +107,7 @@ class Catalog {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> tables_;
+  std::unordered_map<std::string, uint64_t> family_versions_;
   uint64_t temp_bytes_ = 0;
   uint64_t peak_temp_bytes_ = 0;
   uint64_t temp_counter_ = 0;

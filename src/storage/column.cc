@@ -141,6 +141,45 @@ void Column::AppendFrom(const Column& other, size_t row) {
   }
 }
 
+void Column::AppendRangeFrom(const Column& other, size_t begin, size_t count) {
+  assert(other.type_ == type_);
+  if (count == 0) return;
+  Reserve(rows_ + count);
+  // The slow path handles NULLs and string re-interning row by row; the
+  // numeric no-NULL case is the one worth making a bulk copy.
+  if (other.has_nulls() || type_ == DataType::kString) {
+    for (size_t i = 0; i < count; ++i) AppendFrom(other, begin + i);
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      int64_data_.insert(int64_data_.end(), other.int64_data_.begin() + begin,
+                         other.int64_data_.begin() + begin + count);
+      break;
+    case DataType::kDouble:
+      double_data_.insert(double_data_.end(),
+                          other.double_data_.begin() + begin,
+                          other.double_data_.begin() + begin + count);
+      break;
+    case DataType::kString:
+      break;  // handled above
+  }
+  // Fold the source's code range in once instead of per row. The source
+  // range over [begin, begin+count) is bounded by its whole-column range;
+  // using the whole range only widens CodeBits, never breaks the "every
+  // offset code fits" contract the kernels rely on.
+  if (other.has_code_range_) {
+    NoteCode(other.code_min_);
+    NoteCode(other.code_max_);
+  }
+  if (!null_bitmap_.empty()) {
+    // This column tracked NULLs before; extend the bitmap with cleared bits.
+    const size_t words = ((rows_ + count) >> 6) + 1;
+    null_bitmap_.resize(words, 0);
+  }
+  rows_ += count;
+}
+
 void Column::Reserve(size_t n) {
   switch (type_) {
     case DataType::kInt64:

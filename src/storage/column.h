@@ -44,6 +44,13 @@ class Column {
   /// materializing group-by output from an input column.
   void AppendFrom(const Column& other, size_t row);
 
+  /// Bulk-appends rows [begin, begin+count) of `other` (same type
+  /// required). Equivalent to count AppendFrom calls but copies the typed
+  /// value arrays wholesale, so the copy-on-append ingestion path
+  /// (storage/ingest.h) pays memcpy rates instead of per-row dispatch.
+  /// Strings still intern per row (the dictionaries differ).
+  void AppendRangeFrom(const Column& other, size_t begin, size_t count);
+
   /// Reserves space for n rows.
   void Reserve(size_t n);
 

@@ -1,0 +1,87 @@
+// Streaming ingestion: the append-batch front door of the continuous-
+// analytics scenario (ROADMAP item 2). The engine's tables are immutable
+// after build — every scan path, the kernel-selection metadata, and the
+// concurrent serving layer rely on that — so an append produces a *new*
+// immutable table version: old rows bulk-copied (Column::AppendRangeFrom),
+// delta rows appended, registered in the Catalog under a versioned name
+// while readers of the previous version keep their snapshot untouched.
+// That copy-on-append discipline is what lets the serving layer promise
+// "fully-old or fully-new, never torn" without a single reader-side lock
+// on row data.
+//
+// The Ingestor owns the per-table monotone version counters (mirrored into
+// the Catalog's version map) and hands each batch back as (new base, delta
+// table, version) so core/delta_maintenance.h can propagate the delta
+// through the maintained aggregates instead of recomputing them from R.
+#ifndef GBMQO_STORAGE_INGEST_H_
+#define GBMQO_STORAGE_INGEST_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+
+/// Builds an (unregistered) delta table from value rows, validated against
+/// `schema` (arity and types; NULLs allowed only in nullable columns).
+Result<TablePtr> BuildDeltaTable(const Schema& schema,
+                                 const std::vector<std::vector<Value>>& rows,
+                                 const std::string& name);
+
+/// Copy-on-append: a new immutable table named `name` holding every row of
+/// `base` followed by every row of `delta` (schemas must match column-wise
+/// by type). Secondary indexes of `base` are rebuilt on the new version so
+/// physical-design decisions survive ingestion.
+Result<TablePtr> AppendRows(const Table& base, const Table& delta,
+                            std::string name);
+
+/// One applied append batch.
+struct IngestBatch {
+  TablePtr base;    ///< the new base version, registered in the catalog
+  TablePtr delta;   ///< just the appended rows (unregistered)
+  uint64_t version = 0;  ///< the table's monotone version after this batch
+};
+
+/// Thread-safe append-batch ingestion over a Catalog. Each AppendBatch call
+/// on one table family is atomic: the new version is registered under
+/// "<table>@v<k>" before the call returns, the previous version's entry is
+/// left untouched (the caller decides when unreferenced versions retire),
+/// and the family's version counter moves exactly once. Concurrent
+/// AppendBatch calls on the same family serialize on an internal mutex.
+class Ingestor {
+ public:
+  explicit Ingestor(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Appends `rows` to the latest version of `table` (the name it was
+  /// originally registered under). Empty batches are legal: the version
+  /// still advances, so idempotence bookkeeping upstream stays simple.
+  Result<IngestBatch> AppendBatch(const std::string& table,
+                                  const std::vector<std::vector<Value>>& rows);
+
+  /// The family's current version (0 until the first AppendBatch).
+  uint64_t version(const std::string& table) const;
+
+  /// The catalog name of the family's current version ("<table>" at v0,
+  /// "<table>@v<k>" after k batches).
+  std::string current_name(const std::string& table) const;
+
+ private:
+  struct Family {
+    uint64_t version = 0;
+    std::string current_name;
+  };
+
+  Catalog* catalog_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Family> families_;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_STORAGE_INGEST_H_

@@ -1,0 +1,274 @@
+// Unit suite for the cross-request AggregateCache: LRU eviction order,
+// refresh-in-place (ReplaceEntry) vs whole-cache invalidation, ref-count
+// pinning across evictions, and — the accounting contract the rest of the
+// serving layer leans on — every byte charged to the StorageGovernor is
+// returned on every exit path (eviction, refresh shrinkage, Invalidate,
+// Clear, destructor), so a dropped cache leaves the governor balance at
+// exactly zero.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/aggregate_cache.h"
+#include "storage/catalog.h"
+#include "storage/storage_governor.h"
+#include "storage/table.h"
+
+namespace gbmqo {
+namespace {
+
+/// A synthetic "aggregate" table of `rows` int64 rows. The cache never
+/// inspects entry contents — only ByteSize() — so one non-null INT64 column
+/// gives precise, linear control over entry bytes.
+TablePtr MakeTable(const std::string& name, size_t rows) {
+  TableBuilder b(Schema({{"cnt", DataType::kInt64, false}}));
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(b.AppendRow({Value(static_cast<int64_t>(i))}).ok());
+  }
+  auto t = b.Build(name);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+const std::vector<AggRequest> kCountStar = {AggRequest{}};
+
+TEST(AggregateCacheTest, LruEvictionOrder) {
+  Catalog catalog;
+  const TablePtr t = MakeTable("probe", 100);
+  const uint64_t unit = t->ByteSize();
+  AggregateCache cache(&catalog, 3.0 * unit);
+
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(0), kCountStar,
+                                 MakeTable("t0", 100), false));
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(1), kCountStar,
+                                 MakeTable("t1", 100), false));
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(2), kCountStar,
+                                 MakeTable("t2", 100), false));
+  // Touch entry 0 — it becomes MRU, leaving entry 1 as the LRU victim.
+  ASSERT_NE(cache.Lookup(ColumnSet::Single(0), kCountStar, 0), nullptr);
+
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(3), kCountStar,
+                                 MakeTable("t3", 100), false));
+  EXPECT_EQ(cache.Lookup(ColumnSet::Single(1), kCountStar, 0), nullptr);
+  EXPECT_NE(cache.Lookup(ColumnSet::Single(0), kCountStar, 0), nullptr);
+  EXPECT_NE(cache.Lookup(ColumnSet::Single(2), kCountStar, 0), nullptr);
+  EXPECT_NE(cache.Lookup(ColumnSet::Single(3), kCountStar, 0), nullptr);
+
+  const AggregateCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.pinned_bytes, 3 * unit);
+}
+
+TEST(AggregateCacheTest, DuplicateKeyAndZeroBudgetDeclined) {
+  Catalog catalog;
+  AggregateCache cache(&catalog, 1.0 * 1024 * 1024);
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(0), kCountStar,
+                                 MakeTable("t0", 10), false));
+  // Same key, different table: declined, the live entry keeps serving.
+  EXPECT_FALSE(cache.AcceptPinned(ColumnSet::Single(0), kCountStar,
+                                  MakeTable("t0b", 20), false));
+  EXPECT_EQ(cache.stats().declined, 1u);
+
+  AggregateCache disabled(&catalog, 0);
+  EXPECT_FALSE(disabled.AcceptPinned(ColumnSet::Single(0), kCountStar,
+                                     MakeTable("t0c", 10), false));
+  EXPECT_EQ(disabled.Lookup(ColumnSet::Single(0), kCountStar, 0), nullptr);
+}
+
+TEST(AggregateCacheTest, InvalidateBumpsVersionAndDropsEverything) {
+  Catalog catalog;
+  StorageGovernor governor(0);
+  AggregateCache cache(&catalog, 1.0 * 1024 * 1024, &governor);
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(0), kCountStar,
+                                 MakeTable("t0", 50), false));
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(1), kCountStar,
+                                 MakeTable("t1", 50), false));
+  EXPECT_GT(governor.reserved(), 0.0);
+
+  cache.Invalidate();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.pinned_bytes(), 0u);
+  EXPECT_EQ(governor.reserved(), 0.0);
+  EXPECT_EQ(cache.Lookup(ColumnSet::Single(0), kCountStar, 0), nullptr);
+  // The pre-invalidation key can be re-admitted under the new version.
+  EXPECT_TRUE(cache.AcceptPinned(ColumnSet::Single(0), kCountStar,
+                                 MakeTable("t0v2", 50), false));
+  EXPECT_NE(cache.Lookup(ColumnSet::Single(0), kCountStar, 0), nullptr);
+}
+
+TEST(AggregateCacheTest, ReplaceEntryRefreshesInPlace) {
+  Catalog catalog;
+  StorageGovernor governor(0);
+  AggregateCache cache(&catalog, 1.0 * 1024 * 1024, &governor);
+  const ColumnSet key = ColumnSet::Single(0);
+  ASSERT_TRUE(cache.AcceptPinned(key, kCountStar, MakeTable("gen0", 100),
+                                 false));
+  const uint64_t old_bytes = cache.pinned_bytes();
+
+  // Grow. The key — and therefore every warm hit — survives; only the
+  // pinned table and the byte accounting move.
+  const TablePtr grown = MakeTable("gen1", 300);
+  ASSERT_TRUE(cache.ReplaceEntry(key, kCountStar, grown, false, 1));
+  EXPECT_EQ(cache.Lookup(key, kCountStar, 0), grown);
+  EXPECT_EQ(cache.pinned_bytes(), grown->ByteSize());
+  EXPECT_GT(cache.pinned_bytes(), old_bytes);
+  EXPECT_EQ(governor.reserved(), static_cast<double>(cache.pinned_bytes()));
+  // The old generation's pin is gone from the catalog.
+  EXPECT_FALSE(catalog.Exists("gen0"));
+
+  // Shrink: the difference is returned to the governor.
+  const TablePtr shrunk = MakeTable("gen2", 50);
+  ASSERT_TRUE(cache.ReplaceEntry(key, kCountStar, shrunk, false, 2));
+  EXPECT_EQ(cache.pinned_bytes(), shrunk->ByteSize());
+  EXPECT_EQ(governor.reserved(), static_cast<double>(cache.pinned_bytes()));
+
+  const AggregateCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.refreshes, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  const auto entries = cache.SnapshotEntriesForRefresh();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].source_version, 2u);
+}
+
+TEST(AggregateCacheTest, ReplaceEntryEvictsOthersButNeverItself) {
+  Catalog catalog;
+  const uint64_t unit = MakeTable("probe", 100)->ByteSize();
+  AggregateCache cache(&catalog, 3.0 * unit);
+  const ColumnSet victim = ColumnSet::Single(0);
+  const ColumnSet target = ColumnSet::Single(1);
+  ASSERT_TRUE(cache.AcceptPinned(victim, kCountStar, MakeTable("v", 100),
+                                 false));
+  ASSERT_TRUE(cache.AcceptPinned(target, kCountStar, MakeTable("t", 100),
+                                 false));
+
+  // Growing the target to 2.5 units needs the victim's unit back — the
+  // victim is evicted, the refreshed entry survives.
+  ASSERT_TRUE(
+      cache.ReplaceEntry(target, kCountStar, MakeTable("t2", 250), false, 1));
+  EXPECT_EQ(cache.Lookup(victim, kCountStar, 0), nullptr);
+  EXPECT_NE(cache.Lookup(target, kCountStar, 0), nullptr);
+
+  // Growing past the whole budget cannot succeed; the stale entry must not
+  // keep serving, so it is evicted and the cache ends empty — with zero
+  // retained bytes.
+  EXPECT_FALSE(
+      cache.ReplaceEntry(target, kCountStar, MakeTable("t3", 400), false, 2));
+  EXPECT_EQ(cache.Lookup(target, kCountStar, 0), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.pinned_bytes(), 0u);
+}
+
+TEST(AggregateCacheTest, LookupRefsKeepTableAlivePastEviction) {
+  Catalog catalog;
+  AggregateCache cache(&catalog, 1.0 * 1024 * 1024);
+  const ColumnSet key = ColumnSet::Single(0);
+  ASSERT_TRUE(cache.AcceptPinned(key, kCountStar, MakeTable("pinned", 100),
+                                 false));
+
+  // A reader takes its own catalog reference atomically with the lookup...
+  TablePtr held = cache.Lookup(key, kCountStar, /*add_refs=*/1);
+  ASSERT_NE(held, nullptr);
+  // ...so eviction only drops the cache's pin: the table stays registered
+  // for the in-flight reader.
+  ASSERT_TRUE(cache.Evict(key, kCountStar));
+  EXPECT_TRUE(catalog.Exists("pinned"));
+  EXPECT_EQ(cache.Lookup(key, kCountStar, 0), nullptr);
+
+  // The reader's release is the last reference — now it is gone.
+  auto dropped = catalog.ReleaseTempRef("pinned");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_TRUE(*dropped);
+  EXPECT_FALSE(catalog.Exists("pinned"));
+}
+
+TEST(AggregateCacheTest, NeedsRecomputeFlagIsPerEntryAndOneShot) {
+  Catalog catalog;
+  AggregateCache cache(&catalog, 1.0 * 1024 * 1024);
+  const ColumnSet a = ColumnSet::Single(0);
+  const ColumnSet b = ColumnSet::Single(1);
+  ASSERT_TRUE(cache.AcceptPinned(a, kCountStar, MakeTable("a", 10), false));
+  ASSERT_TRUE(cache.AcceptPinned(b, kCountStar, MakeTable("b", 10), false));
+
+  cache.MarkNeedsRecompute(a, kCountStar);
+  cache.MarkNeedsRecompute(ColumnSet::Single(7), kCountStar);  // no-op
+
+  auto entries = cache.SnapshotEntriesForRefresh();
+  ASSERT_EQ(entries.size(), 2u);
+  for (const RefreshableEntry& e : entries) {
+    EXPECT_EQ(e.needs_recompute, e.columns == a) << e.columns.ToString();
+  }
+
+  // A successful refresh clears the flag.
+  ASSERT_TRUE(cache.ReplaceEntry(a, kCountStar, MakeTable("a2", 10), false, 1));
+  entries = cache.SnapshotEntriesForRefresh();
+  for (const RefreshableEntry& e : entries) {
+    EXPECT_FALSE(e.needs_recompute);
+  }
+}
+
+// Satellite regression: Clear() (and the destructor, which calls it) must
+// return every pinned byte to the governor — a dropped cache leaves the
+// shared storage pool balance at exactly zero.
+TEST(AggregateCacheTest, ClearAndDestructorReturnAllGovernorBytes) {
+  Catalog catalog;
+  StorageGovernor governor(0);
+  {
+    AggregateCache cache(&catalog, 1.0 * 1024 * 1024, &governor);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(i), kCountStar,
+                                     MakeTable("t" + std::to_string(i), 100),
+                                     false));
+    }
+    EXPECT_EQ(governor.reserved(), static_cast<double>(cache.pinned_bytes()));
+    EXPECT_GT(governor.reserved(), 0.0);
+
+    cache.Clear();
+    EXPECT_EQ(governor.reserved(), 0.0);
+    EXPECT_EQ(cache.pinned_bytes(), 0u);
+    EXPECT_EQ(catalog.temp_bytes(), 0u);
+
+    // Refill, then let the destructor do the clearing.
+    ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(0), kCountStar,
+                                   MakeTable("again", 200), false));
+    EXPECT_GT(governor.reserved(), 0.0);
+  }
+  EXPECT_EQ(governor.reserved(), 0.0);
+  EXPECT_EQ(catalog.temp_bytes(), 0u);
+}
+
+TEST(AggregateCacheTest, GovernorContentionEvictsLruToAdmit) {
+  Catalog catalog;
+  const uint64_t unit = MakeTable("probe", 100)->ByteSize();
+  // Governor tighter than the cache's own budget: 2 units vs 10.
+  StorageGovernor governor(2.0 * unit);
+  AggregateCache cache(&catalog, 10.0 * unit, &governor);
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(0), kCountStar,
+                                 MakeTable("t0", 100), false));
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(1), kCountStar,
+                                 MakeTable("t1", 100), false));
+  // No governor headroom: the cache evicts its own LRU (entry 0) to admit.
+  ASSERT_TRUE(cache.AcceptPinned(ColumnSet::Single(2), kCountStar,
+                                 MakeTable("t2", 100), false));
+  EXPECT_EQ(cache.Lookup(ColumnSet::Single(0), kCountStar, 0), nullptr);
+  EXPECT_NE(cache.Lookup(ColumnSet::Single(1), kCountStar, 0), nullptr);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(governor.reserved(), static_cast<double>(cache.pinned_bytes()));
+
+  // An offer the governor can never grant — an external reservation holds
+  // most of the pool, and the cache has nothing of its own left to evict —
+  // is declined, and the failed admission leaks nothing.
+  cache.Clear();
+  ASSERT_TRUE(governor.TryReserve(1.5 * unit));
+  EXPECT_FALSE(cache.AcceptPinned(ColumnSet::Single(3), kCountStar,
+                                  MakeTable("t3", 100), false));
+  EXPECT_EQ(cache.pinned_bytes(), 0u);
+  EXPECT_EQ(governor.reserved(), 1.5 * unit);
+  governor.Release(1.5 * unit);
+  EXPECT_EQ(governor.reserved(), 0.0);
+}
+
+}  // namespace
+}  // namespace gbmqo

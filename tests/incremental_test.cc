@@ -1,0 +1,502 @@
+// Randomized delta-vs-recompute differential testing of the streaming
+// ingestion path: seeded ingest schedules (batch sizes 1..10^4; duplicate,
+// new, and zipf-skewed keys) applied through Ingestor + DeltaMaintainer
+// must leave every maintained aggregate bit-identical to a cold recompute
+// over the final base relation — across all three forced aggregation
+// kernels and 1/4/8 workers.
+//
+// Aggregates are chosen so exact comparison is sound, mirroring
+// differential_test.cc: COUNT(*) and SUM over the small-integer quantity
+// column are exact in the double accumulator regardless of merge order, and
+// MIN/MAX are order-free (including over doubles). SUM over DOUBLE columns
+// is deliberately absent — delta merging reassociates the fold, which is
+// the documented last-ulp caveat in DESIGN.md.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/server.h"
+#include "api/session.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/aggregate_cache.h"
+#include "core/delta_maintenance.h"
+#include "core/plan_executor.h"
+#include "data/tpch_gen.h"
+#include "exec/query_executor.h"
+#include "storage/ingest.h"
+#include "storage/storage_governor.h"
+
+namespace gbmqo {
+namespace {
+
+// ---- canonical result comparison (as in differential_test.cc) -------------
+
+std::vector<std::string> CanonicalRows(const Table& t, ColumnSet cols,
+                                       const std::vector<AggRequest>& aggs,
+                                       const Schema& base_schema) {
+  std::vector<std::string> names;
+  for (int c : cols.ToVector()) names.push_back(base_schema.column(c).name);
+  for (const AggRequest& agg : aggs) {
+    names.push_back(AggOutputName(agg, base_schema));
+  }
+  std::vector<const Column*> columns;
+  for (const std::string& name : names) {
+    const int ord = t.schema().FindColumn(name);
+    EXPECT_GE(ord, 0) << "table " << t.name() << " lacks column " << name;
+    if (ord < 0) return {};
+    columns.push_back(&t.column(ord));
+  }
+  std::vector<std::string> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::string s;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      s += names[c] + "=" + columns[c]->ValueAt(r).ToString() + "|";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+Result<TablePtr> ComputeAggregate(QueryExecutor* exec, const Table& input,
+                                  bool input_is_base, const Schema& schema,
+                                  ColumnSet cols,
+                                  const std::vector<AggRequest>& aggs,
+                                  const std::string& name) {
+  Result<GroupByQuery> q =
+      BuildGroupByOver(input, input_is_base, schema, cols, aggs);
+  if (!q.ok()) return q.status();
+  return exec->ExecuteGroupBy(input, *q, name, AggStrategy::kHash);
+}
+
+// ---- ingest schedule synthesis ---------------------------------------------
+
+/// Log-uniform batch size in [1, 10^4]: small batches (the incremental win)
+/// dominate, but every decade appears.
+size_t BatchSize(Rng* rng) {
+  size_t cap = 1;
+  const int exponent = static_cast<int>(rng->Uniform(5));  // 0..4
+  for (int i = 0; i < exponent; ++i) cap *= 10;
+  return 1 + rng->Uniform(cap);
+}
+
+/// Delta rows: ~half duplicate existing group keys (zipf-skewed picks from
+/// the current base, so hot groups get hotter), the rest come from a donor
+/// table generated with a different seed/skew (new and shifted keys).
+std::vector<std::vector<Value>> MakeDeltaRows(Rng* rng, const Table& current,
+                                              const Table& donor,
+                                              const ZipfGenerator& zipf,
+                                              size_t n) {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(0.5)) {
+      rows.push_back(current.Row(zipf.Sample(rng) % current.num_rows()));
+    } else {
+      rows.push_back(donor.Row(rng->Uniform(donor.num_rows())));
+    }
+  }
+  return rows;
+}
+
+// ---- the differential trial ------------------------------------------------
+
+struct MaintainedEntry {
+  ColumnSet columns;
+  std::vector<AggRequest> aggs;
+};
+
+void RunTrial(uint64_t seed, AggKernel kernel, int workers) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " kernel=" +
+               AggKernelName(kernel) + " workers=" + std::to_string(workers));
+  Rng rng(seed);
+
+  TablePtr base0 = GenerateLineitem(
+      {.rows = 3000 + rng.Uniform(3000), .zipf_theta = 0.6, .seed = 1000 + seed});
+  TablePtr donor = GenerateLineitem(
+      {.rows = 12000, .zipf_theta = 1.0, .seed = 5000 + seed});
+  const Schema& schema = base0->schema();
+
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase(base0).ok());
+  StorageGovernor governor(0);  // unlimited, but accounting is live
+  AggregateCache cache(&catalog, 64.0 * 1024 * 1024, &governor);
+
+  // Maintained grouping sets with deliberate lattice structure: one fine
+  // 3-column set, two of its subsets sharing the same aggregate list (the
+  // rollup-from-finer candidates), and one unrelated COUNT(*)-only entry.
+  const std::vector<int> pool = LineitemAnalysisColumns();
+  ColumnSet fine;
+  while (fine.size() < 3) {
+    fine = fine.With(pool[rng.Uniform(pool.size())]);
+  }
+  std::vector<AggRequest> aggs = {AggRequest{}};  // COUNT(*)
+  aggs.push_back(AggRequest{AggKind::kSum, kQuantity});
+  if (rng.Uniform(2) == 0) {
+    aggs.push_back(AggRequest{AggKind::kMax, kExtendedprice});
+  }
+  if (rng.Uniform(2) == 0) {
+    aggs.push_back(AggRequest{AggKind::kMin, kExtendedprice});
+  }
+  const std::vector<int> fine_cols = fine.ToVector();
+  std::vector<MaintainedEntry> entries = {
+      {fine, aggs},
+      {ColumnSet{fine_cols[0], fine_cols[1]}, aggs},
+      {ColumnSet::Single(fine_cols[2]), aggs},
+      {ColumnSet::Single(pool[rng.Uniform(pool.size())]), {AggRequest{}}},
+  };
+
+  ExecContext ctx;
+  QueryExecutor exec(&ctx, ScanMode::kColumnar, workers);
+  exec.set_forced_kernel(kernel);
+  size_t admitted = 0;
+  for (const MaintainedEntry& e : entries) {
+    Result<TablePtr> t =
+        ComputeAggregate(&exec, *base0, /*input_is_base=*/true, schema,
+                         e.columns, e.aggs, catalog.NextTempName("seeded"));
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    if (cache.AcceptPinned(e.columns, e.aggs, *t, /*registered=*/false)) {
+      ++admitted;
+    }
+  }
+  ASSERT_GE(admitted, 3u);  // the 4th may duplicate a key by chance
+
+  DeltaMaintenanceOptions mopts;
+  mopts.parallelism = workers;
+  mopts.forced_kernel = kernel;
+  DeltaMaintainer maintainer(&catalog, &cache, mopts);
+  Ingestor ingestor(&catalog);
+  ZipfGenerator zipf(base0->num_rows(), 1.1);
+
+  TablePtr current = base0;
+  const int batches = 1 + static_cast<int>(rng.Uniform(3));
+  for (int b = 0; b < batches; ++b) {
+    const size_t n = BatchSize(&rng);
+    const std::vector<std::vector<Value>> rows =
+        MakeDeltaRows(&rng, *current, *donor, zipf, n);
+    Result<IngestBatch> batch = ingestor.AppendBatch("lineitem", rows);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(batch->version, static_cast<uint64_t>(b + 1));
+    EXPECT_EQ(batch->base->num_rows(), current->num_rows() + n);
+
+    Result<DeltaMaintenanceReport> report = maintainer.ApplyDelta(
+        batch->delta, batch->base, schema, batch->version);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->delta_rows, n);
+    EXPECT_EQ(report->entries_dropped, 0u);
+    EXPECT_EQ(report->entries_refreshed, admitted);
+    current = batch->base;
+  }
+
+  // Differential gate: every maintained table must be bit-identical (up to
+  // row order) to a cold recompute over the final base relation.
+  for (const MaintainedEntry& e : entries) {
+    TablePtr maintained = cache.Lookup(e.columns, e.aggs, 0);
+    ASSERT_NE(maintained, nullptr) << e.columns.ToString();
+    ExecContext cold_ctx;
+    QueryExecutor cold(&cold_ctx, ScanMode::kColumnar, workers);
+    cold.set_forced_kernel(kernel);
+    Result<TablePtr> recomputed =
+        ComputeAggregate(&cold, *current, /*input_is_base=*/true, schema,
+                         e.columns, e.aggs, "cold_recompute");
+    ASSERT_TRUE(recomputed.ok()) << recomputed.status().ToString();
+    EXPECT_EQ(CanonicalRows(*maintained, e.columns, e.aggs, schema),
+              CanonicalRows(**recomputed, e.columns, e.aggs, schema))
+        << e.columns.ToString();
+  }
+
+  // Ingestion never leaks storage accounting: the governor holds exactly
+  // the cache's pinned bytes, and every catalog temp byte is a cache pin.
+  EXPECT_EQ(governor.reserved(), static_cast<double>(cache.pinned_bytes()));
+  EXPECT_EQ(catalog.temp_bytes(), cache.pinned_bytes());
+}
+
+// 6 seeds x 3 kernels x 3 worker counts = 54 differential trials.
+class IncrementalDifferential
+    : public ::testing::TestWithParam<std::tuple<AggKernel, int>> {};
+
+TEST_P(IncrementalDifferential, MaintainedMatchesColdRecompute) {
+  const auto [kernel, workers] = GetParam();
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    RunTrial(seed, kernel, workers);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllWorkerCounts, IncrementalDifferential,
+    ::testing::Combine(::testing::Values(AggKernel::kDenseArray,
+                                         AggKernel::kPackedKey,
+                                         AggKernel::kMultiWord),
+                       ::testing::Values(1, 4, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<AggKernel, int>>& info) {
+      return std::string(AggKernelName(std::get<0>(info.param))) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- targeted maintenance behaviours ---------------------------------------
+
+TEST(IncrementalTest, RollupReusesFinerDeltaAggregate) {
+  TablePtr base = GenerateLineitem({.rows = 5000, .seed = 11});
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase(base).ok());
+  AggregateCache cache(&catalog, 64.0 * 1024 * 1024);
+
+  const std::vector<AggRequest> aggs = {AggRequest{},
+                                        AggRequest{AggKind::kSum, kQuantity}};
+  const ColumnSet fine{kReturnflag, kLinestatus, kShipmode};
+  const ColumnSet mid{kReturnflag, kLinestatus};
+  const ColumnSet coarse{kReturnflag};
+
+  ExecContext ctx;
+  QueryExecutor exec(&ctx, ScanMode::kColumnar, 1);
+  for (ColumnSet cols : {fine, mid, coarse}) {
+    auto t = ComputeAggregate(&exec, *base, true, base->schema(), cols, aggs,
+                              catalog.NextTempName("seeded"));
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(cache.AcceptPinned(cols, aggs, *t, false));
+  }
+
+  Ingestor ingestor(&catalog);
+  Rng rng(3);
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back(base->Row(rng.Uniform(base->num_rows())));
+  }
+  auto batch = ingestor.AppendBatch("lineitem", rows);
+  ASSERT_TRUE(batch.ok());
+
+  DeltaMaintainer maintainer(&catalog, &cache);
+  auto report =
+      maintainer.ApplyDelta(batch->delta, batch->base, base->schema(), 1);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->entries_refreshed, 3u);
+  // Finest-first: {rf,ls,sm} aggregates the delta directly; {rf,ls} rolls
+  // up from it; {rf} rolls up from {rf,ls}.
+  EXPECT_EQ(report->rollup_reuses, 2u);
+
+  // Rolled-up entries are still exact.
+  for (ColumnSet cols : {fine, mid, coarse}) {
+    TablePtr maintained = cache.Lookup(cols, aggs, 0);
+    ASSERT_NE(maintained, nullptr);
+    ExecContext cctx;
+    QueryExecutor cold(&cctx, ScanMode::kColumnar, 1);
+    auto recomputed = ComputeAggregate(&cold, *batch->base, true,
+                                       base->schema(), cols, aggs, "cold");
+    ASSERT_TRUE(recomputed.ok());
+    EXPECT_EQ(CanonicalRows(*maintained, cols, aggs, base->schema()),
+              CanonicalRows(**recomputed, cols, aggs, base->schema()));
+  }
+
+  // With rollup disabled the same schedule reports zero reuses.
+  rows.clear();
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back(base->Row(rng.Uniform(base->num_rows())));
+  }
+  auto batch2 = ingestor.AppendBatch("lineitem", rows);
+  ASSERT_TRUE(batch2.ok());
+  DeltaMaintenanceOptions no_rollup;
+  no_rollup.rollup_from_finer = false;
+  DeltaMaintainer direct(&catalog, &cache, no_rollup);
+  auto report2 =
+      direct.ApplyDelta(batch2->delta, batch2->base, base->schema(), 2);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(report2->rollup_reuses, 0u);
+  EXPECT_EQ(report2->entries_refreshed, 3u);
+}
+
+TEST(IncrementalTest, NeedsRecomputeEscapeHatchRebuildsFromBase) {
+  TablePtr base = GenerateLineitem({.rows = 4000, .seed = 21});
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase(base).ok());
+  AggregateCache cache(&catalog, 64.0 * 1024 * 1024);
+
+  const ColumnSet cols{kReturnflag, kShipmode};
+  const std::vector<AggRequest> aggs = {
+      AggRequest{}, AggRequest{AggKind::kMin, kExtendedprice}};
+  ExecContext ctx;
+  QueryExecutor exec(&ctx, ScanMode::kColumnar, 1);
+  auto t = ComputeAggregate(&exec, *base, true, base->schema(), cols, aggs,
+                            catalog.NextTempName("seeded"));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(cache.AcceptPinned(cols, aggs, *t, false));
+
+  // A caller that (say) retracted rows flags the entry; the next batch must
+  // rebuild it from the base relation instead of delta-merging.
+  cache.MarkNeedsRecompute(cols, aggs);
+
+  Ingestor ingestor(&catalog);
+  Rng rng(5);
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back(base->Row(rng.Uniform(base->num_rows())));
+  }
+  auto batch = ingestor.AppendBatch("lineitem", rows);
+  ASSERT_TRUE(batch.ok());
+  DeltaMaintainer maintainer(&catalog, &cache);
+  auto report =
+      maintainer.ApplyDelta(batch->delta, batch->base, base->schema(), 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->entries_recomputed, 1u);
+  EXPECT_EQ(report->entries_refreshed, 0u);
+
+  TablePtr maintained = cache.Lookup(cols, aggs, 0);
+  ASSERT_NE(maintained, nullptr);
+  ExecContext cctx;
+  QueryExecutor cold(&cctx, ScanMode::kColumnar, 1);
+  auto recomputed = ComputeAggregate(&cold, *batch->base, true, base->schema(),
+                                     cols, aggs, "cold");
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_EQ(CanonicalRows(*maintained, cols, aggs, base->schema()),
+            CanonicalRows(**recomputed, cols, aggs, base->schema()));
+  // The flag is one-shot: the refresh cleared it.
+  const auto entries = cache.SnapshotEntriesForRefresh();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_FALSE(entries[0].needs_recompute);
+  EXPECT_EQ(entries[0].source_version, 1u);
+}
+
+TEST(IncrementalTest, EmptyBatchAdvancesVersionKeepsContent) {
+  TablePtr base = GenerateLineitem({.rows = 2000, .seed = 31});
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase(base).ok());
+  AggregateCache cache(&catalog, 64.0 * 1024 * 1024);
+
+  const ColumnSet cols{kReturnflag};
+  const std::vector<AggRequest> aggs = {AggRequest{}};
+  ExecContext ctx;
+  QueryExecutor exec(&ctx, ScanMode::kColumnar, 1);
+  auto t = ComputeAggregate(&exec, *base, true, base->schema(), cols, aggs,
+                            catalog.NextTempName("seeded"));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(cache.AcceptPinned(cols, aggs, *t, false));
+  const auto before = CanonicalRows(**t, cols, aggs, base->schema());
+
+  Ingestor ingestor(&catalog);
+  auto batch = ingestor.AppendBatch("lineitem", {});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->version, 1u);
+  EXPECT_EQ(catalog.table_version("lineitem"), 1u);
+
+  DeltaMaintainer maintainer(&catalog, &cache);
+  auto report =
+      maintainer.ApplyDelta(batch->delta, batch->base, base->schema(), 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->entries_refreshed, 1u);
+  TablePtr maintained = cache.Lookup(cols, aggs, 0);
+  ASSERT_NE(maintained, nullptr);
+  EXPECT_EQ(CanonicalRows(*maintained, cols, aggs, base->schema()), before);
+}
+
+TEST(IncrementalTest, IngestValidatesRowsAgainstSchema) {
+  TablePtr base = GenerateLineitem({.rows = 100, .seed = 41});
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase(base).ok());
+  Ingestor ingestor(&catalog);
+
+  // Wrong arity.
+  auto bad = ingestor.AppendBatch("lineitem", {{Value(int64_t{1})}});
+  EXPECT_FALSE(bad.ok());
+  // NULL in a non-nullable column.
+  std::vector<Value> row = base->Row(0);
+  row[0] = Value(Null{});
+  auto null_bad = ingestor.AppendBatch("lineitem", {row});
+  EXPECT_FALSE(null_bad.ok());
+  // A failed batch must not advance the version.
+  EXPECT_EQ(ingestor.version("lineitem"), 0u);
+  EXPECT_EQ(ingestor.current_name("lineitem"), "lineitem");
+
+  auto ok = ingestor.AppendBatch("lineitem", {base->Row(0)});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ingestor.version("lineitem"), 1u);
+  EXPECT_EQ(ingestor.current_name("lineitem"), "lineitem@v1");
+  EXPECT_TRUE(catalog.Exists("lineitem@v1"));
+}
+
+// ---- server-level: warm entries survive ingestion --------------------------
+
+TEST(IncrementalTest, ServerAppendBatchRefreshesWarmEntries) {
+  TablePtr base = GenerateLineitem({.rows = 20000, .seed = 7});
+  ServerOptions options;
+  options.pool_size = 2;
+  options.refresh_stats_on_ingest = false;  // keep the test fast
+  Server server(base, options);
+  const char* spec = "SINGLE(l_returnflag, l_linestatus, l_shipmode)";
+  auto requests = server.Parse(spec);
+  ASSERT_TRUE(requests.ok());
+
+  auto cold = server.Execute(*requests);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->base_version, 0u);
+
+  Rng rng(9);
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 700; ++i) {
+    rows.push_back(base->Row(rng.Uniform(base->num_rows())));
+  }
+  auto ingest = server.AppendBatch(rows);
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+  EXPECT_EQ(ingest->version, 1u);
+  EXPECT_EQ(ingest->rows_appended, 700u);
+  // Every live entry (the plan may have cached intermediates beyond the
+  // three requested sets) was refreshed in place; none dropped.
+  EXPECT_EQ(ingest->entries_refreshed, server.stats().cache.entries);
+  EXPECT_GE(ingest->entries_refreshed, requests->size());
+  EXPECT_EQ(ingest->entries_dropped, 0u);
+
+  // Refresh, not invalidate: the repeat is served entirely from the cache
+  // at the *new* version — zero base scans — and matches direct execution
+  // over the grown relation.
+  auto warm = server.Execute(*requests);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->base_version, 1u);
+  EXPECT_EQ(warm->counters.cache_hits, requests->size());
+  EXPECT_EQ(warm->counters.cache_misses, 0u);
+  EXPECT_EQ(warm->counters.bytes_scanned, 0u);
+
+  Session session(server.current_base());
+  for (const GroupByRequest& req : *requests) {
+    auto direct = session.Execute({req});
+    ASSERT_TRUE(direct.ok());
+    const TablePtr& served = warm->results.at(req.columns);
+    EXPECT_EQ(CanonicalRows(*served, req.columns, req.aggs, base->schema()),
+              CanonicalRows(*direct->results.at(req.columns), req.columns,
+                            req.aggs, base->schema()));
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.batches_ingested, 1u);
+  EXPECT_EQ(stats.rows_ingested, 700u);
+  EXPECT_EQ(stats.base_version, 1u);
+  EXPECT_EQ(stats.cache.refreshes, ingest->entries_refreshed);
+}
+
+TEST(IncrementalTest, ServerInvalidateModeDropsEntriesOnIngest) {
+  TablePtr base = GenerateLineitem({.rows = 10000, .seed = 7});
+  ServerOptions options;
+  options.incremental_maintenance = false;  // the pre-ingestion behaviour
+  options.refresh_stats_on_ingest = false;
+  Server server(base, options);
+  const char* spec = "SINGLE(l_returnflag, l_linestatus)";
+  auto requests = server.Parse(spec);
+  ASSERT_TRUE(requests.ok());
+  ASSERT_TRUE(server.Execute(*requests).ok());
+
+  auto ingest = server.AppendBatch({base->Row(0), base->Row(1)});
+  ASSERT_TRUE(ingest.ok());
+  EXPECT_EQ(ingest->entries_refreshed, 0u);
+  EXPECT_EQ(server.stats().cache.entries, 0u);
+
+  // Still correct — just cold again.
+  auto after = server.Execute(*requests);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->base_version, 1u);
+  EXPECT_EQ(after->counters.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace gbmqo

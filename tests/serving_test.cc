@@ -8,12 +8,15 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/session.h"
+#include "common/rng.h"
 #include "data/tpch_gen.h"
+#include "storage/ingest.h"
 
 namespace gbmqo {
 namespace {
@@ -255,6 +258,129 @@ TEST(ServingTest, GovernorArbitratesAcrossRequestsAndCache) {
   EXPECT_NEAR(server.governor()->reserved(),
               static_cast<double>(server.cache()->pinned_bytes()), 1.0);
   EXPECT_EQ(server.catalog()->temp_bytes(), server.cache()->pinned_bytes());
+}
+
+// Staleness under concurrent ingestion: AppendBatch interleaved with warm
+// Submits from client threads. Every response must content-match the base
+// generation it was admitted against (result->base_version) — fully-old or
+// fully-new, never a torn mix of generations.
+TEST(ServingTest, ResponsesMatchTheirAdmittedVersionUnderIngest) {
+  TablePtr base = SmallLineitem();
+  ServerOptions options;
+  options.pool_size = 4;
+  options.refresh_stats_on_ingest = false;  // keep batches cheap
+  Server server(base, options);
+  auto requests = server.Parse(kSpec);
+  ASSERT_TRUE(requests.ok());
+  ASSERT_TRUE(server.Execute(*requests).ok());  // warm the cache at v0
+
+  constexpr int kBatches = 6;
+  constexpr int kRowsPerBatch = 400;
+
+  // Precompute the expected result content for every generation by growing
+  // a private copy of the base through the same deterministic batches.
+  std::vector<std::vector<Value>> all_rows;
+  {
+    Rng rng(77);
+    for (int i = 0; i < kBatches * kRowsPerBatch; ++i) {
+      all_rows.push_back(base->Row(rng.Uniform(base->num_rows())));
+    }
+  }
+  std::vector<Result<ExecutionResult>> expected;
+  {
+    Catalog scratch;
+    ASSERT_TRUE(scratch.RegisterBase(base).ok());
+    Ingestor ingestor(&scratch);
+    TablePtr generation = base;
+    for (int v = 0; v <= kBatches; ++v) {
+      Session session(generation);
+      expected.push_back(session.Execute(kSpec));
+      ASSERT_TRUE(expected.back().ok());
+      if (v < kBatches) {
+        std::vector<std::vector<Value>> batch(
+            all_rows.begin() + v * kRowsPerBatch,
+            all_rows.begin() + (v + 1) * kRowsPerBatch);
+        auto applied = ingestor.AppendBatch(base->name(), batch);
+        ASSERT_TRUE(applied.ok());
+        generation = applied->base;
+      }
+    }
+  }
+
+  // Race readers against the ingest thread.
+  std::vector<std::thread> readers;
+  std::mutex out_mu;
+  std::vector<Result<ExecutionResult>> responses;
+  for (int c = 0; c < 4; ++c) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        auto r = server.Execute(*requests);
+        std::lock_guard<std::mutex> lock(out_mu);
+        responses.push_back(std::move(r));
+      }
+    });
+  }
+  for (int v = 0; v < kBatches; ++v) {
+    std::vector<std::vector<Value>> batch(
+        all_rows.begin() + v * kRowsPerBatch,
+        all_rows.begin() + (v + 1) * kRowsPerBatch);
+    auto applied = server.AppendBatch(batch);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    EXPECT_EQ(applied->version, static_cast<uint64_t>(v + 1));
+    EXPECT_EQ(applied->entries_dropped, 0u);
+  }
+  for (std::thread& t : readers) t.join();
+
+  ASSERT_EQ(responses.size(), 32u);
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_LE(r->base_version, static_cast<uint64_t>(kBatches));
+    ExpectSameResults(*expected[r->base_version], *r);
+  }
+  EXPECT_EQ(server.base_version(), static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(server.stats().rows_ingested,
+            static_cast<uint64_t>(kBatches * kRowsPerBatch));
+}
+
+// The refresh counters are deterministic for a serial warm -> append ->
+// warm schedule: every live entry is refreshed exactly once per batch, and
+// the warm hit count is unchanged by ingestion.
+TEST(ServingTest, CacheRefreshCountersAreDeterministic) {
+  auto run_once = [] {
+    ServerOptions options;
+    options.refresh_stats_on_ingest = false;
+    Server server(SmallLineitem(), options);
+    auto requests = server.Parse(kSpec);
+    EXPECT_TRUE(requests.ok());
+    EXPECT_TRUE(server.Execute(*requests).ok());
+    const uint64_t entries = server.stats().cache.entries;
+    EXPECT_GT(entries, 0u);
+
+    Rng rng(5);
+    for (int b = 0; b < 3; ++b) {
+      std::vector<std::vector<Value>> rows;
+      for (int i = 0; i < 100; ++i) {
+        rows.push_back(
+            server.base().Row(rng.Uniform(server.base().num_rows())));
+      }
+      auto applied = server.AppendBatch(rows);
+      EXPECT_TRUE(applied.ok());
+      EXPECT_EQ(applied->entries_refreshed, entries);
+      auto warm = server.Execute(*requests);
+      EXPECT_TRUE(warm.ok());
+      EXPECT_EQ(warm->counters.cache_hits, requests->size());
+      EXPECT_EQ(warm->counters.bytes_scanned, 0u);
+    }
+    return server.stats();
+  };
+
+  const ServerStats a = run_once();
+  const ServerStats b = run_once();
+  EXPECT_EQ(a.cache.refreshes, b.cache.refreshes);
+  EXPECT_EQ(a.cache.refreshes, 3u * a.cache.entries);
+  EXPECT_EQ(a.cache.hits, b.cache.hits);
+  EXPECT_EQ(a.cache.evictions, 0u);
+  EXPECT_EQ(b.cache.evictions, 0u);
 }
 
 TEST(ServingTest, SubmitAfterShutdownIsCancelled) {
