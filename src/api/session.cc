@@ -69,6 +69,7 @@ Result<ExecutionResult> Session::ExecutePlan(
                         options_.parallelism);
   executor.set_fusion_enabled(options_.shared_scan_fusion);
   executor.set_node_parallel(options_.node_parallelism);
+  executor.set_force_scalar(options_.force_scalar);
   if (options_.max_exec_storage_bytes > 0) {
     executor.set_storage_budget(options_.max_exec_storage_bytes, whatif_.get());
   }

@@ -56,6 +56,12 @@ struct SessionOptions {
   /// > 0 the session arms its cancellation token at call entry and the
   /// executor returns Status::DeadlineExceeded once it fires. 0 disables.
   uint64_t exec_deadline_ms = 0;
+  /// Pins execution to the scalar SIMD tier regardless of the host CPU
+  /// (see QueryExecutor::set_force_scalar and exec/simd.h). Results and
+  /// work counters are bit-identical either way; this is a differential-
+  /// testing and bench-baseline knob. The GBMQO_DISABLE_SIMD environment
+  /// variable forces the same thing process-wide.
+  bool force_scalar = false;
 };
 
 /// Owns everything needed to optimize and execute multi-Group-By workloads

@@ -113,6 +113,7 @@ struct ExecEnv {
   Schema base_schema;
   ScanMode scan_mode;
   std::optional<AggKernel> forced_kernel;
+  bool force_scalar = false;
 
   /// Builds the executor-level query `SELECT cols, aggs GROUP BY cols`
   /// against `input` (base or intermediate) — see BuildGroupByOver.
@@ -148,6 +149,7 @@ class SubtreeRunner {
                 std::optional<AggKernel> forced_kernel)
       : env_(env), ctx_(ctx), exec_(ctx, env.scan_mode, parallelism) {
     exec_.set_forced_kernel(forced_kernel);
+    exec_.set_force_scalar(env.force_scalar);
   }
 
   Status RunSubPlan(const PlanNode& node, const TablePtr& parent) {
@@ -1058,6 +1060,7 @@ class DagRunner {
                       int intra, std::optional<AggKernel> kernel) {
     QueryExecutor exec(&a->ctx, env_.scan_mode, intra);
     exec.set_forced_kernel(kernel);
+    exec.set_force_scalar(env_.force_scalar);
     const std::string name = node.materialized()
                                  ? env_.TempNameFor(node.columns)
                                  : ExecEnv::LeafNameFor(node.columns);
@@ -1096,6 +1099,7 @@ class DagRunner {
     const TablePtr input = from_base ? env_.base : InputTable(t);
     QueryExecutor exec(&a->ctx, env_.scan_mode, intra);
     exec.set_forced_kernel(kernel);
+    exec.set_force_scalar(env_.force_scalar);
     std::vector<GroupByQuery> queries;
     std::vector<std::string> names;
     queries.reserve(pending.size());
@@ -1223,7 +1227,8 @@ Result<ExecutionResult> PlanExecutor::Execute(
   std::unordered_map<const PlanNode*, double> node_bytes;
   if (gated) node_bytes = PlanNodeStorage(plan, whatif_);
 
-  ExecEnv env{catalog_, *base, (*base)->schema(), scan_mode_, forced_kernel_};
+  ExecEnv env{catalog_,    *base,         (*base)->schema(),
+              scan_mode_,  forced_kernel_, force_scalar_};
   GraphBuilder builder(fusion_enabled_, base->get(),
                        gated ? &node_bytes : nullptr);
   const TaskGraph graph = builder.Build(plan);

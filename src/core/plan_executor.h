@@ -95,6 +95,12 @@ class PlanExecutor {
     forced_kernel_ = kernel;
   }
 
+  /// Pins every QueryExecutor this executor creates to the scalar SIMD
+  /// tier (QueryExecutor::set_force_scalar). Results and counters are
+  /// bit-identical either way; this is a differential-testing and
+  /// bench-baseline knob.
+  void set_force_scalar(bool force) { force_scalar_ = force; }
+
   /// Sibling shared-scan fusion: plain Group By children of one parent that
   /// would each hash-aggregate over it (single-copy, kAuto/kHash hint, no
   /// covering base index claiming the edge) are computed by one
@@ -173,6 +179,7 @@ class PlanExecutor {
   ScanMode scan_mode_;
   int parallelism_;
   std::optional<AggKernel> forced_kernel_;
+  bool force_scalar_ = false;
   bool fusion_enabled_ = false;
   bool node_parallel_ = true;
   double storage_budget_ = std::numeric_limits<double>::infinity();

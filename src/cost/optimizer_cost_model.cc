@@ -23,7 +23,33 @@ AggKernel PredictKernel(const Table& base, ColumnSet cols) {
   return PlanAggKernel(base, cols).kernel;
 }
 
+/// The speedup factor pricing `kernel`'s vectorized aggregation loops.
+double SimdSpeedupFor(const CostParams& p, AggKernel kernel) {
+  switch (kernel) {
+    case AggKernel::kDenseArray:
+      return p.simd_dense_speedup;
+    case AggKernel::kPackedKey:
+      return p.simd_packed_speedup;
+    case AggKernel::kMultiWord:
+      return p.simd_multiword_speedup;
+  }
+  return 1.0;
+}
+
 }  // namespace
+
+CostParams SimdAwareCostParams() {
+  CostParams p;
+  // Measured on the reference AVX2 host (tools/check_bench_regression's
+  // BENCH_simd baseline): dense gains vector key formation + columnar
+  // accumulate, packed gains vector key formation + the tagged group-of-16
+  // probe, multi-word gains only the tagged probe (its key formation stays
+  // scalar — see BlockKeyFiller::FillMultiWord).
+  p.simd_dense_speedup = 2.0;
+  p.simd_packed_speedup = 1.5;
+  p.simd_multiword_speedup = 1.1;
+  return p;
+}
 
 OptimizerCostModel::OptimizerCostModel(const Table& base, CostParams params)
     : base_(base), params_(params) {}
@@ -52,8 +78,11 @@ double OptimizerCostModel::QueryCost(const NodeDesc& u,
     // Kernel- and cardinality-aware aggregation CPU: high-cardinality
     // outputs pay cache misses on most probes, while small-domain groupings
     // run the executor's cheaper packed/dense kernels. Mirrors the engine's
-    // work accounting (AggCpuPerRow in exec/exec_context.h).
-    cost += u.rows * AggCpuPerRow(PredictKernel(base_, v.columns), v.rows);
+    // work accounting (AggCpuPerRow in exec/exec_context.h), scaled down by
+    // the kernel's vectorization speedup when the params carry one.
+    const AggKernel kernel = PredictKernel(base_, v.columns);
+    cost += u.rows * AggCpuPerRow(kernel, v.rows) /
+            SimdSpeedupFor(params_, kernel);
     cost += v.rows * params_.group_build;
   }
   cache_.emplace(key, cost);

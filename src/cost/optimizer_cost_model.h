@@ -33,7 +33,26 @@ struct CostParams {
   double stream_cpu = 1.0;        ///< per input row, stream aggregation
   double group_build = 16.0;      ///< per output group (hash build, emit)
   double materialize_byte = 2.0;  ///< per byte spooled into a temp table
+
+  /// Per-kernel aggregation-CPU speedup from the vectorized hot loops
+  /// (exec/simd.h): QueryCost divides the predicted kernel's AggCpuPerRow
+  /// charge by its factor. Defaults of 1.0 price scalar execution, which
+  /// keeps estimated cost on the same scale as the engine's WorkCounters —
+  /// agg_cpu_units deliberately stays the canonical scalar charge on every
+  /// SIMD tier, so these factors tune only the optimizer's ranking, never
+  /// the measured counters. SimdAwareCostParams() fills in measured values.
+  double simd_dense_speedup = 1.0;      ///< dense-array kernel
+  double simd_packed_speedup = 1.0;     ///< packed single-word key kernel
+  double simd_multiword_speedup = 1.0;  ///< multi-word key kernel
 };
+
+/// CostParams with the SIMD speedup factors set from measurements on an
+/// AVX2 host (bench_simd: vectorized key formation + columnar accumulate
+/// for dense, vectorized key formation + tagged probe for packed; the
+/// multi-word kernel keeps scalar key formation and gains only the tagged
+/// probe). Use when the workload will run with SIMD enabled and the
+/// optimizer should rank materialization candidates accordingly.
+CostParams SimdAwareCostParams();
 
 class OptimizerCostModel : public PlanCostModel {
  public:

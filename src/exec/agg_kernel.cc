@@ -94,19 +94,30 @@ void BlockKeyFiller::FillPacked(size_t begin, size_t count, uint64_t* out) {
     const uint64_t min = kc.code_min;
     const int shift = kc.shift;
     if (!kc.nullable) {
-      for (size_t i = 0; i < count; ++i) {
-        out[i] |= (codes_[i] - min) << shift;
-      }
+      simd::OrShiftedCodes(simd_, codes_.data(), count, min, shift, out);
     } else {
       const uint64_t null_mask = 1ull << kc.null_bit;
-      for (size_t i = 0; i < count; ++i) {
-        // NULL rows must not shift their placeholder code into the key:
-        // they contribute only the NULL bit (value field stays zero).
-        if (kc.col->IsNull(begin + i)) {
-          out[i] |= null_mask;
+      // Hybrid: 64-row chunks whose null word is clear take the vector
+      // shift-and-or loop; a chunk containing a NULL falls back to the
+      // per-row branch (NULL rows must not shift their placeholder code
+      // into the key — they contribute only the NULL bit).
+      size_t i = 0;
+      while (i < count) {
+        const size_t chunk = std::min<size_t>(64, count - i);
+        const uint64_t nulls = kc.col->NullWord(begin + i, chunk);
+        if (nulls == 0) {
+          simd::OrShiftedCodes(simd_, codes_.data() + i, chunk, min, shift,
+                               out + i);
         } else {
-          out[i] |= (codes_[i] - min) << shift;
+          for (size_t j = 0; j < chunk; ++j) {
+            if ((nulls >> j) & 1) {
+              out[i + j] |= null_mask;
+            } else {
+              out[i + j] |= (codes_[i + j] - min) << shift;
+            }
+          }
         }
+        i += chunk;
       }
     }
   }
@@ -119,23 +130,37 @@ void BlockKeyFiller::FillDense(size_t begin, size_t count, uint32_t* out) {
     const uint64_t min = kc.code_min;
     const uint32_t stride = kc.stride;
     if (!kc.nullable) {
-      for (size_t i = 0; i < count; ++i) {
-        out[i] += static_cast<uint32_t>(codes_[i] - min) * stride;
-      }
+      simd::AddScaledDigits(simd_, codes_.data(), count, min, stride, out);
     } else {
-      // NULL takes digit 0; values shift up by one.
-      for (size_t i = 0; i < count; ++i) {
-        const uint32_t digit =
-            kc.col->IsNull(begin + i)
-                ? 0u
-                : static_cast<uint32_t>(codes_[i] - min) + 1u;
-        out[i] += digit * stride;
+      // NULL takes digit 0; values shift up by one. For NULL-free 64-row
+      // chunks the +1 folds into the subtracted base (wrapping min - 1
+      // makes code - base == (code - min) + 1), keeping the vector loop.
+      size_t i = 0;
+      while (i < count) {
+        const size_t chunk = std::min<size_t>(64, count - i);
+        const uint64_t nulls = kc.col->NullWord(begin + i, chunk);
+        if (nulls == 0) {
+          simd::AddScaledDigits(simd_, codes_.data() + i, chunk, min - 1,
+                                stride, out + i);
+        } else {
+          for (size_t j = 0; j < chunk; ++j) {
+            const uint32_t digit =
+                ((nulls >> j) & 1)
+                    ? 0u
+                    : static_cast<uint32_t>(codes_[i + j] - min) + 1u;
+            out[i + j] += digit * stride;
+          }
+        }
+        i += chunk;
       }
     }
   }
 }
 
 void BlockKeyFiller::FillMultiWord(size_t begin, size_t count, uint64_t* out) {
+  // Stays scalar on every tier: the key words are strided (one row =
+  // key_width consecutive words), so vector stores would need scatters.
+  // The multi-word kernel is dominated by hashing/compares anyway.
   const size_t kw = static_cast<size_t>(plan_->key_width);
   std::fill(out, out + count * kw, 0);
   const size_t ncols = plan_->cols.size();

@@ -27,6 +27,7 @@
 
 #include "common/column_set.h"
 #include "exec/exec_context.h"
+#include "exec/simd.h"
 #include "storage/table.h"
 
 namespace gbmqo {
@@ -76,8 +77,12 @@ class BlockKeyFiller {
   /// Rows per block: small enough that codes + keys stay L1-resident.
   static constexpr size_t kBlockRows = 1024;
 
-  explicit BlockKeyFiller(const AggKernelPlan& plan)
-      : plan_(&plan), codes_(kBlockRows) {}
+  /// `simd` selects the packing loops (exec/simd.h). All key formation is
+  /// pure integer arithmetic, so every tier produces bit-identical keys;
+  /// the knob only changes speed.
+  explicit BlockKeyFiller(const AggKernelPlan& plan,
+                          SimdLevel simd = DetectedSimdLevel())
+      : plan_(&plan), simd_(simd), codes_(kBlockRows) {}
 
   /// Packed kernel: out[i] = single-word key of row begin+i. NULL rows
   /// contribute a set NULL bit and zero value bits (count <= kBlockRows).
@@ -94,6 +99,7 @@ class BlockKeyFiller {
 
  private:
   const AggKernelPlan* plan_;
+  SimdLevel simd_;
   std::vector<uint64_t> codes_;  // scratch: one column's codes for a block
 };
 

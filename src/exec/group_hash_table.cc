@@ -34,11 +34,13 @@ inline uint64_t Mix(uint64_t x) {
 }
 }  // namespace
 
-GroupHashTable::GroupHashTable(int key_width, size_t initial_capacity)
-    : key_width_(key_width) {
+GroupHashTable::GroupHashTable(int key_width, size_t initial_capacity,
+                               SimdLevel simd)
+    : key_width_(key_width), simd_(simd) {
   assert(key_width >= 1);
   size_t cap = std::bit_ceil(initial_capacity < 16 ? size_t{16} : initial_capacity);
   slots_.assign(cap, 0);
+  meta_.assign(cap + kMetaGroup - 1, 0);
   slot_mask_ = cap - 1;
 }
 
@@ -74,32 +76,85 @@ size_t GroupHashTable::MergeFrom(
 void GroupHashTable::Grow() {
   const size_t new_cap = slots_.size() * 2;
   std::vector<uint32_t> new_slots(new_cap, 0);
+  std::vector<uint8_t> new_meta(new_cap + kMetaGroup - 1, 0);
   const size_t new_mask = new_cap - 1;
   for (uint32_t tag : slots_) {
     if (tag == 0) continue;
     const uint32_t id = tag - 1;
     const uint64_t* key = KeyOf(id);
-    size_t pos = HashKey(key, key_width_) & new_mask;
+    const uint64_t hash = HashKey(key, key_width_);
+    size_t pos = hash & new_mask;
     while (new_slots[pos] != 0) pos = (pos + 1) & new_mask;
     new_slots[pos] = tag;
+    new_meta[pos] = H2(hash);
+    if (pos < kMetaGroup - 1) new_meta[new_cap + pos] = H2(hash);
   }
   slots_ = std::move(new_slots);
+  meta_ = std::move(new_meta);
   slot_mask_ = new_mask;
+}
+
+uint32_t GroupHashTable::InsertAt(size_t pos, uint64_t hash,
+                                  const uint64_t* key, bool* inserted) {
+  if (num_groups_ >= max_groups()) throw GroupIdSpaceExhausted();
+  const uint32_t id = static_cast<uint32_t>(num_groups_++);
+  arena_.insert(arena_.end(), key, key + key_width_);
+  slots_[pos] = id + 1;
+  SetMeta(pos, H2(hash));
+  if (inserted != nullptr) *inserted = true;
+  return id;
+}
+
+uint32_t GroupHashTable::FindOrInsertTagged(const uint64_t* key, uint64_t hash,
+                                            bool* inserted) {
+  // Visits the same slot sequence as the scalar probe, but skips slots
+  // whose tag rules them out without touching their keys: a slot with a
+  // non-matching non-zero tag is occupied by a key of a different hash, so
+  // it can neither terminate the probe (not empty) nor match (equal keys
+  // have equal tags). The first empty-or-candidate slot in order is
+  // therefore the same slot the scalar loop would stop at or test.
+  const size_t home = hash & slot_mask_;
+  const uint8_t h2 = H2(hash);
+  size_t p = home;
+  while (true) {
+    uint32_t eq = 0, zero = 0;
+    simd::ScanGroup16(meta_.data() + p, h2, &eq, &zero);
+    uint32_t m = eq | zero;
+    while (m != 0) {
+      const int lane = std::countr_zero(m);
+      m &= m - 1;
+      const size_t pos = (p + static_cast<size_t>(lane)) & slot_mask_;
+      // Scalar equivalence: one probe per slot from home through here.
+      const uint64_t walked = (pos - home) & slot_mask_;
+      if ((zero >> lane) & 1u) {
+        probes_ += walked + 1;
+        return InsertAt(pos, hash, key, inserted);
+      }
+      const uint32_t id = slots_[pos] - 1;
+      if (std::memcmp(KeyOf(id), key,
+                      sizeof(uint64_t) * static_cast<size_t>(key_width_)) ==
+          0) {
+        probes_ += walked + 1;
+        if (inserted != nullptr) *inserted = false;
+        return id;
+      }
+    }
+    p = (p + kMetaGroup) & slot_mask_;
+  }
 }
 
 uint32_t GroupHashTable::FindOrInsert(const uint64_t* key, bool* inserted) {
   if ((num_groups_ + 1) * 10 > slots_.size() * 7) Grow();
-  size_t pos = HashKey(key, key_width_) & slot_mask_;
+  const uint64_t hash = HashKey(key, key_width_);
+  if (simd_ != SimdLevel::kScalar) {
+    return FindOrInsertTagged(key, hash, inserted);
+  }
+  size_t pos = hash & slot_mask_;
   while (true) {
     ++probes_;
     const uint32_t tag = slots_[pos];
     if (tag == 0) {
-      if (num_groups_ >= max_groups()) throw GroupIdSpaceExhausted();
-      const uint32_t id = static_cast<uint32_t>(num_groups_++);
-      arena_.insert(arena_.end(), key, key + key_width_);
-      slots_[pos] = id + 1;
-      if (inserted != nullptr) *inserted = true;
-      return id;
+      return InsertAt(pos, hash, key, inserted);
     }
     const uint32_t id = tag - 1;
     if (std::memcmp(KeyOf(id), key,
@@ -126,12 +181,38 @@ size_t DenseGroupTable::MergeFrom(
     const DenseGroupTable& src, int num_partitions, int partition,
     uint64_t capacity, std::vector<std::pair<uint32_t, uint32_t>>* mapping) {
   size_t taken = 0;
-  for (uint32_t id = 0; id < static_cast<uint32_t>(src.size()); ++id) {
-    const uint32_t slot = src.SlotOfGroup(id);
-    if (PartitionOfSlot(slot, num_partitions, capacity) != partition) continue;
-    const uint32_t dst = FindOrInsert(slot);
+  const uint32_t n = static_cast<uint32_t>(src.size());
+  const auto take = [&](uint32_t id) {
+    const uint32_t dst = FindOrInsert(src.group_slots_[id]);
     if (mapping != nullptr) mapping->emplace_back(id, dst);
     ++taken;
+  };
+  if (num_partitions <= 1) {
+    for (uint32_t id = 0; id < n; ++id) take(id);
+    return taken;
+  }
+  assert(std::has_single_bit(capacity) &&
+         std::has_single_bit(static_cast<uint64_t>(num_partitions)) &&
+         capacity >= static_cast<uint64_t>(num_partitions));
+  const int shift = std::countr_zero(capacity) -
+                    std::countr_zero(static_cast<uint64_t>(num_partitions));
+  const uint32_t target = static_cast<uint32_t>(partition);
+  uint32_t id = 0;
+  if (simd_ != SimdLevel::kScalar) {
+    // 8-wide partition scan; mask bits are consumed in ascending lane
+    // order, so taken groups keep ascending src-id order.
+    for (; id + 8 <= n; id += 8) {
+      uint32_t m = simd::ShiftEqMask8(simd_, src.group_slots_.data() + id,
+                                      shift, target);
+      while (m != 0) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        take(id + static_cast<uint32_t>(lane));
+      }
+    }
+  }
+  for (; id < n; ++id) {
+    if ((src.group_slots_[id] >> shift) == target) take(id);
   }
   return taken;
 }

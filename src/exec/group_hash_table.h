@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "exec/simd.h"
+
 namespace gbmqo {
 
 /// Thrown by the group tables when handing out one more dense id would
@@ -34,11 +36,22 @@ class GroupIdSpaceExhausted : public std::runtime_error {
 /// Not internally synchronized: one table per thread, merged afterwards.
 class GroupHashTable {
  public:
-  explicit GroupHashTable(int key_width, size_t initial_capacity = 64);
+  /// `simd` selects the probe loop: the vector tiers scan a Swiss-table
+  /// style 1-byte metadata array 16 slots at a time before any key compare;
+  /// kScalar probes slot-by-slot. Both visit the identical slot sequence
+  /// (a skipped tag can never be empty or hold an equal key), so group ids,
+  /// sizes, and probes() are bit-identical across tiers.
+  explicit GroupHashTable(int key_width, size_t initial_capacity = 64,
+                          SimdLevel simd = DetectedSimdLevel());
 
   /// Looks up `key` (key_width words); inserts if absent. Returns the dense
   /// group id. `*inserted` (optional) reports whether a new group was made.
   uint32_t FindOrInsert(const uint64_t* key, bool* inserted = nullptr);
+
+  /// Switches the probe implementation (determinism contract above); usable
+  /// at any point, including mid-stream.
+  void set_simd_level(SimdLevel level) { simd_ = level; }
+  SimdLevel simd_level() const { return simd_; }
 
   size_t size() const { return num_groups_; }
   int key_width() const { return key_width_; }
@@ -105,15 +118,39 @@ class GroupHashTable {
                    std::vector<std::pair<uint32_t, uint32_t>>* mapping);
 
  private:
+  /// Metadata group width: the probe scans this many tag bytes per step.
+  static constexpr size_t kMetaGroup = 16;
+
   static uint64_t HashKey(const uint64_t* key, int width);
+  /// 1-byte tag of a hash: bit 7 set (so never 0 = empty) plus 7 hash bits
+  /// taken from the middle of the hash — disjoint from both the low bits
+  /// (slot placement) and the top bits (merge partition), so tags stay
+  /// discriminating within a probe window.
+  static uint8_t H2(uint64_t hash) {
+    return static_cast<uint8_t>(0x80 | ((hash >> 32) & 0x7F));
+  }
+  void SetMeta(size_t pos, uint8_t m) {
+    meta_[pos] = m;
+    // First kMetaGroup-1 tags are mirrored past the end so a group load
+    // near the wrap point sees the wrapped slots without masking.
+    if (pos < kMetaGroup - 1) meta_[slots_.size() + pos] = m;
+  }
+  uint32_t InsertAt(size_t pos, uint64_t hash, const uint64_t* key,
+                    bool* inserted);
+  uint32_t FindOrInsertTagged(const uint64_t* key, uint64_t hash,
+                              bool* inserted);
   void Grow();
 
   int key_width_;
+  SimdLevel simd_;
   size_t num_groups_ = 0;
   uint64_t probes_ = 0;
 
   // slot value: group id + 1; 0 = empty.
   std::vector<uint32_t> slots_;
+  // slot tag: 0 = empty, else H2(hash); slots_.size() + kMetaGroup - 1
+  // bytes (mirror tail). Maintained on both probe tiers.
+  std::vector<uint8_t> meta_;
   size_t slot_mask_ = 0;
 
   std::vector<uint64_t> arena_;  // num_groups_ * key_width_ words
@@ -130,8 +167,15 @@ class DenseGroupTable {
   /// Covers slots [slot_begin, slot_end). Build-side tables cover the whole
   /// [0, capacity); merge-side tables cover one partition's contiguous
   /// range, so per-partition memory is capacity / num_partitions tags.
-  DenseGroupTable(uint64_t slot_begin, uint64_t slot_end)
-      : begin_(slot_begin), tags_(slot_end - slot_begin, 0) {}
+  /// `simd` selects the MergeFrom partition-scan loop (8 slots per step on
+  /// the vector tiers); taken groups and their order are identical across
+  /// tiers.
+  DenseGroupTable(uint64_t slot_begin, uint64_t slot_end,
+                  SimdLevel simd = DetectedSimdLevel())
+      : begin_(slot_begin), simd_(simd), tags_(slot_end - slot_begin, 0) {}
+
+  void set_simd_level(SimdLevel level) { simd_ = level; }
+  SimdLevel simd_level() const { return simd_; }
 
   /// Returns the dense group id of `slot` (must be in this table's range),
   /// inserting if absent.
@@ -170,6 +214,7 @@ class DenseGroupTable {
 
  private:
   uint64_t begin_;
+  SimdLevel simd_;
   std::vector<uint32_t> tags_;         // slot - begin_ -> group id + 1
   std::vector<uint32_t> group_slots_;  // group id -> slot
 };

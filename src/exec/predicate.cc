@@ -1,5 +1,9 @@
 #include "exec/predicate.h"
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
 namespace gbmqo {
 
 namespace {
@@ -27,6 +31,43 @@ bool Compare(const T& a, CompareOp op, const T& b) {
     case CompareOp::kGe: return a >= b;
   }
   return false;
+}
+
+simd::Cmp ToSimdCmp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return simd::Cmp::kEq;
+    case CompareOp::kNe: return simd::Cmp::kNe;
+    case CompareOp::kLt: return simd::Cmp::kLt;
+    case CompareOp::kLe: return simd::Cmp::kLe;
+    case CompareOp::kGt: return simd::Cmp::kGt;
+    case CompareOp::kGe: return simd::Cmp::kGe;
+  }
+  return simd::Cmp::kEq;
+}
+
+// First set (clear) bit index in [from, n) of the bitmap; n when none.
+size_t NextSetBit(const std::vector<uint64_t>& bits, size_t from, size_t n) {
+  if (from >= n) return n;
+  size_t w = from >> 6;
+  uint64_t word = bits[w] & (~uint64_t{0} << (from & 63));
+  while (word == 0) {
+    if (++w >= bits.size()) return n;
+    word = bits[w];
+  }
+  const size_t r = (w << 6) + static_cast<size_t>(std::countr_zero(word));
+  return r < n ? r : n;
+}
+
+size_t NextClearBit(const std::vector<uint64_t>& bits, size_t from, size_t n) {
+  if (from >= n) return n;
+  size_t w = from >> 6;
+  uint64_t word = ~bits[w] & (~uint64_t{0} << (from & 63));
+  while (word == 0) {
+    if (++w >= bits.size()) return n;
+    word = ~bits[w];
+  }
+  const size_t r = (w << 6) + static_cast<size_t>(std::countr_zero(word));
+  return r < n ? r : n;
 }
 
 }  // namespace
@@ -93,16 +134,76 @@ std::string Predicate::ToString(const Schema& schema) const {
 }
 
 Result<TablePtr> ApplyFilter(const Table& table, const Predicate& predicate,
-                             const std::string& name, ExecContext* ctx) {
+                             const std::string& name, ExecContext* ctx,
+                             SimdLevel simd) {
   GBMQO_RETURN_NOT_OK(predicate.Validate(table.schema()));
-  TableBuilder builder(table.schema());
-  size_t kept = 0;
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    if (!predicate.Matches(table, row)) continue;
-    for (int c = 0; c < table.schema().num_columns(); ++c) {
-      builder.column(c)->AppendFrom(table.column(c), row);
+  const size_t n = table.num_rows();
+  const size_t nwords = (n + 63) / 64;
+  // bit r = row r survives every conjunct folded in so far. Starts all-set
+  // with the bits past n cleared, so popcounts and run scans need no
+  // end-of-table masking.
+  std::vector<uint64_t> sel(nwords, ~uint64_t{0});
+  if (nwords > 0 && (n & 63) != 0) {
+    sel[nwords - 1] = (uint64_t{1} << (n & 63)) - 1;
+  }
+  std::vector<uint64_t> cmp;
+  for (const Comparison& c : predicate.conjuncts()) {
+    const Column& col = table.column(c.column);
+    cmp.assign(nwords, 0);
+    switch (col.type()) {
+      case DataType::kInt64:
+        // int64 widens to double before comparing, matching Matches /
+        // Column::NumericAt. NULL rows compare their 0 placeholder here;
+        // the null-bitmap AND-NOT below clears them regardless.
+        simd::CompareInt64Bitmap(simd, col.int64_data(), n, ToSimdCmp(c.op),
+                                 c.literal.AsDouble(), cmp.data());
+        break;
+      case DataType::kDouble:
+        simd::CompareDoublesBitmap(simd, col.double_data(), n,
+                                   ToSimdCmp(c.op), c.literal.AsDouble(),
+                                   cmp.data());
+        break;
+      case DataType::kString: {
+        // Decide once per distinct dictionary entry, then spread the
+        // verdicts by code — string compares cost O(dict), not O(rows).
+        std::vector<uint8_t> verdict(col.dict_size());
+        for (size_t k = 0; k < verdict.size(); ++k) {
+          verdict[k] =
+              Compare(col.DictEntry(k), c.op, c.literal.str()) ? 1 : 0;
+        }
+        const uint32_t* codes = col.string_codes();
+        for (size_t r = 0; r < n; ++r) {
+          cmp[r >> 6] |= static_cast<uint64_t>(verdict[codes[r]]) << (r & 63);
+        }
+        break;
+      }
     }
-    ++kept;
+    simd::AndWords(sel.data(), cmp.data(), nwords);
+    if (col.has_nulls()) {
+      simd::AndNotWords(sel.data(), col.null_words(), nwords);
+    }
+  }
+  size_t kept = 0;
+  for (const uint64_t w : sel) {
+    kept += static_cast<size_t>(std::popcount(w));
+  }
+  TableBuilder builder(table.schema());
+  const int ncols = table.schema().num_columns();
+  for (int c = 0; c < ncols; ++c) {
+    builder.column(c)->Reserve(kept);
+  }
+  // Copy survivors column-wise, one AppendRangeFrom per run of consecutive
+  // selected rows.
+  size_t row = 0;
+  while (row < n) {
+    const size_t run_begin = NextSetBit(sel, row, n);
+    if (run_begin >= n) break;
+    const size_t run_end = NextClearBit(sel, run_begin, n);
+    for (int c = 0; c < ncols; ++c) {
+      builder.column(c)->AppendRangeFrom(table.column(c), run_begin,
+                                         run_end - run_begin);
+    }
+    row = run_end;
   }
   Result<TablePtr> out = builder.Build(name);
   if (ctx != nullptr && out.ok()) {

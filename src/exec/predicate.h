@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "exec/simd.h"
 #include "storage/table.h"
 
 namespace gbmqo {
@@ -52,8 +53,18 @@ class Predicate {
 
 /// Materializes `SELECT * FROM table WHERE predicate` as a new table named
 /// `name`. Charges a full scan to `ctx`.
+///
+/// Columnar evaluation: each conjunct is compared vector-at-a-time into a
+/// selection bitmap (numeric columns via exec/simd.h at `simd`; string
+/// columns decide once per distinct dictionary entry), the bitmap is
+/// AND-NOT'd with each conjunct column's null bitmap (NULL never satisfies
+/// a comparison), and survivors are copied column-wise in runs of
+/// consecutive rows (Column::AppendRangeFrom) with capacity reserved from
+/// the match count. Output rows, order, and counters are identical across
+/// SIMD tiers — kScalar runs the same bitmap pipeline with scalar compares.
 Result<TablePtr> ApplyFilter(const Table& table, const Predicate& predicate,
-                             const std::string& name, ExecContext* ctx);
+                             const std::string& name, ExecContext* ctx,
+                             SimdLevel simd = DetectedSimdLevel());
 
 }  // namespace gbmqo
 

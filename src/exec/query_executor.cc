@@ -94,6 +94,71 @@ class AggState {
     }
   }
 
+  /// Columnar accumulate over a whole key block: ids[i] is the (already
+  /// Touched) group of row begin+i. Equivalent to count Update calls — the
+  /// per-kind/per-type/per-null dispatch is hoisted out of the row loop and
+  /// values are read through raw column pointers, but each (group,
+  /// aggregate) accumulator still folds its rows in ascending row order, so
+  /// results (including double SUM) are bit-identical to the per-row path.
+  void UpdateBlock(const uint32_t* ids, size_t begin, size_t count) {
+    for (size_t i = 0; i < count; ++i) counts_[ids[i]] += 1;
+    for (size_t a = 0; a < query_.aggregates.size(); ++a) {
+      const AggregateSpec& agg = query_.aggregates[a];
+      if (agg.kind == AggKind::kCountStar) continue;
+      const Column& col = input_.column(agg.arg);
+      std::vector<Accum>& acc = acc_[a];
+      const bool nulls = col.has_nulls();
+      const auto fold = [&](auto value_at) {
+        switch (agg.kind) {
+          case AggKind::kSum:
+            if (!nulls) {
+              for (size_t i = 0; i < count; ++i) {
+                Accum& x = acc[ids[i]];
+                x.value += value_at(i);
+                x.seen = true;
+              }
+            } else {
+              for (size_t i = 0; i < count; ++i) {
+                if (col.IsNull(begin + i)) continue;
+                Accum& x = acc[ids[i]];
+                x.value += value_at(i);
+                x.seen = true;
+              }
+            }
+            break;
+          case AggKind::kMin:
+            for (size_t i = 0; i < count; ++i) {
+              if (nulls && col.IsNull(begin + i)) continue;
+              Accum& x = acc[ids[i]];
+              const double v = value_at(i);
+              if (!x.seen || v < x.value) x.value = v;
+              x.seen = true;
+            }
+            break;
+          case AggKind::kMax:
+            for (size_t i = 0; i < count; ++i) {
+              if (nulls && col.IsNull(begin + i)) continue;
+              Accum& x = acc[ids[i]];
+              const double v = value_at(i);
+              if (!x.seen || v > x.value) x.value = v;
+              x.seen = true;
+            }
+            break;
+          case AggKind::kCountStar:
+            break;
+        }
+      };
+      if (col.type() == DataType::kInt64) {
+        const int64_t* data = col.int64_data() + begin;
+        fold([data](size_t i) { return static_cast<double>(data[i]); });
+      } else if (col.type() == DataType::kDouble) {
+        const double* data = col.double_data() + begin;
+        fold([data](size_t i) { return data[i]; });
+      }
+      // Strings are rejected by Validate; nothing else reaches here.
+    }
+  }
+
   /// Folds group `src_id` of `src` (same input/query) into group `id`. Used
   /// by the partitioned merge of thread-local pre-aggregation states; the
   /// caller fixes the merge order, so floating-point accumulation stays
@@ -373,16 +438,19 @@ struct ShardAgg {
 class ShardBuilder {
  public:
   ShardBuilder(const Table& input, const GroupByQuery& query,
-               const AggKernelPlan& plan, size_t shard_rows)
-      : plan_(&plan), filler_(plan) {
+               const AggKernelPlan& plan, size_t shard_rows,
+               SimdLevel simd = DetectedSimdLevel())
+      : plan_(&plan), simd_(simd), filler_(plan, simd) {
     agg_.state = std::make_unique<AggState>(input, query);
     agg_.state->ReserveGroups(shard_rows / 8 + 16);
     if (plan.kernel == AggKernel::kDenseArray) {
-      agg_.dense = std::make_unique<DenseGroupTable>(0, plan.dense_capacity);
+      agg_.dense = std::make_unique<DenseGroupTable>(0, plan.dense_capacity,
+                                                     simd);
       slots_.resize(BlockKeyFiller::kBlockRows);
+      ids_.resize(BlockKeyFiller::kBlockRows);
     } else {
-      agg_.table =
-          std::make_unique<GroupHashTable>(plan.key_width, shard_rows / 8 + 16);
+      agg_.table = std::make_unique<GroupHashTable>(
+          plan.key_width, shard_rows / 8 + 16, simd);
       keys_.resize(BlockKeyFiller::kBlockRows *
                    static_cast<size_t>(plan.key_width));
     }
@@ -395,10 +463,22 @@ class ShardBuilder {
       case AggKernel::kDenseArray: {
         filler_.FillDense(begin, count, slots_.data());
         DenseGroupTable& dense = *agg_.dense;
-        for (size_t i = 0; i < count; ++i) {
-          const uint32_t id = dense.FindOrInsert(slots_[i]);
-          state.Touch(id, begin + i);
-          state.Update(id, begin + i);
+        if (simd_ == SimdLevel::kScalar) {
+          for (size_t i = 0; i < count; ++i) {
+            const uint32_t id = dense.FindOrInsert(slots_[i]);
+            state.Touch(id, begin + i);
+            state.Update(id, begin + i);
+          }
+        } else {
+          // Columnar accumulate: assign the whole block's group ids first,
+          // then fold each aggregate column block-at-a-time. Bit-identical
+          // to the per-row path (see AggState::UpdateBlock).
+          for (size_t i = 0; i < count; ++i) {
+            const uint32_t id = dense.FindOrInsert(slots_[i]);
+            state.Touch(id, begin + i);
+            ids_[i] = id;
+          }
+          state.UpdateBlock(ids_.data(), begin, count);
         }
         break;
       }
@@ -430,10 +510,12 @@ class ShardBuilder {
 
  private:
   const AggKernelPlan* plan_;
+  SimdLevel simd_;
   BlockKeyFiller filler_;
   ShardAgg agg_;
   std::vector<uint64_t> keys_;   // hash kernels: count * key_width words
   std::vector<uint32_t> slots_;  // dense kernel: count slots
+  std::vector<uint32_t> ids_;    // dense kernel: block group ids (columnar)
 };
 
 /// Merges `shards[*]` for one query into `out` (the `partition`-th of
@@ -443,7 +525,8 @@ class ShardBuilder {
 /// is fixed.
 void MergePartition(const Table& input, const GroupByQuery& query,
                     const AggKernelPlan& plan, std::vector<ShardAgg>& shards,
-                    size_t total_groups, int partition, ShardAgg* out) {
+                    size_t total_groups, int partition, ShardAgg* out,
+                    SimdLevel simd) {
   constexpr int kParts = QueryExecutor::kMergePartitions;
   ShardAgg merged;
   merged.state = std::make_unique<AggState>(input, query);
@@ -452,10 +535,10 @@ void MergePartition(const Table& input, const GroupByQuery& query,
     const uint64_t range = plan.dense_capacity / kParts;
     merged.dense = std::make_unique<DenseGroupTable>(
         range * static_cast<uint64_t>(partition),
-        range * static_cast<uint64_t>(partition + 1));
+        range * static_cast<uint64_t>(partition + 1), simd);
   } else {
     merged.table = std::make_unique<GroupHashTable>(
-        plan.key_width, total_groups / kParts + 16);
+        plan.key_width, total_groups / kParts + 16, simd);
   }
   std::vector<std::pair<uint32_t, uint32_t>> mapping;
   for (ShardAgg& shard : shards) {
@@ -578,9 +661,10 @@ Result<TablePtr> QueryExecutor::ExecuteGroupByImpl(
       std::vector<uint64_t> shard_checksums(static_cast<size_t>(layout.shards), 0);
       const CancellationToken* tok = ctx_->cancellation();
       const uint64_t salt = ctx_->fault_salt();
+      const SimdLevel simd = simd_level();
       RunTasks(layout.shards, parallelism_, [&](int s) {
         InjectAllocPressure(salt, static_cast<uint64_t>(s));
-        ShardBuilder builder(input, query, kplan, layout.ShardRows(s));
+        ShardBuilder builder(input, query, kplan, layout.ShardRows(s), simd);
         RowToucher shard_toucher(input, touch);
         layout.ForEachShardBlock(
             s, BlockKeyFiller::kBlockRows, [&](size_t begin, size_t count) {
@@ -617,7 +701,7 @@ Result<TablePtr> QueryExecutor::ExecuteGroupByImpl(
         RunTasks(kMergePartitions, parallelism_, [&](int p) {
           InjectAllocPressure(salt, 4096 + static_cast<uint64_t>(p));
           MergePartition(input, query, kplan, shards, total_groups, p,
-                         &merged[static_cast<size_t>(p)]);
+                         &merged[static_cast<size_t>(p)], simd);
         });
         GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
         for (ShardAgg& part : merged) {
@@ -744,6 +828,7 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScanImpl(
   std::vector<Status> shard_status(static_cast<size_t>(layout.shards));
   const CancellationToken* tok = ctx_->cancellation();
   const uint64_t salt = ctx_->fault_salt();
+  const SimdLevel simd = simd_level();
   RunTasks(layout.shards, parallelism_, [&](int s) {
     if (GBMQO_INJECT_FAULT(FaultSite::kSharedScanBatch,
                            FaultKey(salt, static_cast<uint64_t>(s)))) {
@@ -756,7 +841,7 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScanImpl(
     std::vector<ShardBuilder> builders;
     builders.reserve(nq);
     for (size_t qi = 0; qi < nq; ++qi) {
-      builders.emplace_back(input, queries[qi], kplans[qi], shard_rows);
+      builders.emplace_back(input, queries[qi], kplans[qi], shard_rows, simd);
     }
     RowToucher shard_toucher(input, touch);
     layout.ForEachShardBlock(
@@ -818,7 +903,7 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScanImpl(
       const size_t qi = static_cast<size_t>(t) / kMergePartitions;
       const int p = t % kMergePartitions;
       MergePartition(input, queries[qi], kplans[qi], by_query[qi], totals[qi],
-                     p, &merged[qi][static_cast<size_t>(p)]);
+                     p, &merged[qi][static_cast<size_t>(p)], simd);
     });
     GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
     for (size_t qi = 0; qi < nq; ++qi) {

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "exec/aggregate_spec.h"
 #include "exec/exec_context.h"
+#include "exec/simd.h"
 #include "storage/table.h"
 
 namespace gbmqo {
@@ -96,6 +97,19 @@ class QueryExecutor {
   }
   std::optional<AggKernel> forced_kernel() const { return forced_kernel_; }
 
+  /// Pins this executor's hot loops (key formation, hash probe, columnar
+  /// accumulate) to the scalar SIMD tier regardless of the host CPU.
+  /// Results and every WorkCounters field are bit-identical either way —
+  /// the vectorized loops preserve the scalar visit and accumulation
+  /// orders — so this is a differential-testing and bench-baseline knob,
+  /// not a semantic one. See exec/simd.h for the process-wide
+  /// GBMQO_DISABLE_SIMD override.
+  void set_force_scalar(bool force) { force_scalar_ = force; }
+  bool force_scalar() const { return force_scalar_; }
+
+  /// The SIMD tier this executor's queries run at.
+  SimdLevel simd_level() const { return EffectiveSimdLevel(force_scalar_); }
+
   /// Runs one group-by and returns the (unregistered) result table named
   /// `output_name`. Grouping columns keep their input names; aggregates use
   /// their `output_name`s.
@@ -135,6 +149,7 @@ class QueryExecutor {
   ScanMode scan_mode_;
   int parallelism_;
   std::optional<AggKernel> forced_kernel_;
+  bool force_scalar_ = false;
 };
 
 }  // namespace gbmqo

@@ -1,0 +1,225 @@
+#include "exec/simd.h"
+
+#include <cstdlib>
+
+namespace gbmqo {
+
+#if defined(GBMQO_SIMD_X86)
+namespace simd_avx2 {
+// Implemented in simd_avx2.cc, compiled with the avx2 target attribute so
+// the rest of the build stays at the baseline ISA.
+void OrShiftedCodes(const uint64_t* codes, size_t n, uint64_t base, int shift,
+                    uint64_t* out);
+void AddScaledDigits(const uint64_t* codes, size_t n, uint64_t base,
+                     uint32_t stride, uint32_t* out);
+void CompareDoublesBitmap(const double* vals, size_t n, simd::Cmp op,
+                          double lit, uint64_t* bitmap);
+void CompareInt64Bitmap(const int64_t* vals, size_t n, simd::Cmp op,
+                        double lit, uint64_t* bitmap);
+uint32_t ShiftEqMask8(const uint32_t* v, int shift, uint32_t target);
+}  // namespace simd_avx2
+#elif defined(GBMQO_SIMD_NEON)
+namespace simd_neon {
+// Implemented in simd_neon.cc. NEON is the aarch64 baseline, but the
+// implementations live in their own TU to mirror the AVX2 layout.
+void OrShiftedCodes(const uint64_t* codes, size_t n, uint64_t base, int shift,
+                    uint64_t* out);
+void AddScaledDigits(const uint64_t* codes, size_t n, uint64_t base,
+                     uint32_t stride, uint32_t* out);
+void CompareDoublesBitmap(const double* vals, size_t n, simd::Cmp op,
+                          double lit, uint64_t* bitmap);
+void CompareInt64Bitmap(const int64_t* vals, size_t n, simd::Cmp op,
+                        double lit, uint64_t* bitmap);
+uint32_t ShiftEqMask8(const uint32_t* v, int shift, uint32_t target);
+}  // namespace simd_neon
+#endif
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAVX2:
+      return "avx2";
+    case SimdLevel::kNEON:
+      return "neon";
+  }
+  return "scalar";
+}
+
+SimdLevel DetectSimdLevelUncached() {
+  const char* env = std::getenv("GBMQO_DISABLE_SIMD");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    return SimdLevel::kScalar;
+  }
+#if defined(GBMQO_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAVX2;
+  return SimdLevel::kScalar;
+#elif defined(GBMQO_SIMD_NEON)
+  return SimdLevel::kNEON;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = DetectSimdLevelUncached();
+  return level;
+}
+
+namespace simd {
+namespace {
+
+bool CompareDouble(double v, Cmp op, double lit) {
+  switch (op) {
+    case Cmp::kEq:
+      return v == lit;
+    case Cmp::kNe:
+      return v != lit;
+    case Cmp::kLt:
+      return v < lit;
+    case Cmp::kLe:
+      return v <= lit;
+    case Cmp::kGt:
+      return v > lit;
+    case Cmp::kGe:
+      return v >= lit;
+  }
+  return false;
+}
+
+void OrShiftedCodesScalar(const uint64_t* codes, size_t n, uint64_t base,
+                          int shift, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] |= (codes[i] - base) << shift;
+  }
+}
+
+void AddScaledDigitsScalar(const uint64_t* codes, size_t n, uint64_t base,
+                           uint32_t stride, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] += static_cast<uint32_t>(codes[i] - base) * stride;
+  }
+}
+
+void CompareDoublesBitmapScalar(const double* vals, size_t n, Cmp op,
+                                double lit, uint64_t* bitmap) {
+  for (size_t r = 0; r < n; ++r) {
+    if (CompareDouble(vals[r], op, lit)) {
+      bitmap[r >> 6] |= uint64_t{1} << (r & 63);
+    }
+  }
+}
+
+void CompareInt64BitmapScalar(const int64_t* vals, size_t n, Cmp op,
+                              double lit, uint64_t* bitmap) {
+  for (size_t r = 0; r < n; ++r) {
+    if (CompareDouble(static_cast<double>(vals[r]), op, lit)) {
+      bitmap[r >> 6] |= uint64_t{1} << (r & 63);
+    }
+  }
+}
+
+uint32_t ShiftEqMask8Scalar(const uint32_t* v, int shift, uint32_t target) {
+  uint32_t mask = 0;
+  for (int i = 0; i < 8; ++i) {
+    if ((v[i] >> shift) == target) mask |= 1u << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+void OrShiftedCodes(SimdLevel level, const uint64_t* codes, size_t n,
+                    uint64_t base, int shift, uint64_t* out) {
+#if defined(GBMQO_SIMD_X86)
+  if (level == SimdLevel::kAVX2) {
+    simd_avx2::OrShiftedCodes(codes, n, base, shift, out);
+    return;
+  }
+#elif defined(GBMQO_SIMD_NEON)
+  if (level == SimdLevel::kNEON) {
+    simd_neon::OrShiftedCodes(codes, n, base, shift, out);
+    return;
+  }
+#endif
+  (void)level;
+  OrShiftedCodesScalar(codes, n, base, shift, out);
+}
+
+void AddScaledDigits(SimdLevel level, const uint64_t* codes, size_t n,
+                     uint64_t base, uint32_t stride, uint32_t* out) {
+#if defined(GBMQO_SIMD_X86)
+  if (level == SimdLevel::kAVX2) {
+    simd_avx2::AddScaledDigits(codes, n, base, stride, out);
+    return;
+  }
+#elif defined(GBMQO_SIMD_NEON)
+  if (level == SimdLevel::kNEON) {
+    simd_neon::AddScaledDigits(codes, n, base, stride, out);
+    return;
+  }
+#endif
+  (void)level;
+  AddScaledDigitsScalar(codes, n, base, stride, out);
+}
+
+void CompareDoublesBitmap(SimdLevel level, const double* vals, size_t n,
+                          Cmp op, double lit, uint64_t* bitmap) {
+#if defined(GBMQO_SIMD_X86)
+  if (level == SimdLevel::kAVX2) {
+    simd_avx2::CompareDoublesBitmap(vals, n, op, lit, bitmap);
+    return;
+  }
+#elif defined(GBMQO_SIMD_NEON)
+  if (level == SimdLevel::kNEON) {
+    simd_neon::CompareDoublesBitmap(vals, n, op, lit, bitmap);
+    return;
+  }
+#endif
+  (void)level;
+  CompareDoublesBitmapScalar(vals, n, op, lit, bitmap);
+}
+
+void CompareInt64Bitmap(SimdLevel level, const int64_t* vals, size_t n,
+                        Cmp op, double lit, uint64_t* bitmap) {
+#if defined(GBMQO_SIMD_X86)
+  if (level == SimdLevel::kAVX2) {
+    simd_avx2::CompareInt64Bitmap(vals, n, op, lit, bitmap);
+    return;
+  }
+#elif defined(GBMQO_SIMD_NEON)
+  if (level == SimdLevel::kNEON) {
+    simd_neon::CompareInt64Bitmap(vals, n, op, lit, bitmap);
+    return;
+  }
+#endif
+  (void)level;
+  CompareInt64BitmapScalar(vals, n, op, lit, bitmap);
+}
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t nwords) {
+  for (size_t w = 0; w < nwords; ++w) dst[w] &= src[w];
+}
+
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t nwords) {
+  for (size_t w = 0; w < nwords; ++w) dst[w] &= ~src[w];
+}
+
+uint32_t ShiftEqMask8(SimdLevel level, const uint32_t* v, int shift,
+                      uint32_t target) {
+#if defined(GBMQO_SIMD_X86)
+  if (level == SimdLevel::kAVX2) {
+    return simd_avx2::ShiftEqMask8(v, shift, target);
+  }
+#elif defined(GBMQO_SIMD_NEON)
+  if (level == SimdLevel::kNEON) {
+    return simd_neon::ShiftEqMask8(v, shift, target);
+  }
+#endif
+  (void)level;
+  return ShiftEqMask8Scalar(v, shift, target);
+}
+
+}  // namespace simd
+}  // namespace gbmqo

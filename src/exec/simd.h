@@ -1,0 +1,150 @@
+// Runtime-dispatched SIMD primitives for the execution hot loops.
+//
+// Every inner loop the engine vectorizes — packed/dense key formation
+// (exec/agg_kernel.cc), the tagged hash-table probe and the dense-merge
+// partition scan (exec/group_hash_table.cc), columnar selection
+// (exec/predicate.cc) — goes through this header. One ISA tier is detected
+// at process start (AVX2 on x86-64, NEON on aarch64, scalar everywhere
+// else) and cached; callers pass the tier explicitly so the scalar path is
+// always forcible per call site.
+//
+// Two override knobs, both documented in README:
+//  * GBMQO_DISABLE_SIMD (environment) — pins DetectedSimdLevel() to scalar
+//    for the whole process (checked once, at first detection).
+//  * SessionOptions::force_scalar / QueryExecutor::set_force_scalar — pins
+//    one session/executor to the scalar tier (EffectiveSimdLevel).
+//
+// Determinism contract: for every primitive here, the vectorized and scalar
+// implementations produce bit-identical outputs (pure integer/bitwise ops,
+// or floating-point compares with C++ NaN semantics). Nothing in this layer
+// reassociates floating-point additions; the engine keeps double SUM in the
+// canonical blocked scalar order (see DESIGN.md "Vectorized execution").
+#ifndef GBMQO_EXEC_SIMD_H_
+#define GBMQO_EXEC_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define GBMQO_SIMD_X86 1
+#include <emmintrin.h>  // SSE2: x86-64 baseline, used without dispatch
+#elif defined(__aarch64__)
+#define GBMQO_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace gbmqo {
+
+/// The ISA tier a hot loop runs at. kAVX2/kNEON are only ever produced on
+/// hosts (and builds) that support them; kScalar is always valid.
+enum class SimdLevel {
+  kScalar,
+  kAVX2,
+  kNEON,
+};
+
+const char* SimdLevelName(SimdLevel level);
+
+/// One-time CPU detection, honoring GBMQO_DISABLE_SIMD (any non-empty value
+/// other than "0" disables). Cached after the first call; the environment
+/// variable must be set before the process first touches the engine.
+SimdLevel DetectedSimdLevel();
+
+/// Uncached detection — re-reads the environment and CPU flags on every
+/// call. Exposed for tests of the override logic; engine code uses the
+/// cached DetectedSimdLevel().
+SimdLevel DetectSimdLevelUncached();
+
+/// The tier a per-session/executor `force_scalar` knob resolves to.
+inline SimdLevel EffectiveSimdLevel(bool force_scalar) {
+  return force_scalar ? SimdLevel::kScalar : DetectedSimdLevel();
+}
+
+namespace simd {
+
+/// Comparison operator for the bitmap compare primitives. Mirrors
+/// CompareOp in exec/predicate.h (kept separate so this header stays free
+/// of the table/schema dependencies predicate.h carries).
+enum class Cmp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// out[i] |= (codes[i] - base) << shift for i in [0, n). The packed-key
+/// formation inner loop: wrapping uint64 arithmetic, identical across
+/// tiers.
+void OrShiftedCodes(SimdLevel level, const uint64_t* codes, size_t n,
+                    uint64_t base, int shift, uint64_t* out);
+
+/// out[i] += uint32(codes[i] - base) * stride for i in [0, n). The dense
+/// mixed-radix slot formation inner loop; every offset code fits uint32 by
+/// the dense kernel's eligibility rule.
+void AddScaledDigits(SimdLevel level, const uint64_t* codes, size_t n,
+                     uint64_t base, uint32_t stride, uint32_t* out);
+
+/// Sets bit r of bitmap (word r>>6, bit r&63) to `vals[r] op lit` for r in
+/// [0, n); bits >= n in the last touched word are left untouched, so
+/// callers should pass a zeroed bitmap of (n+63)/64 words. NaN follows C++
+/// semantics: all ordered compares false, != true.
+void CompareDoublesBitmap(SimdLevel level, const double* vals, size_t n,
+                          Cmp op, double lit, uint64_t* bitmap);
+
+/// Same, comparing double(vals[r]) against lit — the engine's numeric
+/// widening. The vector tiers use an exactly-rounded int64→double
+/// conversion, so results match the scalar static_cast for the full int64
+/// range (including values above 2^53).
+void CompareInt64Bitmap(SimdLevel level, const int64_t* vals, size_t n,
+                        Cmp op, double lit, uint64_t* bitmap);
+
+/// dst[w] &= src[w] / dst[w] &= ~src[w] for w in [0, nwords). Word-wise
+/// bitmap combine (selection AND null-bitmap folding); compilers vectorize
+/// these themselves, so there is no per-tier dispatch.
+void AndWords(uint64_t* dst, const uint64_t* src, size_t nwords);
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t nwords);
+
+/// Bitmask (bit i = lane i) of lanes i in [0, 8) with (v[i] >> shift) ==
+/// target. The dense-merge partition scan: 8 slot words per call.
+uint32_t ShiftEqMask8(SimdLevel level, const uint32_t* v, int shift,
+                      uint32_t target);
+
+/// 16-byte metadata group scan (the Swiss-table-style probe): writes the
+/// bitmask (bit i = lane i) of bytes equal to `b` and of zero bytes.
+/// Uses the platform's baseline 128-bit ISA directly (SSE2 / NEON) — no
+/// tier dispatch, since both are unconditionally available where compiled.
+inline void ScanGroup16(const uint8_t* g, uint8_t b, uint32_t* eq_mask,
+                        uint32_t* zero_mask) {
+#if defined(GBMQO_SIMD_X86)
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(g));
+  *eq_mask = static_cast<uint32_t>(_mm_movemask_epi8(
+      _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(b)))));
+  *zero_mask = static_cast<uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(v, _mm_setzero_si128())));
+#elif defined(GBMQO_SIMD_NEON)
+  // vshrn narrows each 16-bit lane's middle bits: a matched byte becomes a
+  // 0xF nibble. The shift cascade then compresses bit 4i -> bit i.
+  const uint8x16_t v = vld1q_u8(g);
+  const auto mask_of = [](uint8x16_t eq) -> uint32_t {
+    const uint8x8_t nib =
+        vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+    uint64_t x = vget_lane_u64(vreinterpret_u64_u8(nib), 0);
+    x &= 0x1111111111111111ull;
+    x = (x | (x >> 3)) & 0x0303030303030303ull;
+    x = (x | (x >> 6)) & 0x000F000F000F000Full;
+    x = (x | (x >> 12)) & 0x000000FF000000FFull;
+    x = (x | (x >> 24)) & 0xFFFFull;
+    return static_cast<uint32_t>(x);
+  };
+  *eq_mask = mask_of(vceqq_u8(v, vdupq_n_u8(b)));
+  *zero_mask = mask_of(vceqq_u8(v, vdupq_n_u8(0)));
+#else
+  uint32_t eq = 0, zero = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (g[i] == b) eq |= 1u << i;
+    if (g[i] == 0) zero |= 1u << i;
+  }
+  *eq_mask = eq;
+  *zero_mask = zero;
+#endif
+}
+
+}  // namespace simd
+}  // namespace gbmqo
+
+#endif  // GBMQO_EXEC_SIMD_H_

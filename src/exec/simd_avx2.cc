@@ -1,0 +1,207 @@
+// AVX2 implementations of the exec/simd.h primitives. This TU is the only
+// one compiled for AVX2 (via per-function target attributes, not a global
+// -mavx2), so the binary still runs on non-AVX2 x86-64 hosts — the
+// dispatcher in simd.cc only routes here after __builtin_cpu_supports
+// confirms the ISA.
+#include "exec/simd.h"
+
+#if defined(GBMQO_SIMD_X86)
+
+#include <immintrin.h>
+
+#define GBMQO_AVX2 __attribute__((target("avx2")))
+
+namespace gbmqo {
+namespace simd_avx2 {
+namespace {
+
+// Exact full-range int64 -> double conversion (round-to-nearest-even,
+// matching static_cast<double>): splits each lane into low/high 32-bit
+// halves biased into the exponent ranges of 2^52 and 2^84, then recombines.
+// The three magic constants encode 2^52, 2^84 + 2^63, and
+// 2^84 + 2^63 + 2^52. AVX2 has no native epi64->pd conversion; truncating
+// through 2^53-wide paths would silently round values above 2^53
+// differently from the scalar cast, breaking the scalar/SIMD determinism
+// contract.
+GBMQO_AVX2 inline __m256d Int64ToDouble(__m256i x) {
+  const __m256i magic_lo = _mm256_set1_epi64x(0x4330000000000000LL);
+  const __m256i magic_hi = _mm256_set1_epi64x(0x4530000080000000LL);
+  const __m256i magic_all = _mm256_set1_epi64x(0x4530000080100000LL);
+  const __m256i v_lo = _mm256_blend_epi32(magic_lo, x, 0b01010101);
+  __m256i v_hi = _mm256_srli_epi64(x, 32);
+  v_hi = _mm256_xor_si256(v_hi, magic_hi);
+  const __m256d hi_dbl =
+      _mm256_sub_pd(_mm256_castsi256_pd(v_hi), _mm256_castsi256_pd(magic_all));
+  return _mm256_add_pd(hi_dbl, _mm256_castsi256_pd(v_lo));
+}
+
+// Scalar twin of the _mm256_cmp_pd predicate, for loop tails.
+template <int P>
+inline bool CmpScalar(double v, double lit) {
+  if constexpr (P == _CMP_EQ_OQ) return v == lit;
+  if constexpr (P == _CMP_NEQ_UQ) return v != lit;
+  if constexpr (P == _CMP_LT_OQ) return v < lit;
+  if constexpr (P == _CMP_LE_OQ) return v <= lit;
+  if constexpr (P == _CMP_GT_OQ) return v > lit;
+  if constexpr (P == _CMP_GE_OQ) return v >= lit;
+  return false;
+}
+
+template <int P>
+GBMQO_AVX2 void CompareDoublesLoop(const double* vals, size_t n, double lit,
+                                   uint64_t* bitmap) {
+  const __m256d vlit = _mm256_set1_pd(lit);
+  size_t r = 0;
+  for (; r + 64 <= n; r += 64) {
+    uint64_t w = 0;
+    for (int i = 0; i < 64; i += 4) {
+      const int m = _mm256_movemask_pd(
+          _mm256_cmp_pd(_mm256_loadu_pd(vals + r + i), vlit, P));
+      w |= static_cast<uint64_t>(m) << i;
+    }
+    bitmap[r >> 6] |= w;
+  }
+  for (; r < n; ++r) {
+    if (CmpScalar<P>(vals[r], lit)) bitmap[r >> 6] |= uint64_t{1} << (r & 63);
+  }
+}
+
+template <int P>
+GBMQO_AVX2 void CompareInt64Loop(const int64_t* vals, size_t n, double lit,
+                                 uint64_t* bitmap) {
+  const __m256d vlit = _mm256_set1_pd(lit);
+  size_t r = 0;
+  for (; r + 64 <= n; r += 64) {
+    uint64_t w = 0;
+    for (int i = 0; i < 64; i += 4) {
+      const __m256d v = Int64ToDouble(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(vals + r + i)));
+      const int m = _mm256_movemask_pd(_mm256_cmp_pd(v, vlit, P));
+      w |= static_cast<uint64_t>(m) << i;
+    }
+    bitmap[r >> 6] |= w;
+  }
+  for (; r < n; ++r) {
+    if (CmpScalar<P>(static_cast<double>(vals[r]), lit)) {
+      bitmap[r >> 6] |= uint64_t{1} << (r & 63);
+    }
+  }
+}
+
+}  // namespace
+
+GBMQO_AVX2 void OrShiftedCodes(const uint64_t* codes, size_t n, uint64_t base,
+                               int shift, uint64_t* out) {
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<long long>(base));
+  const __m128i vshift = _mm_cvtsi32_si128(shift);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const __m256i lane = _mm256_sll_epi64(_mm256_sub_epi64(c, vbase), vshift);
+    const __m256i o = _mm256_loadu_si256(reinterpret_cast<__m256i*>(out + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(o, lane));
+  }
+  for (; i < n; ++i) {
+    out[i] |= (codes[i] - base) << shift;
+  }
+}
+
+GBMQO_AVX2 void AddScaledDigits(const uint64_t* codes, size_t n, uint64_t base,
+                                uint32_t stride, uint32_t* out) {
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<long long>(base));
+  const __m256i vstride = _mm256_set1_epi32(static_cast<int>(stride));
+  // Gathers the even (low) dwords of a 4x64-bit vector into the low lane.
+  const __m256i even = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i a = _mm256_sub_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i)),
+        vbase);
+    const __m256i b = _mm256_sub_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i + 4)),
+        vbase);
+    const __m128i alo =
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(a, even));
+    const __m128i blo =
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(b, even));
+    const __m256i digits = _mm256_set_m128i(blo, alo);
+    const __m256i scaled = _mm256_mullo_epi32(digits, vstride);
+    const __m256i o =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi32(o, scaled));
+  }
+  for (; i < n; ++i) {
+    out[i] += static_cast<uint32_t>(codes[i] - base) * stride;
+  }
+}
+
+void CompareDoublesBitmap(const double* vals, size_t n, simd::Cmp op,
+                          double lit, uint64_t* bitmap) {
+  // _mm256_cmp_pd needs its predicate as an immediate, so dispatch once to
+  // a per-predicate instantiation. The mapping preserves C++ NaN
+  // semantics: ordered-quiet for ==/</<=/>/>= (NaN -> false), unordered
+  // for != (NaN -> true).
+  switch (op) {
+    case simd::Cmp::kEq:
+      CompareDoublesLoop<_CMP_EQ_OQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kNe:
+      CompareDoublesLoop<_CMP_NEQ_UQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kLt:
+      CompareDoublesLoop<_CMP_LT_OQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kLe:
+      CompareDoublesLoop<_CMP_LE_OQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kGt:
+      CompareDoublesLoop<_CMP_GT_OQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kGe:
+      CompareDoublesLoop<_CMP_GE_OQ>(vals, n, lit, bitmap);
+      return;
+  }
+}
+
+void CompareInt64Bitmap(const int64_t* vals, size_t n, simd::Cmp op,
+                        double lit, uint64_t* bitmap) {
+  switch (op) {
+    case simd::Cmp::kEq:
+      CompareInt64Loop<_CMP_EQ_OQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kNe:
+      CompareInt64Loop<_CMP_NEQ_UQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kLt:
+      CompareInt64Loop<_CMP_LT_OQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kLe:
+      CompareInt64Loop<_CMP_LE_OQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kGt:
+      CompareInt64Loop<_CMP_GT_OQ>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kGe:
+      CompareInt64Loop<_CMP_GE_OQ>(vals, n, lit, bitmap);
+      return;
+  }
+}
+
+GBMQO_AVX2 uint32_t ShiftEqMask8(const uint32_t* v, int shift,
+                                 uint32_t target) {
+  const __m256i a =
+      _mm256_srl_epi32(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(v)),
+                       _mm_cvtsi32_si128(shift));
+  const __m256i eq =
+      _mm256_cmpeq_epi32(a, _mm256_set1_epi32(static_cast<int>(target)));
+  return static_cast<uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+}
+
+}  // namespace simd_avx2
+}  // namespace gbmqo
+
+#endif  // GBMQO_SIMD_X86

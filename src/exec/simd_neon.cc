@@ -1,0 +1,178 @@
+// NEON implementations of the exec/simd.h primitives. NEON is the aarch64
+// baseline ISA so no target attributes are needed; the TU still mirrors the
+// AVX2 layout (dispatcher in simd.cc, implementations here) so the two
+// tiers stay structurally comparable. Compiles to nothing on other
+// architectures.
+#include "exec/simd.h"
+
+#if defined(GBMQO_SIMD_NEON)
+
+namespace gbmqo {
+namespace simd_neon {
+namespace {
+
+template <simd::Cmp Op>
+inline uint64x2_t Cmp2(float64x2_t v, float64x2_t lit) {
+  if constexpr (Op == simd::Cmp::kEq) return vceqq_f64(v, lit);
+  if constexpr (Op == simd::Cmp::kNe) {
+    // != is the negation of ordered ==: NaN compares unequal, matching C++.
+    return veorq_u64(vceqq_f64(v, lit), vdupq_n_u64(~uint64_t{0}));
+  }
+  if constexpr (Op == simd::Cmp::kLt) return vcltq_f64(v, lit);
+  if constexpr (Op == simd::Cmp::kLe) return vcleq_f64(v, lit);
+  if constexpr (Op == simd::Cmp::kGt) return vcgtq_f64(v, lit);
+  return vcgeq_f64(v, lit);
+}
+
+template <simd::Cmp Op>
+inline bool CmpScalar(double v, double lit) {
+  if constexpr (Op == simd::Cmp::kEq) return v == lit;
+  if constexpr (Op == simd::Cmp::kNe) return v != lit;
+  if constexpr (Op == simd::Cmp::kLt) return v < lit;
+  if constexpr (Op == simd::Cmp::kLe) return v <= lit;
+  if constexpr (Op == simd::Cmp::kGt) return v > lit;
+  return v >= lit;
+}
+
+template <simd::Cmp Op>
+void CompareDoublesLoop(const double* vals, size_t n, double lit,
+                        uint64_t* bitmap) {
+  const float64x2_t vlit = vdupq_n_f64(lit);
+  size_t r = 0;
+  for (; r + 64 <= n; r += 64) {
+    uint64_t w = 0;
+    for (int i = 0; i < 64; i += 2) {
+      const uint64x2_t m = Cmp2<Op>(vld1q_f64(vals + r + i), vlit);
+      w |= (vgetq_lane_u64(m, 0) & 1) << i;
+      w |= (vgetq_lane_u64(m, 1) & 1) << (i + 1);
+    }
+    bitmap[r >> 6] |= w;
+  }
+  for (; r < n; ++r) {
+    if (CmpScalar<Op>(vals[r], lit)) bitmap[r >> 6] |= uint64_t{1} << (r & 63);
+  }
+}
+
+template <simd::Cmp Op>
+void CompareInt64Loop(const int64_t* vals, size_t n, double lit,
+                      uint64_t* bitmap) {
+  const float64x2_t vlit = vdupq_n_f64(lit);
+  size_t r = 0;
+  for (; r + 64 <= n; r += 64) {
+    uint64_t w = 0;
+    for (int i = 0; i < 64; i += 2) {
+      // vcvtq_f64_s64 rounds to nearest-even over the full int64 range,
+      // exactly like the scalar static_cast.
+      const float64x2_t v = vcvtq_f64_s64(vld1q_s64(vals + r + i));
+      const uint64x2_t m = Cmp2<Op>(v, vlit);
+      w |= (vgetq_lane_u64(m, 0) & 1) << i;
+      w |= (vgetq_lane_u64(m, 1) & 1) << (i + 1);
+    }
+    bitmap[r >> 6] |= w;
+  }
+  for (; r < n; ++r) {
+    if (CmpScalar<Op>(static_cast<double>(vals[r]), lit)) {
+      bitmap[r >> 6] |= uint64_t{1} << (r & 63);
+    }
+  }
+}
+
+}  // namespace
+
+void OrShiftedCodes(const uint64_t* codes, size_t n, uint64_t base, int shift,
+                    uint64_t* out) {
+  const uint64x2_t vbase = vdupq_n_u64(base);
+  const int64x2_t vshift = vdupq_n_s64(shift);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t c = vsubq_u64(vld1q_u64(codes + i), vbase);
+    vst1q_u64(out + i, vorrq_u64(vld1q_u64(out + i), vshlq_u64(c, vshift)));
+  }
+  for (; i < n; ++i) {
+    out[i] |= (codes[i] - base) << shift;
+  }
+}
+
+void AddScaledDigits(const uint64_t* codes, size_t n, uint64_t base,
+                     uint32_t stride, uint32_t* out) {
+  const uint64x2_t vbase = vdupq_n_u64(base);
+  const uint32x4_t vstride = vdupq_n_u32(stride);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint64x2_t a = vsubq_u64(vld1q_u64(codes + i), vbase);
+    const uint64x2_t b = vsubq_u64(vld1q_u64(codes + i + 2), vbase);
+    const uint32x4_t digits = vcombine_u32(vmovn_u64(a), vmovn_u64(b));
+    vst1q_u32(out + i, vmlaq_u32(vld1q_u32(out + i), digits, vstride));
+  }
+  for (; i < n; ++i) {
+    out[i] += static_cast<uint32_t>(codes[i] - base) * stride;
+  }
+}
+
+void CompareDoublesBitmap(const double* vals, size_t n, simd::Cmp op,
+                          double lit, uint64_t* bitmap) {
+  switch (op) {
+    case simd::Cmp::kEq:
+      CompareDoublesLoop<simd::Cmp::kEq>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kNe:
+      CompareDoublesLoop<simd::Cmp::kNe>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kLt:
+      CompareDoublesLoop<simd::Cmp::kLt>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kLe:
+      CompareDoublesLoop<simd::Cmp::kLe>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kGt:
+      CompareDoublesLoop<simd::Cmp::kGt>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kGe:
+      CompareDoublesLoop<simd::Cmp::kGe>(vals, n, lit, bitmap);
+      return;
+  }
+}
+
+void CompareInt64Bitmap(const int64_t* vals, size_t n, simd::Cmp op,
+                        double lit, uint64_t* bitmap) {
+  switch (op) {
+    case simd::Cmp::kEq:
+      CompareInt64Loop<simd::Cmp::kEq>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kNe:
+      CompareInt64Loop<simd::Cmp::kNe>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kLt:
+      CompareInt64Loop<simd::Cmp::kLt>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kLe:
+      CompareInt64Loop<simd::Cmp::kLe>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kGt:
+      CompareInt64Loop<simd::Cmp::kGt>(vals, n, lit, bitmap);
+      return;
+    case simd::Cmp::kGe:
+      CompareInt64Loop<simd::Cmp::kGe>(vals, n, lit, bitmap);
+      return;
+  }
+}
+
+uint32_t ShiftEqMask8(const uint32_t* v, int shift, uint32_t target) {
+  const int32x4_t vshift = vdupq_n_s32(-shift);
+  const uint32x4_t vtarget = vdupq_n_u32(target);
+  uint32_t mask = 0;
+  for (int half = 0; half < 2; ++half) {
+    const uint32x4_t a = vshlq_u32(vld1q_u32(v + half * 4), vshift);
+    const uint32x4_t eq = vceqq_u32(a, vtarget);
+    mask |= (vgetq_lane_u32(eq, 0) & 1u) << (half * 4 + 0);
+    mask |= (vgetq_lane_u32(eq, 1) & 1u) << (half * 4 + 1);
+    mask |= (vgetq_lane_u32(eq, 2) & 1u) << (half * 4 + 2);
+    mask |= (vgetq_lane_u32(eq, 3) & 1u) << (half * 4 + 3);
+  }
+  return mask;
+}
+
+}  // namespace simd_neon
+}  // namespace gbmqo
+
+#endif  // GBMQO_SIMD_NEON

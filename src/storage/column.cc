@@ -1,6 +1,7 @@
 #include "storage/column.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace gbmqo {
 
@@ -195,17 +196,27 @@ void Column::Reserve(size_t n) {
   if (!null_bitmap_.empty()) null_bitmap_.reserve(((rows_ + n) >> 6) + 1);
 }
 
+uint64_t Column::NullWord(size_t begin, size_t count) const {
+  assert(count <= 64);
+  if (null_bitmap_.empty() || count == 0) return 0;
+  const size_t w0 = begin >> 6;
+  const int off = static_cast<int>(begin & 63);
+  uint64_t w = null_bitmap_[w0] >> off;
+  if (off != 0 && w0 + 1 < null_bitmap_.size()) {
+    w |= null_bitmap_[w0 + 1] << (64 - off);
+  }
+  if (count < 64) w &= (uint64_t{1} << count) - 1;
+  return w;
+}
+
 void Column::CodeBlock(size_t begin, size_t count, uint64_t* out) const {
   switch (type_) {
     case DataType::kInt64:
-      for (size_t i = 0; i < count; ++i) {
-        out[i] = static_cast<uint64_t>(int64_data_[begin + i]);
-      }
+      // int64/double codes are the 8-byte bit patterns: one memcpy.
+      std::memcpy(out, int64_data_.data() + begin, count * sizeof(uint64_t));
       break;
     case DataType::kDouble:
-      for (size_t i = 0; i < count; ++i) {
-        out[i] = std::bit_cast<uint64_t>(double_data_[begin + i]);
-      }
+      std::memcpy(out, double_data_.data() + begin, count * sizeof(uint64_t));
       break;
     case DataType::kString:
       for (size_t i = 0; i < count; ++i) {

@@ -92,6 +92,29 @@ class Column {
   /// Dynamically-typed cell (boundary/test use only).
   Value ValueAt(size_t row) const;
 
+  // ---- Raw typed storage (vectorized execution) ----
+  //
+  // Direct pointers into the value arrays for block-at-a-time kernels
+  // (exec/simd.h consumers). Valid for size() rows of the matching type;
+  // NULL rows hold their placeholders (0 / 0.0 / the ""-code), so callers
+  // must mask with the null bitmap.
+  const int64_t* int64_data() const { return int64_data_.data(); }
+  const double* double_data() const { return double_data_.data(); }
+  const uint32_t* string_codes() const { return string_codes_.data(); }
+
+  /// Null-bitmap words: bit (row & 63) of word (row >> 6) is set iff the
+  /// row is NULL; bits past size() are clear. nullptr when no NULL was ever
+  /// appended (the bitmap is lazily allocated).
+  const uint64_t* null_words() const {
+    return null_bitmap_.empty() ? nullptr : null_bitmap_.data();
+  }
+
+  /// The null bits of rows [begin, begin+count), count <= 64, packed into
+  /// bits 0..count-1 of the result (bit i = row begin+i is NULL). 0 when
+  /// the column has no bitmap. Lets block loops test "any NULL in this
+  /// chunk" in one word even when begin is not word-aligned.
+  uint64_t NullWord(size_t begin, size_t count) const;
+
   /// The interned string for a dictionary code (STRING columns only).
   const std::string& DictEntry(uint64_t code) const { return dictionary_[code]; }
   size_t dict_size() const { return dictionary_.size(); }

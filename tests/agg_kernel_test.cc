@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -57,10 +58,11 @@ struct ForcedRun {
   WorkCounters counters;
 };
 ForcedRun RunForced(const Table& t, const GroupByQuery& q, AggKernel kernel,
-                    int parallelism = 1) {
+                    int parallelism = 1, bool force_scalar = false) {
   ExecContext ctx;
   QueryExecutor exec(&ctx, ScanMode::kColumnar, parallelism);
   exec.set_forced_kernel(kernel);
+  exec.set_force_scalar(force_scalar);
   auto r = exec.ExecuteGroupBy(t, q, "out", AggStrategy::kHash);
   EXPECT_TRUE(r.ok()) << r.status().ToString();
   ForcedRun out;
@@ -308,6 +310,80 @@ TEST(AggKernelParallelTest, MultiMorselCountersThreadCountInvariant) {
   GroupByQuery q{ColumnSet{0, 1},
                  {AggregateSpec::CountStar("cnt"), AggregateSpec::Sum(3, "s")}};
   for (AggKernel k : kAllKernels) ExpectIdenticalAcrossThreads(*t, q, k);
+}
+
+TEST(AggKernelSimdTest, ScalarTierBitIdenticalEveryKernel) {
+  // The vectorized hot loops (key formation, tagged probe, columnar
+  // accumulate — exec/simd.h) must reproduce the scalar tier exactly:
+  // same rows, same counters, per kernel, across the
+  // force_scalar x parallelism {1, 4, 8} matrix. Multi-morsel input so the
+  // vectorized DenseGroupTable::MergeFrom partition filter runs too.
+  TablePtr t = MixedTable(100000, 21);
+  GroupByQuery q{ColumnSet{0, 1},
+                 {AggregateSpec::CountStar("cnt"), AggregateSpec::Sum(3, "s"),
+                  AggregateSpec::Min(2, "mn"), AggregateSpec::Max(2, "mx")}};
+  for (AggKernel k : kAllKernels) {
+    SCOPED_TRACE(AggKernelName(k));
+    const ForcedRun simd = RunForced(*t, q, k, 1);
+    for (int par : {1, 4, 8}) {
+      SCOPED_TRACE("par=" + std::to_string(par));
+      const ForcedRun scalar =
+          RunForced(*t, q, k, par, /*force_scalar=*/true);
+      EXPECT_EQ(simd.rows, scalar.rows);
+      EXPECT_EQ(simd.counters.hash_probes, scalar.counters.hash_probes);
+      EXPECT_EQ(simd.counters.agg_cpu_units, scalar.counters.agg_cpu_units);
+      EXPECT_EQ(simd.counters.rows_emitted, scalar.counters.rows_emitted);
+      EXPECT_EQ(simd.counters.dense_kernel_rows,
+                scalar.counters.dense_kernel_rows);
+      EXPECT_EQ(simd.counters.packed_kernel_rows,
+                scalar.counters.packed_kernel_rows);
+      EXPECT_EQ(simd.counters.multiword_kernel_rows,
+                scalar.counters.multiword_kernel_rows);
+    }
+  }
+}
+
+TEST(AggKernelSimdTest, DoubleSumOrderPreservedAcrossTiers) {
+  // SUM over doubles is the order-sensitive aggregate: the columnar
+  // accumulate keeps the blocked scalar fold order, so even sums that are
+  // not exactly representable must match *bit for bit* across tiers —
+  // compared on the raw doubles, not a rounded rendering.
+  TableBuilder b(Schema({{"g", DataType::kInt64, false},
+                         {"v", DataType::kDouble, false}}));
+  Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(
+        b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(8))),
+                     Value(0.1 * static_cast<double>(rng.Uniform(1000)) -
+                           31.7)})
+            .ok());
+  }
+  TablePtr t = *b.Build("t");
+  GroupByQuery q{ColumnSet{0}, {AggregateSpec::Sum(1, "s")}};
+  for (AggKernel k : kAllKernels) {
+    SCOPED_TRACE(AggKernelName(k));
+    auto run = [&](bool force_scalar) {
+      ExecContext ctx;
+      QueryExecutor exec(&ctx, ScanMode::kColumnar, 1);
+      exec.set_forced_kernel(k);
+      exec.set_force_scalar(force_scalar);
+      auto r = exec.ExecuteGroupBy(*t, q, "out", AggStrategy::kHash);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      return *r;
+    };
+    const TablePtr simd = run(false);
+    const TablePtr scalar = run(true);
+    ASSERT_EQ(simd->num_rows(), scalar->num_rows());
+    for (size_t r = 0; r < simd->num_rows(); ++r) {
+      EXPECT_EQ(simd->column(0).Int64At(r), scalar->column(0).Int64At(r));
+      const double a = simd->column(1).DoubleAt(r);
+      const double bsum = scalar->column(1).DoubleAt(r);
+      uint64_t abits, bbits;
+      std::memcpy(&abits, &a, sizeof(abits));
+      std::memcpy(&bbits, &bsum, sizeof(bbits));
+      EXPECT_EQ(abits, bbits) << "group row " << r;
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include "cost/cost_model.h"
 #include "cost/optimizer_cost_model.h"
 #include "cost/whatif.h"
+#include "exec/exec_context.h"
 
 namespace gbmqo {
 namespace {
@@ -109,6 +110,39 @@ TEST(OptimizerCostModelTest, MonotoneInParentRows) {
     EXPECT_GT(c, prev);
     prev = c;
   }
+}
+
+TEST(OptimizerCostModelTest, SimdSpeedupDiscountsAggCpuByKernel) {
+  // MakeBase columns a/b/c have tiny domains, so grouping {0} predicts the
+  // dense kernel. With SimdAwareCostParams the dense aggregation CPU charge
+  // is divided by simd_dense_speedup; scan, group-build, and materialize
+  // charges are untouched. Pin the exact discount so the factors stay wired
+  // through QueryCost.
+  TablePtr t = MakeBase(1000);
+  OptimizerCostModel scalar_model(*t);
+  const CostParams simd_params = SimdAwareCostParams();
+  OptimizerCostModel simd_model(*t, simd_params);
+  ASSERT_GT(simd_params.simd_dense_speedup, 1.0);
+
+  NodeDesc u = Desc(ColumnSet{0, 1}, 1000, 16);
+  NodeDesc v = Desc(ColumnSet{0}, 10, 16);
+  const double scalar_cost = scalar_model.QueryCost(u, v);
+  const double simd_cost = simd_model.QueryCost(u, v);
+  EXPECT_LT(simd_cost, scalar_cost);
+  // The difference is exactly the dense agg-CPU charge's discount.
+  const double agg = u.rows * AggCpuPerRow(AggKernel::kDenseArray, v.rows);
+  EXPECT_DOUBLE_EQ(scalar_cost - simd_cost,
+                   agg - agg / simd_params.simd_dense_speedup);
+
+  // Default params price scalar execution: factors of 1.0 change nothing.
+  const CostParams defaults;
+  EXPECT_DOUBLE_EQ(defaults.simd_dense_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(defaults.simd_packed_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(defaults.simd_multiword_speedup, 1.0);
+
+  // Materialization cost carries no CPU term, so it is tier-independent.
+  EXPECT_DOUBLE_EQ(scalar_model.MaterializeCost(v),
+                   simd_model.MaterializeCost(v));
 }
 
 TEST(WhatIfProviderTest, RootAndHypothetical) {

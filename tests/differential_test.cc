@@ -150,9 +150,11 @@ struct RunOutcome {
 RunOutcome Execute(Dataset* d, const LogicalPlan& plan,
                    const std::vector<GroupByRequest>& requests, ScanMode mode,
                    int parallelism,
-                   std::optional<AggKernel> forced_kernel = std::nullopt) {
+                   std::optional<AggKernel> forced_kernel = std::nullopt,
+                   bool force_scalar = false) {
   PlanExecutor exec(&d->catalog, d->table->name(), mode, parallelism);
   exec.set_forced_kernel(forced_kernel);
+  exec.set_force_scalar(force_scalar);
   auto r = exec.Execute(plan, requests);
   EXPECT_TRUE(r.ok()) << r.status().ToString();
   RunOutcome out;
@@ -233,7 +235,12 @@ void RunTrial(Dataset* d, uint64_t seed, ScanMode mode) {
   // must reproduce the reference results — and each kernel's counters must
   // themselves be thread-count invariant. (A forced kernel that is
   // ineligible for some query falls down the ladder, so this also covers
-  // mixed-kernel plans.)
+  // mixed-kernel plans.) Each kernel is additionally re-run pinned to the
+  // scalar SIMD tier (set_force_scalar) at 1 and 8 workers: the vectorized
+  // hot loops — key formation, tagged hash probe, columnar selection and
+  // accumulate — must be bit-identical to scalar execution in both result
+  // tables and every WorkCounters field, across the force_scalar x
+  // parallelism {1,4,8} matrix.
   for (AggKernel kernel : {AggKernel::kDenseArray, AggKernel::kPackedKey,
                            AggKernel::kMultiWord}) {
     const std::string what = std::string("forced ") + AggKernelName(kernel);
@@ -245,6 +252,17 @@ void RunTrial(Dataset* d, uint64_t seed, ScanMode mode) {
     EXPECT_EQ(serial.results, reference);
     EXPECT_EQ(parallel.results, reference);
     ExpectCountersIdentical(serial.counters, parallel.counters, what);
+
+    const RunOutcome scalar_serial = Execute(d, greedy->plan, requests, mode,
+                                             1, kernel, /*force_scalar=*/true);
+    const RunOutcome scalar_wide = Execute(d, greedy->plan, requests, mode, 8,
+                                           kernel, /*force_scalar=*/true);
+    EXPECT_EQ(scalar_serial.results, reference) << what << " scalar";
+    EXPECT_EQ(scalar_wide.results, reference) << what << " scalar par8";
+    ExpectCountersIdentical(serial.counters, scalar_serial.counters,
+                            what + " simd-vs-scalar");
+    ExpectCountersIdentical(scalar_serial.counters, scalar_wide.counters,
+                            what + " scalar par1-vs-par8");
   }
 }
 

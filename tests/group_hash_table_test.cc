@@ -137,5 +137,99 @@ TEST_P(KeyWidthTest, ManyRandomKeysRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, KeyWidthTest, ::testing::Values(1, 2, 3, 5, 8));
 
+// ---- SIMD probe-tier parity -------------------------------------------------
+//
+// The tagged (Swiss-table style) probe and the scalar slot-by-slot probe
+// must be observationally identical: same dense ids in the same order, same
+// size, and the same probes() counter — the tag scan only skips slots that
+// the scalar walk would have rejected anyway (see exec/simd.h and
+// GroupHashTable's determinism contract).
+
+TEST(GroupHashTableSimdTest, TaggedProbeMatchesScalarIdsAndProbes) {
+  if (DetectedSimdLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no vector tier on this host";
+  }
+  for (int width : {1, 2, 3}) {
+    SCOPED_TRACE("width=" + std::to_string(width));
+    GroupHashTable tagged(width, 16, DetectedSimdLevel());
+    GroupHashTable scalar(width, 16, SimdLevel::kScalar);
+    Rng rng(42 + static_cast<uint64_t>(width));
+    std::vector<uint64_t> k(static_cast<size_t>(width));
+    for (int i = 0; i < 20000; ++i) {
+      for (auto& w : k) w = rng.Uniform(4000);
+      bool ia = false, ib = false;
+      const uint32_t id_a = tagged.FindOrInsert(k.data(), &ia);
+      const uint32_t id_b = scalar.FindOrInsert(k.data(), &ib);
+      EXPECT_EQ(id_a, id_b);
+      EXPECT_EQ(ia, ib);
+    }
+    EXPECT_EQ(tagged.size(), scalar.size());
+    EXPECT_EQ(tagged.probes(), scalar.probes());
+  }
+}
+
+TEST(GroupHashTableSimdTest, MergeFromParityAcrossTiers) {
+  if (DetectedSimdLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no vector tier on this host";
+  }
+  // Build one source per tier with identical content, merge each into a
+  // per-tier destination partition by partition: mappings must agree.
+  GroupHashTable src_tagged(2, 16, DetectedSimdLevel());
+  GroupHashTable src_scalar(2, 16, SimdLevel::kScalar);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k[2] = {rng.Uniform(900), rng.Uniform(11)};
+    ASSERT_EQ(src_tagged.FindOrInsert(k), src_scalar.FindOrInsert(k));
+  }
+  for (int parts : {1, 4, 16}) {
+    SCOPED_TRACE("parts=" + std::to_string(parts));
+    GroupHashTable dst_tagged(2, 16, DetectedSimdLevel());
+    GroupHashTable dst_scalar(2, 16, SimdLevel::kScalar);
+    std::vector<std::pair<uint32_t, uint32_t>> map_tagged, map_scalar;
+    size_t taken_tagged = 0, taken_scalar = 0;
+    for (int p = 0; p < parts; ++p) {
+      taken_tagged += dst_tagged.MergeFrom(src_tagged, parts, p, &map_tagged);
+      taken_scalar += dst_scalar.MergeFrom(src_scalar, parts, p, &map_scalar);
+    }
+    EXPECT_EQ(taken_tagged, src_tagged.size());
+    EXPECT_EQ(map_tagged, map_scalar);
+    EXPECT_EQ(dst_tagged.size(), dst_scalar.size());
+    EXPECT_EQ(dst_tagged.probes(), dst_scalar.probes());
+  }
+}
+
+TEST(DenseGroupTableSimdTest, VectorPartitionScanMatchesScalar) {
+  if (DetectedSimdLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no vector tier on this host";
+  }
+  constexpr uint64_t kCapacity = 1024;
+  DenseGroupTable src_v(0, kCapacity, DetectedSimdLevel());
+  DenseGroupTable src_s(0, kCapacity, SimdLevel::kScalar);
+  Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    const uint32_t slot = static_cast<uint32_t>(rng.Uniform(kCapacity));
+    ASSERT_EQ(src_v.FindOrInsert(slot), src_s.FindOrInsert(slot));
+  }
+  for (int parts : {1, 4, 16}) {
+    SCOPED_TRACE("parts=" + std::to_string(parts));
+    std::vector<std::pair<uint32_t, uint32_t>> map_v, map_s;
+    size_t taken_v = 0, taken_s = 0;
+    for (int p = 0; p < parts; ++p) {
+      const uint64_t range = kCapacity / static_cast<uint64_t>(parts);
+      DenseGroupTable dst_v(range * static_cast<uint64_t>(p),
+                            range * static_cast<uint64_t>(p + 1),
+                            DetectedSimdLevel());
+      DenseGroupTable dst_s(range * static_cast<uint64_t>(p),
+                            range * static_cast<uint64_t>(p + 1),
+                            SimdLevel::kScalar);
+      taken_v += dst_v.MergeFrom(src_v, parts, p, kCapacity, &map_v);
+      taken_s += dst_s.MergeFrom(src_s, parts, p, kCapacity, &map_s);
+    }
+    EXPECT_EQ(taken_v, src_v.size());
+    EXPECT_EQ(taken_s, src_s.size());
+    EXPECT_EQ(map_v, map_s);
+  }
+}
+
 }  // namespace
 }  // namespace gbmqo

@@ -1,0 +1,248 @@
+// Bit-exact parity tests for the runtime-dispatched SIMD primitives
+// (exec/simd.h): every vector-tier primitive must reproduce the scalar
+// tier exactly, across ragged tail lengths, the full int64 range of the
+// exact int64→double widening, and IEEE edge values (NaN, ±0, ±inf).
+#include "exec/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gbmqo {
+namespace {
+
+// Lengths crossing the vector widths (4/8 lanes) and the 64-row bitmap
+// word, plus empty and a large ragged size.
+const size_t kLens[] = {0, 1, 3, 4, 5, 7, 8, 9, 63, 64, 65, 127, 128, 1000};
+
+constexpr simd::Cmp kAllCmps[] = {simd::Cmp::kEq, simd::Cmp::kNe,
+                                  simd::Cmp::kLt, simd::Cmp::kLe,
+                                  simd::Cmp::kGt, simd::Cmp::kGe};
+
+bool HasVectorTier() { return DetectedSimdLevel() != SimdLevel::kScalar; }
+
+TEST(SimdDispatchTest, DetectionAndOverrides) {
+  const SimdLevel detected = DetectedSimdLevel();
+#if defined(GBMQO_SIMD_X86)
+  EXPECT_TRUE(detected == SimdLevel::kScalar || detected == SimdLevel::kAVX2);
+#elif defined(GBMQO_SIMD_NEON)
+  EXPECT_EQ(detected, SimdLevel::kNEON);
+#else
+  EXPECT_EQ(detected, SimdLevel::kScalar);
+#endif
+  // force_scalar pins the effective level; without it the detected level
+  // passes through.
+  EXPECT_EQ(EffectiveSimdLevel(true), SimdLevel::kScalar);
+  EXPECT_EQ(EffectiveSimdLevel(false), detected);
+  // Name strings exist for every tier.
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_NE(std::string(SimdLevelName(detected)), "");
+}
+
+TEST(SimdDispatchTest, DisableEnvForcesScalar) {
+  // DetectSimdLevelUncached re-reads the environment, so the knob is
+  // testable without a fresh process. "0" and empty mean "not disabled".
+  ASSERT_EQ(setenv("GBMQO_DISABLE_SIMD", "1", 1), 0);
+  EXPECT_EQ(DetectSimdLevelUncached(), SimdLevel::kScalar);
+  ASSERT_EQ(setenv("GBMQO_DISABLE_SIMD", "0", 1), 0);
+  const SimdLevel enabled = DetectSimdLevelUncached();
+  ASSERT_EQ(unsetenv("GBMQO_DISABLE_SIMD"), 0);
+  EXPECT_EQ(DetectSimdLevelUncached(), enabled);
+}
+
+TEST(SimdKernelTest, OrShiftedCodesMatchesScalar) {
+  if (!HasVectorTier()) GTEST_SKIP() << "no vector tier on this host";
+  Rng rng(1);
+  for (size_t n : kLens) {
+    SCOPED_TRACE(n);
+    std::vector<uint64_t> codes(n);
+    for (auto& c : codes) c = 50 + rng.Uniform(1u << 20);
+    for (int shift : {0, 1, 13, 40, 63}) {
+      std::vector<uint64_t> a(n, 0x0101010101010101ull);
+      std::vector<uint64_t> b = a;
+      simd::OrShiftedCodes(SimdLevel::kScalar, codes.data(), n, 50, shift,
+                           a.data());
+      simd::OrShiftedCodes(DetectedSimdLevel(), codes.data(), n, 50, shift,
+                           b.data());
+      EXPECT_EQ(a, b) << "shift " << shift;
+    }
+  }
+}
+
+TEST(SimdKernelTest, AddScaledDigitsMatchesScalar) {
+  if (!HasVectorTier()) GTEST_SKIP() << "no vector tier on this host";
+  Rng rng(2);
+  for (size_t n : kLens) {
+    SCOPED_TRACE(n);
+    std::vector<uint64_t> codes(n);
+    for (auto& c : codes) c = 7 + rng.Uniform(1000);
+    for (uint32_t stride : {1u, 3u, 256u, 65537u}) {
+      std::vector<uint32_t> a(n, 5), b(n, 5);
+      simd::AddScaledDigits(SimdLevel::kScalar, codes.data(), n, 7, stride,
+                            a.data());
+      simd::AddScaledDigits(DetectedSimdLevel(), codes.data(), n, 7, stride,
+                            b.data());
+      EXPECT_EQ(a, b) << "stride " << stride;
+    }
+    // The wrapping base trick used for nullable dense columns: base = min-1
+    // makes code - base == (code - min) + 1, including when min == 0 (base
+    // wraps to UINT64_MAX).
+    std::vector<uint32_t> a(n, 0), b(n, 0);
+    simd::AddScaledDigits(SimdLevel::kScalar, codes.data(), n,
+                          static_cast<uint64_t>(7) - 1, 10, a.data());
+    simd::AddScaledDigits(DetectedSimdLevel(), codes.data(), n,
+                          static_cast<uint64_t>(7) - 1, 10, b.data());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(SimdKernelTest, CompareDoublesBitmapMatchesScalarWithIeeeEdges) {
+  if (!HasVectorTier()) GTEST_SKIP() << "no vector tier on this host";
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Rng rng(3);
+  for (size_t n : kLens) {
+    SCOPED_TRACE(n);
+    std::vector<double> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      switch (rng.Uniform(8)) {
+        case 0: vals[i] = nan; break;
+        case 1: vals[i] = inf; break;
+        case 2: vals[i] = -inf; break;
+        case 3: vals[i] = 0.0; break;
+        case 4: vals[i] = -0.0; break;
+        default:
+          vals[i] = static_cast<double>(rng.Uniform(2000)) / 16.0 - 60.0;
+      }
+    }
+    const size_t nwords = (n + 63) / 64;
+    for (simd::Cmp op : kAllCmps) {
+      for (double lit : {3.25, 0.0, -inf}) {
+        std::vector<uint64_t> a(nwords, 0), b(nwords, 0);
+        simd::CompareDoublesBitmap(SimdLevel::kScalar, vals.data(), n, op,
+                                   lit, a.data());
+        simd::CompareDoublesBitmap(DetectedSimdLevel(), vals.data(), n, op,
+                                   lit, b.data());
+        EXPECT_EQ(a, b) << "op " << static_cast<int>(op) << " lit " << lit;
+      }
+    }
+    // NaN literal: every ordered compare false, != true — on both tiers.
+    std::vector<uint64_t> a(nwords, 0), b(nwords, 0);
+    simd::CompareDoublesBitmap(SimdLevel::kScalar, vals.data(), n,
+                               simd::Cmp::kNe, nan, a.data());
+    simd::CompareDoublesBitmap(DetectedSimdLevel(), vals.data(), n,
+                               simd::Cmp::kNe, nan, b.data());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(SimdKernelTest, CompareInt64BitmapExactConversionFullRange) {
+  if (!HasVectorTier()) GTEST_SKIP() << "no vector tier on this host";
+  // Values where a sloppy int64→double conversion diverges from the exact
+  // static_cast rounding: around ±2^53, the int64 extremes, and mixtures.
+  const int64_t big = int64_t{1} << 53;
+  std::vector<int64_t> edge = {0,
+                               1,
+                               -1,
+                               big - 1,
+                               big,
+                               big + 1,
+                               big + 2,
+                               -big - 1,
+                               -big,
+                               -(big + 1),
+                               std::numeric_limits<int64_t>::max(),
+                               std::numeric_limits<int64_t>::max() - 1,
+                               std::numeric_limits<int64_t>::min(),
+                               std::numeric_limits<int64_t>::min() + 1};
+  Rng rng(4);
+  for (size_t n : kLens) {
+    SCOPED_TRACE(n);
+    std::vector<int64_t> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = rng.Bernoulli(0.5)
+                    ? edge[rng.Uniform(edge.size())]
+                    : static_cast<int64_t>(rng.Uniform(1u << 30)) - (1 << 29);
+    }
+    const size_t nwords = (n + 63) / 64;
+    for (simd::Cmp op : kAllCmps) {
+      for (double lit : {0.0, 9007199254740993.0, -2.5e18, 40.0}) {
+        std::vector<uint64_t> a(nwords, 0), b(nwords, 0);
+        simd::CompareInt64Bitmap(SimdLevel::kScalar, vals.data(), n, op, lit,
+                                 a.data());
+        simd::CompareInt64Bitmap(DetectedSimdLevel(), vals.data(), n, op,
+                                 lit, b.data());
+        EXPECT_EQ(a, b) << "op " << static_cast<int>(op) << " lit " << lit;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, BitmapWordCombines) {
+  Rng rng(5);
+  for (size_t nwords : {size_t{0}, size_t{1}, size_t{5}, size_t{33}}) {
+    std::vector<uint64_t> dst1(nwords), dst2(nwords), src(nwords);
+    for (size_t i = 0; i < nwords; ++i) {
+      dst1[i] = rng.Next();
+      src[i] = rng.Next();
+    }
+    dst2 = dst1;
+    std::vector<uint64_t> expect_and(nwords), expect_andnot(nwords);
+    for (size_t i = 0; i < nwords; ++i) {
+      expect_and[i] = dst1[i] & src[i];
+      expect_andnot[i] = dst1[i] & ~src[i];
+    }
+    simd::AndWords(dst1.data(), src.data(), nwords);
+    EXPECT_EQ(dst1, expect_and);
+    simd::AndNotWords(dst2.data(), src.data(), nwords);
+    EXPECT_EQ(dst2, expect_andnot);
+  }
+}
+
+TEST(SimdKernelTest, ShiftEqMask8MatchesScalar) {
+  if (!HasVectorTier()) GTEST_SKIP() << "no vector tier on this host";
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t v[8];
+    for (auto& x : v) x = static_cast<uint32_t>(rng.Next());
+    for (int shift : {0, 1, 6, 28, 31}) {
+      const uint32_t target = (v[rng.Uniform(8)] >> shift);
+      EXPECT_EQ(simd::ShiftEqMask8(SimdLevel::kScalar, v, shift, target),
+                simd::ShiftEqMask8(DetectedSimdLevel(), v, shift, target))
+          << "shift " << shift;
+    }
+  }
+}
+
+TEST(SimdKernelTest, ScanGroup16FindsTagsAndEmpties) {
+  // ScanGroup16 has no tier dispatch (baseline ISA), so verify it against
+  // a hand computation directly.
+  uint8_t g[16];
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (auto& x : g) {
+      const uint64_t r = rng.Uniform(4);
+      x = r == 0 ? 0 : (r == 1 ? 0x83 : static_cast<uint8_t>(rng.Next()));
+    }
+    const uint8_t tag = 0x83;
+    uint32_t eq = 0, zero = 0;
+    simd::ScanGroup16(g, tag, &eq, &zero);
+    uint32_t want_eq = 0, want_zero = 0;
+    for (int i = 0; i < 16; ++i) {
+      if (g[i] == tag) want_eq |= 1u << i;
+      if (g[i] == 0) want_zero |= 1u << i;
+    }
+    EXPECT_EQ(eq, want_eq);
+    EXPECT_EQ(zero, want_zero);
+  }
+}
+
+}  // namespace
+}  // namespace gbmqo

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""SIMD bench regression gate.
+
+Compares the per-kernel rows/sec in a freshly produced BENCH_simd.json
+(written by bench/bench_simd) against the checked-in baseline and fails when
+any kernel's SIMD-tier throughput regressed by more than the tolerance
+(default 10%). Also re-checks the bench's own acceptance gate (>= 2x speedup
+on at least two hot loops) so a silently weakened vector tier fails CI even
+if absolute throughput is still within tolerance.
+
+Scalar-tier numbers are reported but not gated: the scalar baseline moves
+with compiler/auto-vectorization changes that are not this engine's code.
+
+Usage:
+  check_bench_regression.py [--current BENCH_simd.json]
+                            [--baseline bench/baselines/BENCH_simd_baseline.json]
+                            [--tolerance 0.10]
+  check_bench_regression.py --self-test
+
+Exit status: 0 = within tolerance and gate passed, 1 = regression/failure.
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def compare(current, baseline, tolerance):
+    """Returns (ok, list-of-report-lines)."""
+    lines = []
+    ok = True
+
+    cur_kernels = current.get("kernels", {})
+    base_kernels = baseline.get("kernels", {})
+    for name, base in sorted(base_kernels.items()):
+        cur = cur_kernels.get(name)
+        if cur is None:
+            ok = False
+            lines.append("FAIL %-22s missing from current results" % name)
+            continue
+        base_rps = float(base["simd_rows_per_sec"])
+        cur_rps = float(cur["simd_rows_per_sec"])
+        floor = base_rps * (1.0 - tolerance)
+        ratio = cur_rps / base_rps if base_rps > 0 else float("inf")
+        status = "ok  " if cur_rps >= floor else "FAIL"
+        if cur_rps < floor:
+            ok = False
+        lines.append(
+            "%s %-22s simd %.3e rows/s vs baseline %.3e (%.2fx, floor %.2fx)"
+            % (status, name, cur_rps, base_rps, ratio, 1.0 - tolerance)
+        )
+
+    gate = current.get("gate", {})
+    if not gate.get("pass", False):
+        ok = False
+        lines.append(
+            "FAIL speedup gate: %s of %s kernels at >= %sx (need %s)"
+            % (
+                gate.get("kernels_at_or_above", "?"),
+                len(cur_kernels),
+                gate.get("required_speedup", "?"),
+                gate.get("min_kernels", "?"),
+            )
+        )
+    else:
+        lines.append(
+            "ok   speedup gate: %d kernels at >= %.1fx"
+            % (gate["kernels_at_or_above"], gate["required_speedup"])
+        )
+    return ok, lines
+
+
+def self_test():
+    """Synthetic pass/fail cases exercising every comparison branch."""
+    base = {
+        "kernels": {
+            "a": {"simd_rows_per_sec": 1000.0},
+            "b": {"simd_rows_per_sec": 500.0},
+        }
+    }
+    good_gate = {
+        "required_speedup": 2.0,
+        "min_kernels": 2,
+        "kernels_at_or_above": 2,
+        "pass": True,
+    }
+
+    # Within tolerance (one kernel 5% down, one up) -> pass.
+    cur = {
+        "kernels": {
+            "a": {"simd_rows_per_sec": 950.0},
+            "b": {"simd_rows_per_sec": 600.0},
+        },
+        "gate": dict(good_gate),
+    }
+    ok, _ = compare(cur, base, 0.10)
+    assert ok, "within-tolerance run must pass"
+
+    # 20% regression on one kernel -> fail.
+    cur["kernels"]["a"]["simd_rows_per_sec"] = 800.0
+    ok, lines = compare(cur, base, 0.10)
+    assert not ok, "20%% regression must fail"
+    assert any(l.startswith("FAIL a") for l in lines)
+
+    # Missing kernel -> fail.
+    cur["kernels"] = {"a": {"simd_rows_per_sec": 1000.0}}
+    ok, lines = compare(cur, base, 0.10)
+    assert not ok, "missing kernel must fail"
+
+    # Healthy throughput but failed speedup gate -> fail.
+    cur["kernels"] = {
+        "a": {"simd_rows_per_sec": 1000.0},
+        "b": {"simd_rows_per_sec": 500.0},
+    }
+    cur["gate"] = dict(good_gate, kernels_at_or_above=1, **{"pass": False})
+    ok, lines = compare(cur, base, 0.10)
+    assert not ok, "failed speedup gate must fail"
+    assert any("speedup gate" in l for l in lines)
+
+    # Tolerance is configurable: the same 20% drop passes at 25%.
+    cur["kernels"]["a"]["simd_rows_per_sec"] = 800.0
+    cur["gate"] = dict(good_gate)
+    ok, _ = compare(cur, base, 0.25)
+    assert ok, "20%% drop within 25%% tolerance must pass"
+
+    print("self-test: all cases passed")
+    return 0
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--current", default=os.path.join(repo_root, "BENCH_simd.json")
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(
+            repo_root, "bench", "baselines", "BENCH_simd_baseline.json"
+        ),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+    except OSError as e:
+        print("cannot read current results (run bench/bench_simd first): %s" % e)
+        return 1
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print("cannot read baseline: %s" % e)
+        return 1
+
+    ok, lines = compare(current, baseline, args.tolerance)
+    for line in lines:
+        print(line)
+    print("bench regression check: %s" % ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
