@@ -1,0 +1,257 @@
+// Out-of-core aggregation bench: in-memory vs radix-partitioned spill
+// throughput as the group count grows, and the hash-vs-sort kernel
+// crossover sweep.
+//
+// For each group-domain point the same single-key aggregation runs four
+// ways — {in-memory, forced spill} x {grace-hash (packed-key), sort-runs} —
+// at parallelism 1, reporting rows/sec (min wall over kReps). Every spilled
+// run is first checked bit-identical to its same-kernel in-memory run (the
+// determinism contract from DESIGN.md "Out-of-core aggregation"); the bench
+// dies on any mismatch. Emits BENCH_spill.json at the repo root;
+// tools/check_bench_regression.py compares it against
+// bench/baselines/BENCH_spill_baseline.json and fails when a sweep point or
+// metric present in the baseline is missing, or when the acceptance gate —
+// the sort kernel beating grace-hash on at least one high-group-count or
+// spilled configuration — no longer holds.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "exec/agg_kernel.h"
+#include "exec/query_executor.h"
+
+namespace gbmqo {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kReps = 3;
+
+/// Groups past this count as "high-group-count" for the acceptance gate:
+/// one decade under the planner's own crossover so the gate can be won on
+/// either side of it.
+constexpr uint64_t kHighGroupFloor = 1ull << 18;
+
+void Die(const std::string& what) {
+  std::fprintf(stderr, "bench_spill: %s\n", what.c_str());
+  std::exit(1);
+}
+
+/// One int64 grouping key uniform over `domain` plus a double aggregate
+/// argument. Row count stays above the 64K single-morsel threshold so the
+/// multi-shard build — the only path that can spill — is always taken.
+TablePtr SweepTable(size_t rows, uint64_t domain) {
+  TableBuilder b(Schema({{"g", DataType::kInt64, false},
+                         {"v", DataType::kDouble, false}}));
+  Rng rng(domain * 2654435761ull + 17);
+  for (size_t i = 0; i < rows; ++i) {
+    if (!b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(domain))),
+                      Value(0.5 * static_cast<double>(rng.Uniform(2000)) -
+                            173.25)})
+             .ok()) {
+      Die("AppendRow failed");
+    }
+  }
+  auto t = b.Build("sweep");
+  if (!t.ok()) Die(t.status().ToString());
+  return *t;
+}
+
+struct RunResult {
+  TablePtr table;
+  double rows_per_sec = 0;
+  uint64_t spill_bytes_written = 0;
+};
+
+/// Min-wall-clock run of the aggregation with one forced kernel, optionally
+/// through the forced-spill path. A fresh context per rep keeps counters
+/// per-run.
+RunResult RunConfig(const Table& t, const GroupByQuery& q, AggKernel kernel,
+                    bool spilled) {
+  RunResult out;
+  double best = 1e100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    ExecContext ctx;
+    QueryExecutor exec(&ctx, ScanMode::kColumnar, /*parallelism=*/1);
+    exec.set_forced_kernel(kernel);
+    if (spilled) {
+      SpillOptions spill;
+      spill.force = true;
+      exec.set_spill(spill);
+    }
+    const auto t0 = Clock::now();
+    auto r = exec.ExecuteGroupBy(t, q, "out", AggStrategy::kHash);
+    const double sec = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!r.ok()) Die(r.status().ToString());
+    if (sec < best) {
+      best = sec;
+      out.table = *r;
+    }
+    if (spilled && ctx.counters().queries_spilled != 1) {
+      Die("forced-spill run did not spill");
+    }
+    out.spill_bytes_written = ctx.counters().spill_bytes_written;
+  }
+  out.rows_per_sec = static_cast<double>(t.num_rows()) / best;
+  return out;
+}
+
+/// Raw-bit table equality (doubles on bit patterns, no tolerance).
+bool BitIdentical(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  if (a.schema().num_columns() != b.schema().num_columns()) return false;
+  for (int c = 0; c < a.schema().num_columns(); ++c) {
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      if (a.column(c).IsNull(r) != b.column(c).IsNull(r)) return false;
+      if (a.column(c).IsNull(r)) continue;
+      if (a.schema().column(c).type == DataType::kDouble) {
+        uint64_t ba, bb;
+        const double da = a.column(c).DoubleAt(r);
+        const double db = b.column(c).DoubleAt(r);
+        std::memcpy(&ba, &da, sizeof(ba));
+        std::memcpy(&bb, &db, sizeof(bb));
+        if (ba != bb) return false;
+      } else if (!(a.column(c).ValueAt(r) == b.column(c).ValueAt(r))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct SweepPoint {
+  uint64_t group_domain = 0;
+  std::string auto_kernel;
+  double in_memory_hash_rows_per_sec = 0;
+  double in_memory_sort_rows_per_sec = 0;
+  double spill_hash_rows_per_sec = 0;
+  double spill_sort_rows_per_sec = 0;
+  uint64_t spill_bytes_written = 0;
+  bool bit_identical = false;
+};
+
+int Main() {
+  const size_t rows = RowsFromEnv(1200000);
+  Banner("bench_spill: out-of-core aggregation + hash-vs-sort crossover",
+         "out-of-core extension (not in the paper)");
+  std::printf("%zu rows, parallelism 1, %d reps (min wall)\n\n", rows, kReps);
+
+  const std::vector<uint64_t> domains = {1ull << 12, 1ull << 16, 1ull << 18,
+                                         1ull << 20, 1ull << 21};
+  const GroupByQuery query{
+      ColumnSet{0},
+      {AggregateSpec::CountStar("cnt"), AggregateSpec::Sum(1, "s")}};
+
+  std::vector<SweepPoint> sweep;
+  bool bit_identical_all = true;
+  int sort_wins = 0;
+  std::printf("%10s %8s | %12s %12s | %12s %12s | %s\n", "groups", "auto",
+              "mem hash r/s", "mem sort r/s", "sp hash r/s", "sp sort r/s",
+              "winner(sp)");
+  for (uint64_t domain : domains) {
+    TablePtr t = SweepTable(rows, domain);
+    SweepPoint p;
+    p.group_domain = domain;
+    p.auto_kernel = AggKernelName(PlanAggKernel(*t, ColumnSet{0}).kernel);
+
+    const RunResult mem_hash =
+        RunConfig(*t, query, AggKernel::kPackedKey, /*spilled=*/false);
+    const RunResult mem_sort =
+        RunConfig(*t, query, AggKernel::kSortRuns, /*spilled=*/false);
+    const RunResult sp_hash =
+        RunConfig(*t, query, AggKernel::kPackedKey, /*spilled=*/true);
+    const RunResult sp_sort =
+        RunConfig(*t, query, AggKernel::kSortRuns, /*spilled=*/true);
+    p.in_memory_hash_rows_per_sec = mem_hash.rows_per_sec;
+    p.in_memory_sort_rows_per_sec = mem_sort.rows_per_sec;
+    p.spill_hash_rows_per_sec = sp_hash.rows_per_sec;
+    p.spill_sort_rows_per_sec = sp_sort.rows_per_sec;
+    p.spill_bytes_written = sp_hash.spill_bytes_written;
+    p.bit_identical = BitIdentical(*mem_hash.table, *sp_hash.table) &&
+                      BitIdentical(*mem_sort.table, *sp_sort.table);
+    if (!p.bit_identical) {
+      bit_identical_all = false;
+      std::fprintf(stderr,
+                   "bench_spill: spilled result NOT bit-identical at %llu "
+                   "groups\n",
+                   static_cast<unsigned long long>(domain));
+    }
+    const bool high_groups = domain >= kHighGroupFloor;
+    const bool sort_win =
+        p.spill_sort_rows_per_sec > p.spill_hash_rows_per_sec ||
+        (high_groups &&
+         p.in_memory_sort_rows_per_sec > p.in_memory_hash_rows_per_sec);
+    if (sort_win) ++sort_wins;
+    std::printf("%10llu %8s | %12.3e %12.3e | %12.3e %12.3e | %s\n",
+                static_cast<unsigned long long>(domain),
+                p.auto_kernel.c_str(), p.in_memory_hash_rows_per_sec,
+                p.in_memory_sort_rows_per_sec, p.spill_hash_rows_per_sec,
+                p.spill_sort_rows_per_sec,
+                p.spill_sort_rows_per_sec > p.spill_hash_rows_per_sec
+                    ? "sort"
+                    : "hash");
+    sweep.push_back(std::move(p));
+  }
+
+  const bool gate_pass = sort_wins >= 1 && bit_identical_all;
+  std::printf(
+      "\ngate: sort kernel wins %d high-group-count/spilled configs "
+      "(need >= 1), bit-identical %s -> %s\n",
+      sort_wins, bit_identical_all ? "yes" : "NO",
+      gate_pass ? "PASS" : "FAIL");
+
+#ifdef GBMQO_REPO_ROOT
+  const std::string json_path =
+      std::string(GBMQO_REPO_ROOT) + "/BENCH_spill.json";
+#else
+  const std::string json_path = "BENCH_spill.json";
+#endif
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"rows\": %zu,\n  \"parallelism\": 1,\n", rows);
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& p = sweep[i];
+      std::fprintf(
+          f,
+          "    {\"group_domain\": %llu, \"auto_kernel\": \"%s\", "
+          "\"in_memory_hash_rows_per_sec\": %.1f, "
+          "\"in_memory_sort_rows_per_sec\": %.1f, "
+          "\"spill_hash_rows_per_sec\": %.1f, "
+          "\"spill_sort_rows_per_sec\": %.1f, "
+          "\"spill_bytes_written\": %llu, \"bit_identical\": %s}%s\n",
+          static_cast<unsigned long long>(p.group_domain),
+          p.auto_kernel.c_str(), p.in_memory_hash_rows_per_sec,
+          p.in_memory_sort_rows_per_sec, p.spill_hash_rows_per_sec,
+          p.spill_sort_rows_per_sec,
+          static_cast<unsigned long long>(p.spill_bytes_written),
+          p.bit_identical ? "true" : "false",
+          i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"gate\": {\"sort_wins\": %d, \"min_wins\": 1, "
+                 "\"bit_identical_all\": %s, \"pass\": %s}\n}\n",
+                 sort_wins, bit_identical_all ? "true" : "false",
+                 gate_pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  return gate_pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbmqo
+
+int main() { return gbmqo::bench::Main(); }

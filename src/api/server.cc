@@ -303,6 +303,17 @@ Result<ExecutionResult> Server::HandleRequest(
     }
     executor.set_aggregate_cache(cache_.get());
     executor.set_storage_governor(governor_.get());
+    if (options_.session.max_spill_bytes > 0 || options_.session.force_spill) {
+      SpillOptions spill;
+      spill.memory_budget_bytes = static_cast<uint64_t>(
+          options_.session.max_exec_storage_bytes);
+      spill.directory = options_.session.spill_directory;
+      spill.max_spill_bytes = options_.session.max_spill_bytes;
+      spill.force = options_.session.force_spill;
+      // spill.governor stays null: PlanExecutor defaults it to the server's
+      // shared governor, so concurrent requests meter disk bytes globally.
+      executor.set_spill(spill);
+    }
     Result<ExecutionResult> run = executor.Execute(opt->plan, open);
     if (!run.ok()) return run.status();
     out = *std::move(run);

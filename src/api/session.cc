@@ -73,6 +73,15 @@ Result<ExecutionResult> Session::ExecutePlan(
   if (options_.max_exec_storage_bytes > 0) {
     executor.set_storage_budget(options_.max_exec_storage_bytes, whatif_.get());
   }
+  if (options_.max_spill_bytes > 0 || options_.force_spill) {
+    SpillOptions spill;
+    spill.memory_budget_bytes =
+        static_cast<uint64_t>(options_.max_exec_storage_bytes);
+    spill.directory = options_.spill_directory;
+    spill.max_spill_bytes = options_.max_spill_bytes;
+    spill.force = options_.force_spill;
+    executor.set_spill(spill);
+  }
   executor.set_max_task_retries(options_.max_task_retries);
   executor.set_retry_backoff_ms(options_.retry_backoff_ms);
   if (options_.exec_deadline_ms > 0) {

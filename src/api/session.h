@@ -44,6 +44,23 @@ struct SessionOptions {
   /// while the estimated live temp-table bytes would exceed this budget
   /// (see PlanExecutor::set_storage_budget). 0 disables the gate.
   double max_exec_storage_bytes = 0;
+  /// Out-of-core aggregation (see QueryExecutor::SpillOptions and
+  /// PlanExecutor::set_spill). When max_spill_bytes > 0 or force_spill is
+  /// set, max_exec_storage_bytes becomes a hard cap instead of a refusal: a
+  /// hash aggregation whose realized group-table bytes would exceed it
+  /// radix-partitions its input into spill files and completes partition-
+  /// wise, with results bit-identical to the in-memory path. Directory ""
+  /// = the system temp directory; files live in a per-aggregation
+  /// subdirectory removed when the aggregation ends, however it ends.
+  std::string spill_directory;
+  /// Cap on one aggregation's total spill-file bytes; exceeding it fails
+  /// the query with ResourceExhausted. 0 together with force_spill unset
+  /// keeps out-of-core execution disabled (the refuse-over-budget seed
+  /// behaviour).
+  uint64_t max_spill_bytes = 0;
+  /// Routes every eligible hash aggregation through the spill path even
+  /// when under budget (differential-testing and bench knob).
+  bool force_spill = false;
   /// Resilience: extra attempts allowed per failed DAG task (default 0 =
   /// fail fast). Re-attempts walk the degradation ladder — fused tasks
   /// split into per-query passes, temp-table readers recompute from the

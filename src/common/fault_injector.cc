@@ -19,6 +19,12 @@ const char* FaultSiteName(FaultSite site) {
       return "temp_register";
     case FaultSite::kSharedScanBatch:
       return "shared_scan";
+    case FaultSite::kSpillWrite:
+      return "spill_write";
+    case FaultSite::kSpillRead:
+      return "spill_read";
+    case FaultSite::kSpillMerge:
+      return "spill_merge";
   }
   return "?";
 }

@@ -19,7 +19,8 @@
 //   GBMQO_FAULTS="seed=42;task_start=0.01;alloc=0.005;shared_scan@3"
 //
 // `site=p` arms a seeded probability, `site@N` a one-shot at the N-th hit.
-// Site names: task_start, alloc, temp_register, shared_scan.
+// Site names: task_start, alloc, temp_register, shared_scan, spill_write,
+// spill_read, spill_merge.
 //
 // Compiling with -DGBMQO_DISABLE_FAULT_INJECTION turns every site marker
 // into a constant-false branch with no atomic load at all.
@@ -39,8 +40,11 @@ enum class FaultSite : int {
   kAllocPressure,     ///< group-table allocation in hash-agg build/merge
   kTempRegister,      ///< temp-table registration in the Catalog
   kSharedScanBatch,   ///< per-shard batch read of a shared scan
+  kSpillWrite,        ///< flushing a radix partition buffer to a spill file
+  kSpillRead,         ///< reading a spill partition file back for replay
+  kSpillMerge,        ///< merging one spilled partition's segment results
 };
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 7;
 
 const char* FaultSiteName(FaultSite site);
 

@@ -114,6 +114,8 @@ struct ExecEnv {
   ScanMode scan_mode;
   std::optional<AggKernel> forced_kernel;
   bool force_scalar = false;
+  /// Out-of-core aggregation knobs (governor already defaulted by Execute).
+  SpillOptions spill;
 
   /// Builds the executor-level query `SELECT cols, aggs GROUP BY cols`
   /// against `input` (base or intermediate) — see BuildGroupByOver.
@@ -146,10 +148,12 @@ struct ExecEnv {
 class SubtreeRunner {
  public:
   SubtreeRunner(const ExecEnv& env, ExecContext* ctx, int parallelism,
-                std::optional<AggKernel> forced_kernel)
+                std::optional<AggKernel> forced_kernel,
+                const SpillOptions& spill)
       : env_(env), ctx_(ctx), exec_(ctx, env.scan_mode, parallelism) {
     exec_.set_forced_kernel(forced_kernel);
     exec_.set_force_scalar(env.force_scalar);
+    exec_.set_spill(spill);
   }
 
   Status RunSubPlan(const PlanNode& node, const TablePtr& parent) {
@@ -781,8 +785,11 @@ class DagRunner {
   ///     passes over the same input (no shared scan);
   ///   - a failed task whose input is a temp table recomputes directly from
   ///     the base relation R (every node is derivable from R);
-  ///   - a ResourceExhausted failure additionally serializes the task's
-  ///     intra-parallelism and forces the low-footprint multi-word kernel.
+  ///   - a ResourceExhausted failure first retries with out-of-core
+  ///     aggregation forced (when spill is configured) — results are
+  ///     bit-identical, only RAM drops — and only if that still exhausts
+  ///     resources serializes the task's intra-parallelism and forces the
+  ///     low-footprint multi-word kernel.
   /// Cancellation / deadline failures are terminal: no retry, immediate
   /// unwind. Fault salts are FaultKey(task id, attempt), so injected
   /// decisions — and therefore tasks_retried / tasks_degraded — are pure
@@ -792,6 +799,12 @@ class DagRunner {
     bool split_fused = false;
     bool from_base = false;
     bool memory_pressure = false;
+    // Admission downgrade: a task whose own reservation exceeds the whole
+    // storage budget could never be admitted un-forced; with spill
+    // configured it runs out-of-core from the first attempt instead of
+    // relying on the forced-admission overshoot.
+    bool use_spill =
+        gated_ && env_.spill.enabled() && t.est_bytes > budget_;
     Status last;
     for (int attempt = 0; attempt <= max_retries_; ++attempt) {
       if (attempt > 0 && backoff_ms_ > 0) {
@@ -805,10 +818,11 @@ class DagRunner {
       const std::optional<AggKernel> kernel =
           memory_pressure ? std::optional<AggKernel>(AggKernel::kMultiWord)
                           : env_.forced_kernel;
-      const Status s =
-          RunAttempt(t, &a, eff_intra, split_fused, from_base, kernel);
+      const Status s = RunAttempt(t, &a, eff_intra, split_fused, from_base,
+                                  kernel, use_spill);
       if (s.ok()) {
-        const bool degraded = split_fused || from_base || memory_pressure;
+        const bool degraded =
+            split_fused || from_base || memory_pressure || use_spill;
         a.ctx.counters().tasks_retried += static_cast<uint64_t>(attempt);
         if (degraded) a.ctx.counters().tasks_degraded += 1;
         CommitAttempt(&a);
@@ -827,7 +841,13 @@ class DagRunner {
       } else if (t.input != nullptr && !from_base) {
         from_base = true;
       }
-      if (s.IsResourceExhausted()) memory_pressure = true;
+      if (s.IsResourceExhausted()) {
+        if (env_.spill.enabled() && !use_spill) {
+          use_spill = true;
+        } else {
+          memory_pressure = true;
+        }
+      }
     }
     return last;
   }
@@ -861,7 +881,8 @@ class DagRunner {
   /// (std::bad_alloc — real or injected — maps to ResourceExhausted so the
   /// ladder engages its memory-pressure rung).
   Status RunAttempt(const TaskSpec& t, Attempt* a, int intra, bool split_fused,
-                    bool from_base, std::optional<AggKernel> kernel) {
+                    bool from_base, std::optional<AggKernel> kernel,
+                    bool use_spill) {
     GBMQO_RETURN_NOT_OK(a->ctx.CheckCancelled());
     if (GBMQO_INJECT_FAULT(FaultSite::kTaskStart, a->ctx.fault_salt())) {
       return Status::Internal("injected task-start failure");
@@ -869,14 +890,14 @@ class DagRunner {
     try {
       switch (t.kind) {
         case TaskSpec::Kind::kQuery:
-          return RunQueryTask(t, a, intra, from_base, kernel);
+          return RunQueryTask(t, a, intra, from_base, kernel, use_spill);
         case TaskSpec::Kind::kFused:
           if (split_fused) {
-            return RunFusedAsQueries(t, a, intra, from_base, kernel);
+            return RunFusedAsQueries(t, a, intra, from_base, kernel, use_spill);
           }
-          return RunFusedTask(t, a, intra, from_base, kernel);
+          return RunFusedTask(t, a, intra, from_base, kernel, use_spill);
         case TaskSpec::Kind::kComposite:
-          return RunCompositeTask(t, a, intra, from_base, kernel);
+          return RunCompositeTask(t, a, intra, from_base, kernel, use_spill);
       }
     } catch (const std::bad_alloc&) {
       return Status::ResourceExhausted("allocation failure in plan task");
@@ -884,6 +905,14 @@ class DagRunner {
       return Status::Internal(std::string("plan task threw: ") + e.what());
     }
     return Status::Internal("unknown task kind");
+  }
+
+  /// The attempt's effective spill configuration: the executor-level knobs
+  /// with force OR-ed in when this attempt sits on the spill rung.
+  SpillOptions EffectiveSpill(bool use_spill) const {
+    SpillOptions s = env_.spill;
+    s.force = s.force || use_spill;
+    return s;
   }
 
   /// Commits a successful attempt's cache interactions, before the task is
@@ -1057,10 +1086,12 @@ class DagRunner {
   /// base relation on the from-base rung — BuildQuery re-resolves the
   /// aggregates to their raw forms automatically in that case).
   Status RunNodeQuery(const PlanNode& node, const TablePtr& input, Attempt* a,
-                      int intra, std::optional<AggKernel> kernel) {
+                      int intra, std::optional<AggKernel> kernel,
+                      bool use_spill) {
     QueryExecutor exec(&a->ctx, env_.scan_mode, intra);
     exec.set_forced_kernel(kernel);
     exec.set_force_scalar(env_.force_scalar);
+    exec.set_spill(EffectiveSpill(use_spill));
     const std::string name = node.materialized()
                                  ? env_.TempNameFor(node.columns)
                                  : ExecEnv::LeafNameFor(node.columns);
@@ -1080,14 +1111,14 @@ class DagRunner {
   }
 
   Status RunQueryTask(const TaskSpec& t, Attempt* a, int intra, bool from_base,
-                      std::optional<AggKernel> kernel) {
+                      std::optional<AggKernel> kernel, bool use_spill) {
     if (TryServeFromCache(*t.node, a)) return Status::OK();
     const TablePtr input = from_base ? env_.base : InputTable(t);
-    return RunNodeQuery(*t.node, input, a, intra, kernel);
+    return RunNodeQuery(*t.node, input, a, intra, kernel, use_spill);
   }
 
   Status RunFusedTask(const TaskSpec& t, Attempt* a, int intra, bool from_base,
-                      std::optional<AggKernel> kernel) {
+                      std::optional<AggKernel> kernel, bool use_spill) {
     // Cache-served members leave the shared scan; only the rest pay for a
     // pass over the input (none hit -> the planned scan, all hit -> none).
     std::vector<const PlanNode*> pending;
@@ -1100,6 +1131,11 @@ class DagRunner {
     QueryExecutor exec(&a->ctx, env_.scan_mode, intra);
     exec.set_forced_kernel(kernel);
     exec.set_force_scalar(env_.force_scalar);
+    // Shared scans cannot spill; with a memory budget set the executor
+    // meters them anyway and fails with ResourceExhausted on a trip, which
+    // walks this task down the split_fused rung into spillable per-query
+    // passes.
+    exec.set_spill(EffectiveSpill(use_spill));
     std::vector<GroupByQuery> queries;
     std::vector<std::string> names;
     queries.reserve(pending.size());
@@ -1132,20 +1168,23 @@ class DagRunner {
   /// shared scan). Results are identical — fusion never changes what a
   /// query computes — only the scan counters differ.
   Status RunFusedAsQueries(const TaskSpec& t, Attempt* a, int intra,
-                           bool from_base, std::optional<AggKernel> kernel) {
+                           bool from_base, std::optional<AggKernel> kernel,
+                           bool use_spill) {
     const TablePtr input = from_base ? env_.base : InputTable(t);
     for (const PlanNode* m : t.fused) {
       GBMQO_RETURN_NOT_OK(a->ctx.CheckCancelled());
       if (TryServeFromCache(*m, a)) continue;
-      GBMQO_RETURN_NOT_OK(RunNodeQuery(*m, input, a, intra, kernel));
+      GBMQO_RETURN_NOT_OK(RunNodeQuery(*m, input, a, intra, kernel, use_spill));
     }
     return Status::OK();
   }
 
   Status RunCompositeTask(const TaskSpec& t, Attempt* a, int intra,
-                          bool from_base, std::optional<AggKernel> kernel) {
+                          bool from_base, std::optional<AggKernel> kernel,
+                          bool use_spill) {
     const TablePtr input = from_base ? env_.base : InputTable(t);
-    SubtreeRunner runner(env_, &a->ctx, intra, kernel);
+    SubtreeRunner runner(env_, &a->ctx, intra, kernel,
+                         EffectiveSpill(use_spill));
     // Drops any temps the subtree leaves behind on error or exception
     // unwind; a completed subtree has released all of them (no-op).
     SubtreeRunner::TempGuard guard(&runner);
@@ -1227,8 +1266,11 @@ Result<ExecutionResult> PlanExecutor::Execute(
   std::unordered_map<const PlanNode*, double> node_bytes;
   if (gated) node_bytes = PlanNodeStorage(plan, whatif_);
 
-  ExecEnv env{catalog_,    *base,         (*base)->schema(),
-              scan_mode_,  forced_kernel_, force_scalar_};
+  SpillOptions spill = spill_;
+  if (spill.governor == nullptr) spill.governor = governor_;
+  ExecEnv env{catalog_,    *base,          (*base)->schema(),
+              scan_mode_,  forced_kernel_, force_scalar_,
+              spill};
   GraphBuilder builder(fusion_enabled_, base->get(),
                        gated ? &node_bytes : nullptr);
   const TaskGraph graph = builder.Build(plan);

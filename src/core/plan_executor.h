@@ -173,6 +173,19 @@ class PlanExecutor {
     governor_ = governor;
   }
 
+  /// Out-of-core aggregation (see QueryExecutor::SpillOptions), forwarded
+  /// to every QueryExecutor this executor creates. Makes the memory budget
+  /// a hard cap instead of a refusal, in two places: (1) a hash aggregation
+  /// whose realized group-table bytes trip the budget restarts on the
+  /// radix-spill path with bit-identical results; (2) a task whose d(u)
+  /// reservation alone exceeds the whole admission budget is downgraded to
+  /// a forced-spill run instead of being rejected. The resilience ladder
+  /// also gains a spill rung: a ResourceExhausted attempt first retries
+  /// with spill forced, and only if that still fails serializes and forces
+  /// the multi-word kernel. spill.governor defaults to the storage
+  /// governor set above.
+  void set_spill(const SpillOptions& spill) { spill_ = spill; }
+
  private:
   Catalog* catalog_;
   std::string base_table_;
@@ -189,6 +202,7 @@ class PlanExecutor {
   const CancellationToken* cancel_ = nullptr;
   AggregateCache* cache_ = nullptr;
   StorageGovernor* governor_ = nullptr;
+  SpillOptions spill_;
 };
 
 }  // namespace gbmqo

@@ -16,11 +16,27 @@ namespace {
 /// optimizer must anticipate when ranking materialization candidates.
 /// Column sets with out-of-schema ordinals (hypothetical nodes) get the
 /// conservative multi-word prediction.
-AggKernel PredictKernel(const Table& base, ColumnSet cols) {
+AggKernel PredictKernel(const Table& base, ColumnSet cols, double input_rows,
+                        const CostParams& p) {
   for (int c : cols.ToVector()) {
     if (c >= base.schema().num_columns()) return AggKernel::kMultiWord;
   }
-  return PlanAggKernel(base, cols).kernel;
+  const AggKernelPlan plan = PlanAggKernel(base, cols);
+  // Re-apply the executor's hash-vs-sort crossover against *this edge's*
+  // input cardinality and the params' crossover point: PlanAggKernel decided
+  // from the base relation's row count, but the edge may read a smaller
+  // intermediate, and the crossover is a tunable here. Only packed-eligible
+  // plans (single-word key) have the sort rung.
+  if (plan.kernel == AggKernel::kPackedKey ||
+      plan.kernel == AggKernel::kSortRuns) {
+    double domain = plan.total_bits >= 63
+                        ? input_rows
+                        : static_cast<double>(1ull << plan.total_bits);
+    const double est_groups = input_rows < domain ? input_rows : domain;
+    return est_groups > p.sort_crossover_groups ? AggKernel::kSortRuns
+                                                : AggKernel::kPackedKey;
+  }
+  return plan.kernel;
 }
 
 /// The speedup factor pricing `kernel`'s vectorized aggregation loops.
@@ -30,11 +46,19 @@ double SimdSpeedupFor(const CostParams& p, AggKernel kernel) {
       return p.simd_dense_speedup;
     case AggKernel::kPackedKey:
       return p.simd_packed_speedup;
+    case AggKernel::kSortRuns:
+      return p.simd_sort_speedup;
     case AggKernel::kMultiWord:
       return p.simd_multiword_speedup;
   }
   return 1.0;
 }
+
+/// Bytes of one radix-partition spill record (exec/spill_partitioner.h):
+/// a packed one-word group key plus a u32 row ordinal. Multi-word keys
+/// spill wider records, but by then the per-byte charge is already
+/// dominated by the key width, so the model keeps one representative size.
+constexpr double kSpillRecordBytes = 12.0;
 
 }  // namespace
 
@@ -47,6 +71,9 @@ CostParams SimdAwareCostParams() {
   // scalar — see BlockKeyFiller::FillMultiWord).
   p.simd_dense_speedup = 2.0;
   p.simd_packed_speedup = 1.5;
+  // Sort runs gain only the vectorized packed-key formation; the comparison
+  // sort that dominates its per-row cost is scalar either way.
+  p.simd_sort_speedup = 1.1;
   p.simd_multiword_speedup = 1.1;
   return p;
 }
@@ -80,10 +107,17 @@ double OptimizerCostModel::QueryCost(const NodeDesc& u,
     // run the executor's cheaper packed/dense kernels. Mirrors the engine's
     // work accounting (AggCpuPerRow in exec/exec_context.h), scaled down by
     // the kernel's vectorization speedup when the params carry one.
-    const AggKernel kernel = PredictKernel(base_, v.columns);
+    const AggKernel kernel = PredictKernel(base_, v.columns, u.rows, params_);
     cost += u.rows * AggCpuPerRow(kernel, v.rows) /
             SimdSpeedupFor(params_, kernel);
     cost += v.rows * params_.group_build;
+    // Spill regime (exec/spill_partitioner.h): a group table too large for
+    // the RAM budget grace-hashes through disk — every input row's record
+    // is written to a partition file and read back once during replay.
+    if (params_.spill_ram_budget_bytes > 0 &&
+        v.rows * params_.group_state_byte > params_.spill_ram_budget_bytes) {
+      cost += u.rows * 2.0 * kSpillRecordBytes * params_.spill_byte;
+    }
   }
   cache_.emplace(key, cost);
   return cost;

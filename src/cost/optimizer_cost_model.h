@@ -34,6 +34,24 @@ struct CostParams {
   double group_build = 16.0;      ///< per output group (hash build, emit)
   double materialize_byte = 2.0;  ///< per byte spooled into a temp table
 
+  /// Hash-vs-sort crossover mirrored from the executor's kernel ladder
+  /// (exec/agg_kernel.h kSortCrossoverGroups): a packed-eligible edge whose
+  /// estimated group count exceeds this is priced as the sort-runs kernel,
+  /// so plans rank materialization candidates with the kernel the engine
+  /// will actually run.
+  double sort_crossover_groups = 1048576.0;  // 1 << 20
+
+  /// Out-of-core regime. When spill_ram_budget_bytes > 0 and an edge's
+  /// estimated group-table bytes (group count * group_state_byte) exceed
+  /// it, the executor will grace-hash through disk: the model adds the
+  /// radix-partition write plus the replay read of one fixed-width record
+  /// per input row, priced at spill_byte per byte — matching
+  /// WorkCounters::WorkUnits, which charges spill bytes at 1.0. 0 (the
+  /// default) prices the uncapped in-memory engine.
+  double spill_ram_budget_bytes = 0.0;
+  double spill_byte = 1.0;        ///< per spill-file byte written or read
+  double group_state_byte = 48.0; ///< est. resident bytes per hash group
+
   /// Per-kernel aggregation-CPU speedup from the vectorized hot loops
   /// (exec/simd.h): QueryCost divides the predicted kernel's AggCpuPerRow
   /// charge by its factor. Defaults of 1.0 price scalar execution, which
@@ -43,6 +61,7 @@ struct CostParams {
   /// the measured counters. SimdAwareCostParams() fills in measured values.
   double simd_dense_speedup = 1.0;      ///< dense-array kernel
   double simd_packed_speedup = 1.0;     ///< packed single-word key kernel
+  double simd_sort_speedup = 1.0;       ///< sort-runs kernel
   double simd_multiword_speedup = 1.0;  ///< multi-word key kernel
 };
 

@@ -61,13 +61,13 @@ AggKernelPlan PlanAggKernel(const Table& input, ColumnSet grouping,
   if (preferred != AggKernel::kMultiWord) {
     // Packed eligibility: value bits + one NULL bit per nullable column
     // must fit one word. Layout: value fields low-to-high in column order,
-    // then the NULL bits.
+    // then the NULL bits. kSortRuns shares the layout — it sorts the very
+    // same packed words — so eligibility is identical.
     int bits = 0;
     for (const KernelColumn& kc : plan.cols) {
       bits += kc.bits + (kc.nullable ? 1 : 0);
     }
     if (bits <= 64) {
-      plan.kernel = AggKernel::kPackedKey;
       int shift = 0;
       for (KernelColumn& kc : plan.cols) {
         kc.shift = shift;
@@ -78,6 +78,23 @@ AggKernelPlan PlanAggKernel(const Table& input, ColumnSet grouping,
       }
       plan.total_bits = shift;
       plan.key_width = 1;
+      if (preferred == AggKernel::kSortRuns) {
+        plan.kernel = AggKernel::kSortRuns;
+      } else if (preferred == AggKernel::kDenseArray) {
+        // Auto ladder: hash-vs-sort crossover. The group count is at most
+        // the smaller of the row count and the packed key domain (2 ^
+        // total_bits, saturated); only past the crossover does the hash
+        // build's miss-dominated tail lose to the sort. Forcing kPackedKey
+        // pins the hash side, so the crossover never flips a forced run.
+        const uint64_t domain =
+            plan.total_bits >= 64 ? UINT64_MAX : (1ull << plan.total_bits);
+        const uint64_t est_groups = std::min<uint64_t>(input.num_rows(), domain);
+        plan.kernel = est_groups > kSortCrossoverGroups
+                          ? AggKernel::kSortRuns
+                          : AggKernel::kPackedKey;
+      } else {
+        plan.kernel = AggKernel::kPackedKey;
+      }
       return plan;
     }
   }

@@ -9,9 +9,13 @@
 //      plus a NULL slot for nullable columns) fits kDenseSlotBudget, group
 //      lookup is a direct index into a dense slot array: no hashing, no key
 //      compares.
-//   2. kPackedKey  — if the per-column bit-widths (plus one NULL bit per
-//      nullable column) sum to <= 64, all grouping columns are bit-packed
-//      into a single uint64 GroupHashTable key: one-word hash + compares.
+//   2. kPackedKey / kSortRuns — if the per-column bit-widths (plus one NULL
+//      bit per nullable column) sum to <= 64, all grouping columns are
+//      bit-packed into a single uint64 key. Small estimated group counts
+//      build a one-word GroupHashTable (kPackedKey); past the hash-vs-sort
+//      crossover (kSortCrossoverGroups) the same packed keys are instead
+//      sorted and folded run-by-run (kSortRuns), trading the hash build's
+//      cache-miss-dominated probes for a comparison sort.
 //   3. kMultiWord  — the general case: one key word per grouping column
 //      plus a null-mask word, exactly the layout KeyBuilder produces.
 //
@@ -36,6 +40,15 @@ namespace gbmqo {
 /// 4-byte tags, the scale at which direct indexing stays cache-resident and
 /// beats hashing. Domain products above this fall back to a hash kernel.
 inline constexpr uint64_t kDenseSlotBudget = 1ull << 18;
+
+/// Hash-vs-sort crossover: when the estimated group count — the smaller of
+/// the input row count and the packed key domain — exceeds this, the auto
+/// ladder picks kSortRuns over kPackedKey. At this scale most hash probes
+/// miss cache while the sort's sequential passes do not (the regime mapped
+/// by the hash-vs-sort literature); below it the hash build is cheaper.
+/// Mirrored by OptimizerCostModel's CostParams::sort_crossover_groups so
+/// plans price the kernel the executor will actually run.
+inline constexpr uint64_t kSortCrossoverGroups = 1ull << 20;
 
 /// Per-grouping-column packing/indexing parameters.
 struct KernelColumn {
@@ -62,7 +75,9 @@ struct AggKernelPlan {
 
 /// Plans the kernel for `grouping` over `input`. `preferred` is where the
 /// fallback ladder starts (the test/bench forcing knob): kDenseArray tries
-/// all three, kPackedKey skips dense, kMultiWord forces the general kernel.
+/// the whole ladder (including the sort crossover), kPackedKey skips dense
+/// and pins the hash side of the crossover, kSortRuns pins the sort side
+/// (packed-eligible inputs only), kMultiWord forces the general kernel.
 /// An ineligible preference falls through to the next rung, so forcing is
 /// always safe.
 AggKernelPlan PlanAggKernel(const Table& input, ColumnSet grouping,

@@ -21,6 +21,8 @@ enum class AggKernel {
   kDenseArray,  ///< direct-indexed accumulator array, no hashing
   kPackedKey,   ///< all grouping columns bit-packed into one uint64 hash key
   kMultiWord,   ///< one key word per grouping column (+ null word); fallback
+  kSortRuns,    ///< sort packed keys, fold equal-key runs; high-group-count
+                ///< and spill-replay rung (packed-eligible inputs only)
 };
 
 inline const char* AggKernelName(AggKernel k) {
@@ -31,6 +33,8 @@ inline const char* AggKernelName(AggKernel k) {
       return "packed";
     case AggKernel::kMultiWord:
       return "multiword";
+    case AggKernel::kSortRuns:
+      return "sort";
   }
   return "?";
 }
@@ -57,6 +61,17 @@ inline double PackedAggCpuPerRow(double groups) {
 /// cache-resident, so there is no cardinality ramp.
 inline constexpr double kDenseArrayAggCpuPerRow = 1.5;
 
+/// Sort-runs kernel: the per-row cost is dominated by the LSD radix sort of
+/// packed keys (linear passes over the key's bit width), which is nearly
+/// flat in the group count — runs of equal keys fold sequentially with no
+/// probing, so there is no cache-miss ramp to pay.
+/// Costs more than a cache-resident hash build at low group counts, far less
+/// than the hash kernels' miss-dominated tail at high ones (the hash-vs-sort
+/// crossover; see OptimizerCostModel's sort_crossover_groups).
+inline double SortAggCpuPerRow(double groups) {
+  return 6.0 + 90.0 * (groups / (groups + 200000.0));
+}
+
 /// Per-input-row aggregation CPU for `kernel` producing `groups` groups.
 inline double AggCpuPerRow(AggKernel kernel, double groups) {
   switch (kernel) {
@@ -66,6 +81,8 @@ inline double AggCpuPerRow(AggKernel kernel, double groups) {
       return PackedAggCpuPerRow(groups);
     case AggKernel::kMultiWord:
       return HashAggCpuPerRow(groups);
+    case AggKernel::kSortRuns:
+      return SortAggCpuPerRow(groups);
   }
   return HashAggCpuPerRow(groups);
 }
@@ -88,6 +105,15 @@ struct WorkCounters {
   uint64_t dense_kernel_rows = 0;
   uint64_t packed_kernel_rows = 0;
   uint64_t multiword_kernel_rows = 0;
+  uint64_t sort_kernel_rows = 0;
+  /// Out-of-core aggregation (exec/spill_partitioner.h): queries completed
+  /// via the radix-spill path, partition files replayed, and spill I/O. All
+  /// pure functions of (input, budget) like the other counters — whether a
+  /// query spills depends only on its realized group-table bytes.
+  uint64_t queries_spilled = 0;
+  uint64_t spill_partitions = 0;
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
   /// Accumulator of the row-store scan simulation (ScanMode::kRowStore):
   /// folding every column of every scanned row in here keeps the full-width
   /// touch from being optimized away. Value is meaningless; ignore it.
@@ -116,6 +142,11 @@ struct WorkCounters {
     dense_kernel_rows += o.dense_kernel_rows;
     packed_kernel_rows += o.packed_kernel_rows;
     multiword_kernel_rows += o.multiword_kernel_rows;
+    sort_kernel_rows += o.sort_kernel_rows;
+    queries_spilled += o.queries_spilled;
+    spill_partitions += o.spill_partitions;
+    spill_bytes_written += o.spill_bytes_written;
+    spill_bytes_read += o.spill_bytes_read;
     scan_touch_checksum ^= o.scan_touch_checksum;
     tasks_retried += o.tasks_retried;
     tasks_degraded += o.tasks_degraded;
@@ -127,11 +158,13 @@ struct WorkCounters {
   /// Scalar "simulated time" in abstract work units: full-width scan bytes
   /// (as in the paper's cardinality cost model), cardinality-aware
   /// aggregation CPU, materialization writes charged double (write + later
-  /// re-read pressure), and an extra per-row sorting charge.
+  /// re-read pressure), an extra per-row sorting charge, and one unit per
+  /// spill byte moved in either direction.
   double WorkUnits() const {
     return static_cast<double>(bytes_scanned) + agg_cpu_units +
            2.0 * static_cast<double>(bytes_materialized) +
-           64.0 * static_cast<double>(rows_sorted);
+           64.0 * static_cast<double>(rows_sorted) +
+           static_cast<double>(spill_bytes_written + spill_bytes_read);
   }
 };
 

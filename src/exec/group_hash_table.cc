@@ -96,7 +96,9 @@ void GroupHashTable::Grow() {
 
 uint32_t GroupHashTable::InsertAt(size_t pos, uint64_t hash,
                                   const uint64_t* key, bool* inserted) {
-  if (num_groups_ >= max_groups()) throw GroupIdSpaceExhausted();
+  if (num_groups_ >= max_groups()) {
+    throw GroupIdSpaceExhausted(num_groups_, max_groups());
+  }
   const uint32_t id = static_cast<uint32_t>(num_groups_++);
   arena_.insert(arena_.end(), key, key + key_width_);
   slots_[pos] = id + 1;

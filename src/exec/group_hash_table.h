@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -25,10 +26,11 @@ namespace gbmqo {
 /// boundary, like any other resource exhaustion.
 class GroupIdSpaceExhausted : public std::runtime_error {
  public:
-  GroupIdSpaceExhausted()
-      : std::runtime_error(
-            "group id space exhausted: group count reached the uint32 "
-            "id limit") {}
+  explicit GroupIdSpaceExhausted(size_t groups, size_t limit)
+      : std::runtime_error("group id space exhausted: realized " +
+                           std::to_string(groups) +
+                           " groups at the id limit of " +
+                           std::to_string(limit)) {}
 };
 
 /// Maps keys of `key_width` uint64 words to dense ids [0, size()). Uses
@@ -47,6 +49,21 @@ class GroupHashTable {
   /// Looks up `key` (key_width words); inserts if absent. Returns the dense
   /// group id. `*inserted` (optional) reports whether a new group was made.
   uint32_t FindOrInsert(const uint64_t* key, bool* inserted = nullptr);
+
+  /// Appends `key` as a brand-new group without probing — the caller
+  /// guarantees it is not already present (the sort-runs fold sees each
+  /// distinct key exactly once, in ascending order). Only the key arena and
+  /// group count are maintained, not the probe slots, so a table built this
+  /// way is a *merge source only*: KeyOf / size / MergeFrom(src=this) work,
+  /// FindOrInsert on it does not. Charges no probes.
+  uint32_t AppendUnique(const uint64_t* key) {
+    if (num_groups_ >= max_groups()) {
+      throw GroupIdSpaceExhausted(num_groups_, max_groups());
+    }
+    const uint32_t id = static_cast<uint32_t>(num_groups_++);
+    arena_.insert(arena_.end(), key, key + key_width_);
+    return id;
+  }
 
   /// Switches the probe implementation (determinism contract above); usable
   /// at any point, including mid-stream.
@@ -69,6 +86,15 @@ class GroupHashTable {
   /// Total probe count since construction (for work accounting). Strictly
   /// increases by at least one per FindOrInsert.
   uint64_t probes() const { return probes_; }
+
+  /// Realized heap bytes of the slot array, tag metadata, and key arena —
+  /// the quantity charged against the out-of-core memory budget (the spill
+  /// trip must depend on real allocation, not estimates). Uses capacities,
+  /// since reserved-but-unused vector memory is just as resident.
+  size_t ByteSize() const {
+    return slots_.capacity() * sizeof(uint32_t) + meta_.capacity() +
+           arena_.capacity() * sizeof(uint64_t);
+  }
 
   /// Largest representable group count: ids are uint32 and slot tags store
   /// id + 1 (0 = empty), so at most 2^32 - 1 groups exist per table.
@@ -183,7 +209,8 @@ class DenseGroupTable {
     uint32_t& tag = tags_[slot - begin_];
     if (tag == 0) {
       if (group_slots_.size() >= GroupHashTable::max_groups()) {
-        throw GroupIdSpaceExhausted();
+        throw GroupIdSpaceExhausted(group_slots_.size(),
+                                    GroupHashTable::max_groups());
       }
       group_slots_.push_back(slot);
       tag = static_cast<uint32_t>(group_slots_.size());
@@ -195,6 +222,12 @@ class DenseGroupTable {
 
   /// The slot of group `id` (the inverse of FindOrInsert).
   uint32_t SlotOfGroup(uint32_t id) const { return group_slots_[id]; }
+
+  /// Realized heap bytes (see GroupHashTable::ByteSize).
+  size_t ByteSize() const {
+    return tags_.capacity() * sizeof(uint32_t) +
+           group_slots_.capacity() * sizeof(uint32_t);
+  }
 
   /// Merge partition of a slot: `capacity` (the kernel plan's padded
   /// dense_capacity) is a power of two >= `num_partitions` (also a power of

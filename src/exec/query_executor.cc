@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <new>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "common/fault_injector.h"
 #include "exec/agg_kernel.h"
 #include "exec/group_hash_table.h"
+#include "exec/spill_partitioner.h"
 #include "exec/task_runner.h"
+#include "storage/storage_governor.h"
 
 namespace gbmqo {
 
@@ -195,16 +199,21 @@ class AggState {
   /// Representative input row of group `id` (carries the grouping values).
   uint32_t rep_row(uint32_t id) const { return rep_rows_[id]; }
 
-  /// Builds the output table from `parts` concatenated in order (each part
-  /// holds disjoint groups of the same logical query over `input`).
-  static Result<TablePtr> BuildOutput(const Table& input,
-                                      const GroupByQuery& query,
-                                      const std::vector<const AggState*>& parts,
-                                      const std::string& output_name) {
-    // Output schema: grouping columns (input names/types) then aggregates.
+  /// Realized heap bytes of the accumulators (capacities, like the group
+  /// tables' ByteSize) — the AggState share of the spill memory budget.
+  size_t ApproxBytes() const {
+    size_t bytes = rep_rows_.capacity() * sizeof(uint32_t) +
+                   counts_.capacity() * sizeof(uint64_t);
+    for (const std::vector<Accum>& a : acc_) bytes += a.capacity() * sizeof(Accum);
+    return bytes;
+  }
+
+  /// Empty output builder with the query's result schema: grouping columns
+  /// (input names/types) then aggregates.
+  static TableBuilder MakeOutputBuilder(const Table& input,
+                                        const GroupByQuery& query) {
     std::vector<ColumnDef> defs;
-    const std::vector<int> group_cols = query.grouping.ToVector();
-    for (int ordinal : group_cols) {
+    for (int ordinal : query.grouping.ToVector()) {
       defs.push_back(input.schema().column(ordinal));
     }
     for (const AggregateSpec& agg : query.aggregates) {
@@ -216,46 +225,59 @@ class AggState {
       }
       defs.push_back(ColumnDef{agg.output_name, out_type, nullable});
     }
-    TableBuilder builder{Schema(std::move(defs))};
+    return TableBuilder{Schema(std::move(defs))};
+  }
 
-    size_t n = 0;
-    for (const AggState* part : parts) n += part->num_groups();
+  /// Appends this part's groups (in id order) to `builder`'s columns. Parts
+  /// appended in canonical partition order reproduce BuildOutput exactly;
+  /// the spill path appends partition-by-partition so only one partition's
+  /// state is ever resident alongside the output.
+  void AppendTo(TableBuilder* builder, const Table& input,
+                const GroupByQuery& query) const {
+    const std::vector<int> group_cols = query.grouping.ToVector();
     for (size_t c = 0; c < group_cols.size(); ++c) {
-      Column* out = builder.column(static_cast<int>(c));
+      Column* out = builder->column(static_cast<int>(c));
       const Column& in = input.column(group_cols[c]);
-      out->Reserve(n);
-      for (const AggState* part : parts) {
-        for (size_t g = 0; g < part->num_groups(); ++g) {
-          out->AppendFrom(in, part->rep_rows_[g]);
-        }
+      for (size_t g = 0; g < num_groups(); ++g) {
+        out->AppendFrom(in, rep_rows_[g]);
       }
     }
     for (size_t a = 0; a < query.aggregates.size(); ++a) {
       const AggregateSpec& agg = query.aggregates[a];
-      Column* out = builder.column(static_cast<int>(group_cols.size() + a));
-      out->Reserve(n);
+      Column* out = builder->column(static_cast<int>(group_cols.size() + a));
       if (agg.kind == AggKind::kCountStar) {
-        for (const AggState* part : parts) {
-          for (size_t g = 0; g < part->num_groups(); ++g) {
-            out->AppendInt64(static_cast<int64_t>(part->counts_[g]));
-          }
+        for (size_t g = 0; g < num_groups(); ++g) {
+          out->AppendInt64(static_cast<int64_t>(counts_[g]));
         }
         continue;
       }
       const DataType out_type = input.schema().column(agg.arg).type;
-      for (const AggState* part : parts) {
-        for (size_t g = 0; g < part->num_groups(); ++g) {
-          const Accum& acc = part->acc_[a][g];
-          if (!acc.seen) {
-            out->AppendNull();
-          } else if (out_type == DataType::kInt64) {
-            out->AppendInt64(static_cast<int64_t>(acc.value));
-          } else {
-            out->AppendDouble(acc.value);
-          }
+      for (size_t g = 0; g < num_groups(); ++g) {
+        const Accum& acc = acc_[a][g];
+        if (!acc.seen) {
+          out->AppendNull();
+        } else if (out_type == DataType::kInt64) {
+          out->AppendInt64(static_cast<int64_t>(acc.value));
+        } else {
+          out->AppendDouble(acc.value);
         }
       }
     }
+  }
+
+  /// Builds the output table from `parts` concatenated in order (each part
+  /// holds disjoint groups of the same logical query over `input`).
+  static Result<TablePtr> BuildOutput(const Table& input,
+                                      const GroupByQuery& query,
+                                      const std::vector<const AggState*>& parts,
+                                      const std::string& output_name) {
+    TableBuilder builder = MakeOutputBuilder(input, query);
+    size_t n = 0;
+    for (const AggState* part : parts) n += part->num_groups();
+    const int ncols =
+        static_cast<int>(query.grouping.ToVector().size() + query.aggregates.size());
+    for (int c = 0; c < ncols; ++c) builder.column(c)->Reserve(n);
+    for (const AggState* part : parts) part->AppendTo(&builder, input, query);
     return builder.Build(output_name);
   }
 
@@ -432,28 +454,74 @@ struct ShardAgg {
   uint64_t probes() const { return table != nullptr ? table->probes() : 0; }
 };
 
+/// Stable LSD radix sort of (key, ordinal) pairs by key, one byte per pass
+/// over the key's actual bit width (AggKernelPlan::total_bits). Equivalent
+/// to std::sort by (key, ordinal) — stability keeps ordinals ascending
+/// within equal keys — but runs in ceil(bits/8) linear passes instead of
+/// log2(n) comparison levels, which is what makes the sort-runs kernel
+/// competitive with hashing at high group counts.
+void RadixSortByKey(std::vector<std::pair<uint64_t, uint32_t>>* v,
+                    int total_bits) {
+  const int passes = total_bits <= 8 ? 1 : (total_bits + 7) / 8;
+  std::vector<std::pair<uint64_t, uint32_t>> scratch(v->size());
+  auto* src = v;
+  auto* dst = &scratch;
+  size_t count[256];
+  for (int p = 0; p < passes; ++p) {
+    const int shift = p * 8;
+    std::fill(std::begin(count), std::end(count), 0);
+    for (const auto& e : *src) ++count[(e.first >> shift) & 0xFF];
+    size_t pos = 0;
+    for (size_t b = 0; b < 256; ++b) {
+      const size_t c = count[b];
+      count[b] = pos;
+      pos += c;
+    }
+    for (const auto& e : *src) {
+      (*dst)[count[(e.first >> shift) & 0xFF]++] = e;
+    }
+    std::swap(src, dst);
+  }
+  if (src != v) *v = std::move(*src);
+}
+
 /// Builds one shard of one query block-at-a-time: BlockKeyFiller produces
 /// the block's keys (one type dispatch per column per block), then a tight
-/// per-row loop inserts into the kernel's group table.
+/// per-row loop inserts into the kernel's group table. The sort-runs kernel
+/// instead buffers (packed key, row) pairs and folds them at Take(). When a
+/// MemoryMeter is attached, the builder reports its realized byte growth
+/// after every block, so an over-budget build trips SpillRequired at block
+/// granularity.
 class ShardBuilder {
  public:
   ShardBuilder(const Table& input, const GroupByQuery& query,
                const AggKernelPlan& plan, size_t shard_rows,
-               SimdLevel simd = DetectedSimdLevel())
-      : plan_(&plan), simd_(simd), filler_(plan, simd) {
+               SimdLevel simd = DetectedSimdLevel(),
+               MemoryMeter* meter = nullptr)
+      : plan_(&plan), simd_(simd), filler_(plan, simd), meter_(meter) {
     agg_.state = std::make_unique<AggState>(input, query);
-    agg_.state->ReserveGroups(shard_rows / 8 + 16);
     if (plan.kernel == AggKernel::kDenseArray) {
+      agg_.state->ReserveGroups(shard_rows / 8 + 16);
       agg_.dense = std::make_unique<DenseGroupTable>(0, plan.dense_capacity,
                                                      simd);
       slots_.resize(BlockKeyFiller::kBlockRows);
       ids_.resize(BlockKeyFiller::kBlockRows);
+    } else if (plan.kernel == AggKernel::kSortRuns) {
+      // Run-fold accumulators grow only per distinct key; the dominant
+      // allocations are the (key, ordinal) and row buffers, one entry per
+      // shard row.
+      sort_rows_.reserve(shard_rows);
+      positions_.reserve(shard_rows);
+      keys_.resize(BlockKeyFiller::kBlockRows);
+      agg_.table = std::make_unique<GroupHashTable>(plan.key_width, 64, simd);
     } else {
+      agg_.state->ReserveGroups(shard_rows / 8 + 16);
       agg_.table = std::make_unique<GroupHashTable>(
           plan.key_width, shard_rows / 8 + 16, simd);
       keys_.resize(BlockKeyFiller::kBlockRows *
                    static_cast<size_t>(plan.key_width));
     }
+    ReportMemory();
   }
 
   /// Folds rows [begin, begin+count) in; count <= BlockKeyFiller::kBlockRows.
@@ -492,6 +560,15 @@ class ShardBuilder {
         }
         break;
       }
+      case AggKernel::kSortRuns: {
+        filler_.FillPacked(begin, count, keys_.data());
+        for (size_t i = 0; i < count; ++i) {
+          sort_rows_.emplace_back(keys_[i],
+                                  static_cast<uint32_t>(positions_.size()));
+          positions_.push_back(static_cast<uint32_t>(begin + i));
+        }
+        break;
+      }
       case AggKernel::kMultiWord: {
         filler_.FillMultiWord(begin, count, keys_.data());
         GroupHashTable& table = *agg_.table;
@@ -504,18 +581,73 @@ class ShardBuilder {
         break;
       }
     }
+    ReportMemory();
   }
 
-  ShardAgg Take() { return std::move(agg_); }
+  ShardAgg Take() {
+    if (plan_->kernel == AggKernel::kSortRuns) {
+      FinalizeSortRuns();
+      ReportMemory();
+    }
+    return std::move(agg_);
+  }
 
  private:
+  /// Sort-runs fold, two passes, no hash probing. Pass 1 sorts by
+  /// (key, ordinal) — ordinals ascend in shard scan order, so rows ascend
+  /// within each equal key — then appends each distinct key once
+  /// (AppendUnique: keys arrive ascending, so group ids are dense in key
+  /// order and the table is a valid merge source) and scatters the group id
+  /// back to its ordinal. Pass 2 updates the accumulators in shard scan
+  /// order, so aggregate-argument columns are read with the same locality
+  /// as the hash kernels. Per-group update order is row-ascending either
+  /// way, so results are bit-identical to a sorted-order fold.
+  void FinalizeSortRuns() {
+    RadixSortByKey(&sort_rows_, plan_->total_bits);
+    GroupHashTable& table = *agg_.table;
+    AggState& state = *agg_.state;
+    sort_ids_.resize(sort_rows_.size());
+    uint32_t id = 0;
+    for (size_t i = 0; i < sort_rows_.size(); ++i) {
+      if (i == 0 || sort_rows_[i].first != sort_rows_[i - 1].first) {
+        id = table.AppendUnique(&sort_rows_[i].first);
+        state.Touch(id, positions_[sort_rows_[i].second]);
+      }
+      sort_ids_[sort_rows_[i].second] = id;
+    }
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      state.Update(sort_ids_[i], positions_[i]);
+    }
+  }
+
+  void ReportMemory() {
+    if (meter_ == nullptr) return;
+    size_t bytes =
+        agg_.state->ApproxBytes() +
+        sort_rows_.capacity() * sizeof(std::pair<uint64_t, uint32_t>) +
+        (positions_.capacity() + sort_ids_.capacity()) * sizeof(uint32_t);
+    if (agg_.table != nullptr) bytes += agg_.table->ByteSize();
+    if (agg_.dense != nullptr) bytes += agg_.dense->ByteSize();
+    meter_->Charge(static_cast<int64_t>(bytes) -
+                   static_cast<int64_t>(reported_bytes_));
+    reported_bytes_ = bytes;
+  }
+
   const AggKernelPlan* plan_;
   SimdLevel simd_;
   BlockKeyFiller filler_;
+  MemoryMeter* meter_;
+  size_t reported_bytes_ = 0;
   ShardAgg agg_;
   std::vector<uint64_t> keys_;   // hash kernels: count * key_width words
   std::vector<uint32_t> slots_;  // dense kernel: count slots
   std::vector<uint32_t> ids_;    // dense kernel: block group ids (columnar)
+  // sort-runs kernel, folded at Take(): (packed key, ordinal) pairs plus
+  // ordinal -> global row and ordinal -> group id for the scan-order
+  // update pass.
+  std::vector<std::pair<uint64_t, uint32_t>> sort_rows_;
+  std::vector<uint32_t> positions_;
+  std::vector<uint32_t> sort_ids_;
 };
 
 /// Merges `shards[*]` for one query into `out` (the `partition`-th of
@@ -526,7 +658,7 @@ class ShardBuilder {
 void MergePartition(const Table& input, const GroupByQuery& query,
                     const AggKernelPlan& plan, std::vector<ShardAgg>& shards,
                     size_t total_groups, int partition, ShardAgg* out,
-                    SimdLevel simd) {
+                    SimdLevel simd, MemoryMeter* meter = nullptr) {
   constexpr int kParts = QueryExecutor::kMergePartitions;
   ShardAgg merged;
   merged.state = std::make_unique<AggState>(input, query);
@@ -554,6 +686,12 @@ void MergePartition(const Table& input, const GroupByQuery& query,
       merged.state->MergeGroup(dst, *shard.state, src);
     }
   }
+  if (meter != nullptr) {
+    size_t bytes = merged.state->ApproxBytes();
+    if (merged.table != nullptr) bytes += merged.table->ByteSize();
+    if (merged.dense != nullptr) bytes += merged.dense->ByteSize();
+    meter->Charge(static_cast<int64_t>(bytes));
+  }
   *out = std::move(merged);
 }
 
@@ -567,6 +705,9 @@ void ChargeKernel(WorkCounters* wc, AggKernel kernel, size_t rows,
       break;
     case AggKernel::kPackedKey:
       wc->packed_kernel_rows += rows;
+      break;
+    case AggKernel::kSortRuns:
+      wc->sort_kernel_rows += rows;
       break;
     case AggKernel::kMultiWord:
       wc->multiword_kernel_rows += rows;
@@ -588,6 +729,287 @@ void InjectAllocPressure(uint64_t salt, uint64_t ordinal) {
   }
 }
 
+// ---- Out-of-core (grace-hash) aggregation -----------------------------------
+//
+// RunHashSpill re-runs a hash aggregation whose in-memory build tripped the
+// memory budget (or that SpillOptions::force routed here directly). Pass 1
+// radix-partitions every row on its group key into kMergePartitions spill
+// files per shard — using the *same* partition function the in-memory merge
+// uses — writing records in shard scan order. Pass 2 replays one partition
+// at a time: each (shard, partition) file rebuilds a segment whose
+// first-touch group-id order equals the in-memory shard's id order filtered
+// to that partition (a key's rows all live in one partition, so per-group
+// fold order is untouched), which is exactly the order MergeFrom visits.
+// The unchanged MergePartition therefore reproduces each in-memory
+// partition result bit-for-bit, and appending partitions 0..P-1 reproduces
+// the in-memory output — rows, ids, and double bit patterns — exactly. At
+// most one partition's segments plus its merged state are resident at a
+// time, which is what bounds RAM.
+//
+// Recursion depth is one: partitions are never re-partitioned (a deeper
+// split would need a different partition function and break the id-order
+// equivalence above). A partition that still exceeds the budget proceeds
+// anyway; the overshoot stays visible through the governor's RAM peak.
+
+/// Spill record layouts (fixed width, written in shard scan order):
+/// dense kernel: u32 slot + u32 row; hash kernels: key_width x u64 key
+/// words + u32 row (records are unaligned on disk; replay memcpys through
+/// an aligned buffer).
+size_t SpillRecordBytes(const AggKernelPlan& plan) {
+  return plan.kernel == AggKernel::kDenseArray
+             ? 8
+             : static_cast<size_t>(plan.key_width) * 8 + 4;
+}
+
+/// Rebuilds one (shard, partition) segment from its spill records.
+void BuildSegment(const Table& input, const GroupByQuery& query,
+                  const AggKernelPlan& kplan, int partition,
+                  const std::vector<uint8_t>& data, SimdLevel simd,
+                  MemoryMeter* meter, ShardAgg* out) {
+  constexpr int kParts = QueryExecutor::kMergePartitions;
+  const size_t rec = SpillRecordBytes(kplan);
+  const size_t nrec = data.size() / rec;
+  ShardAgg seg;
+  seg.state = std::make_unique<AggState>(input, query);
+  if (kplan.kernel == AggKernel::kDenseArray) {
+    // The segment only ever sees partition-local slots, so its tag array
+    // covers just this partition's contiguous slot range.
+    const uint64_t range = kplan.dense_capacity / kParts;
+    seg.dense = std::make_unique<DenseGroupTable>(
+        range * static_cast<uint64_t>(partition),
+        range * static_cast<uint64_t>(partition + 1), simd);
+    seg.state->ReserveGroups(nrec / 8 + 16);
+    for (size_t i = 0; i < nrec; ++i) {
+      uint32_t slot = 0;
+      uint32_t row = 0;
+      std::memcpy(&slot, data.data() + i * rec, 4);
+      std::memcpy(&row, data.data() + i * rec + 4, 4);
+      const uint32_t id = seg.dense->FindOrInsert(slot);
+      seg.state->Touch(id, row);
+      seg.state->Update(id, row);
+    }
+  } else if (kplan.kernel == AggKernel::kSortRuns) {
+    seg.table = std::make_unique<GroupHashTable>(kplan.key_width, 64, simd);
+    // Same two-pass fold as ShardBuilder::FinalizeSortRuns. Records sit in
+    // shard scan order, so the record index is the ordinal: sort
+    // (key, ordinal), append each distinct key once (ascending), scatter
+    // ids, then update in record order — rows ascend within each key on
+    // both passes, so the segment is bit-identical to the in-memory shard's
+    // fold filtered to this partition.
+    std::vector<std::pair<uint64_t, uint32_t>> order;
+    std::vector<uint32_t> rows(nrec);
+    std::vector<uint32_t> ids(nrec);
+    order.reserve(nrec);
+    for (size_t i = 0; i < nrec; ++i) {
+      uint64_t key = 0;
+      std::memcpy(&key, data.data() + i * rec, 8);
+      std::memcpy(&rows[i], data.data() + i * rec + 8, 4);
+      order.emplace_back(key, static_cast<uint32_t>(i));
+    }
+    RadixSortByKey(&order, kplan.total_bits);
+    uint32_t id = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (i == 0 || order[i].first != order[i - 1].first) {
+        id = seg.table->AppendUnique(&order[i].first);
+        seg.state->Touch(id, rows[order[i].second]);
+      }
+      ids[order[i].second] = id;
+    }
+    for (size_t i = 0; i < nrec; ++i) {
+      seg.state->Update(ids[i], rows[i]);
+    }
+  } else {
+    const size_t kw = static_cast<size_t>(kplan.key_width);
+    seg.table = std::make_unique<GroupHashTable>(kplan.key_width,
+                                                 nrec / 8 + 16, simd);
+    seg.state->ReserveGroups(nrec / 8 + 16);
+    std::vector<uint64_t> kbuf(kw);
+    for (size_t i = 0; i < nrec; ++i) {
+      std::memcpy(kbuf.data(), data.data() + i * rec, kw * 8);
+      uint32_t row = 0;
+      std::memcpy(&row, data.data() + i * rec + kw * 8, 4);
+      const uint32_t id = seg.table->FindOrInsert(kbuf.data());
+      seg.state->Touch(id, row);
+      seg.state->Update(id, row);
+    }
+  }
+  if (meter != nullptr) {
+    size_t bytes = seg.state->ApproxBytes();
+    if (seg.table != nullptr) bytes += seg.table->ByteSize();
+    if (seg.dense != nullptr) bytes += seg.dense->ByteSize();
+    meter->Charge(static_cast<int64_t>(bytes));
+  }
+  *out = std::move(seg);
+}
+
+/// The grace-hash spill path for one hash group-by. The caller has already
+/// charged the per-query scan counters (queries_executed, rows_scanned,
+/// bytes_scanned); this charges everything downstream of the scan —
+/// checksum, probes, kernel rows, rows_emitted — plus the spill_* counters,
+/// exactly once, whether the in-memory attempt tripped early or late.
+Result<TablePtr> RunHashSpill(const Table& input, const GroupByQuery& query,
+                              const std::string& output_name,
+                              const AggKernelPlan& kplan,
+                              const MorselLayout& layout,
+                              const SpillOptions& spill, bool touch,
+                              int parallelism, SimdLevel simd,
+                              ExecContext* ctx) {
+  constexpr int kParts = QueryExecutor::kMergePartitions;
+  const int shards = layout.shards;
+  auto files_r = SpillFileSet::Create(spill.directory, shards * kParts,
+                                      spill.max_spill_bytes, spill.governor);
+  if (!files_r.ok()) return files_r.status();
+  const std::unique_ptr<SpillFileSet> files = std::move(files_r).ValueOrDie();
+
+  WorkCounters& wc = ctx->counters();
+  const CancellationToken* tok = ctx->cancellation();
+  const uint64_t salt = ctx->fault_salt();
+
+  // Pass 1: radix-partition. Each shard stages records per partition and
+  // flushes to its own file range (single writer per file), so the staging
+  // working set is shards * partitions * kFlushBytes regardless of input
+  // size.
+  constexpr size_t kFlushBytes = size_t{1} << 15;
+  std::vector<Status> shard_status(static_cast<size_t>(shards));
+  std::vector<uint64_t> shard_checksums(static_cast<size_t>(shards), 0);
+  RunTasks(shards, parallelism, [&](int s) {
+    Status& st = shard_status[static_cast<size_t>(s)];
+    BlockKeyFiller filler(kplan, simd);
+    const bool dense = kplan.kernel == AggKernel::kDenseArray;
+    const size_t kw = static_cast<size_t>(kplan.key_width);
+    std::vector<uint64_t> keys;
+    std::vector<uint32_t> slots;
+    if (dense) {
+      slots.resize(BlockKeyFiller::kBlockRows);
+    } else {
+      keys.resize(BlockKeyFiller::kBlockRows * kw);
+    }
+    std::vector<std::vector<uint8_t>> stage(kParts);
+    RowToucher shard_toucher(input, touch);
+    const auto flush = [&](int p) {
+      std::vector<uint8_t>& buf = stage[static_cast<size_t>(p)];
+      const int file = s * kParts + p;
+      const Status ap =
+          files->Append(file, FaultKey(salt, 0x57000000ull + file), buf.data(),
+                        buf.size());
+      if (!ap.ok() && st.ok()) st = ap;
+      buf.clear();
+    };
+    layout.ForEachShardBlock(
+        s, BlockKeyFiller::kBlockRows, [&](size_t begin, size_t count) {
+          if (!st.ok()) return;
+          if (tok != nullptr && tok->Fired()) return;
+          for (size_t r = begin; r < begin + count; ++r) {
+            shard_toucher.Touch(r);
+          }
+          if (dense) {
+            filler.FillDense(begin, count, slots.data());
+            for (size_t i = 0; i < count; ++i) {
+              const int p = DenseGroupTable::PartitionOfSlot(
+                  slots[i], kParts, kplan.dense_capacity);
+              std::vector<uint8_t>& buf = stage[static_cast<size_t>(p)];
+              const uint32_t row = static_cast<uint32_t>(begin + i);
+              const uint8_t* sp = reinterpret_cast<const uint8_t*>(&slots[i]);
+              buf.insert(buf.end(), sp, sp + 4);
+              const uint8_t* rp = reinterpret_cast<const uint8_t*>(&row);
+              buf.insert(buf.end(), rp, rp + 4);
+              if (buf.size() >= kFlushBytes) flush(p);
+            }
+          } else {
+            if (kplan.kernel == AggKernel::kMultiWord) {
+              filler.FillMultiWord(begin, count, keys.data());
+            } else {
+              filler.FillPacked(begin, count, keys.data());
+            }
+            for (size_t i = 0; i < count; ++i) {
+              const uint64_t* keyp = keys.data() + i * kw;
+              const int p = GroupHashTable::PartitionOfHash(
+                  GroupHashTable::Hash(keyp, kplan.key_width), kParts);
+              std::vector<uint8_t>& buf = stage[static_cast<size_t>(p)];
+              const uint8_t* kp = reinterpret_cast<const uint8_t*>(keyp);
+              buf.insert(buf.end(), kp, kp + kw * 8);
+              const uint32_t row = static_cast<uint32_t>(begin + i);
+              const uint8_t* rp = reinterpret_cast<const uint8_t*>(&row);
+              buf.insert(buf.end(), rp, rp + 4);
+              if (buf.size() >= kFlushBytes) flush(p);
+            }
+          }
+        });
+    if (st.ok() && (tok == nullptr || !tok->Fired())) {
+      for (int p = 0; p < kParts; ++p) {
+        if (!stage[static_cast<size_t>(p)].empty()) flush(p);
+      }
+    }
+    shard_checksums[static_cast<size_t>(s)] = shard_toucher.checksum();
+  });
+  for (const Status& s : shard_status) GBMQO_RETURN_NOT_OK(s);
+  GBMQO_RETURN_NOT_OK(ctx->CheckCancelled());
+  GBMQO_RETURN_NOT_OK(files->FinishWrites());
+  for (uint64_t c : shard_checksums) wc.scan_touch_checksum ^= c;
+
+  // Pass 2: replay partitions 0..P-1 in order, appending each merged
+  // partition to the output builder before the next partition's state is
+  // built. Segment rebuilds within a partition run in parallel.
+  TableBuilder builder = AggState::MakeOutputBuilder(input, query);
+  uint64_t probes = 0;
+  size_t groups = 0;
+  uint64_t bytes_read = 0;
+  uint64_t ram_peak = 0;
+  for (int p = 0; p < kParts; ++p) {
+    GBMQO_RETURN_NOT_OK(ctx->CheckCancelled());
+    if (GBMQO_INJECT_FAULT(FaultSite::kSpillMerge,
+                           FaultKey(salt, 0x4D000000ull + p))) {
+      return Status::Internal("injected spill merge failure");
+    }
+    MemoryMeter part_meter(0, /*trip=*/false);
+    std::vector<ShardAgg> segs(static_cast<size_t>(shards));
+    std::vector<Status> seg_status(static_cast<size_t>(shards));
+    std::vector<uint64_t> seg_bytes(static_cast<size_t>(shards), 0);
+    RunTasks(shards, parallelism, [&](int s) {
+      const int file = s * kParts + p;
+      Result<std::vector<uint8_t>> data =
+          files->ReadAll(file, FaultKey(salt, 0x52000000ull + file));
+      if (!data.ok()) {
+        seg_status[static_cast<size_t>(s)] = data.status();
+        return;
+      }
+      seg_bytes[static_cast<size_t>(s)] = (*data).size();
+      part_meter.Charge(static_cast<int64_t>((*data).size()));
+      BuildSegment(input, query, kplan, p, *data, simd, &part_meter,
+                   &segs[static_cast<size_t>(s)]);
+    });
+    for (const Status& s : seg_status) GBMQO_RETURN_NOT_OK(s);
+    for (uint64_t b : seg_bytes) bytes_read += b;
+    size_t part_total = 0;
+    for (const ShardAgg& seg : segs) {
+      part_total += seg.groups();
+      probes += seg.probes();
+    }
+    ShardAgg merged;
+    MergePartition(input, query, kplan, segs, part_total * kParts, p, &merged,
+                   simd, &part_meter);
+    probes += merged.probes();
+    groups += merged.groups();
+    merged.state->AppendTo(&builder, input, query);
+    ram_peak = std::max(ram_peak, part_meter.peak());
+  }
+  if (spill.governor != nullptr && ram_peak > 0) {
+    // Record the replay's realized RAM working set in the governor's peak
+    // high-water mark, so callers can assert the out-of-core run actually
+    // stayed under the cap.
+    spill.governor->ForceReserve(static_cast<double>(ram_peak));
+    spill.governor->Release(static_cast<double>(ram_peak));
+  }
+  wc.queries_spilled += 1;
+  wc.spill_partitions += static_cast<uint64_t>(kParts);
+  wc.spill_bytes_written += files->bytes_written();
+  wc.spill_bytes_read += bytes_read;
+  wc.hash_probes += probes;
+  ChargeKernel(&wc, kplan.kernel, layout.num_rows, groups);
+  wc.rows_emitted += groups;
+  return builder.Build(output_name);
+}
+
 }  // namespace
 
 Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
@@ -597,6 +1019,11 @@ Result<TablePtr> QueryExecutor::ExecuteGroupBy(const Table& input,
   try {
     return ExecuteGroupByImpl(input, query, output_name, strategy);
   } catch (const GroupIdSpaceExhausted& e) {
+    return Status::ResourceExhausted(e.what());
+  } catch (const SpillRequired& e) {
+    // Defensive: the impl restarts eligible trips on the spill path before
+    // they reach here; anything else surfaces with realized-vs-budgeted
+    // numbers.
     return Status::ResourceExhausted(e.what());
   }
 }
@@ -657,63 +1084,90 @@ Result<TablePtr> QueryExecutor::ExecuteGroupByImpl(
           forced_kernel_.value_or(AggKernel::kDenseArray));
       const MorselLayout layout(n);
       const bool touch = scan_mode_ == ScanMode::kRowStore;
-      std::vector<ShardAgg> shards(static_cast<size_t>(layout.shards));
-      std::vector<uint64_t> shard_checksums(static_cast<size_t>(layout.shards), 0);
-      const CancellationToken* tok = ctx_->cancellation();
-      const uint64_t salt = ctx_->fault_salt();
       const SimdLevel simd = simd_level();
-      RunTasks(layout.shards, parallelism_, [&](int s) {
-        InjectAllocPressure(salt, static_cast<uint64_t>(s));
-        ShardBuilder builder(input, query, kplan, layout.ShardRows(s), simd);
-        RowToucher shard_toucher(input, touch);
-        layout.ForEachShardBlock(
-            s, BlockKeyFiller::kBlockRows, [&](size_t begin, size_t count) {
-              // Morsel-boundary cancellation point: a fired token stops the
-              // scan early; the caller surfaces Cancelled before any output
-              // is built from the partial state.
-              if (tok != nullptr && tok->Fired()) return;
-              for (size_t r = begin; r < begin + count; ++r) {
-                shard_toucher.Touch(r);
-              }
-              builder.Consume(begin, count);
-            });
-        shards[static_cast<size_t>(s)] = builder.Take();
-        shard_checksums[static_cast<size_t>(s)] = shard_toucher.checksum();
-      });
-      GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
-
-      uint64_t probes = 0;
-      size_t groups = 0;
-      for (const ShardAgg& shard : shards) probes += shard.probes();
-      for (uint64_t c : shard_checksums) wc.scan_touch_checksum ^= c;
-
-      if (layout.shards <= 1) {
-        // Single-shard fast path: the shard already holds the final groups
-        // in first-occurrence order — identical to serial aggregation.
-        if (!shards.empty()) {
-          groups = shards[0].groups();
-          owned_parts.push_back(std::move(shards[0].state));
-        }
-      } else {
-        size_t total_groups = 0;
-        for (const ShardAgg& shard : shards) total_groups += shard.groups();
-        std::vector<ShardAgg> merged(kMergePartitions);
-        RunTasks(kMergePartitions, parallelism_, [&](int p) {
-          InjectAllocPressure(salt, 4096 + static_cast<uint64_t>(p));
-          MergePartition(input, query, kplan, shards, total_groups, p,
-                         &merged[static_cast<size_t>(p)], simd);
+      // Out-of-core eligibility: multi-shard inputs only (a single-shard
+      // input's group state is bounded by one morsel's rows, below any
+      // useful budget, and its fast path emits first-touch order directly).
+      const bool spill_ok = spill_.enabled() && layout.shards > 1;
+      if (spill_ok && spill_.force) {
+        return RunHashSpill(input, query, output_name, kplan, layout, spill_,
+                            touch, parallelism_, simd, ctx_);
+      }
+      // The meter trips mid-build/mid-merge when the realized group-table
+      // bytes pass the budget; the catch below restarts on the spill path.
+      // Bytes only grow, so whether a given input trips is independent of
+      // the worker interleaving.
+      MemoryMeter meter(spill_.memory_budget_bytes,
+                        spill_.memory_budget_bytes > 0 && layout.shards > 1);
+      try {
+        std::vector<ShardAgg> shards(static_cast<size_t>(layout.shards));
+        std::vector<uint64_t> shard_checksums(
+            static_cast<size_t>(layout.shards), 0);
+        const CancellationToken* tok = ctx_->cancellation();
+        const uint64_t salt = ctx_->fault_salt();
+        RunTasks(layout.shards, parallelism_, [&](int s) {
+          InjectAllocPressure(salt, static_cast<uint64_t>(s));
+          ShardBuilder builder(input, query, kplan, layout.ShardRows(s), simd,
+                               &meter);
+          RowToucher shard_toucher(input, touch);
+          layout.ForEachShardBlock(
+              s, BlockKeyFiller::kBlockRows, [&](size_t begin, size_t count) {
+                // Morsel-boundary cancellation point: a fired token stops the
+                // scan early; the caller surfaces Cancelled before any output
+                // is built from the partial state.
+                if (tok != nullptr && tok->Fired()) return;
+                for (size_t r = begin; r < begin + count; ++r) {
+                  shard_toucher.Touch(r);
+                }
+                builder.Consume(begin, count);
+              });
+          shards[static_cast<size_t>(s)] = builder.Take();
+          shard_checksums[static_cast<size_t>(s)] = shard_toucher.checksum();
         });
         GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
-        for (ShardAgg& part : merged) {
-          probes += part.probes();
-          groups += part.groups();
-          owned_parts.push_back(std::move(part.state));
-        }
-      }
-      for (const auto& part : owned_parts) parts.push_back(part.get());
 
-      wc.hash_probes += probes;
-      ChargeKernel(&wc, kplan.kernel, n, groups);
+        uint64_t probes = 0;
+        size_t groups = 0;
+        for (const ShardAgg& shard : shards) probes += shard.probes();
+
+        if (layout.shards <= 1) {
+          // Single-shard fast path: the shard already holds the final groups
+          // in first-occurrence order — identical to serial aggregation.
+          if (!shards.empty()) {
+            groups = shards[0].groups();
+            owned_parts.push_back(std::move(shards[0].state));
+          }
+        } else {
+          size_t total_groups = 0;
+          for (const ShardAgg& shard : shards) total_groups += shard.groups();
+          std::vector<ShardAgg> merged(kMergePartitions);
+          RunTasks(kMergePartitions, parallelism_, [&](int p) {
+            InjectAllocPressure(salt, 4096 + static_cast<uint64_t>(p));
+            MergePartition(input, query, kplan, shards, total_groups, p,
+                           &merged[static_cast<size_t>(p)], simd, &meter);
+          });
+          GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
+          for (ShardAgg& part : merged) {
+            probes += part.probes();
+            groups += part.groups();
+            owned_parts.push_back(std::move(part.state));
+          }
+        }
+        // Checksum fold happens only once the whole aggregation has
+        // survived the budget: a tripped attempt charges nothing here, and
+        // the spill pass re-derives the full checksum from its own scan.
+        for (uint64_t c : shard_checksums) wc.scan_touch_checksum ^= c;
+        for (const auto& part : owned_parts) parts.push_back(part.get());
+
+        wc.hash_probes += probes;
+        ChargeKernel(&wc, kplan.kernel, n, groups);
+      } catch (const SpillRequired& e) {
+        if (!spill_ok) return Status::ResourceExhausted(e.what());
+        owned_parts.clear();
+        parts.clear();
+        return RunHashSpill(input, query, output_name, kplan, layout, spill_,
+                            touch, parallelism_, simd, ctx_);
+      }
       break;
     }
     case AggStrategy::kSort: {
@@ -784,6 +1238,12 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScan(
     return ExecuteSharedScanImpl(input, queries, output_names);
   } catch (const GroupIdSpaceExhausted& e) {
     return Status::ResourceExhausted(e.what());
+  } catch (const SpillRequired& e) {
+    // Shared scans cannot spill — their shard state interleaves queries —
+    // so a tripped budget fails the fused batch with the realized and
+    // budgeted bytes; the plan-level retry ladder then splits it into
+    // per-query runs, which can.
+    return Status::ResourceExhausted(e.what());
   }
 }
 
@@ -818,6 +1278,13 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScanImpl(
   // (one full-width touch per row — the shared scan) and pre-aggregates
   // every query into shard-local state.
   const bool touch = scan_mode_ == ScanMode::kRowStore;
+  // Shared scans meter the fused batch's realized group-table bytes against
+  // the same budget as single queries but cannot spill (shard state
+  // interleaves queries): a trip throws SpillRequired through RunTasks to
+  // the public wrapper, which fails the batch so the plan layer can split
+  // it into spillable per-query runs.
+  MemoryMeter meter(spill_.memory_budget_bytes,
+                    spill_.memory_budget_bytes > 0 && layout.shards > 1);
   // shard_aggs[shard][query]
   std::vector<std::vector<ShardAgg>> shard_aggs(
       static_cast<size_t>(layout.shards));
@@ -841,7 +1308,8 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScanImpl(
     std::vector<ShardBuilder> builders;
     builders.reserve(nq);
     for (size_t qi = 0; qi < nq; ++qi) {
-      builders.emplace_back(input, queries[qi], kplans[qi], shard_rows, simd);
+      builders.emplace_back(input, queries[qi], kplans[qi], shard_rows, simd,
+                            &meter);
     }
     RowToucher shard_toucher(input, touch);
     layout.ForEachShardBlock(
@@ -903,7 +1371,7 @@ Result<std::vector<TablePtr>> QueryExecutor::ExecuteSharedScanImpl(
       const size_t qi = static_cast<size_t>(t) / kMergePartitions;
       const int p = t % kMergePartitions;
       MergePartition(input, queries[qi], kplans[qi], by_query[qi], totals[qi],
-                     p, &merged[qi][static_cast<size_t>(p)], simd);
+                     p, &merged[qi][static_cast<size_t>(p)], simd, &meter);
     });
     GBMQO_RETURN_NOT_OK(ctx_->CheckCancelled());
     for (size_t qi = 0; qi < nq; ++qi) {

@@ -5,6 +5,7 @@
 #ifndef GBMQO_EXEC_QUERY_EXECUTOR_H_
 #define GBMQO_EXEC_QUERY_EXECUTOR_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +18,40 @@
 #include "storage/table.h"
 
 namespace gbmqo {
+
+class StorageGovernor;
+
+/// Out-of-core aggregation configuration (see exec/spill_partitioner.h).
+/// With a memory budget set, a hash aggregation whose realized group-table
+/// bytes exceed it restarts on the radix-spill path instead of failing —
+/// the budget is a hard cap, not an admission filter. Results are
+/// bit-identical to the uncapped in-memory run. Inputs that fit a single
+/// morsel shard never spill (their group state is bounded by one morsel's
+/// rows, already far below any useful budget).
+struct SpillOptions {
+  /// Group-table memory budget in bytes for one hash aggregation (realized
+  /// table + accumulator bytes across all shards, build and merge phases;
+  /// for shared scans, summed over the fused queries). 0 = uncapped.
+  uint64_t memory_budget_bytes = 0;
+  /// Directory spill files are created under; "" = the system temp
+  /// directory. Each aggregation gets its own subdirectory, removed (with
+  /// every file) when the aggregation ends, however it ends.
+  std::string directory;
+  /// Cap on one aggregation's total spill-file bytes; 0 = unlimited.
+  /// Exceeding it fails the query with ResourceExhausted (realized vs
+  /// budgeted numbers in the message).
+  uint64_t max_spill_bytes = 0;
+  /// Routes every eligible hash aggregation through the spill path without
+  /// waiting for a budget trip (test/bench knob, and the retry ladder's
+  /// spill rung).
+  bool force = false;
+  /// Optional governor charged with the spill path's RAM working set (one
+  /// partition at a time) and its disk bytes, so callers can assert the
+  /// realized RAM peak stayed under the cap and meter global disk use.
+  StorageGovernor* governor = nullptr;
+
+  bool enabled() const { return force || memory_budget_bytes > 0; }
+};
 
 /// One group-by query over a specific input table. `grouping` holds the
 /// input table's column ordinals.
@@ -62,10 +97,11 @@ enum class ScanMode {
 /// any thread count. Inputs that fit in a single morsel take a one-shard
 /// fast path that behaves exactly like serial aggregation.
 ///
-/// Each hash aggregation runs one of three kernels — dense-array, packed
-/// single-word key, or multi-word key — selected per (input, grouping) from
-/// the input columns' code-domain metadata (see exec/agg_kernel.h). The
-/// choice is a pure function of the input table, never of the thread count.
+/// Each hash aggregation runs one of four kernels — dense-array, packed
+/// single-word key, sort-runs over packed keys, or multi-word key —
+/// selected per (input, grouping) from the input columns' code-domain
+/// metadata (see exec/agg_kernel.h). The choice is a pure function of the
+/// input table, never of the thread count.
 class QueryExecutor {
  public:
   /// Rows per scan morsel (the unit of the parallel hash-aggregation scan).
@@ -106,6 +142,14 @@ class QueryExecutor {
   /// GBMQO_DISABLE_SIMD override.
   void set_force_scalar(bool force) { force_scalar_ = force; }
   bool force_scalar() const { return force_scalar_; }
+
+  /// Configures out-of-core aggregation (disabled by default). Single
+  /// group-bys spill transparently when the memory budget trips; shared
+  /// scans cannot spill (their shard state interleaves queries), so a
+  /// tripped budget fails them with ResourceExhausted and the plan-level
+  /// retry ladder splits the fused batch into spillable per-query runs.
+  void set_spill(const SpillOptions& spill) { spill_ = spill; }
+  const SpillOptions& spill() const { return spill_; }
 
   /// The SIMD tier this executor's queries run at.
   SimdLevel simd_level() const { return EffectiveSimdLevel(force_scalar_); }
@@ -150,6 +194,7 @@ class QueryExecutor {
   int parallelism_;
   std::optional<AggKernel> forced_kernel_;
   bool force_scalar_ = false;
+  SpillOptions spill_;
 };
 
 }  // namespace gbmqo

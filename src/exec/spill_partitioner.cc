@@ -1,0 +1,157 @@
+#include "exec/spill_partitioner.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/fault_injector.h"
+#include "storage/storage_governor.h"
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace gbmqo {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Monotonic suffix so concurrent aggregations in one process never collide
+/// on a directory name (the pid disambiguates across processes sharing a
+/// temp directory).
+std::atomic<uint64_t> g_spill_dir_seq{0};
+
+uint64_t ProcessId() {
+#if defined(_WIN32)
+  return static_cast<uint64_t>(_getpid());
+#else
+  return static_cast<uint64_t>(getpid());
+#endif
+}
+
+}  // namespace
+
+SpillFileSet::SpillFileSet(std::string directory, int num_files,
+                           uint64_t max_bytes, StorageGovernor* governor)
+    : directory_(std::move(directory)),
+      max_bytes_(max_bytes),
+      governor_(governor),
+      files_(static_cast<size_t>(num_files), nullptr),
+      file_bytes_(static_cast<size_t>(num_files), 0) {}
+
+Result<std::unique_ptr<SpillFileSet>> SpillFileSet::Create(
+    const std::string& parent, int num_files, uint64_t max_bytes,
+    StorageGovernor* governor) {
+  std::error_code ec;
+  fs::path base = parent.empty() ? fs::temp_directory_path(ec) : fs::path(parent);
+  if (ec) {
+    return Status::Internal("spill: cannot resolve the system temp directory: " +
+                            ec.message());
+  }
+  const uint64_t seq = g_spill_dir_seq.fetch_add(1, std::memory_order_relaxed);
+  fs::path dir = base / ("gbmqo-spill-" + std::to_string(ProcessId()) + "-" +
+                         std::to_string(seq));
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("spill: cannot create spill directory " +
+                            dir.string() + ": " + ec.message());
+  }
+  return std::unique_ptr<SpillFileSet>(
+      new SpillFileSet(dir.string(), num_files, max_bytes, governor));
+}
+
+SpillFileSet::~SpillFileSet() {
+  for (std::FILE*& f : files_) {
+    if (f != nullptr) {
+      std::fclose(f);
+      f = nullptr;
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(directory_, ec);  // best effort; never throws
+  if (governor_ != nullptr && governor_held_ > 0) {
+    governor_->ReleaseDisk(static_cast<double>(governor_held_));
+  }
+}
+
+std::string SpillFileSet::PathOf(int index) const {
+  return directory_ + "/f" + std::to_string(index) + ".bin";
+}
+
+Status SpillFileSet::Append(int index, uint64_t fault_key, const void* data,
+                            size_t bytes) {
+  if (bytes == 0) return Status::OK();
+  if (GBMQO_INJECT_FAULT(FaultSite::kSpillWrite, fault_key)) {
+    return Status::Internal("injected spill write failure");
+  }
+  const uint64_t total =
+      bytes_written_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (max_bytes_ > 0 && total > max_bytes_) {
+    return Status::ResourceExhausted(
+        "spill disk budget exhausted: realized " + std::to_string(total) +
+        " bytes exceeds max_spill_bytes of " + std::to_string(max_bytes_) +
+        " bytes");
+  }
+  if (governor_ != nullptr) {
+    if (!governor_->TryReserveDisk(static_cast<double>(bytes))) {
+      return Status::ResourceExhausted(
+          "global spill disk budget exhausted: " +
+          std::to_string(static_cast<uint64_t>(governor_->disk_reserved())) +
+          " bytes reserved of " +
+          std::to_string(static_cast<uint64_t>(governor_->disk_budget_bytes())) +
+          " budgeted");
+    }
+    const std::lock_guard<std::mutex> lock(ledger_mu_);
+    governor_held_ += bytes;
+  }
+  std::FILE*& f = files_[static_cast<size_t>(index)];
+  if (f == nullptr) {
+    f = std::fopen(PathOf(index).c_str(), "wb");
+    if (f == nullptr) {
+      return Status::Internal("spill: cannot open " + PathOf(index) +
+                              " for writing: " + std::strerror(errno));
+    }
+  }
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::Internal("spill: short write to " + PathOf(index));
+  }
+  file_bytes_[static_cast<size_t>(index)] += bytes;
+  return Status::OK();
+}
+
+Status SpillFileSet::FinishWrites() {
+  for (std::FILE*& f : files_) {
+    if (f == nullptr) continue;
+    const int rc = std::fclose(f);
+    f = nullptr;
+    if (rc != 0) return Status::Internal("spill: close failed after writing");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> SpillFileSet::ReadAll(int index,
+                                                   uint64_t fault_key) const {
+  if (GBMQO_INJECT_FAULT(FaultSite::kSpillRead, fault_key)) {
+    return Status::Internal("injected spill read failure");
+  }
+  const uint64_t size = file_bytes_[static_cast<size_t>(index)];
+  std::vector<uint8_t> data(size);
+  if (size == 0) return data;
+  std::FILE* f = std::fopen(PathOf(index).c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Internal("spill: cannot open " + PathOf(index) +
+                            " for reading: " + std::strerror(errno));
+  }
+  const size_t got = std::fread(data.data(), 1, size, f);
+  std::fclose(f);
+  if (got != size) {
+    return Status::Internal("spill: short read from " + PathOf(index));
+  }
+  return data;
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,169 @@
+// Out-of-core aggregation support: the spill-file lifecycle and the memory
+// meter that decides when a hash aggregation must leave RAM.
+//
+// When a group-by's realized group-table bytes exceed the configured budget
+// (QueryExecutor::SpillOptions), the executor abandons the in-memory build
+// and re-runs the query grace-hash style: one pass radix-partitions the
+// input on the packed group key — by the *same* partition function the
+// in-memory merge uses (GroupHashTable::PartitionOfHash /
+// DenseGroupTable::PartitionOfSlot, kMergePartitions ways) — into one spill
+// file per (shard, partition); then each partition is replayed and merged
+// independently, so at most one partition's group state is resident at a
+// time. Because spill partitions coincide exactly with merge partitions and
+// records are written in shard scan order, the replay reproduces the
+// in-memory path's group ids, output order, and double-fold order
+// bit-for-bit (see DESIGN.md "Out-of-core aggregation").
+//
+// SpillFileSet owns the on-disk lifecycle under RAII: a unique directory is
+// created per aggregation and removed — with every file in it — on
+// destruction, so faults, cancellations, and thrown exceptions cannot leak
+// spill files. Disk bytes are charged against the per-query max_spill_bytes
+// cap and the global StorageGovernor disk ledger as they are written.
+#ifndef GBMQO_EXEC_SPILL_PARTITIONER_H_
+#define GBMQO_EXEC_SPILL_PARTITIONER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gbmqo {
+
+class StorageGovernor;
+
+/// Thrown by MemoryMeter when the realized group-table bytes of an
+/// in-memory aggregation exceed the memory budget. QueryExecutor catches it
+/// and either restarts the query on the spill path (single group-by) or
+/// surfaces Status::ResourceExhausted carrying the realized-vs-budgeted
+/// numbers (shared scans, which the plan-level retry ladder then splits).
+class SpillRequired : public std::runtime_error {
+ public:
+  SpillRequired(uint64_t realized_bytes, uint64_t budget_bytes)
+      : std::runtime_error("group-table memory exhausted: realized " +
+                           std::to_string(realized_bytes) +
+                           " bytes exceeds the budget of " +
+                           std::to_string(budget_bytes) + " bytes"),
+        realized_bytes_(realized_bytes),
+        budget_bytes_(budget_bytes) {}
+
+  uint64_t realized_bytes() const { return realized_bytes_; }
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  uint64_t realized_bytes_;
+  uint64_t budget_bytes_;
+};
+
+/// Shared running total of the realized group-table bytes of one
+/// aggregation (all shards, build and merge phases). Workers report deltas
+/// as their tables grow; when tripping is enabled and the total passes the
+/// budget, the reporting worker throws SpillRequired. Whether a given input
+/// trips is a pure function of (input, budget): bytes only ever grow, so
+/// the total crosses the budget for every worker interleaving or none.
+class MemoryMeter {
+ public:
+  /// `trip` = false meters without enforcing (used on the spill replay
+  /// itself, where the per-partition working set is the point of the
+  /// exercise and must be observable but not re-tripped).
+  MemoryMeter(uint64_t budget_bytes, bool trip)
+      : budget_bytes_(budget_bytes), trip_(trip) {}
+
+  /// Adds `delta` (may be negative when a worker's table shrinks on
+  /// handoff) and enforces the budget.
+  void Charge(int64_t delta) {
+    const int64_t now = used_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+    if (trip_ && budget_bytes_ > 0 && now > static_cast<int64_t>(budget_bytes_)) {
+      throw SpillRequired(static_cast<uint64_t>(now), budget_bytes_);
+    }
+  }
+
+  uint64_t used() const {
+    const int64_t v = used_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  }
+  uint64_t peak() const {
+    const int64_t v = peak_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  }
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  const uint64_t budget_bytes_;
+  const bool trip_;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// A set of `num_files` append-only spill files in a unique temp
+/// subdirectory, removed in full on destruction. Writing is single-writer
+/// per file (the partition pass gives each shard its own file range);
+/// the byte ledgers are shared and thread-safe. Fault sites kSpillWrite and
+/// kSpillRead fire inside Append/ReadAll keyed by the caller's fault key.
+class SpillFileSet {
+ public:
+  /// Creates the spill directory under `parent` (empty = the system temp
+  /// directory). Fails with ResourceExhausted/Internal without touching
+  /// disk state the destructor wouldn't clean.
+  static Result<std::unique_ptr<SpillFileSet>> Create(
+      const std::string& parent, int num_files, uint64_t max_bytes,
+      StorageGovernor* governor);
+
+  /// Closes and deletes every file and the directory; releases the
+  /// governor's disk reservation.
+  ~SpillFileSet();
+
+  SpillFileSet(const SpillFileSet&) = delete;
+  SpillFileSet& operator=(const SpillFileSet&) = delete;
+
+  /// Appends `bytes` of `data` to file `index`, charging the per-query
+  /// max_spill_bytes cap and the governor disk ledger. ResourceExhausted
+  /// (with realized-vs-budgeted numbers) on either cap; Internal on an I/O
+  /// failure or an injected kSpillWrite fault.
+  Status Append(int index, uint64_t fault_key, const void* data, size_t bytes);
+
+  /// Flushes and closes every file opened for writing. Call once between
+  /// the partition pass and the first ReadAll.
+  Status FinishWrites();
+
+  /// Reads file `index` in full (empty vector for a never-written file).
+  /// Internal on an I/O failure or an injected kSpillRead fault.
+  Result<std::vector<uint8_t>> ReadAll(int index, uint64_t fault_key) const;
+
+  /// Total bytes appended across all files so far.
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_of(int index) const {
+    return file_bytes_[static_cast<size_t>(index)];
+  }
+  const std::string& directory() const { return directory_; }
+
+ private:
+  SpillFileSet(std::string directory, int num_files, uint64_t max_bytes,
+               StorageGovernor* governor);
+
+  std::string PathOf(int index) const;
+
+  std::string directory_;
+  uint64_t max_bytes_;
+  StorageGovernor* governor_;
+  std::vector<std::FILE*> files_;      // lazily opened; one writer per file
+  std::vector<uint64_t> file_bytes_;   // written sizes (read after writes end)
+  std::atomic<uint64_t> bytes_written_{0};
+  std::mutex ledger_mu_;               // guards governor_held_
+  uint64_t governor_held_ = 0;
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_EXEC_SPILL_PARTITIONER_H_

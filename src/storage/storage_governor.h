@@ -5,6 +5,17 @@
 // concurrently live intermediates (plus cache pins) also stays under one
 // global budget. Reservations are advisory byte counts (the executor's
 // what-if estimates), not allocations.
+//
+// The governor keeps two independent ledgers:
+//  - RAM bytes (TryReserve/ForceReserve/Release): in-memory intermediates —
+//    temp tables, cache pins, and the per-partition working set of an
+//    out-of-core (spilled) aggregation.
+//  - Disk bytes (TryReserveDisk/ReleaseDisk): spill files written by the
+//    out-of-core aggregation path (exec/spill_partitioner.h). A separate
+//    ledger because spilling exists precisely to trade RAM for disk; one
+//    shared pool would make the trade self-defeating.
+// Both ledgers record a high-water mark so callers (tests, benches) can
+// assert the realized peak stayed under a cap after the fact.
 #ifndef GBMQO_STORAGE_STORAGE_GOVERNOR_H_
 #define GBMQO_STORAGE_STORAGE_GOVERNOR_H_
 
@@ -17,8 +28,8 @@ namespace gbmqo {
 /// (TryReserve always succeeds) while still tracking the reserved total.
 class StorageGovernor {
  public:
-  explicit StorageGovernor(double budget_bytes)
-      : budget_bytes_(budget_bytes) {}
+  explicit StorageGovernor(double budget_bytes, double disk_budget_bytes = 0)
+      : budget_bytes_(budget_bytes), disk_budget_bytes_(disk_budget_bytes) {}
 
   /// Attempts to reserve `bytes`; fails (without reserving) if the grant
   /// would push the reserved total past the budget. Non-positive requests
@@ -28,6 +39,7 @@ class StorageGovernor {
     std::lock_guard<std::mutex> lock(mu_);
     if (budget_bytes_ > 0 && reserved_ + bytes > budget_bytes_) return false;
     reserved_ += bytes;
+    peak_reserved_ = std::max(peak_reserved_, reserved_);
     return true;
   }
 
@@ -38,6 +50,7 @@ class StorageGovernor {
     if (bytes <= 0) return;
     std::lock_guard<std::mutex> lock(mu_);
     reserved_ += bytes;
+    peak_reserved_ = std::max(peak_reserved_, reserved_);
   }
 
   /// Returns `bytes` to the budget (clamped so racy over-release cannot
@@ -48,16 +61,60 @@ class StorageGovernor {
     reserved_ = std::max(0.0, reserved_ - bytes);
   }
 
+  /// Attempts to reserve `bytes` on the disk ledger; fails (without
+  /// reserving) if the grant would exceed the disk budget. Non-positive
+  /// requests always succeed; disk_budget_bytes <= 0 means unlimited.
+  bool TryReserveDisk(double bytes) {
+    if (bytes <= 0) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (disk_budget_bytes_ > 0 && disk_reserved_ + bytes > disk_budget_bytes_) {
+      return false;
+    }
+    disk_reserved_ += bytes;
+    peak_disk_reserved_ = std::max(peak_disk_reserved_, disk_reserved_);
+    return true;
+  }
+
+  /// Returns `bytes` to the disk budget (clamped like Release).
+  void ReleaseDisk(double bytes) {
+    if (bytes <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    disk_reserved_ = std::max(0.0, disk_reserved_ - bytes);
+  }
+
   double reserved() const {
     std::lock_guard<std::mutex> lock(mu_);
     return reserved_;
   }
+  double disk_reserved() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return disk_reserved_;
+  }
+  /// High-water marks since construction or the last ResetPeaks().
+  double peak_reserved() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_reserved_;
+  }
+  double peak_disk_reserved() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_disk_reserved_;
+  }
+  void ResetPeaks() {
+    std::lock_guard<std::mutex> lock(mu_);
+    peak_reserved_ = reserved_;
+    peak_disk_reserved_ = disk_reserved_;
+  }
   double budget_bytes() const { return budget_bytes_; }
+  double disk_budget_bytes() const { return disk_budget_bytes_; }
 
  private:
   const double budget_bytes_;
+  const double disk_budget_bytes_;
   mutable std::mutex mu_;
   double reserved_ = 0;
+  double disk_reserved_ = 0;
+  double peak_reserved_ = 0;
+  double peak_disk_reserved_ = 0;
 };
 
 }  // namespace gbmqo

@@ -24,7 +24,8 @@ namespace {
 
 constexpr AggKernel kAllKernels[] = {AggKernel::kDenseArray,
                                      AggKernel::kPackedKey,
-                                     AggKernel::kMultiWord};
+                                     AggKernel::kMultiWord,
+                                     AggKernel::kSortRuns};
 
 /// One-int64-column table holding exactly `vals` (nullable so tests can mix
 /// in NULL rows via Value(Null{})).
@@ -145,6 +146,46 @@ TEST(PlanAggKernelTest, ForcedKernelStartsLadderLower) {
   EXPECT_EQ(PlanAggKernel(*t, ColumnSet{0}, AggKernel::kPackedKey).kernel,
             AggKernel::kPackedKey);
   EXPECT_EQ(PlanAggKernel(*t, ColumnSet{0}, AggKernel::kMultiWord).kernel,
+            AggKernel::kMultiWord);
+}
+
+TEST(PlanAggKernelTest, SortCrossoverPicksSortRunsPastThreshold) {
+  // One 21-bit column (dense ineligible: 2^20+1 slots is past the dense
+  // budget) with one more distinct row than kSortCrossoverGroups: the
+  // estimated group count min(rows, 2^21) crosses the threshold, so the
+  // auto ladder picks the sort-runs kernel. Forcing kPackedKey pins the
+  // hash side of the crossover; forcing kSortRuns pins the sort side on any
+  // packed-eligible input regardless of size.
+  TableBuilder b(Schema({{"g", DataType::kInt64, false}}));
+  const size_t rows = kSortCrossoverGroups + 1;
+  for (size_t i = 0; i < rows; ++i) {
+    ASSERT_TRUE(b.AppendRow({Value(static_cast<int64_t>(i))}).ok());
+  }
+  TablePtr t = *b.Build("t");
+  const AggKernelPlan plan = PlanAggKernel(*t, ColumnSet{0});
+  EXPECT_EQ(plan.kernel, AggKernel::kSortRuns);
+  EXPECT_EQ(plan.total_bits, 21);
+  EXPECT_EQ(plan.key_width, 1);
+  EXPECT_EQ(PlanAggKernel(*t, ColumnSet{0}, AggKernel::kPackedKey).kernel,
+            AggKernel::kPackedKey);
+
+  TablePtr small = IntTable({Value(int64_t{0}), Value(int64_t{1} << 20)});
+  EXPECT_EQ(PlanAggKernel(*small, ColumnSet{0}).kernel, AggKernel::kPackedKey);
+  EXPECT_EQ(PlanAggKernel(*small, ColumnSet{0}, AggKernel::kSortRuns).kernel,
+            AggKernel::kSortRuns);
+}
+
+TEST(PlanAggKernelTest, ForcedSortRunsFallsToMultiWordWhenUnpackable) {
+  // kSortRuns shares packed eligibility; a domain past 64 bits falls down
+  // the ladder to the general kernel like any other forced preference.
+  TableBuilder b(Schema({{"a", DataType::kInt64, false},
+                         {"b", DataType::kInt64, true}}));
+  const int64_t top = (int64_t{1} << 32) - 1;
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{0}), Value(int64_t{0})}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(top), Value(top)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(top), Value(Null{})}).ok());
+  TablePtr t = *b.Build("t");
+  EXPECT_EQ(PlanAggKernel(*t, ColumnSet{0, 1}, AggKernel::kSortRuns).kernel,
             AggKernel::kMultiWord);
 }
 
@@ -281,9 +322,16 @@ TEST(AggKernelEquivalenceTest, ForcedKernelChargesItsOwnCounter) {
   const ForcedRun multi = RunForced(*t, q, AggKernel::kMultiWord);
   EXPECT_EQ(multi.counters.multiword_kernel_rows, 2000u);
   EXPECT_GT(multi.counters.hash_probes, 0u);
+  const ForcedRun sorted = RunForced(*t, q, AggKernel::kSortRuns);
+  EXPECT_EQ(sorted.counters.sort_kernel_rows, 2000u);
+  // The sort-runs fold never probes (distinct keys are appended in sorted
+  // order); on this single-shard input there is no partitioned merge
+  // either, so the kernel charges zero hash probes.
+  EXPECT_EQ(sorted.counters.hash_probes, 0u);
   // Same results regardless of kernel.
   EXPECT_EQ(dense.rows, packed.rows);
   EXPECT_EQ(dense.rows, multi.rows);
+  EXPECT_EQ(dense.rows, sorted.rows);
 }
 
 void ExpectIdenticalAcrossThreads(const Table& t, const GroupByQuery& q,

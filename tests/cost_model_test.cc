@@ -145,6 +145,67 @@ TEST(OptimizerCostModelTest, SimdSpeedupDiscountsAggCpuByKernel) {
                    simd_model.MaterializeCost(v));
 }
 
+TEST(OptimizerCostModelTest, SortCrossoverRepricesHighGroupEdges) {
+  // One int64 column spanning 2^22 codes: dense-ineligible (past
+  // kDenseSlotBudget) but packed-eligible, so the hash-vs-sort crossover
+  // applies. An edge reading 2M rows estimates min(2M, 2^22) > the default
+  // crossover (2^20) and is priced with the sort kernel; a model whose
+  // crossover is pushed out of reach prices the same edge as packed
+  // grace-hash. The gap is exactly the agg-CPU repricing.
+  TableBuilder b(Schema({{"k", DataType::kInt64, false},
+                         {"k2", DataType::kInt64, false}}));
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{0}), Value(int64_t{0})}).ok());
+  ASSERT_TRUE(
+      b.AppendRow({Value(int64_t{(1 << 22) - 1}), Value(int64_t{1})}).ok());
+  TablePtr t = *b.Build("wide");
+
+  OptimizerCostModel sort_model(*t);  // default sort_crossover_groups
+  CostParams hash_only;
+  hash_only.sort_crossover_groups = 1e18;
+  OptimizerCostModel hash_model(*t, hash_only);
+  ASSERT_GT(2e6, sort_model.params().sort_crossover_groups);
+
+  NodeDesc u = Desc(ColumnSet{0}, 2e6, 8);
+  NodeDesc v = Desc(ColumnSet{0}, 2e6, 8);
+  const double sort_cost = sort_model.QueryCost(u, v);
+  const double hash_cost = hash_model.QueryCost(u, v);
+  EXPECT_LT(sort_cost, hash_cost);
+  EXPECT_DOUBLE_EQ(hash_cost - sort_cost,
+                   u.rows * (AggCpuPerRow(AggKernel::kPackedKey, v.rows) -
+                             AggCpuPerRow(AggKernel::kSortRuns, v.rows)));
+
+  // Below the crossover the two models agree: the edge stays grace-hash.
+  // (Distinct column sets — QueryCost caches by the column-set pair.)
+  NodeDesc small_u = Desc(ColumnSet{0, 1}, 1000, 16);
+  NodeDesc small_v = Desc(ColumnSet{0, 1}, 100, 16);
+  EXPECT_DOUBLE_EQ(sort_model.QueryCost(small_u, small_v),
+                   hash_model.QueryCost(small_u, small_v));
+}
+
+TEST(OptimizerCostModelTest, SpillRegimePricesPartitionIO) {
+  // With a spill RAM budget configured, an edge whose estimated group state
+  // (v.rows * group_state_byte) exceeds the budget is priced with one extra
+  // write + read of a 12-byte spill record per input row; edges whose
+  // groups fit under the budget are untouched.
+  TablePtr t = MakeBase(1000);
+  OptimizerCostModel uncapped(*t);
+  CostParams capped_params;
+  capped_params.spill_ram_budget_bytes = 1000.0;
+  OptimizerCostModel capped(*t, capped_params);
+
+  NodeDesc u = Desc(ColumnSet{0, 1}, 1000, 16);
+  NodeDesc big = Desc(ColumnSet{0}, 100, 16);  // 100 * 48 B > 1000 B budget
+  ASSERT_GT(big.rows * capped_params.group_state_byte,
+            capped_params.spill_ram_budget_bytes);
+  EXPECT_DOUBLE_EQ(capped.QueryCost(u, big) - uncapped.QueryCost(u, big),
+                   u.rows * 2.0 * 12.0 * capped_params.spill_byte);
+
+  NodeDesc tiny = Desc(ColumnSet{1}, 10, 16);  // 10 * 48 B fits the budget
+  ASSERT_LE(tiny.rows * capped_params.group_state_byte,
+            capped_params.spill_ram_budget_bytes);
+  EXPECT_DOUBLE_EQ(capped.QueryCost(u, tiny), uncapped.QueryCost(u, tiny));
+}
+
 TEST(WhatIfProviderTest, RootAndHypothetical) {
   TablePtr t = MakeBase(5000);
   StatisticsManager stats(*t);

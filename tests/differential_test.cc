@@ -5,8 +5,9 @@
 // results *and WorkCounters* at parallelism 1 and 4 (the morsel engine's
 // fixed shard/partition layout makes counters thread-count independent).
 // Each trial additionally re-runs the optimizer plan with every aggregation
-// kernel forced (dense-array, packed, multi-word — see exec/agg_kernel.h)
-// and requires the same results and per-kernel counter invariance.
+// kernel forced (dense-array, packed, multi-word, sort-runs — see
+// exec/agg_kernel.h) and requires the same results and per-kernel counter
+// invariance.
 //
 // Aggregates are chosen so exact cross-plan comparison is sound: COUNT(*)
 // and SUM over small-integer columns are exact in double at these row
@@ -185,6 +186,11 @@ void ExpectCountersIdentical(const WorkCounters& a, const WorkCounters& b,
   EXPECT_EQ(a.dense_kernel_rows, b.dense_kernel_rows) << what;
   EXPECT_EQ(a.packed_kernel_rows, b.packed_kernel_rows) << what;
   EXPECT_EQ(a.multiword_kernel_rows, b.multiword_kernel_rows) << what;
+  EXPECT_EQ(a.sort_kernel_rows, b.sort_kernel_rows) << what;
+  EXPECT_EQ(a.queries_spilled, b.queries_spilled) << what;
+  EXPECT_EQ(a.spill_partitions, b.spill_partitions) << what;
+  EXPECT_EQ(a.spill_bytes_written, b.spill_bytes_written) << what;
+  EXPECT_EQ(a.spill_bytes_read, b.spill_bytes_read) << what;
   EXPECT_EQ(a.scan_touch_checksum, b.scan_touch_checksum) << what;
 }
 
@@ -242,7 +248,7 @@ void RunTrial(Dataset* d, uint64_t seed, ScanMode mode) {
   // tables and every WorkCounters field, across the force_scalar x
   // parallelism {1,4,8} matrix.
   for (AggKernel kernel : {AggKernel::kDenseArray, AggKernel::kPackedKey,
-                           AggKernel::kMultiWord}) {
+                           AggKernel::kMultiWord, AggKernel::kSortRuns}) {
     const std::string what = std::string("forced ") + AggKernelName(kernel);
     SCOPED_TRACE(what);
     const RunOutcome serial =

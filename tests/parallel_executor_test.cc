@@ -127,6 +127,10 @@ void ExpectSameCounters(const WorkCounters& a, const WorkCounters& b) {
   EXPECT_EQ(a.dense_kernel_rows, b.dense_kernel_rows);
   EXPECT_EQ(a.packed_kernel_rows, b.packed_kernel_rows);
   EXPECT_EQ(a.multiword_kernel_rows, b.multiword_kernel_rows);
+  EXPECT_EQ(a.sort_kernel_rows, b.sort_kernel_rows);
+  EXPECT_EQ(a.queries_spilled, b.queries_spilled);
+  EXPECT_EQ(a.spill_bytes_written, b.spill_bytes_written);
+  EXPECT_EQ(a.spill_bytes_read, b.spill_bytes_read);
   EXPECT_EQ(a.scan_touch_checksum, b.scan_touch_checksum);
   EXPECT_EQ(a.agg_cpu_units, b.agg_cpu_units);
   EXPECT_EQ(a.tasks_retried, b.tasks_retried);

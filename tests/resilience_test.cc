@@ -12,9 +12,11 @@
 // tasks_degraded must be pure functions of (plan, seed), independent of
 // the worker count.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
@@ -80,6 +82,10 @@ void ExpectSameCounters(const WorkCounters& a, const WorkCounters& b) {
   EXPECT_EQ(a.dense_kernel_rows, b.dense_kernel_rows);
   EXPECT_EQ(a.packed_kernel_rows, b.packed_kernel_rows);
   EXPECT_EQ(a.multiword_kernel_rows, b.multiword_kernel_rows);
+  EXPECT_EQ(a.sort_kernel_rows, b.sort_kernel_rows);
+  EXPECT_EQ(a.queries_spilled, b.queries_spilled);
+  EXPECT_EQ(a.spill_bytes_written, b.spill_bytes_written);
+  EXPECT_EQ(a.spill_bytes_read, b.spill_bytes_read);
   EXPECT_EQ(a.cache_hits, b.cache_hits);
   EXPECT_EQ(a.cache_misses, b.cache_misses);
   EXPECT_EQ(a.scan_touch_checksum, b.scan_touch_checksum);
@@ -319,6 +325,84 @@ TEST(DegradationLadderTest, MemoryPressureForcesMultiWordKernel) {
   EXPECT_GT(r->counters.multiword_kernel_rows, 0u);
   EXPECT_EQ(CanonicalResults(*baseline), CanonicalResults(*r));
   EXPECT_EQ(f.catalog.temp_bytes(), 0u);
+}
+
+TEST(DegradationLadderTest, ResourceExhaustedRetriesOnSpillRungFirst) {
+  // With out-of-core aggregation enabled, the ladder gains a rung *above*
+  // "serialize + multi-word": a ResourceExhausted attempt first retries with
+  // spill forced, keeping its kernel and parallelism. 150k rows = multiple
+  // morsels, so the retried query is spill-eligible.
+  Fixture f(150000);
+  std::vector<GroupByRequest> requests = {GroupByRequest::Count({kQuantity})};
+  const LogicalPlan plan = NaivePlan(requests);
+
+  PlanExecutor plain(&f.catalog, "lineitem", ScanMode::kRowStore, 4);
+  auto baseline = plain.Execute(plan, requests);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_GT(baseline->counters.dense_kernel_rows, 0u);
+
+  FaultInjector inj(11);
+  inj.ArmOneShot(FaultSite::kAllocPressure, 0);  // first group-table alloc
+  ScopedFaultInjection scoped(&inj);
+  PlanExecutor exec(&f.catalog, "lineitem", ScanMode::kRowStore, 4);
+  exec.set_max_task_retries(1);
+  SpillOptions spill;
+  spill.memory_budget_bytes = 1ull << 40;  // enabled, never trips on its own
+  exec.set_spill(spill);
+  auto r = exec.Execute(plan, requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->counters.tasks_retried, 1u);
+  EXPECT_EQ(r->counters.tasks_degraded, 1u);
+  // The retry spilled instead of falling to the multi-word rung: the query
+  // kept its dense kernel and never ran multi-word.
+  EXPECT_EQ(r->counters.queries_spilled, 1u);
+  EXPECT_GT(r->counters.dense_kernel_rows, 0u);
+  EXPECT_EQ(r->counters.multiword_kernel_rows, 0u);
+  EXPECT_EQ(CanonicalResults(*baseline), CanonicalResults(*r));
+  EXPECT_EQ(f.catalog.temp_bytes(), 0u);
+}
+
+TEST(DegradationLadderTest, SpillFaultRollsBackAndRecovers) {
+  // A fault inside the spill pipeline itself (partition write, replay read,
+  // partition merge) fails that attempt with Internal; the retry re-runs the
+  // spill path clean. No temp table and no spill file may survive either
+  // attempt.
+  Fixture f(150000);
+  std::vector<GroupByRequest> requests = {GroupByRequest::Count({kQuantity})};
+  const LogicalPlan plan = NaivePlan(requests);
+
+  PlanExecutor plain(&f.catalog, "lineitem");
+  auto baseline = plain.Execute(plan, requests);
+  ASSERT_TRUE(baseline.ok());
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("gbmqo-resilience-spill-" +
+                    std::to_string(static_cast<uint64_t>(::getpid())));
+  std::filesystem::create_directories(dir);
+  for (FaultSite site : {FaultSite::kSpillWrite, FaultSite::kSpillRead,
+                         FaultSite::kSpillMerge}) {
+    SCOPED_TRACE(FaultSiteName(site));
+    FaultInjector inj(23);
+    inj.ArmOneShot(site, 0);
+    ScopedFaultInjection scoped(&inj);
+    // Single worker: the spill pipeline runs its passes in deterministic
+    // order, so the one-shot always hits the first attempt.
+    PlanExecutor exec(&f.catalog, "lineitem");
+    exec.set_max_task_retries(1);
+    SpillOptions spill;
+    spill.force = true;
+    spill.directory = dir.string();
+    exec.set_spill(spill);
+    auto r = exec.Execute(plan, requests);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(inj.fires(site), 1u);
+    EXPECT_EQ(r->counters.tasks_retried, 1u);
+    EXPECT_EQ(r->counters.queries_spilled, 1u);  // the clean retry
+    EXPECT_EQ(CanonicalResults(*baseline), CanonicalResults(*r));
+    EXPECT_EQ(f.catalog.temp_bytes(), 0u);
+    EXPECT_TRUE(std::filesystem::is_empty(dir)) << "leaked spill files";
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(DegradationLadderTest, TempRegistrationFaultRollsBackAndRecovers) {

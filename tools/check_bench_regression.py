@@ -1,23 +1,33 @@
 #!/usr/bin/env python3
-"""SIMD bench regression gate.
+"""Multi-bench regression gate.
 
-Compares the per-kernel rows/sec in a freshly produced BENCH_simd.json
-(written by bench/bench_simd) against the checked-in baseline and fails when
-any kernel's SIMD-tier throughput regressed by more than the tolerance
-(default 10%). Also re-checks the bench's own acceptance gate (>= 2x speedup
-on at least two hot loops) so a silently weakened vector tier fails CI even
-if absolute throughput is still within tolerance.
+Compares freshly produced bench JSON files against their checked-in
+baselines (bench/baselines/) and fails when a benchmark moved backwards in a
+way throughput noise cannot explain:
 
-Scalar-tier numbers are reported but not gated: the scalar baseline moves
-with compiler/auto-vectorization changes that are not this engine's code.
+  * a series entry (kernel, sweep point, worker count, batch size) present
+    in the baseline is MISSING from the new results — a silently dropped
+    kernel or sweep point must fail even if every surviving number is fine;
+  * a metric field present in a baseline entry is missing from the matching
+    new entry;
+  * a gated throughput metric regressed by more than the tolerance
+    (default 10%) — only metrics listed as `floors`, because wall-clock
+    numbers move with the machine while rows/sec floors against a same-host
+    baseline are meaningful;
+  * a boolean acceptance gate that was true in the baseline is no longer
+    true (e.g. the SIMD >= 2x speedup gate, spill bit-identity, the
+    sort-beats-hash crossover gate).
+
+Benches covered (see MANIFEST): simd, plan_pipeline, incremental, spill.
 
 Usage:
-  check_bench_regression.py [--current BENCH_simd.json]
-                            [--baseline bench/baselines/BENCH_simd_baseline.json]
+  check_bench_regression.py [--bench all|simd|plan_pipeline|incremental|spill]
+                            [--current FILE] [--baseline FILE]
                             [--tolerance 0.10]
   check_bench_regression.py --self-test
 
-Exit status: 0 = within tolerance and gate passed, 1 = regression/failure.
+--current/--baseline override the manifest paths and require a single
+--bench. Exit status: 0 = all checks passed, 1 = regression/failure.
 Only the Python standard library is used.
 """
 
@@ -26,104 +36,246 @@ import json
 import os
 import sys
 
+# Per-bench comparison spec.
+#   series: (json_key, id_field) — the keyed collection whose baseline
+#     entries must all be present in the new results. id_field None means
+#     the collection is a dict keyed by name; otherwise it is a list of
+#     objects keyed by the id_field's value.
+#   floors: (json_key, id_field, metric) — higher-is-better metrics gated
+#     at baseline * (1 - tolerance).
+#   gates: dotted paths of booleans that must be true in the new results
+#     whenever they are true in the baseline.
+MANIFEST = {
+    "simd": {
+        "current": "BENCH_simd.json",
+        "baseline": "bench/baselines/BENCH_simd_baseline.json",
+        "series": [("kernels", None)],
+        "floors": [("kernels", None, "simd_rows_per_sec")],
+        "gates": ["gate.pass"],
+    },
+    "plan_pipeline": {
+        "current": "BENCH_plan_pipeline.json",
+        "baseline": "bench/baselines/BENCH_plan_pipeline_baseline.json",
+        "series": [("fusion", "workers")],
+        "floors": [],
+        "gates": ["fused_deterministic_1_2_8", "storage.gated_within_estimate"],
+    },
+    "incremental": {
+        "current": "BENCH_incremental.json",
+        "baseline": "bench/baselines/BENCH_incremental_baseline.json",
+        "series": [("batches", "batch_rows")],
+        "floors": [],
+        "gates": ["small_batch_speedup_ok"],
+    },
+    "spill": {
+        "current": "BENCH_spill.json",
+        "baseline": "bench/baselines/BENCH_spill_baseline.json",
+        "series": [("sweep", "group_domain")],
+        "floors": [],
+        "gates": ["gate.pass", "gate.bit_identical_all"],
+    },
+}
 
-def compare(current, baseline, tolerance):
-    """Returns (ok, list-of-report-lines)."""
+
+def index_series(doc, key, id_field):
+    """Returns {entry_id: entry_dict} for one series, or None if absent."""
+    coll = doc.get(key)
+    if coll is None:
+        return None
+    if id_field is None:
+        return dict(coll)
+    return {e.get(id_field): e for e in coll}
+
+
+def get_path(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def compare(name, current, baseline, spec, tolerance):
+    """Returns (ok, list-of-report-lines) for one bench."""
     lines = []
     ok = True
 
-    cur_kernels = current.get("kernels", {})
-    base_kernels = baseline.get("kernels", {})
-    for name, base in sorted(base_kernels.items()):
-        cur = cur_kernels.get(name)
-        if cur is None:
-            ok = False
-            lines.append("FAIL %-22s missing from current results" % name)
-            continue
-        base_rps = float(base["simd_rows_per_sec"])
-        cur_rps = float(cur["simd_rows_per_sec"])
-        floor = base_rps * (1.0 - tolerance)
-        ratio = cur_rps / base_rps if base_rps > 0 else float("inf")
-        status = "ok  " if cur_rps >= floor else "FAIL"
-        if cur_rps < floor:
-            ok = False
-        lines.append(
-            "%s %-22s simd %.3e rows/s vs baseline %.3e (%.2fx, floor %.2fx)"
-            % (status, name, cur_rps, base_rps, ratio, 1.0 - tolerance)
-        )
-
-    gate = current.get("gate", {})
-    if not gate.get("pass", False):
+    def fail(msg):
+        nonlocal ok
         ok = False
-        lines.append(
-            "FAIL speedup gate: %s of %s kernels at >= %sx (need %s)"
-            % (
-                gate.get("kernels_at_or_above", "?"),
-                len(cur_kernels),
-                gate.get("required_speedup", "?"),
-                gate.get("min_kernels", "?"),
-            )
-        )
-    else:
-        lines.append(
-            "ok   speedup gate: %d kernels at >= %.1fx"
-            % (gate["kernels_at_or_above"], gate["required_speedup"])
-        )
+        lines.append("FAIL [%s] %s" % (name, msg))
+
+    for key, id_field in spec["series"]:
+        base_idx = index_series(baseline, key, id_field)
+        cur_idx = index_series(current, key, id_field)
+        if base_idx is None:
+            continue
+        if cur_idx is None:
+            fail("series %r missing from current results" % key)
+            continue
+        for entry_id, base_entry in sorted(base_idx.items(), key=lambda kv: str(kv[0])):
+            cur_entry = cur_idx.get(entry_id)
+            if cur_entry is None:
+                fail("%s[%s] present in baseline, missing from current"
+                     % (key, entry_id))
+                continue
+            for field in base_entry:
+                if field not in cur_entry:
+                    fail("%s[%s].%s present in baseline, missing from current"
+                         % (key, entry_id, field))
+
+    for key, id_field, metric in spec["floors"]:
+        base_idx = index_series(baseline, key, id_field) or {}
+        cur_idx = index_series(current, key, id_field) or {}
+        for entry_id, base_entry in sorted(base_idx.items(), key=lambda kv: str(kv[0])):
+            cur_entry = cur_idx.get(entry_id)
+            if cur_entry is None or metric not in base_entry:
+                continue  # absence already reported by the series check
+            if metric not in cur_entry:
+                continue
+            base_v = float(base_entry[metric])
+            cur_v = float(cur_entry[metric])
+            floor = base_v * (1.0 - tolerance)
+            ratio = cur_v / base_v if base_v > 0 else float("inf")
+            if cur_v < floor:
+                fail("%s[%s].%s %.3e vs baseline %.3e (%.2fx, floor %.2fx)"
+                     % (key, entry_id, metric, cur_v, base_v, ratio,
+                        1.0 - tolerance))
+            else:
+                lines.append(
+                    "ok   [%s] %s[%s].%s %.3e vs baseline %.3e (%.2fx)"
+                    % (name, key, entry_id, metric, cur_v, base_v, ratio))
+
+    for gate in spec["gates"]:
+        if get_path(baseline, gate) is not True:
+            continue  # gate not established in the baseline: nothing to hold
+        if get_path(current, gate) is not True:
+            fail("gate %s was true in baseline, now %r"
+                 % (gate, get_path(current, gate)))
+        else:
+            lines.append("ok   [%s] gate %s holds" % (name, gate))
+
     return ok, lines
+
+
+def check_bench(name, spec, repo_root, tolerance, current_path=None,
+                baseline_path=None):
+    current_path = current_path or os.path.join(repo_root, spec["current"])
+    baseline_path = baseline_path or os.path.join(repo_root, spec["baseline"])
+    try:
+        with open(current_path) as f:
+            current = json.load(f)
+    except OSError as e:
+        return False, ["FAIL [%s] cannot read current results (run the bench "
+                       "first): %s" % (name, e)]
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        return False, ["FAIL [%s] cannot read baseline: %s" % (name, e)]
+    return compare(name, current, baseline, spec, tolerance)
 
 
 def self_test():
     """Synthetic pass/fail cases exercising every comparison branch."""
-    base = {
-        "kernels": {
-            "a": {"simd_rows_per_sec": 1000.0},
-            "b": {"simd_rows_per_sec": 500.0},
-        }
+    spec = {
+        "series": [("kernels", None), ("sweep", "groups")],
+        "floors": [("kernels", None, "rows_per_sec")],
+        "gates": ["gate.pass", "flat_flag"],
     }
-    good_gate = {
-        "required_speedup": 2.0,
-        "min_kernels": 2,
-        "kernels_at_or_above": 2,
-        "pass": True,
+    base = {
+        "kernels": {"a": {"rows_per_sec": 1000.0}, "b": {"rows_per_sec": 500.0}},
+        "sweep": [{"groups": 64, "r": 1.0}, {"groups": 4096, "r": 2.0}],
+        "gate": {"pass": True},
+        "flat_flag": True,
     }
 
-    # Within tolerance (one kernel 5% down, one up) -> pass.
-    cur = {
-        "kernels": {
-            "a": {"simd_rows_per_sec": 950.0},
-            "b": {"simd_rows_per_sec": 600.0},
-        },
-        "gate": dict(good_gate),
-    }
-    ok, _ = compare(cur, base, 0.10)
+    def fresh():
+        return json.loads(json.dumps(base))
+
+    # Identical run -> pass.
+    ok, _ = compare("t", fresh(), base, spec, 0.10)
+    assert ok, "identical run must pass"
+
+    # Within tolerance (5% down) -> pass.
+    cur = fresh()
+    cur["kernels"]["a"]["rows_per_sec"] = 950.0
+    ok, _ = compare("t", cur, base, spec, 0.10)
     assert ok, "within-tolerance run must pass"
 
-    # 20% regression on one kernel -> fail.
-    cur["kernels"]["a"]["simd_rows_per_sec"] = 800.0
-    ok, lines = compare(cur, base, 0.10)
+    # 20% regression on a floored metric -> fail.
+    cur = fresh()
+    cur["kernels"]["a"]["rows_per_sec"] = 800.0
+    ok, lines = compare("t", cur, base, spec, 0.10)
     assert not ok, "20%% regression must fail"
-    assert any(l.startswith("FAIL a") for l in lines)
-
-    # Missing kernel -> fail.
-    cur["kernels"] = {"a": {"simd_rows_per_sec": 1000.0}}
-    ok, lines = compare(cur, base, 0.10)
-    assert not ok, "missing kernel must fail"
-
-    # Healthy throughput but failed speedup gate -> fail.
-    cur["kernels"] = {
-        "a": {"simd_rows_per_sec": 1000.0},
-        "b": {"simd_rows_per_sec": 500.0},
-    }
-    cur["gate"] = dict(good_gate, kernels_at_or_above=1, **{"pass": False})
-    ok, lines = compare(cur, base, 0.10)
-    assert not ok, "failed speedup gate must fail"
-    assert any("speedup gate" in l for l in lines)
+    assert any("kernels[a].rows_per_sec" in l for l in lines if l.startswith("FAIL"))
 
     # Tolerance is configurable: the same 20% drop passes at 25%.
-    cur["kernels"]["a"]["simd_rows_per_sec"] = 800.0
-    cur["gate"] = dict(good_gate)
-    ok, _ = compare(cur, base, 0.25)
+    ok, _ = compare("t", cur, base, spec, 0.25)
     assert ok, "20%% drop within 25%% tolerance must pass"
+
+    # Kernel present in baseline missing from current -> fail.
+    cur = fresh()
+    del cur["kernels"]["b"]
+    ok, lines = compare("t", cur, base, spec, 0.10)
+    assert not ok, "missing kernel must fail"
+    assert any("kernels[b] present in baseline" in l for l in lines)
+
+    # List-series entry (sweep point) missing -> fail.
+    cur = fresh()
+    cur["sweep"] = [e for e in cur["sweep"] if e["groups"] != 4096]
+    ok, lines = compare("t", cur, base, spec, 0.10)
+    assert not ok, "missing sweep point must fail"
+    assert any("sweep[4096] present in baseline" in l for l in lines)
+
+    # Metric field dropped from a surviving entry -> fail.
+    cur = fresh()
+    del cur["sweep"][0]["r"]
+    ok, lines = compare("t", cur, base, spec, 0.10)
+    assert not ok, "dropped metric field must fail"
+    assert any("sweep[64].r present in baseline" in l for l in lines)
+
+    # Whole series dropped -> fail.
+    cur = fresh()
+    del cur["sweep"]
+    ok, lines = compare("t", cur, base, spec, 0.10)
+    assert not ok, "dropped series must fail"
+
+    # Nested boolean gate flipped -> fail; top-level gate flipped -> fail.
+    cur = fresh()
+    cur["gate"]["pass"] = False
+    ok, lines = compare("t", cur, base, spec, 0.10)
+    assert not ok, "flipped nested gate must fail"
+    assert any("gate gate.pass" in l for l in lines)
+    cur = fresh()
+    del cur["flat_flag"]
+    ok, _ = compare("t", cur, base, spec, 0.10)
+    assert not ok, "missing top-level gate must fail"
+
+    # Gate false in the BASELINE is not enforced (never established).
+    weak_base = fresh()
+    weak_base["gate"]["pass"] = False
+    cur = fresh()
+    cur["gate"]["pass"] = False
+    ok, _ = compare("t", cur, weak_base, spec, 0.10)
+    assert ok, "gate never established in baseline must not be enforced"
+
+    # Extra entries in current never fail (baselines only ratchet).
+    cur = fresh()
+    cur["kernels"]["c"] = {"rows_per_sec": 1.0}
+    cur["sweep"].append({"groups": 1 << 20, "r": 9.0})
+    ok, _ = compare("t", cur, base, spec, 0.10)
+    assert ok, "extra current entries must pass"
+
+    # The real manifest stays self-consistent: every bench names files and
+    # well-formed series/floors/gates.
+    for name, spec2 in MANIFEST.items():
+        assert spec2["current"] and spec2["baseline"], name
+        for s in spec2["series"]:
+            assert len(s) == 2, name
+        for f in spec2["floors"]:
+            assert len(f) == 3, name
 
     print("self-test: all cases passed")
     return 0
@@ -132,15 +284,12 @@ def self_test():
 def main():
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--current", default=os.path.join(repo_root, "BENCH_simd.json")
-    )
-    parser.add_argument(
-        "--baseline",
-        default=os.path.join(
-            repo_root, "bench", "baselines", "BENCH_simd_baseline.json"
-        ),
-    )
+    parser.add_argument("--bench", default="all",
+                        choices=["all"] + sorted(MANIFEST))
+    parser.add_argument("--current", default=None,
+                        help="override the current-results path (single bench)")
+    parser.add_argument("--baseline", default=None,
+                        help="override the baseline path (single bench)")
     parser.add_argument("--tolerance", type=float, default=0.10)
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
@@ -148,24 +297,21 @@ def main():
     if args.self_test:
         return self_test()
 
-    try:
-        with open(args.current) as f:
-            current = json.load(f)
-    except OSError as e:
-        print("cannot read current results (run bench/bench_simd first): %s" % e)
-        return 1
-    try:
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-    except OSError as e:
-        print("cannot read baseline: %s" % e)
+    if (args.current or args.baseline) and args.bench == "all":
+        print("--current/--baseline require a single --bench")
         return 1
 
-    ok, lines = compare(current, baseline, args.tolerance)
-    for line in lines:
-        print(line)
-    print("bench regression check: %s" % ("PASS" if ok else "FAIL"))
-    return 0 if ok else 1
+    names = sorted(MANIFEST) if args.bench == "all" else [args.bench]
+    all_ok = True
+    for name in names:
+        ok, lines = check_bench(name, MANIFEST[name], repo_root,
+                                args.tolerance, args.current, args.baseline)
+        for line in lines:
+            print(line)
+        print("[%s] %s" % (name, "PASS" if ok else "FAIL"))
+        all_ok = all_ok and ok
+    print("bench regression check: %s" % ("PASS" if all_ok else "FAIL"))
+    return 0 if all_ok else 1
 
 
 if __name__ == "__main__":
