@@ -1,0 +1,275 @@
+// Durability bench: what the ingest WAL costs and what recovery buys
+// (storage/wal.h, storage/checkpoint.h, api/server.h).
+//
+//  (a) WAL ingest overhead — the same append schedule is driven through a
+//      Server with durability off and with the WAL on at each fsync
+//      discipline (none / batch / always). The acceptance gate is the
+//      ISSUE's bound: with fsync_mode=batch, logging every batch before
+//      applying it must cost < 15% over the wal-off ingest path.
+//  (b) Recovery time vs log length — a server appends {10, 100, 1000}
+//      batches and is destroyed without a clean shutdown; we time the
+//      successor's constructor replaying the whole log, and again with a
+//      mid-log checkpoint so replay only covers the tail. Recovered state
+//      is checked against the victim's final version each time.
+//
+// Emits BENCH_durability.json at the repo root after the tables.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/server.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "data/tpch_gen.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+
+namespace gbmqo {
+namespace {
+
+using bench::Banner;
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+
+double Seconds(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ModePoint {
+  std::string mode;        // "off", "none", "batch", "always"
+  double ingest_ms = 0;    // best-of-reps total AppendBatch wall time
+  double overhead_pct = 0; // vs "off"
+  uint64_t wal_bytes = 0;  // logged bytes after the schedule (0 for "off")
+};
+
+struct RecoveryPoint {
+  int log_batches = 0;
+  double full_replay_ms = 0;     // no checkpoint: replay every record
+  double checkpoint_tail_ms = 0; // checkpoint at N/2: load + replay tail
+  uint64_t tail_records = 0;     // records the checkpointed recovery applied
+};
+
+/// A scratch WAL directory, wiped on scope exit.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("gbmqo-bench-durability-" + std::to_string(CurrentProcessId()) +
+             "-" + tag))
+               .string();
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+}  // namespace
+}  // namespace gbmqo
+
+int main() {
+  using namespace gbmqo;
+
+  const size_t rows = bench::RowsFromEnv(100000);
+  Banner("bench_durability: WAL ingest overhead and recovery replay",
+         "this repo's durability layer (storage/wal.h, "
+         "storage/checkpoint.h)");
+  std::printf("rows=%zu (set GBMQO_ROWS to change)\n\n", rows);
+
+  TablePtr base = GenerateLineitem({.rows = rows, .seed = 17});
+  TablePtr donor = GenerateLineitem({.rows = 4000, .zipf_theta = 0.8,
+                                     .seed = 18});
+
+  // One fixed append schedule reused by every mode.
+  const int kBatches = 40;
+  const int kBatchRows = 400;
+  std::vector<std::vector<std::vector<Value>>> schedule;
+  {
+    Rng rng(19);
+    for (int b = 0; b < kBatches; ++b) {
+      std::vector<std::vector<Value>> batch;
+      batch.reserve(kBatchRows);
+      for (int i = 0; i < kBatchRows; ++i) {
+        batch.push_back(donor->Row(rng.Uniform(donor->num_rows())));
+      }
+      schedule.push_back(std::move(batch));
+    }
+  }
+
+  // ---- (a) WAL ingest overhead by fsync discipline -------------------------
+  struct ModeSpec {
+    const char* name;
+    bool wal_on;
+    FsyncMode fsync;
+  };
+  const ModeSpec modes[] = {{"off", false, FsyncMode::kBatch},
+                            {"none", true, FsyncMode::kNone},
+                            {"batch", true, FsyncMode::kBatch},
+                            {"always", true, FsyncMode::kAlways}};
+  std::printf("(a) %d batches x %d rows, total AppendBatch time, best of 3\n",
+              kBatches, kBatchRows);
+  std::printf("    %8s %12s %12s %12s\n", "mode", "ingest (ms)", "overhead",
+              "wal bytes");
+  std::vector<ModePoint> points;
+  for (const ModeSpec& mode : modes) {
+    ModePoint p;
+    p.mode = mode.name;
+    p.ingest_ms = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      ScratchDir dir(std::string(mode.name) + "-" + std::to_string(rep));
+      ServerOptions options;
+      options.pool_size = 2;
+      if (mode.wal_on) {
+        options.wal_directory = dir.path;
+        options.fsync_mode = mode.fsync;
+        options.checkpoint_interval_bytes = 0;  // pure logging cost
+      }
+      Server server(base, options);
+      if (!server.recovery_status().ok()) {
+        std::fprintf(stderr, "durability init failed: %s\n",
+                     server.recovery_status().ToString().c_str());
+        return 1;
+      }
+      const auto t0 = Clock::now();
+      for (const auto& batch : schedule) {
+        if (!server.AppendBatch(batch).ok()) {
+          std::fprintf(stderr, "append failed in mode %s\n", mode.name);
+          return 1;
+        }
+      }
+      p.ingest_ms = std::min(p.ingest_ms, Seconds(t0) * 1e3);
+      p.wal_bytes = server.stats().wal_bytes;
+    }
+    points.push_back(p);
+  }
+  const double off_ms = points[0].ingest_ms;
+  for (ModePoint& p : points) {
+    p.overhead_pct = off_ms > 0 ? (p.ingest_ms - off_ms) / off_ms * 100.0 : 0;
+    std::printf("    %8s %12.2f %11.1f%% %12llu\n", p.mode.c_str(),
+                p.ingest_ms, p.overhead_pct,
+                static_cast<unsigned long long>(p.wal_bytes));
+  }
+  const double batch_overhead = points[2].overhead_pct;
+  const bool wal_overhead_ok = batch_overhead < 15.0;
+  std::printf("    %-34s %6s (%.1f%%)\n",
+              "fsync_mode=batch overhead < 15%", wal_overhead_ok ? "yes" : "NO",
+              batch_overhead);
+
+  // ---- (b) recovery time vs log length -------------------------------------
+  std::printf("\n(b) recovery replay, 64-row batches, fsync_mode=batch\n");
+  std::printf("    %10s %16s %18s %12s\n", "batches", "full replay (ms)",
+              "ckpt + tail (ms)", "tail recs");
+  std::vector<RecoveryPoint> recovery;
+  bool recovered_bit_identical = true;
+  for (const int log_batches : {10, 100, 1000}) {
+    RecoveryPoint p;
+    p.log_batches = log_batches;
+    Rng rng(37);
+    std::vector<std::vector<Value>> batch;
+    batch.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      batch.push_back(donor->Row(rng.Uniform(donor->num_rows())));
+    }
+    for (const bool with_checkpoint : {false, true}) {
+      ScratchDir dir("recover-" + std::to_string(log_batches) +
+                     (with_checkpoint ? "-ckpt" : "-full"));
+      ServerOptions options;
+      options.pool_size = 2;
+      options.wal_directory = dir.path;
+      options.fsync_mode = FsyncMode::kBatch;
+      options.checkpoint_interval_bytes = 0;
+      uint64_t victim_version = 0;
+      uint64_t victim_rows = 0;
+      {
+        Server victim(base, options);
+        if (!victim.recovery_status().ok()) return 1;
+        for (int b = 0; b < log_batches; ++b) {
+          if (!victim.AppendBatch(batch).ok()) return 1;
+          if (with_checkpoint && b == log_batches / 2 &&
+              !victim.Checkpoint().ok()) {
+            return 1;
+          }
+        }
+        victim_version = victim.base_version();
+        victim_rows = victim.current_base()->num_rows();
+      }  // destroyed without a clean shutdown
+      const auto t0 = Clock::now();
+      Server heir(base, options);
+      const double ms = Seconds(t0) * 1e3;
+      if (!heir.recovery_status().ok()) {
+        std::fprintf(stderr, "recovery failed: %s\n",
+                     heir.recovery_status().ToString().c_str());
+        return 1;
+      }
+      if (heir.base_version() != victim_version ||
+          heir.current_base()->num_rows() != victim_rows) {
+        recovered_bit_identical = false;
+      }
+      if (with_checkpoint) {
+        p.checkpoint_tail_ms = ms;
+        p.tail_records = heir.stats().recovery_records_applied;
+      } else {
+        p.full_replay_ms = ms;
+      }
+    }
+    recovery.push_back(p);
+    std::printf("    %10d %16.2f %18.2f %12llu\n", p.log_batches,
+                p.full_replay_ms, p.checkpoint_tail_ms,
+                static_cast<unsigned long long>(p.tail_records));
+  }
+  std::printf("    %-34s %6s\n", "recovered state matches victim",
+              recovered_bit_identical ? "yes" : "NO");
+
+#ifdef GBMQO_REPO_ROOT
+  const std::string json_path =
+      std::string(GBMQO_REPO_ROOT) + "/BENCH_durability.json";
+#else
+  const std::string json_path = "BENCH_durability.json";
+#endif
+  std::string json = "{\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"rows\": %zu,\n"
+                "  \"batches\": %d,\n"
+                "  \"batch_rows\": %d,\n"
+                "  \"wal_overhead_ok\": %s,\n"
+                "  \"recovered_bit_identical\": %s,\n"
+                "  \"modes\": [\n",
+                rows, kBatches, kBatchRows, wal_overhead_ok ? "true" : "false",
+                recovered_bit_identical ? "true" : "false");
+  json += buf;
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"mode\": \"%s\", \"ingest_ms\": %.2f, "
+                  "\"overhead_pct\": %.2f, \"wal_bytes\": %llu}%s\n",
+                  points[i].mode.c_str(), points[i].ingest_ms,
+                  points[i].overhead_pct,
+                  static_cast<unsigned long long>(points[i].wal_bytes),
+                  i + 1 < points.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n  \"recovery\": [\n";
+  for (size_t i = 0; i < recovery.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"log_batches\": %d, \"full_replay_ms\": %.2f, "
+                  "\"checkpoint_tail_ms\": %.2f, \"tail_records\": %llu}%s\n",
+                  recovery[i].log_batches, recovery[i].full_replay_ms,
+                  recovery[i].checkpoint_tail_ms,
+                  static_cast<unsigned long long>(recovery[i].tail_records),
+                  i + 1 < recovery.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return wal_overhead_ok && recovered_bit_identical ? 0 : 1;
+}

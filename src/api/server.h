@@ -38,6 +38,7 @@
 #include "core/delta_maintenance.h"
 #include "storage/ingest.h"
 #include "storage/storage_governor.h"
+#include "storage/wal.h"
 
 namespace gbmqo {
 
@@ -73,6 +74,30 @@ struct ServerOptions {
   /// cost of estimate drift until the next full build. Either way requests
   /// see a consistent (base, stats) snapshot, never a mix.
   bool refresh_stats_on_ingest = true;
+
+  // ---- durability (storage/wal.h, storage/checkpoint.h) ------------------
+
+  /// Directory for the ingest WAL and checkpoints; "" (the default)
+  /// disables durability entirely. With it set, every AppendBatch is logged
+  /// before it is applied, and a Server restarted on the same directory
+  /// rebuilds bit-identical serving state (same base_version, same query
+  /// results, same warm-cache hits) from the newest valid checkpoint plus
+  /// the WAL tail. The directory is created if absent; stale temp files of
+  /// dead processes are reaped on startup.
+  std::string wal_directory;
+  /// When appended WAL records are forced to stable storage (see
+  /// storage/wal.h for the durability each mode buys). kBatch survives an
+  /// engine crash losing nothing; kAlways additionally survives power loss.
+  FsyncMode fsync_mode = FsyncMode::kBatch;
+  /// A checkpoint is taken automatically once the live WAL segment reaches
+  /// this many bytes, bounding replay time after a crash. 0 = only explicit
+  /// Checkpoint() calls ever write one.
+  uint64_t checkpoint_interval_bytes = 64ull * 1024 * 1024;
+  /// Replay checkpoint + WAL from `wal_directory` on construction. False
+  /// discards any surviving logs and checkpoints there and starts a fresh
+  /// log from the constructor's base table — the testing/bulk-load escape
+  /// hatch (old versions must not mix with the new numbering).
+  bool recover_on_start = true;
 };
 
 /// Monotonic serving counters (plus a live cache snapshot).
@@ -85,6 +110,16 @@ struct ServerStats {
   uint64_t base_version = 0;        ///< current base generation (0 as loaded)
   AggregateCacheStats cache;        ///< zeros when the cache is disabled
   double governor_reserved_bytes = 0;  ///< 0 when the governor is disabled
+  // Durability (all zero when ServerOptions::wal_directory is "").
+  uint64_t wal_appends = 0;         ///< records logged by this process
+  uint64_t wal_bytes = 0;           ///< complete-record bytes in the live segment
+  uint64_t checkpoints_written = 0; ///< checkpoints written by this process
+  uint64_t last_checkpoint_version = 0;  ///< version the newest checkpoint covers
+  bool recovered = false;           ///< startup replayed a checkpoint or WAL tail
+  uint64_t recovery_checkpoint_version = 0;  ///< checkpoint recovery loaded
+  uint64_t recovery_records_applied = 0;     ///< WAL records replayed at startup
+  bool recovery_tail_truncated = false;      ///< a torn trailing record was dropped
+  uint64_t recovery_checkpoints_skipped = 0; ///< corrupt checkpoints fallen past
 };
 
 /// Thread-safe multi-client entry point. Submissions may come from any
@@ -154,6 +189,21 @@ class Server {
   /// The current generation's base table (grows across AppendBatch calls).
   TablePtr current_base() const;
 
+  // ---- durability ----------------------------------------------------------
+
+  /// Durably snapshots the current serving state (base relation + pinned
+  /// cache entries) into `wal_directory`, rotates the WAL onto a fresh
+  /// segment, and garbage-collects the segments and checkpoints the new one
+  /// supersedes. Runs exclusively against in-flight requests like
+  /// AppendBatch. InvalidArgument when durability is disabled.
+  Status Checkpoint();
+
+  /// OK when startup recovery succeeded (or durability is off / recovery
+  /// was skipped); otherwise why the surviving logs could not be replayed.
+  /// A non-OK status means the server is running on the constructor's base
+  /// table with the WAL disabled — it serves queries but will not log.
+  Status recovery_status() const;
+
   // ---- component access ----------------------------------------------------
 
   /// The as-loaded (generation-0) base relation. Unchanged by ingestion —
@@ -204,6 +254,22 @@ class Server {
   /// Drops catalog entries of retired base generations nobody reads
   /// anymore. Caller holds ingest_mu_ exclusively.
   void SweepRetiredLocked();
+  /// Applies one validated batch: copy-on-append ingest, cache maintenance,
+  /// snapshot swap. Shared by AppendBatch (after the WAL append) and
+  /// recovery replay, so a replayed batch takes exactly the live code path.
+  /// Caller holds ingest_mu_ exclusively (or is the single-threaded ctor).
+  Status ApplyBatchLocked(const std::vector<std::vector<Value>>& rows,
+                          IngestResult* out);
+  /// Constructor-time durability bring-up: directory creation, stale-file
+  /// reaping, checkpoint + WAL replay (per recover_on_start), and opening
+  /// the live segment for appending.
+  Status InitDurability();
+  /// Body of Checkpoint(); caller holds ingest_mu_ exclusively.
+  Status CheckpointLocked();
+  /// Deletes WAL segments and checkpoint files superseded by
+  /// checkpoint_version_, returning their bytes to the governor's disk
+  /// ledger. Caller holds ingest_mu_ exclusively.
+  void GcDurabilityFilesLocked();
   /// Order-insensitive canonical signature of a request set (coalescing
   /// key).
   static std::string Signature(const std::vector<GroupByRequest>& requests);
@@ -225,6 +291,23 @@ class Server {
   std::vector<std::shared_ptr<const BaseSnapshot>> retired_;
   uint64_t batches_ingested_ = 0;  // guarded by ingest_mu_
   uint64_t rows_ingested_ = 0;     // guarded by ingest_mu_
+
+  // Durability state, all guarded by ingest_mu_ (the ctor touches it before
+  // any worker starts). wal_ is nullptr when durability is off or recovery
+  // failed; the server then serves but never logs.
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t checkpoint_version_ = 0;  ///< version of the newest durable checkpoint
+  /// Disk-ledger bytes charged per live checkpoint file this process wrote
+  /// or adopted (version -> file size), released when the file is GC'd.
+  std::unordered_map<uint64_t, uint64_t> checkpoint_bytes_;
+  uint64_t wal_appends_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  Status recovery_status_;
+  bool recovered_ = false;
+  uint64_t recovery_checkpoint_version_ = 0;
+  uint64_t recovery_records_applied_ = 0;
+  bool recovery_tail_truncated_ = false;
+  uint64_t recovery_checkpoints_skipped_ = 0;
 
   mutable std::mutex mu_;  // guards queue_, in_flight_, counters, stopping_
   std::condition_variable cv_;

@@ -1,0 +1,53 @@
+// CRC32 (IEEE 802.3 polynomial, reflected): the integrity checksum shared
+// by every on-disk record format in the engine — WAL records
+// (storage/wal.h), checkpoint images (storage/checkpoint.h) and spill-file
+// frames (exec/spill_partitioner.h). One implementation so a checksum
+// computed by a writer in one subsystem is verifiable by any reader, and so
+// tests can corrupt bytes and predict the mismatch.
+//
+// Table-driven, one byte per step — ~1 GB/s, far faster than the disk I/O
+// it guards. Chainable: pass the previous return value as `seed` to extend
+// a checksum across non-contiguous buffers.
+#ifndef GBMQO_COMMON_CRC32_H_
+#define GBMQO_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace gbmqo {
+
+namespace crc32_internal {
+
+inline const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32_internal
+
+/// CRC32 of `bytes` bytes at `data`, chained onto `seed` (0 for a fresh
+/// checksum). Crc32(b, n, Crc32(a, m)) == Crc32(concat(a, b), m + n).
+inline uint32_t Crc32(const void* data, size_t bytes, uint32_t seed = 0) {
+  const auto& table = crc32_internal::Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_COMMON_CRC32_H_

@@ -25,6 +25,18 @@ const char* FaultSiteName(FaultSite site) {
       return "spill_read";
     case FaultSite::kSpillMerge:
       return "spill_merge";
+    case FaultSite::kSpillCorrupt:
+      return "spill_corrupt";
+    case FaultSite::kDiskShortWrite:
+      return "disk_short_write";
+    case FaultSite::kDiskTornWrite:
+      return "disk_torn_write";
+    case FaultSite::kDiskBitFlip:
+      return "disk_bit_flip";
+    case FaultSite::kDiskEnospc:
+      return "disk_enospc";
+    case FaultSite::kDiskFsync:
+      return "disk_fsync";
   }
   return "?";
 }

@@ -20,7 +20,8 @@
 //
 // `site=p` arms a seeded probability, `site@N` a one-shot at the N-th hit.
 // Site names: task_start, alloc, temp_register, shared_scan, spill_write,
-// spill_read, spill_merge.
+// spill_read, spill_merge, spill_corrupt, disk_short_write,
+// disk_torn_write, disk_bit_flip, disk_enospc, disk_fsync.
 //
 // Compiling with -DGBMQO_DISABLE_FAULT_INJECTION turns every site marker
 // into a constant-false branch with no atomic load at all.
@@ -43,8 +44,16 @@ enum class FaultSite : int {
   kSpillWrite,        ///< flushing a radix partition buffer to a spill file
   kSpillRead,         ///< reading a spill partition file back for replay
   kSpillMerge,        ///< merging one spilled partition's segment results
+  kSpillCorrupt,      ///< bit-flips a spill record on read (CRC must catch)
+  // Disk fault sites shared by the durability layer (WAL, checkpoint) and
+  // the spill files: each models one concrete way a real disk write fails.
+  kDiskShortWrite,    ///< write() persists fewer bytes than asked
+  kDiskTornWrite,     ///< crash mid-record: only a prefix reaches the disk
+  kDiskBitFlip,       ///< stored bytes read back with one bit flipped
+  kDiskEnospc,        ///< out of disk space (ENOSPC) on write
+  kDiskFsync,         ///< fsync/fflush reports failure after a write
 };
-inline constexpr int kNumFaultSites = 7;
+inline constexpr int kNumFaultSites = 13;
 
 const char* FaultSiteName(FaultSite site);
 

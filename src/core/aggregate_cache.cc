@@ -128,6 +128,61 @@ bool AggregateCache::AcceptPinned(ColumnSet columns,
   return true;
 }
 
+bool AggregateCache::RestorePinned(ColumnSet columns,
+                                   const std::vector<AggRequest>& aggs,
+                                   const TablePtr& table,
+                                   uint64_t source_version,
+                                   bool needs_recompute) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = KeyFor(columns, aggs);
+  if (entries_.count(key) > 0) {
+    ++declined_;
+    return false;
+  }
+  const uint64_t bytes = table->ByteSize();
+  if (!MakeRoomLocked(bytes)) {
+    ++declined_;
+    return false;
+  }
+  const Status pin = catalog_->RegisterTempWithRefs(table, 1);
+  if (!pin.ok()) {
+    if (governor_ != nullptr) governor_->Release(static_cast<double>(bytes));
+    ++declined_;
+    return false;
+  }
+  Entry e;
+  e.table_name = table->name();
+  e.table = table;
+  e.columns = columns;
+  e.aggs = aggs;
+  e.bytes = bytes;
+  e.source_version = source_version;
+  e.needs_recompute = needs_recompute;
+  lru_.push_front(key);
+  e.lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  pinned_bytes_ += bytes;
+  ++admissions_;
+  return true;
+}
+
+std::vector<RefreshableEntry> AggregateCache::SnapshotEntriesLru() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RefreshableEntry> out;
+  out.reserve(lru_.size());
+  for (const std::string& key : lru_) {  // MRU first
+    const Entry& e = entries_.at(key);
+    RefreshableEntry r;
+    r.columns = e.columns;
+    r.aggs = e.aggs;
+    r.table = e.table;
+    r.source_version = e.source_version;
+    r.needs_recompute = e.needs_recompute;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 std::vector<RefreshableEntry> AggregateCache::SnapshotEntriesForRefresh()
     const {
   std::lock_guard<std::mutex> lock(mu_);

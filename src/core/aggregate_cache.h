@@ -175,6 +175,21 @@ class AggregateCache {
   /// by key so concurrent callers see a deterministic order.
   std::vector<CachedViewDesc> SnapshotViews() const;
 
+  // ---- Durability interface (storage/checkpoint.h, api/server.h) -------
+
+  /// Snapshot of live entries in LRU order, most recently used first — the
+  /// order a checkpoint stores so recovery can rebuild the same eviction
+  /// priority (re-admitting in reverse restores MRU-at-front exactly).
+  std::vector<RefreshableEntry> SnapshotEntriesLru() const;
+
+  /// Recovery-side admission: like AcceptPinned for an unregistered table,
+  /// but stamps the entry with the checkpointed `source_version` and
+  /// `needs_recompute` instead of the cache's current source version.
+  /// Subject to the same deterministic budget/governor discipline.
+  bool RestorePinned(ColumnSet columns, const std::vector<AggRequest>& aggs,
+                     const TablePtr& table, uint64_t source_version,
+                     bool needs_recompute);
+
   AggregateCacheStats stats() const;
   uint64_t pinned_bytes() const {
     std::lock_guard<std::mutex> lock(mu_);

@@ -835,11 +835,20 @@ class DagRunner {
       last = s;
       if (s.IsCancelled() || s.IsDeadlineExceeded()) return s;
       if (aborted_.load(std::memory_order_relaxed)) return s;
+      // A corrupt spill record (surfaced when SpillOptions::recover_corrupt
+      // is off) indicts the disk, not the plan shape: the next attempt gets
+      // fresh spill files under a fresh fault salt, so replay the same
+      // shape instead of walking a degradation rung.
+      const bool corrupt_spill =
+          s.IsInternal() &&
+          s.message().find("spill: corrupt record") != std::string::npos;
       // Walk one rung down the ladder for the next attempt.
-      if (t.kind == TaskSpec::Kind::kFused && !split_fused) {
-        split_fused = true;
-      } else if (t.input != nullptr && !from_base) {
-        from_base = true;
+      if (!corrupt_spill) {
+        if (t.kind == TaskSpec::Kind::kFused && !split_fused) {
+          split_fused = true;
+        } else if (t.input != nullptr && !from_base) {
+          from_base = true;
+        }
       }
       if (s.IsResourceExhausted()) {
         if (env_.spill.enabled() && !use_spill) {

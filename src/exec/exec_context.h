@@ -114,6 +114,9 @@ struct WorkCounters {
   uint64_t spill_partitions = 0;
   uint64_t spill_bytes_written = 0;
   uint64_t spill_bytes_read = 0;
+  /// Spill files whose CRC check failed on replay and whose records were
+  /// re-derived from the resident input (SpillOptions::recover_corrupt).
+  uint64_t spill_corrupt_recoveries = 0;
   /// Accumulator of the row-store scan simulation (ScanMode::kRowStore):
   /// folding every column of every scanned row in here keeps the full-width
   /// touch from being optimized away. Value is meaningless; ignore it.
@@ -147,6 +150,7 @@ struct WorkCounters {
     spill_partitions += o.spill_partitions;
     spill_bytes_written += o.spill_bytes_written;
     spill_bytes_read += o.spill_bytes_read;
+    spill_corrupt_recoveries += o.spill_corrupt_recoveries;
     scan_touch_checksum ^= o.scan_touch_checksum;
     tasks_retried += o.tasks_retried;
     tasks_degraded += o.tasks_degraded;

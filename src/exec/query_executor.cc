@@ -842,6 +842,66 @@ void BuildSegment(const Table& input, const GroupByQuery& query,
   *out = std::move(seg);
 }
 
+/// Re-derives the exact payload of one (shard, partition) spill file from
+/// the still-resident input: the recompute-partition retry rung for a
+/// corrupt spill record. Runs the pass-1 encoding loop for one shard
+/// filtered to one partition, so the rebuilt bytes equal the damaged
+/// file's payload bit-for-bit (no touch-tracking: the scan-side counters
+/// were charged by the real pass 1).
+std::vector<uint8_t> RebuildShardPartition(const Table& input,
+                                           const AggKernelPlan& kplan,
+                                           const MorselLayout& layout, int s,
+                                           int p, SimdLevel simd) {
+  constexpr int kParts = QueryExecutor::kMergePartitions;
+  BlockKeyFiller filler(kplan, simd);
+  const bool dense = kplan.kernel == AggKernel::kDenseArray;
+  const size_t kw = static_cast<size_t>(kplan.key_width);
+  std::vector<uint64_t> keys;
+  std::vector<uint32_t> slots;
+  if (dense) {
+    slots.resize(BlockKeyFiller::kBlockRows);
+  } else {
+    keys.resize(BlockKeyFiller::kBlockRows * kw);
+  }
+  std::vector<uint8_t> buf;
+  layout.ForEachShardBlock(
+      s, BlockKeyFiller::kBlockRows, [&](size_t begin, size_t count) {
+        if (dense) {
+          filler.FillDense(begin, count, slots.data());
+          for (size_t i = 0; i < count; ++i) {
+            if (DenseGroupTable::PartitionOfSlot(slots[i], kParts,
+                                                 kplan.dense_capacity) != p) {
+              continue;
+            }
+            const uint32_t row = static_cast<uint32_t>(begin + i);
+            const uint8_t* sp = reinterpret_cast<const uint8_t*>(&slots[i]);
+            buf.insert(buf.end(), sp, sp + 4);
+            const uint8_t* rp = reinterpret_cast<const uint8_t*>(&row);
+            buf.insert(buf.end(), rp, rp + 4);
+          }
+        } else {
+          if (kplan.kernel == AggKernel::kMultiWord) {
+            filler.FillMultiWord(begin, count, keys.data());
+          } else {
+            filler.FillPacked(begin, count, keys.data());
+          }
+          for (size_t i = 0; i < count; ++i) {
+            const uint64_t* keyp = keys.data() + i * kw;
+            if (GroupHashTable::PartitionOfHash(
+                    GroupHashTable::Hash(keyp, kplan.key_width), kParts) != p) {
+              continue;
+            }
+            const uint8_t* kp = reinterpret_cast<const uint8_t*>(keyp);
+            buf.insert(buf.end(), kp, kp + kw * 8);
+            const uint32_t row = static_cast<uint32_t>(begin + i);
+            const uint8_t* rp = reinterpret_cast<const uint8_t*>(&row);
+            buf.insert(buf.end(), rp, rp + 4);
+          }
+        }
+      });
+  return buf;
+}
+
 /// The grace-hash spill path for one hash group-by. The caller has already
 /// charged the per-query scan counters (queries_executed, rows_scanned,
 /// bytes_scanned); this charges everything downstream of the scan —
@@ -965,21 +1025,33 @@ Result<TablePtr> RunHashSpill(const Table& input, const GroupByQuery& query,
     std::vector<ShardAgg> segs(static_cast<size_t>(shards));
     std::vector<Status> seg_status(static_cast<size_t>(shards));
     std::vector<uint64_t> seg_bytes(static_cast<size_t>(shards), 0);
+    std::vector<uint64_t> seg_recoveries(static_cast<size_t>(shards), 0);
     RunTasks(shards, parallelism, [&](int s) {
       const int file = s * kParts + p;
-      Result<std::vector<uint8_t>> data =
-          files->ReadAll(file, FaultKey(salt, 0x52000000ull + file));
-      if (!data.ok()) {
+      bool corrupt = false;
+      Result<std::vector<uint8_t>> data = files->ReadAll(
+          file, FaultKey(salt, 0x52000000ull + file), &corrupt);
+      std::vector<uint8_t> bytes;
+      if (data.ok()) {
+        bytes = std::move(*data);
+      } else if (corrupt && spill.recover_corrupt) {
+        // Recompute-partition rung: the input is still resident, so the
+        // damaged file's records can be re-derived bit-identically instead
+        // of failing the query.
+        bytes = RebuildShardPartition(input, kplan, layout, s, p, simd);
+        seg_recoveries[static_cast<size_t>(s)] = 1;
+      } else {
         seg_status[static_cast<size_t>(s)] = data.status();
         return;
       }
-      seg_bytes[static_cast<size_t>(s)] = (*data).size();
-      part_meter.Charge(static_cast<int64_t>((*data).size()));
-      BuildSegment(input, query, kplan, p, *data, simd, &part_meter,
+      seg_bytes[static_cast<size_t>(s)] = bytes.size();
+      part_meter.Charge(static_cast<int64_t>(bytes.size()));
+      BuildSegment(input, query, kplan, p, bytes, simd, &part_meter,
                    &segs[static_cast<size_t>(s)]);
     });
     for (const Status& s : seg_status) GBMQO_RETURN_NOT_OK(s);
     for (uint64_t b : seg_bytes) bytes_read += b;
+    for (uint64_t r : seg_recoveries) wc.spill_corrupt_recoveries += r;
     size_t part_total = 0;
     for (const ShardAgg& seg : segs) {
       part_total += seg.groups();

@@ -45,6 +45,13 @@ struct SpillOptions {
   /// waiting for a budget trip (test/bench knob, and the retry ladder's
   /// spill rung).
   bool force = false;
+  /// When a spill file's CRC check fails on replay, re-derive that
+  /// (shard, partition)'s records from the still-resident input instead of
+  /// failing the query — the rebuilt bytes are bit-identical to the lost
+  /// file, so the result is unchanged (counted in spill_corrupt_recoveries).
+  /// Off, the corruption surfaces as an Internal error that the plan-level
+  /// retry ladder treats as transient (same plan shape, fresh attempt).
+  bool recover_corrupt = true;
   /// Optional governor charged with the spill path's RAM working set (one
   /// partition at a time) and its disk bytes, so callers can assert the
   /// realized RAM peak stayed under the cap and meter global disk use.

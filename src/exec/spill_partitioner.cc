@@ -1,18 +1,15 @@
 #include "exec/spill_partitioner.h"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
 
+#include "common/crc32.h"
 #include "common/fault_injector.h"
+#include "storage/checkpoint.h"
 #include "storage/storage_governor.h"
-
-#if defined(_WIN32)
-#include <process.h>
-#else
-#include <unistd.h>
-#endif
 
 namespace gbmqo {
 
@@ -25,13 +22,10 @@ namespace fs = std::filesystem;
 /// temp directory).
 std::atomic<uint64_t> g_spill_dir_seq{0};
 
-uint64_t ProcessId() {
-#if defined(_WIN32)
-  return static_cast<uint64_t>(_getpid());
-#else
-  return static_cast<uint64_t>(getpid());
-#endif
-}
+uint64_t ProcessId() { return CurrentProcessId(); }
+
+constexpr char kSpillDirPrefix[] = "gbmqo-spill-";
+constexpr size_t kSpillFrameHeader = 8;  // u32 payload_len + u32 crc
 
 }  // namespace
 
@@ -41,7 +35,8 @@ SpillFileSet::SpillFileSet(std::string directory, int num_files,
       max_bytes_(max_bytes),
       governor_(governor),
       files_(static_cast<size_t>(num_files), nullptr),
-      file_bytes_(static_cast<size_t>(num_files), 0) {}
+      file_bytes_(static_cast<size_t>(num_files), 0),
+      disk_bytes_(static_cast<size_t>(num_files), 0) {}
 
 Result<std::unique_ptr<SpillFileSet>> SpillFileSet::Create(
     const std::string& parent, int num_files, uint64_t max_bytes,
@@ -53,7 +48,7 @@ Result<std::unique_ptr<SpillFileSet>> SpillFileSet::Create(
                             ec.message());
   }
   const uint64_t seq = g_spill_dir_seq.fetch_add(1, std::memory_order_relaxed);
-  fs::path dir = base / ("gbmqo-spill-" + std::to_string(ProcessId()) + "-" +
+  fs::path dir = base / (kSpillDirPrefix + std::to_string(ProcessId()) + "-" +
                          std::to_string(seq));
   fs::create_directories(dir, ec);
   if (ec) {
@@ -85,8 +80,14 @@ std::string SpillFileSet::PathOf(int index) const {
 Status SpillFileSet::Append(int index, uint64_t fault_key, const void* data,
                             size_t bytes) {
   if (bytes == 0) return Status::OK();
+  const uint64_t write_offset = disk_bytes_[static_cast<size_t>(index)];
   if (GBMQO_INJECT_FAULT(FaultSite::kSpillWrite, fault_key)) {
     return Status::Internal("injected spill write failure");
+  }
+  if (GBMQO_INJECT_FAULT(FaultSite::kDiskEnospc, fault_key)) {
+    return Status::ResourceExhausted(
+        "spill: no space left on device writing " + PathOf(index) +
+        " at offset " + std::to_string(write_offset));
   }
   const uint64_t total =
       bytes_written_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
@@ -116,42 +117,132 @@ Status SpillFileSet::Append(int index, uint64_t fault_key, const void* data,
                               " for writing: " + std::strerror(errno));
     }
   }
-  if (std::fwrite(data, 1, bytes, f) != bytes) {
-    return Status::Internal("spill: short write to " + PathOf(index));
+  // One checksummed frame per Append: u32 payload_len + u32 crc + payload.
+  uint8_t header[kSpillFrameHeader];
+  const uint32_t payload_len = static_cast<uint32_t>(bytes);
+  const uint32_t crc = Crc32(data, bytes);
+  std::memcpy(header, &payload_len, 4);
+  std::memcpy(header + 4, &crc, 4);
+  size_t to_write = bytes;
+  if (GBMQO_INJECT_FAULT(FaultSite::kDiskShortWrite, fault_key)) {
+    to_write = bytes / 2;
+  }
+  size_t written = 0;
+  if (std::fwrite(header, 1, kSpillFrameHeader, f) == kSpillFrameHeader) {
+    written = std::fwrite(data, 1, to_write, f);
+  }
+  if (written != bytes) {
+    const bool enospc = errno == ENOSPC;
+    const std::string detail =
+        "spill: short write to " + PathOf(index) + " at offset " +
+        std::to_string(write_offset) + ": wrote " + std::to_string(written) +
+        " of " + std::to_string(bytes) + " payload bytes";
+    return enospc ? Status::ResourceExhausted(detail + " (ENOSPC)")
+                  : Status::Internal(detail);
   }
   file_bytes_[static_cast<size_t>(index)] += bytes;
+  disk_bytes_[static_cast<size_t>(index)] += kSpillFrameHeader + bytes;
   return Status::OK();
 }
 
 Status SpillFileSet::FinishWrites() {
-  for (std::FILE*& f : files_) {
+  for (size_t i = 0; i < files_.size(); ++i) {
+    std::FILE*& f = files_[i];
     if (f == nullptr) continue;
+    const bool flush_failed = std::fflush(f) != 0;
     const int rc = std::fclose(f);
     f = nullptr;
-    if (rc != 0) return Status::Internal("spill: close failed after writing");
+    if (flush_failed || rc != 0) {
+      return Status::Internal("spill: close failed after writing " +
+                              PathOf(static_cast<int>(i)));
+    }
   }
   return Status::OK();
 }
 
 Result<std::vector<uint8_t>> SpillFileSet::ReadAll(int index,
-                                                   uint64_t fault_key) const {
+                                                   uint64_t fault_key,
+                                                   bool* corrupt) const {
+  if (corrupt != nullptr) *corrupt = false;
   if (GBMQO_INJECT_FAULT(FaultSite::kSpillRead, fault_key)) {
     return Status::Internal("injected spill read failure");
   }
-  const uint64_t size = file_bytes_[static_cast<size_t>(index)];
-  std::vector<uint8_t> data(size);
-  if (size == 0) return data;
+  const uint64_t payload_size = file_bytes_[static_cast<size_t>(index)];
+  std::vector<uint8_t> payload;
+  payload.reserve(payload_size);
+  if (payload_size == 0) return payload;
+  const uint64_t disk_size = disk_bytes_[static_cast<size_t>(index)];
+  std::vector<uint8_t> raw(disk_size);
   std::FILE* f = std::fopen(PathOf(index).c_str(), "rb");
   if (f == nullptr) {
     return Status::Internal("spill: cannot open " + PathOf(index) +
                             " for reading: " + std::strerror(errno));
   }
-  const size_t got = std::fread(data.data(), 1, size, f);
+  const size_t got = std::fread(raw.data(), 1, disk_size, f);
   std::fclose(f);
-  if (got != size) {
-    return Status::Internal("spill: short read from " + PathOf(index));
+  if (got != disk_size) {
+    return Status::Internal("spill: short read from " + PathOf(index) +
+                            " at offset " + std::to_string(got) + ": got " +
+                            std::to_string(got) + " of " +
+                            std::to_string(disk_size) + " bytes");
   }
-  return data;
+  // Fault site for silent disk corruption: flip one stored bit before
+  // verification and let the CRC below prove it cannot slip through.
+  if (GBMQO_INJECT_FAULT(FaultSite::kSpillCorrupt, fault_key)) {
+    raw[raw.size() / 2] ^= 0x20;
+  }
+  size_t pos = 0;
+  auto corrupt_at = [&](const char* why) {
+    if (corrupt != nullptr) *corrupt = true;
+    return Status::Internal("spill: corrupt record in " + PathOf(index) +
+                            " at offset " + std::to_string(pos) + ": " + why);
+  };
+  while (pos < raw.size()) {
+    if (raw.size() - pos < kSpillFrameHeader) {
+      return corrupt_at("truncated frame header");
+    }
+    uint32_t frame_len, crc;
+    std::memcpy(&frame_len, raw.data() + pos, 4);
+    std::memcpy(&crc, raw.data() + pos + 4, 4);
+    if (raw.size() - pos - kSpillFrameHeader < frame_len) {
+      return corrupt_at("frame extends past end of file");
+    }
+    const uint8_t* frame = raw.data() + pos + kSpillFrameHeader;
+    if (Crc32(frame, frame_len) != crc) {
+      return corrupt_at("CRC mismatch");
+    }
+    payload.insert(payload.end(), frame, frame + frame_len);
+    pos += kSpillFrameHeader + frame_len;
+  }
+  if (payload.size() != payload_size) {
+    return corrupt_at("payload size does not match the write ledger");
+  }
+  return payload;
+}
+
+uint64_t SpillFileSet::ReapStale(const std::string& parent) {
+  std::error_code ec;
+  const fs::path base =
+      parent.empty() ? fs::temp_directory_path(ec) : fs::path(parent);
+  if (ec || !fs::exists(base, ec)) return 0;
+  uint64_t reaped = 0;
+  const size_t prefix_len = sizeof(kSpillDirPrefix) - 1;
+  for (const auto& entry : fs::directory_iterator(base, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.compare(0, prefix_len, kSpillDirPrefix) != 0) continue;
+    const size_t dash = name.find('-', prefix_len);
+    if (dash == std::string::npos) continue;
+    const std::string digits = name.substr(prefix_len, dash - prefix_len);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const uint64_t pid = std::strtoull(digits.c_str(), nullptr, 10);
+    if (ProcessAlive(pid)) continue;
+    if (fs::remove_all(entry.path(), ec) > 0 && !ec) ++reaped;
+  }
+  return reaped;
 }
 
 }  // namespace gbmqo

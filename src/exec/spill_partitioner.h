@@ -108,7 +108,18 @@ class MemoryMeter {
 /// subdirectory, removed in full on destruction. Writing is single-writer
 /// per file (the partition pass gives each shard its own file range);
 /// the byte ledgers are shared and thread-safe. Fault sites kSpillWrite and
-/// kSpillRead fire inside Append/ReadAll keyed by the caller's fault key.
+/// kSpillRead fire inside Append/ReadAll keyed by the caller's fault key;
+/// the shared disk sites (kDiskEnospc, kDiskShortWrite) model real write
+/// failures and kSpillCorrupt flips a stored bit on read.
+///
+/// On-disk format: each Append call writes one checksummed frame —
+/// u32 payload_len | u32 crc32(payload) | payload — and ReadAll verifies
+/// every frame and returns the concatenated payloads, so byte-level
+/// corruption is detected (never silently aggregated) and reported with
+/// file and offset. The byte ledgers (max_bytes cap, governor disk ledger,
+/// bytes_written/bytes_of) count *payload* bytes: callers size record
+/// arrays from them and the budgets keep their PR-9 meaning; the 8-byte
+/// frame headers ride along uncharged.
 class SpillFileSet {
  public:
   /// Creates the spill directory under `parent` (empty = the system temp
@@ -118,6 +129,13 @@ class SpillFileSet {
       const std::string& parent, int num_files, uint64_t max_bytes,
       StorageGovernor* governor);
 
+  /// Startup reaper: deletes `gbmqo-spill-<pid>-*` directories under
+  /// `parent` (empty = the system temp directory) whose creating process is
+  /// dead — the RAII cleanup above cannot run when the process is killed.
+  /// Live processes' directories are never touched (the pid in the name is
+  /// probed). Returns the number of directories removed.
+  static uint64_t ReapStale(const std::string& parent);
+
   /// Closes and deletes every file and the directory; releases the
   /// governor's disk reservation.
   ~SpillFileSet();
@@ -125,19 +143,29 @@ class SpillFileSet {
   SpillFileSet(const SpillFileSet&) = delete;
   SpillFileSet& operator=(const SpillFileSet&) = delete;
 
-  /// Appends `bytes` of `data` to file `index`, charging the per-query
-  /// max_spill_bytes cap and the governor disk ledger. ResourceExhausted
-  /// (with realized-vs-budgeted numbers) on either cap; Internal on an I/O
-  /// failure or an injected kSpillWrite fault.
+  /// Appends `bytes` of `data` to file `index` as one checksummed frame,
+  /// charging the per-query max_spill_bytes cap and the governor disk
+  /// ledger. ResourceExhausted (with realized-vs-budgeted numbers) on
+  /// either cap or on ENOSPC — real or injected via kDiskEnospc; Internal
+  /// on any other I/O failure (short writes name the file and offset) or an
+  /// injected kSpillWrite/kDiskShortWrite fault. After a failed write the
+  /// file is not a valid frame sequence; the query abandons the whole set
+  /// (the retry ladder re-runs), so no truncation discipline is needed.
   Status Append(int index, uint64_t fault_key, const void* data, size_t bytes);
 
   /// Flushes and closes every file opened for writing. Call once between
   /// the partition pass and the first ReadAll.
   Status FinishWrites();
 
-  /// Reads file `index` in full (empty vector for a never-written file).
-  /// Internal on an I/O failure or an injected kSpillRead fault.
-  Result<std::vector<uint8_t>> ReadAll(int index, uint64_t fault_key) const;
+  /// Reads file `index` in full, verifying every frame's CRC, and returns
+  /// the concatenated payloads (empty vector for a never-written file).
+  /// Internal on an I/O failure or an injected kSpillRead fault. A CRC or
+  /// framing mismatch — real bit rot or an injected kSpillCorrupt fault —
+  /// returns Internal naming file and offset and sets *corrupt (when
+  /// non-null), which the executor maps to the recompute-partition retry
+  /// rung instead of a plan-shape degradation.
+  Result<std::vector<uint8_t>> ReadAll(int index, uint64_t fault_key,
+                                       bool* corrupt = nullptr) const;
 
   /// Total bytes appended across all files so far.
   uint64_t bytes_written() const {
@@ -158,7 +186,8 @@ class SpillFileSet {
   uint64_t max_bytes_;
   StorageGovernor* governor_;
   std::vector<std::FILE*> files_;      // lazily opened; one writer per file
-  std::vector<uint64_t> file_bytes_;   // written sizes (read after writes end)
+  std::vector<uint64_t> file_bytes_;   // payload sizes (read after writes end)
+  std::vector<uint64_t> disk_bytes_;   // on-disk sizes incl. frame headers
   std::atomic<uint64_t> bytes_written_{0};
   std::mutex ledger_mu_;               // guards governor_held_
   uint64_t governor_held_ = 0;

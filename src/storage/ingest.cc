@@ -94,6 +94,27 @@ uint64_t Ingestor::version(const std::string& table) const {
   return it == families_.end() ? 0 : it->second.version;
 }
 
+Status Ingestor::SeedFamily(const std::string& table, uint64_t version,
+                            const std::string& current_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(table);
+  const uint64_t have = it == families_.end() ? 0 : it->second.version;
+  if (version < have) {
+    return Status::InvalidArgument(
+        "SeedFamily would move '" + table + "' backwards: at version " +
+        std::to_string(have) + ", asked for " + std::to_string(version));
+  }
+  if (!catalog_->Exists(current_name)) {
+    return Status::NotFound("SeedFamily: '" + current_name +
+                            "' is not registered in the catalog");
+  }
+  Family& family = families_[table];
+  family.version = version;
+  family.current_name = current_name;
+  catalog_->SetTableVersion(table, version);
+  return Status::OK();
+}
+
 std::string Ingestor::current_name(const std::string& table) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = families_.find(table);

@@ -71,6 +71,14 @@ class Ingestor {
   /// "<table>@v<k>" after k batches).
   std::string current_name(const std::string& table) const;
 
+  /// Recovery hook (storage/checkpoint.h): positions the family's version
+  /// counter at `version` with `current_name` as its live catalog name, as
+  /// if that many batches had been applied. The caller must have registered
+  /// the table under `current_name` already; subsequent AppendBatch calls
+  /// continue from version + 1. Refuses to move a family backwards.
+  Status SeedFamily(const std::string& table, uint64_t version,
+                    const std::string& current_name);
+
  private:
   struct Family {
     uint64_t version = 0;

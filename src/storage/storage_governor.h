@@ -75,6 +75,17 @@ class StorageGovernor {
     return true;
   }
 
+  /// Reserves unconditionally on the disk ledger — the durability layer
+  /// (WAL segments, checkpoint images) accounts bytes it has *already*
+  /// written; refusing the reservation cannot unwrite them, so the ledger
+  /// records the overshoot instead (mirrors ForceReserve on the RAM side).
+  void ForceReserveDisk(double bytes) {
+    if (bytes <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    disk_reserved_ += bytes;
+    peak_disk_reserved_ = std::max(peak_disk_reserved_, disk_reserved_);
+  }
+
   /// Returns `bytes` to the disk budget (clamped like Release).
   void ReleaseDisk(double bytes) {
     if (bytes <= 0) return;

@@ -1,0 +1,455 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "common/crc32.h"
+#include "common/fault_injector.h"
+#include "storage/storage_governor.h"
+
+namespace gbmqo {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kWalMagic = 0x4C415747u;  // "GWAL"
+constexpr uint32_t kWalHeaderBytes = 20;     // magic + len + version + crc
+/// Upper bound on one record's payload: anything larger in the file is
+/// framing damage, not a real record, so replay can reject it before
+/// trying a multi-gigabyte allocation.
+constexpr uint32_t kMaxWalPayload = 256u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+int FsyncFile(std::FILE* file) {
+#ifdef _WIN32
+  return _commit(_fileno(file));
+#else
+  return ::fsync(fileno(file));
+#endif
+}
+
+/// Reads fixed-width little pieces out of a buffer with bounds checking.
+struct Cursor {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool Has(size_t n) const { return size - pos >= n; }
+  template <typename T>
+  bool Get(T* out) {
+    if (!Has(sizeof(T))) return false;
+    std::memcpy(out, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+};
+
+}  // namespace
+
+const char* FsyncModeName(FsyncMode mode) {
+  switch (mode) {
+    case FsyncMode::kNone:
+      return "none";
+    case FsyncMode::kBatch:
+      return "batch";
+    case FsyncMode::kAlways:
+      return "always";
+  }
+  return "?";
+}
+
+Result<FsyncMode> ParseFsyncMode(const std::string& name) {
+  if (name == "none") return FsyncMode::kNone;
+  if (name == "batch") return FsyncMode::kBatch;
+  if (name == "always") return FsyncMode::kAlways;
+  return Status::InvalidArgument("unknown fsync mode '" + name +
+                                 "' (expected none|batch|always)");
+}
+
+void EncodeRows(const std::vector<std::vector<Value>>& rows, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(rows.size()));
+  for (const std::vector<Value>& row : rows) {
+    PutU32(out, static_cast<uint32_t>(row.size()));
+    for (const Value& value : row) {
+      if (value.is_null()) {
+        out->push_back(0);
+      } else if (value.is_int64()) {
+        out->push_back(1);
+        PutU64(out, static_cast<uint64_t>(value.int64()));
+      } else if (value.is_double()) {
+        out->push_back(2);
+        uint64_t bits;
+        const double d = value.dbl();
+        std::memcpy(&bits, &d, sizeof bits);
+        PutU64(out, bits);
+      } else {
+        out->push_back(3);
+        const std::string& s = value.str();
+        PutU32(out, static_cast<uint32_t>(s.size()));
+        out->append(s);
+      }
+    }
+  }
+}
+
+Status DecodeRows(const uint8_t* data, size_t size,
+                  std::vector<std::vector<Value>>* rows) {
+  Cursor cur{data, size};
+  uint32_t num_rows = 0;
+  if (!cur.Get(&num_rows)) {
+    return Status::InvalidArgument("wal payload: truncated row count");
+  }
+  rows->clear();
+  rows->reserve(num_rows);
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    uint32_t num_values = 0;
+    if (!cur.Get(&num_values)) {
+      return Status::InvalidArgument("wal payload: truncated value count");
+    }
+    std::vector<Value> row;
+    row.reserve(num_values);
+    for (uint32_t v = 0; v < num_values; ++v) {
+      uint8_t tag = 0;
+      if (!cur.Get(&tag)) {
+        return Status::InvalidArgument("wal payload: truncated value tag");
+      }
+      switch (tag) {
+        case 0:
+          row.push_back(Value(Null{}));
+          break;
+        case 1: {
+          uint64_t bits = 0;
+          if (!cur.Get(&bits)) {
+            return Status::InvalidArgument("wal payload: truncated int64");
+          }
+          row.push_back(Value(static_cast<int64_t>(bits)));
+          break;
+        }
+        case 2: {
+          uint64_t bits = 0;
+          if (!cur.Get(&bits)) {
+            return Status::InvalidArgument("wal payload: truncated double");
+          }
+          double d;
+          std::memcpy(&d, &bits, sizeof d);
+          row.push_back(Value(d));
+          break;
+        }
+        case 3: {
+          uint32_t len = 0;
+          if (!cur.Get(&len) || !cur.Has(len)) {
+            return Status::InvalidArgument("wal payload: truncated string");
+          }
+          row.push_back(Value(
+              std::string(reinterpret_cast<const char*>(cur.data + cur.pos),
+                          len)));
+          cur.pos += len;
+          break;
+        }
+        default:
+          return Status::InvalidArgument("wal payload: unknown value tag " +
+                                         std::to_string(tag));
+      }
+    }
+    rows->push_back(std::move(row));
+  }
+  if (cur.pos != cur.size) {
+    return Status::InvalidArgument("wal payload: trailing garbage");
+  }
+  return Status::OK();
+}
+
+Status ReplayWal(
+    const std::string& path, uint64_t apply_after,
+    const std::function<Status(uint64_t version,
+                               std::vector<std::vector<Value>>&& rows)>& apply,
+    WalReplayReport* report) {
+  if (report != nullptr) *report = WalReplayReport{};
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return Status::OK();  // empty log
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::Internal("wal: cannot open " + path + " for replay: " +
+                            std::strerror(errno));
+  }
+  std::string buf;
+  {
+    char chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+      buf.append(chunk, n);
+    }
+    const bool read_error = std::ferror(file) != 0;
+    std::fclose(file);
+    if (read_error) {
+      return Status::Internal("wal: read error replaying " + path);
+    }
+  }
+
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(buf.data());
+  size_t pos = 0;
+  uint64_t prev_version = 0;
+  bool have_prev = false;
+  uint64_t record_index = 0;
+  bool torn = false;
+  while (pos < buf.size()) {
+    const size_t remaining = buf.size() - pos;
+    if (remaining < kWalHeaderBytes) {
+      torn = true;  // a header can only be partial if the write was cut off
+      break;
+    }
+    uint32_t magic, payload_len, crc;
+    uint64_t version;
+    std::memcpy(&magic, data + pos, 4);
+    std::memcpy(&payload_len, data + pos + 4, 4);
+    std::memcpy(&version, data + pos + 8, 8);
+    std::memcpy(&crc, data + pos + 16, 4);
+    if (magic != kWalMagic) {
+      return Status::Internal("wal: corrupt record header in " + path +
+                              " at offset " + std::to_string(pos) +
+                              ": bad magic");
+    }
+    if (payload_len > kMaxWalPayload) {
+      return Status::Internal("wal: corrupt record header in " + path +
+                              " at offset " + std::to_string(pos) +
+                              ": implausible payload length " +
+                              std::to_string(payload_len));
+    }
+    if (remaining - kWalHeaderBytes < payload_len) {
+      torn = true;  // payload cut off mid-write
+      break;
+    }
+    const uint8_t* payload = data + pos + kWalHeaderBytes;
+    // Read-path fault site: the harness flips a stored bit to prove the
+    // CRC rejects silent disk corruption. Mutates our private copy only.
+    if (payload_len > 0 &&
+        GBMQO_INJECT_FAULT(FaultSite::kDiskBitFlip, FaultKey(record_index))) {
+      const_cast<uint8_t*>(payload)[0] ^= 0x10;
+    }
+    uint32_t actual = Crc32(&version, sizeof version);
+    actual = Crc32(payload, payload_len, actual);
+    if (actual != crc) {
+      return Status::Internal("wal: CRC mismatch in " + path + " at offset " +
+                              std::to_string(pos) + " (record version " +
+                              std::to_string(version) + ")");
+    }
+    if (have_prev && version != prev_version + 1) {
+      return Status::Internal("wal: non-contiguous versions in " + path +
+                              ": record " + std::to_string(version) +
+                              " follows " + std::to_string(prev_version));
+    }
+    prev_version = version;
+    have_prev = true;
+    ++record_index;
+    if (report != nullptr) {
+      ++report->records_seen;
+      report->bytes_replayed = pos + kWalHeaderBytes + payload_len;
+    }
+    if (version > apply_after) {
+      std::vector<std::vector<Value>> rows;
+      GBMQO_RETURN_NOT_OK(DecodeRows(payload, payload_len, &rows));
+      GBMQO_RETURN_NOT_OK(apply(version, std::move(rows)));
+      if (report != nullptr) ++report->records_applied;
+    }
+    pos += kWalHeaderBytes + payload_len;
+  }
+
+  if (torn) {
+    // Truncate-and-continue: drop the torn trailing record so the log ends
+    // on a clean record boundary and future appends stay parseable.
+    const uint64_t dropped = buf.size() - pos;
+    fs::resize_file(path, pos, ec);
+    if (ec) {
+      return Status::Internal("wal: cannot truncate torn tail of " + path +
+                              " to " + std::to_string(pos) + " bytes: " +
+                              ec.message());
+    }
+    if (report != nullptr) {
+      report->tail_truncated = true;
+      report->tail_dropped_bytes = dropped;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   FsyncMode mode,
+                                                   StorageGovernor* governor) {
+  std::error_code ec;
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  uint64_t existing = 0;
+  if (fs::exists(path, ec)) existing = fs::file_size(path, ec);
+  // "ab" would pin every write to EOF even after our recovery truncation on
+  // some platforms; "r+b"/"wb" + explicit seeks keeps truncate semantics
+  // exact.
+  std::FILE* file = std::fopen(path.c_str(), existing > 0 ? "r+b" : "wb");
+  if (file == nullptr) {
+    return Status::Internal("wal: cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::Internal("wal: cannot seek to end of " + path);
+  }
+  if (governor != nullptr && existing > 0) {
+    governor->ForceReserveDisk(existing);
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, mode, governor, file, existing));
+}
+
+WalWriter::WalWriter(std::string path, FsyncMode mode,
+                     StorageGovernor* governor, std::FILE* file,
+                     uint64_t existing_bytes)
+    : path_(std::move(path)),
+      mode_(mode),
+      governor_(governor),
+      file_(file),
+      bytes_(existing_bytes),
+      governor_held_(existing_bytes) {}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+  if (governor_ != nullptr && governor_held_ > 0) {
+    governor_->ReleaseDisk(governor_held_);
+  }
+}
+
+uint64_t WalWriter::DetachGovernorHold() {
+  const uint64_t held = governor_held_;
+  governor_held_ = 0;
+  return held;
+}
+
+void WalWriter::RestoreTail(uint64_t offset) {
+  // fflush first: buffered bytes past `offset` must not land after the
+  // truncate and re-extend the file.
+  std::fflush(file_);
+  std::error_code ec;
+  std::filesystem::resize_file(path_, offset, ec);
+  if (ec) {
+    // The log now ends in a torn record we cannot remove; replay would
+    // handle it, but an appender must not write past garbage.
+    broken_ = true;
+    return;
+  }
+  std::fseek(file_, static_cast<long>(offset), SEEK_SET);
+}
+
+Status WalWriter::Append(uint64_t version,
+                         const std::vector<std::vector<Value>>& rows) {
+  if (broken_) {
+    return Status::Internal("wal: writer for " + path_ +
+                            " is broken after a failed write");
+  }
+  const uint64_t salt = FaultKey(version, append_seq_++);
+
+  std::string record;
+  record.reserve(kWalHeaderBytes + 64 * rows.size());
+  std::string payload;
+  EncodeRows(rows, &payload);
+  uint32_t crc = Crc32(&version, sizeof version);
+  crc = Crc32(payload.data(), payload.size(), crc);
+  PutU32(&record, kWalMagic);
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU64(&record, version);
+  PutU32(&record, crc);
+  record += payload;
+
+  const uint64_t start = bytes_;
+  if (GBMQO_INJECT_FAULT(FaultSite::kDiskEnospc, salt)) {
+    return Status::ResourceExhausted(
+        "wal: no space left on device appending to " + path_ + " at offset " +
+        std::to_string(start));
+  }
+  if (GBMQO_INJECT_FAULT(FaultSite::kDiskTornWrite, salt)) {
+    // Crash simulation: a prefix of the record reaches the disk and the
+    // "process" dies — the torn bytes stay for recovery to truncate.
+    const size_t torn = record.size() / 2;
+    std::fwrite(record.data(), 1, torn, file_);
+    std::fflush(file_);
+    broken_ = true;
+    if (governor_ != nullptr) {
+      governor_->ForceReserveDisk(torn);
+      governor_held_ += torn;
+    }
+    return Status::Internal("wal: torn write (crash) appending to " + path_ +
+                            " at offset " + std::to_string(start) + ": " +
+                            std::to_string(torn) + " of " +
+                            std::to_string(record.size()) + " bytes persisted");
+  }
+
+  size_t written;
+  if (GBMQO_INJECT_FAULT(FaultSite::kDiskShortWrite, salt)) {
+    written = std::fwrite(record.data(), 1, record.size() / 2, file_);
+  } else {
+    written = std::fwrite(record.data(), 1, record.size(), file_);
+  }
+  if (written != record.size()) {
+    const bool enospc = errno == ENOSPC;
+    RestoreTail(start);
+    const std::string detail = "wal: short write to " + path_ + " at offset " +
+                               std::to_string(start) + ": wrote " +
+                               std::to_string(written) + " of " +
+                               std::to_string(record.size()) + " bytes";
+    return enospc ? Status::ResourceExhausted(detail + " (ENOSPC)")
+                  : Status::Internal(detail);
+  }
+
+  const bool flush_failed = std::fflush(file_) != 0;
+  const bool fsync_failed =
+      mode_ == FsyncMode::kAlways && !flush_failed && FsyncFile(file_) != 0;
+  if (flush_failed || fsync_failed ||
+      (mode_ != FsyncMode::kNone &&
+       GBMQO_INJECT_FAULT(FaultSite::kDiskFsync, salt))) {
+    // The record may not be durable; treat it as not committed so the
+    // caller never applies a batch the disk did not acknowledge.
+    RestoreTail(start);
+    return Status::Internal("wal: " +
+                            std::string(flush_failed ? "flush" : "fsync") +
+                            " failed for " + path_ + " after record at offset " +
+                            std::to_string(start));
+  }
+  // kNone intentionally skips fflush-per-record; force the stream buffer
+  // out anyway so bytes() matches the file for rotation bookkeeping — the
+  // *fsync* is what kNone elides, not kernel visibility.
+  if (mode_ == FsyncMode::kNone) std::fflush(file_);
+
+  bytes_ += record.size();
+  if (governor_ != nullptr) {
+    governor_->ForceReserveDisk(record.size());
+    governor_held_ += record.size();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (broken_) {
+    return Status::Internal("wal: writer for " + path_ + " is broken");
+  }
+  if (std::fflush(file_) != 0 || FsyncFile(file_) != 0) {
+    return Status::Internal("wal: fsync failed for " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace gbmqo

@@ -1,0 +1,160 @@
+// Write-ahead log for the ingest path (api/server.h): every AppendBatch is
+// serialized and appended to a log segment — length-prefixed,
+// CRC32-checksummed records — *before* it is applied to the in-memory base
+// relation, so a restarted server can replay the tail and reach the exact
+// state an uninterrupted run would hold (see storage/checkpoint.h for the
+// companion snapshot mechanism and DESIGN.md "Durability and crash
+// recovery" for the invariants).
+//
+// Record layout (host-endian; a WAL is private to one host):
+//
+//   u32 magic 'GWAL' | u32 payload_len | u64 version | u32 crc | payload
+//
+// with crc = CRC32 over (version, payload). The payload is the tagged
+// row-batch encoding of EncodeRows. Records are back-to-back; there is no
+// resync marker, so the torn-tail rule below is what bounds damage.
+//
+// Torn-tail rule (replay): a record whose header or payload extends past
+// EOF is a *torn* record — a crash interrupted the write — and replay
+// truncates the file back to the last complete record and continues
+// (truncate-and-continue). A record that is fully present but fails its CRC
+// is *corruption* (bit rot, a misdirected write) and replay refuses to
+// proceed: corrupt data must never be admitted, and everything after it is
+// unframeable. The two cases are distinguishable because a torn write can
+// only shorten the file, never damage bytes that fsync already covered.
+//
+// Fsync discipline (FsyncMode):
+//   kNone   — records reach the OS only when the stream buffer spills or
+//             the writer closes; a crash can lose recent batches (they were
+//             never acknowledged durable — callers know the mode).
+//   kBatch  — every Append flushes to the kernel (fflush); an engine crash
+//             loses nothing, an OS crash can lose the page cache tail.
+//   kAlways — every Append fsyncs; a power failure loses at most the
+//             in-flight record (which replay then truncates).
+//
+// Every write path carries the shared disk fault sites (kDiskShortWrite,
+// kDiskTornWrite, kDiskEnospc, kDiskFsync) and the read path carries
+// kDiskBitFlip, so the crash-and-recover harness can kill the log at any
+// byte and assert recovery never admits a torn or corrupt record.
+#ifndef GBMQO_STORAGE_WAL_H_
+#define GBMQO_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace gbmqo {
+
+class StorageGovernor;
+
+/// When appended WAL records are forced to stable storage. See file
+/// comment for the durability each mode buys.
+enum class FsyncMode { kNone, kBatch, kAlways };
+
+const char* FsyncModeName(FsyncMode mode);
+Result<FsyncMode> ParseFsyncMode(const std::string& name);
+
+/// Serializes a row batch into the WAL payload encoding: u32 row count,
+/// then per row a u32 value count and tagged values (u8 tag: 0 NULL,
+/// 1 INT64, 2 DOUBLE, 3 STRING; numerics as raw 8-byte patterns — doubles
+/// round-trip bit-exactly — strings as u32 length + bytes).
+void EncodeRows(const std::vector<std::vector<Value>>& rows, std::string* out);
+
+/// Inverse of EncodeRows. InvalidArgument on any framing violation (the
+/// caller has already CRC-verified the buffer, so a decode failure means a
+/// format bug, not disk damage).
+Status DecodeRows(const uint8_t* data, size_t size,
+                  std::vector<std::vector<Value>>* rows);
+
+/// What one ReplayWal pass saw and did.
+struct WalReplayReport {
+  uint64_t records_seen = 0;     ///< complete, CRC-valid records in the log
+  uint64_t records_applied = 0;  ///< records with version > apply_after
+  uint64_t bytes_replayed = 0;   ///< log bytes covered by valid records
+  bool tail_truncated = false;   ///< a torn trailing record was dropped
+  uint64_t tail_dropped_bytes = 0;  ///< bytes removed by the truncation
+};
+
+/// Replays the segment at `path`: verifies every record (magic, framing,
+/// CRC, contiguous versions) and invokes `apply` for each record whose
+/// version exceeds `apply_after`, in log order. A torn trailing record is
+/// truncated off the file (so later appends extend a clean log) and
+/// reported; a mid-log CRC/framing failure returns Internal without
+/// applying the bad record or anything after it. A missing file is an empty
+/// log (OK, zero records). `apply` returning non-OK aborts the replay with
+/// that status.
+Status ReplayWal(
+    const std::string& path, uint64_t apply_after,
+    const std::function<Status(uint64_t version,
+                               std::vector<std::vector<Value>>&& rows)>& apply,
+    WalReplayReport* report);
+
+/// Append-only writer over one WAL segment. Not thread-safe: the serving
+/// layer serializes AppendBatch calls already. Bytes are charged to the
+/// governor's disk ledger as they are written; the hold is released when
+/// the writer is destroyed *and* the segment file has been deleted by the
+/// owner (ReleaseGovernorHold), or unconditionally at destruction if the
+/// owner never detached it — the server keeps the ledger equal to the live
+/// durable bytes on disk.
+class WalWriter {
+ public:
+  /// Opens `path` for appending, creating it if absent. The existing size
+  /// (a recovered segment's surviving records) seeds bytes().
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 FsyncMode mode,
+                                                 StorageGovernor* governor);
+
+  /// Closes the stream. Releases any remaining governor hold.
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and applies the fsync discipline. On a short
+  /// write/ENOSPC/fsync failure the tail is restored (truncated back to the
+  /// pre-record offset) so the log stays clean and the caller can keep
+  /// serving at the old version; the returned status names the file,
+  /// offset, and byte counts. A torn-write fault (crash simulation) leaves
+  /// the torn bytes in place and marks the writer broken — every later
+  /// Append fails fast, exactly like a dead process's log.
+  Status Append(uint64_t version, const std::vector<std::vector<Value>>& rows);
+
+  /// Forces everything appended so far to stable storage (any mode).
+  Status Sync();
+
+  /// Logical end of the log: bytes of complete records on disk.
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+  bool broken() const { return broken_; }
+
+  /// Detaches the governor hold and returns it without releasing — the
+  /// caller now owns returning those bytes to the ledger (used when the
+  /// segment outlives the writer across a rotation).
+  uint64_t DetachGovernorHold();
+
+ private:
+  WalWriter(std::string path, FsyncMode mode, StorageGovernor* governor,
+            std::FILE* file, uint64_t existing_bytes);
+
+  /// Best-effort truncate back to `offset` after a failed append.
+  void RestoreTail(uint64_t offset);
+
+  std::string path_;
+  FsyncMode mode_;
+  StorageGovernor* governor_;
+  std::FILE* file_;
+  uint64_t bytes_ = 0;           ///< complete-record bytes
+  uint64_t governor_held_ = 0;   ///< disk-ledger bytes charged by this writer
+  bool broken_ = false;
+  uint64_t append_seq_ = 0;      ///< fault-key salt, counts Append calls
+};
+
+}  // namespace gbmqo
+
+#endif  // GBMQO_STORAGE_WAL_H_

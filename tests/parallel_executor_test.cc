@@ -131,6 +131,7 @@ void ExpectSameCounters(const WorkCounters& a, const WorkCounters& b) {
   EXPECT_EQ(a.queries_spilled, b.queries_spilled);
   EXPECT_EQ(a.spill_bytes_written, b.spill_bytes_written);
   EXPECT_EQ(a.spill_bytes_read, b.spill_bytes_read);
+  EXPECT_EQ(a.spill_corrupt_recoveries, b.spill_corrupt_recoveries);
   EXPECT_EQ(a.scan_touch_checksum, b.scan_touch_checksum);
   EXPECT_EQ(a.agg_cpu_units, b.agg_cpu_units);
   EXPECT_EQ(a.tasks_retried, b.tasks_retried);

@@ -405,6 +405,83 @@ TEST(DegradationLadderTest, SpillFaultRollsBackAndRecovers) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(DegradationLadderTest, SpillCorruptionRecoversInPlaceWithoutRetry) {
+  // Bit rot in a spill partition (every frame CRC fails under probability
+  // 1.0) is repaired *inside* the attempt: the corrupt partition is
+  // re-derived from the resident input (SpillOptions::recover_corrupt,
+  // default on), so the query succeeds with no ladder retry and the result
+  // matches an unfaulted run raw-bit.
+  Fixture f(150000);
+  std::vector<GroupByRequest> requests = {GroupByRequest::Count({kQuantity})};
+  const LogicalPlan plan = NaivePlan(requests);
+
+  PlanExecutor plain(&f.catalog, "lineitem");
+  auto baseline = plain.Execute(plan, requests);
+  ASSERT_TRUE(baseline.ok());
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("gbmqo-resilience-corrupt-" +
+                    std::to_string(static_cast<uint64_t>(::getpid())));
+  std::filesystem::create_directories(dir);
+  FaultInjector inj(29);
+  inj.ArmProbability(FaultSite::kSpillCorrupt, 1.0);
+  ScopedFaultInjection scoped(&inj);
+  PlanExecutor exec(&f.catalog, "lineitem");
+  SpillOptions spill;
+  spill.force = true;
+  spill.directory = dir.string();
+  exec.set_spill(spill);
+  auto r = exec.Execute(plan, requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(inj.fires(FaultSite::kSpillCorrupt), 0u);
+  EXPECT_GT(r->counters.spill_corrupt_recoveries, 0u);
+  EXPECT_EQ(r->counters.tasks_retried, 0u);   // repaired inside the attempt
+  EXPECT_EQ(r->counters.tasks_degraded, 0u);  // kernel and parallelism kept
+  EXPECT_EQ(r->counters.queries_spilled, 1u);
+  EXPECT_EQ(CanonicalResults(*baseline), CanonicalResults(*r));
+  EXPECT_EQ(f.catalog.temp_bytes(), 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir)) << "leaked spill files";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DegradationLadderTest, SpillCorruptionWithoutRecoveryClimbsLadder) {
+  // With recover_corrupt off, a corrupt spill record fails the attempt with
+  // Internal naming the damage; the ladder's same-plan retry re-runs the
+  // spill clean (the one-shot fault has been consumed) with no degradation.
+  Fixture f(150000);
+  std::vector<GroupByRequest> requests = {GroupByRequest::Count({kQuantity})};
+  const LogicalPlan plan = NaivePlan(requests);
+
+  PlanExecutor plain(&f.catalog, "lineitem");
+  auto baseline = plain.Execute(plan, requests);
+  ASSERT_TRUE(baseline.ok());
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("gbmqo-resilience-corrupt2-" +
+                    std::to_string(static_cast<uint64_t>(::getpid())));
+  std::filesystem::create_directories(dir);
+  FaultInjector inj(31);
+  inj.ArmOneShot(FaultSite::kSpillCorrupt, 0);
+  ScopedFaultInjection scoped(&inj);
+  PlanExecutor exec(&f.catalog, "lineitem");
+  exec.set_max_task_retries(1);
+  SpillOptions spill;
+  spill.force = true;
+  spill.directory = dir.string();
+  spill.recover_corrupt = false;
+  exec.set_spill(spill);
+  auto r = exec.Execute(plan, requests);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(inj.fires(FaultSite::kSpillCorrupt), 1u);
+  EXPECT_EQ(r->counters.spill_corrupt_recoveries, 0u);
+  EXPECT_GE(r->counters.tasks_retried, 1u);
+  EXPECT_EQ(r->counters.tasks_degraded, 0u);
+  EXPECT_EQ(CanonicalResults(*baseline), CanonicalResults(*r));
+  EXPECT_EQ(f.catalog.temp_bytes(), 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(dir)) << "leaked spill files";
+  std::filesystem::remove_all(dir);
+}
+
 TEST(DegradationLadderTest, TempRegistrationFaultRollsBackAndRecovers) {
   Fixture f;
   const auto requests = ChainRequests();

@@ -18,10 +18,12 @@ way throughput noise cannot explain:
     true (e.g. the SIMD >= 2x speedup gate, spill bit-identity, the
     sort-beats-hash crossover gate).
 
-Benches covered (see MANIFEST): simd, plan_pipeline, incremental, spill.
+Benches covered (see MANIFEST): simd, plan_pipeline, incremental, spill,
+durability.
 
 Usage:
-  check_bench_regression.py [--bench all|simd|plan_pipeline|incremental|spill]
+  check_bench_regression.py [--bench all|simd|plan_pipeline|incremental|
+                             spill|durability]
                             [--current FILE] [--baseline FILE]
                             [--tolerance 0.10]
   check_bench_regression.py --self-test
@@ -73,6 +75,13 @@ MANIFEST = {
         "series": [("sweep", "group_domain")],
         "floors": [],
         "gates": ["gate.pass", "gate.bit_identical_all"],
+    },
+    "durability": {
+        "current": "BENCH_durability.json",
+        "baseline": "bench/baselines/BENCH_durability_baseline.json",
+        "series": [("modes", "mode"), ("recovery", "log_batches")],
+        "floors": [],
+        "gates": ["wal_overhead_ok", "recovered_bit_identical"],
     },
 }
 
@@ -267,6 +276,34 @@ def self_test():
     cur["sweep"].append({"groups": 1 << 20, "r": 9.0})
     ok, _ = compare("t", cur, base, spec, 0.10)
     assert ok, "extra current entries must pass"
+
+    # Durability-shaped fixture: a string-keyed list series ("mode") plus
+    # top-level gates, as BENCH_durability.json emits them.
+    dur_spec = {
+        "series": [("modes", "mode"), ("recovery", "log_batches")],
+        "floors": [],
+        "gates": ["wal_overhead_ok", "recovered_bit_identical"],
+    }
+    dur_base = {
+        "modes": [{"mode": "off", "ingest_ms": 100.0},
+                  {"mode": "batch", "ingest_ms": 105.0}],
+        "recovery": [{"log_batches": 10, "full_replay_ms": 50.0}],
+        "wal_overhead_ok": True,
+        "recovered_bit_identical": True,
+    }
+    cur = json.loads(json.dumps(dur_base))
+    ok, _ = compare("durability", cur, dur_base, dur_spec, 0.10)
+    assert ok, "identical durability run must pass"
+    cur = json.loads(json.dumps(dur_base))
+    cur["modes"] = [e for e in cur["modes"] if e["mode"] != "batch"]
+    ok, lines = compare("durability", cur, dur_base, dur_spec, 0.10)
+    assert not ok, "dropped fsync mode must fail"
+    assert any("modes[batch] present in baseline" in l for l in lines)
+    cur = json.loads(json.dumps(dur_base))
+    cur["wal_overhead_ok"] = False
+    ok, lines = compare("durability", cur, dur_base, dur_spec, 0.10)
+    assert not ok, "flipped WAL-overhead gate must fail"
+    assert any("wal_overhead_ok" in l for l in lines)
 
     # The real manifest stays self-consistent: every bench names files and
     # well-formed series/floors/gates.
